@@ -1,0 +1,33 @@
+//! E1 (Prop 3.1) — `L_id` implication: closure construction and query
+//! cost must scale linearly in `|Σ|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xic::prelude::*;
+use xic_bench::{lid_queries, lid_sigma, rng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_lid");
+    for n in [256usize, 1024, 4096, 16384] {
+        let mut r = rng(1);
+        let sigma = lid_sigma(n, &mut r);
+        let queries = lid_queries(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("closure", n), &n, |b, _| {
+            b.iter(|| LidSolver::new(&sigma, None))
+        });
+        let solver = LidSolver::new(&sigma, None);
+        group.bench_with_input(BenchmarkId::new("queries", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    hits += usize::from(solver.holds(q));
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 (Thm 3.2 / Cor 3.3) — `L_u` implication and finite implication:
+//! linear-time chains, and the finite-only cycle family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xic::implication::lu::Mode;
+use xic::prelude::*;
+use xic_bench::{lu_chain, lu_cycle_family};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_lu");
+    for n in [256usize, 1024, 4096] {
+        let (sigma, phi) = lu_chain(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("chain_unrestricted", n), &n, |b, _| {
+            b.iter(|| {
+                let solver = LuSolver::new(&sigma).unwrap();
+                solver.implies(&phi, Mode::Unrestricted).unwrap().is_implied()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chain_finite", n), &n, |b, _| {
+            b.iter(|| {
+                let solver = LuSolver::new(&sigma).unwrap();
+                solver.implies(&phi, Mode::Finite).unwrap().is_implied()
+            })
+        });
+    }
+    for n in [16usize, 64, 256] {
+        let (sigma, phi) = lu_cycle_family(n);
+        group.bench_with_input(BenchmarkId::new("cycle_finite_proof", n), &n, |b, _| {
+            b.iter(|| {
+                let solver = LuSolver::new(&sigma).unwrap();
+                let v = solver.implies(&phi, Mode::Finite).unwrap();
+                assert!(v.is_implied());
+                v.proof().unwrap().steps.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

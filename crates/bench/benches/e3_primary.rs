@@ -1,0 +1,34 @@
+//! E3 (Thm 3.4) — under the primary-key restriction the `L_u` problems
+//! coincide; measures the cost of both modes on primary chains (they
+//! should track each other, since the cycle machinery is vacuous).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic::implication::lu::Mode;
+use xic::prelude::*;
+use xic_bench::lu_chain;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_primary");
+    for n in [512usize, 2048] {
+        let (sigma, phi) = lu_chain(n);
+        let solver = LuSolver::new(&sigma).unwrap();
+        solver.check_primary(None).unwrap();
+        for (label, mode) in [("unrestricted", Mode::Unrestricted), ("finite", Mode::Finite)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let u = solver.implies(&phi, mode).unwrap().is_implied();
+                        assert!(u);
+                        u
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 (Thm 3.6) — the chase as a semi-decision for general `L`:
+//! terminating chains vs the divergent cyclic-IND family (cost grows with
+//! the resource budget, never converging).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic::implication::chase::ChaseLimits;
+use xic::prelude::*;
+use xic_bench::lp_chain;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_chase");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let (sigma, phi) = lp_chain(n, 2);
+        group.bench_with_input(BenchmarkId::new("terminating_chain", n), &n, |b, _| {
+            b.iter(|| {
+                let chase = Chase::new(&sigma, ChaseLimits::default()).unwrap();
+                assert!(chase.implies(&phi).is_implied());
+            })
+        });
+    }
+    let sigma = vec![
+        Constraint::key("R", ["A"]),
+        Constraint::fk("R", ["B"], "R", ["A"]),
+    ];
+    let phi = Constraint::key("R", ["B"]);
+    for budget in [100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::new("divergent_budget", budget), &budget, |b, _| {
+            b.iter(|| {
+                let chase = Chase::new(
+                    &sigma,
+                    ChaseLimits {
+                        max_steps: budget,
+                        max_tuples: budget,
+                    },
+                )
+                .unwrap();
+                assert!(matches!(chase.implies(&phi), ChaseOutcome::ResourceLimit));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E5 (Thm 3.8) — primary multi-attribute keys and foreign keys: the
+//! `I_p` saturation and query cost across chain length and key arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic::prelude::*;
+use xic_bench::lp_chain;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lp");
+    for arity in [1usize, 4, 8] {
+        for n in [8usize, 32] {
+            let (sigma, phi) = lp_chain(n, arity);
+            group.bench_with_input(
+                BenchmarkId::new(format!("arity{arity}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let solver = LpSolver::new(&sigma).unwrap();
+                        assert!(solver.implies(&phi).is_implied());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

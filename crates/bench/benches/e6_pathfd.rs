@@ -1,0 +1,32 @@
+//! E6 (Prop 4.1) — path functional constraint implication:
+//! `O(|φ|(|Σ| + |P|))` across nesting depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xic::prelude::*;
+use xic_bench::{nested_dtdc, spine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pathfd");
+    for depth in [64usize, 256, 1024] {
+        let d = nested_dtdc(depth);
+        let solver = PathSolver::new(&d);
+        let rho = spine(0, depth, true);
+        let varrho = spine(0, depth / 2, false);
+        group.throughput(Throughput::Elements(depth as u64));
+        group.bench_with_input(BenchmarkId::new("query", depth), &depth, |b, _| {
+            b.iter(|| {
+                assert!(solver.functional_implied(&"r0".into(), &rho, &varrho));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("build+query", depth), &depth, |b, _| {
+            b.iter(|| {
+                let solver = PathSolver::new(&d);
+                assert!(solver.functional_implied(&"r0".into(), &rho, &varrho));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

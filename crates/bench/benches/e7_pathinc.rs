@@ -1,0 +1,39 @@
+//! E7 (Prop 4.2) — path inclusion constraint implication:
+//! `O(|φ|(|Σ| + |P|))` across nesting depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xic::prelude::*;
+use xic_bench::{nested_dtdc, spine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pathinc");
+    for depth in [64usize, 256, 1024] {
+        let d = nested_dtdc(depth);
+        let solver = PathSolver::new(&d);
+        let mid = depth / 2;
+        let rho1 = spine(0, depth, false);
+        let rho2 = spine(mid, depth, false);
+        let tau2: Name = format!("r{mid}").as_str().into();
+        group.throughput(Throughput::Elements(depth as u64));
+        group.bench_with_input(BenchmarkId::new("query", depth), &depth, |b, _| {
+            b.iter(|| {
+                assert!(solver.inclusion_implied(&"r0".into(), &rho1, &tau2, &rho2));
+            })
+        });
+        // Adversarial: a near-miss suffix (differs at the first step) must
+        // be refuted at similar cost.
+        let mut bad_steps: Vec<String> =
+            ((mid + 1)..=depth).map(|i| format!("r{i}")).collect();
+        bad_steps[0] = "nosuch".into();
+        let bad = Path::new(bad_steps);
+        group.bench_with_input(BenchmarkId::new("refute", depth), &depth, |b, _| {
+            b.iter(|| {
+                assert!(!solver.inclusion_implied(&"r0".into(), &rho1, &tau2, &bad));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E8 (Prop 4.3) — path inverse constraint implication: `O(|Σ||φ|)` over
+//! a `|Σ| × |φ|` grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic::prelude::*;
+use xic_bench::{inverse_chain_dtdc, inverse_query};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_pathinv");
+    for n in [64usize, 256] {
+        let d = inverse_chain_dtdc(n);
+        let solver = PathSolver::new(&d);
+        for k in [n / 4, n] {
+            let (t1, p1, t2, p2) = inverse_query(k);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sigma{n}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        assert!(solver.inverse_implied(&t1, &p1, &t2, &p2));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E9 (Fig. 1) — the 2-pebble EF-game fixpoint on the Figure-1 pair, and
+//! the direct key-constraint evaluation, across structure size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_fo2");
+    group.sample_size(10);
+    for n in [2u32, 3, 4] {
+        let (g, h) = figure1(n);
+        group.bench_with_input(BenchmarkId::new("game", n), &n, |b, _| {
+            b.iter(|| assert!(two_pebble_equivalent(&g, &h)))
+        });
+        group.bench_with_input(BenchmarkId::new("key_eval", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(g.satisfies_unary_key("l"));
+                assert!(!h.satisfies_unary_key("l"));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

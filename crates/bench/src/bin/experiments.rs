@@ -1,0 +1,433 @@
+//! Reproduces experiments E1–E10 (see EXPERIMENTS.md): every theorem,
+//! proposition and figure of Fan & Siméon (PODS 2000) as an executable
+//! check with measured scaling.
+//!
+//! ```text
+//! cargo run --release -p xic-bench --bin experiments
+//! ```
+//!
+//! Output format: one section per experiment with the paper's claim, the
+//! correctness assertions (panics if any fails), and measured timing rows.
+//! Linear-time claims are validated by the growth ratio between successive
+//! problem-size doublings (≈2 for linear algorithms; constant-factor noise
+//! is expected at small sizes).
+
+use xic::implication::chase::ChaseLimits;
+use xic::implication::lu::Mode;
+use xic::prelude::*;
+use xic_bench::*;
+
+fn main() {
+    e1_lid_linear();
+    e2_lu_linear_and_divergence();
+    e3_primary_coincide();
+    e4_chase_undecidability();
+    e5_lp_decidable();
+    e6_path_functional();
+    e7_path_inclusion();
+    e8_path_inverse();
+    e9_fo2_figure1();
+    e10_validation();
+    println!("\nAll experiments completed with every assertion passing.");
+}
+
+fn heading(id: &str, claim: &str) {
+    println!("\n════ {id} ════");
+    println!("claim: {claim}");
+}
+
+/// E1 — Prop 3.1: `I_id` decides (finite) implication of `L_id` in linear
+/// time.
+fn e1_lid_linear() {
+    heading(
+        "E1 (Prop 3.1)",
+        "L_id implication and finite implication decidable in linear time",
+    );
+    let mut r = rng(11);
+    let mut prev: Option<f64> = None;
+    for n in [1000usize, 2000, 4000, 8000, 16000] {
+        let sigma = lid_sigma(n, &mut r);
+        let queries = lid_queries(n);
+        let t = time_min(5, || {
+            let solver = LidSolver::new(&sigma, None);
+            for q in &queries {
+                std::hint::black_box(solver.holds(q));
+            }
+        });
+        let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+        println!(
+            "  |Σ| = {n:6}   closure+queries = {:8.3} ms   per-constraint = {:6.1} ns   growth ×{ratio:.2}",
+            t * 1e3,
+            t * 1e9 / n as f64
+        );
+        prev = Some(t);
+    }
+    // Correctness spot-check on the paper's Σ_o.
+    let d = xic::constraints::examples::company_dtdc();
+    let solver = LidSolver::new(d.constraints(), Some(d.structure()));
+    assert!(solver
+        .implies(&Constraint::Id { tau: "person".into() })
+        .is_implied());
+}
+
+/// E2 — Thm 3.2 / Cor 3.3: `I_u`/`I_u^f` decide in linear time; the two
+/// problems differ.
+fn e2_lu_linear_and_divergence() {
+    heading(
+        "E2 (Thm 3.2, Cor 3.3)",
+        "L_u implication linear time; implication ≠ finite implication",
+    );
+    let mut prev: Option<f64> = None;
+    for n in [500usize, 1000, 2000, 4000, 8000] {
+        let (sigma, phi) = lu_chain(n);
+        let t = time_min(5, || {
+            let solver = LuSolver::new(&sigma).unwrap();
+            assert!(solver.decide(&phi, Mode::Unrestricted).unwrap());
+            assert!(solver.decide(&phi, Mode::Finite).unwrap());
+        });
+        let t_proof = time_min(5, || {
+            let solver = LuSolver::new(&sigma).unwrap();
+            let v = solver.implies(&phi, Mode::Unrestricted).unwrap();
+            assert!(v.is_implied());
+        });
+        let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+        println!(
+            "  chain n = {n:5}   build+decide = {:8.3} ms (growth ×{ratio:.2})   with proof = {:8.3} ms",
+            t * 1e3,
+            t_proof * 1e3
+        );
+        prev = Some(t);
+    }
+    // Divergence (scaled): finitely implied, not unrestrictedly implied,
+    // with a verified C_k derivation.
+    for n in [1usize, 8, 64] {
+        let (sigma, phi) = lu_cycle_family(n);
+        let solver = LuSolver::new(&sigma).unwrap();
+        let fin = solver.implies(&phi, Mode::Finite).unwrap();
+        let unr = solver.implies(&phi, Mode::Unrestricted).unwrap();
+        assert!(fin.is_implied() && !unr.is_implied(), "divergence at n={n}");
+        fin.proof().unwrap().verify(&sigma, None).unwrap();
+        println!(
+            "  divergence family n = {n:3}: ⊨f yes (C_k proof, {} steps, verified), ⊨ no",
+            fin.proof().unwrap().steps.len()
+        );
+    }
+}
+
+/// E3 — Thm 3.4 / Cor 3.5: under the primary-key restriction the two L_u
+/// problems coincide.
+fn e3_primary_coincide() {
+    heading(
+        "E3 (Thm 3.4, Cor 3.5)",
+        "primary keys: implication and finite implication coincide",
+    );
+    let mut r = rng(33);
+    let mut agreements = 0usize;
+    let mut implied = 0usize;
+    for _ in 0..2000 {
+        use rand::Rng;
+        let n_types = r.gen_range(2..6);
+        let types: Vec<String> = (0..n_types).map(|i| format!("t{i}")).collect();
+        let mut sigma: Vec<Constraint> = types
+            .iter()
+            .map(|t| Constraint::unary_key(t.as_str(), "k"))
+            .collect();
+        for _ in 0..r.gen_range(0..8) {
+            let a = r.gen_range(0..n_types);
+            let b = r.gen_range(0..n_types);
+            sigma.push(Constraint::unary_fk(
+                types[a].as_str(),
+                "k",
+                types[b].as_str(),
+                "k",
+            ));
+        }
+        let solver = LuSolver::new(&sigma).unwrap();
+        solver.check_primary(None).unwrap();
+        for a in 0..n_types {
+            for b in 0..n_types {
+                let phi = Constraint::unary_fk(
+                    types[a].as_str(),
+                    "k",
+                    types[b].as_str(),
+                    "k",
+                );
+                let fin = solver.decide(&phi, Mode::Finite).unwrap();
+                let unr = solver.decide(&phi, Mode::Unrestricted).unwrap();
+                assert_eq!(fin, unr, "Thm 3.4 violated");
+                agreements += 1;
+                implied += usize::from(fin);
+            }
+        }
+    }
+    println!("  {agreements} random primary queries: finite ≡ unrestricted on all ({implied} implied)");
+}
+
+/// E4 — Thm 3.6 / Cor 3.7: general `L` implication is undecidable; the
+/// chase is a sound semi-decision whose divergence is real.
+fn e4_chase_undecidability() {
+    heading(
+        "E4 (Thm 3.6, Cor 3.7)",
+        "general L undecidable: the chase semi-decides, and diverges on cyclic INDs",
+    );
+    // Terminating family: FK chains — the chase decides and agrees with
+    // transitivity.
+    let mut prev: Option<f64> = None;
+    for n in [4usize, 8, 16, 32] {
+        let (sigma, phi) = lp_chain(n, 2);
+        let chase = Chase::new(&sigma, ChaseLimits::default()).unwrap();
+        let t = time_min(3, || {
+            assert!(chase.implies(&phi).is_implied());
+        });
+        let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+        println!(
+            "  terminating chain n = {n:3}: Implied in {:8.3} ms   growth ×{ratio:.2}",
+            t * 1e3
+        );
+        prev = Some(t);
+    }
+    // Divergent family: key R[A], R[B] ⊆ R[A] — tuples breed forever; the
+    // resource ceiling is always hit, at cost linear in the budget.
+    let sigma = vec![
+        Constraint::key("R", ["A"]),
+        Constraint::fk("R", ["B"], "R", ["A"]),
+    ];
+    for budget in [100usize, 400, 1600] {
+        let chase = Chase::new(
+            &sigma,
+            ChaseLimits {
+                max_steps: budget,
+                max_tuples: budget,
+            },
+        )
+        .unwrap();
+        let phi = Constraint::key("R", ["B"]);
+        let start = std::time::Instant::now();
+        let outcome = chase.implies(&phi);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(matches!(outcome, ChaseOutcome::ResourceLimit));
+        println!("  divergent family, budget {budget:6}: ResourceLimit after {ms:9.3} ms");
+    }
+}
+
+/// E5 — Thm 3.8 / Cor 3.9: primary multi-attribute keys+FKs decidable;
+/// cost as key arity and chain length grow.
+fn e5_lp_decidable() {
+    heading(
+        "E5 (Thm 3.8, Cor 3.9)",
+        "primary keys + foreign keys: I_p sound/complete; both problems coincide and are decidable",
+    );
+    for arity in [1usize, 2, 4, 8] {
+        let mut prev: Option<f64> = None;
+        let mut row = format!("  arity {arity}: ");
+        for n in [8usize, 16, 32, 64] {
+            let (sigma, phi) = lp_chain(n, arity);
+            let t = time_min(3, || {
+                let solver = LpSolver::new(&sigma).unwrap();
+                let v = solver.implies(&phi);
+                assert!(v.is_implied());
+            });
+            let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+            row.push_str(&format!("n={n}: {:7.2} ms (×{ratio:.1})  ", t * 1e3));
+            prev = Some(t);
+        }
+        println!("{row}");
+    }
+    // Proofs verify, and reversals are refuted.
+    let (sigma, phi) = lp_chain(12, 3);
+    let solver = LpSolver::new(&sigma).unwrap();
+    let v = solver.implies(&phi);
+    v.proof().unwrap().verify(&sigma, None).unwrap();
+    let back = Constraint::fk(
+        "r11",
+        ["a0", "a1", "a2"],
+        "r0",
+        ["a0", "a1", "a2"],
+    );
+    assert!(!solver.implies(&back).is_implied());
+    println!("  end-to-end I_p derivation verified; reverse composition correctly refuted");
+}
+
+/// E6 — Prop 4.1: path-functional implication in `O(|φ|(|Σ|+|P|))`.
+fn e6_path_functional() {
+    heading(
+        "E6 (Prop 4.1)",
+        "path functional constraints decidable in O(|φ|(|Σ|+|P|))",
+    );
+    let mut prev: Option<f64> = None;
+    for depth in [50usize, 100, 200, 400, 800] {
+        let d = nested_dtdc(depth);
+        let solver = PathSolver::new(&d);
+        let rho = spine(0, depth, true);
+        let varrho = spine(0, depth / 2, false);
+        let t = time_min(5, || {
+            assert!(solver.functional_implied(&"r0".into(), &rho, &varrho));
+        });
+        let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+        println!(
+            "  depth (=|φ|≈|P|) {depth:4}: query {:8.3} µs   growth ×{ratio:.2}",
+            t * 1e6
+        );
+        prev = Some(t);
+    }
+    // Negative control: a repeatable step breaks the key path.
+    let d = xic::constraints::examples::book_dtdc();
+    let solver = PathSolver::new(&d);
+    assert!(!solver.functional_implied(
+        &"book".into(),
+        &Path::from("section.sid"),
+        &Path::from("author")
+    ));
+}
+
+/// E7 — Prop 4.2: path-inclusion implication in `O(|φ|(|Σ|+|P|))`.
+fn e7_path_inclusion() {
+    heading(
+        "E7 (Prop 4.2)",
+        "path inclusion constraints decidable in O(|φ|(|Σ|+|P|))",
+    );
+    let mut prev: Option<f64> = None;
+    for depth in [50usize, 100, 200, 400, 800] {
+        let d = nested_dtdc(depth);
+        let solver = PathSolver::new(&d);
+        let mid = depth / 2;
+        let rho1 = spine(0, depth, false);
+        let rho2 = spine(mid, depth, false);
+        let tau2: Name = format!("r{mid}").as_str().into();
+        let t = time_min(5, || {
+            assert!(solver.inclusion_implied(&"r0".into(), &rho1, &tau2, &rho2));
+        });
+        let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+        println!(
+            "  depth {depth:4}: query {:8.3} µs   growth ×{ratio:.2}",
+            t * 1e6
+        );
+        prev = Some(t);
+    }
+    // Negative control: wrong anchor type.
+    let d = nested_dtdc(10);
+    let solver = PathSolver::new(&d);
+    assert!(!solver.inclusion_implied(
+        &"r0".into(),
+        &spine(0, 10, false),
+        &"r3".into(),
+        &spine(5, 10, false)
+    ));
+}
+
+/// E8 — Prop 4.3: path-inverse implication in `O(|Σ||φ|)`.
+fn e8_path_inverse() {
+    heading(
+        "E8 (Prop 4.3)",
+        "path inverse constraints decidable in O(|Σ| |φ|)",
+    );
+    for n in [50usize, 100, 200] {
+        let d = inverse_chain_dtdc(n);
+        let solver = PathSolver::new(&d);
+        let mut prev: Option<f64> = None;
+        let mut row = format!("  |Σ| = {:4}: ", d.constraints().len());
+        for k in [n / 4, n / 2, n] {
+            let (t1, p1, t2, p2) = inverse_query(k);
+            let t = time_min(5, || {
+                assert!(solver.inverse_implied(&t1, &p1, &t2, &p2));
+            });
+            let ratio = prev.map(|p| t / p).unwrap_or(f64::NAN);
+            row.push_str(&format!("|φ|={k:3}: {:8.3} µs (×{ratio:.1})  ", t * 1e6));
+            prev = Some(t);
+        }
+        println!("{row}");
+    }
+    // Negative control: swapped labels are refuted.
+    let d = inverse_chain_dtdc(8);
+    let solver = PathSolver::new(&d);
+    let (t1, p1, t2, _) = inverse_query(8);
+    let bad = Path::new(std::iter::repeat_n("fwd", 8));
+    assert!(!solver.inverse_implied(&t1, &p1, &t2, &bad));
+}
+
+/// E9 — Figure 1: `G ≡_FO² G'` yet the key constraint separates them.
+fn e9_fo2_figure1() {
+    heading(
+        "E9 (Fig. 1)",
+        "G ≡_FO² G' (2-pebble game) but τ.l → τ separates them: keys are not FO²-expressible",
+    );
+    for n in [2u32, 3, 4, 5] {
+        let (g, h) = figure1(n);
+        let start = std::time::Instant::now();
+        let equiv = two_pebble_equivalent(&g, &h);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let kg = g.satisfies_unary_key("l");
+        let kh = h.satisfies_unary_key("l");
+        assert!(equiv && kg && !kh);
+        println!(
+            "  n={n}: |G|={:2} |G'|={:2}  game fixpoint in {ms:9.3} ms  ≡_FO²: {equiv}  G⊨φ: {kg}  G'⊨φ: {kh}",
+            g.size, h.size
+        );
+    }
+}
+
+/// E10 — Definition 2.4 validation throughput on the paper's three
+/// document families, with the matcher ablation (E10b).
+fn e10_validation() {
+    heading(
+        "E10 (Fig. 2, §2.4)",
+        "end-to-end validation of the paper's document families; matcher ablation",
+    );
+    for n in [100usize, 1000, 10000] {
+        let (dtdc, tree) = company_workload(n, 77);
+        let validator = Validator::new(&dtdc);
+        let t = time_min(3, || {
+            let r = validator.validate(&tree);
+            assert!(r.is_valid());
+        });
+        println!(
+            "  company   n = {n:6} ({:6} vertices): {:9.3} ms   {:7.0} vertices/ms",
+            tree.len(),
+            t * 1e3,
+            tree.len() as f64 / (t * 1e3)
+        );
+    }
+    for n in [100usize, 1000, 10000] {
+        let (dtdc, tree) = publishers_workload(n, 78);
+        let validator = Validator::new(&dtdc);
+        let t = time_min(3, || {
+            let r = validator.validate(&tree);
+            assert!(r.is_valid());
+        });
+        println!(
+            "  relational n = {n:6} ({:6} vertices): {:9.3} ms   {:7.0} vertices/ms",
+            tree.len(),
+            t * 1e3,
+            tree.len() as f64 / (t * 1e3)
+        );
+    }
+    // Ablation E10b: content-model matcher choice.
+    let (dtdc, tree) = company_workload(2000, 79);
+    for kind in [MatcherKind::Dfa, MatcherKind::Nfa, MatcherKind::Derivative] {
+        let v = Validator::with_matcher(&dtdc, kind, Options::default());
+        let t = time_min(3, || {
+            assert!(v.validate_structure(&tree).is_valid());
+        });
+        println!(
+            "  ablation E10b (structure only, n=2000): {kind:?} matcher {:9.3} ms",
+            t * 1e3
+        );
+    }
+    // XML round trip at scale (parser throughput).
+    let (dtdc, tree) = company_workload(5000, 80);
+    let xml = format!(
+        "<!DOCTYPE db [\n{}]>\n{}",
+        serialize_dtd(dtdc.structure()),
+        serialize_document(&tree)
+    );
+    let t = time_min(3, || {
+        let doc = parse_document(&xml).unwrap();
+        assert_eq!(doc.tree.len(), tree.len());
+    });
+    println!(
+        "  XML parse n = 5000 ({} bytes): {:9.3} ms   {:5.1} MB/s",
+        xml.len(),
+        t * 1e3,
+        xml.len() as f64 / t / 1e6
+    );
+}

@@ -1,0 +1,595 @@
+//! # xic-cli — the `xic` command-line tool
+//!
+//! A thin, dependency-free front end over the `xic` workspace:
+//!
+//! ```text
+//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
+//! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
+//! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
+//! xic render   <doc.xml>
+//! xic xsd      --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid
+//! ```
+//!
+//! * `validate` — checks a document against a `DTD^C` (Definition 2.4).
+//!   The DTD comes from `--dtd`, or from the document's own `<!DOCTYPE>`
+//!   internal subset. `Σ` comes from `--sigma` (the constraint syntax of
+//!   `xic-constraints`, one per line, `#` comments).
+//! * `implies` — decides `Σ ⊨ φ` / `Σ ⊨_f φ` with the solver matching
+//!   `--lang`, printing the derivation or a countermodel when available.
+//! * `path` — decides a Section-4 path constraint
+//!   (`a.b.c -> a.d`, `a.b <= c.d`, `a.b <=> c.d`) against `Σ` in `L_id`.
+//! * `render` — prints the Figure-2 style outline of a document.
+//! * `xsd` — exports `Σ` as XML Schema identity constraints
+//!   (`xs:key`/`xs:keyref`), flagging the forms XML Schema cannot express
+//!   (set-valued foreign keys, inverses).
+//!
+//! Exit codes: 0 = valid/implied, 1 = invalid/not implied, 2 = usage or
+//! input error. The library entry point [`run`] is used directly by the
+//! tests; `main` only forwards `std::env::args`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use xic::implication::lu::Mode;
+use xic::prelude::*;
+
+/// Parsed command-line options.
+#[derive(Default, Debug)]
+struct Opts {
+    positional: Vec<String>,
+    dtd: Option<String>,
+    root: Option<String>,
+    sigma: Option<String>,
+    lang: Option<String>,
+    lenient: bool,
+    finite: bool,
+    unrestricted: bool,
+    emit_countermodel: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match a.as_str() {
+            "--dtd" => o.dtd = Some(grab("--dtd")?),
+            "--root" => o.root = Some(grab("--root")?),
+            "--sigma" => o.sigma = Some(grab("--sigma")?),
+            "--lang" => o.lang = Some(grab("--lang")?),
+            "--emit-countermodel" => {
+                o.emit_countermodel = Some(grab("--emit-countermodel")?)
+            }
+            "--lenient" => o.lenient = true,
+            "--finite" => o.finite = true,
+            "--unrestricted" => o.unrestricted = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn parse_lang(s: Option<&str>) -> Result<Language, String> {
+    match s.unwrap_or("Lu") {
+        "L" | "l" => Ok(Language::L),
+        "Lu" | "lu" | "L_u" => Ok(Language::Lu),
+        "Lid" | "lid" | "L_id" => Ok(Language::Lid),
+        other => Err(format!("unknown language {other:?} (expected L, Lu or Lid)")),
+    }
+}
+
+/// Builds the `DTD^C` from `--dtd/--root/--sigma/--lang`, or from a parsed
+/// document's internal subset when `--dtd` is absent. When `checked` is
+/// false the set-level well-formedness of `Σ` is skipped (implication
+/// accepts arbitrary constraint sets; side conditions are derived).
+fn load_dtdc(o: &Opts, doc_dtd: Option<&DtdStructure>, checked: bool) -> Result<DtdC, String> {
+    let structure = match (&o.dtd, doc_dtd) {
+        (Some(path), _) => {
+            let root = o
+                .root
+                .as_deref()
+                .ok_or("--dtd requires --root <element>")?;
+            parse_dtd(&read(path)?, root).map_err(|e| e.to_string())?
+        }
+        (None, Some(d)) => d.clone(),
+        (None, None) => {
+            return Err("no DTD: pass --dtd FILE --root NAME, or use a document with an internal <!DOCTYPE> subset".into())
+        }
+    };
+    let lang = parse_lang(o.lang.as_deref())?;
+    let sigma_src = match &o.sigma {
+        Some(path) => read(path)?,
+        None => String::new(),
+    };
+    if checked {
+        DtdC::parse(structure, lang, &sigma_src)
+    } else {
+        let sigma = Constraint::parse_set(&sigma_src, &structure, lang)
+            .map_err(|e| e.to_string())?;
+        Ok(DtdC::new_unchecked(structure, lang, sigma))
+    }
+}
+
+/// Runs the CLI. Returns the process exit code; human-readable output goes
+/// to `out`.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match run_inner(args, out) {
+        Ok(code) => code,
+        Err(msg) => {
+            let _ = writeln!(out, "error: {msg}");
+            let _ = writeln!(out, "{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
+  xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
+               [--emit-countermodel FILE] CONSTRAINT
+  xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
+  xic render   <doc.xml>
+  xic xsd      --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid";
+
+fn run_inner(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let o = parse_opts(rest)?;
+    match cmd.as_str() {
+        "validate" => cmd_validate(&o, out),
+        "implies" => cmd_implies(&o, out),
+        "path" => cmd_path(&o, out),
+        "render" => cmd_render(&o, out),
+        "xsd" => cmd_xsd(&o, out),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let [doc_path] = o.positional.as_slice() else {
+        return Err("validate takes exactly one document".into());
+    };
+    let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
+    let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
+    let options = if o.lenient {
+        Options::lenient()
+    } else {
+        Options::default()
+    };
+    let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+    let report = validator.validate(&doc.tree);
+    let _ = write!(out, "{report}");
+    Ok(if report.is_valid() { 0 } else { 1 })
+}
+
+fn cmd_implies(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let [phi_src] = o.positional.as_slice() else {
+        return Err("implies takes exactly one constraint".into());
+    };
+    if o.finite && o.unrestricted {
+        return Err("pick one of --finite / --unrestricted".into());
+    }
+    let dtdc = load_dtdc(o, None, false)?;
+    let lang = dtdc.language();
+    let phi = Constraint::parse(phi_src, dtdc.structure(), lang)
+        .map_err(|e| e.to_string())?;
+    let (implied, detail) = match lang {
+        Language::Lid => {
+            let solver = LidSolver::new(dtdc.constraints(), Some(dtdc.structure()));
+            let v = solver.implies_with(&phi, Some(dtdc.structure()));
+            describe(&v, solver.sigma(), Some(dtdc.structure()))
+        }
+        Language::Lu => {
+            let solver = LuSolver::new(dtdc.constraints()).map_err(|e| e.to_string())?;
+            let mode = if o.unrestricted {
+                Mode::Unrestricted
+            } else {
+                Mode::Finite
+            };
+            let v = solver.implies(&phi, mode).map_err(|e| e.to_string())?;
+            describe(&v, dtdc.constraints(), None)
+        }
+        Language::L => {
+            let solver = LpSolver::new(dtdc.constraints()).map_err(|e| e.to_string())?;
+            let v = solver.implies(&phi);
+            describe(&v, dtdc.constraints(), None)
+        }
+    };
+    let problem = if lang == Language::Lu && o.unrestricted {
+        "Σ ⊨"
+    } else {
+        "Σ ⊨f"
+    };
+    let _ = writeln!(
+        out,
+        "{problem} {phi} ?  {}",
+        if implied { "yes" } else { "no" }
+    );
+    out.push_str(&detail.text);
+    if let (Some(path), Some(model)) = (&o.emit_countermodel, &detail.countermodel) {
+        let (structure, tree) = xic::implication::semantics::instance_to_tree(model);
+        let xml = format!(
+            "<!DOCTYPE {} [\n{}]>\n{}",
+            structure.root(),
+            serialize_dtd(&structure),
+            serialize_document(&tree)
+        );
+        std::fs::write(path, xml).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "countermodel written to {path}");
+    }
+    Ok(if implied { 0 } else { 1 })
+}
+
+/// Human-readable detail of a verdict plus the raw countermodel, if any.
+struct Detail {
+    text: String,
+    countermodel: Option<Instance>,
+}
+
+fn describe(
+    v: &Verdict,
+    sigma: &[Constraint],
+    structure: Option<&DtdStructure>,
+) -> (bool, Detail) {
+    let mut s = String::new();
+    match v {
+        Verdict::Implied(proof) => {
+            proof
+                .verify(sigma, structure)
+                .expect("solver proofs verify");
+            let _ = writeln!(s, "derivation (verified):");
+            for line in proof.to_string().lines() {
+                let _ = writeln!(s, "  {line}");
+            }
+            (true, Detail { text: s, countermodel: None })
+        }
+        Verdict::NotImplied(Some(m)) => {
+            let _ = writeln!(s, "countermodel:");
+            for line in m.to_string().lines() {
+                let _ = writeln!(s, "  {line}");
+            }
+            (false, Detail { text: s, countermodel: Some(m.clone()) })
+        }
+        Verdict::NotImplied(None) => (false, Detail { text: s, countermodel: None }),
+    }
+}
+
+fn cmd_path(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let [phi_src] = o.positional.as_slice() else {
+        return Err("path takes exactly one path constraint".into());
+    };
+    let mut o2 = Opts {
+        lang: Some("Lid".into()),
+        ..Opts::default()
+    };
+    o2.dtd.clone_from(&o.dtd);
+    o2.root.clone_from(&o.root);
+    o2.sigma.clone_from(&o.sigma);
+    let dtdc = load_dtdc(&o2, None, false)?;
+    let phi = PathConstraint::parse(phi_src).map_err(|e| e.to_string())?;
+    let solver = PathSolver::new(&dtdc);
+    let implied = solver.implied(&phi);
+    let _ = writeln!(out, "Σ ⊨ {phi} ?  {}", if implied { "yes" } else { "no" });
+    Ok(if implied { 0 } else { 1 })
+}
+
+/// Exports Σ as XML Schema identity constraints (xs:key / xs:keyref),
+/// listing the forms XML Schema cannot express.
+fn cmd_xsd(o: &Opts, out: &mut String) -> Result<i32, String> {
+    if !o.positional.is_empty() {
+        return Err("xsd takes no positional arguments".into());
+    }
+    let dtdc = load_dtdc(o, None, false)?;
+    let export = constraints_to_xsd(&dtdc);
+    out.push_str(&export.xml);
+    if !export.unsupported.is_empty() {
+        let _ = writeln!(out, "<!-- not expressible as identity constraints: -->");
+        for c in &export.unsupported {
+            let _ = writeln!(out, "<!--   {c} -->");
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_render(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let [doc_path] = o.positional.as_slice() else {
+        return Err("render takes exactly one document".into());
+    };
+    let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
+    out.push_str(&render_tree(&doc.tree, &RenderOptions::default()));
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xic-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    fn call(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out);
+        (code, out)
+    }
+
+    const BOOK_DTD: &str = "\
+<!ELEMENT book (entry, author*, section*, ref)>
+<!ELEMENT entry (title, publisher)>
+<!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+<!ELEMENT author (#PCDATA)> <!ELEMENT text (#PCDATA)>
+<!ELEMENT section (title, (text | section)*)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST entry isbn CDATA #REQUIRED>
+<!ATTLIST section sid CDATA #REQUIRED>
+<!ATTLIST ref to NMTOKENS #IMPLIED>";
+
+    const BOOK_SIGMA: &str = "\
+entry.isbn -> entry
+section.sid -> section
+ref.to <=s entry.isbn";
+
+    const GOOD_DOC: &str = r#"<book>
+  <entry isbn="x1"><title>T</title><publisher>P</publisher></entry>
+  <author>A</author>
+  <ref to="x1"/>
+</book>"#;
+
+    #[test]
+    fn validate_good_and_bad_documents() {
+        let dtd = tmp("book.dtd", BOOK_DTD);
+        let sigma = tmp("book.sigma", BOOK_SIGMA);
+        let good = tmp("good.xml", GOOD_DOC);
+        let (code, out) = call(&[
+            "validate",
+            good.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lu",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("valid"));
+
+        let bad = tmp(
+            "bad.xml",
+            r#"<book>
+  <entry isbn="x1"><title>T</title><publisher>P</publisher></entry>
+  <ref to="dangling"/>
+</book>"#,
+        );
+        let (code, out) = call(&[
+            "validate",
+            bad.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("dangling"));
+    }
+
+    #[test]
+    fn validate_uses_internal_doctype() {
+        let doc = tmp(
+            "withdtd.xml",
+            &format!("<!DOCTYPE book [\n{BOOK_DTD}\n]>\n{GOOD_DOC}"),
+        );
+        let (code, out) = call(&["validate", doc.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn implies_prints_verified_derivations() {
+        let dtd = tmp("book2.dtd", BOOK_DTD);
+        let sigma = tmp("book2.sigma", "ref.to <=s entry.isbn");
+        // SFK-K: the target of the set-valued FK is a key.
+        let (code, out) = call(&[
+            "implies",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lu",
+            "entry.isbn -> entry",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("yes"));
+        assert!(out.contains("SFK-K"), "{out}");
+
+        let (code, out) = call(&[
+            "implies",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lu",
+            "book.isbn -> book",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("no"));
+    }
+
+    #[test]
+    fn path_constraints_decide() {
+        let dtd = tmp("book3.dtd", BOOK_DTD);
+        let sigma = tmp("book3.sigma", BOOK_SIGMA);
+        let (code, out) = call(&[
+            "path",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "book.entry.isbn -> book.author",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let (code, _) = call(&[
+            "path",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "book.section.sid -> book.author",
+        ]);
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn render_outputs_figure2_style() {
+        let doc = tmp("render.xml", GOOD_DOC);
+        let (code, out) = call(&["render", doc.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("book"));
+        assert!(out.contains("@isbn = \"x1\""));
+    }
+
+    #[test]
+    fn emit_countermodel_writes_parseable_xml() {
+        let dtd = tmp("book4.dtd", BOOK_DTD);
+        let sigma = tmp("book4.sigma", BOOK_SIGMA);
+        let model_path = std::env::temp_dir()
+            .join("xic-cli-tests")
+            .join("countermodel.xml");
+        let _ = std::fs::remove_file(&model_path);
+        let (code, out) = call(&[
+            "implies",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lu",
+            "--emit-countermodel",
+            model_path.to_str().unwrap(),
+            "author.text -> author",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("countermodel written"), "{out}");
+        let xml = std::fs::read_to_string(&model_path).unwrap();
+        let doc = parse_document(&xml).unwrap();
+        assert!(doc.tree.len() > 1, "{xml}");
+    }
+
+    #[test]
+    fn xsd_exports_identity_constraints() {
+        let dtd = tmp("book5.dtd", BOOK_DTD);
+        let sigma = tmp("book5.sigma", BOOK_SIGMA);
+        let (code, out) = call(&[
+            "xsd",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lu",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("<xs:key name=\"key_entry_isbn\">"), "{out}");
+        assert!(out.contains("not expressible"), "{out}");
+        assert!(out.contains("ref.@to <=s entry.@isbn"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        for args in [
+            &[] as &[&str],
+            &["frobnicate"],
+            &["validate"],
+            &["validate", "a.xml", "--dtd"],
+            &["implies", "x -> y"],
+            &["validate", "a.xml", "--bogus"],
+        ] {
+            let (code, out) = call(args);
+            assert_eq!(code, 2, "{args:?}: {out}");
+            assert!(out.contains("usage:"), "{args:?}");
+        }
+    }
+
+    #[test]
+    fn lid_implies_with_countermodel() {
+        let dtd = tmp(
+            "company.dtd",
+            "<!ELEMENT db (person*, dept*)>
+             <!ELEMENT person (name, address)>
+             <!ELEMENT name (#PCDATA)> <!ELEMENT address (#PCDATA)>
+             <!ELEMENT dname (#PCDATA)> <!ELEMENT dept (dname)>
+             <!ATTLIST person oid ID #REQUIRED in_dept IDREFS #IMPLIED>
+             <!ATTLIST dept oid ID #REQUIRED manager IDREF #REQUIRED
+                            has_staff IDREFS #IMPLIED>",
+        );
+        let sigma = tmp(
+            "company.sigma",
+            "person.oid ->id person\ndept.oid ->id dept\ndept.has_staff <=> person.in_dept",
+        );
+        let (code, out) = call(&[
+            "implies",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "db",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lid",
+            "person.in_dept <=s dept.oid",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Inv-SFK-ID"), "{out}");
+
+        let (code, out) = call(&[
+            "implies",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "db",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--lang",
+            "Lid",
+            "person.name -> person",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("countermodel"), "{out}");
+    }
+}

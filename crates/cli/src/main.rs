@@ -1,0 +1,9 @@
+//! The `xic` binary: forwards `std::env::args` to [`xic_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = xic_cli::run(&args, &mut out);
+    print!("{out}");
+    std::process::exit(code);
+}

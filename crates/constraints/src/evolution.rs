@@ -1,0 +1,230 @@
+//! Schema evolution: when does a new DTD structure accept every document
+//! of an old one?
+//!
+//! The paper's closing discussion points at data integration — "how
+//! constraints propagate through integration programs, and how they can
+//! help in verifying their correctness". The structural half of that
+//! question is decidable with the machinery already in hand: content-model
+//! *language containment* per element type plus attribute-surface checks.
+//! [`DtdStructure::evolution_incompatibilities`] reports every reason a
+//! document valid against `old` (under strict Definition 2.4 attribute
+//! semantics) could be rejected by `self`.
+
+use std::fmt;
+
+use crate::structure::{AttrType, DtdStructure};
+
+/// One reason the new structure can reject an old-valid document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Incompatibility {
+    /// The root element type changed.
+    RootChanged {
+        /// Old root.
+        old: String,
+        /// New root.
+        new: String,
+    },
+    /// An element type of the old structure is gone.
+    ElementRemoved(String),
+    /// The new content model does not accept every old word.
+    ContentNarrowed {
+        /// The element type.
+        elem: String,
+        /// Old content model (printed).
+        old: String,
+        /// New content model (printed).
+        new: String,
+    },
+    /// An old attribute is no longer declared (old documents carry it:
+    /// `UndeclaredAttribute`).
+    AttributeRemoved {
+        /// The element type.
+        elem: String,
+        /// The attribute.
+        attr: String,
+    },
+    /// A new attribute was added (old documents lack it: strict
+    /// Definition 2.4 requires declared attributes to be present).
+    AttributeAdded {
+        /// The element type.
+        elem: String,
+        /// The attribute.
+        attr: String,
+    },
+    /// A set-valued attribute became single-valued (old sets may have
+    /// cardinality ≠ 1).
+    AttributeNarrowed {
+        /// The element type.
+        elem: String,
+        /// The attribute.
+        attr: String,
+    },
+}
+
+impl fmt::Display for Incompatibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incompatibility::RootChanged { old, new } => {
+                write!(f, "root changed: {old} → {new}")
+            }
+            Incompatibility::ElementRemoved(e) => write!(f, "element type {e} removed"),
+            Incompatibility::ContentNarrowed { elem, old, new } => {
+                write!(f, "P({elem}) narrowed: {old} ⊄ {new}")
+            }
+            Incompatibility::AttributeRemoved { elem, attr } => {
+                write!(f, "attribute {elem}.{attr} removed")
+            }
+            Incompatibility::AttributeAdded { elem, attr } => {
+                write!(f, "attribute {elem}.{attr} added (strict documents lack it)")
+            }
+            Incompatibility::AttributeNarrowed { elem, attr } => {
+                write!(f, "attribute {elem}.{attr} narrowed from S* to S")
+            }
+        }
+    }
+}
+
+impl DtdStructure {
+    /// Reports every reason a document that is structurally valid against
+    /// `old` (strict attribute mode) could be structurally invalid against
+    /// `self`. Empty ⇒ `self` is a compatible evolution of `old`.
+    ///
+    /// ```
+    /// use xic_constraints::DtdStructure;
+    /// let old = DtdStructure::builder("book")
+    ///     .elem("book", "(title, author)")
+    ///     .elem("title", "S").elem("author", "S")
+    ///     .build().unwrap();
+    /// let new = DtdStructure::builder("book")
+    ///     .elem("book", "(title, author, author*)")
+    ///     .elem("title", "S").elem("author", "S")
+    ///     .build().unwrap();
+    /// assert!(new.evolution_incompatibilities(&old).is_empty());
+    /// assert!(!old.evolution_incompatibilities(&new).is_empty());
+    /// ```
+    pub fn evolution_incompatibilities(&self, old: &DtdStructure) -> Vec<Incompatibility> {
+        let mut out = Vec::new();
+        if self.root() != old.root() {
+            out.push(Incompatibility::RootChanged {
+                old: old.root().to_string(),
+                new: self.root().to_string(),
+            });
+        }
+        for tau in old.element_types() {
+            let old_model = old.content_model(tau).expect("declared");
+            let Some(new_model) = self.content_model(tau) else {
+                out.push(Incompatibility::ElementRemoved(tau.to_string()));
+                continue;
+            };
+            if !new_model.contains(old_model) {
+                out.push(Incompatibility::ContentNarrowed {
+                    elem: tau.to_string(),
+                    old: old_model.to_string(),
+                    new: new_model.to_string(),
+                });
+            }
+            for (l, old_ty) in old.attributes(tau) {
+                match self.attr_type(tau, l) {
+                    None => out.push(Incompatibility::AttributeRemoved {
+                        elem: tau.to_string(),
+                        attr: l.to_string(),
+                    }),
+                    Some(AttrType::Single) if old_ty == AttrType::SetValued => {
+                        out.push(Incompatibility::AttributeNarrowed {
+                            elem: tau.to_string(),
+                            attr: l.to_string(),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            for (l, _) in self.attributes(tau) {
+                if old.attr_type(tau, l).is_none() {
+                    out.push(Incompatibility::AttributeAdded {
+                        elem: tau.to_string(),
+                        attr: l.to_string(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::book_structure;
+
+    #[test]
+    fn identity_is_compatible() {
+        let s = book_structure();
+        assert!(s.evolution_incompatibilities(&s).is_empty());
+    }
+
+    #[test]
+    fn widening_is_compatible_narrowing_is_not() {
+        let old = book_structure();
+        // Widen: allow extra refs.
+        let new = DtdStructure::builder("book")
+            .elem("book", "(entry, author*, section*, ref, ref*)")
+            .elem("entry", "(title, publisher)")
+            .elem("author", "S")
+            .elem("title", "S")
+            .elem("publisher", "S")
+            .elem("text", "S")
+            .elem("section", "(title, (text + section)*)")
+            .elem("ref", "EMPTY")
+            .attr("entry", "isbn", "S")
+            .attr("section", "sid", "S")
+            .attr("ref", "to", "S*")
+            .build()
+            .unwrap();
+        assert!(new.evolution_incompatibilities(&old).is_empty());
+        let back = old.evolution_incompatibilities(&new);
+        assert!(back
+            .iter()
+            .any(|i| matches!(i, Incompatibility::ContentNarrowed { .. })), "{back:?}");
+    }
+
+    #[test]
+    fn attribute_changes_reported() {
+        let old = DtdStructure::builder("a")
+            .elem("a", "S")
+            .attr("a", "x", "S")
+            .attr("a", "y", "S*")
+            .build()
+            .unwrap();
+        let new = DtdStructure::builder("a")
+            .elem("a", "S")
+            .attr("a", "y", "S") // narrowed; x removed
+            .attr("a", "z", "S") // added
+            .build()
+            .unwrap();
+        let inc = new.evolution_incompatibilities(&old);
+        assert!(inc.iter().any(|i| matches!(i, Incompatibility::AttributeRemoved { .. })));
+        assert!(inc.iter().any(|i| matches!(i, Incompatibility::AttributeNarrowed { .. })));
+        assert!(inc.iter().any(|i| matches!(i, Incompatibility::AttributeAdded { .. })));
+        assert_eq!(inc.len(), 3, "{inc:?}");
+        for i in &inc {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn root_change_and_removal_reported() {
+        let old = DtdStructure::builder("a")
+            .elem("a", "b*")
+            .elem("b", "S")
+            .build()
+            .unwrap();
+        let new = DtdStructure::builder("c").elem("c", "S").build().unwrap();
+        let inc = new.evolution_incompatibilities(&old);
+        assert!(inc.iter().any(|i| matches!(i, Incompatibility::RootChanged { .. })));
+        assert!(inc
+            .iter()
+            .filter(|i| matches!(i, Incompatibility::ElementRemoved(_)))
+            .count()
+            == 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # xic-constraints — DTD structures and the languages `L`, `L_u`, `L_id`
+//!
+//! This crate implements Section 2 of Fan & Siméon, *Integrity Constraints
+//! for XML* (PODS 2000):
+//!
+//! * [`DtdStructure`] — the structural half of a DTD,
+//!   `S = (E, P, R, kind, r)` (Definition 2.2): element types, element type
+//!   definitions as content-model regular expressions, attribute type
+//!   definitions (`S` or `S*`), the `kind` function marking `ID`/`IDREF`
+//!   attributes, and the root type;
+//! * [`Constraint`] — the basic XML constraints of the three languages:
+//!   - **`L`**: multi-attribute keys `τ[X] → τ` and foreign keys
+//!     `τ[X] ⊆ τ'[Y]`;
+//!   - **`L_u`**: unary keys/foreign keys, set-valued foreign keys
+//!     `τ.l ⊆_S τ'.l'`, and inverse constraints
+//!     `τ(l_k).l ⇌ τ'(l'_k).l'`;
+//!   - **`L_id`**: ID constraints `τ.id →_id τ`, unary keys, (set-valued)
+//!     foreign keys into ID attributes, and inverse constraints
+//!     `τ.l ⇌ τ'.l'`;
+//! * [`Field`] — a key/foreign-key component, either an attribute or (per
+//!   §3.4) a *unique sub-element*;
+//! * [`DtdC`] — a DTD with constraints, `D = (S, Σ)` (Definition 2.3), with
+//!   full well-formedness checking of `Σ` against `S`;
+//! * a textual syntax for constraints ([`Constraint::parse`]) mirroring the
+//!   paper's notation in ASCII (`->`, `->id`, `<=`, `<=s`, `<=>`);
+//! * [`examples`] — the paper's three running examples (the `book`
+//!   document, the person/dept object database, the publishers/editors
+//!   relational database) as ready-made `DtdC` values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod dtdc;
+mod evolution;
+pub mod examples;
+mod structure;
+mod syntax;
+
+pub use constraint::{Constraint, Field, Language};
+pub use dtdc::{DtdC, WfError};
+pub use evolution::Incompatibility;
+pub use structure::{AttrKind, AttrType, DtdStructure, StructureError};
+pub use syntax::SyntaxError;

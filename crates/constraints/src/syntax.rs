@@ -1,0 +1,650 @@
+//! Textual syntax for basic XML constraints.
+//!
+//! ASCII rendering of the paper's notation:
+//!
+//! ```text
+//! entry.isbn -> entry                              unary key
+//! publisher[pname, country] -> publisher           multi-attribute key (L)
+//! editor[pname, country] <= publisher[pname, country]   foreign key (L)
+//! ref.to <=s entry.isbn                            set-valued foreign key (L_u)
+//! a(k).r <=> b(k2).r2                              inverse (L_u)
+//! person.oid ->id person                           ID constraint (L_id)
+//! dept.manager <= person.oid                       foreign key into IDs (L_id)
+//! dept.has_staff <=s person.oid                    set-valued FK into IDs (L_id)
+//! dept.has_staff <=> person.in_dept                inverse (L_id)
+//! ```
+//!
+//! Field names resolve against the [`DtdStructure`]: a name declared as an
+//! attribute of the element type parses as an attribute field; otherwise it
+//! parses as a sub-element field (§3.4). An explicit `@` sigil forces the
+//! attribute reading. In `L_id` syntax, the right-hand side of `<=`/`<=s`
+//! may be written `τ'.id` or with the ID attribute's concrete name.
+
+use std::fmt;
+
+use xic_model::Name;
+
+use crate::constraint::{Constraint, Field, Language};
+use crate::structure::DtdStructure;
+
+/// Constraint syntax error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SyntaxError {
+    fn new(msg: impl Into<String>) -> Self {
+        SyntaxError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint syntax error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    At,
+    Dot,
+    Comma,
+    LBrack,
+    RBrack,
+    LParen,
+    RParen,
+    Arrow,    // ->
+    ArrowId,  // ->id
+    Sub,      // <=
+    SubS,     // <=s
+    Inv,      // <=>
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, SyntaxError> {
+    let mut toks = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '@' => {
+                toks.push(Tok::At);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBrack);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBrack);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '-' => {
+                if src[i..].starts_with("->id") {
+                    toks.push(Tok::ArrowId);
+                    i += 4;
+                } else if src[i..].starts_with("->") {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(SyntaxError::new(format!("stray '-' at byte {i}")));
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<=>") {
+                    toks.push(Tok::Inv);
+                    i += 3;
+                } else if src[i..].starts_with("<=s")
+                    && !src[i + 3..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    // "<=s" only when it is not the start of a name after
+                    // "<=" (so "a.x <=start.y" still parses as "<=", name).
+                    toks.push(Tok::SubS);
+                    i += 3;
+                } else if src[i..].starts_with("<=") {
+                    toks.push(Tok::Sub);
+                    i += 2;
+                } else {
+                    return Err(SyntaxError::new(format!("stray '<' at byte {i}")));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() {
+                    let c = b[i] as char;
+                    if c.is_alphanumeric() || matches!(c, '_' | '-') && !src[i..].starts_with("->")
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Name(src[start..i].to_string()));
+            }
+            other => return Err(SyntaxError::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// One side of a constraint as parsed, before form resolution.
+#[derive(Debug)]
+struct Side {
+    tau: Name,
+    /// The key named in parentheses for the `L_u` inverse form.
+    paren_key: Option<RawField>,
+    fields: Vec<RawField>,
+}
+
+#[derive(Debug, Clone)]
+struct RawField {
+    name: Name,
+    forced_attr: bool,
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_name(&mut self) -> Result<Name, SyntaxError> {
+        match self.next() {
+            Some(Tok::Name(n)) => Ok(Name::new(n)),
+            other => Err(SyntaxError::new(format!("expected name, got {other:?}"))),
+        }
+    }
+
+    fn raw_field(&mut self) -> Result<RawField, SyntaxError> {
+        let forced_attr = if self.peek() == Some(&Tok::At) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        Ok(RawField {
+            name: self.expect_name()?,
+            forced_attr,
+        })
+    }
+
+    fn side(&mut self) -> Result<Side, SyntaxError> {
+        let tau = self.expect_name()?;
+        let mut paren_key = None;
+        if self.peek() == Some(&Tok::LParen) {
+            self.next();
+            paren_key = Some(self.raw_field()?);
+            if self.next() != Some(Tok::RParen) {
+                return Err(SyntaxError::new("expected ')'"));
+            }
+        }
+        let fields = match self.next() {
+            Some(Tok::Dot) => vec![self.raw_field()?],
+            Some(Tok::LBrack) => {
+                let mut fs = vec![self.raw_field()?];
+                loop {
+                    match self.next() {
+                        Some(Tok::Comma) => fs.push(self.raw_field()?),
+                        Some(Tok::RBrack) => break,
+                        other => {
+                            return Err(SyntaxError::new(format!(
+                                "expected ',' or ']', got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                fs
+            }
+            other => {
+                return Err(SyntaxError::new(format!(
+                    "expected '.' or '[', got {other:?}"
+                )))
+            }
+        };
+        Ok(Side {
+            tau,
+            paren_key,
+            fields,
+        })
+    }
+}
+
+/// Resolves a raw field name against the structure: declared attribute ⇒
+/// attribute field, else sub-element field.
+fn resolve_field(s: &DtdStructure, tau: &Name, raw: &RawField) -> Field {
+    if raw.forced_attr || s.attr_type(tau, &raw.name).is_some() {
+        Field::Attr(raw.name.clone())
+    } else {
+        Field::Sub(raw.name.clone())
+    }
+}
+
+/// True iff `raw` names the ID attribute of `tau` (either literally `id` or
+/// by the attribute's concrete name).
+fn is_id_ref(s: &DtdStructure, tau: &Name, raw: &RawField) -> bool {
+    raw.name.as_str() == "id" || s.id_attr(tau) == Some(&raw.name)
+}
+
+impl Constraint {
+    /// Parses the textual constraint syntax, resolving field names against
+    /// `structure` and choosing `L_id` reference forms when `lang` is
+    /// [`Language::Lid`].
+    ///
+    /// ```
+    /// use xic_constraints::{Constraint, DtdStructure, Language};
+    /// let s = DtdStructure::builder("book")
+    ///     .elem("book", "(entry, ref)")
+    ///     .elem("entry", "S").elem("ref", "EMPTY")
+    ///     .attr("entry", "isbn", "S")
+    ///     .attr("ref", "to", "S*")
+    ///     .build().unwrap();
+    /// let k = Constraint::parse("entry.isbn -> entry", &s, Language::Lu).unwrap();
+    /// assert_eq!(k, Constraint::unary_key("entry", "isbn"));
+    /// let f = Constraint::parse("ref.to <=s entry.isbn", &s, Language::Lu).unwrap();
+    /// assert_eq!(f, Constraint::set_fk("ref", "to", "entry", "isbn"));
+    /// ```
+    pub fn parse(
+        src: &str,
+        structure: &DtdStructure,
+        lang: Language,
+    ) -> Result<Constraint, SyntaxError> {
+        let mut p = P {
+            toks: tokenize(src)?,
+            pos: 0,
+        };
+        let lhs = p.side()?;
+        let op = p
+            .next()
+            .ok_or_else(|| SyntaxError::new("expected '->', '->id', '<=', '<=s' or '<=>'"))?;
+        let c = match op {
+            Tok::Arrow => {
+                let t = p.expect_name()?;
+                if t != lhs.tau {
+                    return Err(SyntaxError::new(format!(
+                        "key constraint must repeat the element type: {} vs {t}",
+                        lhs.tau
+                    )));
+                }
+                let mut fields: Vec<Field> = lhs
+                    .fields
+                    .iter()
+                    .map(|r| resolve_field(structure, &lhs.tau, r))
+                    .collect();
+                fields.sort();
+                fields.dedup();
+                Constraint::Key { tau: lhs.tau, fields }
+            }
+            Tok::ArrowId => {
+                let t = p.expect_name()?;
+                if t != lhs.tau {
+                    return Err(SyntaxError::new(
+                        "ID constraint must repeat the element type",
+                    ));
+                }
+                if lhs.fields.len() != 1 || !is_id_ref(structure, &lhs.tau, &lhs.fields[0]) {
+                    return Err(SyntaxError::new(format!(
+                        "'->id' requires the ID attribute of {} on the left",
+                        lhs.tau
+                    )));
+                }
+                Constraint::Id { tau: lhs.tau }
+            }
+            Tok::Sub | Tok::SubS => {
+                let rhs = p.side()?;
+                let set = op == Tok::SubS;
+                if lang == Language::Lid
+                    && rhs.fields.len() == 1
+                    && is_id_ref(structure, &rhs.tau, &rhs.fields[0])
+                {
+                    if lhs.fields.len() != 1 {
+                        return Err(SyntaxError::new("L_id foreign keys are unary"));
+                    }
+                    let attr = lhs.fields[0].name.clone();
+                    if set {
+                        Constraint::SetFkToId {
+                            tau: lhs.tau,
+                            attr,
+                            target: rhs.tau,
+                        }
+                    } else {
+                        Constraint::FkToId {
+                            tau: lhs.tau,
+                            attr,
+                            target: rhs.tau,
+                        }
+                    }
+                } else if set {
+                    if lhs.fields.len() != 1 || rhs.fields.len() != 1 {
+                        return Err(SyntaxError::new("'<=s' takes single fields on both sides"));
+                    }
+                    Constraint::SetForeignKey {
+                        tau: lhs.tau.clone(),
+                        attr: lhs.fields[0].name.clone(),
+                        target: rhs.tau.clone(),
+                        target_field: resolve_field(structure, &rhs.tau, &rhs.fields[0]),
+                    }
+                } else {
+                    if lhs.fields.len() != rhs.fields.len() {
+                        return Err(SyntaxError::new(
+                            "foreign key sides must have the same length",
+                        ));
+                    }
+                    Constraint::ForeignKey {
+                        tau: lhs.tau.clone(),
+                        fields: lhs
+                            .fields
+                            .iter()
+                            .map(|r| resolve_field(structure, &lhs.tau, r))
+                            .collect(),
+                        target: rhs.tau.clone(),
+                        target_fields: rhs
+                            .fields
+                            .iter()
+                            .map(|r| resolve_field(structure, &rhs.tau, r))
+                            .collect(),
+                    }
+                }
+            }
+            Tok::Inv => {
+                let rhs = p.side()?;
+                if lhs.fields.len() != 1 || rhs.fields.len() != 1 {
+                    return Err(SyntaxError::new("'<=>' takes single attributes"));
+                }
+                match (&lhs.paren_key, &rhs.paren_key) {
+                    (Some(k1), Some(k2)) => Constraint::InverseU {
+                        tau: lhs.tau.clone(),
+                        key: resolve_field(structure, &lhs.tau, k1),
+                        attr: lhs.fields[0].name.clone(),
+                        target: rhs.tau.clone(),
+                        target_key: resolve_field(structure, &rhs.tau, k2),
+                        target_attr: rhs.fields[0].name.clone(),
+                    },
+                    (None, None) => Constraint::InverseId {
+                        tau: lhs.tau,
+                        attr: lhs.fields[0].name.clone(),
+                        target: rhs.tau,
+                        target_attr: rhs.fields[0].name.clone(),
+                    },
+                    _ => {
+                        return Err(SyntaxError::new(
+                            "inverse constraints name keys on both sides or neither",
+                        ))
+                    }
+                }
+            }
+            other => return Err(SyntaxError::new(format!("unexpected {other:?}"))),
+        };
+        if p.peek().is_some() {
+            return Err(SyntaxError::new("trailing input"));
+        }
+        Ok(c)
+    }
+
+    /// Parses a whitespace/newline-separated list of constraints; lines
+    /// starting with `#` are comments.
+    pub fn parse_set(
+        src: &str,
+        structure: &DtdStructure,
+        lang: Language,
+    ) -> Result<Vec<Constraint>, SyntaxError> {
+        src.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| Constraint::parse(l, structure, lang))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book() -> DtdStructure {
+        DtdStructure::builder("book")
+            .elem("book", "(entry, author*, section*, ref)")
+            .elem("entry", "(title, publisher)")
+            .elem("author", "S")
+            .elem("title", "S")
+            .elem("publisher", "S")
+            .elem("text", "S")
+            .elem("section", "(title, (text + section)*)")
+            .elem("ref", "EMPTY")
+            .attr("entry", "isbn", "S")
+            .attr("section", "sid", "S")
+            .attr("ref", "to", "S*")
+            .build()
+            .unwrap()
+    }
+
+    fn company() -> DtdStructure {
+        DtdStructure::builder("db")
+            .elem("db", "(person*, dept*)")
+            .elem("person", "(name, address)")
+            .elem("name", "S")
+            .elem("address", "S")
+            .elem("dname", "S")
+            .elem("dept", "dname")
+            .id_attr("person", "oid")
+            .idrefs_attr("person", "in_dept")
+            .id_attr("dept", "oid")
+            .idref_attr("dept", "manager")
+            .idrefs_attr("dept", "has_staff")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_book_constraints() {
+        let s = book();
+        let sigma = Constraint::parse_set(
+            "# Sigma for the book DTD (L_u)\n\
+             entry.isbn -> entry\n\
+             section.sid -> section\n\
+             ref.to <=s entry.isbn\n",
+            &s,
+            Language::Lu,
+        )
+        .unwrap();
+        assert_eq!(
+            sigma,
+            vec![
+                Constraint::unary_key("entry", "isbn"),
+                Constraint::unary_key("section", "sid"),
+                Constraint::set_fk("ref", "to", "entry", "isbn"),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_company_lid_constraints() {
+        let s = company();
+        let sigma = Constraint::parse_set(
+            "person.oid ->id person\n\
+             dept.oid ->id dept\n\
+             person.name -> person\n\
+             dept.dname -> dept\n\
+             person.in_dept <=s dept.oid\n\
+             dept.manager <= person.oid\n\
+             dept.has_staff <=s person.oid\n\
+             dept.has_staff <=> person.in_dept\n",
+            &s,
+            Language::Lid,
+        )
+        .unwrap();
+        assert_eq!(sigma.len(), 8);
+        assert_eq!(sigma[0], Constraint::Id { tau: Name::new("person") });
+        // name / dname resolve to sub-element fields (not attributes).
+        assert_eq!(sigma[2], Constraint::sub_key("person", "name"));
+        assert_eq!(sigma[3], Constraint::sub_key("dept", "dname"));
+        assert!(matches!(sigma[4], Constraint::SetFkToId { .. }));
+        assert!(matches!(sigma[5], Constraint::FkToId { .. }));
+        assert!(matches!(sigma[7], Constraint::InverseId { .. }));
+    }
+
+    #[test]
+    fn parses_relational_l_constraints() {
+        let s = DtdStructure::builder("db")
+            .elem("db", "(publishers, editors)")
+            .elem("publishers", "publisher*")
+            .elem("publisher", "(pname, country, address)")
+            .elem("editors", "editor*")
+            .elem("editor", "(name, pname, country)")
+            .elem("pname", "S")
+            .elem("country", "S")
+            .elem("address", "S")
+            .elem("name", "S")
+            .attr("publisher", "pname", "S")
+            .attr("publisher", "country", "S")
+            .attr("editor", "pname", "S")
+            .attr("editor", "country", "S")
+            .attr("editor", "name", "S")
+            .build()
+            .unwrap();
+        let k = Constraint::parse("publisher[pname, country] -> publisher", &s, Language::L)
+            .unwrap();
+        assert_eq!(k, Constraint::key("publisher", ["pname", "country"]));
+        let fk = Constraint::parse(
+            "editor[pname, country] <= publisher[pname, country]",
+            &s,
+            Language::L,
+        )
+        .unwrap();
+        assert_eq!(
+            fk,
+            Constraint::fk("editor", ["pname", "country"], "publisher", ["pname", "country"])
+        );
+    }
+
+    #[test]
+    fn parses_inverse_u_with_keys() {
+        let s = DtdStructure::builder("db")
+            .elem("db", "(a*, b*)")
+            .elem("a", "EMPTY")
+            .elem("b", "EMPTY")
+            .attr("a", "k", "S")
+            .attr("a", "r", "S*")
+            .attr("b", "k2", "S")
+            .attr("b", "r2", "S*")
+            .build()
+            .unwrap();
+        let c = Constraint::parse("a(k).r <=> b(k2).r2", &s, Language::Lu).unwrap();
+        assert_eq!(
+            c,
+            Constraint::InverseU {
+                tau: Name::new("a"),
+                key: Field::attr("k"),
+                attr: Name::new("r"),
+                target: Name::new("b"),
+                target_key: Field::attr("k2"),
+                target_attr: Name::new("r2"),
+            }
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = company();
+        for src in [
+            "person.oid ->id person",
+            "dept.manager <= person.oid",
+            "dept.has_staff <=s person.oid",
+            "dept.has_staff <=> person.in_dept",
+            "person.name -> person",
+        ] {
+            let c = Constraint::parse(src, &s, Language::Lid).unwrap();
+            let printed = c.to_string();
+            let again = Constraint::parse(&printed, &s, Language::Lid).unwrap();
+            assert_eq!(c, again, "source {src}, printed {printed}");
+        }
+        let sb = book();
+        for src in ["entry.isbn -> entry", "ref.to <=s entry.isbn"] {
+            let c = Constraint::parse(src, &sb, Language::Lu).unwrap();
+            let again = Constraint::parse(&c.to_string(), &sb, Language::Lu).unwrap();
+            assert_eq!(c, again);
+        }
+    }
+
+    #[test]
+    fn lid_id_attr_by_concrete_name_or_literal() {
+        let s = company();
+        let a = Constraint::parse("dept.manager <= person.id", &s, Language::Lid).unwrap();
+        let b = Constraint::parse("dept.manager <= person.oid", &s, Language::Lid).unwrap();
+        assert_eq!(a, b);
+        // In Lu the same text parses as a plain unary FK.
+        let c = Constraint::parse("dept.manager <= person.oid", &s, Language::Lu).unwrap();
+        assert!(matches!(c, Constraint::ForeignKey { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let s = book();
+        for src in [
+            "",
+            "entry.isbn -> section",          // key must repeat type
+            "entry.isbn ->id entry",          // no ID attribute on entry
+            "ref.to <=s",                     // missing rhs
+            "entry[isbn <= entry[isbn]",      // bracket mismatch
+            "entry.isbn <= entry[isbn, sid]", // arity mismatch
+            "a(k).r <=> b.r2",                // mixed inverse forms
+            "entry.isbn -> entry extra",      // trailing input
+            "entry.isbn => entry",            // bad operator
+        ] {
+            assert!(
+                Constraint::parse(src, &s, Language::Lu).is_err(),
+                "should reject {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_sigil_forces_attribute() {
+        let s = company();
+        // `name` is a sub-element of person; `@name` forces the (undeclared)
+        // attribute reading, which is then caught at well-formedness time.
+        let c = Constraint::parse("person.@name -> person", &s, Language::Lid).unwrap();
+        assert_eq!(
+            c,
+            Constraint::Key {
+                tau: Name::new("person"),
+                fields: vec![Field::attr("name")]
+            }
+        );
+    }
+}

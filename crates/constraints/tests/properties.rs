@@ -1,0 +1,110 @@
+//! Property tests for the constraint syntax: arbitrary well-formed
+//! constraints round-trip through `Display` → `parse`, and well-formedness
+//! checking never panics on arbitrary constraint sets.
+
+use proptest::prelude::*;
+use xic_constraints::{examples, Constraint, DtdC, Field, Language};
+
+/// Arbitrary constraints over the company structure's vocabulary.
+fn constraint_strategy() -> impl Strategy<Value = (Constraint, Language)> {
+    let types = prop_oneof![Just("person"), Just("dept"), Just("db")];
+    let attrs = prop_oneof![
+        Just("oid"),
+        Just("manager"),
+        Just("in_dept"),
+        Just("has_staff")
+    ];
+    let subs = prop_oneof![Just("name"), Just("address"), Just("dname")];
+    let field = prop_oneof![
+        attrs.clone().prop_map(|a: &str| Field::attr(a)),
+        subs.prop_map(|s: &str| Field::sub(s)),
+    ];
+    prop_oneof![
+        // Unary keys — all three languages.
+        (types.clone(), field.clone()).prop_map(|(t, f)| (
+            Constraint::Key {
+                tau: t.into(),
+                fields: vec![f]
+            },
+            Language::Lid
+        )),
+        // Multi-attribute keys / FKs — language L.
+        (types.clone(), prop::collection::vec(field.clone(), 1..3)).prop_map(|(t, mut fs)| {
+            fs.sort();
+            fs.dedup();
+            (
+                Constraint::Key {
+                    tau: t.into(),
+                    fields: fs,
+                },
+                Language::L,
+            )
+        }),
+        // L_id reference forms.
+        (types.clone(), attrs.clone(), types.clone()).prop_map(|(t, a, u)| (
+            Constraint::FkToId {
+                tau: t.into(),
+                attr: a.into(),
+                target: u.into()
+            },
+            Language::Lid
+        )),
+        (types.clone(), attrs.clone(), types.clone()).prop_map(|(t, a, u)| (
+            Constraint::SetFkToId {
+                tau: t.into(),
+                attr: a.into(),
+                target: u.into()
+            },
+            Language::Lid
+        )),
+        (types.clone(), attrs.clone(), types.clone(), attrs.clone()).prop_map(
+            |(t, a, u, b)| (
+                Constraint::InverseId {
+                    tau: t.into(),
+                    attr: a.into(),
+                    target: u.into(),
+                    target_attr: b.into()
+                },
+                Language::Lid
+            )
+        ),
+        // Id constraints.
+        types.clone().prop_map(|t| (Constraint::Id { tau: t.into() }, Language::Lid)),
+        // L_u set-valued FK.
+        (types.clone(), attrs.clone(), types, field).prop_map(|(t, a, u, f)| (
+            Constraint::SetForeignKey {
+                tau: t.into(),
+                attr: a.into(),
+                target: u.into(),
+                target_field: f
+            },
+            Language::Lu
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_parse_round_trip((c, lang) in constraint_strategy()) {
+        let s = examples::company_structure();
+        let printed = c.to_string();
+        let parsed = Constraint::parse(&printed, &s, lang)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        // Display uses explicit @ sigils, so field resolution is exact and
+        // the round trip is the identity — except that the L_id `id`
+        // normalization may collapse ID-attribute spellings, which this
+        // vocabulary avoids.
+        prop_assert_eq!(parsed, c, "{}", printed);
+    }
+
+    #[test]
+    fn wf_checking_never_panics(cs in prop::collection::vec(constraint_strategy(), 0..6)) {
+        let s = examples::company_structure();
+        for lang in [Language::L, Language::Lu, Language::Lid] {
+            let sigma: Vec<Constraint> = cs.iter().map(|(c, _)| c.clone()).collect();
+            let _ = DtdC::new(s.clone(), lang, sigma);
+        }
+    }
+}

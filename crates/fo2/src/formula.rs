@@ -1,0 +1,233 @@
+//! A syntax and evaluator for two-variable first-order sentences, used to
+//! probe the Figure-1 pair: every `FO²` sentence must agree on `G` and
+//! `G'` (the game certifies this wholesale; the evaluator lets tests try
+//! concrete would-be distinguishers), while the three-variable key
+//! sentence separates them.
+
+use std::fmt;
+
+use crate::FoStructure;
+
+/// The two variables of `FO²`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Var {
+    /// The variable `x`.
+    X,
+    /// The variable `y`.
+    Y,
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::X => f.write_str("x"),
+            Var::Y => f.write_str("y"),
+        }
+    }
+}
+
+/// An `FO²` formula over binary relations and equality.
+#[derive(Clone, Debug)]
+pub enum Fo2 {
+    /// `r(v, w)`.
+    Rel(String, Var, Var),
+    /// `v = w`.
+    Eq(Var, Var),
+    /// Negation.
+    Not(Box<Fo2>),
+    /// Conjunction.
+    And(Box<Fo2>, Box<Fo2>),
+    /// Disjunction.
+    Or(Box<Fo2>, Box<Fo2>),
+    /// `∃v φ` (rebinds one of the two variables).
+    Exists(Var, Box<Fo2>),
+    /// `∀v φ`.
+    Forall(Var, Box<Fo2>),
+}
+
+impl Fo2 {
+    /// `r(v, w)`.
+    pub fn rel(r: impl Into<String>, v: Var, w: Var) -> Fo2 {
+        Fo2::Rel(r.into(), v, w)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)] // constructor mirroring ∃/∀/∧/∨
+    pub fn not(f: Fo2) -> Fo2 {
+        Fo2::Not(Box::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(a: Fo2, b: Fo2) -> Fo2 {
+        Fo2::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Fo2, b: Fo2) -> Fo2 {
+        Fo2::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Existential quantification.
+    pub fn exists(v: Var, f: Fo2) -> Fo2 {
+        Fo2::Exists(v, Box::new(f))
+    }
+
+    /// Universal quantification.
+    pub fn forall(v: Var, f: Fo2) -> Fo2 {
+        Fo2::Forall(v, Box::new(f))
+    }
+
+    /// Quantifier rank.
+    pub fn rank(&self) -> usize {
+        match self {
+            Fo2::Rel(..) | Fo2::Eq(..) => 0,
+            Fo2::Not(f) => f.rank(),
+            Fo2::And(a, b) | Fo2::Or(a, b) => a.rank().max(b.rank()),
+            Fo2::Exists(_, f) | Fo2::Forall(_, f) => 1 + f.rank(),
+        }
+    }
+
+    /// Evaluates under a (possibly partial) assignment; free variables
+    /// must be assigned or evaluation panics — evaluate *sentences* with
+    /// [`Fo2::holds`].
+    fn eval(&self, s: &FoStructure, x: Option<u32>, y: Option<u32>) -> bool {
+        let get = |v: Var| -> u32 {
+            match v {
+                Var::X => x.expect("free variable x"),
+                Var::Y => y.expect("free variable y"),
+            }
+        };
+        match self {
+            Fo2::Rel(r, v, w) => s.holds(r, get(*v), get(*w)),
+            Fo2::Eq(v, w) => get(*v) == get(*w),
+            Fo2::Not(f) => !f.eval(s, x, y),
+            Fo2::And(a, b) => a.eval(s, x, y) && b.eval(s, x, y),
+            Fo2::Or(a, b) => a.eval(s, x, y) || b.eval(s, x, y),
+            Fo2::Exists(v, f) => (0..s.size).any(|e| match v {
+                Var::X => f.eval(s, Some(e), y),
+                Var::Y => f.eval(s, x, Some(e)),
+            }),
+            Fo2::Forall(v, f) => (0..s.size).all(|e| match v {
+                Var::X => f.eval(s, Some(e), y),
+                Var::Y => f.eval(s, x, Some(e)),
+            }),
+        }
+    }
+
+    /// Truth of a *sentence* (no free variables) in `s`.
+    pub fn holds(&self, s: &FoStructure) -> bool {
+        self.eval(s, None, None)
+    }
+}
+
+impl fmt::Display for Fo2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fo2::Rel(r, v, w) => write!(f, "{r}({v},{w})"),
+            Fo2::Eq(v, w) => write!(f, "{v}={w}"),
+            Fo2::Not(g) => write!(f, "¬{g}"),
+            Fo2::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Fo2::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Fo2::Exists(v, g) => write!(f, "∃{v} {g}"),
+            Fo2::Forall(v, g) => write!(f, "∀{v} {g}"),
+        }
+    }
+}
+
+/// A library of natural `FO²` probes over one binary relation `l` —
+/// candidate distinguishers a reader might try against the Figure-1 pair.
+pub fn probes(rel: &str) -> Vec<Fo2> {
+    use Var::{X, Y};
+    let l = |v, w| Fo2::rel(rel, v, w);
+    vec![
+        // Something has an l-successor.
+        Fo2::exists(X, Fo2::exists(Y, l(X, Y))),
+        // Everything has an l-successor.
+        Fo2::forall(X, Fo2::exists(Y, l(X, Y))),
+        // Something is an l-sink with a predecessor.
+        Fo2::exists(X, Fo2::and(
+            Fo2::exists(Y, l(Y, X)),
+            Fo2::not(Fo2::exists(Y, l(X, Y))),
+        )),
+        // Two distinct elements exist.
+        Fo2::exists(X, Fo2::exists(Y, Fo2::not(Fo2::Eq(X, Y)))),
+        // Every edge is irreflexive.
+        Fo2::forall(X, Fo2::not(l(X, X))),
+        // There are two distinct sinks (needs variable reuse).
+        Fo2::exists(X, Fo2::and(
+            Fo2::exists(Y, l(Y, X)),
+            Fo2::exists(Y, Fo2::and(
+                Fo2::not(Fo2::Eq(X, Y)),
+                Fo2::exists(X, Fo2::and(Fo2::Eq(X, Y), Fo2::exists(Y, l(Y, X)))),
+            )),
+        )),
+        // Sources never coincide with sinks.
+        Fo2::forall(X, Fo2::not(Fo2::and(
+            Fo2::exists(Y, l(X, Y)),
+            Fo2::exists(Y, l(Y, X)),
+        ))),
+        // Rank-3 nesting: everyone with a successor has a successor with a
+        // predecessor.
+        Fo2::forall(X, Fo2::or(
+            Fo2::not(Fo2::exists(Y, l(X, Y))),
+            Fo2::exists(Y, Fo2::and(l(X, Y), Fo2::exists(X, l(X, Y)))),
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figure1, two_pebble_equivalent};
+
+    #[test]
+    fn evaluator_basics() {
+        let mut s = FoStructure::new(3);
+        s.add("l", 0, 1).add("l", 1, 2);
+        use Var::{X, Y};
+        // ∃x∃y l(x,y)
+        assert!(Fo2::exists(X, Fo2::exists(Y, Fo2::rel("l", X, Y))).holds(&s));
+        // ∀x∃y l(x,y) — 2 has no successor.
+        assert!(!Fo2::forall(X, Fo2::exists(Y, Fo2::rel("l", X, Y))).holds(&s));
+        // ∃x l(x,x) — no loops.
+        assert!(!Fo2::exists(X, Fo2::rel("l", X, X)).holds(&s));
+        // Ranks.
+        assert_eq!(Fo2::exists(X, Fo2::exists(Y, Fo2::rel("l", X, Y))).rank(), 2);
+    }
+
+    #[test]
+    fn probes_agree_on_the_figure1_pair() {
+        // The game certifies FO² equivalence; every concrete probe must
+        // therefore agree — including the rank-3 ones (variable *reuse*
+        // stays within FO²).
+        for n in [2, 3] {
+            let (g, h) = figure1(n);
+            assert!(two_pebble_equivalent(&g, &h));
+            for p in probes("l") {
+                assert_eq!(
+                    p.holds(&g),
+                    p.holds(&h),
+                    "FO² probe {p} distinguishes the pair at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probes_distinguish_inequivalent_pairs() {
+        // Sanity: the probe library is not trivially constant — it
+        // separates an edge from an empty structure.
+        let mut g = FoStructure::new(2);
+        g.add("l", 0, 1);
+        let h = FoStructure::new(2);
+        let separated = probes("l").iter().any(|p| p.holds(&g) != p.holds(&h));
+        assert!(separated);
+    }
+
+    #[test]
+    fn display_renders() {
+        use Var::{X, Y};
+        let f = Fo2::forall(X, Fo2::not(Fo2::and(Fo2::rel("l", X, Y), Fo2::Eq(X, Y))));
+        assert_eq!(f.to_string(), "∀x ¬(l(x,y) ∧ x=y)");
+    }
+}

@@ -1,0 +1,367 @@
+//! # xic-fo2 — two-variable logic and the key-constraint inexpressibility
+//!
+//! Section 1 of Fan & Siméon (PODS 2000) shows that basic XML constraints
+//! escape two-variable first-order logic (`FO²`): Figure 1 exhibits
+//! structures `G` and `G'` that are `FO²`-equivalent (via the 2-pebble
+//! Ehrenfeucht–Fraïssé game) yet are distinguished by the unary key
+//! constraint
+//!
+//! ```text
+//! φ = τ.l → τ  ≡  ∀x∀y (∃z (l(x,z) ∧ l(y,z)) → x = y)
+//! ```
+//!
+//! (note φ needs *three* variables). This crate makes that argument
+//! executable:
+//!
+//! * [`FoStructure`] — finite structures with named binary relations;
+//! * [`two_pebble_equivalent`] — the duplicator-wins test for the
+//!   unbounded 2-pebble game, computed as a greatest fixpoint over pebble
+//!   configurations (this implies equivalence for every `FO²` sentence,
+//!   indeed for infinitary 2-variable logic);
+//! * [`FoStructure::satisfies_unary_key`] — direct evaluation of φ;
+//! * [`figure1`] — the Figure-1 pair, reconstructed as a `2n`-edge
+//!   *matching* (`G`: each xᵢ has its own l-value, φ holds) versus `n`
+//!   *two-ray stars* (`G'`: xᵢ-pairs share an l-value, φ fails): the two
+//!   are 2-pebble-equivalent because `FO²` without counting quantifiers
+//!   cannot distinguish in-degree 1 from in-degree 2 once both 1-types
+//!   occur at least twice.
+//!
+//! Experiment E9 runs the game on the pair, verifies equivalence, and
+//! verifies φ separates them — the machine-checked version of the paper's
+//! inexpressibility claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formula;
+
+pub use formula::{probes, Fo2, Var};
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use xic_model::Name;
+
+/// A finite relational structure with named binary relations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FoStructure {
+    /// Universe size; elements are `0..size`.
+    pub size: u32,
+    /// Named binary relations.
+    pub rels: BTreeMap<Name, BTreeSet<(u32, u32)>>,
+}
+
+impl FoStructure {
+    /// A structure with `size` elements and no relations.
+    pub fn new(size: u32) -> Self {
+        FoStructure {
+            size,
+            rels: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a tuple to relation `rel`.
+    pub fn add(&mut self, rel: impl Into<Name>, a: u32, b: u32) -> &mut Self {
+        assert!(a < self.size && b < self.size, "element out of universe");
+        self.rels.entry(rel.into()).or_default().insert((a, b));
+        self
+    }
+
+    /// Relation membership.
+    pub fn holds(&self, rel: &str, a: u32, b: u32) -> bool {
+        self.rels.get(rel).is_some_and(|r| r.contains(&(a, b)))
+    }
+
+    /// Evaluates the unary key constraint `φ = τ.l → τ`:
+    /// no two distinct elements share an `l`-successor.
+    pub fn satisfies_unary_key(&self, rel: &str) -> bool {
+        let Some(r) = self.rels.get(rel) else {
+            return true;
+        };
+        let mut owner: BTreeMap<u32, u32> = BTreeMap::new();
+        for &(x, z) in r {
+            match owner.get(&z) {
+                Some(&y) if y != x => return false,
+                _ => {
+                    owner.insert(z, x);
+                }
+            }
+        }
+        true
+    }
+
+    /// All relation names of two structures (for the game's atom checks).
+    fn rel_names<'a>(&'a self, other: &'a FoStructure) -> BTreeSet<&'a Name> {
+        self.rels.keys().chain(other.rels.keys()).collect()
+    }
+}
+
+/// A pebble configuration: positions of the two pebbles (unplaced = None).
+type Config = (Option<u32>, Option<u32>);
+
+/// Do the placed pebbles of two configurations have the same atomic type?
+fn compatible(g: &FoStructure, h: &FoStructure, a: Config, b: Config) -> bool {
+    if a.0.is_some() != b.0.is_some() || a.1.is_some() != b.1.is_some() {
+        return false;
+    }
+    if let (Some(a0), Some(a1), Some(b0), Some(b1)) = (a.0, a.1, b.0, b.1) {
+        if (a0 == a1) != (b0 == b1) {
+            return false;
+        }
+    }
+    for rel in g.rel_names(h) {
+        let pairs = [(a.0, a.1, b.0, b.1), (a.1, a.0, b.1, b.0)];
+        for (x, y, u, v) in pairs {
+            if let (Some(x), Some(y), Some(u), Some(v)) = (x, y, u, v) {
+                if g.holds(rel, x, y) != h.holds(rel, u, v) {
+                    return false;
+                }
+            }
+        }
+        for (x, u) in [(a.0, b.0), (a.1, b.1)] {
+            if let (Some(x), Some(u)) = (x, u) {
+                if g.holds(rel, x, x) != h.holds(rel, u, u) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Decides whether the duplicator wins the **unbounded** 2-pebble
+/// Ehrenfeucht–Fraïssé game on `(g, h)` from the empty configuration —
+/// i.e. whether `g` and `h` agree on all of (infinitary) two-variable
+/// logic, hence on every `FO²` sentence.
+///
+/// Greatest-fixpoint computation: start from all atom-compatible
+/// configuration pairs; repeatedly delete pairs where the spoiler has a
+/// move (re-placing either pebble, in either structure) that the
+/// duplicator cannot answer; accept iff the empty pair survives.
+pub fn two_pebble_equivalent(g: &FoStructure, h: &FoStructure) -> bool {
+    game_fixpoint(g, h, None)
+}
+
+/// The **m-round** 2-pebble game: duplicator wins the game of `rounds`
+/// rounds iff `g` and `h` agree on all `FO²` sentences of quantifier rank
+/// ≤ `rounds`. (Monotone in `rounds`; the fixpoint of
+/// [`two_pebble_equivalent`] is the limit.)
+pub fn two_pebble_equivalent_bounded(g: &FoStructure, h: &FoStructure, rounds: usize) -> bool {
+    game_fixpoint(g, h, Some(rounds))
+}
+
+/// Shared refinement loop: start from atom-compatible configuration pairs
+/// and delete pairs the spoiler wins from, for `max_rounds` refinements
+/// (or to the greatest fixpoint when `None`).
+fn game_fixpoint(g: &FoStructure, h: &FoStructure, max_rounds: Option<usize>) -> bool {
+    let g_confs: Vec<Config> = confs(g.size);
+    let h_confs: Vec<Config> = confs(h.size);
+    let mut w: HashSet<(Config, Config)> = HashSet::new();
+    for &a in &g_confs {
+        for &b in &h_confs {
+            if compatible(g, h, a, b) {
+                w.insert((a, b));
+            }
+        }
+    }
+    let mut round = 0usize;
+    loop {
+        if let Some(m) = max_rounds {
+            if round >= m {
+                break;
+            }
+        }
+        // One round of the bounded game = one simultaneous refinement.
+        let current: Vec<(Config, Config)> = w.iter().copied().collect();
+        let snapshot = w.clone();
+        let mut removed = false;
+        for (a, b) in current {
+            if !duplicator_survives(g, h, a, b, &snapshot) {
+                w.remove(&(a, b));
+                removed = true;
+            }
+        }
+        round += 1;
+        if !removed {
+            break;
+        }
+    }
+    w.contains(&((None, None), (None, None)))
+}
+
+fn confs(size: u32) -> Vec<Config> {
+    let mut out = Vec::new();
+    let opts: Vec<Option<u32>> = std::iter::once(None).chain((0..size).map(Some)).collect();
+    for &p in &opts {
+        for &q in &opts {
+            out.push((p, q));
+        }
+    }
+    out
+}
+
+/// Can the duplicator answer every spoiler move from `(a, b)` inside `w`?
+fn duplicator_survives(
+    g: &FoStructure,
+    h: &FoStructure,
+    a: Config,
+    b: Config,
+    w: &HashSet<(Config, Config)>,
+) -> bool {
+    // Spoiler re-places pebble `p` in g to any element; duplicator must
+    // answer in h — and vice versa.
+    for p in [0usize, 1] {
+        // Spoiler plays in g.
+        for x in 0..g.size {
+            let a2 = place(a, p, x);
+            let ok = (0..h.size).any(|u| w.contains(&(a2, place(b, p, u))));
+            if !ok {
+                return false;
+            }
+        }
+        // Spoiler plays in h.
+        for u in 0..h.size {
+            let b2 = place(b, p, u);
+            let ok = (0..g.size).any(|x| w.contains(&(place(a, p, x), b2)));
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn place(c: Config, p: usize, v: u32) -> Config {
+    if p == 0 {
+        (Some(v), c.1)
+    } else {
+        (c.0, Some(v))
+    }
+}
+
+/// The Figure-1 pair, parameterized by `n ≥ 2`:
+///
+/// * `G` — a *matching* with `2n` edges: sources `x₀..x₂ₙ₋₁`, sinks
+///   `z₀..z₂ₙ₋₁`, `l(xᵢ, zᵢ)`; every `l`-value is private, so the key
+///   constraint `τ.l → τ` **holds**;
+/// * `G'` — `n` *two-ray stars*: sources `x₀..x₂ₙ₋₁`, sinks `w₀..wₙ₋₁`,
+///   with `l(x₂ᵢ, wᵢ)` and `l(x₂ᵢ₊₁, wᵢ)`; pairs of elements share their
+///   `l`-value, so `τ.l → τ` **fails**.
+///
+/// The two are 2-pebble-equivalent: both realize the same 1-types (sources
+/// with out-degree ≥ 1, sinks with in-degree ≥ 1) with multiplicity ≥ 2,
+/// and with only two variables one cannot name two distinct predecessors
+/// of a shared sink simultaneously — distinguishing them needs the third
+/// variable of `φ = ∀x∀y(∃z(l(x,z) ∧ l(y,z)) → x = y)`.
+pub fn figure1(n: u32) -> (FoStructure, FoStructure) {
+    assert!(n >= 2, "need at least two stars for FO²-equivalence");
+    let mut g = FoStructure::new(4 * n);
+    for i in 0..2 * n {
+        g.add("l", i, 2 * n + i);
+    }
+    let mut h = FoStructure::new(3 * n);
+    for i in 0..n {
+        h.add("l", 2 * i, 2 * n + i);
+        h.add("l", 2 * i + 1, 2 * n + i);
+    }
+    (g, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_reproduces_the_papers_claim() {
+        for n in 2..=4 {
+            let (g, h) = figure1(n);
+            assert!(g.satisfies_unary_key("l"), "matching satisfies φ (n={n})");
+            assert!(!h.satisfies_unary_key("l"), "star violates φ (n={n})");
+            assert!(
+                two_pebble_equivalent(&g, &h),
+                "G ≡_FO² G' must hold (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn game_separates_structures_differing_in_fo2() {
+        // An edge vs no edge is FO²-distinguishable (∃x∃y l(x,y)).
+        let mut g = FoStructure::new(2);
+        g.add("l", 0, 1);
+        let h = FoStructure::new(2);
+        assert!(!two_pebble_equivalent(&g, &h));
+
+        // A reflexive point vs an irreflexive edge.
+        let mut g = FoStructure::new(1);
+        g.add("l", 0, 0);
+        let mut h = FoStructure::new(2);
+        h.add("l", 0, 1);
+        assert!(!two_pebble_equivalent(&g, &h));
+    }
+
+    #[test]
+    fn game_is_reflexive_and_respects_isomorphism() {
+        let (g, _) = figure1(2);
+        assert!(two_pebble_equivalent(&g, &g));
+        // Renamed copy: the same 4-edge matching with indices reversed.
+        let mut h = FoStructure::new(8);
+        for i in 0..4u32 {
+            h.add("l", 7 - i, i);
+        }
+        assert!(two_pebble_equivalent(&g, &h));
+    }
+
+    #[test]
+    fn key_evaluation() {
+        let mut g = FoStructure::new(3);
+        g.add("l", 0, 2).add("l", 1, 2);
+        assert!(!g.satisfies_unary_key("l"));
+        assert!(g.satisfies_unary_key("m")); // absent relation: vacuous
+        let mut h = FoStructure::new(4);
+        h.add("l", 0, 2).add("l", 1, 3);
+        assert!(h.satisfies_unary_key("l"));
+        // An element with two l-values is fine (keys constrain sharing,
+        // not multiplicity).
+        let mut k = FoStructure::new(3);
+        k.add("l", 0, 1).add("l", 0, 2);
+        assert!(k.satisfies_unary_key("l"));
+    }
+
+    #[test]
+    fn bounded_game_is_monotone_and_limits_to_fixpoint() {
+        let (g, h) = figure1(2);
+        // Equivalent pair: every bound agrees.
+        for m in 0..6 {
+            assert!(two_pebble_equivalent_bounded(&g, &h, m), "m={m}");
+        }
+        // Inequivalent pair: winning bound exists and is monotone.
+        let mut a = FoStructure::new(2);
+        a.add("l", 0, 1);
+        let b = FoStructure::new(2);
+        assert!(two_pebble_equivalent_bounded(&a, &b, 0));
+        let first_sep = (1..6)
+            .find(|&m| !two_pebble_equivalent_bounded(&a, &b, m))
+            .expect("separated at some rank");
+        for m in first_sep..6 {
+            assert!(!two_pebble_equivalent_bounded(&a, &b, m));
+        }
+        // The separating sentence ∃x∃y l(x,y) has rank 2, so the game
+        // separates by round 2 at the latest.
+        assert!(first_sep <= 2, "first separation at {first_sep}");
+    }
+
+    #[test]
+    fn different_relation_names_matter() {
+        let mut g = FoStructure::new(2);
+        g.add("l", 0, 1);
+        let mut h = FoStructure::new(2);
+        h.add("m", 0, 1);
+        assert!(!two_pebble_equivalent(&g, &h));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn add_checks_universe() {
+        FoStructure::new(1).add("l", 0, 1);
+    }
+}

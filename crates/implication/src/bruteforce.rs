@@ -1,0 +1,339 @@
+//! Bounded brute-force model search: the independent oracle against which
+//! the solvers are property-tested, and the fallback countermodel finder.
+//!
+//! Enumerates all flat instances up to configurable bounds (elements per
+//! type, value-universe size) over the types and fields mentioned in
+//! `Σ ∪ {φ}`, and reports the first instance satisfying `Σ` but violating
+//! `φ`. Exhaustive within its bounds — a `Some` answer refutes both finite
+//! and unrestricted implication; a `None` answer only says no small
+//! countermodel exists.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xic_constraints::{Constraint, Field};
+use xic_model::Name;
+
+use crate::semantics::{Element, Instance};
+
+/// Search bounds for [`find_countermodel`].
+#[derive(Clone, Copy, Debug)]
+pub struct Bounds {
+    /// Maximum elements per extent.
+    pub max_per_type: usize,
+    /// Size of the value universe (`0..max_values`).
+    pub max_values: u32,
+    /// Cap on the number of candidate instances examined.
+    pub budget: u64,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_per_type: 2,
+            max_values: 3,
+            budget: 5_000_000,
+        }
+    }
+}
+
+/// The field shape mentioned by `Σ ∪ {φ}`.
+#[derive(Debug, Default)]
+struct Shape {
+    /// Per type: the single-valued fields and the set-valued attributes.
+    by_type: BTreeMap<Name, (BTreeSet<Field>, BTreeSet<Name>)>,
+}
+
+fn single(shape: &mut Shape, tau: &Name, f: Field) {
+    shape.by_type.entry(tau.clone()).or_default().0.insert(f);
+}
+
+fn setv(shape: &mut Shape, tau: &Name, l: &Name) {
+    shape
+        .by_type
+        .entry(tau.clone())
+        .or_default()
+        .1
+        .insert(l.clone());
+}
+
+fn collect(c: &Constraint, shape: &mut Shape) {
+    shape.by_type.entry(c.tau().clone()).or_default();
+    if let Some(t) = c.target() {
+        shape.by_type.entry(t.clone()).or_default();
+    }
+    match c {
+        Constraint::Key { tau, fields } => {
+            for f in fields {
+                single(shape, tau, f.clone());
+            }
+        }
+        Constraint::ForeignKey {
+            tau,
+            fields,
+            target,
+            target_fields,
+        } => {
+            for f in fields {
+                single(shape, tau, f.clone());
+            }
+            for f in target_fields {
+                single(shape, target, f.clone());
+            }
+        }
+        Constraint::SetForeignKey {
+            tau,
+            attr,
+            target,
+            target_field,
+        } => {
+            setv(shape, tau, attr);
+            single(shape, target, target_field.clone());
+        }
+        Constraint::InverseU {
+            tau,
+            key,
+            attr,
+            target,
+            target_key,
+            target_attr,
+        } => {
+            single(shape, tau, key.clone());
+            setv(shape, tau, attr);
+            single(shape, target, target_key.clone());
+            setv(shape, target, target_attr);
+        }
+        Constraint::Id { tau } => {
+            single(shape, tau, crate::semantics::id_field());
+        }
+        Constraint::FkToId { tau, attr, target } => {
+            single(shape, tau, Field::Attr(attr.clone()));
+            single(shape, target, crate::semantics::id_field());
+        }
+        Constraint::SetFkToId { tau, attr, target } => {
+            setv(shape, tau, attr);
+            single(shape, target, crate::semantics::id_field());
+        }
+        Constraint::InverseId {
+            tau,
+            attr,
+            target,
+            target_attr,
+        } => {
+            setv(shape, tau, attr);
+            setv(shape, target, target_attr);
+            single(shape, tau, crate::semantics::id_field());
+            single(shape, target, crate::semantics::id_field());
+        }
+    }
+}
+
+/// Searches exhaustively (within `bounds`) for an instance with
+/// `I ⊨ Σ` and `I ⊭ φ`.
+pub fn find_countermodel(
+    sigma: &[Constraint],
+    phi: &Constraint,
+    bounds: Bounds,
+) -> Option<Instance> {
+    let mut shape = Shape::default();
+    for c in sigma {
+        collect(c, &mut shape);
+    }
+    collect(phi, &mut shape);
+
+    // All possible element configurations per type.
+    let mut per_type_elems: Vec<(Name, Vec<Element>)> = Vec::new();
+    for (tau, (singles, sets)) in &shape.by_type {
+        let mut elems = vec![Element::default()];
+        for f in singles {
+            let mut next = Vec::new();
+            for e in &elems {
+                // Single fields are *total*: Definition 2.4 makes declared
+                // attributes present on every element (att defined iff R
+                // defined), and unique sub-elements occur exactly once —
+                // this totality is what makes rules like UK-FK sound.
+                for v in 0..bounds.max_values {
+                    let mut e2 = e.clone();
+                    e2.single.insert(f.clone(), v);
+                    next.push(e2);
+                }
+            }
+            elems = next;
+        }
+        for l in sets {
+            let mut next = Vec::new();
+            for e in &elems {
+                for mask in 0u32..(1 << bounds.max_values) {
+                    let mut e2 = e.clone();
+                    let set: BTreeSet<u32> =
+                        (0..bounds.max_values).filter(|v| mask & (1 << v) != 0).collect();
+                    e2.sets.insert(l.clone(), set);
+                    next.push(e2);
+                }
+            }
+            elems = next;
+        }
+        per_type_elems.push((tau.clone(), elems));
+    }
+
+    // Enumerate extent choices: for each type, a multiset of element
+    // configurations of size 0..=max_per_type (ordered tuples with
+    // non-decreasing indices, to cut symmetric duplicates).
+    let mut budget = bounds.budget;
+    let mut inst = Instance::new();
+    for (tau, _) in &per_type_elems {
+        inst.exts.insert(tau.clone(), Vec::new());
+    }
+    search(sigma, phi, &per_type_elems, 0, &mut inst, bounds.max_per_type, &mut budget)
+}
+
+fn search(
+    sigma: &[Constraint],
+    phi: &Constraint,
+    per_type: &[(Name, Vec<Element>)],
+    depth: usize,
+    inst: &mut Instance,
+    max_per_type: usize,
+    budget: &mut u64,
+) -> Option<Instance> {
+    if *budget == 0 {
+        return None;
+    }
+    if depth == per_type.len() {
+        *budget -= 1;
+        if inst.satisfies_all(sigma) && !inst.satisfies(phi) {
+            return Some(inst.clone());
+        }
+        return None;
+    }
+    let (tau, elems) = &per_type[depth];
+    // Choose a non-decreasing index tuple of size 0..=max_per_type.
+    let mut choice: Vec<usize> = Vec::new();
+    loop {
+        // Materialize the current choice.
+        let ext: Vec<Element> = choice.iter().map(|&i| elems[i].clone()).collect();
+        inst.exts.insert(tau.clone(), ext);
+        if let Some(found) =
+            search(sigma, phi, per_type, depth + 1, inst, max_per_type, budget)
+        {
+            return Some(found);
+        }
+        if *budget == 0 {
+            return None;
+        }
+        // Advance the choice: treat as non-decreasing counter in base
+        // |elems| with up to max_per_type digits.
+        if choice.len() < max_per_type {
+            choice.push(choice.last().copied().unwrap_or(0));
+            continue;
+        }
+        loop {
+            match choice.pop() {
+                None => return None,
+                Some(i) if i + 1 < elems.len() => {
+                    let lo = i + 1;
+                    choice.push(lo);
+                    break;
+                }
+                Some(_) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_key_countermodel() {
+        // Nothing implies a key.
+        let m = find_countermodel(&[], &Constraint::unary_key("a", "x"), Bounds::default())
+            .expect("countermodel exists");
+        assert!(!m.satisfies(&Constraint::unary_key("a", "x")));
+    }
+
+    #[test]
+    fn finds_fk_countermodel() {
+        let sigma = vec![Constraint::unary_key("b", "y")];
+        let phi = Constraint::unary_fk("a", "x", "b", "y");
+        let m = find_countermodel(&sigma, &phi, Bounds::default()).unwrap();
+        assert!(m.satisfies_all(&sigma));
+        assert!(!m.satisfies(&phi));
+    }
+
+    #[test]
+    fn respects_implication() {
+        // Σ = {a.x ⊆ b.y, b.y ⊆ c.z} (with keys): a.x ⊆ c.z is implied —
+        // no countermodel at any bound.
+        let sigma = vec![
+            Constraint::unary_key("b", "y"),
+            Constraint::unary_key("c", "z"),
+            Constraint::unary_fk("a", "x", "b", "y"),
+            Constraint::unary_fk("b", "y", "c", "z"),
+        ];
+        let phi = Constraint::unary_fk("a", "x", "c", "z");
+        assert!(find_countermodel(
+            &sigma,
+            &phi,
+            Bounds {
+                max_per_type: 2,
+                max_values: 2,
+                budget: 2_000_000,
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn finite_only_consequence_has_no_finite_countermodel() {
+        // Σ = {t.a → t, t.b → t, t.a ⊆ t.b} finitely implies t.b ⊆ t.a
+        // (Cor 3.3's divergence example): brute force must find no finite
+        // countermodel.
+        let sigma = vec![
+            Constraint::unary_key("t", "a"),
+            Constraint::unary_key("t", "b"),
+            Constraint::unary_fk("t", "a", "t", "b"),
+        ];
+        let phi = Constraint::unary_fk("t", "b", "t", "a");
+        assert!(find_countermodel(
+            &sigma,
+            &phi,
+            Bounds {
+                max_per_type: 3,
+                max_values: 4,
+                budget: 4_000_000,
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn singles_are_total() {
+        // Every enumerated element defines every mentioned single field
+        // (Definition 2.4 totality); the key violation with max_values=1
+        // uses the single value twice.
+        let phi = Constraint::unary_key("a", "x");
+        let m = find_countermodel(
+            &[],
+            &phi,
+            Bounds {
+                max_per_type: 2,
+                max_values: 1,
+                budget: 100_000,
+            },
+        )
+        .unwrap();
+        let ext = m.ext("a");
+        assert_eq!(ext.len(), 2);
+        assert_eq!(ext[0].single.get(&Field::attr("x")), Some(&0));
+        assert_eq!(ext[1].single.get(&Field::attr("x")), Some(&0));
+    }
+
+    #[test]
+    fn reflexive_fk_on_key_has_no_countermodel() {
+        // UK-FK soundness depends on totality: τ.k → τ implies τ.k ⊆ τ.k.
+        let sigma = vec![Constraint::unary_key("t", "k")];
+        let phi = Constraint::unary_fk("t", "k", "t", "k");
+        assert!(find_countermodel(&sigma, &phi, Bounds::default()).is_none());
+    }
+}

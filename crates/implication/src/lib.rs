@@ -1,0 +1,94 @@
+//! # xic-implication — implication of basic XML constraints
+//!
+//! Implements Section 3 of Fan & Siméon (PODS 2000): the implication
+//! (`Σ ⊨ φ`) and finite implication (`Σ ⊨_f φ`) problems for the three
+//! constraint languages, with the paper's axiomatizations realized as
+//! executable, derivation-producing proof systems.
+//!
+//! | Paper result | Here |
+//! |---|---|
+//! | Prop 3.1 — `I_id` sound/complete; linear time | [`lid::LidSolver`] |
+//! | Thm 3.2 / Cor 3.3 — `I_u`, `I_u^f`; linear; problems differ | [`lu::LuSolver`] |
+//! | Thm 3.4 / Cor 3.5 — primary keys: problems coincide | [`lu::LuSolver::check_primary`] + tests |
+//! | Thm 3.6 / Cor 3.7 — `L` undecidable | [`chase::Chase`] (sound, resource-bounded semi-decision) |
+//! | Thm 3.8 / Cor 3.9 — primary `I_p` sound/complete | [`lprimary::LpSolver`] |
+//!
+//! ## Semantic ground truth
+//!
+//! Implication quantifies over data trees of *any* `DTD^C` carrying `Σ`.
+//! Because the basic constraints only speak about `ext(τ)` extents and
+//! attribute values — never about tree shape — and because for every finite
+//! family of typed extents some DTD realizes it (e.g. a root with content
+//! `(τ₁* , … , τₙ*)`), implication over data trees coincides with
+//! implication over *flat instances*: finite (or infinite) collections of
+//! typed elements with attribute values. The [`semantics`] module
+//! implements these instances and constraint satisfaction over them; the
+//! brute-force model search ([`bruteforce`]) and all countermodels live in
+//! that domain, and [`semantics::instance_to_tree`] rebuilds an actual data
+//! tree (with a generated `DTD^C`) from any instance to close the loop.
+//!
+//! Following the paper's constraint *forms*, a foreign-key constraint is
+//! satisfied when its inclusion holds **and** its target is a key (the form
+//! carries "`Y` is the key of `τ'`" as a side condition — this is what
+//! makes rules `UFK-K`/`SFK-K` sound); likewise inverse constraints carry
+//! their named keys, and `L_id` inverse constraints carry the `⊆_S`
+//! containments into their partners' IDs (rule `Inv-SFK-ID`).
+//!
+//! ## Proofs
+//!
+//! Every `Implied` verdict from the `L_id`/`L_u`/`L_p` solvers comes with a
+//! machine-checkable linear derivation in the corresponding axiom system
+//! ([`proof::Proof`], verified by [`proof::Proof::verify`]); every
+//! `NotImplied` verdict from a finite-implication query comes with a finite
+//! countermodel instance that is re-checked against the semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod chase;
+pub mod lid;
+pub mod lprimary;
+pub mod lu;
+pub mod proof;
+pub mod semantics;
+
+pub use chase::{Chase, ChaseOutcome};
+pub use lid::LidSolver;
+pub use lprimary::LpSolver;
+pub use lu::LuSolver;
+pub use proof::{Proof, Rule, Step};
+pub use semantics::Instance;
+
+/// The verdict of an implication query.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// `Σ ⊨ φ`, with a derivation in the relevant axiom system.
+    Implied(Proof),
+    /// `Σ ⊭ φ`; for finite-implication queries a finite countermodel is
+    /// attached when one was constructed.
+    NotImplied(Option<Instance>),
+}
+
+impl Verdict {
+    /// True iff the verdict is `Implied`.
+    pub fn is_implied(&self) -> bool {
+        matches!(self, Verdict::Implied(_))
+    }
+
+    /// The attached proof, if implied.
+    pub fn proof(&self) -> Option<&Proof> {
+        match self {
+            Verdict::Implied(p) => Some(p),
+            Verdict::NotImplied(_) => None,
+        }
+    }
+
+    /// The attached countermodel, if any.
+    pub fn countermodel(&self) -> Option<&Instance> {
+        match self {
+            Verdict::Implied(_) => None,
+            Verdict::NotImplied(m) => m.as_ref(),
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! Implication of `L_id` constraints (§3.1, Proposition 3.1).
+//!
+//! The axiomatization `I_id` = {`ID-FK`, `FK-ID`, `SFK-ID`, `Inv-SFK-ID`}
+//! (plus `ID-Key` and inverse symmetry; see DESIGN.md) is closed in a
+//! single linear pass over `Σ`, after which queries are answered from hash
+//! tables — `O(|Σ| + |φ|)` overall, matching the paper's linear-time claim.
+//! Implication and finite implication coincide for `L_id` (the same axioms
+//! are sound and complete for both), so [`LidSolver::implies`] answers both
+//! problems.
+//!
+//! `Implied` answers carry an `I_id` derivation; `NotImplied` answers carry
+//! a finite countermodel (two parallel "copies" of a canonical model, bent
+//! to violate `φ`), re-verified against the semantics before being
+//! returned.
+
+use std::collections::{BTreeSet, HashMap};
+
+use xic_constraints::{Constraint, DtdStructure, Field};
+use xic_model::Name;
+
+use crate::proof::{Proof, Rule};
+use crate::semantics::{id_field, Element, Instance};
+use crate::Verdict;
+
+/// The `L_id` implication solver (Proposition 3.1).
+///
+/// ```
+/// use xic_constraints::Constraint;
+/// use xic_implication::LidSolver;
+///
+/// // Σ_o of the paper's §2.4 (attribute names normalized): the inverse
+/// // constraint alone forces both set-valued foreign keys and both ID
+/// // constraints.
+/// let sigma = vec![Constraint::InverseId {
+///     tau: "dept".into(),
+///     attr: "has_staff".into(),
+///     target: "person".into(),
+///     target_attr: "in_dept".into(),
+/// }];
+/// let solver = LidSolver::new(&sigma, None);
+/// let phi = Constraint::Id { tau: "person".into() };
+/// let v = solver.implies(&phi);
+/// assert!(v.is_implied());
+/// v.proof().unwrap().verify(&sigma, None).unwrap();
+///
+/// let not = solver.implies(&Constraint::Id { tau: "other".into() });
+/// assert!(!not.is_implied());
+/// let m = not.countermodel().unwrap();
+/// assert!(m.satisfies_all(&sigma));
+/// assert!(!m.satisfies(&Constraint::Id { tau: "other".into() }));
+/// ```
+pub struct LidSolver {
+    sigma: Vec<Constraint>,
+    proof: Proof,
+    facts: HashMap<Constraint, usize>,
+}
+
+/// Rewrites the concrete ID attribute name of each type to the `id`
+/// pseudo-attribute, using `structure` when given (see
+/// [`crate::semantics`]).
+fn normalize(c: &Constraint, structure: Option<&DtdStructure>) -> Constraint {
+    let Some(s) = structure else {
+        return c.clone();
+    };
+    let is_id = |tau: &Name, l: &Name| s.id_attr(tau) == Some(l);
+    match c {
+        Constraint::Key { tau, fields } if fields.len() == 1 => match &fields[0] {
+            Field::Attr(l) if is_id(tau, l) => Constraint::Key {
+                tau: tau.clone(),
+                fields: vec![id_field()],
+            },
+            _ => c.clone(),
+        },
+        Constraint::FkToId { tau, attr, target } if is_id(tau, attr) => Constraint::FkToId {
+            tau: tau.clone(),
+            attr: Name::new("id"),
+            target: target.clone(),
+        },
+        _ => c.clone(),
+    }
+}
+
+impl LidSolver {
+    /// Builds the `I_id` closure of `sigma` in one pass. `structure`, when
+    /// given, is used to normalize concrete ID attribute names to the `id`
+    /// pseudo-attribute in both `Σ` and queries.
+    pub fn new(sigma: &[Constraint], structure: Option<&DtdStructure>) -> Self {
+        let sigma: Vec<Constraint> = sigma.iter().map(|c| normalize(c, structure)).collect();
+        let mut solver = LidSolver {
+            sigma: sigma.clone(),
+            proof: Proof::default(),
+            facts: HashMap::new(),
+        };
+        for c in &sigma {
+            let h = solver.add(c.clone(), Rule::Hypothesis, vec![]);
+            match c {
+                Constraint::FkToId { target, .. } => {
+                    solver.add(Constraint::Id { tau: target.clone() }, Rule::FkId, vec![h]);
+                }
+                Constraint::SetFkToId { target, .. } => {
+                    solver.add(Constraint::Id { tau: target.clone() }, Rule::SfkId, vec![h]);
+                }
+                Constraint::InverseId {
+                    tau,
+                    attr,
+                    target,
+                    target_attr,
+                } => {
+                    solver.add(
+                        Constraint::InverseId {
+                            tau: target.clone(),
+                            attr: target_attr.clone(),
+                            target: tau.clone(),
+                            target_attr: attr.clone(),
+                        },
+                        Rule::InvIdSym,
+                        vec![h],
+                    );
+                    let s1 = solver.add(
+                        Constraint::SetFkToId {
+                            tau: tau.clone(),
+                            attr: attr.clone(),
+                            target: target.clone(),
+                        },
+                        Rule::InvSfkId,
+                        vec![h],
+                    );
+                    solver.add(Constraint::Id { tau: target.clone() }, Rule::SfkId, vec![s1]);
+                    let s2 = solver.add(
+                        Constraint::SetFkToId {
+                            tau: target.clone(),
+                            attr: target_attr.clone(),
+                            target: tau.clone(),
+                        },
+                        Rule::InvSfkId,
+                        vec![h],
+                    );
+                    solver.add(Constraint::Id { tau: tau.clone() }, Rule::SfkId, vec![s2]);
+                }
+                _ => {}
+            }
+        }
+        // Consequences of each derived ID constraint.
+        let id_types: Vec<(Name, usize)> = solver
+            .facts
+            .iter()
+            .filter_map(|(c, &i)| match c {
+                Constraint::Id { tau } => Some((tau.clone(), i)),
+                _ => None,
+            })
+            .collect();
+        for (tau, i) in id_types {
+            solver.add(
+                Constraint::FkToId {
+                    tau: tau.clone(),
+                    attr: Name::new("id"),
+                    target: tau.clone(),
+                },
+                Rule::IdFk,
+                vec![i],
+            );
+            solver.add(
+                Constraint::Key {
+                    tau,
+                    fields: vec![id_field()],
+                },
+                Rule::IdKey,
+                vec![i],
+            );
+        }
+        solver
+    }
+
+    fn add(&mut self, c: Constraint, rule: Rule, premises: Vec<usize>) -> usize {
+        if let Some(&i) = self.facts.get(&c) {
+            return i;
+        }
+        let i = self.proof.push(c.clone(), rule, premises);
+        self.facts.insert(c, i);
+        i
+    }
+
+    /// The normalized `Σ` the solver reasons over.
+    pub fn sigma(&self) -> &[Constraint] {
+        &self.sigma
+    }
+
+    /// All facts in the `I_id` closure (hypotheses and derived).
+    pub fn facts(&self) -> impl Iterator<Item = &Constraint> {
+        self.facts.keys()
+    }
+
+    /// Fast membership test: is `φ` (already normalized) in the closure?
+    /// Unlike [`LidSolver::implies`] this builds neither proofs nor
+    /// countermodels — `O(|φ|)` per query.
+    pub fn holds(&self, phi: &Constraint) -> bool {
+        self.facts.contains_key(phi)
+    }
+
+    /// The `Σ`-implied reference target of `(tau, attr)`: the `τ₂` with
+    /// `Σ ⊨ τ.l ⊆ τ₂.id` or `Σ ⊨ τ.l ⊆_S τ₂.id`, if any (first match in
+    /// deterministic order).
+    pub fn reference_target(&self, tau: &Name, attr: &Name) -> Option<&Name> {
+        let mut best: Option<&Name> = None;
+        for c in self.facts.keys() {
+            match c {
+                Constraint::FkToId {
+                    tau: t,
+                    attr: a,
+                    target,
+                }
+                | Constraint::SetFkToId {
+                    tau: t,
+                    attr: a,
+                    target,
+                } if t == tau && a == attr => match best {
+                    Some(b) if b <= target => {}
+                    _ => best = Some(target),
+                },
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Answers `Σ ⊨ φ` (equivalently `Σ ⊨_f φ`; the problems coincide for
+    /// `L_id`).
+    pub fn implies(&self, phi: &Constraint) -> Verdict {
+        self.implies_with(phi, None)
+    }
+
+    /// Like [`LidSolver::implies`], normalizing `φ` against a structure.
+    pub fn implies_with(&self, phi: &Constraint, structure: Option<&DtdStructure>) -> Verdict {
+        let phi = normalize(phi, structure);
+        match self.facts.get(&phi) {
+            Some(&i) => Verdict::Implied(Proof {
+                steps: self.proof.steps[..=i].to_vec(),
+            }),
+            None => Verdict::NotImplied(self.countermodel(&phi)),
+        }
+    }
+
+    /// All `FkToId` facts of `Σ` on `(tau, attr)`, as target types.
+    fn fk_targets(&self, tau: &Name, attr: &Name) -> Vec<Name> {
+        self.sigma
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::FkToId {
+                    tau: t,
+                    attr: a,
+                    target,
+                } if t == tau && a == attr => Some(target.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All set-FK targets of the closure on `(tau, attr)` (Σ plus those
+    /// forced by inverse constraints).
+    fn sfk_targets(&self, tau: &Name, attr: &Name) -> Vec<Name> {
+        let mut out: Vec<Name> = self
+            .facts
+            .keys()
+            .filter_map(|c| match c {
+                Constraint::SetFkToId {
+                    tau: t,
+                    attr: a,
+                    target,
+                } if t == tau && a == attr => Some(target.clone()),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Builds a finite countermodel for a non-implied `φ`: two parallel
+    /// copies of a canonical instance, bent to violate `φ`, then repaired
+    /// for inverse echoes and re-verified.
+    fn countermodel(&self, phi: &Constraint) -> Option<Instance> {
+        // Collect the mentioned types and fields.
+        let mut types: BTreeSet<Name> = BTreeSet::new();
+        let mut singles: BTreeSet<(Name, Field)> = BTreeSet::new();
+        let mut sets: BTreeSet<(Name, Name)> = BTreeSet::new();
+        let mut note = |c: &Constraint| {
+            types.insert(c.tau().clone());
+            if let Some(t) = c.target() {
+                types.insert(t.clone());
+            }
+            match c {
+                Constraint::Key { tau, fields } => {
+                    for f in fields {
+                        singles.insert((tau.clone(), f.clone()));
+                    }
+                }
+                Constraint::FkToId { tau, attr, .. } => {
+                    singles.insert((tau.clone(), Field::Attr(attr.clone())));
+                }
+                Constraint::SetFkToId { tau, attr, .. } => {
+                    sets.insert((tau.clone(), attr.clone()));
+                }
+                Constraint::InverseId {
+                    tau,
+                    attr,
+                    target,
+                    target_attr,
+                } => {
+                    sets.insert((tau.clone(), attr.clone()));
+                    sets.insert((target.clone(), target_attr.clone()));
+                }
+                _ => {}
+            }
+        };
+        for c in &self.sigma {
+            note(c);
+        }
+        note(phi);
+
+        let mut next = 1000u32;
+        let mut fresh = || {
+            next += 1;
+            next
+        };
+
+        let mut inst = Instance::new();
+        let mut ids: HashMap<(Name, usize), u32> = HashMap::new();
+        for tau in &types {
+            for copy in 0..2 {
+                inst.push(tau.clone(), Element::default());
+                ids.insert((tau.clone(), copy), fresh());
+            }
+        }
+        // φ = Id(τ): attribute values stay total (Definition 2.4), so the
+        // violation is a duplicated ID value within the type.
+        if let Constraint::Id { tau } = phi {
+            let v = fresh();
+            for copy in 0..2 {
+                ids.insert((tau.clone(), copy), v);
+            }
+        }
+        for ((tau, copy), v) in &ids {
+            inst.exts.get_mut(tau).unwrap()[*copy].set_id(*v);
+        }
+
+        // Single fields: FK-constrained fields point at the partner copy;
+        // unconstrained fields get per-copy fresh values.
+        for (tau, f) in &singles {
+            if *f == id_field() {
+                continue; // already assigned
+            }
+            let fk = match f {
+                Field::Attr(l) => self.fk_targets(tau, l),
+                Field::Sub(_) => vec![],
+            };
+            for copy in 0..2 {
+                let v = match fk.first() {
+                    Some(sigma_t) => match ids.get(&(sigma_t.clone(), copy)) {
+                        Some(&v) => v,
+                        None => fresh(),
+                    },
+                    None => fresh(),
+                };
+                inst.exts.get_mut(tau).unwrap()[copy].single.insert(f.clone(), v);
+            }
+        }
+
+        // Set attributes: one partner ID when a unique closure target
+        // exists; empty otherwise (an empty set satisfies any containment).
+        for (tau, l) in &sets {
+            let targets = self.sfk_targets(tau, l);
+            for copy in 0..2 {
+                let value: BTreeSet<u32> = if targets.len() == 1 {
+                    ids.get(&(targets[0].clone(), copy))
+                        .map(|&v| BTreeSet::from([v]))
+                        .unwrap_or_default()
+                } else {
+                    BTreeSet::new()
+                };
+                inst.exts.get_mut(tau).unwrap()[copy]
+                    .sets
+                    .insert(l.clone(), value);
+            }
+        }
+
+        // Bend the instance to violate φ.
+        match phi {
+            Constraint::Id { .. } => {} // handled above (duplicated ID)
+            Constraint::Key { tau, fields } if fields.len() == 1 => {
+                let f = &fields[0];
+                // Make the two copies agree on f (fresh shared value, or
+                // the partner-0 ID for FK-constrained fields, or a shared
+                // ID for f = id).
+                let shared = if *f == id_field() {
+                    let v = fresh();
+                    for copy in 0..2 {
+                        inst.exts.get_mut(tau).unwrap()[copy].set_id(v);
+                    }
+                    None
+                } else {
+                    let fk = match f {
+                        Field::Attr(l) => self.fk_targets(tau, l),
+                        Field::Sub(_) => vec![],
+                    };
+                    Some(match fk.first().and_then(|t| ids.get(&(t.clone(), 0))) {
+                        Some(&v) => v,
+                        None => fresh(),
+                    })
+                };
+                if let Some(v) = shared {
+                    for copy in 0..2 {
+                        inst.exts.get_mut(tau).unwrap()[copy].single.insert(f.clone(), v);
+                    }
+                }
+            }
+            Constraint::Key { .. } => return None, // multi-field keys are not L_id
+            Constraint::FkToId { tau, attr, .. } => {
+                // If the attribute is entirely unconstrained in Σ, its fresh
+                // default already violates φ; if Σ points it at a different
+                // target, the partner ID already violates φ. Ensure the
+                // field exists at all:
+                let f = Field::Attr(attr.clone());
+                if !inst.ext(tau).is_empty()
+                    && !inst.ext(tau)[0].single.contains_key(&f)
+                    && f != id_field()
+                {
+                    let v = fresh();
+                    inst.exts.get_mut(tau).unwrap()[0].single.insert(f, v);
+                }
+            }
+            Constraint::SetFkToId { tau, attr, target } => {
+                let targets = self.sfk_targets(tau, attr);
+                let bad = if targets.is_empty() {
+                    Some(fresh())
+                } else if targets.len() == 1 && &targets[0] != target {
+                    ids.get(&(targets[0].clone(), 0)).copied()
+                } else {
+                    // Σ already confines the attribute to the queried
+                    // target (or to an empty intersection); see DESIGN.md
+                    // on the single-target condition.
+                    None
+                };
+                let v = bad?;
+                inst.exts
+                    .get_mut(tau)?
+                    .get_mut(0)?
+                    .sets
+                    .entry(attr.clone())
+                    .or_default()
+                    .insert(v);
+            }
+            Constraint::InverseId {
+                tau,
+                attr,
+                target,
+                target_attr,
+            } => {
+                // Violate one direction: prefer a containment break on
+                // (target, target_attr); fall back to an echo break.
+                self.bend_inverse(&mut inst, &ids, &mut fresh, tau, attr, target, target_attr)?;
+            }
+            // Forms outside L_id: no countermodel machinery here.
+            Constraint::ForeignKey { .. }
+            | Constraint::SetForeignKey { .. }
+            | Constraint::InverseU { .. } => return None,
+        }
+
+        // Echo repair for Σ's inverse constraints: add missing back
+        // references (only grows sets; terminates).
+        loop {
+            let mut changed = false;
+            for c in &self.sigma {
+                let Constraint::InverseId {
+                    tau,
+                    attr,
+                    target,
+                    target_attr,
+                } = c
+                else {
+                    continue;
+                };
+                for (t1, l1, t2, l2) in
+                    [(tau, attr, target, target_attr), (target, target_attr, tau, attr)]
+                {
+                    // x ∈ ext(t1), y ∈ ext(t2): x.id ∈ y.l2 → y.id ∈ x.l1.
+                    let ext2 = inst.ext(t2).to_vec();
+                    let Some(ext1) = inst.exts.get_mut(t1) else {
+                        continue;
+                    };
+                    for x in ext1.iter_mut() {
+                        let Some(xid) = x.id() else { continue };
+                        for y in &ext2 {
+                            let (Some(yid), Some(yset)) = (y.id(), y.sets.get(l2)) else {
+                                continue;
+                            };
+                            if yset.contains(&xid) {
+                                let s = x.sets.entry(l1.clone()).or_default();
+                                if s.insert(yid) {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Verify before returning.
+        if inst.satisfies_all(&self.sigma) && !inst.satisfies(phi) {
+            Some(inst)
+        } else {
+            None
+        }
+    }
+
+    /// Violates one direction of an inverse query (see `countermodel`).
+    #[allow(clippy::too_many_arguments)]
+    fn bend_inverse(
+        &self,
+        inst: &mut Instance,
+        ids: &HashMap<(Name, usize), u32>,
+        fresh: &mut impl FnMut() -> u32,
+        tau: &Name,
+        attr: &Name,
+        target: &Name,
+        target_attr: &Name,
+    ) -> Option<()> {
+        for (t1, l1, t2, _l2) in [(target, target_attr, tau, attr), (tau, attr, target, target_attr)]
+        {
+            // Try to make some y ∈ ext(t1) hold a value in y.l1 that is not
+            // an ID of t2 (containment break)…
+            let targets = self.sfk_targets(t1, l1);
+            let bad = if targets.is_empty() {
+                Some(fresh())
+            } else if targets.len() == 1 && &targets[0] != t2 {
+                ids.get(&(targets[0].clone(), 0)).copied()
+            } else if targets.len() == 1 {
+                // …or break the echo: y.l1 ∋ x.id with x.l2 ∌ y.id. Only
+                // possible when the query's own inverse is not in Σ (it is
+                // not — φ was not implied) and IDs exist on both sides.
+                let xid = ids.get(&(t2.clone(), 0)).copied()?;
+                inst.exts
+                    .get_mut(t1)?
+                    .get_mut(0)?
+                    .sets
+                    .entry(l1.clone())
+                    .or_default()
+                    .insert(xid);
+                // x's echo set must *not* gain y's id: leave it as built;
+                // repair only enforces Σ's inverses, not φ.
+                return Some(());
+            } else {
+                None
+            };
+            if let Some(v) = bad {
+                inst.exts
+                    .get_mut(t1)?
+                    .get_mut(0)?
+                    .sets
+                    .entry(l1.clone())
+                    .or_default()
+                    .insert(v);
+                return Some(());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::examples::{company_dtdc, company_structure};
+
+    fn company_sigma() -> Vec<Constraint> {
+        company_dtdc().constraints().to_vec()
+    }
+
+    #[test]
+    fn company_closure_implication() {
+        let sigma = company_sigma();
+        let s = company_structure();
+        let solver = LidSolver::new(&sigma, Some(&s));
+        // Directly stated facts.
+        for phi in [
+            Constraint::Id { tau: "person".into() },
+            Constraint::Id { tau: "dept".into() },
+            Constraint::sub_key("person", "name"),
+        ] {
+            let v = solver.implies_with(&phi, Some(&s));
+            assert!(v.is_implied(), "{phi}");
+            v.proof().unwrap().verify(solver.sigma(), Some(&s)).unwrap();
+        }
+        // Derived: the ID constraints yield keys on the ID attribute
+        // (queried by its concrete name `oid`, normalized via the
+        // structure).
+        let phi = Constraint::unary_key("person", "oid");
+        let v = solver.implies_with(&phi, Some(&s));
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(solver.sigma(), Some(&s)).unwrap();
+        // Derived: reflexive FK on the ID.
+        let phi = Constraint::FkToId {
+            tau: "dept".into(),
+            attr: "oid".into(),
+            target: "dept".into(),
+        };
+        assert!(solver.implies_with(&phi, Some(&s)).is_implied());
+        // Not implied: an unrelated key.
+        let phi = Constraint::unary_key("person", "address");
+        let v = solver.implies_with(&phi, Some(&s));
+        assert!(!v.is_implied());
+    }
+
+    #[test]
+    fn inverse_forces_sfk_and_ids() {
+        let sigma = vec![Constraint::InverseId {
+            tau: "dept".into(),
+            attr: "has_staff".into(),
+            target: "person".into(),
+            target_attr: "in_dept".into(),
+        }];
+        let solver = LidSolver::new(&sigma, None);
+        for phi in [
+            Constraint::SetFkToId {
+                tau: "dept".into(),
+                attr: "has_staff".into(),
+                target: "person".into(),
+            },
+            Constraint::SetFkToId {
+                tau: "person".into(),
+                attr: "in_dept".into(),
+                target: "dept".into(),
+            },
+            Constraint::Id { tau: "person".into() },
+            Constraint::Id { tau: "dept".into() },
+            // Symmetric form of the inverse itself.
+            Constraint::InverseId {
+                tau: "person".into(),
+                attr: "in_dept".into(),
+                target: "dept".into(),
+                target_attr: "has_staff".into(),
+            },
+        ] {
+            let v = solver.implies(&phi);
+            assert!(v.is_implied(), "{phi}");
+            v.proof().unwrap().verify(&sigma, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn countermodels_verify() {
+        let sigma = company_sigma();
+        let s = company_structure();
+        let solver = LidSolver::new(&sigma, Some(&s));
+        let non_implied = [
+            Constraint::unary_key("person", "address"),
+            Constraint::Id { tau: "db".into() },
+            Constraint::sub_key("dept", "oid2"),
+            Constraint::FkToId {
+                tau: "dept".into(),
+                attr: "manager".into(),
+                target: "dept".into(),
+            },
+            Constraint::SetFkToId {
+                tau: "person".into(),
+                attr: "in_dept".into(),
+                target: "person".into(),
+            },
+            Constraint::InverseId {
+                tau: "dept".into(),
+                attr: "has_staff".into(),
+                target: "dept".into(),
+                target_attr: "has_staff".into(),
+            },
+        ];
+        for phi in non_implied {
+            let v = solver.implies_with(&phi, Some(&s));
+            assert!(!v.is_implied(), "{phi}");
+            let m = v
+                .countermodel()
+                .unwrap_or_else(|| panic!("no countermodel for {phi}"));
+            assert!(m.satisfies_all(solver.sigma()), "Σ fails on:\n{m}");
+            assert!(!m.satisfies(&normalize(&phi, Some(&s))), "φ={phi} holds on:\n{m}");
+        }
+    }
+
+    #[test]
+    fn key_countermodel_on_unconstrained_attr() {
+        let sigma = vec![Constraint::Id { tau: "p".into() }];
+        let solver = LidSolver::new(&sigma, None);
+        let phi = Constraint::unary_key("p", "x");
+        let v = solver.implies(&phi);
+        assert!(!v.is_implied());
+        let m = v.countermodel().unwrap();
+        assert!(m.satisfies_all(&sigma));
+        assert!(!m.satisfies(&phi));
+        // Two p-elements share x but have distinct IDs.
+        assert_eq!(m.ext("p").len(), 2);
+    }
+
+    #[test]
+    fn key_on_id_countermodel_when_no_id_constraint() {
+        let sigma: Vec<Constraint> = vec![];
+        let solver = LidSolver::new(&sigma, None);
+        let phi = Constraint::Key {
+            tau: "p".into(),
+            fields: vec![id_field()],
+        };
+        let v = solver.implies(&phi);
+        assert!(!v.is_implied());
+        let m = v.countermodel().unwrap();
+        assert!(!m.satisfies(&phi), "{m}");
+    }
+
+    #[test]
+    fn empty_sigma_implies_nothing_but_trivia() {
+        let solver = LidSolver::new(&[], None);
+        assert!(!solver.implies(&Constraint::Id { tau: "a".into() }).is_implied());
+        assert!(!solver
+            .implies(&Constraint::unary_key("a", "x"))
+            .is_implied());
+    }
+
+    #[test]
+    fn proofs_are_minimal_prefixes() {
+        let sigma = vec![
+            Constraint::Id { tau: "a".into() },
+            Constraint::Id { tau: "b".into() },
+        ];
+        let solver = LidSolver::new(&sigma, None);
+        let v = solver.implies(&Constraint::Id { tau: "a".into() });
+        // Proof of the first hypothesis should not drag in later facts.
+        assert_eq!(v.proof().unwrap().steps.len(), 1);
+    }
+}

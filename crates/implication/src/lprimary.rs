@@ -1,0 +1,671 @@
+//! Implication of multi-attribute **primary** keys and foreign keys
+//! (§3.3, Theorem 3.8).
+//!
+//! General `L` implication is undecidable (Theorem 3.6; see
+//! [`crate::chase`]); under the primary-key restriction — at most one key
+//! per element type, minimal, with all foreign keys into a type targeting
+//! that key — the axiom system
+//! `I_p` = {`PK-FK`, `PFK-K`, `PFK-perm`, `PFK-trans`} is sound and
+//! complete for both implication and finite implication (which coincide).
+//!
+//! A multi-attribute foreign key `τ[X] ⊆ τ'[Y]` is canonicalized to the
+//! *column bijection* `{(xᵢ, yᵢ)}` (a sorted pair set): `PFK-perm` says
+//! exactly that jointly permuted forms are interchangeable. The solver
+//! saturates canonical foreign keys under composition (`PFK-trans` through
+//! a `PFK-perm` alignment), then answers key queries from the declared
+//! primary keys and foreign-key queries from the saturated set.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use xic_constraints::{Constraint, Field};
+use xic_model::Name;
+
+use crate::bruteforce::{find_countermodel, Bounds};
+use crate::proof::{Proof, Rule};
+use crate::Verdict;
+
+/// A canonical foreign key: source type, target type, and the column
+/// bijection as a sorted `(source field, target field)` pair list.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct CanonFk {
+    tau: Name,
+    target: Name,
+    columns: Vec<(Field, Field)>,
+}
+
+fn canon(c: &Constraint) -> Option<CanonFk> {
+    match c {
+        Constraint::ForeignKey {
+            tau,
+            fields,
+            target,
+            target_fields,
+        } => {
+            let mut columns: Vec<(Field, Field)> = fields
+                .iter()
+                .cloned()
+                .zip(target_fields.iter().cloned())
+                .collect();
+            columns.sort();
+            Some(CanonFk {
+                tau: tau.clone(),
+                target: target.clone(),
+                columns,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Violations of the primary-key restriction for `L`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// A constraint outside `L` (e.g. `L_id` forms) was supplied.
+    NotL(String),
+    /// Two distinct key sets declared on one element type.
+    TwoKeys(Name),
+    /// A foreign key targets a field set that is not the target's primary
+    /// key.
+    TargetNotPrimary(String),
+    /// Source columns of a foreign key repeat an attribute.
+    RepeatedColumn(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::NotL(c) => write!(f, "constraint is not in L: {c}"),
+            LpError::TwoKeys(t) => write!(f, "primary-key restriction: {t} has two keys"),
+            LpError::TargetNotPrimary(c) => {
+                write!(f, "{c}: foreign key must target the primary key")
+            }
+            LpError::RepeatedColumn(c) => write!(f, "{c}: repeated column"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// The primary-key `L` implication solver (Theorem 3.8; Corollary 3.9 is
+/// the same statement read over relational schemas).
+///
+/// Under the primary-key restriction the implication and finite implication
+/// problems coincide, so one `implies` answers both.
+///
+/// ```
+/// use xic_constraints::Constraint;
+/// use xic_implication::LpSolver;
+///
+/// let sigma = vec![
+///     Constraint::key("publisher", ["pname", "country"]),
+///     Constraint::key("editor", ["name"]),
+///     Constraint::fk("editor", ["pname", "country"], "publisher", ["pname", "country"]),
+/// ];
+/// let solver = LpSolver::new(&sigma).unwrap();
+/// // Jointly permuted form of the declared FK:
+/// let phi = Constraint::fk("editor", ["country", "pname"], "publisher", ["country", "pname"]);
+/// let v = solver.implies(&phi);
+/// assert!(v.is_implied());
+/// v.proof().unwrap().verify(&sigma, None).unwrap();
+/// // Mismatched (non-joint) permutation is NOT implied:
+/// let bad = Constraint::fk("editor", ["pname", "country"], "publisher", ["country", "pname"]);
+/// assert!(!solver.implies(&bad).is_implied());
+/// ```
+pub struct LpSolver {
+    sigma: Vec<Constraint>,
+    /// Primary key (field set) per type.
+    primary: BTreeMap<Name, BTreeSet<Field>>,
+    /// Step index of each declared key's hypothesis.
+    key_steps: HashMap<Name, usize>,
+    /// Saturated canonical FKs → proof step concluding (a permuted form
+    /// of) them.
+    fks: HashMap<CanonFk, usize>,
+    base: Proof,
+}
+
+impl LpSolver {
+    /// Builds and saturates; errors if `Σ` violates the primary-key
+    /// restriction.
+    pub fn new(sigma: &[Constraint]) -> Result<Self, LpError> {
+        let mut primary: BTreeMap<Name, BTreeSet<Field>> = BTreeMap::new();
+        let mut key_steps: HashMap<Name, usize> = HashMap::new();
+        let mut base = Proof::default();
+        let mut fks: HashMap<CanonFk, usize> = HashMap::new();
+
+        for c in sigma {
+            match c {
+                Constraint::Key { tau, fields } => {
+                    let set: BTreeSet<Field> = fields.iter().cloned().collect();
+                    let h = base.push(c.clone(), Rule::Hypothesis, vec![]);
+                    match primary.get(tau) {
+                        Some(existing) if existing != &set => {
+                            return Err(LpError::TwoKeys(tau.clone()))
+                        }
+                        _ => {
+                            primary.insert(tau.clone(), set);
+                            key_steps.entry(tau.clone()).or_insert(h);
+                        }
+                    }
+                }
+                Constraint::ForeignKey { .. } => {} // second pass
+                other => return Err(LpError::NotL(other.to_string())),
+            }
+        }
+        for c in sigma {
+            let Constraint::ForeignKey {
+                tau: _,
+                fields,
+                target,
+                target_fields,
+            } = c
+            else {
+                continue;
+            };
+            let distinct: BTreeSet<&Field> = fields.iter().collect();
+            if distinct.len() != fields.len() {
+                return Err(LpError::RepeatedColumn(c.to_string()));
+            }
+            let tset: BTreeSet<Field> = target_fields.iter().cloned().collect();
+            match primary.get(target) {
+                Some(pk) if pk == &tset => {}
+                _ => return Err(LpError::TargetNotPrimary(c.to_string())),
+            }
+            let h = base.push(c.clone(), Rule::Hypothesis, vec![]);
+            let cf = canon(c).expect("foreign key");
+            fks.entry(cf).or_insert(h);
+        }
+
+        let mut solver = LpSolver {
+            sigma: sigma.to_vec(),
+            primary,
+            key_steps,
+            fks,
+            base,
+        };
+        solver.saturate();
+        Ok(solver)
+    }
+
+    /// Saturates canonical FKs under `PFK-trans` (worklist).
+    fn saturate(&mut self) {
+        let mut work: Vec<CanonFk> = self.fks.keys().cloned().collect();
+        while let Some(f) = work.pop() {
+            // Compose f : τ₁ → τ₂ with every g : τ₂ → τ₃ (f's target
+            // columns are τ₂'s primary key; g's source columns must be the
+            // same set for composition to apply).
+            let f_step = self.fks[&f];
+            let g_list: Vec<(CanonFk, usize)> = self
+                .fks
+                .iter()
+                .filter(|(g, _)| g.tau == f.target)
+                .map(|(g, &s)| (g.clone(), s))
+                .collect();
+            let mut new_fks: Vec<(CanonFk, usize)> = Vec::new();
+            for (g, g_step) in g_list {
+                let f_targets: BTreeSet<&Field> = f.columns.iter().map(|(_, y)| y).collect();
+                let g_sources: BTreeSet<&Field> = g.columns.iter().map(|(x, _)| x).collect();
+                if f_targets != g_sources {
+                    continue;
+                }
+                // Compose the bijections.
+                let g_map: HashMap<&Field, &Field> =
+                    g.columns.iter().map(|(x, y)| (x, y)).collect();
+                let mut columns: Vec<(Field, Field)> = f
+                    .columns
+                    .iter()
+                    .map(|(x, y)| (x.clone(), (*g_map[y]).clone()))
+                    .collect();
+                columns.sort();
+                let h = CanonFk {
+                    tau: f.tau.clone(),
+                    target: g.target.clone(),
+                    columns,
+                };
+                if self.fks.contains_key(&h) {
+                    continue;
+                }
+                // Proof: align g's columns to f's target order (PFK-perm),
+                // then PFK-trans.
+                let f_c = permuted_constraint(&f, None);
+                let f_sorted = self.base.push(f_c.clone(), Rule::PfkPerm, vec![f_step]);
+                // g permuted so its source sequence equals f_c's target
+                // sequence.
+                let order: Vec<&Field> = match &f_c {
+                    Constraint::ForeignKey { target_fields, .. } => {
+                        target_fields.iter().collect()
+                    }
+                    _ => unreachable!(),
+                };
+                let g_aligned = permuted_constraint(&g, Some(&order));
+                let g_perm = self.base.push(g_aligned.clone(), Rule::PfkPerm, vec![g_step]);
+                let comp = match (&f_c, &g_aligned) {
+                    (
+                        Constraint::ForeignKey { tau, fields, .. },
+                        Constraint::ForeignKey {
+                            target,
+                            target_fields,
+                            ..
+                        },
+                    ) => Constraint::ForeignKey {
+                        tau: tau.clone(),
+                        fields: fields.clone(),
+                        target: target.clone(),
+                        target_fields: target_fields.clone(),
+                    },
+                    _ => unreachable!(),
+                };
+                let step = self
+                    .base
+                    .push(comp, Rule::PfkTrans, vec![f_sorted, g_perm]);
+                new_fks.push((h, step));
+            }
+            for (h, step) in new_fks {
+                self.fks.insert(h.clone(), step);
+                work.push(h);
+            }
+        }
+    }
+
+    /// The constraint set `Σ`.
+    pub fn sigma(&self) -> &[Constraint] {
+        &self.sigma
+    }
+
+    /// Answers `Σ ⊨ φ` (equivalently `Σ ⊨_f φ`: the problems coincide
+    /// under the primary-key restriction). Errors if `φ` breaks the
+    /// restriction relative to `Σ`.
+    pub fn implies(&self, phi: &Constraint) -> Verdict {
+        match phi {
+            Constraint::Key { tau, fields } => {
+                let set: BTreeSet<Field> = fields.iter().cloned().collect();
+                if self.primary.get(tau) == Some(&set) {
+                    let i = self.key_steps[tau];
+                    return Verdict::Implied(self.prefix(i));
+                }
+                // PFK-K: the target of any derived FK is a key — but under
+                // the restriction that key is already declared, so this
+                // adds nothing beyond the table lookup.
+                Verdict::NotImplied(self.countermodel(phi))
+            }
+            Constraint::ForeignKey { .. } => {
+                let cf = canon(phi).expect("foreign key");
+                match self.fks.get(&cf) {
+                    Some(&i) => {
+                        // The stored step concludes the sorted-column form;
+                        // permute to the queried order.
+                        let mut p = self.prefix(i);
+                        let last = p.steps.len() - 1;
+                        if p.steps[last].conclusion != *phi {
+                            p.push(phi.clone(), Rule::PfkPerm, vec![last]);
+                        }
+                        Verdict::Implied(p)
+                    }
+                    None => {
+                        // Reflexive primary-key FK (PK-FK).
+                        if let Constraint::ForeignKey {
+                            tau,
+                            fields,
+                            target,
+                            target_fields,
+                        } = phi
+                        {
+                            if tau == target && fields == target_fields {
+                                let set: BTreeSet<Field> = fields.iter().cloned().collect();
+                                if self.primary.get(tau) == Some(&set) {
+                                    let i = self.key_steps[tau];
+                                    let mut p = self.prefix(i);
+                                    p.push(phi.clone(), Rule::PkFk, vec![i]);
+                                    return Verdict::Implied(p);
+                                }
+                            }
+                        }
+                        Verdict::NotImplied(self.countermodel(phi))
+                    }
+                }
+            }
+            _ => Verdict::NotImplied(self.countermodel(phi)),
+        }
+    }
+
+    /// Decides implication without proofs or countermodels (fast path).
+    pub fn decide(&self, phi: &Constraint) -> bool {
+        match phi {
+            Constraint::Key { tau, fields } => {
+                let set: BTreeSet<Field> = fields.iter().cloned().collect();
+                self.primary.get(tau) == Some(&set)
+            }
+            Constraint::ForeignKey {
+                tau,
+                fields,
+                target,
+                target_fields,
+            } => {
+                canon(phi).is_some_and(|cf| self.fks.contains_key(&cf))
+                    || (tau == target && fields == target_fields && {
+                        let set: BTreeSet<Field> = fields.iter().cloned().collect();
+                        self.primary.get(tau) == Some(&set)
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    fn prefix(&self, i: usize) -> Proof {
+        Proof {
+            steps: self.base.steps[..=i].to_vec(),
+        }
+    }
+
+    /// Countermodel per the paper's §3.3 construction sketch: populate
+    /// extents with two tuples per type, bending the queried constraint.
+    /// Falls back to bounded brute-force search.
+    fn countermodel(&self, phi: &Constraint) -> Option<crate::Instance> {
+        find_countermodel(
+            &self.sigma,
+            phi,
+            Bounds {
+                max_per_type: 2,
+                max_values: 3,
+                budget: 400_000,
+            },
+        )
+    }
+}
+
+/// A concrete constraint for a canonical FK; when `target_order` is given,
+/// columns are emitted so the *target* sequence equals it, otherwise
+/// sorted-column order is used.
+fn permuted_constraint(f: &CanonFk, target_order: Option<&[&Field]>) -> Constraint {
+    let columns: Vec<(Field, Field)> = match target_order {
+        None => f.columns.clone(),
+        Some(order) => order
+            .iter()
+            .map(|want| {
+                f.columns
+                    .iter()
+                    .find(|(x, _)| &x == want)
+                    .expect("column present")
+                    .clone()
+            })
+            .collect(),
+    };
+    Constraint::ForeignKey {
+        tau: f.tau.clone(),
+        fields: columns.iter().map(|(x, _)| x.clone()).collect(),
+        target: f.target.clone(),
+        target_fields: columns.iter().map(|(_, y)| y.clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::examples::publishers_dtdc;
+
+    fn publishers_sigma() -> Vec<Constraint> {
+        publishers_dtdc().constraints().to_vec()
+    }
+
+    #[test]
+    fn declared_and_permuted_fks() {
+        let sigma = publishers_sigma();
+        let s = LpSolver::new(&sigma).unwrap();
+        let declared = Constraint::fk(
+            "editor",
+            ["pname", "country"],
+            "publisher",
+            ["pname", "country"],
+        );
+        let v = s.implies(&declared);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        let permuted = Constraint::fk(
+            "editor",
+            ["country", "pname"],
+            "publisher",
+            ["country", "pname"],
+        );
+        let v = s.implies(&permuted);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        // Keys.
+        assert!(s
+            .implies(&Constraint::key("publisher", ["pname", "country"]))
+            .is_implied());
+        assert!(!s.implies(&Constraint::key("publisher", ["pname"])).is_implied());
+    }
+
+    #[test]
+    fn non_joint_permutation_rejected_with_countermodel() {
+        let sigma = publishers_sigma();
+        let s = LpSolver::new(&sigma).unwrap();
+        let bad = Constraint::fk(
+            "editor",
+            ["pname", "country"],
+            "publisher",
+            ["country", "pname"],
+        );
+        let v = s.implies(&bad);
+        assert!(!v.is_implied());
+        if let Some(m) = v.countermodel() {
+            assert!(m.satisfies_all(&sigma), "{m}");
+            assert!(!m.satisfies(&bad), "{m}");
+        }
+    }
+
+    #[test]
+    fn transitive_composition_with_permutation() {
+        // a[x, y] ⊆ b[u, v]; b[v, u] ⊆ c[q, p] — note the twisted order:
+        // composing maps x→u→p? u aligns with v-column of the second FK…
+        let sigma = vec![
+            Constraint::key("b", ["u", "v"]),
+            Constraint::key("c", ["p", "q"]),
+            Constraint::fk("a", ["x", "y"], "b", ["u", "v"]),
+            Constraint::fk("b", ["v", "u"], "c", ["q", "p"]),
+        ];
+        let s = LpSolver::new(&sigma).unwrap();
+        // x ↦ u ↦ p and y ↦ v ↦ q.
+        let phi = Constraint::fk("a", ["x", "y"], "c", ["p", "q"]);
+        let v = s.implies(&phi);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        // The twisted composition is not implied.
+        let bad = Constraint::fk("a", ["x", "y"], "c", ["q", "p"]);
+        assert!(!s.implies(&bad).is_implied());
+    }
+
+    #[test]
+    fn pk_fk_reflexive() {
+        let sigma = vec![Constraint::key("p", ["a", "b"])];
+        let s = LpSolver::new(&sigma).unwrap();
+        let phi = Constraint::fk("p", ["a", "b"], "p", ["a", "b"]);
+        let v = s.implies(&phi);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        // Non-key reflexive is not implied.
+        let bad = Constraint::fk("p", ["a"], "p", ["a"]);
+        assert!(!s.implies(&bad).is_implied());
+    }
+
+    #[test]
+    fn restriction_violations_rejected() {
+        assert!(matches!(
+            LpSolver::new(&[
+                Constraint::key("p", ["a"]),
+                Constraint::key("p", ["b"]),
+            ]),
+            Err(LpError::TwoKeys(_))
+        ));
+        assert!(matches!(
+            LpSolver::new(&[
+                Constraint::key("p", ["a"]),
+                Constraint::fk("e", ["x"], "p", ["b"]),
+            ]),
+            Err(LpError::TargetNotPrimary(_))
+        ));
+        assert!(matches!(
+            LpSolver::new(&[Constraint::Id { tau: "p".into() }]),
+            Err(LpError::NotL(_))
+        ));
+        assert!(matches!(
+            LpSolver::new(&[
+                Constraint::key("p", ["a", "b"]),
+                Constraint::fk("e", ["x", "x"], "p", ["a", "b"]),
+            ]),
+            Err(LpError::RepeatedColumn(_))
+        ));
+    }
+
+    #[test]
+    fn diamond_compositions_agree() {
+        // r0 → r1 → r3 and r0 → r2 → r3, with a column twist on one arm:
+        // the two composed FKs differ, and only the untwisted one holds.
+        let sigma = vec![
+            Constraint::key("r1", ["a", "b"]),
+            Constraint::key("r2", ["a", "b"]),
+            Constraint::key("r3", ["a", "b"]),
+            // Left arm: straight-through.
+            Constraint::fk("r0", ["x", "y"], "r1", ["a", "b"]),
+            Constraint::fk("r1", ["a", "b"], "r3", ["a", "b"]),
+            // Right arm: twisted into r2, untwisted out.
+            Constraint::fk("r0", ["y", "x"], "r2", ["a", "b"]),
+            Constraint::fk("r2", ["b", "a"], "r3", ["a", "b"]),
+        ];
+        let s = LpSolver::new(&sigma).unwrap();
+        // Left arm composition: x→a, y→b.
+        let left = Constraint::fk("r0", ["x", "y"], "r3", ["a", "b"]);
+        let v = s.implies(&left);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        // Right arm composition: y→a→b?? trace: r0.y→r2.a, r0.x→r2.b;
+        // then r2.b→r3.a, r2.a→r3.b: so x→a and y→b — the SAME bijection;
+        // the diamond commutes and nothing new appears.
+        let twisted = Constraint::fk("r0", ["x", "y"], "r3", ["b", "a"]);
+        assert!(!s.implies(&twisted).is_implied());
+        assert!(s.decide(&left));
+        assert!(!s.decide(&twisted));
+    }
+
+    #[test]
+    fn diamond_with_conflicting_arms() {
+        // Same diamond but the right arm composes to the twisted bijection:
+        // both compositions are then derivable facts (they are different
+        // constraints on the same pair of relations).
+        let sigma = vec![
+            Constraint::key("r1", ["a", "b"]),
+            Constraint::key("r2", ["a", "b"]),
+            Constraint::key("r3", ["a", "b"]),
+            Constraint::fk("r0", ["x", "y"], "r1", ["a", "b"]),
+            Constraint::fk("r1", ["a", "b"], "r3", ["a", "b"]),
+            Constraint::fk("r0", ["x", "y"], "r2", ["a", "b"]),
+            Constraint::fk("r2", ["a", "b"], "r3", ["b", "a"]),
+        ];
+        let s = LpSolver::new(&sigma).unwrap();
+        for phi in [
+            Constraint::fk("r0", ["x", "y"], "r3", ["a", "b"]),
+            Constraint::fk("r0", ["x", "y"], "r3", ["b", "a"]),
+        ] {
+            let v = s.implies(&phi);
+            assert!(v.is_implied(), "{phi}");
+            v.proof().unwrap().verify(&sigma, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn decide_matches_implies() {
+        let sigma = publishers_sigma();
+        let s = LpSolver::new(&sigma).unwrap();
+        let queries = [
+            Constraint::key("publisher", ["pname", "country"]),
+            Constraint::key("publisher", ["pname"]),
+            Constraint::fk(
+                "editor",
+                ["country", "pname"],
+                "publisher",
+                ["country", "pname"],
+            ),
+            Constraint::fk(
+                "editor",
+                ["pname", "country"],
+                "publisher",
+                ["country", "pname"],
+            ),
+            Constraint::fk(
+                "publisher",
+                ["pname", "country"],
+                "publisher",
+                ["pname", "country"],
+            ),
+        ];
+        for phi in queries {
+            assert_eq!(s.decide(&phi), s.implies(&phi).is_implied(), "{phi}");
+        }
+    }
+
+    #[test]
+    fn sub_element_composite_keys() {
+        // §3.4 for L: a composite primary key mixing an attribute and a
+        // unique sub-element.
+        let k = Constraint::Key {
+            tau: "person".into(),
+            fields: vec![Field::attr("ssn"), Field::sub("name")],
+        };
+        let fk = Constraint::ForeignKey {
+            tau: "employee".into(),
+            fields: vec![Field::attr("p_ssn"), Field::sub("p_name")],
+            target: "person".into(),
+            target_fields: vec![Field::attr("ssn"), Field::sub("name")],
+        };
+        let sigma = vec![k.clone(), fk.clone()];
+        let s = LpSolver::new(&sigma).unwrap();
+        // Jointly permuted form is implied.
+        let permuted = Constraint::ForeignKey {
+            tau: "employee".into(),
+            fields: vec![Field::sub("p_name"), Field::attr("p_ssn")],
+            target: "person".into(),
+            target_fields: vec![Field::sub("name"), Field::attr("ssn")],
+        };
+        let v = s.implies(&permuted);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        // Crossing attribute and sub-element columns is not.
+        let crossed = Constraint::ForeignKey {
+            tau: "employee".into(),
+            fields: vec![Field::attr("p_ssn"), Field::sub("p_name")],
+            target: "person".into(),
+            target_fields: vec![Field::sub("name"), Field::attr("ssn")],
+        };
+        assert!(!s.implies(&crossed).is_implied());
+    }
+
+    #[test]
+    fn longer_chain_saturates() {
+        // A chain of four relations with arity-3 keys.
+        let mut sigma = Vec::new();
+        let names = ["r0", "r1", "r2", "r3"];
+        for r in &names {
+            sigma.push(Constraint::key(*r, ["k1", "k2", "k3"]));
+        }
+        for w in names.windows(2) {
+            sigma.push(Constraint::fk(
+                w[0],
+                ["k1", "k2", "k3"],
+                w[1],
+                ["k1", "k2", "k3"],
+            ));
+        }
+        let s = LpSolver::new(&sigma).unwrap();
+        let phi = Constraint::fk("r0", ["k1", "k2", "k3"], "r3", ["k1", "k2", "k3"]);
+        let v = s.implies(&phi);
+        assert!(v.is_implied());
+        v.proof().unwrap().verify(&sigma, None).unwrap();
+        assert!(!s
+            .implies(&Constraint::fk(
+                "r3",
+                ["k1", "k2", "k3"],
+                "r0",
+                ["k1", "k2", "k3"]
+            ))
+            .is_implied());
+    }
+}

@@ -1,0 +1,757 @@
+//! Machine-checkable derivations in the paper's axiom systems.
+//!
+//! A [`Proof`] is a linear derivation: a list of [`Step`]s, each concluding
+//! a constraint by one [`Rule`] from earlier steps (or from `Σ` by
+//! [`Rule::Hypothesis`]). [`Proof::verify`] re-checks every step, so solver
+//! answers of `Implied` are independently auditable — this is how the
+//! test-suite exercises the *soundness* halves of Prop 3.1, Thm 3.2, Thm
+//! 3.4 and Thm 3.8.
+//!
+//! Rule inventory:
+//!
+//! * `I_id` (§3.1): `ID-FK`, `FK-ID`, `SFK-ID`, `Inv-SFK-ID`, plus `ID-Key`
+//!   (the ID constraint is strictly stronger than the unary key on the ID
+//!   attribute; see DESIGN.md) and inverse symmetry.
+//! * `I_u` (§3.2): `UK-FK`, `UFK-K`, `SFK-K`, `UFK-trans`, `USFK-trans`,
+//!   `Inv-SFK`, inverse symmetry; `I_u^f` adds the cycle rules `C_k`.
+//! * `I_p` (§3.3): `PK-FK`, `PFK-K`, `PFK-perm`, `PFK-trans`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use xic_constraints::{Constraint, DtdStructure, Field};
+
+/// The inference rules across all three axiom systems.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rule {
+    /// The conclusion is a member of `Σ`.
+    Hypothesis,
+    /// `ID-FK`: `τ.id →_id τ ⊢ τ.id ⊆ τ.id`.
+    IdFk,
+    /// `FK-ID`: `τ.l ⊆ τ'.id ⊢ τ'.id →_id τ'`.
+    FkId,
+    /// `SFK-ID`: `τ.l ⊆_S τ'.id ⊢ τ'.id →_id τ'`.
+    SfkId,
+    /// `Inv-SFK-ID`: `τ.l ⇌ τ'.l' ⊢ τ.l ⊆_S τ'.id` (and symmetrically).
+    InvSfkId,
+    /// `ID-Key`: `τ.id →_id τ ⊢ τ.id → τ` (document-wide uniqueness
+    /// implies per-type uniqueness).
+    IdKey,
+    /// Symmetry of `L_id` inverse constraints.
+    InvIdSym,
+    /// `UK-FK`: `τ.l → τ ⊢ τ.l ⊆ τ.l`.
+    UkFk,
+    /// `UFK-K`: `τ.l ⊆ τ'.l' ⊢ τ'.l' → τ'`.
+    UfkK,
+    /// `SFK-K`: `τ.l ⊆_S τ'.l' ⊢ τ'.l' → τ'`.
+    SfkK,
+    /// `UFK-trans`: `τ₁.l₁ ⊆ τ₂.l₂, τ₂.l₂ ⊆ τ₃.l₃ ⊢ τ₁.l₁ ⊆ τ₃.l₃`.
+    UfkTrans,
+    /// `USFK-trans`: `τ₁.l₁ ⊆_S τ₂.l₂, τ₂.l₂ ⊆ τ₃.l₃ ⊢ τ₁.l₁ ⊆_S τ₃.l₃`.
+    UsfkTrans,
+    /// `Inv-SFK`: `τ(l_k).l ⇌ τ'(l'_k).l' ⊢ τ.l_k → τ` (and the partner
+    /// key).
+    InvSfk,
+    /// Symmetry of `L_u` inverse constraints.
+    InvUSym,
+    /// `C_k` (finite implication only): a cardinality cycle reverses a
+    /// unary foreign key. The first premise is the foreign key
+    /// `τ.l ⊆ τ'.l'` being reversed; the remaining premises trace a
+    /// cardinality-nonincreasing chain from `τ'.l'` back to `τ.l`, each
+    /// being either a foreign key (a value-inclusion step) or a key
+    /// constraint `σ.g → σ` (a same-type step `σ.f ⇒ σ.g`, sound because
+    /// `|ext(σ).f| ≤ |ext(σ)| = |ext(σ).g|`).
+    Cycle,
+    /// `PK-FK`: `τ[X] → τ ⊢ τ[X] ⊆ τ[X]`.
+    PkFk,
+    /// `PFK-K`: `τ[X] ⊆ τ'[Y] ⊢ τ'[Y] → τ'`.
+    PfkK,
+    /// `PFK-perm`: jointly permute the two sides of a foreign key.
+    PfkPerm,
+    /// `PFK-trans`: compose column-aligned foreign keys.
+    PfkTrans,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::Hypothesis => "hyp",
+            Rule::IdFk => "ID-FK",
+            Rule::FkId => "FK-ID",
+            Rule::SfkId => "SFK-ID",
+            Rule::InvSfkId => "Inv-SFK-ID",
+            Rule::IdKey => "ID-Key",
+            Rule::InvIdSym => "Inv-sym",
+            Rule::UkFk => "UK-FK",
+            Rule::UfkK => "UFK-K",
+            Rule::SfkK => "SFK-K",
+            Rule::UfkTrans => "UFK-trans",
+            Rule::UsfkTrans => "USFK-trans",
+            Rule::InvSfk => "Inv-SFK",
+            Rule::InvUSym => "Inv-sym",
+            Rule::Cycle => "C_k",
+            Rule::PkFk => "PK-FK",
+            Rule::PfkK => "PFK-K",
+            Rule::PfkPerm => "PFK-perm",
+            Rule::PfkTrans => "PFK-trans",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One derivation step.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// The constraint concluded by this step.
+    pub conclusion: Constraint,
+    /// The rule applied.
+    pub rule: Rule,
+    /// Indices of earlier steps serving as premises.
+    pub premises: Vec<usize>,
+}
+
+/// A linear derivation; the last step's conclusion is what the proof
+/// proves.
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+/// Why a proof failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofError {
+    /// The failing step index.
+    pub step: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proof step {} invalid: {}", self.step, self.reason)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// True iff `attr` denotes the ID attribute of `tau` — either the literal
+/// pseudo-name `id`, or (when a structure is given) the declared one.
+fn is_id_attr(structure: Option<&DtdStructure>, tau: &xic_model::Name, attr: &xic_model::Name) -> bool {
+    attr.as_str() == "id" || structure.is_some_and(|s| s.id_attr(tau) == Some(attr))
+}
+
+impl Proof {
+    /// A one-step proof from a hypothesis.
+    pub fn hypothesis(c: Constraint) -> Proof {
+        Proof {
+            steps: vec![Step {
+                conclusion: c,
+                rule: Rule::Hypothesis,
+                premises: vec![],
+            }],
+        }
+    }
+
+    /// Appends a step and returns its index.
+    pub fn push(&mut self, conclusion: Constraint, rule: Rule, premises: Vec<usize>) -> usize {
+        self.steps.push(Step {
+            conclusion,
+            rule,
+            premises,
+        });
+        self.steps.len() - 1
+    }
+
+    /// The proved constraint (the last conclusion).
+    pub fn conclusion(&self) -> Option<&Constraint> {
+        self.steps.last().map(|s| &s.conclusion)
+    }
+
+    /// Verifies every step against `Σ` (and optionally a structure, used to
+    /// resolve the `id` pseudo-attribute of `L_id` rules).
+    pub fn verify(
+        &self,
+        sigma: &[Constraint],
+        structure: Option<&DtdStructure>,
+    ) -> Result<(), ProofError> {
+        for (i, step) in self.steps.iter().enumerate() {
+            let err = |reason: String| ProofError { step: i, reason };
+            for &p in &step.premises {
+                if p >= i {
+                    return Err(err(format!("premise {p} is not an earlier step")));
+                }
+            }
+            let prem: Vec<&Constraint> =
+                step.premises.iter().map(|&p| &self.steps[p].conclusion).collect();
+            let c = &step.conclusion;
+            let ok = match step.rule {
+                Rule::Hypothesis => sigma.contains(c),
+                Rule::IdFk => matches!(
+                    (prem.as_slice(), c),
+                    ([Constraint::Id { tau }], Constraint::FkToId { tau: t, attr, target })
+                        if t == tau && target == tau && is_id_attr(structure, tau, attr)
+                ),
+                Rule::FkId => matches!(
+                    (prem.as_slice(), c),
+                    ([Constraint::FkToId { target, .. }], Constraint::Id { tau })
+                        if tau == target
+                ),
+                Rule::SfkId => matches!(
+                    (prem.as_slice(), c),
+                    ([Constraint::SetFkToId { target, .. }], Constraint::Id { tau })
+                        if tau == target
+                ),
+                Rule::InvSfkId => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::InverseId { tau, attr, target, target_attr }],
+                        Constraint::SetFkToId { tau: ct, attr: ca, target: cg },
+                    ) => {
+                        (ct == tau && ca == attr && cg == target)
+                            || (ct == target && ca == target_attr && cg == tau)
+                    }
+                    _ => false,
+                },
+                Rule::IdKey => match (prem.as_slice(), c) {
+                    ([Constraint::Id { tau }], Constraint::Key { tau: ct, fields }) => {
+                        ct == tau
+                            && fields.len() == 1
+                            && matches!(&fields[0], Field::Attr(a) if is_id_attr(structure, tau, a))
+                    }
+                    _ => false,
+                },
+                Rule::InvIdSym => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::InverseId { tau, attr, target, target_attr }],
+                        Constraint::InverseId {
+                            tau: ct,
+                            attr: ca,
+                            target: cg,
+                            target_attr: cga,
+                        },
+                    ) => ct == target && ca == target_attr && cg == tau && cga == attr,
+                    _ => false,
+                },
+                Rule::UkFk => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::Key { tau, fields }],
+                        Constraint::ForeignKey {
+                            tau: ct,
+                            fields: cf,
+                            target,
+                            target_fields,
+                        },
+                    ) => {
+                        fields.len() == 1
+                            && ct == tau
+                            && target == tau
+                            && cf == fields
+                            && target_fields == fields
+                    }
+                    _ => false,
+                },
+                Rule::UfkK => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::ForeignKey { target, target_fields, .. }],
+                        Constraint::Key { tau, fields },
+                    ) => {
+                        target_fields.len() == 1 && tau == target && fields == target_fields
+                    }
+                    _ => false,
+                },
+                Rule::SfkK => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::SetForeignKey { target, target_field, .. }],
+                        Constraint::Key { tau, fields },
+                    ) => tau == target && fields.len() == 1 && &fields[0] == target_field,
+                    _ => false,
+                },
+                Rule::UfkTrans => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::ForeignKey {
+                            tau: t1,
+                            fields: f1,
+                            target: t2,
+                            target_fields: g2,
+                        }, Constraint::ForeignKey {
+                            tau: t2b,
+                            fields: f2b,
+                            target: t3,
+                            target_fields: g3,
+                        }],
+                        Constraint::ForeignKey {
+                            tau: ct,
+                            fields: cf,
+                            target: cg,
+                            target_fields: cgf,
+                        },
+                    ) => {
+                        f1.len() == 1
+                            && t2 == t2b
+                            && g2 == f2b
+                            && ct == t1
+                            && cf == f1
+                            && cg == t3
+                            && cgf == g3
+                    }
+                    _ => false,
+                },
+                Rule::UsfkTrans => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::SetForeignKey {
+                            tau: t1,
+                            attr: l1,
+                            target: t2,
+                            target_field: g2,
+                        }, Constraint::ForeignKey {
+                            tau: t2b,
+                            fields: f2b,
+                            target: t3,
+                            target_fields: g3,
+                        }],
+                        Constraint::SetForeignKey {
+                            tau: ct,
+                            attr: ca,
+                            target: cg,
+                            target_field: cgf,
+                        },
+                    ) => {
+                        t2 == t2b
+                            && f2b.len() == 1
+                            && &f2b[0] == g2
+                            && g3.len() == 1
+                            && ct == t1
+                            && ca == l1
+                            && cg == t3
+                            && cgf == &g3[0]
+                    }
+                    _ => false,
+                },
+                Rule::InvSfk => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::InverseU { tau, key, target, target_key, .. }],
+                        Constraint::Key { tau: ct, fields },
+                    ) => {
+                        fields.len() == 1
+                            && ((ct == tau && &fields[0] == key)
+                                || (ct == target && &fields[0] == target_key))
+                    }
+                    _ => false,
+                },
+                Rule::InvUSym => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::InverseU {
+                            tau,
+                            key,
+                            attr,
+                            target,
+                            target_key,
+                            target_attr,
+                        }],
+                        Constraint::InverseU {
+                            tau: ct,
+                            key: ck,
+                            attr: ca,
+                            target: cg,
+                            target_key: cgk,
+                            target_attr: cga,
+                        },
+                    ) => {
+                        ct == target
+                            && ck == target_key
+                            && ca == target_attr
+                            && cg == tau
+                            && cgk == key
+                            && cga == attr
+                    }
+                    _ => false,
+                },
+                Rule::Cycle => self.check_cycle(&prem, c).map_err(err)?,
+                Rule::PkFk => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::Key { tau, fields }],
+                        Constraint::ForeignKey {
+                            tau: ct,
+                            fields: cf,
+                            target,
+                            target_fields,
+                        },
+                    ) => {
+                        ct == tau
+                            && target == tau
+                            && cf == target_fields
+                            && as_set(cf) == as_set(fields)
+                    }
+                    _ => false,
+                },
+                Rule::PfkK => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::ForeignKey { target, target_fields, .. }],
+                        Constraint::Key { tau, fields },
+                    ) => tau == target && as_set(fields) == as_set(target_fields),
+                    _ => false,
+                },
+                Rule::PfkPerm => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::ForeignKey {
+                            tau: t1,
+                            fields: f1,
+                            target: t2,
+                            target_fields: g1,
+                        }],
+                        Constraint::ForeignKey {
+                            tau: ct,
+                            fields: cf,
+                            target: cg,
+                            target_fields: cgf,
+                        },
+                    ) => {
+                        ct == t1
+                            && cg == t2
+                            && f1.len() == cf.len()
+                            && pair_set(f1, g1) == pair_set(cf, cgf)
+                    }
+                    _ => false,
+                },
+                Rule::PfkTrans => match (prem.as_slice(), c) {
+                    (
+                        [Constraint::ForeignKey {
+                            tau: t1,
+                            fields: f1,
+                            target: t2,
+                            target_fields: g2,
+                        }, Constraint::ForeignKey {
+                            tau: t2b,
+                            fields: f2b,
+                            target: t3,
+                            target_fields: g3,
+                        }],
+                        Constraint::ForeignKey {
+                            tau: ct,
+                            fields: cf,
+                            target: cg,
+                            target_fields: cgf,
+                        },
+                    ) => {
+                        t2 == t2b
+                            && g2 == f2b
+                            && ct == t1
+                            && cf == f1
+                            && cg == t3
+                            && cgf == g3
+                    }
+                    _ => false,
+                },
+            };
+            if !ok {
+                return Err(ProofError {
+                    step: i,
+                    reason: format!(
+                        "rule {} does not conclude {} from {:?}",
+                        step.rule,
+                        step.conclusion,
+                        prem.iter().map(ToString::to_string).collect::<Vec<_>>()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a `C_k` instance (see [`Rule::Cycle`]).
+    fn check_cycle(&self, prem: &[&Constraint], c: &Constraint) -> Result<bool, String> {
+        let Constraint::ForeignKey {
+            tau: ctau,
+            fields: cfields,
+            target: ctarget,
+            target_fields: ctfields,
+        } = c
+        else {
+            return Ok(false);
+        };
+        if cfields.len() != 1 || ctfields.len() != 1 {
+            return Ok(false);
+        }
+        let Some((Constraint::ForeignKey {
+            tau: a_tau,
+            fields: a_fields,
+            target: b_tau,
+            target_fields: b_fields,
+        }, chain)) = prem.split_first().map(|(f, r)| (*f, r))
+        else {
+            return Ok(false);
+        };
+        if a_fields.len() != 1 || b_fields.len() != 1 {
+            return Ok(false);
+        }
+        // Conclusion must reverse the first premise.
+        if !(ctau == b_tau
+            && cfields == b_fields
+            && ctarget == a_tau
+            && ctfields == a_fields)
+        {
+            return Ok(false);
+        }
+        // Walk the chain from (b_tau, b_field) back to (a_tau, a_field).
+        let mut cur = (b_tau.clone(), b_fields[0].clone());
+        for step in chain {
+            match step {
+                Constraint::ForeignKey {
+                    tau,
+                    fields,
+                    target,
+                    target_fields,
+                } if fields.len() == 1 && target_fields.len() == 1 => {
+                    if !(tau == &cur.0 && fields[0] == cur.1) {
+                        return Err(format!(
+                            "cycle chain breaks at {}.{}",
+                            cur.0, cur.1
+                        ));
+                    }
+                    cur = (target.clone(), target_fields[0].clone());
+                }
+                Constraint::Key { tau, fields } if fields.len() == 1 => {
+                    if tau != &cur.0 {
+                        return Err(format!(
+                            "cycle key step on {tau} but chain is at {}",
+                            cur.0
+                        ));
+                    }
+                    cur = (tau.clone(), fields[0].clone());
+                }
+                other => {
+                    return Err(format!("bad cycle premise {other}"));
+                }
+            }
+        }
+        Ok(cur.0 == *a_tau && cur.1 == a_fields[0])
+    }
+}
+
+fn as_set(fields: &[Field]) -> BTreeSet<&Field> {
+    fields.iter().collect()
+}
+
+fn pair_set<'a>(xs: &'a [Field], ys: &'a [Field]) -> BTreeSet<(&'a Field, &'a Field)> {
+    xs.iter().zip(ys.iter()).collect()
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            write!(f, "{i}. {}   [{}", s.conclusion, s.rule)?;
+            if !s.premises.is_empty() {
+                write!(
+                    f,
+                    " {}",
+                    s.premises
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypothesis_checks_membership() {
+        let k = Constraint::unary_key("a", "x");
+        let p = Proof::hypothesis(k.clone());
+        assert!(p.verify(std::slice::from_ref(&k), None).is_ok());
+        assert!(p.verify(&[], None).is_err());
+        assert_eq!(p.conclusion(), Some(&k));
+    }
+
+    #[test]
+    fn uk_fk_and_ufk_k() {
+        let k = Constraint::unary_key("a", "x");
+        let mut p = Proof::hypothesis(k.clone());
+        let i = p.push(
+            Constraint::unary_fk("a", "x", "a", "x"),
+            Rule::UkFk,
+            vec![0],
+        );
+        p.push(Constraint::unary_key("a", "x"), Rule::UfkK, vec![i]);
+        assert!(p.verify(&[k], None).is_ok());
+    }
+
+    #[test]
+    fn transitivity_chain() {
+        let f1 = Constraint::unary_fk("a", "x", "b", "y");
+        let f2 = Constraint::unary_fk("b", "y", "c", "z");
+        let mut p = Proof::hypothesis(f1.clone());
+        p.push(f2.clone(), Rule::Hypothesis, vec![]);
+        p.push(
+            Constraint::unary_fk("a", "x", "c", "z"),
+            Rule::UfkTrans,
+            vec![0, 1],
+        );
+        assert!(p.verify(&[f1.clone(), f2.clone()], None).is_ok());
+        // Mismatched middle attribute fails.
+        let mut bad = Proof::hypothesis(f1.clone());
+        bad.push(
+            Constraint::unary_fk("b", "OTHER", "c", "z"),
+            Rule::Hypothesis,
+            vec![],
+        );
+        bad.push(
+            Constraint::unary_fk("a", "x", "c", "z"),
+            Rule::UfkTrans,
+            vec![0, 1],
+        );
+        assert!(bad
+            .verify(
+                &[f1, Constraint::unary_fk("b", "OTHER", "c", "z")],
+                None
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn lid_rules() {
+        let sigma = vec![
+            Constraint::Id { tau: "p".into() },
+            Constraint::InverseId {
+                tau: "d".into(),
+                attr: "staff".into(),
+                target: "p".into(),
+                target_attr: "in".into(),
+            },
+        ];
+        let mut p = Proof::hypothesis(sigma[1].clone());
+        let s = p.push(
+            Constraint::SetFkToId {
+                tau: "d".into(),
+                attr: "staff".into(),
+                target: "p".into(),
+            },
+            Rule::InvSfkId,
+            vec![0],
+        );
+        p.push(Constraint::Id { tau: "p".into() }, Rule::SfkId, vec![s]);
+        p.push(
+            Constraint::FkToId {
+                tau: "p".into(),
+                attr: "id".into(),
+                target: "p".into(),
+            },
+            Rule::IdFk,
+            vec![2],
+        );
+        p.push(Constraint::unary_key("p", "id"), Rule::IdKey, vec![2]);
+        assert!(p.verify(&sigma, None).is_ok(), "{p}");
+    }
+
+    #[test]
+    fn cycle_rule_instance() {
+        // Σ = {a key, b key (same type t), t.a ⊆ t.b}; C_k reverses it:
+        // t.b ⊆ t.a via the chain t.b ⇒(key a) t.a.
+        let ka = Constraint::unary_key("t", "a");
+        let kb = Constraint::unary_key("t", "b");
+        let fk = Constraint::unary_fk("t", "a", "t", "b");
+        let sigma = vec![ka.clone(), kb.clone(), fk.clone()];
+        let mut p = Proof::hypothesis(fk);
+        p.push(ka.clone(), Rule::Hypothesis, vec![]);
+        p.push(
+            Constraint::unary_fk("t", "b", "t", "a"),
+            Rule::Cycle,
+            vec![0, 1],
+        );
+        assert!(p.verify(&sigma, None).is_ok(), "{p}");
+
+        // A longer (redundant) chain is still valid: b ⇒(key b) b
+        // ⇒(key a) a.
+        let mut long = Proof::hypothesis(sigma[2].clone());
+        long.push(kb, Rule::Hypothesis, vec![]);
+        long.push(ka, Rule::Hypothesis, vec![]);
+        long.push(
+            Constraint::unary_fk("t", "b", "t", "a"),
+            Rule::Cycle,
+            vec![0, 1, 2],
+        );
+        assert!(long.verify(&sigma, None).is_ok(), "{long}");
+
+        // A chain ending at the wrong node is rejected.
+        let mut bad2 = Proof::hypothesis(sigma[2].clone());
+        bad2.push(
+            Constraint::unary_key("t", "zzz"),
+            Rule::Hypothesis,
+            vec![],
+        );
+        bad2.push(
+            Constraint::unary_fk("t", "b", "t", "a"),
+            Rule::Cycle,
+            vec![0, 1],
+        );
+        assert!(bad2
+            .verify(
+                &[sigma[2].clone(), Constraint::unary_key("t", "zzz")],
+                None
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn primary_rules() {
+        let k = Constraint::key("p", ["a", "b"]);
+        let fk = Constraint::fk("e", ["x", "y"], "p", ["a", "b"]);
+        let sigma = vec![k.clone(), fk.clone()];
+        let mut p = Proof::hypothesis(fk.clone());
+        // Permute jointly.
+        p.push(
+            Constraint::fk("e", ["y", "x"], "p", ["b", "a"]),
+            Rule::PfkPerm,
+            vec![0],
+        );
+        // PFK-K on the permuted FK.
+        p.push(Constraint::key("p", ["a", "b"]), Rule::PfkK, vec![1]);
+        // PK-FK.
+        p.push(
+            Constraint::fk("p", ["a", "b"], "p", ["a", "b"]),
+            Rule::PkFk,
+            vec![2],
+        );
+        assert!(p.verify(&sigma, None).is_ok(), "{p}");
+
+        // Non-joint permutation rejected.
+        let mut bad = Proof::hypothesis(fk.clone());
+        bad.push(
+            Constraint::fk("e", ["y", "x"], "p", ["a", "b"]),
+            Rule::PfkPerm,
+            vec![0],
+        );
+        assert!(bad.verify(&sigma, None).is_err());
+    }
+
+    #[test]
+    fn premise_ordering_enforced() {
+        let mut p = Proof::default();
+        p.push(
+            Constraint::unary_key("a", "x"),
+            Rule::UfkK,
+            vec![5],
+        );
+        assert!(p.verify(&[], None).is_err());
+    }
+
+    #[test]
+    fn display_shows_rules() {
+        let mut p = Proof::hypothesis(Constraint::unary_key("a", "x"));
+        p.push(
+            Constraint::unary_fk("a", "x", "a", "x"),
+            Rule::UkFk,
+            vec![0],
+        );
+        let s = p.to_string();
+        assert!(s.contains("[hyp]"));
+        assert!(s.contains("[UK-FK 0]"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # xic-legacy — constraint-preserving export of legacy databases to XML
+//!
+//! Section 1 of Fan & Siméon (PODS 2000) motivates the constraint
+//! languages with data "originating in legacy sources, notably relational
+//! and object databases": keys, foreign keys, and inverse relationships
+//! "convey a fundamental part of the original information that we do not
+//! want to lose". This crate makes those translations executable:
+//!
+//! * [`RelSchema`] — relational schemas (relations, columns, primary keys,
+//!   foreign keys) exported to a `DTD^C` with **`L`** constraints
+//!   ([`RelSchema::to_dtdc`]), mirroring the paper's publishers/editors
+//!   example; with instances ([`RelInstance`]) exported to data trees and
+//!   a synthetic FK-consistent generator for benchmarks;
+//! * [`ObjSchema`] — ODL-style object schemas (classes, string attributes,
+//!   keys, single/many relationships with optional inverses) exported to a
+//!   `DTD^C` with **`L_id`** constraints ([`ObjSchema::to_dtdc`]),
+//!   mirroring the paper's person/dept example; with [`ObjInstance`]
+//!   export and a consistent generator.
+//!
+//! The exporters follow the paper's encodings: relational rows become
+//! elements whose columns are both sub-elements (document-friendly) and
+//! attributes (so `L`'s attribute-based keys apply); objects keep their
+//! identity in an `ID` attribute `oid`, relationships become
+//! `IDREF`/`IDREFS` attributes, and every declared inverse becomes an
+//! `L_id` inverse constraint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod object;
+mod relational;
+
+pub use object::{Class, ObjInstance, ObjSchema, Relationship};
+pub use relational::{RelFk, RelInstance, RelSchema, Relation};

@@ -1,0 +1,134 @@
+//! Cheaply clonable interned-ish names for element types and attributes.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A name drawn from the paper's alphabets **E** (element names) or **A**
+/// (attribute names).
+///
+/// `Name` is an immutable, reference-counted string: cloning is O(1) and the
+/// same spelling compares equal regardless of provenance. It is used for
+/// element-type names, attribute names, and path labels throughout the
+/// workspace.
+///
+/// ```
+/// use xic_model::Name;
+/// let a = Name::new("entry");
+/// let b: Name = "entry".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "entry");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from any string-like value.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Name {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equality_is_by_spelling() {
+        let a = Name::new(String::from("book"));
+        let b = Name::new("book");
+        assert_eq!(a, b);
+        assert_ne!(a, Name::new("entry"));
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup() {
+        let mut m: HashMap<Name, u32> = HashMap::new();
+        m.insert(Name::new("isbn"), 7);
+        assert_eq!(m.get("isbn"), Some(&7));
+        assert_eq!(m.get("sid"), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Name::new("c"), Name::new("a"), Name::new("b")];
+        v.sort();
+        assert_eq!(v, vec![Name::new("a"), Name::new("b"), Name::new("c")]);
+    }
+
+    #[test]
+    fn display_and_compare_with_str() {
+        let n = Name::new("dept");
+        assert_eq!(n.to_string(), "dept");
+        assert!(n == "dept");
+        assert_eq!(&*n, "dept");
+    }
+}

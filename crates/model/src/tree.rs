@@ -1,0 +1,701 @@
+//! Data trees (Definition 2.1) and their construction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::Name;
+
+/// An atomic value, i.e. an element of the paper's set **S** of string
+/// values. All atomic values are of the single type `S`.
+pub type Value = String;
+
+/// Identifier of a vertex in a [`DataTree`]'s vertex set `V`.
+///
+/// Node ids are dense indices assigned in creation order; the root of a tree
+/// built with [`TreeBuilder`] is always the node passed to
+/// [`TreeBuilder::finish`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One entry of a vertex's ordered child list: `elem` maps a vertex to
+/// `E × F(S ∪ V)`, so a child is either a string value or a sub-tree vertex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Child {
+    /// A string child (a member of **S**).
+    Text(Value),
+    /// An element child (a member of `V`).
+    Node(NodeId),
+}
+
+impl Child {
+    /// The node id if this child is an element, else `None`.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Child::Node(n) => Some(*n),
+            Child::Text(_) => None,
+        }
+    }
+
+    /// The text if this child is a string value, else `None`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Child::Text(t) => Some(t),
+            Child::Node(_) => None,
+        }
+    }
+}
+
+/// The value of one attribute: a non-empty set of atomic values.
+///
+/// Definition 2.1 types `att` as `V × A → P(S)`. Single-valued attributes
+/// hold a singleton set; set-valued (`IDREFS`-style) attributes hold any
+/// finite set. Values are kept sorted and deduplicated so that two equal
+/// sets compare equal structurally.
+#[derive(Clone, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct AttrValue(Vec<Value>);
+
+impl AttrValue {
+    /// A singleton attribute value.
+    pub fn single(v: impl Into<Value>) -> Self {
+        AttrValue(vec![v.into()])
+    }
+
+    /// A set-valued attribute value; duplicates are removed and order is
+    /// normalized.
+    pub fn set<I, T>(vs: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Value>,
+    {
+        let mut v: Vec<Value> = vs.into_iter().map(Into::into).collect();
+        v.sort();
+        v.dedup();
+        AttrValue(v)
+    }
+
+    /// The members of the value set, in sorted order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// True iff the set is a singleton (as required of single-valued
+    /// attributes by Definition 2.4).
+    pub fn is_singleton(&self) -> bool {
+        self.0.len() == 1
+    }
+
+    /// For a singleton set, the unique member.
+    pub fn as_single(&self) -> Option<&Value> {
+        if self.0.len() == 1 {
+            self.0.first()
+        } else {
+            None
+        }
+    }
+
+    /// Set membership test (`s ∈ x.l`).
+    pub fn contains(&self, v: &str) -> bool {
+        self.0.binary_search_by(|x| x.as_str().cmp(v)).is_ok()
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the value set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the members in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.as_single() {
+            write!(f, "{v:?}")
+        } else {
+            write!(f, "{{")?;
+            for (i, v) in self.0.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:?}")?;
+            }
+            write!(f, "}}")
+        }
+    }
+}
+
+/// One vertex of a data tree: its label, ordered children, attributes and
+/// parent link.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The element name labelling this vertex (first component of `elem`).
+    pub label: Name,
+    /// The ordered child list (second component of `elem`).
+    pub children: Vec<Child>,
+    /// The attributes of this vertex (`att(v, ·)`), name-sorted.
+    attrs: Vec<(Name, AttrValue)>,
+    /// Parent vertex; `None` only for the root.
+    parent: Option<NodeId>,
+}
+
+impl Node {
+    /// Attribute lookup by name.
+    pub fn attr(&self, l: &str) -> Option<&AttrValue> {
+        self.attrs
+            .binary_search_by(|(n, _)| n.as_str().cmp(l))
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+
+    /// Iterates over `(name, value)` attribute pairs in name order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&Name, &AttrValue)> {
+        self.attrs.iter().map(|(n, v)| (n, v))
+    }
+
+    /// The parent vertex, or `None` for the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Iterates over the element children in document order.
+    pub fn child_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.children.iter().filter_map(Child::as_node)
+    }
+
+    /// Concatenation of the immediate text children (useful for `PCDATA`
+    /// content such as `<title>Some title</title>`).
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for c in &self.children {
+            if let Child::Text(t) = c {
+                s.push_str(t);
+            }
+        }
+        s
+    }
+}
+
+/// Errors raised while constructing a data tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A node was attached below two different parents, violating the tree
+    /// condition of Definition 2.1 ("a vertex has at most one parent").
+    SecondParent {
+        /// The node that already had a parent.
+        node: NodeId,
+    },
+    /// A node id did not belong to this builder/tree.
+    UnknownNode(NodeId),
+    /// The designated root already has a parent, so it is not a root.
+    RootHasParent(NodeId),
+    /// The same attribute was set twice on one node.
+    DuplicateAttribute {
+        /// The node carrying the attribute.
+        node: NodeId,
+        /// The attribute name set twice.
+        attr: Name,
+    },
+    /// A node other than the root is not reachable from the root.
+    Unreachable {
+        /// Count of vertices outside the root's tree.
+        orphans: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::SecondParent { node } => {
+                write!(f, "vertex {node:?} attached below a second parent")
+            }
+            ModelError::UnknownNode(n) => write!(f, "unknown vertex {n:?}"),
+            ModelError::RootHasParent(n) => {
+                write!(f, "designated root {n:?} has a parent")
+            }
+            ModelError::DuplicateAttribute { node, attr } => {
+                write!(f, "attribute {attr} set twice on {node:?}")
+            }
+            ModelError::Unreachable { orphans } => {
+                write!(f, "{orphans} vertices are not reachable from the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A data tree `(V, elem, att, root)` per Definition 2.1.
+///
+/// Construct via [`TreeBuilder`]; a finished tree is immutable and all its
+/// vertices are reachable from [`DataTree::root`].
+#[derive(Clone, Debug)]
+pub struct DataTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl DataTree {
+    /// The root vertex.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree has no vertices (never true for built trees).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a vertex.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this tree.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The element label of a vertex.
+    pub fn label(&self, id: NodeId) -> &Name {
+        &self.node(id).label
+    }
+
+    /// `x.l` — the value of attribute `l` at vertex `x` (`att(x, l)`).
+    pub fn attr(&self, x: NodeId, l: &str) -> Option<&AttrValue> {
+        self.node(x).attr(l)
+    }
+
+    /// `x[X]` — the tuple of attribute values for the sequence `X`.
+    ///
+    /// Returns `None` if any attribute in the sequence is missing or not
+    /// single-valued at `x`.
+    pub fn tuple(&self, x: NodeId, xs: &[Name]) -> Option<Vec<&Value>> {
+        xs.iter()
+            .map(|l| self.attr(x, l).and_then(AttrValue::as_single))
+            .collect()
+    }
+
+    /// All vertices, in creation (document) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// `ext(τ)` — the vertices labelled `τ`, in document order.
+    ///
+    /// This is a linear scan; use [`ExtIndex`] when querying repeatedly.
+    pub fn ext<'a>(&'a self, tau: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.node_ids()
+            .filter(move |&id| self.label(id).as_str() == tau)
+    }
+
+    /// Pre-order (document order) traversal from the root.
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![self.root],
+        }
+    }
+
+    /// Depth of a vertex (root has depth 0).
+    pub fn depth(&self, mut id: NodeId) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.node(id).parent() {
+            id = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Total count of text children across all vertices.
+    pub fn text_len(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.children.iter().filter(|c| c.as_text().is_some()).count())
+            .sum()
+    }
+}
+
+/// Pre-order iterator over a [`DataTree`].
+pub struct Preorder<'a> {
+    tree: &'a DataTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let node = self.tree.node(id);
+        // Push children reversed so they pop in document order.
+        for c in node.children.iter().rev() {
+            if let Child::Node(n) = c {
+                self.stack.push(*n);
+            }
+        }
+        Some(id)
+    }
+}
+
+/// Precomputed `τ ↦ ext(τ)` index over a [`DataTree`].
+///
+/// ```
+/// use xic_model::{TreeBuilder, ExtIndex};
+/// let mut b = TreeBuilder::new();
+/// let root = b.node("db");
+/// let p1 = b.node("person");
+/// let p2 = b.node("person");
+/// b.child(root, p1).unwrap();
+/// b.child(root, p2).unwrap();
+/// let tree = b.finish(root).unwrap();
+/// let idx = ExtIndex::build(&tree);
+/// assert_eq!(idx.ext("person").len(), 2);
+/// assert!(idx.ext("dept").is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExtIndex {
+    by_label: HashMap<Name, Vec<NodeId>>,
+}
+
+impl ExtIndex {
+    /// Builds the index in one pass over the tree.
+    pub fn build(tree: &DataTree) -> Self {
+        let mut by_label: HashMap<Name, Vec<NodeId>> = HashMap::new();
+        for id in tree.node_ids() {
+            by_label
+                .entry(tree.label(id).clone())
+                .or_default()
+                .push(id);
+        }
+        ExtIndex { by_label }
+    }
+
+    /// `ext(τ)` in document order (empty slice if `τ` never occurs).
+    pub fn ext(&self, tau: &str) -> &[NodeId] {
+        self.by_label.get(tau).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The element labels that actually occur in the tree.
+    pub fn labels(&self) -> impl Iterator<Item = &Name> {
+        self.by_label.keys()
+    }
+}
+
+/// Builder enforcing the invariants of Definition 2.1.
+///
+/// Create nodes with [`TreeBuilder::node`], link them with
+/// [`TreeBuilder::child`]/[`TreeBuilder::text`], set attributes, then call
+/// [`TreeBuilder::finish`] with the root. `finish` verifies the root is
+/// parentless and every vertex is reachable from it.
+#[derive(Default, Debug)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fresh, unattached vertex labelled `label`.
+    pub fn node(&mut self, label: impl Into<Name>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: label.into(),
+            children: Vec::new(),
+            attrs: Vec::new(),
+            parent: None,
+        });
+        id
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), ModelError> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(ModelError::UnknownNode(id))
+        }
+    }
+
+    /// Appends `child` to `parent`'s child list. Errors if `child` already
+    /// has a parent (the tree condition).
+    pub fn child(&mut self, parent: NodeId, child: NodeId) -> Result<(), ModelError> {
+        self.check(parent)?;
+        self.check(child)?;
+        if self.nodes[child.index()].parent.is_some() {
+            return Err(ModelError::SecondParent { node: child });
+        }
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(Child::Node(child));
+        Ok(())
+    }
+
+    /// Appends a string child to `parent`.
+    pub fn text(&mut self, parent: NodeId, text: impl Into<Value>) -> Result<(), ModelError> {
+        self.check(parent)?;
+        self.nodes[parent.index()]
+            .children
+            .push(Child::Text(text.into()));
+        Ok(())
+    }
+
+    /// Sets attribute `l` on `node` (an empty value set is allowed: XML's
+    /// `l=""` on a set-valued attribute denotes the empty set). Errors if
+    /// the attribute is already set.
+    pub fn attr(
+        &mut self,
+        node: NodeId,
+        l: impl Into<Name>,
+        value: AttrValue,
+    ) -> Result<(), ModelError> {
+        self.check(node)?;
+        let l = l.into();
+        let attrs = &mut self.nodes[node.index()].attrs;
+        match attrs.binary_search_by(|(n, _)| n.cmp(&l)) {
+            Ok(_) => Err(ModelError::DuplicateAttribute { node, attr: l }),
+            Err(pos) => {
+                attrs.insert(pos, (l, value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Convenience: creates a node, attaches it under `parent`, and returns
+    /// its id.
+    pub fn child_node(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<Name>,
+    ) -> Result<NodeId, ModelError> {
+        let id = self.node(label);
+        self.child(parent, id)?;
+        Ok(id)
+    }
+
+    /// Convenience: a child element holding a single text child, e.g.
+    /// `<title>t</title>`.
+    pub fn leaf(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<Name>,
+        text: impl Into<Value>,
+    ) -> Result<NodeId, ModelError> {
+        let id = self.child_node(parent, label)?;
+        self.text(id, text)?;
+        Ok(id)
+    }
+
+    /// Finishes the tree rooted at `root`, checking that `root` is
+    /// parentless and that every created vertex is reachable from it.
+    pub fn finish(self, root: NodeId) -> Result<DataTree, ModelError> {
+        if root.index() >= self.nodes.len() {
+            return Err(ModelError::UnknownNode(root));
+        }
+        if self.nodes[root.index()].parent.is_some() {
+            return Err(ModelError::RootHasParent(root));
+        }
+        // Reachability check.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            count += 1;
+            for c in &self.nodes[id.index()].children {
+                if let Child::Node(n) = c {
+                    stack.push(*n);
+                }
+            }
+        }
+        if count != self.nodes.len() {
+            return Err(ModelError::Unreachable {
+                orphans: self.nodes.len() - count,
+            });
+        }
+        Ok(DataTree {
+            nodes: self.nodes,
+            root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book_tree() -> DataTree {
+        // The paper's Figure 2 book document, abbreviated.
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        let entry = b.child_node(book, "entry").unwrap();
+        b.attr(entry, "isbn", AttrValue::single("1-55860-622-X"))
+            .unwrap();
+        b.leaf(entry, "title", "Data on the Web").unwrap();
+        b.leaf(entry, "publisher", "Morgan Kaufmann").unwrap();
+        for a in ["Abiteboul", "Buneman", "Suciu"] {
+            b.leaf(book, "author", a).unwrap();
+        }
+        let s1 = b.child_node(book, "section").unwrap();
+        b.attr(s1, "sid", AttrValue::single("intro")).unwrap();
+        b.leaf(s1, "title", "Introduction").unwrap();
+        let s11 = b.child_node(s1, "section").unwrap();
+        b.attr(s11, "sid", AttrValue::single("audience")).unwrap();
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["1-55860-622-X", "0-201-53771-0"]))
+            .unwrap();
+        b.finish(book).unwrap()
+    }
+
+    #[test]
+    fn builds_and_navigates_figure2_document() {
+        let t = book_tree();
+        assert_eq!(t.label(t.root()).as_str(), "book");
+        assert_eq!(t.ext("author").count(), 3);
+        assert_eq!(t.ext("section").count(), 2);
+        let entry = t.ext("entry").next().unwrap();
+        assert_eq!(
+            t.attr(entry, "isbn").unwrap().as_single().unwrap(),
+            "1-55860-622-X"
+        );
+        assert_eq!(t.depth(entry), 1);
+        let inner = t.ext("section").nth(1).unwrap();
+        assert_eq!(t.depth(inner), 2);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let t = book_tree();
+        let labels: Vec<&str> = t.preorder().map(|n| t.label(n).as_str()).collect();
+        assert_eq!(labels[0], "book");
+        assert_eq!(labels[1], "entry");
+        assert_eq!(labels[2], "title");
+        assert_eq!(*labels.last().unwrap(), "ref");
+        assert_eq!(labels.len(), t.len());
+    }
+
+    #[test]
+    fn ext_index_matches_scan() {
+        let t = book_tree();
+        let idx = ExtIndex::build(&t);
+        for tau in ["book", "entry", "author", "section", "ref", "missing"] {
+            let scan: Vec<NodeId> = t.ext(tau).collect();
+            assert_eq!(idx.ext(tau), scan.as_slice(), "label {tau}");
+        }
+    }
+
+    #[test]
+    fn tuple_projects_attribute_sequences() {
+        let mut b = TreeBuilder::new();
+        let p = b.node("publisher");
+        b.attr(p, "pname", AttrValue::single("MK")).unwrap();
+        b.attr(p, "country", AttrValue::single("USA")).unwrap();
+        let t = b.finish(p).unwrap();
+        let xs = [Name::new("pname"), Name::new("country")];
+        let tup = t.tuple(p, &xs).unwrap();
+        assert_eq!(tup, [&"MK".to_string(), &"USA".to_string()]);
+        assert!(t.tuple(p, &[Name::new("missing")]).is_none());
+    }
+
+    #[test]
+    fn tuple_rejects_set_valued_components() {
+        let mut b = TreeBuilder::new();
+        let r = b.node("ref");
+        b.attr(r, "to", AttrValue::set(["a", "b"])).unwrap();
+        let t = b.finish(r).unwrap();
+        assert!(t.tuple(r, &[Name::new("to")]).is_none());
+    }
+
+    #[test]
+    fn second_parent_rejected() {
+        let mut b = TreeBuilder::new();
+        let r = b.node("r");
+        let c = b.node("c");
+        let d = b.node("d");
+        b.child(r, c).unwrap();
+        assert_eq!(
+            b.child(d, c),
+            Err(ModelError::SecondParent { node: c })
+        );
+    }
+
+    #[test]
+    fn root_with_parent_rejected() {
+        let mut b = TreeBuilder::new();
+        let r = b.node("r");
+        let c = b.node("c");
+        b.child(r, c).unwrap();
+        assert_eq!(b.finish(c).unwrap_err(), ModelError::RootHasParent(c));
+    }
+
+    #[test]
+    fn unreachable_nodes_rejected() {
+        let mut b = TreeBuilder::new();
+        let r = b.node("r");
+        let _orphan = b.node("o");
+        assert_eq!(
+            b.finish(r).unwrap_err(),
+            ModelError::Unreachable { orphans: 1 }
+        );
+    }
+
+    #[test]
+    fn duplicate_attrs_rejected_empty_sets_allowed() {
+        let mut b = TreeBuilder::new();
+        let r = b.node("r");
+        b.attr(r, "a", AttrValue::single("1")).unwrap();
+        assert!(matches!(
+            b.attr(r, "a", AttrValue::single("2")),
+            Err(ModelError::DuplicateAttribute { .. })
+        ));
+        b.attr(r, "b", AttrValue::set(Vec::<String>::new())).unwrap();
+        let t = b.finish(r).unwrap();
+        assert!(t.attr(r, "b").unwrap().is_empty());
+    }
+
+    #[test]
+    fn attr_value_set_normalizes() {
+        let v = AttrValue::set(["b", "a", "b"]);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains("a") && v.contains("b"));
+        assert!(!v.contains("c"));
+        assert_eq!(v, AttrValue::set(["a", "b"]));
+        assert!(!v.is_singleton());
+        assert_eq!(v.as_single(), None);
+    }
+
+    #[test]
+    fn node_text_concatenates() {
+        let mut b = TreeBuilder::new();
+        let r = b.node("t");
+        b.text(r, "Data ").unwrap();
+        b.text(r, "on the Web").unwrap();
+        let t = b.finish(r).unwrap();
+        assert_eq!(t.node(r).text(), "Data on the Web");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the data-tree model: builder invariants,
+//! traversal consistency, and index agreement on arbitrary trees.
+
+use proptest::prelude::*;
+use xic_model::{AttrValue, DataTree, ExtIndex, TreeBuilder};
+
+/// A recipe for building an arbitrary tree: for each node after the root,
+/// the parent index (within already-created nodes), a label index, and an
+/// optional attribute/text payload.
+#[derive(Debug, Clone)]
+struct Recipe {
+    nodes: Vec<(usize, u8, bool, bool)>, // (parent, label, has_attr, has_text)
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop::collection::vec((0usize..64, 0u8..5, any::<bool>(), any::<bool>()), 0..40)
+        .prop_map(|nodes| Recipe { nodes })
+}
+
+fn build(recipe: &Recipe) -> DataTree {
+    let labels = ["a", "b", "c", "d", "e"];
+    let mut b = TreeBuilder::new();
+    let root = b.node("root");
+    let mut ids = vec![root];
+    for (i, &(parent, label, has_attr, has_text)) in recipe.nodes.iter().enumerate() {
+        let parent = ids[parent % ids.len()];
+        let n = b.child_node(parent, labels[label as usize]).unwrap();
+        if has_attr {
+            b.attr(n, "x", AttrValue::single(format!("v{i}"))).unwrap();
+        }
+        if has_text {
+            b.text(n, format!("t{i}")).unwrap();
+        }
+        ids.push(n);
+    }
+    b.finish(root).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn preorder_visits_every_node_once(r in recipe_strategy()) {
+        let t = build(&r);
+        let visited: Vec<_> = t.preorder().collect();
+        prop_assert_eq!(visited.len(), t.len());
+        let mut sorted = visited.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), t.len());
+        prop_assert_eq!(visited[0], t.root());
+    }
+
+    #[test]
+    fn ext_index_agrees_with_scan(r in recipe_strategy()) {
+        let t = build(&r);
+        let idx = ExtIndex::build(&t);
+        for tau in ["root", "a", "b", "c", "d", "e", "zzz"] {
+            let scan: Vec<_> = t.ext(tau).collect();
+            prop_assert_eq!(idx.ext(tau), scan.as_slice());
+        }
+    }
+
+    #[test]
+    fn depth_is_consistent_with_parent_links(r in recipe_strategy()) {
+        let t = build(&r);
+        for id in t.node_ids() {
+            match t.node(id).parent() {
+                None => prop_assert_eq!(t.depth(id), 0),
+                Some(p) => prop_assert_eq!(t.depth(id), t.depth(p) + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn children_point_back_to_parent(r in recipe_strategy()) {
+        let t = build(&r);
+        for id in t.node_ids() {
+            for c in t.node(id).child_nodes() {
+                prop_assert_eq!(t.node(c).parent(), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn attr_values_round_trip(r in recipe_strategy()) {
+        let t = build(&r);
+        for (i, &(_, _, has_attr, _)) in r.nodes.iter().enumerate() {
+            if has_attr {
+                // Node i+1 (after root) carries attribute x = v{i}.
+                let id = t.node_ids().nth(i + 1).unwrap();
+                let expected = format!("v{i}");
+                prop_assert_eq!(
+                    t.attr(id, "x").and_then(AttrValue::as_single),
+                    Some(&expected)
+                );
+            }
+        }
+    }
+}

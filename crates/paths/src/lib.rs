@@ -1,0 +1,36 @@
+//! # xic-paths — path constraints over `DTD^C`s
+//!
+//! Implements Section 4 of Fan & Siméon (PODS 2000): navigation paths,
+//! their typing relative to a `DTD^C` with `L_id` constraints, and the
+//! implication of three families of path constraints by the basic
+//! constraints:
+//!
+//! * **Path functional constraints** `τ.ρ → τ.ϱ` (Prop 4.1) — decided via
+//!   the *key path* criterion in `O(|φ|(|Σ| + |P|))`;
+//! * **Path inclusion constraints** `τ₁.ρ₁ ⊆ τ₂.ρ₂` (Prop 4.2) — decided
+//!   via prefix decomposition (`ρ₁ = ϱ.ρ₂` with `type(τ₁.ϱ) = τ₂`) in
+//!   `O(|φ|(|Σ| + |P|))`;
+//! * **Path inverse constraints** `τ₁.ρ₁ ⇌ τ₂.ρ₂` (Prop 4.3) — decided by
+//!   closing the basic inverses of `Σ` under the composition rule
+//!   (`τ₁.l₁ ⇌ τ₂.l₂ , τ₂.l₂' ⇌ τ₃.l₃ ⊢ τ₁.l₁.l₂' ⇌ τ₃.l₃.l₂`) in
+//!   `O(|Σ||φ|)`.
+//!
+//! A path is a sequence of labels from `E ∪ A`; attribute steps whose
+//! attribute is `Σ`-implied to reference `τ₂.id` *dereference* to
+//! `τ₂`-elements (the paper's "we treat attribute `to` as a reference from
+//! a `ref` element to an `entry` element"), other attribute steps end in
+//! the string type `S`. [`PathSolver`] computes `paths(τ)` membership and
+//! `type(τ.ρ)`; [`nodes_of`] / [`ext_of_path`] implement the semantics
+//! `nodes(x.ρ)` / `ext(τ.ρ)` on concrete data trees, used by tests to
+//! cross-check every decision procedure against model-level truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod path;
+mod solver;
+
+pub use eval::{ext_of_path, nodes_of, PathValues};
+pub use path::{Path, PathConstraint, PathParseError};
+pub use solver::{PathSolver, StepType};

@@ -1,0 +1,353 @@
+//! Paths and path constraints.
+
+use std::fmt;
+
+use xic_model::Name;
+
+/// A navigation path: a (possibly empty) sequence of labels from
+/// `E ∪ A`.
+///
+/// The textual form is dot-separated: `entry.isbn`, `ref.to.title`. The
+/// empty path `ε` is written `""` or `"ε"`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Path(pub Vec<Name>);
+
+/// Path syntax error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathParseError(pub String);
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.0)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+impl Path {
+    /// The empty path `ε`.
+    pub fn empty() -> Self {
+        Path(Vec::new())
+    }
+
+    /// A path from label steps.
+    pub fn new<I, T>(steps: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Name>,
+    {
+        Path(steps.into_iter().map(Into::into).collect())
+    }
+
+    /// Parses the dot-separated syntax (`""`/`"ε"` is the empty path).
+    pub fn parse(src: &str) -> Result<Path, PathParseError> {
+        let src = src.trim();
+        if src.is_empty() || src == "ε" {
+            return Ok(Path::empty());
+        }
+        let mut steps = Vec::new();
+        for part in src.split('.') {
+            let part = part.trim();
+            if part.is_empty()
+                || !part
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-'))
+            {
+                return Err(PathParseError(src.to_string()));
+            }
+            steps.push(Name::new(part));
+        }
+        Ok(Path(steps))
+    }
+
+    /// Number of steps, the `|ρ|` length measure.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff this is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[Name] {
+        &self.0
+    }
+
+    /// Concatenation `ρ.ϱ`.
+    pub fn concat(&self, other: &Path) -> Path {
+        let mut steps = self.0.clone();
+        steps.extend(other.0.iter().cloned());
+        Path(steps)
+    }
+
+    /// If `self = prefix.suffix`, returns the prefix; `None` when `suffix`
+    /// is not a suffix of `self`.
+    pub fn strip_suffix(&self, suffix: &Path) -> Option<Path> {
+        if suffix.len() > self.len() {
+            return None;
+        }
+        let split = self.len() - suffix.len();
+        if self.0[split..] == suffix.0[..] {
+            Some(Path(self.0[..split].to_vec()))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("ε");
+        }
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for Path {
+    fn from(s: &str) -> Self {
+        Path::parse(s).expect("valid path literal")
+    }
+}
+
+/// A path constraint of Section 4.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PathConstraint {
+    /// Path functional constraint `τ.ρ → τ.ϱ` (nodes reached by `ρ`
+    /// determine the nodes reached by `ϱ`).
+    Functional {
+        /// The anchor element type `τ`.
+        tau: Name,
+        /// The determining path `ρ`.
+        rho: Path,
+        /// The determined path `ϱ`.
+        varrho: Path,
+    },
+    /// Path inclusion constraint `τ₁.ρ₁ ⊆ τ₂.ρ₂`
+    /// (`ext(τ₁.ρ₁) ⊆ ext(τ₂.ρ₂)`).
+    Inclusion {
+        /// Left anchor type.
+        tau1: Name,
+        /// Left path.
+        rho1: Path,
+        /// Right anchor type.
+        tau2: Name,
+        /// Right path.
+        rho2: Path,
+    },
+    /// Path inverse constraint `τ₁.ρ₁ ⇌ τ₂.ρ₂`.
+    Inverse {
+        /// Left anchor type.
+        tau1: Name,
+        /// Left path.
+        rho1: Path,
+        /// Right anchor type.
+        tau2: Name,
+        /// Right path.
+        rho2: Path,
+    },
+}
+
+impl PathConstraint {
+    /// Parses the textual syntax mirroring the paper's notation:
+    ///
+    /// ```text
+    /// book.entry.isbn -> book.author        path functional constraint
+    /// book.ref.to <= entry                  path inclusion constraint
+    /// book.ref.to.title <= entry.title      path inclusion constraint
+    /// student.taking <=> course.taken_by    path inverse constraint
+    /// ```
+    ///
+    /// The first step of each side is the anchor element type; the rest is
+    /// the path (possibly empty, as in `… <= entry`). For functional
+    /// constraints both sides must share the anchor.
+    pub fn parse(src: &str) -> Result<PathConstraint, PathParseError> {
+        let (op, lhs, rhs) = if let Some((l, r)) = src.split_once("<=>") {
+            ("<=>", l, r)
+        } else if let Some((l, r)) = src.split_once("<=") {
+            ("<=", l, r)
+        } else if let Some((l, r)) = src.split_once("->") {
+            ("->", l, r)
+        } else {
+            return Err(PathParseError(format!(
+                "expected '->', '<=' or '<=>': {src}"
+            )));
+        };
+        let split = |s: &str| -> Result<(Name, Path), PathParseError> {
+            let p = Path::parse(s)?;
+            let Some((anchor, rest)) = p.0.split_first() else {
+                return Err(PathParseError(format!("missing anchor type in {s:?}")));
+            };
+            Ok((anchor.clone(), Path(rest.to_vec())))
+        };
+        let (t1, p1) = split(lhs)?;
+        let (t2, p2) = split(rhs)?;
+        Ok(match op {
+            "->" => {
+                if t1 != t2 {
+                    return Err(PathParseError(format!(
+                        "path functional constraints share one anchor, got {t1} and {t2}"
+                    )));
+                }
+                PathConstraint::Functional {
+                    tau: t1,
+                    rho: p1,
+                    varrho: p2,
+                }
+            }
+            "<=" => PathConstraint::Inclusion {
+                tau1: t1,
+                rho1: p1,
+                tau2: t2,
+                rho2: p2,
+            },
+            _ => PathConstraint::Inverse {
+                tau1: t1,
+                rho1: p1,
+                tau2: t2,
+                rho2: p2,
+            },
+        })
+    }
+
+    /// The size `|φ|` (total path steps plus anchors).
+    pub fn size(&self) -> usize {
+        match self {
+            PathConstraint::Functional { rho, varrho, .. } => 1 + rho.len() + varrho.len(),
+            PathConstraint::Inclusion { rho1, rho2, .. }
+            | PathConstraint::Inverse { rho1, rho2, .. } => 2 + rho1.len() + rho2.len(),
+        }
+    }
+}
+
+impl fmt::Display for PathConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn anchored(tau: &Name, p: &Path) -> String {
+            if p.is_empty() {
+                tau.to_string()
+            } else {
+                format!("{tau}.{p}")
+            }
+        }
+        match self {
+            PathConstraint::Functional { tau, rho, varrho } => {
+                write!(f, "{} -> {}", anchored(tau, rho), anchored(tau, varrho))
+            }
+            PathConstraint::Inclusion {
+                tau1,
+                rho1,
+                tau2,
+                rho2,
+            } => write!(f, "{} <= {}", anchored(tau1, rho1), anchored(tau2, rho2)),
+            PathConstraint::Inverse {
+                tau1,
+                rho1,
+                tau2,
+                rho2,
+            } => write!(f, "{} <=> {}", anchored(tau1, rho1), anchored(tau2, rho2)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p = Path::parse("book.entry.isbn").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_string(), "book.entry.isbn");
+        assert_eq!(Path::parse("").unwrap(), Path::empty());
+        assert_eq!(Path::parse("ε").unwrap().to_string(), "ε");
+        assert!(Path::parse("a..b").is_err());
+        assert!(Path::parse("a.b c").is_err());
+    }
+
+    #[test]
+    fn concat_and_strip() {
+        let a = Path::from("book.ref");
+        let b = Path::from("to.title");
+        let ab = a.concat(&b);
+        assert_eq!(ab.to_string(), "book.ref.to.title");
+        assert_eq!(ab.strip_suffix(&b), Some(a.clone()));
+        assert_eq!(ab.strip_suffix(&ab), Some(Path::empty()));
+        assert_eq!(ab.strip_suffix(&Path::empty()), Some(ab.clone()));
+        assert_eq!(ab.strip_suffix(&Path::from("nope")), None);
+        assert_eq!(b.strip_suffix(&ab), None);
+    }
+
+    #[test]
+    fn constraint_parse_forms() {
+        let c = PathConstraint::parse("book.entry.isbn -> book.author").unwrap();
+        assert_eq!(
+            c,
+            PathConstraint::Functional {
+                tau: Name::new("book"),
+                rho: Path::from("entry.isbn"),
+                varrho: Path::from("author"),
+            }
+        );
+        let c = PathConstraint::parse("book.ref.to <= entry").unwrap();
+        assert_eq!(
+            c,
+            PathConstraint::Inclusion {
+                tau1: Name::new("book"),
+                rho1: Path::from("ref.to"),
+                tau2: Name::new("entry"),
+                rho2: Path::empty(),
+            }
+        );
+        let c = PathConstraint::parse("student.taking <=> course.taken_by").unwrap();
+        assert!(matches!(c, PathConstraint::Inverse { .. }));
+        // Round trip through Display.
+        for src in [
+            "book.entry.isbn -> book.author",
+            "book.ref.to.title <= entry.title",
+            "student.taking <=> course.taken_by",
+        ] {
+            let c = PathConstraint::parse(src).unwrap();
+            let again = PathConstraint::parse(&c.to_string()).unwrap();
+            assert_eq!(c, again, "{src}");
+        }
+    }
+
+    #[test]
+    fn constraint_parse_rejects() {
+        for src in [
+            "",
+            "book.entry.isbn",                  // no operator
+            "book.a -> entry.b",                // functional anchors differ
+            " -> book.author",                  // missing lhs anchor
+            "book..a <= entry",                 // bad path
+        ] {
+            assert!(PathConstraint::parse(src).is_err(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn constraint_display() {
+        let c = PathConstraint::Functional {
+            tau: Name::new("book"),
+            rho: Path::from("entry.isbn"),
+            varrho: Path::from("author"),
+        };
+        assert_eq!(c.to_string(), "book.entry.isbn -> book.author");
+        assert_eq!(c.size(), 4);
+        let c = PathConstraint::Inclusion {
+            tau1: Name::new("book"),
+            rho1: Path::from("ref.to"),
+            tau2: Name::new("entry"),
+            rho2: Path::empty(),
+        };
+        assert_eq!(c.to_string(), "book.ref.to <= entry");
+    }
+}

@@ -1,0 +1,628 @@
+//! Path typing (`paths(τ)`, `type(τ.ρ)`) and the three implication
+//! deciders of Section 4.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use xic_constraints::{AttrKind, Constraint, DtdC, Field};
+use xic_implication::LidSolver;
+use xic_model::Name;
+
+use crate::path::{Path, PathConstraint};
+
+/// `type(τ.ρ)`: an element type or the string type `S`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepType {
+    /// An element type in `E`.
+    Elem(Name),
+    /// The atomic string type.
+    S,
+}
+
+impl fmt::Display for StepType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepType::Elem(n) => write!(f, "{n}"),
+            StepType::S => f.write_str("S"),
+        }
+    }
+}
+
+/// Path reasoning over a `DTD^C` whose `Σ` is in `L_id` (Section 4).
+///
+/// Construction precomputes, per element type: the elements occurring in
+/// its content model, its unique sub-elements (§3.4), and the `I_id`
+/// closure of `Σ` (via [`LidSolver`]); every decision procedure then runs
+/// in the per-query complexities of Props 4.1–4.3.
+///
+/// ```
+/// use xic_constraints::examples::book_dtdc;
+/// use xic_paths::{Path, PathSolver};
+///
+/// let d = book_dtdc();
+/// let solver = PathSolver::new(&d);
+/// // The paper's Prop 4.1 example: the isbn of a book's entry determines
+/// // the book's authors.
+/// assert!(solver.functional_implied(
+///     &"book".into(),
+///     &Path::from("entry.isbn"),
+///     &Path::from("author"),
+/// ));
+/// // …but the (repeatable) section path does not determine them.
+/// assert!(!solver.functional_implied(
+///     &"book".into(),
+///     &Path::from("section.sid"),
+///     &Path::from("author"),
+/// ));
+/// ```
+pub struct PathSolver<'a> {
+    dtdc: &'a DtdC,
+    lid: LidSolver,
+    /// Elements occurring in each type's content model.
+    content: HashMap<Name, BTreeSet<Name>>,
+    /// Unique sub-elements (§3.4) of each type.
+    unique: HashMap<Name, BTreeSet<Name>>,
+    /// Basic inverse pairs `(τ, l, τ', l')` from `Σ` (closed under
+    /// symmetry).
+    inverses: HashSet<(Name, Name, Name, Name)>,
+}
+
+impl<'a> PathSolver<'a> {
+    /// Builds the solver for a `DTD^C` (intended for `L_id` constraint
+    /// sets; other constraints are ignored by the reference analysis).
+    pub fn new(dtdc: &'a DtdC) -> Self {
+        let s = dtdc.structure();
+        let lid = LidSolver::new(
+            &dtdc
+                .constraints()
+                .iter()
+                .filter(|c| c.in_language(xic_constraints::Language::Lid))
+                .cloned()
+                .collect::<Vec<_>>(),
+            Some(s),
+        );
+        let mut content = HashMap::new();
+        let mut unique = HashMap::new();
+        for tau in s.element_types() {
+            let m = s.content_model(tau).expect("declared type");
+            content.insert(tau.clone(), m.element_types());
+            unique.insert(
+                tau.clone(),
+                m.unique_subelements().into_iter().collect::<BTreeSet<_>>(),
+            );
+        }
+        let mut inverses = HashSet::new();
+        for c in dtdc.constraints() {
+            if let Constraint::InverseId {
+                tau,
+                attr,
+                target,
+                target_attr,
+            } = c
+            {
+                inverses.insert((
+                    tau.clone(),
+                    attr.clone(),
+                    target.clone(),
+                    target_attr.clone(),
+                ));
+                inverses.insert((
+                    target.clone(),
+                    target_attr.clone(),
+                    tau.clone(),
+                    attr.clone(),
+                ));
+            }
+        }
+        PathSolver {
+            dtdc,
+            lid,
+            content,
+            unique,
+            inverses,
+        }
+    }
+
+    /// The underlying `DTD^C`.
+    pub fn dtdc(&self) -> &DtdC {
+        self.dtdc
+    }
+
+    /// One typing step from `cur` through `label` (§4.1). Attribute steps
+    /// take precedence over same-named sub-elements; reference attributes
+    /// dereference to their `Σ`-implied target type.
+    pub fn step(&self, cur: &StepType, label: &Name) -> Option<StepType> {
+        let StepType::Elem(tau) = cur else {
+            return None; // no steps out of S
+        };
+        let s = self.dtdc.structure();
+        if s.attr_type(tau, label).is_some() {
+            return Some(match self.lid.reference_target(tau, label) {
+                Some(t2) => StepType::Elem(t2.clone()),
+                None => StepType::S,
+            });
+        }
+        if self
+            .content
+            .get(tau)
+            .is_some_and(|els| els.contains(label))
+        {
+            return Some(StepType::Elem(label.clone()));
+        }
+        None
+    }
+
+    /// `type(τ.ρ)`, or `None` when `ρ ∉ paths(τ)`.
+    pub fn type_of(&self, tau: &Name, path: &Path) -> Option<StepType> {
+        if !self.dtdc.structure().has_element(tau) {
+            return None;
+        }
+        let mut cur = StepType::Elem(tau.clone());
+        for label in path.steps() {
+            cur = self.step(&cur, label)?;
+        }
+        Some(cur)
+    }
+
+    /// `ρ ∈ paths(τ)`.
+    pub fn is_path(&self, tau: &Name, path: &Path) -> bool {
+        self.type_of(tau, path).is_some()
+    }
+
+    /// Prop 4.1's criterion: is `ρ` a **key path** of `τ`? Every step is
+    /// either a unique sub-element of the current type, or an attribute
+    /// that is a `Σ`-implied key (or the `ID` attribute under `τ.id →_id
+    /// τ`).
+    pub fn is_key_path(&self, tau: &Name, path: &Path) -> bool {
+        let s = self.dtdc.structure();
+        if !s.has_element(tau) {
+            return false;
+        }
+        let mut cur = StepType::Elem(tau.clone());
+        for label in path.steps() {
+            let StepType::Elem(t1) = &cur else {
+                return false;
+            };
+            if s.attr_type(t1, label).is_some() {
+                let keyed = self.lid.holds(&Constraint::Key {
+                    tau: t1.clone(),
+                    fields: vec![Field::Attr(label.clone())],
+                }) || (s.attr_kind(t1, label) == Some(AttrKind::Id)
+                    && self.lid.holds(&Constraint::Id { tau: t1.clone() }))
+                    || (label.as_str() == "id"
+                        && self.lid.holds(&Constraint::Id { tau: t1.clone() }));
+                // §3.4 sub-element keys also make the corresponding
+                // *sub-element* step a key step; attribute keys are checked
+                // here.
+                if !keyed {
+                    return false;
+                }
+            } else if self.unique.get(t1).is_some_and(|u| u.contains(label)) {
+                // Unique sub-element step.
+            } else if self
+                .content
+                .get(t1)
+                .is_some_and(|els| els.contains(label))
+            {
+                // A repeatable sub-element: not functional.
+                return false;
+            } else {
+                return false;
+            }
+            cur = self.step(&cur, label).expect("validated step");
+        }
+        true
+    }
+
+    /// Prop 4.1: `Σ ⊨ τ.ρ → τ.ϱ` (and `Σ ⊨_f …`; the problems coincide)
+    /// iff both are paths of `τ` and `ρ` is a key path.
+    pub fn functional_implied(&self, tau: &Name, rho: &Path, varrho: &Path) -> bool {
+        self.is_path(tau, rho) && self.is_path(tau, varrho) && self.is_key_path(tau, rho)
+    }
+
+    /// Prop 4.2: `Σ ⊨ τ₁.ρ₁ ⊆ τ₂.ρ₂` iff `ρ₁ = ϱ.ρ₂` for a prefix `ϱ`
+    /// with `type(τ₁.ϱ) = τ₂`.
+    pub fn inclusion_implied(&self, tau1: &Name, rho1: &Path, tau2: &Name, rho2: &Path) -> bool {
+        if !self.is_path(tau1, rho1) || !self.is_path(tau2, rho2) {
+            return false;
+        }
+        let Some(prefix) = rho1.strip_suffix(rho2) else {
+            return false;
+        };
+        self.type_of(tau1, &prefix) == Some(StepType::Elem(tau2.clone()))
+    }
+
+    /// Prop 4.3: `Σ ⊨ τ₁.ρ₁ ⇌ τ₂.ρ₂` by closing `Σ`'s basic inverses
+    /// under the composition rule
+    /// `τ₁.l₁ ⇌ τ₂.l₂ , τ₂.l₂' ⇌ τ₃.l₃ ⊢ τ₁.l₁.l₂' ⇌ τ₃.l₃.l₂`
+    /// — the recursion consumes the head of `ρ₁` and the tail of `ρ₂`,
+    /// `O(|Σ||φ|)` overall.
+    pub fn inverse_implied(&self, tau1: &Name, rho1: &Path, tau2: &Name, rho2: &Path) -> bool {
+        if rho1.len() != rho2.len() || rho1.is_empty() {
+            return false;
+        }
+        self.inverse_rec(tau1, rho1.steps(), tau2, rho2.steps())
+    }
+
+    fn inverse_rec(&self, tau1: &Name, rho1: &[Name], tau2: &Name, rho2: &[Name]) -> bool {
+        debug_assert_eq!(rho1.len(), rho2.len());
+        if rho1.len() == 1 {
+            return self.inverses.contains(&(
+                tau1.clone(),
+                rho1[0].clone(),
+                tau2.clone(),
+                rho2[0].clone(),
+            ));
+        }
+        let head = &rho1[0];
+        let last = &rho2[rho2.len() - 1];
+        // Find a basic inverse τ₁.head ⇌ τmid.last and recurse on the
+        // inner paths.
+        for (t, l, tmid, lmid) in &self.inverses {
+            if t == tau1 && l == head && lmid == last
+                && self.inverse_rec(tmid, &rho1[1..], tau2, &rho2[..rho2.len() - 1])
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Enumerates all members of `paths(τ)` of length ≤ `max_len` over the
+    /// structure's element and attribute labels. Recursive DTDs make
+    /// `paths(τ)` infinite, hence the explicit length bound; used by tests
+    /// and exploratory tooling.
+    pub fn paths_up_to(&self, tau: &Name, max_len: usize) -> Vec<Path> {
+        let s = self.dtdc.structure();
+        let mut out = Vec::new();
+        if !s.has_element(tau) {
+            return out;
+        }
+        let mut frontier: Vec<(Path, StepType)> =
+            vec![(Path::empty(), StepType::Elem(tau.clone()))];
+        out.push(Path::empty());
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for (p, t) in &frontier {
+                let StepType::Elem(t1) = t else { continue };
+                // Attribute steps.
+                let attrs: Vec<Name> = s.attributes(t1).map(|(l, _)| l.clone()).collect();
+                for l in attrs {
+                    let q = p.concat(&Path(vec![l.clone()]));
+                    let nt = self.step(t, &l).expect("declared attribute steps");
+                    out.push(q.clone());
+                    next.push((q, nt));
+                }
+                // Element steps.
+                if let Some(els) = self.content.get(t1) {
+                    for e in els {
+                        let q = p.concat(&Path(vec![e.clone()]));
+                        out.push(q.clone());
+                        next.push((q, StepType::Elem(e.clone())));
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Dispatches a [`PathConstraint`] to the right decider.
+    pub fn implied(&self, phi: &PathConstraint) -> bool {
+        match phi {
+            PathConstraint::Functional { tau, rho, varrho } => {
+                self.functional_implied(tau, rho, varrho)
+            }
+            PathConstraint::Inclusion {
+                tau1,
+                rho1,
+                tau2,
+                rho2,
+            } => self.inclusion_implied(tau1, rho1, tau2, rho2),
+            PathConstraint::Inverse {
+                tau1,
+                rho1,
+                tau2,
+                rho2,
+            } => self.inverse_implied(tau1, rho1, tau2, rho2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::examples::{book_dtdc, company_dtdc};
+    use xic_constraints::{DtdC, DtdStructure, Language};
+
+    #[test]
+    fn typing_follows_the_paper() {
+        let d = book_dtdc();
+        let s = PathSolver::new(&d);
+        let book = Name::new("book");
+        // book.entry, book.author, book.ref.to are paths of book.
+        assert_eq!(
+            s.type_of(&book, &Path::from("entry")),
+            Some(StepType::Elem(Name::new("entry")))
+        );
+        assert_eq!(
+            s.type_of(&book, &Path::from("entry.isbn")),
+            Some(StepType::S)
+        );
+        // ref.to dereferences to entry (ref.to ⊆_S entry.isbn is a key
+        // reference, not an ID reference, so in the pure-L_u book DTD the
+        // attribute does NOT dereference — it is S-typed).
+        assert_eq!(
+            s.type_of(&book, &Path::from("ref.to")),
+            Some(StepType::S)
+        );
+        // Recursion: section.section.section is a path.
+        assert!(s.is_path(&Name::new("section"), &Path::from("section.section.title")));
+        // Non-paths.
+        assert!(!s.is_path(&book, &Path::from("publisher")));
+        assert!(!s.is_path(&book, &Path::from("entry.isbn.title")));
+        assert!(!s.is_path(&Name::new("nosuch"), &Path::empty()));
+    }
+
+    #[test]
+    fn id_references_dereference() {
+        let d = company_dtdc();
+        let s = PathSolver::new(&d);
+        let db = Name::new("db");
+        // db.dept.manager dereferences to person; then person.name.
+        assert_eq!(
+            s.type_of(&db, &Path::from("dept.manager")),
+            Some(StepType::Elem(Name::new("person")))
+        );
+        assert_eq!(
+            s.type_of(&db, &Path::from("dept.manager.name")),
+            Some(StepType::Elem(Name::new("name")))
+        );
+        // Set-valued references too: person.in_dept → dept.
+        assert_eq!(
+            s.type_of(&db, &Path::from("person.in_dept.dname")),
+            Some(StepType::Elem(Name::new("dname")))
+        );
+        // Cycles through references are fine (finite acceptance is per
+        // query, not a full enumeration of paths(τ)).
+        assert!(s.is_path(
+            &db,
+            &Path::from("dept.manager.in_dept.has_staff.in_dept.dname")
+        ));
+    }
+
+    #[test]
+    fn prop41_examples() {
+        let d = book_dtdc();
+        let s = PathSolver::new(&d);
+        let book = Name::new("book");
+        // entry is a unique sub-element, isbn a key of entry: key path.
+        assert!(s.is_key_path(&book, &Path::from("entry.isbn")));
+        assert!(s.functional_implied(&book, &Path::from("entry.isbn"), &Path::from("author")));
+        assert!(s.functional_implied(&book, &Path::from("entry"), &Path::from("section.title")));
+        // author is repeatable: not a key path.
+        assert!(!s.is_key_path(&book, &Path::from("author")));
+        // section is repeatable: section.sid is not a key path of book.
+        assert!(!s.is_key_path(&book, &Path::from("section.sid")));
+        // entry.title: title is a unique sub-element of entry: key path.
+        assert!(s.is_key_path(&book, &Path::from("entry.title")));
+        // Undefined paths are never implied.
+        assert!(!s.functional_implied(&book, &Path::from("entry.isbn"), &Path::from("bogus")));
+    }
+
+    #[test]
+    fn prop41_with_id_attributes() {
+        let d = company_dtdc();
+        let s = PathSolver::new(&d);
+        let db = Name::new("db");
+        // person is repeatable under db: not a key path.
+        assert!(!s.is_key_path(&db, &Path::from("person.oid")));
+        // From person itself: oid is the ID attribute (→_id in Σ).
+        assert!(s.is_key_path(&Name::new("person"), &Path::from("oid")));
+        // name is a sub-element key of person (§3.4) — but as a *step*,
+        // name is a unique sub-element, so the path is key either way.
+        assert!(s.is_key_path(&Name::new("person"), &Path::from("name")));
+        // manager is a single-valued reference but NOT a key of dept.
+        assert!(!s.is_key_path(&Name::new("dept"), &Path::from("manager")));
+        // dept.manager.name: manager not a key ⇒ not a key path; but
+        // manager.oid from dept… oid is a key of person, yet manager
+        // itself is not a key of dept, so still not key.
+        assert!(!s.is_key_path(&Name::new("dept"), &Path::from("manager.name")));
+    }
+
+    #[test]
+    fn prop42_examples() {
+        let d = company_dtdc();
+        let s = PathSolver::new(&d);
+        let db = Name::new("db");
+        // db.dept.manager ⊆ person (typing form, ρ2 = ε).
+        assert!(s.inclusion_implied(
+            &db,
+            &Path::from("dept.manager"),
+            &Name::new("person"),
+            &Path::empty()
+        ));
+        // db.dept.manager.name ⊆ person.name.
+        assert!(s.inclusion_implied(
+            &db,
+            &Path::from("dept.manager.name"),
+            &Name::new("person"),
+            &Path::from("name")
+        ));
+        // Not implied: suffix mismatch.
+        assert!(!s.inclusion_implied(
+            &db,
+            &Path::from("dept.manager.name"),
+            &Name::new("person"),
+            &Path::from("address")
+        ));
+        // Not implied: type mismatch (manager refers to person, not dept).
+        assert!(!s.inclusion_implied(
+            &db,
+            &Path::from("dept.manager"),
+            &Name::new("dept"),
+            &Path::empty()
+        ));
+        // Reflexive.
+        assert!(s.inclusion_implied(
+            &db,
+            &Path::from("person.name"),
+            &db,
+            &Path::from("person.name")
+        ));
+    }
+
+    /// The course/student/teacher example of §4.2 (path inverse).
+    fn courses_dtdc() -> DtdC {
+        let s = DtdStructure::builder("db")
+            .elem("db", "(student*, teacher*, course*)")
+            .elem("student", "EMPTY")
+            .elem("teacher", "EMPTY")
+            .elem("course", "EMPTY")
+            .id_attr("student", "sid")
+            .idrefs_attr("student", "taking")
+            .id_attr("teacher", "tid")
+            .idrefs_attr("teacher", "teaching")
+            .id_attr("course", "cid")
+            .idrefs_attr("course", "taken_by")
+            .idrefs_attr("course", "taught_by")
+            .build()
+            .unwrap();
+        DtdC::parse(
+            s,
+            Language::Lid,
+            "student.sid ->id student\n\
+             teacher.tid ->id teacher\n\
+             course.cid ->id course\n\
+             student.taking <=> course.taken_by\n\
+             teacher.teaching <=> course.taught_by\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prop43_course_example() {
+        let d = courses_dtdc();
+        let s = PathSolver::new(&d);
+        // Basic inverses and their symmetries.
+        assert!(s.inverse_implied(
+            &Name::new("student"),
+            &Path::from("taking"),
+            &Name::new("course"),
+            &Path::from("taken_by")
+        ));
+        assert!(s.inverse_implied(
+            &Name::new("course"),
+            &Path::from("taken_by"),
+            &Name::new("student"),
+            &Path::from("taking")
+        ));
+        // The paper's composed constraint:
+        // student.taking.taught_by ⇌ teacher.teaching.taken_by.
+        assert!(s.inverse_implied(
+            &Name::new("student"),
+            &Path::from("taking.taught_by"),
+            &Name::new("teacher"),
+            &Path::from("teaching.taken_by")
+        ));
+        // And its symmetric orientation.
+        assert!(s.inverse_implied(
+            &Name::new("teacher"),
+            &Path::from("teaching.taken_by"),
+            &Name::new("student"),
+            &Path::from("taking.taught_by")
+        ));
+        // Swapping the inner labels breaks it.
+        assert!(!s.inverse_implied(
+            &Name::new("student"),
+            &Path::from("taking.taken_by"),
+            &Name::new("teacher"),
+            &Path::from("teaching.taught_by")
+        ));
+        // Length mismatch / empty paths are never implied.
+        assert!(!s.inverse_implied(
+            &Name::new("student"),
+            &Path::from("taking"),
+            &Name::new("course"),
+            &Path::from("taken_by.taught_by")
+        ));
+        assert!(!s.inverse_implied(
+            &Name::new("student"),
+            &Path::empty(),
+            &Name::new("course"),
+            &Path::empty()
+        ));
+    }
+
+    #[test]
+    fn paths_up_to_enumerates_exactly_the_paths() {
+        let d = book_dtdc();
+        let s = PathSolver::new(&d);
+        let book = Name::new("book");
+        let paths = s.paths_up_to(&book, 3);
+        // Every enumerated path is a path; ε included once.
+        assert!(paths.contains(&Path::empty()));
+        for p in &paths {
+            assert!(s.is_path(&book, p), "{p}");
+        }
+        // Spot members from the paper: book.entry, book.entry.isbn.
+        assert!(paths.contains(&Path::from("entry")));
+        assert!(paths.contains(&Path::from("entry.isbn")));
+        assert!(paths.contains(&Path::from("section.section.sid")));
+        // Non-paths absent.
+        assert!(!paths.contains(&Path::from("publisher")));
+        // The bound is respected.
+        assert!(paths.iter().all(|p| p.len() <= 3));
+        // Cross-check: brute-force over the label alphabet agrees.
+        let labels: Vec<Name> = ["entry", "author", "title", "publisher", "text",
+            "section", "ref", "isbn", "sid", "to", "book"]
+            .iter()
+            .map(|s| Name::new(*s))
+            .collect();
+        let mut expected = vec![Path::empty()];
+        let mut frontier = vec![Path::empty()];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for p in &frontier {
+                for l in &labels {
+                    let q = p.concat(&Path(vec![l.clone()]));
+                    if s.is_path(&book, &q) {
+                        expected.push(q.clone());
+                        next.push(q);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let mut a = paths.clone();
+        let mut b = expected;
+        a.sort();
+        a.dedup();
+        b.sort();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dispatch_api() {
+        let d = book_dtdc();
+        let s = PathSolver::new(&d);
+        assert!(s.implied(&PathConstraint::Functional {
+            tau: Name::new("book"),
+            rho: Path::from("entry.isbn"),
+            varrho: Path::from("author"),
+        }));
+        assert!(s.implied(&PathConstraint::Inclusion {
+            tau1: Name::new("book"),
+            rho1: Path::from("section.title"),
+            tau2: Name::new("section"),
+            rho2: Path::from("title"),
+        }));
+        assert!(!s.implied(&PathConstraint::Inverse {
+            tau1: Name::new("book"),
+            rho1: Path::from("ref"),
+            tau2: Name::new("entry"),
+            rho2: Path::from("title"),
+        }));
+    }
+}

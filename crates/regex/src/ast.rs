@@ -1,0 +1,386 @@
+//! The content-model AST `α ::= S | e | ε | α+α | α,α | α*`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use xic_model::Name;
+
+/// A letter of the content-model alphabet: an element type from **E** or the
+/// atomic type `S` (XML `#PCDATA`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Symbol {
+    /// The atomic string type `S`.
+    S,
+    /// An element type `e ∈ E`.
+    Elem(Name),
+}
+
+impl Symbol {
+    /// The element name, if this symbol is an element type.
+    pub fn as_elem(&self) -> Option<&Name> {
+        match self {
+            Symbol::Elem(n) => Some(n),
+            Symbol::S => None,
+        }
+    }
+
+    /// Convenience constructor for an element symbol.
+    pub fn elem(name: impl Into<Name>) -> Self {
+        Symbol::Elem(name.into())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::S => f.write_str("S"),
+            Symbol::Elem(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// An element type definition `P(τ) = α` (Definition 2.2).
+///
+/// `ContentModel` is the regular expression
+/// `α ::= S | e | ε | α + α | α , α | α*` over `E ∪ {S}`. Use
+/// [`ContentModel::parse`] for the textual syntax (which also accepts the
+/// DTD spellings `|` for `+` and `#PCDATA` for `S`), and `Display` to print
+/// it back.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ContentModel {
+    /// The atomic type `S` (string content).
+    S,
+    /// A single element type `e`.
+    Elem(Name),
+    /// The empty word `ε` (XML `EMPTY`).
+    Epsilon,
+    /// Union `α + α`.
+    Alt(Box<ContentModel>, Box<ContentModel>),
+    /// Concatenation `α , α`.
+    Seq(Box<ContentModel>, Box<ContentModel>),
+    /// Kleene closure `α*`.
+    Star(Box<ContentModel>),
+}
+
+impl ContentModel {
+    /// A single element-type atom.
+    pub fn elem(name: impl Into<Name>) -> Self {
+        ContentModel::Elem(name.into())
+    }
+
+    /// Union of two models.
+    pub fn alt(a: ContentModel, b: ContentModel) -> Self {
+        ContentModel::Alt(Box::new(a), Box::new(b))
+    }
+
+    /// Concatenation of two models.
+    pub fn seq(a: ContentModel, b: ContentModel) -> Self {
+        ContentModel::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Kleene closure.
+    pub fn star(a: ContentModel) -> Self {
+        ContentModel::Star(Box::new(a))
+    }
+
+    /// Concatenation of a sequence of models (`ε` for the empty sequence).
+    pub fn seq_all<I: IntoIterator<Item = ContentModel>>(items: I) -> Self {
+        let mut it = items.into_iter();
+        let first = match it.next() {
+            Some(x) => x,
+            None => return ContentModel::Epsilon,
+        };
+        it.fold(first, ContentModel::seq)
+    }
+
+    /// Union of a sequence of models (`ε` for the empty sequence).
+    pub fn alt_all<I: IntoIterator<Item = ContentModel>>(items: I) -> Self {
+        let mut it = items.into_iter();
+        let first = match it.next() {
+            Some(x) => x,
+            None => return ContentModel::Epsilon,
+        };
+        it.fold(first, ContentModel::alt)
+    }
+
+    /// True iff `ε ∈ L(α)`.
+    pub fn nullable(&self) -> bool {
+        match self {
+            ContentModel::S | ContentModel::Elem(_) => false,
+            ContentModel::Epsilon | ContentModel::Star(_) => true,
+            ContentModel::Alt(a, b) => a.nullable() || b.nullable(),
+            ContentModel::Seq(a, b) => a.nullable() && b.nullable(),
+        }
+    }
+
+    /// The set of symbols occurring syntactically in `α`.
+    pub fn alphabet(&self) -> BTreeSet<Symbol> {
+        let mut set = BTreeSet::new();
+        self.collect_alphabet(&mut set);
+        set
+    }
+
+    fn collect_alphabet(&self, set: &mut BTreeSet<Symbol>) {
+        match self {
+            ContentModel::S => {
+                set.insert(Symbol::S);
+            }
+            ContentModel::Elem(n) => {
+                set.insert(Symbol::Elem(n.clone()));
+            }
+            ContentModel::Epsilon => {}
+            ContentModel::Alt(a, b) | ContentModel::Seq(a, b) => {
+                a.collect_alphabet(set);
+                b.collect_alphabet(set);
+            }
+            ContentModel::Star(a) => a.collect_alphabet(set),
+        }
+    }
+
+    /// The element types occurring in `α` (i.e. `alphabet` minus `S`).
+    pub fn element_types(&self) -> BTreeSet<Name> {
+        self.alphabet()
+            .into_iter()
+            .filter_map(|s| match s {
+                Symbol::Elem(n) => Some(n),
+                Symbol::S => None,
+            })
+            .collect()
+    }
+
+    /// Number of AST nodes; the `|P|` size measure used in the paper's
+    /// complexity statements.
+    pub fn size(&self) -> usize {
+        match self {
+            ContentModel::S | ContentModel::Elem(_) | ContentModel::Epsilon => 1,
+            ContentModel::Alt(a, b) | ContentModel::Seq(a, b) => 1 + a.size() + b.size(),
+            ContentModel::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// A shortest word of `L(α)` (the language is never empty since the
+    /// grammar has no `∅`).
+    pub fn min_word(&self) -> Vec<Symbol> {
+        match self {
+            ContentModel::S => vec![Symbol::S],
+            ContentModel::Elem(n) => vec![Symbol::Elem(n.clone())],
+            ContentModel::Epsilon | ContentModel::Star(_) => vec![],
+            ContentModel::Alt(a, b) => {
+                let wa = a.min_word();
+                let wb = b.min_word();
+                if wa.len() <= wb.len() {
+                    wa
+                } else {
+                    wb
+                }
+            }
+            ContentModel::Seq(a, b) => {
+                let mut w = a.min_word();
+                w.extend(b.min_word());
+                w
+            }
+        }
+    }
+
+    /// Brzozowski derivative of `α` with respect to symbol `s`: a regular
+    /// expression for `{ w | s·w ∈ L(α) }`. Used by
+    /// [`ContentModel::matches_derivative`].
+    pub fn derivative(&self, s: &Symbol) -> ContentModel {
+        use ContentModel::*;
+        match self {
+            S => {
+                if *s == Symbol::S {
+                    Epsilon
+                } else {
+                    // Empty language: encode as a star-free dead end. The
+                    // grammar lacks ∅, so we use an unmatchable private
+                    // sentinel element name (never produced by the parser:
+                    // "⊥" is not a name token).
+                    Elem(Name::new("\u{22A5}"))
+                }
+            }
+            Elem(n) => {
+                if s.as_elem() == Some(n) {
+                    Epsilon
+                } else {
+                    Elem(Name::new("\u{22A5}"))
+                }
+            }
+            Epsilon => Elem(Name::new("\u{22A5}")),
+            Alt(a, b) => ContentModel::alt(a.derivative(s), b.derivative(s)),
+            Seq(a, b) => {
+                let da_b = ContentModel::seq(a.derivative(s), (**b).clone());
+                if a.nullable() {
+                    ContentModel::alt(da_b, b.derivative(s))
+                } else {
+                    da_b
+                }
+            }
+            Star(a) => ContentModel::seq(a.derivative(s), self.clone()),
+        }
+    }
+
+    /// Membership test by repeated Brzozowski derivatives.
+    ///
+    /// Worst-case exponential on adversarial inputs (derivatives are not
+    /// memoized here), but an independent implementation that serves as the
+    /// test oracle for [`crate::Nfa`]/[`crate::Dfa`] and as the baseline of
+    /// ablation E10b.
+    pub fn matches_derivative(&self, word: &[Symbol]) -> bool {
+        let mut cur = self.clone();
+        for s in word {
+            cur = cur.derivative(s);
+        }
+        cur.nullable()
+    }
+}
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Precedence: * > , > +.
+        fn go(m: &ContentModel, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match m {
+                ContentModel::S => f.write_str("S"),
+                ContentModel::Elem(n) => write!(f, "{n}"),
+                ContentModel::Epsilon => f.write_str("EMPTY"),
+                ContentModel::Alt(a, b) => {
+                    let wrap = prec > 0;
+                    if wrap {
+                        f.write_str("(")?;
+                    }
+                    go(a, f, 0)?;
+                    f.write_str(" + ")?;
+                    go(b, f, 0)?;
+                    if wrap {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+                ContentModel::Seq(a, b) => {
+                    let wrap = prec > 1;
+                    if wrap {
+                        f.write_str("(")?;
+                    }
+                    go(a, f, 1)?;
+                    f.write_str(", ")?;
+                    go(b, f, 1)?;
+                    if wrap {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+                ContentModel::Star(a) => {
+                    go(a, f, 2)?;
+                    f.write_str("*")
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::elem(s)
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(!ContentModel::S.nullable());
+        assert!(!ContentModel::elem("a").nullable());
+        assert!(ContentModel::Epsilon.nullable());
+        assert!(ContentModel::star(ContentModel::elem("a")).nullable());
+        assert!(ContentModel::alt(ContentModel::elem("a"), ContentModel::Epsilon).nullable());
+        assert!(!ContentModel::seq(ContentModel::elem("a"), ContentModel::Epsilon).nullable());
+        assert!(ContentModel::seq(
+            ContentModel::star(ContentModel::elem("a")),
+            ContentModel::Epsilon
+        )
+        .nullable());
+    }
+
+    #[test]
+    fn min_word_is_shortest() {
+        // (a, b) + c  →  shortest word is [c]
+        let m = ContentModel::alt(
+            ContentModel::seq(ContentModel::elem("a"), ContentModel::elem("b")),
+            ContentModel::elem("c"),
+        );
+        assert_eq!(m.min_word(), vec![sym("c")]);
+        // a* → ε
+        assert!(ContentModel::star(ContentModel::elem("a"))
+            .min_word()
+            .is_empty());
+    }
+
+    #[test]
+    fn derivative_matcher_basics() {
+        // (title, (text + section)*) — the paper's section content model.
+        let m = ContentModel::seq(
+            ContentModel::elem("title"),
+            ContentModel::star(ContentModel::alt(
+                ContentModel::elem("text"),
+                ContentModel::elem("section"),
+            )),
+        );
+        assert!(m.matches_derivative(&[sym("title")]));
+        assert!(m.matches_derivative(&[sym("title"), sym("text"), sym("section")]));
+        assert!(!m.matches_derivative(&[]));
+        assert!(!m.matches_derivative(&[sym("text")]));
+        assert!(!m.matches_derivative(&[sym("title"), sym("title")]));
+    }
+
+    #[test]
+    fn derivative_handles_pcdata() {
+        let m = ContentModel::star(ContentModel::alt(ContentModel::S, ContentModel::elem("b")));
+        assert!(m.matches_derivative(&[Symbol::S, sym("b"), Symbol::S]));
+        assert!(!m.matches_derivative(&[sym("c")]));
+    }
+
+    #[test]
+    fn alphabet_and_size() {
+        let m = ContentModel::seq(
+            ContentModel::elem("entry"),
+            ContentModel::seq(
+                ContentModel::star(ContentModel::elem("author")),
+                ContentModel::S,
+            ),
+        );
+        let alpha = m.alphabet();
+        assert!(alpha.contains(&Symbol::S));
+        assert!(alpha.contains(&sym("entry")));
+        assert!(alpha.contains(&sym("author")));
+        assert_eq!(alpha.len(), 3);
+        assert_eq!(m.element_types().len(), 2);
+        assert_eq!(m.size(), 6);
+    }
+
+    #[test]
+    fn display_uses_paper_syntax() {
+        let m = ContentModel::seq(
+            ContentModel::elem("entry"),
+            ContentModel::star(ContentModel::alt(
+                ContentModel::elem("text"),
+                ContentModel::elem("section"),
+            )),
+        );
+        assert_eq!(m.to_string(), "entry, (text + section)*");
+    }
+
+    #[test]
+    fn seq_all_and_alt_all() {
+        assert_eq!(ContentModel::seq_all([]), ContentModel::Epsilon);
+        let m = ContentModel::seq_all([
+            ContentModel::elem("a"),
+            ContentModel::elem("b"),
+            ContentModel::elem("c"),
+        ]);
+        assert!(m.matches_derivative(&[sym("a"), sym("b"), sym("c")]));
+        let u = ContentModel::alt_all([ContentModel::elem("a"), ContentModel::elem("b")]);
+        assert!(u.matches_derivative(&[sym("a")]));
+        assert!(u.matches_derivative(&[sym("b")]));
+    }
+}

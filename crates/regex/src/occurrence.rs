@@ -1,0 +1,235 @@
+//! Occurrence-interval analysis: the *unique sub-element* test of §3.4.
+//!
+//! §3.4 allows a sub-element `S` of `τ` to serve as a key only when `S` is a
+//! **unique sub-element** of `τ`: "for any `w ∈ L(α)`, `S` occurs exactly
+//! once in `w`". This module decides that by abstract interpretation of the
+//! content model over occurrence-count intervals.
+
+use std::fmt;
+
+use xic_model::Name;
+
+use crate::ast::ContentModel;
+#[cfg(test)]
+use crate::ast::Symbol;
+
+/// An interval `[min, max]` of occurrence counts, `max = None` meaning ∞.
+///
+/// `occurrences(α, e)` is the exact set of possible occurrence counts of `e`
+/// across words of `L(α)` *as an interval hull*: the true count set is
+/// always a contiguous range here? It need not be (e.g. `(e, e) + ε` gives
+/// {0, 2}), so the interval is a sound over-approximation — but it is
+/// **exact at the extremes**, which is all the unique-sub-element test needs:
+/// `e` occurs exactly once in every word iff the hull is exactly `[1, 1]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OccurrenceInterval {
+    /// Minimum occurrence count over all words of the language.
+    pub min: u32,
+    /// Maximum occurrence count, or `None` for unbounded.
+    pub max: Option<u32>,
+}
+
+impl OccurrenceInterval {
+    /// The constant-zero interval.
+    pub const ZERO: OccurrenceInterval = OccurrenceInterval {
+        min: 0,
+        max: Some(0),
+    };
+    /// The constant-one interval.
+    pub const ONE: OccurrenceInterval = OccurrenceInterval {
+        min: 1,
+        max: Some(1),
+    };
+
+    fn sum(self, other: OccurrenceInterval) -> OccurrenceInterval {
+        OccurrenceInterval {
+            min: self.min + other.min,
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            },
+        }
+    }
+
+    fn hull(self, other: OccurrenceInterval) -> OccurrenceInterval {
+        OccurrenceInterval {
+            min: self.min.min(other.min),
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// True iff the interval is exactly `[1, 1]`.
+    pub fn is_exactly_one(self) -> bool {
+        self.min == 1 && self.max == Some(1)
+    }
+}
+
+impl fmt::Display for OccurrenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(m) => write!(f, "[{}, {}]", self.min, m),
+            None => write!(f, "[{}, ∞)", self.min),
+        }
+    }
+}
+
+/// Computes the occurrence interval of element `e` over the words of
+/// `L(α)`.
+///
+/// ```
+/// use xic_regex::{ContentModel, occurrences};
+/// use xic_model::Name;
+/// let m = ContentModel::parse("(name, address)").unwrap();
+/// assert!(occurrences(&m, &Name::new("name")).is_exactly_one());
+/// let m = ContentModel::parse("(title, (text + section)*)").unwrap();
+/// assert!(occurrences(&m, &Name::new("title")).is_exactly_one());
+/// assert!(!occurrences(&m, &Name::new("section")).is_exactly_one());
+/// ```
+pub fn occurrences(m: &ContentModel, e: &Name) -> OccurrenceInterval {
+    match m {
+        ContentModel::S | ContentModel::Epsilon => OccurrenceInterval::ZERO,
+        ContentModel::Elem(n) => {
+            if n == e {
+                OccurrenceInterval::ONE
+            } else {
+                OccurrenceInterval::ZERO
+            }
+        }
+        ContentModel::Alt(a, b) => occurrences(a, e).hull(occurrences(b, e)),
+        ContentModel::Seq(a, b) => occurrences(a, e).sum(occurrences(b, e)),
+        ContentModel::Star(a) => {
+            let inner = occurrences(a, e);
+            if inner.max == Some(0) {
+                OccurrenceInterval::ZERO
+            } else {
+                // Zero iterations give 0; if any iteration can contribute, an
+                // unbounded number of iterations can contribute unboundedly.
+                OccurrenceInterval { min: 0, max: None }
+            }
+        }
+    }
+}
+
+impl ContentModel {
+    /// §3.4's syntactic check: is `e` a *unique sub-element* of this content
+    /// model, i.e. does `e` occur exactly once in every word of `L(α)`?
+    pub fn is_unique_subelement(&self, e: &Name) -> bool {
+        occurrences(self, e).is_exactly_one()
+    }
+
+    /// The set of unique sub-elements of this content model.
+    pub fn unique_subelements(&self) -> Vec<Name> {
+        self.element_types()
+            .into_iter()
+            .filter(|e| self.is_unique_subelement(e))
+            .collect()
+    }
+}
+
+/// Counts occurrences of `e` in a concrete word (test helper and semantic
+/// cross-check for [`occurrences`]).
+#[cfg(test)]
+pub(crate) fn count_in_word(word: &[Symbol], e: &Name) -> u32 {
+    word.iter().filter(|s| s.as_elem() == Some(e)).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(src: &str, e: &str) -> OccurrenceInterval {
+        occurrences(&ContentModel::parse(src).unwrap(), &Name::new(e))
+    }
+
+    #[test]
+    fn paper_examples() {
+        // person ::= (name, address): name is a unique sub-element.
+        assert!(occ("(name, address)", "name").is_exactly_one());
+        assert!(occ("(name, address)", "address").is_exactly_one());
+        // book ::= (entry, author*, section*, ref): entry and ref are unique,
+        // author and section are not.
+        let book = "(entry, author*, section*, ref)";
+        assert!(occ(book, "entry").is_exactly_one());
+        assert!(occ(book, "ref").is_exactly_one());
+        assert!(!occ(book, "author").is_exactly_one());
+        assert!(!occ(book, "section").is_exactly_one());
+        assert!(!occ(book, "absent").is_exactly_one());
+    }
+
+    #[test]
+    fn union_breaks_uniqueness() {
+        assert!(!occ("(a + b)", "a").is_exactly_one());
+        assert!(occ("(a, b) + (a, c)", "a").is_exactly_one());
+        assert!(!occ("(a, b) + (c, b)", "a").is_exactly_one());
+        // {0, 2} has hull [0, 2]: not unique, and the hull extremes are exact.
+        let i = occ("(a, a) + EMPTY", "a");
+        assert_eq!(i, OccurrenceInterval { min: 0, max: Some(2) });
+    }
+
+    #[test]
+    fn star_cases() {
+        assert_eq!(occ("a*", "a"), OccurrenceInterval { min: 0, max: None });
+        assert_eq!(occ("b*", "a"), OccurrenceInterval::ZERO);
+        assert_eq!(
+            occ("(b*, a)", "a"),
+            OccurrenceInterval::ONE
+        );
+    }
+
+    #[test]
+    fn unique_subelements_listing() {
+        let m = ContentModel::parse("(entry, author*, section*, ref)").unwrap();
+        let uniq = m.unique_subelements();
+        assert_eq!(uniq, vec![Name::new("entry"), Name::new("ref")]);
+    }
+
+    #[test]
+    fn interval_display() {
+        assert_eq!(occ("a*", "a").to_string(), "[0, ∞)");
+        assert_eq!(occ("a", "a").to_string(), "[1, 1]");
+    }
+
+    #[test]
+    fn hull_extremes_match_sampled_words() {
+        use crate::ast::Symbol;
+        // Enumerate words up to length 5 accepted by each model; check the
+        // observed min/max occurrence counts sit inside the interval and hit
+        // the min (and the max when bounded and reachable within the bound).
+        let models = ["(a, b)", "(a + b)*", "(b*, a)", "(a, a) + EMPTY"];
+        let alpha = [Symbol::elem("a"), Symbol::elem("b")];
+        let e = Name::new("a");
+        for src in models {
+            let m = ContentModel::parse(src).unwrap();
+            let iv = occurrences(&m, &e);
+            let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+            for _ in 0..5 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for s in &alpha {
+                        let mut w2 = w.clone();
+                        w2.push(s.clone());
+                        next.push(w2);
+                    }
+                }
+                words.extend(next);
+            }
+            let counts: Vec<u32> = words
+                .iter()
+                .filter(|w| m.matches_derivative(w))
+                .map(|w| count_in_word(w, &e))
+                .collect();
+            assert!(!counts.is_empty(), "{src}");
+            let lo = *counts.iter().min().unwrap();
+            let hi = *counts.iter().max().unwrap();
+            assert_eq!(lo, iv.min, "{src} min");
+            if let Some(max) = iv.max {
+                assert_eq!(hi, max, "{src} max");
+            } else {
+                assert!(hi >= 2, "{src} unbounded should exceed 1 in samples");
+            }
+        }
+    }
+}

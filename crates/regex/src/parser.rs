@@ -1,0 +1,235 @@
+//! Parser for the textual content-model syntax.
+//!
+//! Grammar (paper syntax, with the XML DTD spellings accepted as aliases):
+//!
+//! ```text
+//! alt    ::= seq ( ('+' | '|') seq )*
+//! seq    ::= star ( ',' star )*
+//! star   ::= atom '*'?
+//! atom   ::= 'S' | '#PCDATA' | 'EMPTY' | 'ε' | name | '(' alt ')'
+//! name   ::= [A-Za-z_][A-Za-z0-9_.-]*
+//! ```
+//!
+//! `S`, `#PCDATA` parse to [`ContentModel::S`]; `EMPTY` and `ε` to
+//! [`ContentModel::Epsilon`]. Note `S` itself is reserved and cannot be an
+//! element name in this syntax.
+
+use std::fmt;
+
+use crate::ast::ContentModel;
+
+/// Content-model parse error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "content model parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alt(&mut self) -> Result<ContentModel, ParseError> {
+        let mut m = self.seq()?;
+        loop {
+            self.skip_ws();
+            if self.eat('+') || self.eat('|') {
+                let rhs = self.seq()?;
+                m = ContentModel::alt(m, rhs);
+            } else {
+                return Ok(m);
+            }
+        }
+    }
+
+    fn seq(&mut self) -> Result<ContentModel, ParseError> {
+        let mut m = self.star()?;
+        loop {
+            self.skip_ws();
+            if self.eat(',') {
+                let rhs = self.star()?;
+                m = ContentModel::seq(m, rhs);
+            } else {
+                return Ok(m);
+            }
+        }
+    }
+
+    fn star(&mut self) -> Result<ContentModel, ParseError> {
+        let mut m = self.atom()?;
+        // Allow iterated stars: a**.
+        while self.eat('*') {
+            m = ContentModel::star(m);
+        }
+        Ok(m)
+    }
+
+    fn atom(&mut self) -> Result<ContentModel, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.eat('(');
+                let m = self.alt()?;
+                if !self.eat(')') {
+                    return self.err("expected ')'");
+                }
+                Ok(m)
+            }
+            Some('#') => {
+                let rest = &self.src[self.pos..];
+                if let Some(r) = rest.strip_prefix("#PCDATA") {
+                    self.pos = self.src.len() - r.len();
+                    Ok(ContentModel::S)
+                } else {
+                    self.err("expected #PCDATA")
+                }
+            }
+            Some('ε') => {
+                self.eat('ε');
+                Ok(ContentModel::Epsilon)
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || matches!(c, '_' | '.' | '-') {
+                        self.pos += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let name = &self.src[start..self.pos];
+                match name {
+                    "S" => Ok(ContentModel::S),
+                    "EMPTY" => Ok(ContentModel::Epsilon),
+                    _ => Ok(ContentModel::elem(name)),
+                }
+            }
+            Some(c) => self.err(format!("unexpected character {c:?}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+}
+
+impl ContentModel {
+    /// Parses the textual content-model syntax.
+    ///
+    /// ```
+    /// use xic_regex::ContentModel;
+    /// let m = ContentModel::parse("(entry, author*, section*, ref)").unwrap();
+    /// assert_eq!(m.to_string(), "entry, author*, section*, ref");
+    /// let s = ContentModel::parse("(title, (text | section)*)").unwrap();
+    /// assert_eq!(s.to_string(), "title, (text + section)*");
+    /// ```
+    pub fn parse(src: &str) -> Result<ContentModel, ParseError> {
+        let mut p = Parser { src, pos: 0 };
+        let m = p.alt()?;
+        p.skip_ws();
+        if p.pos != src.len() {
+            return p.err("trailing input");
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_models() {
+        for (src, printed) in [
+            ("(entry, author*, section*, ref)", "entry, author*, section*, ref"),
+            ("(title, (text|section)*)", "title, (text + section)*"),
+            ("EMPTY", "EMPTY"),
+            ("ε", "EMPTY"),
+            ("(person*, dept*)", "person*, dept*"),
+            ("(name, address)", "name, address"),
+            ("dname", "dname"),
+            ("#PCDATA", "S"),
+            ("S", "S"),
+            ("(a + b)* , c", "(a + b)*, c"),
+            ("a**", "a**"),
+        ] {
+            let m = ContentModel::parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(m.to_string(), printed, "source {src}");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        for src in [
+            "entry, author*, section*, ref",
+            "title, (text + section)*",
+            "(a, b)*, (c + (d, e))*",
+            "S, a, S*",
+            "EMPTY",
+        ] {
+            let m = ContentModel::parse(src).unwrap();
+            let again = ContentModel::parse(&m.to_string()).unwrap();
+            assert_eq!(m, again, "source {src}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for src in ["", "(a", "a +", "a , , b", "a)", "*a", "#PCDAT", "a b"] {
+            assert!(ContentModel::parse(src).is_err(), "should reject {src:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = ContentModel::parse("(a, b").unwrap_err();
+        assert_eq!(e.offset, 5);
+        assert!(e.to_string().contains("')'"));
+    }
+
+    #[test]
+    fn names_with_punctuation() {
+        let m = ContentModel::parse("has_staff, in-dept, a.b").unwrap();
+        assert_eq!(m.element_types().len(), 3);
+    }
+}

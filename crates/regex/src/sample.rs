@@ -1,0 +1,103 @@
+//! Random word sampling from a content model's language.
+//!
+//! Used by the synthetic document generators (`xic-legacy`, benches) and by
+//! property tests: every sampled word must be accepted by every matcher.
+
+use rand::Rng;
+
+use crate::ast::{ContentModel, Symbol};
+
+impl ContentModel {
+    /// Samples a random word of `L(α)`.
+    ///
+    /// `star_bias` ∈ [0, 1) is the probability of taking another iteration
+    /// of a `*` (so iteration counts are geometric with mean
+    /// `star_bias / (1 − star_bias)`). Unions pick a branch uniformly.
+    ///
+    /// ```
+    /// use xic_regex::{ContentModel, Dfa};
+    /// use rand::SeedableRng;
+    /// let m = ContentModel::parse("(entry, author*, section*, ref)").unwrap();
+    /// let dfa = Dfa::from_model(&m);
+    /// let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+    /// for _ in 0..32 {
+    ///     let w = m.sample(&mut rng, 0.5);
+    ///     assert!(dfa.matches(&w));
+    /// }
+    /// ```
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, star_bias: f64) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.sample_into(rng, star_bias, &mut out);
+        out
+    }
+
+    fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, star_bias: f64, out: &mut Vec<Symbol>) {
+        match self {
+            ContentModel::S => out.push(Symbol::S),
+            ContentModel::Elem(n) => out.push(Symbol::Elem(n.clone())),
+            ContentModel::Epsilon => {}
+            ContentModel::Alt(a, b) => {
+                if rng.gen_bool(0.5) {
+                    a.sample_into(rng, star_bias, out);
+                } else {
+                    b.sample_into(rng, star_bias, out);
+                }
+            }
+            ContentModel::Seq(a, b) => {
+                a.sample_into(rng, star_bias, out);
+                b.sample_into(rng, star_bias, out);
+            }
+            ContentModel::Star(a) => {
+                while rng.gen_bool(star_bias) {
+                    a.sample_into(rng, star_bias, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automata::{Dfa, Nfa};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_members_of_the_language() {
+        let models = [
+            "(entry, author*, section*, ref)",
+            "(title, (text + section)*)",
+            "(a + (b, c))*, d",
+            "EMPTY",
+            "S, (a + S)*",
+        ];
+        let mut rng = SmallRng::seed_from_u64(7);
+        for src in models {
+            let m = ContentModel::parse(src).unwrap();
+            let nfa = Nfa::build(&m);
+            let dfa = Dfa::build(&nfa);
+            for _ in 0..200 {
+                let w = m.sample(&mut rng, 0.6);
+                assert!(nfa.matches(&w), "{src}: {w:?}");
+                assert!(dfa.matches(&w), "{src}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_bias_zero_gives_min_iterations() {
+        let m = ContentModel::parse("a*, b").unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = m.sample(&mut rng, 0.0);
+        assert_eq!(w, vec![Symbol::elem("b")]);
+    }
+
+    #[test]
+    fn high_bias_produces_long_words() {
+        let m = ContentModel::parse("a*").unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let total: usize = (0..50).map(|_| m.sample(&mut rng, 0.9).len()).sum();
+        assert!(total > 100, "expected long words, got total {total}");
+    }
+}

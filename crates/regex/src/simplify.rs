@@ -1,0 +1,115 @@
+//! Algebraic simplification of content models.
+//!
+//! DTD round-trips and programmatic construction (e.g. `α? ↦ α + ε`,
+//! `α+ ↦ α, α*`) produce redundant shapes; [`ContentModel::simplify`]
+//! normalizes them using language-preserving identities. Equivalence is
+//! property-tested against the DFA-based [`ContentModel::equivalent`].
+
+use crate::ast::ContentModel;
+
+impl ContentModel {
+    /// Returns a language-equivalent, usually smaller, content model.
+    ///
+    /// Applied identities (each preserves `L(α)` exactly):
+    ///
+    /// * `ε, α = α, ε = α`
+    /// * `α + α = α`
+    /// * `(α*)* = α*`
+    /// * `ε + α = α + ε = α` when `α` is nullable
+    /// * `ε* = ε`
+    /// * `(α + ε)* = α*` (and symmetrically)
+    ///
+    /// ```
+    /// use xic_regex::ContentModel;
+    /// let m = ContentModel::parse("(a + EMPTY), (b*)*, (EMPTY, c)").unwrap();
+    /// let s = m.simplify();
+    /// assert!(m.equivalent(&s));
+    /// assert!(s.size() < m.size());
+    /// ```
+    pub fn simplify(&self) -> ContentModel {
+        use ContentModel::*;
+        match self {
+            S | Elem(_) | Epsilon => self.clone(),
+            Seq(a, b) => {
+                let a = a.simplify();
+                let b = b.simplify();
+                match (a, b) {
+                    (Epsilon, b) => b,
+                    (a, Epsilon) => a,
+                    (a, b) => ContentModel::seq(a, b),
+                }
+            }
+            Alt(a, b) => {
+                let a = a.simplify();
+                let b = b.simplify();
+                if a == b {
+                    return a;
+                }
+                match (a, b) {
+                    // ε is absorbed by a nullable sibling.
+                    (Epsilon, b) if b.nullable() => b,
+                    (a, Epsilon) if a.nullable() => a,
+                    (a, b) => ContentModel::alt(a, b),
+                }
+            }
+            Star(a) => {
+                let a = a.simplify();
+                match a {
+                    Epsilon => Epsilon,
+                    // (α*)* = α*.
+                    Star(inner) => Star(inner),
+                    // (α + ε)* = α*; (ε + α)* = α* (children are already
+                    // simplified at this point).
+                    Alt(x, y) if *y == Epsilon => ContentModel::star(*x),
+                    Alt(x, y) if *x == Epsilon => ContentModel::star(*y),
+                    a => ContentModel::star(a),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simp(src: &str) -> String {
+        ContentModel::parse(src).unwrap().simplify().to_string()
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(simp("EMPTY, a"), "a");
+        assert_eq!(simp("a, EMPTY"), "a");
+        assert_eq!(simp("a + a"), "a");
+        assert_eq!(simp("a**"), "a*");
+        assert_eq!(simp("EMPTY*"), "EMPTY");
+        assert_eq!(simp("(a + EMPTY)*"), "a*");
+        assert_eq!(simp("(EMPTY + a)*"), "a*");
+        assert_eq!(simp("(a* + EMPTY)"), "a*");
+        // Non-nullable alternations keep their ε.
+        assert_eq!(simp("a + EMPTY"), "a + EMPTY");
+        // Nested.
+        assert_eq!(simp("(EMPTY, a), (b + b)*"), "a, b*");
+    }
+
+    #[test]
+    fn simplification_preserves_language() {
+        for src in [
+            "(a + EMPTY), (b*)*, (EMPTY, c)",
+            "((a + a) + (a + a))*",
+            "(EMPTY + (EMPTY + a))*",
+            "S, (EMPTY, S)*",
+            "(entry, author*, section*, ref)",
+            "EMPTY",
+            "a + EMPTY",
+        ] {
+            let m = ContentModel::parse(src).unwrap();
+            let s = m.simplify();
+            assert!(m.equivalent(&s), "{src} vs {s}");
+            assert!(s.size() <= m.size(), "{src}");
+            // Idempotent.
+            assert_eq!(s.simplify(), s, "{src}");
+        }
+    }
+}

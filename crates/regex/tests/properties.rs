@@ -1,0 +1,158 @@
+//! Property-based tests for content models: the three matchers
+//! (derivative / Glushkov NFA / subset DFA) agree on arbitrary models and
+//! words; sampling produces members; occurrence intervals are sound.
+
+use proptest::prelude::*;
+use xic_model::Name;
+use xic_regex::{occurrences, ContentModel, Dfa, Nfa, Symbol};
+
+/// Strategy for arbitrary content models over a 3-letter alphabet + S.
+fn model_strategy() -> impl Strategy<Value = ContentModel> {
+    let leaf = prop_oneof![
+        Just(ContentModel::S),
+        Just(ContentModel::Epsilon),
+        Just(ContentModel::elem("a")),
+        Just(ContentModel::elem("b")),
+        Just(ContentModel::elem("c")),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| ContentModel::alt(x, y)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| ContentModel::seq(x, y)),
+            inner.prop_map(ContentModel::star),
+        ]
+    })
+}
+
+/// Strategy for arbitrary words over the same alphabet.
+fn word_strategy() -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Symbol::S),
+            Just(Symbol::elem("a")),
+            Just(Symbol::elem("b")),
+            Just(Symbol::elem("c")),
+        ],
+        0..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matchers_agree(m in model_strategy(), w in word_strategy()) {
+        let d = m.matches_derivative(&w);
+        let nfa = Nfa::build(&m);
+        prop_assert_eq!(nfa.matches(&w), d);
+        let dfa = Dfa::build(&nfa);
+        prop_assert_eq!(dfa.matches(&w), d);
+    }
+
+    #[test]
+    fn display_parse_preserves_language(m in model_strategy(), w in word_strategy()) {
+        let printed = m.to_string();
+        let again = ContentModel::parse(&printed).unwrap();
+        prop_assert_eq!(again.matches_derivative(&w), m.matches_derivative(&w),
+            "language change through printing: {}", printed);
+    }
+
+    #[test]
+    fn min_word_is_member(m in model_strategy()) {
+        let w = m.min_word();
+        prop_assert!(m.matches_derivative(&w));
+        prop_assert_eq!(m.nullable(), w.is_empty());
+    }
+
+    #[test]
+    fn sampled_words_are_members(m in model_strategy(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let dfa = Dfa::from_model(&m);
+        for _ in 0..8 {
+            let w = m.sample(&mut rng, 0.4);
+            prop_assert!(dfa.matches(&w), "sample {:?} rejected for {}", w, m);
+        }
+    }
+
+    #[test]
+    fn occurrence_interval_is_sound(m in model_strategy(), w in word_strategy()) {
+        // For any accepted word, the occurrence count of each letter lies
+        // inside the computed interval.
+        if m.matches_derivative(&w) {
+            for e in ["a", "b", "c"] {
+                let name = Name::new(e);
+                let iv = occurrences(&m, &name);
+                let count = w.iter().filter(|s| s.as_elem() == Some(&name)).count() as u32;
+                prop_assert!(count >= iv.min, "{} occurs {} < min {} in {}", e, count, iv.min, m);
+                if let Some(max) = iv.max {
+                    prop_assert!(count <= max, "{} occurs {} > max {} in {}", e, count, max, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containment_is_sound_on_samples(
+        big in model_strategy(),
+        small in model_strategy(),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        // If L(small) ⊆ L(big), every sampled word of `small` is accepted
+        // by `big`; and containment is reflexive.
+        prop_assert!(big.contains(&big));
+        if big.contains(&small) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let dfa = Dfa::from_model(&big);
+            for _ in 0..8 {
+                let w = small.sample(&mut rng, 0.4);
+                prop_assert!(dfa.matches(&w), "{:?} ∈ L({}) ⊄ L({})", w, small, big);
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_language_and_shrinks(m in model_strategy(), w in word_strategy()) {
+        let s = m.simplify();
+        prop_assert!(s.size() <= m.size(), "{} grew to {}", m, s);
+        prop_assert_eq!(
+            s.matches_derivative(&w),
+            m.matches_derivative(&w),
+            "simplify changed the language of {}", m
+        );
+        // Idempotence.
+        prop_assert_eq!(s.simplify(), s);
+    }
+
+    #[test]
+    fn containment_refutations_are_witnessed(m in model_strategy(), w in word_strategy()) {
+        // Any word separates only in the allowed direction: if w ∈ L(m)
+        // for every m that `contains` another, consistency holds by the
+        // definition; here check contrapositive on concrete words.
+        let other = ContentModel::star(m.clone());
+        // m* always contains m.
+        prop_assert!(other.contains(&m));
+        if m.matches_derivative(&w) {
+            prop_assert!(other.matches_derivative(&w));
+        }
+    }
+
+    #[test]
+    fn unique_subelement_words_have_exactly_one(m in model_strategy(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for e in ["a", "b"] {
+            let name = Name::new(e);
+            if m.is_unique_subelement(&name) {
+                for _ in 0..8 {
+                    let w = m.sample(&mut rng, 0.5);
+                    let count = w.iter().filter(|s| s.as_elem() == Some(&name)).count();
+                    prop_assert_eq!(count, 1, "unique sub-element {} occurs {} times in {:?} of {}", e, count, w, m);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The structural half of Definition 2.4 and the compile-once validator.
+
+use std::collections::HashMap;
+
+use xic_constraints::{AttrType, DtdC};
+use xic_model::{Child, DataTree, ExtIndex, Name};
+use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
+
+use crate::constraints::check_all;
+use crate::report::{Report, Violation};
+
+/// Which content-model matcher the validator uses (ablation E10b).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MatcherKind {
+    /// Subset-construction DFA, compiled once per element type (default).
+    #[default]
+    Dfa,
+    /// On-the-fly Glushkov NFA simulation.
+    Nfa,
+    /// Brzozowski derivatives computed per word (naive baseline).
+    Derivative,
+}
+
+/// Validation options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Enforce Definition 2.4's "att(v, l) defined **iff** R(μ(v), l)
+    /// defined" in both directions. When `false`, declared-but-absent
+    /// attributes are tolerated (XML's `#IMPLIED` convention); undeclared
+    /// attributes are always rejected.
+    pub strict_attributes: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            strict_attributes: true,
+        }
+    }
+}
+
+impl Options {
+    /// Options tolerating absent declared attributes (`#IMPLIED`-style).
+    pub fn lenient() -> Self {
+        Options {
+            strict_attributes: false,
+        }
+    }
+}
+
+enum CompiledMatcher {
+    Dfa(Dfa),
+    Nfa(Nfa),
+    Derivative(ContentModel),
+}
+
+impl CompiledMatcher {
+    fn matches(&self, word: &[Symbol]) -> bool {
+        match self {
+            CompiledMatcher::Dfa(d) => d.matches(word),
+            CompiledMatcher::Nfa(n) => n.matches(word),
+            CompiledMatcher::Derivative(m) => m.matches_derivative(word),
+        }
+    }
+}
+
+/// Compile-once validator for a `DTD^C`.
+///
+/// Construction compiles every element type's content model (per the chosen
+/// [`MatcherKind`]); [`Validator::validate`] then checks any number of data
+/// trees against the same `DTD^C`.
+pub struct Validator<'a> {
+    dtdc: &'a DtdC,
+    matchers: HashMap<Name, CompiledMatcher>,
+    options: Options,
+}
+
+impl<'a> Validator<'a> {
+    /// A validator with default options and the DFA matcher.
+    pub fn new(dtdc: &'a DtdC) -> Self {
+        Validator::with_matcher(dtdc, MatcherKind::default(), Options::default())
+    }
+
+    /// A validator with explicit matcher kind and options.
+    pub fn with_matcher(dtdc: &'a DtdC, kind: MatcherKind, options: Options) -> Self {
+        let s = dtdc.structure();
+        let matchers = s
+            .element_types()
+            .map(|tau| {
+                let m = s.content_model(tau).expect("declared element type");
+                let compiled = match kind {
+                    MatcherKind::Dfa => CompiledMatcher::Dfa(Dfa::from_model(m)),
+                    MatcherKind::Nfa => CompiledMatcher::Nfa(Nfa::build(m)),
+                    MatcherKind::Derivative => CompiledMatcher::Derivative(m.clone()),
+                };
+                (tau.clone(), compiled)
+            })
+            .collect();
+        Validator {
+            dtdc,
+            matchers,
+            options,
+        }
+    }
+
+    /// The underlying `DTD^C`.
+    pub fn dtdc(&self) -> &DtdC {
+        self.dtdc
+    }
+
+    /// Validates one data tree: structural checks (Definition 2.4, clauses
+    /// 1–3) followed by constraint satisfaction (`G ⊨ Σ`).
+    pub fn validate(&self, tree: &DataTree) -> Report {
+        let mut violations = Vec::new();
+        self.check_structure(tree, &mut violations);
+        let idx = ExtIndex::build(tree);
+        check_all(tree, &idx, self.dtdc, &mut violations);
+        Report { violations }
+    }
+
+    /// Runs only the structural half (clauses 1–3 of Definition 2.4).
+    pub fn validate_structure(&self, tree: &DataTree) -> Report {
+        let mut violations = Vec::new();
+        self.check_structure(tree, &mut violations);
+        Report { violations }
+    }
+
+    fn check_structure(&self, tree: &DataTree, out: &mut Vec<Violation>) {
+        let s = self.dtdc.structure();
+        let root_label = tree.label(tree.root());
+        if root_label != s.root() {
+            out.push(Violation::RootLabel {
+                expected: s.root().clone(),
+                found: root_label.clone(),
+            });
+        }
+        let mut word: Vec<Symbol> = Vec::new();
+        for id in tree.node_ids() {
+            let node = tree.node(id);
+            let tau = &node.label;
+            let Some(matcher) = self.matchers.get(tau) else {
+                out.push(Violation::UnknownElementType {
+                    node: id,
+                    label: tau.clone(),
+                });
+                continue;
+            };
+            // Child word.
+            word.clear();
+            for c in &node.children {
+                word.push(match c {
+                    Child::Text(_) => Symbol::S,
+                    Child::Node(n) => Symbol::Elem(tree.label(*n).clone()),
+                });
+            }
+            if !matcher.matches(&word) {
+                out.push(Violation::ContentModel {
+                    node: id,
+                    tau: tau.clone(),
+                    expected: s
+                        .content_model(tau)
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
+                    found: word
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                });
+            }
+            // Attributes: att(v, l) defined iff R(τ, l) defined.
+            for (l, value) in node.attrs() {
+                match s.attr_type(tau, l) {
+                    None => out.push(Violation::UndeclaredAttribute {
+                        node: id,
+                        attr: l.clone(),
+                    }),
+                    Some(AttrType::Single) => {
+                        if !value.is_singleton() {
+                            out.push(Violation::NotSingleton {
+                                node: id,
+                                attr: l.clone(),
+                                len: value.len(),
+                            });
+                        }
+                    }
+                    Some(AttrType::SetValued) => {}
+                }
+            }
+            if self.options.strict_attributes {
+                for (l, _) in s.attributes(tau) {
+                    if node.attr(l).is_none() {
+                        out.push(Violation::MissingAttribute {
+                            node: id,
+                            attr: l.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::examples::{book_dtdc, book_structure};
+    use xic_constraints::{DtdC, Language};
+    use xic_model::{AttrValue, TreeBuilder};
+
+    /// A fully valid book document (structure only; Σ handled elsewhere).
+    fn valid_book() -> DataTree {
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        let entry = b.child_node(book, "entry").unwrap();
+        b.attr(entry, "isbn", AttrValue::single("x1")).unwrap();
+        b.leaf(entry, "title", "T").unwrap();
+        b.leaf(entry, "publisher", "P").unwrap();
+        b.leaf(book, "author", "A").unwrap();
+        let s1 = b.child_node(book, "section").unwrap();
+        b.attr(s1, "sid", AttrValue::single("s1")).unwrap();
+        b.leaf(s1, "title", "Intro").unwrap();
+        b.leaf(s1, "text", "...").unwrap();
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["x1"])).unwrap();
+        b.finish(book).unwrap()
+    }
+
+    fn structure_only_dtdc() -> DtdC {
+        DtdC::new(book_structure(), Language::Lu, vec![]).unwrap()
+    }
+
+    #[test]
+    fn valid_book_passes_all_matchers() {
+        let d = book_dtdc();
+        let t = valid_book();
+        for kind in [MatcherKind::Dfa, MatcherKind::Nfa, MatcherKind::Derivative] {
+            let v = Validator::with_matcher(&d, kind, Options::default());
+            let r = v.validate(&t);
+            assert!(r.is_valid(), "{kind:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn wrong_root_reported() {
+        let d = structure_only_dtdc();
+        let mut b = TreeBuilder::new();
+        let e = b.node("entry");
+        b.attr(e, "isbn", AttrValue::single("x")).unwrap();
+        b.leaf(e, "title", "T").unwrap();
+        b.leaf(e, "publisher", "P").unwrap();
+        let t = b.finish(e).unwrap();
+        let r = Validator::new(&d).validate(&t);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RootLabel { .. })));
+    }
+
+    #[test]
+    fn content_model_violation_reported() {
+        let d = structure_only_dtdc();
+        let mut b = TreeBuilder::new();
+        // book with no entry child.
+        let book = b.node("book");
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["x"])).unwrap();
+        let t = b.finish(book).unwrap();
+        let rep = Validator::new(&d).validate(&t);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ContentModel { .. })), "{rep}");
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let d = structure_only_dtdc();
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        b.child_node(book, "bogus").unwrap();
+        let t = b.finish(book).unwrap();
+        let rep = Validator::new(&d).validate(&t);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnknownElementType { .. })));
+    }
+
+    #[test]
+    fn attribute_clauses() {
+        let d = structure_only_dtdc();
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        let entry = b.child_node(book, "entry").unwrap();
+        // isbn missing; bogus undeclared; title/publisher children present.
+        b.attr(entry, "bogus", AttrValue::single("v")).unwrap();
+        b.leaf(entry, "title", "T").unwrap();
+        b.leaf(entry, "publisher", "P").unwrap();
+        b.leaf(book, "author", "A").unwrap();
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["x"])).unwrap();
+        let t = b.finish(book).unwrap();
+
+        let strict = Validator::new(&d).validate_structure(&t);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UndeclaredAttribute { .. })));
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingAttribute { .. })));
+
+        let lenient =
+            Validator::with_matcher(&d, MatcherKind::Dfa, Options::lenient())
+                .validate_structure(&t);
+        assert!(!lenient
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingAttribute { .. })));
+        // Undeclared attributes are rejected even leniently.
+        assert!(lenient
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UndeclaredAttribute { .. })));
+    }
+
+    #[test]
+    fn non_singleton_single_valued_attr() {
+        let d = structure_only_dtdc();
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        let entry = b.child_node(book, "entry").unwrap();
+        b.attr(entry, "isbn", AttrValue::set(["a", "b"])).unwrap();
+        b.leaf(entry, "title", "T").unwrap();
+        b.leaf(entry, "publisher", "P").unwrap();
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["a"])).unwrap();
+        let t = b.finish(book).unwrap();
+        let rep = Validator::new(&d).validate_structure(&t);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotSingleton { len: 2, .. })), "{rep}");
+    }
+
+    #[test]
+    fn matchers_agree_on_random_documents() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let d = structure_only_dtdc();
+        let validators: Vec<Validator<'_>> = [
+            MatcherKind::Dfa,
+            MatcherKind::Nfa,
+            MatcherKind::Derivative,
+        ]
+        .into_iter()
+        .map(|k| Validator::with_matcher(&d, k, Options::lenient()))
+        .collect();
+        let mut rng = SmallRng::seed_from_u64(99);
+        // Random (often invalid) trees over the book alphabet.
+        let labels = ["book", "entry", "title", "publisher", "author", "section", "text", "ref"];
+        for _ in 0..60 {
+            let mut b = TreeBuilder::new();
+            let root = b.node(labels[rng.gen_range(0..labels.len())]);
+            let mut frontier = vec![root];
+            for _ in 0..rng.gen_range(0..12) {
+                let parent = frontier[rng.gen_range(0..frontier.len())];
+                if rng.gen_bool(0.3) {
+                    b.text(parent, "t").unwrap();
+                } else {
+                    let c = b
+                        .child_node(parent, labels[rng.gen_range(0..labels.len())])
+                        .unwrap();
+                    frontier.push(c);
+                }
+            }
+            let t = b.finish(root).unwrap();
+            let reports: Vec<Report> =
+                validators.iter().map(|v| v.validate_structure(&t)).collect();
+            for r in &reports[1..] {
+                assert_eq!(
+                    r.violations.len(),
+                    reports[0].violations.len(),
+                    "matchers disagree"
+                );
+            }
+        }
+    }
+}

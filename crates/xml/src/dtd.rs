@@ -1,0 +1,434 @@
+//! The DTD parser: `<!ELEMENT>` / `<!ATTLIST>` declarations →
+//! [`DtdStructure`].
+
+use xic_constraints::{AttrKind, AttrType, DtdStructure};
+use xic_model::Name;
+use xic_regex::ContentModel;
+
+use crate::parser::{Cursor, XmlError};
+
+/// Parses a standalone DTD (the text one would put in a `.dtd` file or a
+/// DOCTYPE internal subset) into a [`DtdStructure`] rooted at `root`.
+///
+/// Supported declarations: `<!ELEMENT name spec>` with
+/// `EMPTY | ANY | (#PCDATA) | (#PCDATA|a|…)* |` children content models
+/// using `,`/`|` and the `?`/`*`/`+` modifiers, and
+/// `<!ATTLIST name (attr type default)*>` with types
+/// `CDATA | ID | IDREF | IDREFS | NMTOKEN | NMTOKENS | (enumerations)` and
+/// defaults `#REQUIRED | #IMPLIED | #FIXED "v" | "v"`. Comments and
+/// parameter-entity declarations are skipped.
+///
+/// Mapping onto Definition 2.2: `(#PCDATA)` ↦ `S`; mixed content ↦
+/// `(S + a + …)*`; `α?` ↦ `α + ε`; `α+` ↦ `α, α*`; `ANY` ↦
+/// `(S + e₁ + … + eₙ)*` over all declared element types; `ID` ↦ kind `ID`
+/// (single-valued); `IDREF`/`IDREFS` ↦ kind `IDREF` (single-/set-valued);
+/// `NMTOKENS` ↦ `S*`; every other type ↦ `S`.
+///
+/// ```
+/// use xic_xml::parse_dtd;
+/// let dtd = parse_dtd(r#"
+///   <!ELEMENT book (entry, author*, section*, ref)>
+///   <!ELEMENT entry (title, publisher)>
+///   <!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+///   <!ELEMENT author (#PCDATA)> <!ELEMENT text (#PCDATA)>
+///   <!ELEMENT section (title, (text | section)*)>
+///   <!ELEMENT ref EMPTY>
+///   <!ATTLIST entry isbn CDATA #REQUIRED>
+///   <!ATTLIST section sid ID #REQUIRED>
+///   <!ATTLIST ref to IDREFS #IMPLIED>
+/// "#, "book").unwrap();
+/// assert_eq!(dtd.content_model("book").unwrap().to_string(),
+///            "entry, author*, section*, ref");
+/// assert!(dtd.is_set_valued("ref", "to"));
+/// ```
+pub fn parse_dtd(src: &str, root: &str) -> Result<DtdStructure, XmlError> {
+    parse_dtd_declarations(src, root, 0)
+}
+
+/// `ANY` placeholder resolved once all element names are known.
+enum Spec {
+    Model(ContentModel),
+    Any,
+}
+
+pub(crate) fn parse_dtd_declarations(
+    src: &str,
+    root: &str,
+    base_offset: usize,
+) -> Result<DtdStructure, XmlError> {
+    let mut cur = Cursor::new(src);
+    let mut elems: Vec<(String, Spec)> = Vec::new();
+    let mut attrs: Vec<(String, String, AttrType, Option<AttrKind>)> = Vec::new();
+
+    loop {
+        cur.skip_ws();
+        if cur.rest().is_empty() {
+            break;
+        }
+        if cur.skip_comment().map_err(|e| shift(e, base_offset))?
+            || cur.skip_pi().map_err(|e| shift(e, base_offset))?
+        {
+            continue;
+        }
+        if cur.eat("<!ELEMENT") {
+            cur.skip_ws();
+            let name = cur.name().map_err(|e| shift(e, base_offset))?.to_string();
+            cur.skip_ws();
+            let spec = parse_content_spec(&mut cur).map_err(|e| shift(e, base_offset))?;
+            cur.skip_ws();
+            if !cur.eat(">") {
+                return Err(shift(cur.err::<()>("expected '>'").unwrap_err(), base_offset));
+            }
+            elems.push((name, spec));
+        } else if cur.eat("<!ATTLIST") {
+            cur.skip_ws();
+            let elem = cur.name().map_err(|e| shift(e, base_offset))?.to_string();
+            loop {
+                cur.skip_ws();
+                if cur.eat(">") {
+                    break;
+                }
+                let attr = cur.name().map_err(|e| shift(e, base_offset))?.to_string();
+                cur.skip_ws();
+                let (ty, kind) = parse_attr_type(&mut cur).map_err(|e| shift(e, base_offset))?;
+                cur.skip_ws();
+                parse_default(&mut cur).map_err(|e| shift(e, base_offset))?;
+                attrs.push((elem.clone(), attr, ty, kind));
+            }
+        } else if cur.eat("<!ENTITY") || cur.eat("<!NOTATION") {
+            // Skipped: out of the paper's scope.
+            let Some(end) = cur.rest().find('>') else {
+                return Err(XmlError::new("unterminated declaration", base_offset + cur.pos));
+            };
+            cur.pos += end + 1;
+        } else {
+            return Err(XmlError::new(
+                format!("unexpected DTD content: {:?}", truncate(cur.rest())),
+                base_offset + cur.pos,
+            ));
+        }
+    }
+
+    let all_names: Vec<Name> = elems.iter().map(|(n, _)| Name::new(n)).collect();
+    let any_model = || {
+        ContentModel::star(ContentModel::alt_all(
+            std::iter::once(ContentModel::S)
+                .chain(all_names.iter().map(|n| ContentModel::Elem(n.clone()))),
+        ))
+    };
+
+    let mut b = DtdStructure::builder(root);
+    for (name, spec) in elems {
+        let model = match spec {
+            Spec::Model(m) => m,
+            Spec::Any => any_model(),
+        };
+        b = b.elem_model(name.as_str(), model);
+    }
+    for (elem, attr, ty, kind) in attrs {
+        b = b.attr_full(elem.as_str(), attr.as_str(), ty, kind);
+    }
+    b.build()
+        .map_err(|e| XmlError::new(format!("invalid DTD: {e}"), base_offset))
+}
+
+fn shift(mut e: XmlError, base: usize) -> XmlError {
+    e.offset += base;
+    e
+}
+
+fn truncate(s: &str) -> &str {
+    &s[..s.len().min(24)]
+}
+
+fn parse_content_spec(cur: &mut Cursor<'_>) -> Result<Spec, XmlError> {
+    if cur.eat("EMPTY") {
+        return Ok(Spec::Model(ContentModel::Epsilon));
+    }
+    if cur.eat("ANY") {
+        return Ok(Spec::Any);
+    }
+    if cur.peek() != Some('(') {
+        return cur.err("expected '(' , EMPTY or ANY in content spec");
+    }
+    // Mixed content?
+    {
+        let save = cur.pos;
+        cur.eat("(");
+        cur.skip_ws();
+        if cur.eat("#PCDATA") {
+            let mut names = Vec::new();
+            loop {
+                cur.skip_ws();
+                if cur.eat(")") {
+                    break;
+                }
+                if !cur.eat("|") {
+                    return cur.err("expected '|' or ')' in mixed content");
+                }
+                cur.skip_ws();
+                names.push(cur.name()?.to_string());
+            }
+            let starred = cur.eat("*");
+            if names.is_empty() {
+                // `(#PCDATA)` — exactly one string child: Definition 2.2's S.
+                // `(#PCDATA)*` — any number of string children.
+                return Ok(Spec::Model(if starred {
+                    ContentModel::star(ContentModel::S)
+                } else {
+                    ContentModel::S
+                }));
+            }
+            if !starred {
+                return cur.err("mixed content with names requires trailing '*'");
+            }
+            return Ok(Spec::Model(ContentModel::star(ContentModel::alt_all(
+                std::iter::once(ContentModel::S)
+                    .chain(names.iter().map(|n| ContentModel::elem(n.as_str()))),
+            ))));
+        }
+        cur.pos = save;
+    }
+    let m = parse_cp(cur)?;
+    Ok(Spec::Model(m))
+}
+
+/// `cp ::= (name | '(' choice-or-seq ')') ('?'|'*'|'+')?`
+fn parse_cp(cur: &mut Cursor<'_>) -> Result<ContentModel, XmlError> {
+    cur.skip_ws();
+    let base = if cur.eat("(") {
+        let first = parse_cp(cur)?;
+        cur.skip_ws();
+        let m = match cur.peek() {
+            Some('|') => {
+                let mut parts = vec![first];
+                while cur.eat("|") {
+                    parts.push(parse_cp(cur)?);
+                    cur.skip_ws();
+                }
+                ContentModel::alt_all(parts)
+            }
+            Some(',') => {
+                let mut parts = vec![first];
+                while cur.eat(",") {
+                    parts.push(parse_cp(cur)?);
+                    cur.skip_ws();
+                }
+                ContentModel::seq_all(parts)
+            }
+            _ => first,
+        };
+        cur.skip_ws();
+        if !cur.eat(")") {
+            return cur.err("expected ')'");
+        }
+        m
+    } else {
+        ContentModel::elem(cur.name()?)
+    };
+    Ok(apply_modifier(cur, base))
+}
+
+fn apply_modifier(cur: &mut Cursor<'_>, m: ContentModel) -> ContentModel {
+    if cur.eat("*") {
+        ContentModel::star(m)
+    } else if cur.eat("+") {
+        ContentModel::seq(m.clone(), ContentModel::star(m))
+    } else if cur.eat("?") {
+        ContentModel::alt(m, ContentModel::Epsilon)
+    } else {
+        m
+    }
+}
+
+fn parse_attr_type(cur: &mut Cursor<'_>) -> Result<(AttrType, Option<AttrKind>), XmlError> {
+    // Order matters: IDREFS before IDREF before ID; NMTOKENS before NMTOKEN.
+    if cur.eat("IDREFS") {
+        Ok((AttrType::SetValued, Some(AttrKind::IdRef)))
+    } else if cur.eat("IDREF") {
+        Ok((AttrType::Single, Some(AttrKind::IdRef)))
+    } else if cur.eat("ID") {
+        Ok((AttrType::Single, Some(AttrKind::Id)))
+    } else if cur.eat("CDATA") {
+        Ok((AttrType::Single, None))
+    } else if cur.eat("NMTOKENS") {
+        Ok((AttrType::SetValued, None))
+    } else if cur.eat("NMTOKEN") {
+        Ok((AttrType::Single, None))
+    } else if cur.eat("ENTITIES") {
+        Ok((AttrType::SetValued, None))
+    } else if cur.eat("ENTITY") {
+        Ok((AttrType::Single, None))
+    } else if cur.peek() == Some('(') {
+        // Enumeration: (a | b | c) — single-valued string.
+        let Some(end) = cur.rest().find(')') else {
+            return cur.err("unterminated enumeration type");
+        };
+        cur.pos += end + 1;
+        Ok((AttrType::Single, None))
+    } else {
+        cur.err("unsupported attribute type")
+    }
+}
+
+fn parse_default(cur: &mut Cursor<'_>) -> Result<(), XmlError> {
+    if cur.eat("#REQUIRED") || cur.eat("#IMPLIED") {
+        return Ok(());
+    }
+    if cur.eat("#FIXED") {
+        cur.skip_ws();
+    }
+    // Quoted default value.
+    match cur.bump() {
+        Some(q @ ('"' | '\'')) => {
+            let Some(end) = cur.rest().find(q) else {
+                return cur.err("unterminated default value");
+            };
+            cur.pos += end + 1;
+            Ok(())
+        }
+        _ => cur.err("expected #REQUIRED, #IMPLIED, #FIXED or a quoted default"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOOK_DTD: &str = r#"
+      <!ELEMENT book (entry, author*, section*, ref)>
+      <!ELEMENT entry (title, publisher)>
+      <!ELEMENT title (#PCDATA)>
+      <!ELEMENT publisher (#PCDATA)>
+      <!ELEMENT author (#PCDATA)>
+      <!ELEMENT text (#PCDATA)>
+      <!ELEMENT section (title, (text | section)*)>
+      <!ELEMENT ref EMPTY>
+      <!ATTLIST entry isbn CDATA #REQUIRED>
+      <!ATTLIST section sid ID #REQUIRED>
+      <!ATTLIST ref to IDREFS #IMPLIED>
+    "#;
+
+    #[test]
+    fn parses_the_paper_book_dtd() {
+        let dtd = parse_dtd(BOOK_DTD, "book").unwrap();
+        assert_eq!(dtd.root().as_str(), "book");
+        assert_eq!(dtd.num_element_types(), 8);
+        assert_eq!(
+            dtd.content_model("section").unwrap().to_string(),
+            "title, (text + section)*"
+        );
+        assert_eq!(dtd.attr_kind("section", "sid"), Some(AttrKind::Id));
+        assert_eq!(dtd.attr_kind("ref", "to"), Some(AttrKind::IdRef));
+        assert!(dtd.is_set_valued("ref", "to"));
+        assert_eq!(dtd.attr_kind("entry", "isbn"), None);
+        assert_eq!(dtd.content_model("ref").unwrap(), &ContentModel::Epsilon);
+    }
+
+    #[test]
+    fn parses_the_paper_company_dtd() {
+        let src = r#"
+          <!ELEMENT db (person*, dept*)>
+          <!ELEMENT person (name, address)>
+          <!ELEMENT name (#PCDATA)> <!ELEMENT address (#PCDATA)>
+          <!ELEMENT dname (#PCDATA)>
+          <!ELEMENT dept (dname)>
+          <!ATTLIST person oid ID #REQUIRED
+                           in_dept IDREFS #IMPLIED>
+          <!ATTLIST dept oid ID #REQUIRED
+                         manager IDREF #REQUIRED
+                         has_staff IDREFS #IMPLIED>
+        "#;
+        let dtd = parse_dtd(src, "db").unwrap();
+        assert_eq!(dtd.id_attr("person").unwrap().as_str(), "oid");
+        assert_eq!(dtd.attr_kind("dept", "manager"), Some(AttrKind::IdRef));
+        assert!(dtd.is_single_valued("dept", "manager"));
+        assert!(dtd.is_set_valued("dept", "has_staff"));
+    }
+
+    #[test]
+    fn modifiers_desugar() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (b?, c+, (d | e)*)>
+             <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+             <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>",
+            "a",
+        )
+        .unwrap();
+        assert_eq!(
+            dtd.content_model("a").unwrap().to_string(),
+            "(b + EMPTY), c, c*, (d + e)*"
+        );
+    }
+
+    #[test]
+    fn any_expands_over_all_types() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a ANY> <!ELEMENT b EMPTY>",
+            "a",
+        )
+        .unwrap();
+        let m = dtd.content_model("a").unwrap();
+        use xic_regex::Symbol;
+        // ANY accepts any mix of declared elements and text.
+        assert!(xic_regex::Dfa::from_model(m).matches(&[
+            Symbol::elem("b"),
+            Symbol::S,
+            Symbol::elem("a"),
+        ]));
+    }
+
+    #[test]
+    fn mixed_content_forms() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA | b)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)*>
+             <!ELEMENT root (a, b, c)>",
+            "root",
+        )
+        .unwrap();
+        assert_eq!(dtd.content_model("a").unwrap().to_string(), "(S + b)*");
+        assert_eq!(dtd.content_model("b").unwrap().to_string(), "S");
+        assert_eq!(dtd.content_model("c").unwrap().to_string(), "S*");
+    }
+
+    #[test]
+    fn attribute_types_and_defaults() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT a EMPTY>
+               <!ATTLIST a w CDATA "dflt"
+                           x NMTOKEN #IMPLIED
+                           y NMTOKENS #IMPLIED
+                           z (yes|no) #FIXED "yes">"#,
+            "a",
+        )
+        .unwrap();
+        assert!(dtd.is_single_valued("a", "w"));
+        assert!(dtd.is_single_valued("a", "x"));
+        assert!(dtd.is_set_valued("a", "y"));
+        assert!(dtd.is_single_valued("a", "z"));
+    }
+
+    #[test]
+    fn rejects_bad_dtds() {
+        for src in [
+            "<!ELEMENT a (b)>",                 // undeclared b
+            "<!ELEMENT a EMPTY> <!ATTLIST b x CDATA #IMPLIED>", // attlist on unknown
+            "<!ELEMENT a (#PCDATA | b)>",       // mixed without *
+            "<!ELEMENT a >",
+            "<!GARBAGE>",
+            "<!ELEMENT a EMPTY> <!ATTLIST a x ID #REQUIRED y ID #REQUIRED>", // two IDs
+        ] {
+            assert!(parse_dtd(src, "a").is_err(), "should reject {src:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_entities_skipped() {
+        let dtd = parse_dtd(
+            "<!-- c --> <!ENTITY % x \"y\"> <!ELEMENT a EMPTY> <!-- d -->",
+            "a",
+        )
+        .unwrap();
+        assert_eq!(dtd.num_element_types(), 1);
+    }
+}

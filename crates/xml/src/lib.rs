@@ -1,0 +1,37 @@
+//! # xic-xml — XML documents and DTDs, from scratch
+//!
+//! A self-contained parser and serializer for the fragment of XML 1.0 that
+//! the paper's data model covers (elements, attributes, character data,
+//! `<!ELEMENT>`/`<!ATTLIST>` declarations with `CDATA`/`ID`/`IDREF`/`IDREFS`
+//! attribute types). Namespaces, general entities (beyond the five
+//! predefined ones and character references), processing instructions and
+//! external subsets are out of the paper's scope and are skipped or
+//! rejected as noted on each function.
+//!
+//! * [`parse_document`] — XML text → [`xic_model::DataTree`] (plus the
+//!   internal-subset DTD if a `<!DOCTYPE … [ … ]>` is present);
+//! * [`parse_dtd`] — DTD text → [`xic_constraints::DtdStructure`];
+//! * [`serialize_document`] / [`serialize_dtd`] — the inverses; round-trips
+//!   are exercised by tests.
+//!
+//! ### Whitespace and set-valued attributes
+//!
+//! Whitespace-only text between elements is dropped (it is "ignorable" for
+//! element-content models); all other character data is preserved verbatim.
+//! When a [`DtdStructure`](xic_constraints::DtdStructure) is available,
+//! attributes it declares as set-valued (`S*`) are tokenized on whitespace
+//! into value *sets*, matching XML's `IDREFS` convention; all other
+//! attributes stay single-valued.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtd;
+mod parser;
+mod serialize;
+mod xsd;
+
+pub use dtd::parse_dtd;
+pub use parser::{parse_document, ParsedDocument, XmlError, MAX_DEPTH};
+pub use serialize::{serialize_document, serialize_dtd};
+pub use xsd::{constraints_to_xsd, xsd_to_constraints, XsdExport};

@@ -1,0 +1,516 @@
+//! The XML document parser.
+
+use std::fmt;
+
+use xic_constraints::DtdStructure;
+use xic_model::{AttrValue, DataTree, ModelError, TreeBuilder};
+
+use crate::dtd::parse_dtd_declarations;
+
+/// XML parse error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+}
+
+impl XmlError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        XmlError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<ModelError> for XmlError {
+    fn from(e: ModelError) -> Self {
+        XmlError::new(format!("model error: {e}"), 0)
+    }
+}
+
+/// Result of [`parse_document`]: the data tree plus the DTD parsed from the
+/// `<!DOCTYPE>` internal subset, when present.
+#[derive(Debug)]
+pub struct ParsedDocument {
+    /// The document as a data tree.
+    pub tree: DataTree,
+    /// The DTD from the internal subset, if the document carried one.
+    pub dtd: Option<DtdStructure>,
+}
+
+pub(crate) struct Cursor<'a> {
+    pub src: &'a str,
+    pub pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    pub fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    pub fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError::new(msg, self.pos))
+    }
+
+    pub fn name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return self.err("expected a name"),
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')) {
+            self.bump();
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    /// Skips `<!-- … -->`, returning true if a comment was consumed.
+    pub fn skip_comment(&mut self) -> Result<bool, XmlError> {
+        if !self.eat("<!--") {
+            return Ok(false);
+        }
+        match self.rest().find("-->") {
+            Some(i) => {
+                self.pos += i + 3;
+                Ok(true)
+            }
+            None => self.err("unterminated comment"),
+        }
+    }
+
+    /// Skips `<? … ?>` processing instructions / the XML declaration.
+    pub fn skip_pi(&mut self) -> Result<bool, XmlError> {
+        if !self.eat("<?") {
+            return Ok(false);
+        }
+        match self.rest().find("?>") {
+            Some(i) => {
+                self.pos += i + 2;
+                Ok(true)
+            }
+            None => self.err("unterminated processing instruction"),
+        }
+    }
+}
+
+/// Decodes the five predefined entities and decimal/hex character
+/// references.
+pub(crate) fn decode_text(raw: &str, at: usize) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut it = raw.char_indices();
+    while let Some((i, c)) = it.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &raw[i + 1..];
+        let Some(end) = rest.find(';') else {
+            return Err(XmlError::new("unterminated entity reference", at + i));
+        };
+        let ent = &rest[..end];
+        let decoded = match ent {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ => {
+                if let Some(num) = ent.strip_prefix("#x").or_else(|| ent.strip_prefix("#X")) {
+                    u32::from_str_radix(num, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| XmlError::new("bad character reference", at + i))?
+                } else if let Some(num) = ent.strip_prefix('#') {
+                    num.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| XmlError::new("bad character reference", at + i))?
+                } else {
+                    return Err(XmlError::new(
+                        format!("unknown entity &{ent}; (only predefined entities are supported)"),
+                        at + i,
+                    ));
+                }
+            }
+        };
+        out.push(decoded);
+        // Advance the iterator past the entity.
+        for _ in 0..ent.len() + 1 {
+            it.next();
+        }
+    }
+    Ok(out)
+}
+
+/// Parses an XML document into a data tree.
+///
+/// If the document has a `<!DOCTYPE root [ … ]>` with an internal subset,
+/// the subset's `<!ELEMENT>`/`<!ATTLIST>` declarations are parsed into a
+/// [`DtdStructure`] (rooted at the DOCTYPE name) and attributes declared
+/// `IDREFS` are tokenized into value sets.
+///
+/// ```
+/// use xic_xml::parse_document;
+/// let doc = parse_document(r#"
+/// <!DOCTYPE book [
+///   <!ELEMENT book (entry, ref)>
+///   <!ELEMENT entry EMPTY>
+///   <!ELEMENT ref EMPTY>
+///   <!ATTLIST entry isbn CDATA #REQUIRED>
+///   <!ATTLIST ref to IDREFS #IMPLIED>
+/// ]>
+/// <book><entry isbn="1-55860"/><ref to="a b"/></book>"#).unwrap();
+/// assert_eq!(doc.tree.label(doc.tree.root()).as_str(), "book");
+/// let r = doc.tree.ext("ref").next().unwrap();
+/// assert_eq!(doc.tree.attr(r, "to").unwrap().len(), 2);
+/// ```
+pub fn parse_document(src: &str) -> Result<ParsedDocument, XmlError> {
+    let mut cur = Cursor::new(src);
+    let mut dtd: Option<DtdStructure> = None;
+
+    // Prolog: XML declaration, comments, DOCTYPE.
+    loop {
+        cur.skip_ws();
+        if cur.skip_pi()? || cur.skip_comment()? {
+            continue;
+        }
+        if cur.rest().starts_with("<!DOCTYPE") {
+            dtd = Some(parse_doctype(&mut cur)?);
+            continue;
+        }
+        break;
+    }
+
+    let mut b = TreeBuilder::new();
+    let root = parse_element(&mut cur, &mut b, dtd.as_ref(), 0)?;
+    // Trailing misc.
+    loop {
+        cur.skip_ws();
+        if cur.skip_pi()? || cur.skip_comment()? {
+            continue;
+        }
+        break;
+    }
+    if !cur.rest().is_empty() {
+        return cur.err("content after the root element");
+    }
+    let tree = b.finish(root)?;
+    Ok(ParsedDocument { tree, dtd })
+}
+
+fn parse_doctype(cur: &mut Cursor<'_>) -> Result<DtdStructure, XmlError> {
+    assert!(cur.eat("<!DOCTYPE"));
+    cur.skip_ws();
+    let root = cur.name()?.to_string();
+    cur.skip_ws();
+    if !cur.eat("[") {
+        return cur.err("expected '[' (only internal DTD subsets are supported)");
+    }
+    let subset_start = cur.pos;
+    let Some(end) = cur.rest().find(']') else {
+        return cur.err("unterminated DOCTYPE internal subset");
+    };
+    let subset = &cur.src[subset_start..subset_start + end];
+    cur.pos += end + 1;
+    cur.skip_ws();
+    if !cur.eat(">") {
+        return cur.err("expected '>' after DOCTYPE");
+    }
+    parse_dtd_declarations(subset, &root, subset_start)
+}
+
+fn parse_attr_value(
+    cur: &mut Cursor<'_>,
+) -> Result<String, XmlError> {
+    cur.skip_ws();
+    let quote = match cur.bump() {
+        Some(q @ ('"' | '\'')) => q,
+        _ => return cur.err("expected quoted attribute value"),
+    };
+    let start = cur.pos;
+    let Some(end) = cur.rest().find(quote) else {
+        return cur.err("unterminated attribute value");
+    };
+    let raw = &cur.src[start..start + end];
+    cur.pos += end + 1;
+    decode_text(raw, start)
+}
+
+/// Maximum element nesting depth accepted by the parser. Parsing is
+/// recursive; the bound keeps adversarially deep documents from
+/// overflowing the stack (matching the guards of production XML parsers).
+pub const MAX_DEPTH: usize = 512;
+
+fn parse_element(
+    cur: &mut Cursor<'_>,
+    b: &mut TreeBuilder,
+    dtd: Option<&DtdStructure>,
+    depth: usize,
+) -> Result<xic_model::NodeId, XmlError> {
+    if depth > MAX_DEPTH {
+        return cur.err(format!(
+            "element nesting exceeds the supported depth of {MAX_DEPTH}"
+        ));
+    }
+    cur.skip_ws();
+    if !cur.eat("<") {
+        return cur.err("expected an element start tag");
+    }
+    let name = cur.name()?.to_string();
+    let node = b.node(name.as_str());
+
+    // Attributes.
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            Some('>') | Some('/') => break,
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let attr_pos = cur.pos;
+                let aname = cur.name()?.to_string();
+                cur.skip_ws();
+                if !cur.eat("=") {
+                    return cur.err("expected '=' in attribute");
+                }
+                let value = parse_attr_value(cur)?;
+                let av = if dtd.is_some_and(|d| d.is_set_valued(&name, &aname)) {
+                    AttrValue::set(value.split_whitespace().map(str::to_string))
+                } else {
+                    AttrValue::single(value)
+                };
+                b.attr(node, aname.as_str(), av).map_err(|e| {
+                    XmlError::new(format!("attribute error: {e}"), attr_pos)
+                })?;
+            }
+            _ => return cur.err("expected attribute or '>'"),
+        }
+    }
+
+    if cur.eat("/>") {
+        return Ok(node);
+    }
+    if !cur.eat(">") {
+        return cur.err("expected '>'");
+    }
+
+    // Content.
+    loop {
+        // Character data up to the next markup.
+        let start = cur.pos;
+        let Some(lt) = cur.rest().find('<') else {
+            return cur.err("unterminated element (missing end tag)");
+        };
+        if lt > 0 {
+            let raw = &cur.src[start..start + lt];
+            cur.pos += lt;
+            let text = decode_text(raw, start)?;
+            // Drop ignorable (whitespace-only) runs.
+            if !text.trim().is_empty() {
+                b.text(node, text)?;
+            }
+        }
+        if cur.skip_comment()? || cur.skip_pi()? {
+            continue;
+        }
+        if cur.eat("<![CDATA[") {
+            let Some(end) = cur.rest().find("]]>") else {
+                return cur.err("unterminated CDATA section");
+            };
+            let raw = cur.rest()[..end].to_string();
+            cur.pos += end + 3;
+            if !raw.is_empty() {
+                b.text(node, raw)?;
+            }
+            continue;
+        }
+        if cur.rest().starts_with("</") {
+            cur.eat("</");
+            let close = cur.name()?;
+            if close != name {
+                return cur.err(format!("mismatched end tag: expected </{name}>, got </{close}>"));
+            }
+            cur.skip_ws();
+            if !cur.eat(">") {
+                return cur.err("expected '>' in end tag");
+            }
+            return Ok(node);
+        }
+        // Child element.
+        let child = parse_element(cur, b, dtd, depth + 1)?;
+        b.child(node, child)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_book_document() {
+        let src = r#"<?xml version="1.0"?>
+<!-- the running example of Section 1 -->
+<book>
+  <entry isbn="1-55860-622-X">
+    <title>Data on the Web</title>
+    <publisher>Morgan Kaufmann</publisher>
+  </entry>
+  <author>Serge Abiteboul</author>
+  <author>Peter Buneman</author>
+  <author>Dan Suciu</author>
+  <section sid="intro">
+    <title>Introduction</title>
+    <text>Data on the web...</text>
+    <section sid="sub1"><title>Audience</title></section>
+  </section>
+  <ref to="1-55860-622-X 0-201-53771-0"/>
+</book>"#;
+        let doc = parse_document(src).unwrap();
+        let t = &doc.tree;
+        assert!(doc.dtd.is_none());
+        assert_eq!(t.label(t.root()).as_str(), "book");
+        assert_eq!(t.ext("author").count(), 3);
+        assert_eq!(t.ext("section").count(), 2);
+        let entry = t.ext("entry").next().unwrap();
+        assert_eq!(
+            t.attr(entry, "isbn").unwrap().as_single().unwrap(),
+            "1-55860-622-X"
+        );
+        // Without a DTD, `to` stays single-valued.
+        let r = t.ext("ref").next().unwrap();
+        assert_eq!(t.attr(r, "to").unwrap().len(), 1);
+        let title = t.ext("title").next().unwrap();
+        assert_eq!(t.node(title).text(), "Data on the Web");
+    }
+
+    #[test]
+    fn doctype_enables_idrefs_splitting() {
+        let src = r#"<!DOCTYPE book [
+  <!ELEMENT book (entry, ref)>
+  <!ELEMENT entry (title)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT ref EMPTY>
+  <!ATTLIST entry isbn CDATA #REQUIRED>
+  <!ATTLIST ref to IDREFS #IMPLIED>
+]>
+<book><entry isbn="x"><title>T</title></entry><ref to="x y z"/></book>"#;
+        let doc = parse_document(src).unwrap();
+        let dtd = doc.dtd.as_ref().unwrap();
+        assert_eq!(dtd.root().as_str(), "book");
+        assert!(dtd.is_set_valued("ref", "to"));
+        let r = doc.tree.ext("ref").next().unwrap();
+        let to = doc.tree.attr(r, "to").unwrap();
+        assert_eq!(to.len(), 3);
+        assert!(to.contains("y"));
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let doc = parse_document("<a x=\"&lt;&amp;&quot;&#65;&#x42;\">&gt;text&apos;</a>").unwrap();
+        let t = &doc.tree;
+        let a = t.root();
+        assert_eq!(t.attr(a, "x").unwrap().as_single().unwrap(), "<&\"AB");
+        assert_eq!(t.node(a).text(), ">text'");
+    }
+
+    #[test]
+    fn cdata_sections() {
+        let doc = parse_document("<a><![CDATA[<not & markup>]]></a>").unwrap();
+        assert_eq!(doc.tree.node(doc.tree.root()).text(), "<not & markup>");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_mixed_kept() {
+        let doc = parse_document("<a>\n  <b/>\n  mixed\n  <b/>\n</a>").unwrap();
+        let t = &doc.tree;
+        let a = t.root();
+        assert_eq!(t.node(a).children.len(), 3); // b, text, b
+        assert!(t.node(a).text().contains("mixed"));
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let doc = parse_document("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(doc.tree.len(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for src in [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a x=y/>",
+            "<a x=\"1\" x=\"2\"/>",
+            "<a>&unknown;</a>",
+            "<a/><b/>",
+            "text only",
+            "<a><!-- unterminated </a>",
+        ] {
+            assert!(parse_document(src).is_err(), "should reject {src:?}");
+        }
+    }
+
+    #[test]
+    fn depth_guard_rejects_adversarial_nesting() {
+        // Within the bound: fine.
+        let deep_ok = format!("{}{}", "<a>".repeat(100), "</a>".repeat(100));
+        assert_eq!(parse_document(&deep_ok).unwrap().tree.len(), 100);
+        // Beyond the bound: a clean error, not a stack overflow.
+        let n = super::MAX_DEPTH + 10;
+        let deep_bad = format!("{}{}", "<a>".repeat(n), "</a>".repeat(n));
+        let e = parse_document(&deep_bad).unwrap_err();
+        assert!(e.message.contains("depth"), "{e}");
+    }
+
+    #[test]
+    fn error_positions_are_plausible() {
+        let e = parse_document("<a><b></c></a>").unwrap_err();
+        assert!(e.offset >= 6, "{e}");
+        assert!(e.to_string().contains("mismatched end tag"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based round trips: arbitrary data trees survive
+//! serialize → parse with shape, labels, attributes and text preserved.
+
+use proptest::prelude::*;
+use xic_model::{AttrValue, Child, DataTree, TreeBuilder};
+use xic_xml::{parse_document, serialize_document};
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    nodes: Vec<(usize, u8, Option<String>, Option<String>)>,
+}
+
+/// Attribute values / text avoiding only the characters the serializer
+/// legitimately cannot round-trip in this profile (leading/trailing
+/// whitespace in text is dropped as ignorable when text is
+/// whitespace-only).
+fn payload() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' ]{1,12}".prop_filter("not whitespace-only", |s| !s.trim().is_empty())
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop::collection::vec(
+        (
+            0usize..32,
+            0u8..4,
+            prop::option::of(payload()),
+            prop::option::of(payload()),
+        ),
+        0..24,
+    )
+    .prop_map(|nodes| Recipe { nodes })
+}
+
+fn build(recipe: &Recipe) -> DataTree {
+    let labels = ["a", "b", "c", "d"];
+    let mut b = TreeBuilder::new();
+    let root = b.node("root");
+    let mut ids = vec![root];
+    for (parent, label, attr, text) in &recipe.nodes {
+        let parent = ids[parent % ids.len()];
+        let n = b.child_node(parent, labels[*label as usize]).unwrap();
+        if let Some(v) = attr {
+            b.attr(n, "x", AttrValue::single(v.clone())).unwrap();
+        }
+        if let Some(t) = text {
+            b.text(n, t.clone()).unwrap();
+        }
+        ids.push(n);
+    }
+    b.finish(root).unwrap()
+}
+
+fn trees_equal(a: &DataTree, b: &DataTree) -> bool {
+    fn node_eq(a: &DataTree, x: xic_model::NodeId, b: &DataTree, y: xic_model::NodeId) -> bool {
+        if a.label(x) != b.label(y) {
+            return false;
+        }
+        let na = a.node(x);
+        let nb = b.node(y);
+        if na.attrs().count() != nb.attrs().count() {
+            return false;
+        }
+        for ((la, va), (lb, vb)) in na.attrs().zip(nb.attrs()) {
+            if la != lb || va != vb {
+                return false;
+            }
+        }
+        // Text may be re-chunked by parsing: compare concatenation.
+        if na.text() != nb.text() {
+            return false;
+        }
+        let ca: Vec<_> = na.child_nodes().collect();
+        let cb: Vec<_> = nb.child_nodes().collect();
+        ca.len() == cb.len()
+            && ca
+                .iter()
+                .zip(&cb)
+                .all(|(&x2, &y2)| node_eq(a, x2, b, y2))
+    }
+    node_eq(a, a.root(), b, b.root())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn serialize_parse_round_trip(r in recipe_strategy()) {
+        let t = build(&r);
+        let xml = serialize_document(&t);
+        let back = parse_document(&xml)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert!(trees_equal(&t, &back.tree), "round trip mismatch:\n{}", xml);
+    }
+
+    #[test]
+    fn serialized_output_is_reasonably_escaped(r in recipe_strategy()) {
+        let t = build(&r);
+        let xml = serialize_document(&t);
+        // No raw '<' inside attribute values: every '<' starts a tag or
+        // entity-escaped content.
+        for (i, c) in xml.char_indices() {
+            if c == '<' {
+                let next = xml[i + 1..].chars().next().unwrap_or(' ');
+                prop_assert!(
+                    next.is_alphabetic() || next == '/' || next == '!',
+                    "stray '<' at byte {i}:\n{xml}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_never_panics_on_mutations(r in recipe_strategy(), cut in 0usize..64) {
+        let t = build(&r);
+        let mut xml = serialize_document(&t);
+        // Truncate at an arbitrary char boundary: parsing must error or
+        // succeed, never panic.
+        let cut = xml
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(cut.min(xml.chars().count().saturating_sub(1)))
+            .unwrap_or(0);
+        xml.truncate(cut);
+        let _ = parse_document(&xml);
+    }
+}
+
+#[test]
+fn text_with_children_round_trips() {
+    // Mixed content ordering is preserved.
+    let mut b = TreeBuilder::new();
+    let root = b.node("root");
+    b.text(root, "before ").unwrap();
+    let c = b.child_node(root, "a").unwrap();
+    b.text(c, "inner").unwrap();
+    b.text(root, " after").unwrap();
+    let t = b.finish(root).unwrap();
+    let xml = serialize_document(&t);
+    let back = parse_document(&xml).unwrap();
+    let kinds: Vec<bool> = back
+        .tree
+        .node(back.tree.root())
+        .children
+        .iter()
+        .map(|c| matches!(c, Child::Text(_)))
+        .collect();
+    assert_eq!(kinds, vec![true, false, true], "{xml}");
+}

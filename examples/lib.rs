@@ -1,0 +1,19 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a standalone binary; run them with
+//! `cargo run -p xic-examples --bin <name>`:
+//!
+//! * `quickstart` — parse, validate, reason: the 60-second tour;
+//! * `books` — the paper's native-XML book document with `L_u` constraints;
+//! * `company_objects` — object-database export with `L_id` constraints;
+//! * `publishers_relational` — relational export with `L` constraints,
+//!   primary-key implication and the chase;
+//! * `path_optimizer` — Section-4 path constraints for query optimization;
+//! * `fo2_game` — the Figure-1 FO² inexpressibility argument, replayed;
+//! * `schema_evolution` — DTD evolution checking via content-model
+//!   language containment.
+
+/// Prints a section header.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,118 @@
+//! Path constraints as a query optimizer would use them (Section 4): given
+//! a `DTD^C` with `L_id` constraints, decide path functional, inclusion
+//! and inverse constraints, and cross-check the decisions on a concrete
+//! document.
+//!
+//! ```text
+//! cargo run -p xic-examples --bin path_optimizer
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xic::prelude::*;
+use xic_examples::heading;
+
+fn main() {
+    let schema = ObjSchema::person_dept();
+    let dtdc = schema.to_dtdc();
+    let solver = PathSolver::new(&dtdc);
+    let db: Name = "db".into();
+
+    heading("Typing paths (paths(τ), type(τ.ρ))");
+    for p in [
+        "person",
+        "person.name",
+        "dept.manager",          // dereferences to person
+        "dept.manager.name",     // …then into its name
+        "person.in_dept.dname",  // set-valued dereference
+        "dept.manager.in_dept.has_staff", // chains of references
+        "person.bogus",
+    ] {
+        let path = Path::from(p);
+        match solver.type_of(&db, &path) {
+            Some(t) => println!("type(db.{path}) = {t}"),
+            None => println!("db.{path} ∉ paths(db)"),
+        }
+    }
+
+    heading("Path functional constraints (Prop 4.1)");
+    let fd_queries = [
+        ("person", "name", "address"),   // name is a key: determines address
+        ("person", "address", "name"),   // address is no key
+        ("dept", "dname", "manager"),    // dname is a key of dept
+        ("dept", "manager", "dname"),    // manager is not a key
+    ];
+    for (tau, rho, varrho) in fd_queries {
+        let implied = solver.functional_implied(
+            &tau.into(),
+            &Path::from(rho),
+            &Path::from(varrho),
+        );
+        println!("Σ ⊨ {tau}.{rho} -> {tau}.{varrho} ?  {implied}");
+    }
+
+    heading("Path inclusion constraints (Prop 4.2)");
+    let inc_queries = [
+        ("db", "dept.manager", "person", ""),
+        ("db", "dept.manager.name", "person", "name"),
+        ("db", "dept.has_staff.name", "person", "name"),
+        ("db", "dept.manager", "dept", ""),
+    ];
+    for (t1, r1, t2, r2) in inc_queries {
+        let implied = solver.inclusion_implied(
+            &t1.into(),
+            &Path::from(r1),
+            &t2.into(),
+            &Path::parse(r2).unwrap(),
+        );
+        let rhs = if r2.is_empty() {
+            t2.to_string()
+        } else {
+            format!("{t2}.{r2}")
+        };
+        println!("Σ ⊨ {t1}.{r1} <= {rhs} ?  {implied}");
+    }
+
+    heading("Path inverse constraints (Prop 4.3)");
+    let implied = solver.inverse_implied(
+        &"person".into(),
+        &Path::from("in_dept"),
+        &"dept".into(),
+        &Path::from("has_staff"),
+    );
+    println!("Σ ⊨ person.in_dept <=> dept.has_staff ?  {implied}");
+
+    // Cross-check the inclusion decisions against a real document: every
+    // implied inclusion must hold extensionally.
+    heading("Semantic cross-check on a generated document");
+    let mut rng = SmallRng::seed_from_u64(99);
+    let inst = schema.generate_instance(6, &mut rng);
+    let tree = schema.export(&inst);
+    assert!(validate(&tree, &dtdc).is_valid());
+    let idx = ExtIndex::build(&tree);
+    for (t1, r1, t2, r2) in inc_queries {
+        let lhs = ext_of_path(&solver, &tree, &idx, &t1.into(), &Path::from(r1));
+        let rhs = ext_of_path(
+            &solver,
+            &tree,
+            &idx,
+            &t2.into(),
+            &Path::parse(r2).unwrap(),
+        );
+        let holds = lhs.is_subset(&rhs);
+        let implied = solver.inclusion_implied(
+            &t1.into(),
+            &Path::from(r1),
+            &t2.into(),
+            &Path::parse(r2).unwrap(),
+        );
+        println!(
+            "ext({t1}.{r1}) ⊆ ext({t2}{}{r2}): holds={holds}, implied={implied}",
+            if r2.is_empty() { "" } else { "." }
+        );
+        if implied {
+            assert!(holds, "soundness: implied inclusions must hold");
+        }
+    }
+    println!("All implied inclusions hold on the instance (soundness).");
+}

@@ -1,0 +1,82 @@
+//! Quickstart: parse a document, validate it against a `DTD^C`, catch a
+//! constraint violation, and ask an implication question.
+//!
+//! ```text
+//! cargo run -p xic-examples --bin quickstart
+//! ```
+
+use xic::prelude::*;
+use xic_examples::heading;
+
+fn main() {
+    // 1. The paper's book DTD^C — structure plus Σ (in L_u):
+    //      entry.isbn  -> entry
+    //      section.sid -> section
+    //      ref.to      <=s entry.isbn
+    let dtdc = xic::constraints::examples::book_dtdc();
+    heading("The DTD^C (Definition 2.3)");
+    print!("{dtdc}");
+
+    // 2. Parse the Section-1 document and render it Figure-2 style.
+    let doc = parse_document(
+        r#"<book>
+             <entry isbn="1-55860-622-X">
+               <title>Data on the Web</title>
+               <publisher>Morgan Kaufmann</publisher>
+             </entry>
+             <author>Serge Abiteboul</author>
+             <author>Peter Buneman</author>
+             <author>Dan Suciu</author>
+             <section sid="intro"><title>Introduction</title></section>
+             <ref to="1-55860-622-X"/>
+           </book>"#,
+    )
+    .expect("well-formed XML");
+    heading("The data tree (Figure 2)");
+    print!("{}", render_tree(&doc.tree, &RenderOptions::default()));
+
+    // 3. Validate: structure (content models, attributes) + Σ.
+    let report = validate(&doc.tree, &dtdc);
+    heading("Validation (Definition 2.4)");
+    println!("{report}");
+    assert!(report.is_valid());
+
+    // 4. Break the set-valued foreign key and watch it get caught.
+    let bad = parse_document(
+        r#"<book>
+             <entry isbn="x"><title>T</title><publisher>P</publisher></entry>
+             <ref to="dangling"/>
+           </book>"#,
+    )
+    .unwrap();
+    let report = validate(&bad.tree, &dtdc);
+    heading("A dangling reference");
+    print!("{report}");
+    assert!(!report.is_valid());
+
+    // 5. Implication: Σ already makes entry.isbn a key — but NOT a key of
+    //    the outer book elements (the paper's scoping point).
+    let solver = LuSolver::new(dtdc.constraints()).expect("Σ is in L_u");
+    heading("Implication (Section 3)");
+    for phi in [
+        Constraint::unary_key("entry", "isbn"),
+        Constraint::unary_key("book", "isbn"),
+    ] {
+        let v = solver.implies(&phi, LuMode::Finite).unwrap();
+        println!(
+            "Σ ⊨f {phi} ?  {}",
+            if v.is_implied() { "yes" } else { "no" }
+        );
+    }
+
+    // 6. Path reasoning: the isbn of a book's entry determines its authors.
+    let paths = PathSolver::new(&dtdc);
+    heading("Path constraints (Section 4)");
+    let implied = paths.functional_implied(
+        &"book".into(),
+        &Path::from("entry.isbn"),
+        &Path::from("author"),
+    );
+    println!("Σ ⊨ book.entry.isbn -> book.author ?  {implied}");
+    assert!(implied);
+}

@@ -1,0 +1,96 @@
+//! Schema evolution: checking that a revised DTD still accepts every
+//! existing document, via content-model language containment — the
+//! structural half of the paper's closing question about verifying
+//! integration/transformation programs.
+//!
+//! ```text
+//! cargo run -p xic-examples --bin schema_evolution
+//! ```
+
+use xic::prelude::*;
+use xic_examples::heading;
+
+fn main() {
+    let v1 = parse_dtd(
+        "<!ELEMENT book (entry, author, ref)>
+         <!ELEMENT entry (title, publisher)>
+         <!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+         <!ELEMENT author (#PCDATA)>
+         <!ELEMENT ref EMPTY>
+         <!ATTLIST entry isbn CDATA #REQUIRED>
+         <!ATTLIST ref to NMTOKENS #IMPLIED>",
+        "book",
+    )
+    .unwrap();
+
+    // v2 widens: multiple authors, optional sections.
+    let v2 = parse_dtd(
+        "<!ELEMENT book (entry, author+, section*, ref)>
+         <!ELEMENT entry (title, publisher)>
+         <!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+         <!ELEMENT author (#PCDATA)>
+         <!ELEMENT section (title)>
+         <!ELEMENT ref EMPTY>
+         <!ATTLIST entry isbn CDATA #REQUIRED>
+         <!ATTLIST ref to NMTOKENS #IMPLIED>",
+        "book",
+    )
+    .unwrap();
+
+    // v3 narrows: publisher becomes mandatory-first and authors capped at 1.
+    let v3 = parse_dtd(
+        "<!ELEMENT book (entry, author, ref)>
+         <!ELEMENT entry (publisher, title)>
+         <!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+         <!ELEMENT author (#PCDATA)>
+         <!ELEMENT ref EMPTY>
+         <!ATTLIST entry isbn CDATA #REQUIRED>
+         <!ATTLIST ref to NMTOKENS #IMPLIED>",
+        "book",
+    )
+    .unwrap();
+
+    heading("v1 → v2 (widening)");
+    let inc = v2.evolution_incompatibilities(&v1);
+    if inc.is_empty() {
+        println!("compatible: every v1 document remains structurally valid under v2");
+    }
+    assert!(inc.is_empty());
+
+    heading("v2 → v1 (narrowing back)");
+    for i in v1.evolution_incompatibilities(&v2) {
+        println!("  - {i}");
+    }
+    assert!(!v1.evolution_incompatibilities(&v2).is_empty());
+
+    heading("v1 → v3 (reordered children)");
+    for i in v3.evolution_incompatibilities(&v1) {
+        println!("  - {i}");
+    }
+    assert!(!v3.evolution_incompatibilities(&v1).is_empty());
+
+    // The underlying primitive: content-model language containment.
+    heading("Content-model containment (product automaton)");
+    let old = ContentModel::parse("(entry, author, ref)").unwrap();
+    let new = ContentModel::parse("(entry, author, author*, section*, ref)").unwrap();
+    println!("L((entry, author, ref)) ⊆ L({new}) ?  {}", new.contains(&old));
+    println!("reverse containment ?  {}", old.contains(&new));
+    assert!(new.contains(&old) && !old.contains(&new));
+
+    // And a concrete witness: a v1 document validates under both v1 and v2
+    // structures, but not under v3.
+    heading("A v1 document against all three schemas");
+    let doc = parse_document(
+        r#"<book>
+             <entry isbn="x"><title>T</title><publisher>P</publisher></entry>
+             <author>A</author>
+             <ref to="x"/>
+           </book>"#,
+    )
+    .unwrap();
+    for (name, s) in [("v1", &v1), ("v2", &v2), ("v3", &v3)] {
+        let dtdc = DtdC::new(s.clone(), Language::Lu, vec![]).unwrap();
+        let ok = validate(&doc.tree, &dtdc).is_valid();
+        println!("  {name}: {}", if ok { "valid" } else { "invalid" });
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared helpers for the cross-crate integration tests (the tests live in
+//! sibling `.rs` files declared as `[[test]]` targets).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use xic::prelude::*;
+
+/// Deterministic RNG for reproducible tests.
+pub fn rng(seed: u64) -> SmallRng {
+    use rand::SeedableRng;
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Generates a random `L_u` constraint set over `n_types` types with one
+/// key attribute `k` and one reference attribute `r` each: a mix of keys,
+/// unary FKs (targeting keys), set-valued FKs, and inverse constraints,
+/// well-formed by construction.
+pub fn random_lu_sigma(rng: &mut SmallRng, n_types: usize, n_fks: usize) -> Vec<Constraint> {
+    let types: Vec<String> = (0..n_types).map(|i| format!("t{i}")).collect();
+    let mut sigma: Vec<Constraint> = types
+        .iter()
+        .map(|t| Constraint::unary_key(t.as_str(), "k"))
+        .collect();
+    for _ in 0..n_fks {
+        let a = rng.gen_range(0..n_types);
+        let b = rng.gen_range(0..n_types);
+        match rng.gen_range(0..10) {
+            0..=5 => sigma.push(Constraint::unary_fk(
+                types[a].as_str(),
+                "k",
+                types[b].as_str(),
+                "k",
+            )),
+            6..=7 => sigma.push(Constraint::set_fk(
+                types[a].as_str(),
+                "r",
+                types[b].as_str(),
+                "k",
+            )),
+            _ => sigma.push(Constraint::InverseU {
+                tau: types[a].as_str().into(),
+                key: Field::attr("k"),
+                attr: "r".into(),
+                target: types[b].as_str().into(),
+                target_key: Field::attr("k"),
+                target_attr: "r".into(),
+            }),
+        }
+    }
+    sigma.sort_by_key(|c| c.to_string());
+    sigma.dedup();
+    sigma
+}
+
+/// Inverse-constraint queries over [`random_lu_sigma`]'s vocabulary.
+pub fn lu_inverse_queries(n_types: usize) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for a in 0..n_types.min(3) {
+        for b in 0..n_types.min(3) {
+            out.push(Constraint::InverseU {
+                tau: format!("t{a}").as_str().into(),
+                key: Field::attr("k"),
+                attr: "r".into(),
+                target: format!("t{b}").as_str().into(),
+                target_key: Field::attr("k"),
+                target_attr: "r".into(),
+            });
+        }
+    }
+    out
+}

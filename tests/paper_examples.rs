@@ -1,0 +1,194 @@
+//! End-to-end checks of the paper's three running examples (§1, §2.4):
+//! the book document (`L_u`), the person/dept object database (`L_id`),
+//! and the publishers/editors relational database (`L`).
+
+use xic::prelude::*;
+
+const BOOK_DTD_TEXT: &str = r#"
+  <!ELEMENT book (entry, author*, section*, ref)>
+  <!ELEMENT entry (title, publisher)>
+  <!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+  <!ELEMENT author (#PCDATA)> <!ELEMENT text (#PCDATA)>
+  <!ELEMENT section (title, (text | section)*)>
+  <!ELEMENT ref EMPTY>
+  <!ATTLIST entry isbn CDATA #REQUIRED>
+  <!ATTLIST section sid CDATA #REQUIRED>
+  <!ATTLIST ref to NMTOKENS #IMPLIED>
+"#;
+
+/// The DTD parsed from text matches the programmatic structure.
+#[test]
+fn book_dtd_text_matches_programmatic_structure() {
+    let parsed = parse_dtd(BOOK_DTD_TEXT, "book").unwrap();
+    let built = xic::constraints::examples::book_structure();
+    assert_eq!(parsed.root(), built.root());
+    for tau in built.element_types() {
+        assert_eq!(
+            parsed.content_model(tau).map(ToString::to_string),
+            built.content_model(tau).map(ToString::to_string),
+            "content model of {tau}"
+        );
+        for (l, ty) in built.attributes(tau) {
+            assert_eq!(parsed.attr_type(tau, l), Some(ty), "attr {tau}.{l}");
+        }
+    }
+}
+
+#[test]
+fn book_document_lifecycle() {
+    let dtdc = xic::constraints::examples::book_dtdc();
+    let doc = parse_document(
+        r#"<book>
+             <entry isbn="1-55860-622-X">
+               <title>Data on the Web</title><publisher>MK</publisher>
+             </entry>
+             <author>A</author>
+             <section sid="s1"><title>T1</title>
+               <section sid="s2"><title>T2</title></section>
+             </section>
+             <ref to="1-55860-622-X"/>
+           </book>"#,
+    )
+    .unwrap();
+    let report = validate(&doc.tree, &dtdc);
+    assert!(report.is_valid(), "{report}");
+
+    // Serialize and re-validate (round trip preserves validity).
+    let xml = serialize_document(&doc.tree);
+    let again = parse_document(&xml).unwrap();
+    assert!(validate(&again.tree, &dtdc).is_valid());
+
+    // Σ implication: keys hold where declared, and the scoping point of
+    // §1 — isbn is NOT a key of book.
+    let solver = LuSolver::new(dtdc.constraints()).unwrap();
+    assert!(solver
+        .implies(&Constraint::unary_key("entry", "isbn"), LuMode::Finite)
+        .unwrap()
+        .is_implied());
+    assert!(!solver
+        .implies(&Constraint::unary_key("book", "isbn"), LuMode::Finite)
+        .unwrap()
+        .is_implied());
+}
+
+#[test]
+fn company_database_lifecycle() {
+    let schema = ObjSchema::person_dept();
+    let dtdc = schema.to_dtdc();
+    let mut rng = xic_integration_tests::rng(42);
+    let inst = schema.generate_instance(8, &mut rng);
+    let tree = schema.export(&inst);
+    assert!(validate(&tree, &dtdc).is_valid());
+
+    // The L_id solver answers the paper's motivating questions.
+    let solver = LidSolver::new(dtdc.constraints(), Some(dtdc.structure()));
+    // (i) in_dept refers to departments only — declared.
+    assert!(solver
+        .implies(&Constraint::SetFkToId {
+            tau: "person".into(),
+            attr: "in_dept".into(),
+            target: "dept".into(),
+        })
+        .is_implied());
+    // (ii) more than one key per type: oid (via →_id) and name.
+    assert!(solver
+        .implies_with(
+            &Constraint::unary_key("person", "oid"),
+            Some(dtdc.structure())
+        )
+        .is_implied());
+    assert!(solver
+        .implies(&Constraint::sub_key("person", "name"))
+        .is_implied());
+    // (iii) inverse relationship — declared, and its symmetric form too.
+    assert!(solver
+        .implies(&Constraint::InverseId {
+            tau: "person".into(),
+            attr: "in_dept".into(),
+            target: "dept".into(),
+            target_attr: "has_staff".into(),
+        })
+        .is_implied());
+
+    // Every Implied answer carries a verifiable derivation.
+    for phi in [
+        Constraint::Id { tau: "dept".into() },
+        Constraint::sub_key("dept", "dname"),
+    ] {
+        let v = solver.implies(&phi);
+        v.proof()
+            .unwrap_or_else(|| panic!("{phi} should be implied"))
+            .verify(solver.sigma(), Some(dtdc.structure()))
+            .unwrap();
+    }
+}
+
+#[test]
+fn publishers_database_lifecycle() {
+    let schema = RelSchema::publishers_editors();
+    let dtdc = schema.to_dtdc();
+    let mut rng = xic_integration_tests::rng(43);
+    let inst = schema.generate_instance(10, &mut rng);
+    let tree = schema.export(&inst);
+    assert!(validate(&tree, &dtdc).is_valid());
+
+    // The exported Σ matches the paper's constraints.
+    assert!(dtdc
+        .constraints()
+        .contains(&Constraint::key("publisher", ["pname", "country"])));
+    assert!(dtdc.constraints().contains(&Constraint::fk(
+        "editor",
+        ["pname", "country"],
+        "publisher",
+        ["pname", "country"]
+    )));
+
+    // Primary-key reasoning and the chase agree on this schema.
+    let lp = LpSolver::new(dtdc.constraints()).unwrap();
+    let chase = Chase::new(
+        dtdc.constraints(),
+        xic::implication::chase::ChaseLimits::default(),
+    )
+    .unwrap();
+    let queries = [
+        Constraint::fk(
+            "editor",
+            ["country", "pname"],
+            "publisher",
+            ["country", "pname"],
+        ),
+        Constraint::fk(
+            "editor",
+            ["pname", "country"],
+            "publisher",
+            ["country", "pname"],
+        ),
+        Constraint::key("publisher", ["pname", "country"]),
+        Constraint::key("editor", ["name"]),
+    ];
+    for phi in queries {
+        let a = lp.implies(&phi).is_implied();
+        let b = chase.implies(&phi).is_implied();
+        assert_eq!(a, b, "LpSolver vs chase on {phi}");
+    }
+}
+
+#[test]
+fn figure1_and_figure2_reproduce() {
+    // Figure 1: FO² equivalence with key separation.
+    let (g, h) = figure1(2);
+    assert!(two_pebble_equivalent(&g, &h));
+    assert!(g.satisfies_unary_key("l"));
+    assert!(!h.satisfies_unary_key("l"));
+
+    // Figure 2: the rendered book data tree shows the annotated structure.
+    let doc = parse_document(
+        r#"<book><entry isbn="i"><title>T</title><publisher>P</publisher></entry>
+           <ref to="i"/></book>"#,
+    )
+    .unwrap();
+    let rendered = render_tree(&doc.tree, &RenderOptions::default());
+    assert!(rendered.contains("book"));
+    assert!(rendered.contains("@isbn = \"i\""));
+    assert!(rendered.lines().count() >= 6);
+}

@@ -1,0 +1,213 @@
+//! Section-4 decision procedures cross-checked against model-level truth:
+//! implied path constraints must hold on every valid generated document.
+
+use rand::Rng;
+use xic::prelude::*;
+
+/// All paths of `db` up to the given length over a small label vocabulary,
+/// kept only when they type-check.
+fn paths_up_to(solver: &PathSolver<'_>, anchor: &Name, labels: &[&str], len: usize) -> Vec<Path> {
+    let mut out = vec![Path::empty()];
+    let mut frontier = vec![Path::empty()];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for p in &frontier {
+            for l in labels {
+                let q = p.concat(&Path::new([*l]));
+                if solver.is_path(anchor, &q) {
+                    next.push(q.clone());
+                    out.push(q);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[test]
+fn implied_inclusions_hold_on_generated_documents() {
+    let schema = ObjSchema::person_dept();
+    let dtdc = schema.to_dtdc();
+    let solver = PathSolver::new(&dtdc);
+    let labels = ["person", "dept", "name", "dname", "manager", "in_dept", "has_staff"];
+    let anchors: Vec<Name> = vec!["db".into(), "person".into(), "dept".into()];
+
+    let mut rng = xic_integration_tests::rng(200);
+    let mut implied_checked = 0usize;
+    for seed in 0..4u64 {
+        let inst = schema.generate_instance(3 + seed as usize, &mut rng);
+        let tree = schema.export(&inst);
+        assert!(validate(&tree, &dtdc).is_valid());
+        let idx = ExtIndex::build(&tree);
+        for t1 in &anchors {
+            for t2 in &anchors {
+                let lhs_paths = paths_up_to(&solver, t1, &labels, 3);
+                let rhs_paths = paths_up_to(&solver, t2, &labels, 2);
+                for r1 in &lhs_paths {
+                    for r2 in &rhs_paths {
+                        if !solver.inclusion_implied(t1, r1, t2, r2) {
+                            continue;
+                        }
+                        let lhs = ext_of_path(&solver, &tree, &idx, t1, r1);
+                        let rhs = ext_of_path(&solver, &tree, &idx, t2, r2);
+                        assert!(
+                            lhs.is_subset(&rhs),
+                            "implied {t1}.{r1} <= {t2}.{r2} fails on instance"
+                        );
+                        implied_checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(implied_checked > 50, "checked only {implied_checked}");
+}
+
+#[test]
+fn implied_functionals_hold_on_generated_documents() {
+    let schema = ObjSchema::person_dept();
+    let dtdc = schema.to_dtdc();
+    let solver = PathSolver::new(&dtdc);
+    let labels = ["name", "dname", "manager", "in_dept", "has_staff", "address"];
+    let anchors: Vec<Name> = vec!["person".into(), "dept".into()];
+
+    let mut rng = xic_integration_tests::rng(201);
+    let mut implied_checked = 0usize;
+    for _ in 0..3 {
+        let inst = schema.generate_instance(4, &mut rng);
+        let tree = schema.export(&inst);
+        assert!(validate(&tree, &dtdc).is_valid());
+        let idx = ExtIndex::build(&tree);
+        for tau in &anchors {
+            let ps = paths_up_to(&solver, tau, &labels, 2);
+            for rho in &ps {
+                for varrho in &ps {
+                    if rho.is_empty() || !solver.functional_implied(tau, rho, varrho) {
+                        continue;
+                    }
+                    // Semantic FD: equal nodes(x.ρ) ⇒ equal nodes(x.ϱ).
+                    let elems: Vec<_> = idx.ext(tau).to_vec();
+                    for &x in &elems {
+                        for &y in &elems {
+                            let nx = nodes_of(&solver, &tree, &idx, x, rho);
+                            let ny = nodes_of(&solver, &tree, &idx, y, rho);
+                            if nx == ny && !nx.is_empty() {
+                                let vx = nodes_of(&solver, &tree, &idx, x, varrho);
+                                let vy = nodes_of(&solver, &tree, &idx, y, varrho);
+                                assert_eq!(
+                                    vx, vy,
+                                    "FD {tau}.{rho} -> {tau}.{varrho} fails: {x:?} vs {y:?}"
+                                );
+                            }
+                        }
+                    }
+                    implied_checked += 1;
+                }
+            }
+        }
+    }
+    assert!(implied_checked > 10, "checked only {implied_checked}");
+}
+
+#[test]
+fn implied_inverses_hold_on_generated_documents() {
+    let schema = ObjSchema::person_dept();
+    let dtdc = schema.to_dtdc();
+    let solver = PathSolver::new(&dtdc);
+    let mut rng = xic_integration_tests::rng(202);
+    let inst = schema.generate_instance(5, &mut rng);
+    let tree = schema.export(&inst);
+    assert!(validate(&tree, &dtdc).is_valid());
+    let idx = ExtIndex::build(&tree);
+
+    let person: Name = "person".into();
+    let dept: Name = "dept".into();
+    let rho1 = Path::from("in_dept");
+    let rho2 = Path::from("has_staff");
+    assert!(solver.inverse_implied(&person, &rho1, &dept, &rho2));
+    // Semantics: y ∈ nodes(x.ρ1) ⇒ x ∈ nodes(y.ρ2), both directions.
+    for &x in idx.ext(&person) {
+        let forward = nodes_of(&solver, &tree, &idx, x, &rho1);
+        for &y in &forward.nodes {
+            let back = nodes_of(&solver, &tree, &idx, y, &rho2);
+            assert!(back.nodes.contains(&x), "echo missing for {x:?} → {y:?}");
+        }
+    }
+    for &y in idx.ext(&dept) {
+        let forward = nodes_of(&solver, &tree, &idx, y, &rho2);
+        for &x in &forward.nodes {
+            let back = nodes_of(&solver, &tree, &idx, x, &rho1);
+            assert!(back.nodes.contains(&y), "echo missing for {y:?} → {x:?}");
+        }
+    }
+}
+
+#[test]
+fn non_implied_constraints_fail_on_some_adversarial_document() {
+    // Completeness spot-check: for a handful of NOT-implied path
+    // constraints, hand-build a valid document violating them.
+    let schema = ObjSchema::person_dept();
+    let dtdc = schema.to_dtdc();
+    let solver = PathSolver::new(&dtdc);
+
+    // dept.manager -> dept.dname is NOT implied (manager is not a key of
+    // dept): two depts sharing a manager but with different names.
+    assert!(!solver.functional_implied(
+        &"dept".into(),
+        &Path::from("manager"),
+        &Path::from("dname")
+    ));
+    let mut b = TreeBuilder::new();
+    let db = b.node("db");
+    let p = b.child_node(db, "person").unwrap();
+    b.attr(p, "oid", AttrValue::single("p1")).unwrap();
+    b.attr(p, "in_dept", AttrValue::set(["d1", "d2"])).unwrap();
+    b.leaf(p, "name", "A").unwrap();
+    b.leaf(p, "address", "x").unwrap();
+    for (oid, dn) in [("d1", "Sales"), ("d2", "R&D")] {
+        let d = b.child_node(db, "dept").unwrap();
+        b.attr(d, "oid", AttrValue::single(oid)).unwrap();
+        b.attr(d, "manager", AttrValue::single("p1")).unwrap();
+        b.attr(d, "has_staff", AttrValue::set(["p1"])).unwrap();
+        b.leaf(d, "dname", dn).unwrap();
+    }
+    let tree = b.finish(db).unwrap();
+    let report = validate(&tree, &dtdc);
+    assert!(report.is_valid(), "{report}");
+    let idx = ExtIndex::build(&tree);
+    // The two depts agree on nodes(manager) but differ on dname text —
+    // i.e. the FD genuinely fails semantically.
+    let depts: Vec<_> = idx.ext("dept").to_vec();
+    let m0 = nodes_of(&solver, &tree, &idx, depts[0], &Path::from("manager"));
+    let m1 = nodes_of(&solver, &tree, &idx, depts[1], &Path::from("manager"));
+    assert_eq!(m0, m1);
+    let n0 = nodes_of(&solver, &tree, &idx, depts[0], &Path::from("dname"));
+    let n1 = nodes_of(&solver, &tree, &idx, depts[1], &Path::from("dname"));
+    assert_ne!(n0, n1);
+}
+
+#[test]
+fn random_paths_never_panic() {
+    let dtdc = xic::constraints::examples::company_dtdc();
+    let solver = PathSolver::new(&dtdc);
+    let labels = [
+        "db", "person", "dept", "name", "dname", "address", "manager", "in_dept", "has_staff",
+        "oid", "bogus",
+    ];
+    let mut rng = xic_integration_tests::rng(203);
+    for _ in 0..300 {
+        let len = rng.gen_range(0..5);
+        let steps: Vec<&str> = (0..len)
+            .map(|_| labels[rng.gen_range(0..labels.len())])
+            .collect();
+        let p = Path::new(steps.clone());
+        let q = Path::new(steps.into_iter().rev());
+        let t1: Name = labels[rng.gen_range(0..labels.len())].into();
+        let t2: Name = labels[rng.gen_range(0..labels.len())].into();
+        let _ = solver.type_of(&t1, &p);
+        let _ = solver.functional_implied(&t1, &p, &q);
+        let _ = solver.inclusion_implied(&t1, &p, &t2, &q);
+        let _ = solver.inverse_implied(&t1, &p, &t2, &q);
+    }
+}

@@ -1,0 +1,309 @@
+//! Randomized agreement between the implication solvers and the
+//! brute-force model-search oracle, plus the theorem-level invariants:
+//!
+//! * soundness — whenever a solver says `Implied` (finite), no small
+//!   countermodel exists, and the attached derivation verifies;
+//! * refutation — whenever the oracle finds a countermodel, the solver
+//!   says `NotImplied` (for both finite and unrestricted modes);
+//! * Theorem 3.4 — under the primary-key restriction, finite and
+//!   unrestricted `L_u` implication coincide;
+//! * monotonicity — implication is preserved when `Σ` grows.
+
+use rand::Rng;
+use xic::implication::bruteforce::{find_countermodel, Bounds};
+use xic::prelude::*;
+use xic_integration_tests::{lu_inverse_queries, random_lu_sigma};
+
+fn small_bounds() -> Bounds {
+    Bounds {
+        max_per_type: 2,
+        max_values: 2,
+        budget: 150_000,
+    }
+}
+
+/// Candidate queries over the same vocabulary as `random_lu_sigma`.
+fn lu_queries(n_types: usize) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for a in 0..n_types.min(3) {
+        let ta = format!("t{a}");
+        out.push(Constraint::unary_key(ta.as_str(), "k"));
+        out.push(Constraint::unary_key(ta.as_str(), "r"));
+        for b in 0..n_types.min(3) {
+            let tb = format!("t{b}");
+            out.push(Constraint::unary_fk(ta.as_str(), "k", tb.as_str(), "k"));
+            out.push(Constraint::set_fk(ta.as_str(), "r", tb.as_str(), "k"));
+        }
+    }
+    out
+}
+
+#[test]
+fn lu_solver_agrees_with_bruteforce_oracle() {
+    let mut rng = xic_integration_tests::rng(100);
+    let mut implied = 0usize;
+    let mut refuted = 0usize;
+    for round in 0..15 {
+        let n_types = rng.gen_range(2..4);
+        let n_fks = rng.gen_range(0..5);
+        let sigma = random_lu_sigma(&mut rng, n_types, n_fks);
+        let solver = LuSolver::new(&sigma).unwrap();
+        for phi in lu_queries(n_types) {
+            if sigma.contains(&phi) {
+                continue;
+            }
+            let fin = solver.implies(&phi, LuMode::Finite).unwrap();
+            let unr = solver.implies(&phi, LuMode::Unrestricted).unwrap();
+            let cm = find_countermodel(&sigma, &phi, small_bounds());
+            match (&fin, &cm) {
+                (Verdict::Implied(proof), Some(m)) => {
+                    panic!(
+                        "solver claims Σ ⊨f {phi} but oracle found countermodel:\n{m}\nΣ = {sigma:?}\nproof:\n{proof}"
+                    );
+                }
+                (Verdict::Implied(proof), None) => {
+                    implied += 1;
+                    proof
+                        .verify(&sigma, None)
+                        .unwrap_or_else(|e| panic!("round {round}: bad proof for {phi}: {e}"));
+                }
+                (Verdict::NotImplied(_), Some(_)) => refuted += 1,
+                (Verdict::NotImplied(_), None) => {}
+            }
+            // Unrestricted implication is at most finite implication.
+            if unr.is_implied() {
+                assert!(
+                    fin.is_implied(),
+                    "unrestricted implies finite for {phi} under {sigma:?}"
+                );
+            }
+            // A finite countermodel refutes unrestricted implication too.
+            if cm.is_some() {
+                assert!(!unr.is_implied(), "{phi} under {sigma:?}");
+            }
+        }
+    }
+    // The test is vacuous if generation never produces interesting cases.
+    assert!(implied > 5, "too few implied cases: {implied}");
+    assert!(refuted > 5, "too few refuted cases: {refuted}");
+}
+
+#[test]
+fn lu_inverse_verdicts_match_small_oracle() {
+    let mut rng = xic_integration_tests::rng(106);
+    let mut implied = 0usize;
+    for _ in 0..9 {
+        let n_types = rng.gen_range(2..4);
+        let n_fks = rng.gen_range(1..5);
+        let sigma = random_lu_sigma(&mut rng, n_types, n_fks);
+        let solver = LuSolver::new(&sigma).unwrap();
+        for phi in lu_inverse_queries(n_types) {
+            let fin = solver.implies(&phi, LuMode::Finite).unwrap();
+            let cm = find_countermodel(&sigma, &phi, small_bounds());
+            match (&fin, &cm) {
+                (Verdict::Implied(p), Some(m)) => panic!(
+                    "inverse claimed implied but refuted:\n{m}\nΣ = {sigma:?}\nproof:\n{p}"
+                ),
+                (Verdict::Implied(p), None) => {
+                    implied += 1;
+                    p.verify(&sigma, None).unwrap();
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(implied >= 3, "too few implied inverse cases: {implied}");
+}
+
+#[test]
+fn lu_countermodels_from_solver_verify() {
+    let mut rng = xic_integration_tests::rng(101);
+    let mut checked = 0usize;
+    for _ in 0..15 {
+        let n_types = rng.gen_range(2..4);
+        let n_fks = rng.gen_range(0..4);
+        let sigma = random_lu_sigma(&mut rng, n_types, n_fks);
+        let solver = LuSolver::new(&sigma).unwrap();
+        for phi in lu_queries(n_types) {
+            if let Verdict::NotImplied(Some(m)) =
+                solver.implies(&phi, LuMode::Finite).unwrap()
+            {
+                assert!(m.satisfies_all(&sigma), "Σ fails on solver countermodel\n{m}");
+                assert!(!m.satisfies(&phi), "{phi} holds on solver countermodel\n{m}");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 10, "too few countermodels checked: {checked}");
+}
+
+#[test]
+fn theorem_3_4_finite_equals_unrestricted_under_primary_restriction() {
+    let mut rng = xic_integration_tests::rng(102);
+    let mut agreements = 0usize;
+    for _ in 0..40 {
+        // Primary-restricted Σ: one key per type, FK targets always `k`.
+        let n_types = rng.gen_range(2..5);
+        let types: Vec<String> = (0..n_types).map(|i| format!("t{i}")).collect();
+        let mut sigma: Vec<Constraint> = types
+            .iter()
+            .map(|t| Constraint::unary_key(t.as_str(), "k"))
+            .collect();
+        for _ in 0..rng.gen_range(0..6) {
+            let a = rng.gen_range(0..n_types);
+            let b = rng.gen_range(0..n_types);
+            sigma.push(Constraint::unary_fk(
+                types[a].as_str(),
+                "k",
+                types[b].as_str(),
+                "k",
+            ));
+        }
+        sigma.dedup();
+        let solver = LuSolver::new(&sigma).unwrap();
+        solver.check_primary(None).unwrap();
+        for phi in lu_queries(n_types) {
+            // Skip queries that would break the restriction (keys on r).
+            if matches!(&phi, Constraint::Key { fields, .. } if fields[0] == Field::attr("r")) {
+                continue;
+            }
+            let fin = solver.implies(&phi, LuMode::Finite).unwrap().is_implied();
+            let unr = solver
+                .implies(&phi, LuMode::Unrestricted)
+                .unwrap()
+                .is_implied();
+            assert_eq!(fin, unr, "Thm 3.4 violated for {phi} under {sigma:?}");
+            agreements += 1;
+        }
+    }
+    assert!(agreements > 100);
+}
+
+#[test]
+fn lid_solver_sound_against_oracle() {
+    // Random L_id Σ over a small vocabulary with single-target reference
+    // attributes (see DESIGN.md §"known edge").
+    let mut rng = xic_integration_tests::rng(103);
+    for _ in 0..20 {
+        let n_types = rng.gen_range(2..4);
+        let types: Vec<String> = (0..n_types).map(|i| format!("c{i}")).collect();
+        let mut sigma: Vec<Constraint> = Vec::new();
+        for (i, t) in types.iter().enumerate() {
+            if rng.gen_bool(0.7) {
+                sigma.push(Constraint::Id { tau: t.as_str().into() });
+            }
+            if rng.gen_bool(0.5) {
+                let target = &types[rng.gen_range(0..n_types)];
+                // Reference attribute rᵢ is used once per type: single
+                // target by construction.
+                sigma.push(Constraint::SetFkToId {
+                    tau: t.as_str().into(),
+                    attr: format!("r{i}").as_str().into(),
+                    target: target.as_str().into(),
+                });
+            }
+        }
+        let solver = LidSolver::new(&sigma, None);
+        let mut queries: Vec<Constraint> = Vec::new();
+        for t in &types {
+            queries.push(Constraint::Id { tau: t.as_str().into() });
+            queries.push(Constraint::unary_key(t.as_str(), "u"));
+        }
+        for phi in queries {
+            let v = solver.implies(&phi);
+            let cm = find_countermodel(&sigma, &phi, small_bounds());
+            if v.is_implied() {
+                assert!(
+                    cm.is_none(),
+                    "L_id solver claims Σ ⊨ {phi}, oracle disagrees; Σ = {sigma:?}"
+                );
+                v.proof().unwrap().verify(&sigma, None).unwrap();
+            }
+            if let Some(m) = v.countermodel() {
+                assert!(m.satisfies_all(&sigma) && !m.satisfies(&phi));
+            }
+        }
+    }
+}
+
+#[test]
+fn implication_is_monotone_in_sigma() {
+    let mut rng = xic_integration_tests::rng(104);
+    for _ in 0..15 {
+        let sigma = random_lu_sigma(&mut rng, 3, 4);
+        if sigma.len() < 2 {
+            continue;
+        }
+        let smaller = &sigma[..sigma.len() - 1];
+        let s_small = LuSolver::new(smaller).unwrap();
+        let s_big = LuSolver::new(&sigma).unwrap();
+        for phi in lu_queries(3) {
+            for mode in [LuMode::Finite, LuMode::Unrestricted] {
+                if s_small.implies(&phi, mode).unwrap().is_implied() {
+                    assert!(
+                        s_big.implies(&phi, mode).unwrap().is_implied(),
+                        "monotonicity broken for {phi} ({mode:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chase_agrees_with_lp_solver_on_primary_schemas() {
+    let mut rng = xic_integration_tests::rng(105);
+    let mut compared = 0usize;
+    for _ in 0..10 {
+        // Chains of multi-attribute FKs over distinct relations (acyclic:
+        // the chase terminates).
+        let arity = rng.gen_range(1..4);
+        let cols: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        let n_rel = rng.gen_range(2..5);
+        let rels: Vec<String> = (0..n_rel).map(|i| format!("r{i}")).collect();
+        let mut sigma: Vec<Constraint> = rels
+            .iter()
+            .map(|r| Constraint::key(r.as_str(), cols.iter().map(String::as_str)))
+            .collect();
+        for w in rels.windows(2) {
+            if rng.gen_bool(0.8) {
+                sigma.push(Constraint::fk(
+                    w[0].as_str(),
+                    cols.iter().map(String::as_str),
+                    w[1].as_str(),
+                    cols.iter().map(String::as_str),
+                ));
+            }
+        }
+        let lp = LpSolver::new(&sigma).unwrap();
+        let chase = Chase::new(
+            &sigma,
+            xic::implication::chase::ChaseLimits::default(),
+        )
+        .unwrap();
+        for i in 0..n_rel {
+            for j in 0..n_rel {
+                if i == j {
+                    continue;
+                }
+                let phi = Constraint::fk(
+                    rels[i].as_str(),
+                    cols.iter().map(String::as_str),
+                    rels[j].as_str(),
+                    cols.iter().map(String::as_str),
+                );
+                let a = lp.implies(&phi).is_implied();
+                match chase.implies(&phi) {
+                    ChaseOutcome::Implied => assert!(a, "{phi}"),
+                    ChaseOutcome::NotImplied(m) => {
+                        assert!(!a, "{phi}");
+                        assert!(m.satisfies_all(&sigma) && !m.satisfies(&phi));
+                    }
+                    ChaseOutcome::ResourceLimit => {}
+                }
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 20);
+}
