@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("chain_unrestricted", n), &n, |b, _| {
             b.iter(|| {
                 let solver = LuSolver::new(&sigma).unwrap();
-                solver.implies(&phi, Mode::Unrestricted).unwrap().is_implied()
+                solver
+                    .implies(&phi, Mode::Unrestricted)
+                    .unwrap()
+                    .is_implied()
             })
         });
         group.bench_with_input(BenchmarkId::new("chain_finite", n), &n, |b, _| {

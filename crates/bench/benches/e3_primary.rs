@@ -13,18 +13,17 @@ fn bench(c: &mut Criterion) {
         let (sigma, phi) = lu_chain(n);
         let solver = LuSolver::new(&sigma).unwrap();
         solver.check_primary(None).unwrap();
-        for (label, mode) in [("unrestricted", Mode::Unrestricted), ("finite", Mode::Finite)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let u = solver.implies(&phi, mode).unwrap().is_implied();
-                        assert!(u);
-                        u
-                    })
-                },
-            );
+        for (label, mode) in [
+            ("unrestricted", Mode::Unrestricted),
+            ("finite", Mode::Finite),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let u = solver.implies(&phi, mode).unwrap().is_implied();
+                    assert!(u);
+                    u
+                })
+            });
         }
     }
     group.finish();

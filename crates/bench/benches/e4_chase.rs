@@ -25,19 +25,23 @@ fn bench(c: &mut Criterion) {
     ];
     let phi = Constraint::key("R", ["B"]);
     for budget in [100usize, 400, 1600] {
-        group.bench_with_input(BenchmarkId::new("divergent_budget", budget), &budget, |b, _| {
-            b.iter(|| {
-                let chase = Chase::new(
-                    &sigma,
-                    ChaseLimits {
-                        max_steps: budget,
-                        max_tuples: budget,
-                    },
-                )
-                .unwrap();
-                assert!(matches!(chase.implies(&phi), ChaseOutcome::ResourceLimit));
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("divergent_budget", budget),
+            &budget,
+            |b, _| {
+                b.iter(|| {
+                    let chase = Chase::new(
+                        &sigma,
+                        ChaseLimits {
+                            max_steps: budget,
+                            max_tuples: budget,
+                        },
+                    )
+                    .unwrap();
+                    assert!(matches!(chase.implies(&phi), ChaseOutcome::ResourceLimit));
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,16 +10,12 @@ fn bench(c: &mut Criterion) {
     for arity in [1usize, 4, 8] {
         for n in [8usize, 32] {
             let (sigma, phi) = lp_chain(n, arity);
-            group.bench_with_input(
-                BenchmarkId::new(format!("arity{arity}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let solver = LpSolver::new(&sigma).unwrap();
-                        assert!(solver.implies(&phi).is_implied());
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("arity{arity}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let solver = LpSolver::new(&sigma).unwrap();
+                    assert!(solver.implies(&phi).is_implied());
+                })
+            });
         }
     }
     group.finish();

@@ -22,8 +22,7 @@ fn bench(c: &mut Criterion) {
         });
         // Adversarial: a near-miss suffix (differs at the first step) must
         // be refuted at similar cost.
-        let mut bad_steps: Vec<String> =
-            ((mid + 1)..=depth).map(|i| format!("r{i}")).collect();
+        let mut bad_steps: Vec<String> = ((mid + 1)..=depth).map(|i| format!("r{i}")).collect();
         bad_steps[0] = "nosuch".into();
         let bad = Path::new(bad_steps);
         group.bench_with_input(BenchmarkId::new("refute", depth), &depth, |b, _| {

@@ -12,15 +12,11 @@ fn bench(c: &mut Criterion) {
         let solver = PathSolver::new(&d);
         for k in [n / 4, n] {
             let (t1, p1, t2, p2) = inverse_query(k);
-            group.bench_with_input(
-                BenchmarkId::new(format!("sigma{n}"), k),
-                &k,
-                |b, _| {
-                    b.iter(|| {
-                        assert!(solver.inverse_implied(&t1, &p1, &t2, &p2));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("sigma{n}"), k), &k, |b, _| {
+                b.iter(|| {
+                    assert!(solver.inverse_implied(&t1, &p1, &t2, &p2));
+                })
+            });
         }
     }
     group.finish();

@@ -1,10 +1,15 @@
-//! Reproduces experiments E1–E10 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E11 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
-//! check with measured scaling.
+//! check with measured scaling, plus the compiled-engine study E11.
 //!
 //! ```text
-//! cargo run --release -p xic-bench --bin experiments
+//! cargo run --release -p xic-bench --bin experiments [e1 e5 e11 ...]
 //! ```
+//!
+//! With no arguments every experiment runs; otherwise only the named ones
+//! (by id: `e1` … `e11`). E11 additionally writes `BENCH_validate.json`
+//! (validation throughput: per-constraint baseline vs compiled engine at
+//! 1/2/4 threads) to the current directory.
 //!
 //! Output format: one section per experiment with the paper's claim, the
 //! correctness assertions (panics if any fails), and measured timing rows.
@@ -18,17 +23,36 @@ use xic::prelude::*;
 use xic_bench::*;
 
 fn main() {
-    e1_lid_linear();
-    e2_lu_linear_and_divergence();
-    e3_primary_coincide();
-    e4_chase_undecidability();
-    e5_lp_decidable();
-    e6_path_functional();
-    e7_path_inclusion();
-    e8_path_inverse();
-    e9_fo2_figure1();
-    e10_validation();
-    println!("\nAll experiments completed with every assertion passing.");
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let experiments: [(&str, fn()); 11] = [
+        ("e1", e1_lid_linear),
+        ("e2", e2_lu_linear_and_divergence),
+        ("e3", e3_primary_coincide),
+        ("e4", e4_chase_undecidability),
+        ("e5", e5_lp_decidable),
+        ("e6", e6_path_functional),
+        ("e7", e7_path_inclusion),
+        ("e8", e8_path_inverse),
+        ("e9", e9_fo2_figure1),
+        ("e10", e10_validation),
+        ("e11", e11_validate_engine),
+    ];
+    let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+    for f in &filters {
+        assert!(
+            known.contains(&f.as_str()),
+            "unknown experiment {f:?} (known: {})",
+            known.join(", ")
+        );
+    }
+    let mut ran = 0usize;
+    for (id, run) in experiments {
+        if filters.is_empty() || filters.iter().any(|f| f == id) {
+            run();
+            ran += 1;
+        }
+    }
+    println!("\n{ran} experiment(s) completed with every assertion passing.");
 }
 
 fn heading(id: &str, claim: &str) {
@@ -66,7 +90,9 @@ fn e1_lid_linear() {
     let d = xic::constraints::examples::company_dtdc();
     let solver = LidSolver::new(d.constraints(), Some(d.structure()));
     assert!(solver
-        .implies(&Constraint::Id { tau: "person".into() })
+        .implies(&Constraint::Id {
+            tau: "person".into()
+        })
         .is_implied());
 }
 
@@ -146,12 +172,7 @@ fn e3_primary_coincide() {
         solver.check_primary(None).unwrap();
         for a in 0..n_types {
             for b in 0..n_types {
-                let phi = Constraint::unary_fk(
-                    types[a].as_str(),
-                    "k",
-                    types[b].as_str(),
-                    "k",
-                );
+                let phi = Constraint::unary_fk(types[a].as_str(), "k", types[b].as_str(), "k");
                 let fin = solver.decide(&phi, Mode::Finite).unwrap();
                 let unr = solver.decide(&phi, Mode::Unrestricted).unwrap();
                 assert_eq!(fin, unr, "Thm 3.4 violated");
@@ -160,7 +181,9 @@ fn e3_primary_coincide() {
             }
         }
     }
-    println!("  {agreements} random primary queries: finite ≡ unrestricted on all ({implied} implied)");
+    println!(
+        "  {agreements} random primary queries: finite ≡ unrestricted on all ({implied} implied)"
+    );
 }
 
 /// E4 — Thm 3.6 / Cor 3.7: general `L` implication is undecidable; the
@@ -238,12 +261,7 @@ fn e5_lp_decidable() {
     let solver = LpSolver::new(&sigma).unwrap();
     let v = solver.implies(&phi);
     v.proof().unwrap().verify(&sigma, None).unwrap();
-    let back = Constraint::fk(
-        "r11",
-        ["a0", "a1", "a2"],
-        "r0",
-        ["a0", "a1", "a2"],
-    );
+    let back = Constraint::fk("r11", ["a0", "a1", "a2"], "r0", ["a0", "a1", "a2"]);
     assert!(!solver.implies(&back).is_implied());
     println!("  end-to-end I_p derivation verified; reverse composition correctly refuted");
 }
@@ -430,4 +448,77 @@ fn e10_validation() {
         t * 1e3,
         xml.len() as f64 / t / 1e6
     );
+}
+
+/// E11 — the compiled constraint engine: one-pass shared field extraction
+/// vs per-constraint re-extraction, and thread scaling on large extents.
+/// Emits `BENCH_validate.json` with the measured throughput baseline.
+fn e11_validate_engine() {
+    heading(
+        "E11 (engine)",
+        "compiled one-pass constraint engine vs per-constraint checking; 1/2/4-thread scaling",
+    );
+    let thread_counts = [1usize, 2, 4];
+    let mut json_rows: Vec<String> = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+        let t_naive = time_min(reps, || {
+            let violations: usize = dtdc
+                .constraints()
+                .iter()
+                .map(|c| check_constraint(&tree, &dtdc, c).len())
+                .sum();
+            assert_eq!(violations, 0);
+        });
+        let t_engine: Vec<f64> = thread_counts
+            .iter()
+            .map(|&threads| {
+                let v = Validator::with_matcher(
+                    &dtdc,
+                    MatcherKind::Dfa,
+                    Options::default().with_threads(threads),
+                );
+                time_min(reps, || assert!(v.validate_constraints(&tree).is_valid()))
+            })
+            .collect();
+        println!(
+            "  nodes = {nodes:8}  |Σ| = {}   per-constraint {:9.3} ms ({:9.0} nodes/s)",
+            dtdc.constraints().len(),
+            t_naive * 1e3,
+            nodes as f64 / t_naive
+        );
+        for (&threads, &t) in thread_counts.iter().zip(&t_engine) {
+            println!(
+                "        engine t={threads}: {:9.3} ms ({:9.0} nodes/s)   ×{:.2} vs per-constraint   ×{:.2} vs t=1",
+                t * 1e3,
+                nodes as f64 / t,
+                t_naive / t,
+                t_engine[0] / t
+            );
+        }
+        let engine_json = thread_counts
+            .iter()
+            .zip(&t_engine)
+            .map(|(&threads, &t)| {
+                format!(
+                    "{{\"threads\": {threads}, \"seconds\": {t:.6}, \"nodes_per_sec\": {:.0}}}",
+                    nodes as f64 / t
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        json_rows.push(format!(
+            "    {{\"nodes\": {nodes}, \"constraints\": {}, \"per_constraint\": {{\"seconds\": {t_naive:.6}, \"nodes_per_sec\": {:.0}}}, \"engine\": [{engine_json}]}}",
+            dtdc.constraints().len(),
+            nodes as f64 / t_naive
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e11_validate_engine\",\n  \"workload\": \"constraint_heavy_workload (supplier/part/order, 10 shared-field L_u constraints, seed 101)\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_validate.json", &json).expect("write BENCH_validate.json");
+    println!("  baseline written to BENCH_validate.json");
 }

@@ -3,7 +3,7 @@
 //! A thin, dependency-free front end over the `xic` workspace:
 //!
 //! ```text
-//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
+//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -47,6 +47,7 @@ struct Opts {
     finite: bool,
     unrestricted: bool,
     emit_countermodel: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -63,8 +64,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--root" => o.root = Some(grab("--root")?),
             "--sigma" => o.sigma = Some(grab("--sigma")?),
             "--lang" => o.lang = Some(grab("--lang")?),
-            "--emit-countermodel" => {
-                o.emit_countermodel = Some(grab("--emit-countermodel")?)
+            "--emit-countermodel" => o.emit_countermodel = Some(grab("--emit-countermodel")?),
+            "--threads" => {
+                let v = grab("--threads")?;
+                o.threads = Some(
+                    v.parse()
+                        .map_err(|_| format!("--threads expects a number, got {v:?}"))?,
+                );
             }
             "--lenient" => o.lenient = true,
             "--finite" => o.finite = true,
@@ -85,7 +91,9 @@ fn parse_lang(s: Option<&str>) -> Result<Language, String> {
         "L" | "l" => Ok(Language::L),
         "Lu" | "lu" | "L_u" => Ok(Language::Lu),
         "Lid" | "lid" | "L_id" => Ok(Language::Lid),
-        other => Err(format!("unknown language {other:?} (expected L, Lu or Lid)")),
+        other => Err(format!(
+            "unknown language {other:?} (expected L, Lu or Lid)"
+        )),
     }
 }
 
@@ -115,8 +123,8 @@ fn load_dtdc(o: &Opts, doc_dtd: Option<&DtdStructure>, checked: bool) -> Result<
     if checked {
         DtdC::parse(structure, lang, &sigma_src)
     } else {
-        let sigma = Constraint::parse_set(&sigma_src, &structure, lang)
-            .map_err(|e| e.to_string())?;
+        let sigma =
+            Constraint::parse_set(&sigma_src, &structure, lang).map_err(|e| e.to_string())?;
         Ok(DtdC::new_unchecked(structure, lang, sigma))
     }
 }
@@ -137,6 +145,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 const USAGE: &str = "\
 usage:
   xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
+               [--threads N]   (0 = auto, 1 = sequential; reports are identical either way)
   xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
                [--emit-countermodel FILE] CONSTRAINT
   xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
@@ -164,11 +173,14 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
     };
     let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
     let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
-    let options = if o.lenient {
+    let mut options = if o.lenient {
         Options::lenient()
     } else {
         Options::default()
     };
+    if let Some(threads) = o.threads {
+        options = options.with_threads(threads);
+    }
     let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
     let report = validator.validate(&doc.tree);
     let _ = write!(out, "{report}");
@@ -184,8 +196,7 @@ fn cmd_implies(o: &Opts, out: &mut String) -> Result<i32, String> {
     }
     let dtdc = load_dtdc(o, None, false)?;
     let lang = dtdc.language();
-    let phi = Constraint::parse(phi_src, dtdc.structure(), lang)
-        .map_err(|e| e.to_string())?;
+    let phi = Constraint::parse(phi_src, dtdc.structure(), lang).map_err(|e| e.to_string())?;
     let (implied, detail) = match lang {
         Language::Lid => {
             let solver = LidSolver::new(dtdc.constraints(), Some(dtdc.structure()));
@@ -239,11 +250,7 @@ struct Detail {
     countermodel: Option<Instance>,
 }
 
-fn describe(
-    v: &Verdict,
-    sigma: &[Constraint],
-    structure: Option<&DtdStructure>,
-) -> (bool, Detail) {
+fn describe(v: &Verdict, sigma: &[Constraint], structure: Option<&DtdStructure>) -> (bool, Detail) {
     let mut s = String::new();
     match v {
         Verdict::Implied(proof) => {
@@ -254,16 +261,34 @@ fn describe(
             for line in proof.to_string().lines() {
                 let _ = writeln!(s, "  {line}");
             }
-            (true, Detail { text: s, countermodel: None })
+            (
+                true,
+                Detail {
+                    text: s,
+                    countermodel: None,
+                },
+            )
         }
         Verdict::NotImplied(Some(m)) => {
             let _ = writeln!(s, "countermodel:");
             for line in m.to_string().lines() {
                 let _ = writeln!(s, "  {line}");
             }
-            (false, Detail { text: s, countermodel: Some(m.clone()) })
+            (
+                false,
+                Detail {
+                    text: s,
+                    countermodel: Some(m.clone()),
+                },
+            )
         }
-        Verdict::NotImplied(None) => (false, Detail { text: s, countermodel: None }),
+        Verdict::NotImplied(None) => (
+            false,
+            Detail {
+                text: s,
+                countermodel: None,
+            },
+        ),
     }
 }
 
@@ -394,6 +419,39 @@ ref.to <=s entry.isbn";
         ]);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("dangling"));
+    }
+
+    #[test]
+    fn validate_threads_flag_is_report_invariant() {
+        let dtd = tmp("book6.dtd", BOOK_DTD);
+        let sigma = tmp("book6.sigma", BOOK_SIGMA);
+        let bad = tmp(
+            "bad6.xml",
+            r#"<book>
+  <entry isbn="x1"><title>T</title><publisher>P</publisher></entry>
+  <ref to="dangling"/>
+</book>"#,
+        );
+        let base = [
+            "validate",
+            bad.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ];
+        let (code1, out1) = call(&base);
+        let mut with_threads = base.to_vec();
+        with_threads.extend(["--threads", "4"]);
+        let (code4, out4) = call(&with_threads);
+        assert_eq!(code1, 1);
+        assert_eq!((code1, out1), (code4, out4));
+
+        let (code, out) = call(&["validate", "a.xml", "--threads", "nope"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--threads expects a number"), "{out}");
     }
 
     #[test]

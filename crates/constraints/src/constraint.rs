@@ -424,8 +424,13 @@ mod tests {
             "publisher[@country, @pname] -> publisher"
         );
         assert_eq!(
-            Constraint::fk("editor", ["pname", "country"], "publisher", ["pname", "country"])
-                .to_string(),
+            Constraint::fk(
+                "editor",
+                ["pname", "country"],
+                "publisher",
+                ["pname", "country"]
+            )
+            .to_string(),
             "editor[@pname, @country] <= publisher[@pname, @country]"
         );
         assert_eq!(
@@ -433,7 +438,10 @@ mod tests {
             "ref.@to <=s entry.@isbn"
         );
         assert_eq!(
-            Constraint::Id { tau: Name::new("person") }.to_string(),
+            Constraint::Id {
+                tau: Name::new("person")
+            }
+            .to_string(),
             "person.id ->id person"
         );
         assert_eq!(
@@ -502,7 +510,9 @@ mod tests {
         assert!(sfk.in_language(Language::Lu));
         assert!(!sfk.in_language(Language::Lid));
 
-        let id = Constraint::Id { tau: Name::new("a") };
+        let id = Constraint::Id {
+            tau: Name::new("a"),
+        };
         assert!(!id.in_language(Language::L));
         assert!(!id.in_language(Language::Lu));
         assert!(id.in_language(Language::Lid));

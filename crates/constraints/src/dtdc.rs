@@ -18,13 +18,29 @@ pub enum WfError {
     /// A constraint mentions an element type not in `E`.
     UnknownElementType { constraint: String, tau: Name },
     /// A field names an attribute that is not declared.
-    UnknownAttribute { constraint: String, tau: Name, attr: Name },
+    UnknownAttribute {
+        constraint: String,
+        tau: Name,
+        attr: Name,
+    },
     /// A key/foreign-key field must be single-valued but is set-valued.
-    SetValuedField { constraint: String, tau: Name, attr: Name },
+    SetValuedField {
+        constraint: String,
+        tau: Name,
+        attr: Name,
+    },
     /// A `⊆_S`/`⇌` attribute must be set-valued but is single-valued.
-    NotSetValued { constraint: String, tau: Name, attr: Name },
+    NotSetValued {
+        constraint: String,
+        tau: Name,
+        attr: Name,
+    },
     /// A sub-element field is not a *unique sub-element* (§3.4).
-    NotUniqueSubelement { constraint: String, tau: Name, sub: Name },
+    NotUniqueSubelement {
+        constraint: String,
+        tau: Name,
+        sub: Name,
+    },
     /// A foreign key's target sequence is not a declared key of the target
     /// type ("Y is the key of τ'").
     TargetNotKey { constraint: String, target: Name },
@@ -34,16 +50,27 @@ pub enum WfError {
     /// attribute.
     NoIdAttribute { constraint: String, tau: Name },
     /// An `L_id` reference attribute must have kind `IDREF`.
-    NotIdRef { constraint: String, tau: Name, attr: Name },
+    NotIdRef {
+        constraint: String,
+        tau: Name,
+        attr: Name,
+    },
     /// An inverse constraint names a key that is not declared as a key in
     /// `Σ`.
-    NamedKeyNotKey { constraint: String, tau: Name, key: String },
+    NamedKeyNotKey {
+        constraint: String,
+        tau: Name,
+        key: String,
+    },
     /// Foreign-key sides have different lengths.
     ArityMismatch { constraint: String },
     /// Empty key or foreign-key field list.
     EmptyFields { constraint: String },
     /// The constraint form is not in the declared language.
-    WrongLanguage { constraint: String, language: Language },
+    WrongLanguage {
+        constraint: String,
+        language: Language,
+    },
 }
 
 impl fmt::Display for WfError {
@@ -52,20 +79,42 @@ impl fmt::Display for WfError {
             WfError::UnknownElementType { constraint, tau } => {
                 write!(f, "{constraint}: unknown element type {tau}")
             }
-            WfError::UnknownAttribute { constraint, tau, attr } => {
+            WfError::UnknownAttribute {
+                constraint,
+                tau,
+                attr,
+            } => {
                 write!(f, "{constraint}: {tau} has no attribute {attr}")
             }
-            WfError::SetValuedField { constraint, tau, attr } => {
+            WfError::SetValuedField {
+                constraint,
+                tau,
+                attr,
+            } => {
                 write!(f, "{constraint}: {tau}.{attr} is set-valued; keys and foreign-key components must be single-valued")
             }
-            WfError::NotSetValued { constraint, tau, attr } => {
+            WfError::NotSetValued {
+                constraint,
+                tau,
+                attr,
+            } => {
                 write!(f, "{constraint}: {tau}.{attr} must be set-valued")
             }
-            WfError::NotUniqueSubelement { constraint, tau, sub } => {
-                write!(f, "{constraint}: {sub} is not a unique sub-element of {tau} (§3.4)")
+            WfError::NotUniqueSubelement {
+                constraint,
+                tau,
+                sub,
+            } => {
+                write!(
+                    f,
+                    "{constraint}: {sub} is not a unique sub-element of {tau} (§3.4)"
+                )
             }
             WfError::TargetNotKey { constraint, target } => {
-                write!(f, "{constraint}: referenced fields are not a declared key of {target}")
+                write!(
+                    f,
+                    "{constraint}: referenced fields are not a declared key of {target}"
+                )
             }
             WfError::TargetNotId { constraint, target } => {
                 write!(f, "{constraint}: requires {target}.id ->id {target} in Σ")
@@ -73,11 +122,22 @@ impl fmt::Display for WfError {
             WfError::NoIdAttribute { constraint, tau } => {
                 write!(f, "{constraint}: {tau} declares no ID attribute")
             }
-            WfError::NotIdRef { constraint, tau, attr } => {
+            WfError::NotIdRef {
+                constraint,
+                tau,
+                attr,
+            } => {
                 write!(f, "{constraint}: {tau}.{attr} must have kind IDREF")
             }
-            WfError::NamedKeyNotKey { constraint, tau, key } => {
-                write!(f, "{constraint}: named key {tau}.{key} is not declared as a key in Σ")
+            WfError::NamedKeyNotKey {
+                constraint,
+                tau,
+                key,
+            } => {
+                write!(
+                    f,
+                    "{constraint}: named key {tau}.{key} is not declared as a key in Σ"
+                )
             }
             WfError::ArityMismatch { constraint } => {
                 write!(f, "{constraint}: foreign-key sides differ in length")
@@ -85,7 +145,10 @@ impl fmt::Display for WfError {
             WfError::EmptyFields { constraint } => {
                 write!(f, "{constraint}: empty field list")
             }
-            WfError::WrongLanguage { constraint, language } => {
+            WfError::WrongLanguage {
+                constraint,
+                language,
+            } => {
                 write!(f, "{constraint}: form not admitted by language {language}")
             }
         }
@@ -154,8 +217,8 @@ impl DtdC {
         language: Language,
         sigma_src: &str,
     ) -> Result<DtdC, String> {
-        let sigma = Constraint::parse_set(sigma_src, &structure, language)
-            .map_err(|e| e.to_string())?;
+        let sigma =
+            Constraint::parse_set(sigma_src, &structure, language).map_err(|e| e.to_string())?;
         DtdC::new(structure, language, sigma).map_err(|es| {
             es.iter()
                 .map(ToString::to_string)
@@ -211,13 +274,11 @@ fn check_field(
                 tau: tau.clone(),
                 attr: l.clone(),
             }),
-            Some(crate::structure::AttrType::SetValued) => {
-                errors.push(WfError::SetValuedField {
-                    constraint: cname.to_string(),
-                    tau: tau.clone(),
-                    attr: l.clone(),
-                })
-            }
+            Some(crate::structure::AttrType::SetValued) => errors.push(WfError::SetValuedField {
+                constraint: cname.to_string(),
+                tau: tau.clone(),
+                attr: l.clone(),
+            }),
             Some(crate::structure::AttrType::Single) => {}
         },
         Field::Sub(e) => {
@@ -299,11 +360,7 @@ fn has_id(sigma: &[Constraint], target: &Name) -> bool {
 /// Checks a full constraint set against a structure for language `lang`.
 ///
 /// Returns all violations (empty = well-formed).
-pub(crate) fn check_set(
-    s: &DtdStructure,
-    lang: Language,
-    sigma: &[Constraint],
-) -> Vec<WfError> {
+pub(crate) fn check_set(s: &DtdStructure, lang: Language, sigma: &[Constraint]) -> Vec<WfError> {
     let mut errors = Vec::new();
     for c in sigma {
         let cname = c.to_string();
@@ -319,7 +376,9 @@ pub(crate) fn check_set(
                     continue;
                 }
                 if fields.is_empty() {
-                    errors.push(WfError::EmptyFields { constraint: cname.clone() });
+                    errors.push(WfError::EmptyFields {
+                        constraint: cname.clone(),
+                    });
                 }
                 for fl in fields {
                     check_field(s, &cname, tau, fl, &mut errors);
@@ -337,10 +396,14 @@ pub(crate) fn check_set(
                     continue;
                 }
                 if fields.is_empty() {
-                    errors.push(WfError::EmptyFields { constraint: cname.clone() });
+                    errors.push(WfError::EmptyFields {
+                        constraint: cname.clone(),
+                    });
                 }
                 if fields.len() != target_fields.len() {
-                    errors.push(WfError::ArityMismatch { constraint: cname.clone() });
+                    errors.push(WfError::ArityMismatch {
+                        constraint: cname.clone(),
+                    });
                 }
                 for fl in fields {
                     check_field(s, &cname, tau, fl, &mut errors);
@@ -542,9 +605,11 @@ mod tests {
             vec![Constraint::set_fk("ref", "to", "entry", "isbn")],
         )
         .unwrap_err();
-        assert!(err
-            .iter()
-            .any(|e| matches!(e, WfError::TargetNotKey { .. })), "{err:?}");
+        assert!(
+            err.iter()
+                .any(|e| matches!(e, WfError::TargetNotKey { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -564,8 +629,7 @@ mod tests {
     #[test]
     fn rejects_set_valued_key() {
         let s = examples::book_structure();
-        let err = DtdC::new(s, Language::Lu, vec![Constraint::unary_key("ref", "to")])
-            .unwrap_err();
+        let err = DtdC::new(s, Language::Lu, vec![Constraint::unary_key("ref", "to")]).unwrap_err();
         assert!(err
             .iter()
             .any(|e| matches!(e, WfError::SetValuedField { .. })));
@@ -574,8 +638,8 @@ mod tests {
     #[test]
     fn rejects_non_unique_subelement_key() {
         let s = examples::book_structure();
-        let err = DtdC::new(s, Language::Lu, vec![Constraint::sub_key("book", "author")])
-            .unwrap_err();
+        let err =
+            DtdC::new(s, Language::Lu, vec![Constraint::sub_key("book", "author")]).unwrap_err();
         assert!(err
             .iter()
             .any(|e| matches!(e, WfError::NotUniqueSubelement { .. })));
@@ -597,8 +661,8 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err[0], WfError::UnknownElementType { .. }));
-        let err = DtdC::new(s, Language::Lu, vec![Constraint::unary_key("entry", "x")])
-            .unwrap_err();
+        let err =
+            DtdC::new(s, Language::Lu, vec![Constraint::unary_key("entry", "x")]).unwrap_err();
         assert!(matches!(err[0], WfError::UnknownAttribute { .. }));
     }
 
@@ -610,7 +674,9 @@ mod tests {
             s,
             Language::Lid,
             vec![
-                Constraint::Id { tau: "person".into() },
+                Constraint::Id {
+                    tau: "person".into(),
+                },
                 Constraint::FkToId {
                     tau: "person".into(),
                     attr: "oid".into(),

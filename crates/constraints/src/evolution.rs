@@ -75,7 +75,10 @@ impl fmt::Display for Incompatibility {
                 write!(f, "attribute {elem}.{attr} removed")
             }
             Incompatibility::AttributeAdded { elem, attr } => {
-                write!(f, "attribute {elem}.{attr} added (strict documents lack it)")
+                write!(
+                    f,
+                    "attribute {elem}.{attr} added (strict documents lack it)"
+                )
             }
             Incompatibility::AttributeNarrowed { elem, attr } => {
                 write!(f, "attribute {elem}.{attr} narrowed from S* to S")
@@ -182,9 +185,11 @@ mod tests {
             .unwrap();
         assert!(new.evolution_incompatibilities(&old).is_empty());
         let back = old.evolution_incompatibilities(&new);
-        assert!(back
-            .iter()
-            .any(|i| matches!(i, Incompatibility::ContentNarrowed { .. })), "{back:?}");
+        assert!(
+            back.iter()
+                .any(|i| matches!(i, Incompatibility::ContentNarrowed { .. })),
+            "{back:?}"
+        );
     }
 
     #[test]
@@ -202,9 +207,15 @@ mod tests {
             .build()
             .unwrap();
         let inc = new.evolution_incompatibilities(&old);
-        assert!(inc.iter().any(|i| matches!(i, Incompatibility::AttributeRemoved { .. })));
-        assert!(inc.iter().any(|i| matches!(i, Incompatibility::AttributeNarrowed { .. })));
-        assert!(inc.iter().any(|i| matches!(i, Incompatibility::AttributeAdded { .. })));
+        assert!(inc
+            .iter()
+            .any(|i| matches!(i, Incompatibility::AttributeRemoved { .. })));
+        assert!(inc
+            .iter()
+            .any(|i| matches!(i, Incompatibility::AttributeNarrowed { .. })));
+        assert!(inc
+            .iter()
+            .any(|i| matches!(i, Incompatibility::AttributeAdded { .. })));
         assert_eq!(inc.len(), 3, "{inc:?}");
         for i in &inc {
             assert!(!i.to_string().is_empty());
@@ -220,11 +231,14 @@ mod tests {
             .unwrap();
         let new = DtdStructure::builder("c").elem("c", "S").build().unwrap();
         let inc = new.evolution_incompatibilities(&old);
-        assert!(inc.iter().any(|i| matches!(i, Incompatibility::RootChanged { .. })));
         assert!(inc
             .iter()
-            .filter(|i| matches!(i, Incompatibility::ElementRemoved(_)))
-            .count()
-            == 2);
+            .any(|i| matches!(i, Incompatibility::RootChanged { .. })));
+        assert!(
+            inc.iter()
+                .filter(|i| matches!(i, Incompatibility::ElementRemoved(_)))
+                .count()
+                == 2
+        );
     }
 }

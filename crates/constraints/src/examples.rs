@@ -83,7 +83,9 @@ pub fn company_dtdc() -> DtdC {
         company_structure(),
         Language::Lid,
         vec![
-            Constraint::Id { tau: "person".into() },
+            Constraint::Id {
+                tau: "person".into(),
+            },
             Constraint::Id { tau: "dept".into() },
             Constraint::sub_key("person", "name"),
             Constraint::sub_key("dept", "dname"),

@@ -120,7 +120,10 @@ impl fmt::Display for StructureError {
                 write!(f, "attribute {elem}.{attr} declared twice")
             }
             StructureError::AttributeOnUnknownElement { elem, attr } => {
-                write!(f, "attribute {attr} declared on undeclared element type {elem}")
+                write!(
+                    f,
+                    "attribute {attr} declared on undeclared element type {elem}"
+                )
             }
         }
     }
@@ -275,11 +278,8 @@ impl DtdStructure {
                 }
             }
         }
-        let reachable: std::collections::BTreeSet<Name> =
-            reachable.into_iter().cloned().collect();
-        self.elems
-            .keys()
-            .filter(move |t| !reachable.contains(*t))
+        let reachable: std::collections::BTreeSet<Name> = reachable.into_iter().cloned().collect();
+        self.elems.keys().filter(move |t| !reachable.contains(*t))
     }
 }
 
@@ -525,9 +525,15 @@ mod tests {
 
     #[test]
     fn rejects_unknown_root_and_types() {
-        let err = DtdStructure::builder("nope").elem("a", "S").build().unwrap_err();
+        let err = DtdStructure::builder("nope")
+            .elem("a", "S")
+            .build()
+            .unwrap_err();
         assert_eq!(err, StructureError::UnknownRoot(Name::new("nope")));
-        let err = DtdStructure::builder("a").elem("a", "b").build().unwrap_err();
+        let err = DtdStructure::builder("a")
+            .elem("a", "b")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, StructureError::UnknownContentType { .. }));
     }
 
@@ -551,7 +557,10 @@ mod tests {
             .attr("b", "x", "S")
             .build()
             .unwrap_err();
-        assert!(matches!(err, StructureError::AttributeOnUnknownElement { .. }));
+        assert!(matches!(
+            err,
+            StructureError::AttributeOnUnknownElement { .. }
+        ));
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub struct SyntaxError {
 
 impl SyntaxError {
     fn new(msg: impl Into<String>) -> Self {
-        SyntaxError { message: msg.into() }
+        SyntaxError {
+            message: msg.into(),
+        }
     }
 }
 
@@ -58,11 +60,11 @@ enum Tok {
     RBrack,
     LParen,
     RParen,
-    Arrow,    // ->
-    ArrowId,  // ->id
-    Sub,      // <=
-    SubS,     // <=s
-    Inv,      // <=>
+    Arrow,   // ->
+    ArrowId, // ->id
+    Sub,     // <=
+    SubS,    // <=s
+    Inv,     // <=>
 }
 
 fn tokenize(src: &str) -> Result<Vec<Tok>, SyntaxError> {
@@ -309,7 +311,10 @@ impl Constraint {
                     .collect();
                 fields.sort();
                 fields.dedup();
-                Constraint::Key { tau: lhs.tau, fields }
+                Constraint::Key {
+                    tau: lhs.tau,
+                    fields,
+                }
             }
             Tok::ArrowId => {
                 let t = p.expect_name()?;
@@ -509,7 +514,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sigma.len(), 8);
-        assert_eq!(sigma[0], Constraint::Id { tau: Name::new("person") });
+        assert_eq!(
+            sigma[0],
+            Constraint::Id {
+                tau: Name::new("person")
+            }
+        );
         // name / dname resolve to sub-element fields (not attributes).
         assert_eq!(sigma[2], Constraint::sub_key("person", "name"));
         assert_eq!(sigma[3], Constraint::sub_key("dept", "dname"));
@@ -537,8 +547,8 @@ mod tests {
             .attr("editor", "name", "S")
             .build()
             .unwrap();
-        let k = Constraint::parse("publisher[pname, country] -> publisher", &s, Language::L)
-            .unwrap();
+        let k =
+            Constraint::parse("publisher[pname, country] -> publisher", &s, Language::L).unwrap();
         assert_eq!(k, Constraint::key("publisher", ["pname", "country"]));
         let fk = Constraint::parse(
             "editor[pname, country] <= publisher[pname, country]",
@@ -548,7 +558,12 @@ mod tests {
         .unwrap();
         assert_eq!(
             fk,
-            Constraint::fk("editor", ["pname", "country"], "publisher", ["pname", "country"])
+            Constraint::fk(
+                "editor",
+                ["pname", "country"],
+                "publisher",
+                ["pname", "country"]
+            )
         );
     }
 

@@ -57,19 +57,19 @@ fn constraint_strategy() -> impl Strategy<Value = (Constraint, Language)> {
             },
             Language::Lid
         )),
-        (types.clone(), attrs.clone(), types.clone(), attrs.clone()).prop_map(
-            |(t, a, u, b)| (
-                Constraint::InverseId {
-                    tau: t.into(),
-                    attr: a.into(),
-                    target: u.into(),
-                    target_attr: b.into()
-                },
-                Language::Lid
-            )
-        ),
+        (types.clone(), attrs.clone(), types.clone(), attrs.clone()).prop_map(|(t, a, u, b)| (
+            Constraint::InverseId {
+                tau: t.into(),
+                attr: a.into(),
+                target: u.into(),
+                target_attr: b.into()
+            },
+            Language::Lid
+        )),
         // Id constraints.
-        types.clone().prop_map(|t| (Constraint::Id { tau: t.into() }, Language::Lid)),
+        types
+            .clone()
+            .prop_map(|t| (Constraint::Id { tau: t.into() }, Language::Lid)),
         // L_u set-valued FK.
         (types.clone(), attrs.clone(), types, field).prop_map(|(t, a, u, f)| (
             Constraint::SetForeignKey {

@@ -94,7 +94,9 @@ pub mod prelude {
     };
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
-    pub use xic_validate::{validate, MatcherKind, Options, Report, Validator, Violation};
+    pub use xic_validate::{
+        check_constraint, validate, MatcherKind, Options, Report, Validator, Violation,
+    };
     pub use xic_xml::{
         constraints_to_xsd, parse_document, parse_dtd, serialize_document, serialize_dtd,
         xsd_to_constraints, XsdExport,
@@ -110,7 +112,10 @@ mod tests {
         // One end-to-end pass touching each module.
         let dtdc = crate::constraints::examples::company_dtdc();
         let schema = ObjSchema::person_dept();
-        assert_eq!(schema.to_dtdc().constraints().len(), dtdc.constraints().len());
+        assert_eq!(
+            schema.to_dtdc().constraints().len(),
+            dtdc.constraints().len()
+        );
         let mut rng = {
             use rand::SeedableRng;
             rand::rngs::SmallRng::seed_from_u64(1)
@@ -124,7 +129,9 @@ mod tests {
         assert_eq!(round.tree.len(), tree.len());
         let solver = LidSolver::new(dtdc.constraints(), Some(dtdc.structure()));
         assert!(solver
-            .implies(&Constraint::Id { tau: "person".into() })
+            .implies(&Constraint::Id {
+                tau: "person".into()
+            })
             .is_implied());
         let paths = PathSolver::new(&dtdc);
         assert!(paths.is_path(&"db".into(), &Path::from("dept.manager.name")));

@@ -145,33 +145,42 @@ pub fn probes(rel: &str) -> Vec<Fo2> {
         // Everything has an l-successor.
         Fo2::forall(X, Fo2::exists(Y, l(X, Y))),
         // Something is an l-sink with a predecessor.
-        Fo2::exists(X, Fo2::and(
-            Fo2::exists(Y, l(Y, X)),
-            Fo2::not(Fo2::exists(Y, l(X, Y))),
-        )),
+        Fo2::exists(
+            X,
+            Fo2::and(Fo2::exists(Y, l(Y, X)), Fo2::not(Fo2::exists(Y, l(X, Y)))),
+        ),
         // Two distinct elements exist.
         Fo2::exists(X, Fo2::exists(Y, Fo2::not(Fo2::Eq(X, Y)))),
         // Every edge is irreflexive.
         Fo2::forall(X, Fo2::not(l(X, X))),
         // There are two distinct sinks (needs variable reuse).
-        Fo2::exists(X, Fo2::and(
-            Fo2::exists(Y, l(Y, X)),
-            Fo2::exists(Y, Fo2::and(
-                Fo2::not(Fo2::Eq(X, Y)),
-                Fo2::exists(X, Fo2::and(Fo2::Eq(X, Y), Fo2::exists(Y, l(Y, X)))),
-            )),
-        )),
+        Fo2::exists(
+            X,
+            Fo2::and(
+                Fo2::exists(Y, l(Y, X)),
+                Fo2::exists(
+                    Y,
+                    Fo2::and(
+                        Fo2::not(Fo2::Eq(X, Y)),
+                        Fo2::exists(X, Fo2::and(Fo2::Eq(X, Y), Fo2::exists(Y, l(Y, X)))),
+                    ),
+                ),
+            ),
+        ),
         // Sources never coincide with sinks.
-        Fo2::forall(X, Fo2::not(Fo2::and(
-            Fo2::exists(Y, l(X, Y)),
-            Fo2::exists(Y, l(Y, X)),
-        ))),
+        Fo2::forall(
+            X,
+            Fo2::not(Fo2::and(Fo2::exists(Y, l(X, Y)), Fo2::exists(Y, l(Y, X)))),
+        ),
         // Rank-3 nesting: everyone with a successor has a successor with a
         // predecessor.
-        Fo2::forall(X, Fo2::or(
-            Fo2::not(Fo2::exists(Y, l(X, Y))),
-            Fo2::exists(Y, Fo2::and(l(X, Y), Fo2::exists(X, l(X, Y)))),
-        )),
+        Fo2::forall(
+            X,
+            Fo2::or(
+                Fo2::not(Fo2::exists(Y, l(X, Y))),
+                Fo2::exists(Y, Fo2::and(l(X, Y), Fo2::exists(X, l(X, Y)))),
+            ),
+        ),
     ]
 }
 
@@ -192,7 +201,10 @@ mod tests {
         // ∃x l(x,x) — no loops.
         assert!(!Fo2::exists(X, Fo2::rel("l", X, X)).holds(&s));
         // Ranks.
-        assert_eq!(Fo2::exists(X, Fo2::exists(Y, Fo2::rel("l", X, Y))).rank(), 2);
+        assert_eq!(
+            Fo2::exists(X, Fo2::exists(Y, Fo2::rel("l", X, Y))).rank(),
+            2
+        );
     }
 
     #[test]

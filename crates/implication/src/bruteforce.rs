@@ -164,8 +164,9 @@ pub fn find_countermodel(
             for e in &elems {
                 for mask in 0u32..(1 << bounds.max_values) {
                     let mut e2 = e.clone();
-                    let set: BTreeSet<u32> =
-                        (0..bounds.max_values).filter(|v| mask & (1 << v) != 0).collect();
+                    let set: BTreeSet<u32> = (0..bounds.max_values)
+                        .filter(|v| mask & (1 << v) != 0)
+                        .collect();
                     e2.sets.insert(l.clone(), set);
                     next.push(e2);
                 }
@@ -183,7 +184,15 @@ pub fn find_countermodel(
     for (tau, _) in &per_type_elems {
         inst.exts.insert(tau.clone(), Vec::new());
     }
-    search(sigma, phi, &per_type_elems, 0, &mut inst, bounds.max_per_type, &mut budget)
+    search(
+        sigma,
+        phi,
+        &per_type_elems,
+        0,
+        &mut inst,
+        bounds.max_per_type,
+        &mut budget,
+    )
 }
 
 fn search(
@@ -212,9 +221,7 @@ fn search(
         // Materialize the current choice.
         let ext: Vec<Element> = choice.iter().map(|&i| elems[i].clone()).collect();
         inst.exts.insert(tau.clone(), ext);
-        if let Some(found) =
-            search(sigma, phi, per_type, depth + 1, inst, max_per_type, budget)
-        {
+        if let Some(found) = search(sigma, phi, per_type, depth + 1, inst, max_per_type, budget) {
             return Some(found);
         }
         if *budget == 0 {

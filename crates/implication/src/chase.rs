@@ -121,12 +121,13 @@ impl State {
     }
 
     fn tuple_eq(&mut self, t: &Tuple, fields: &[Field], u: &Tuple, ufields: &[Field]) -> bool {
-        fields.iter().zip(ufields).all(|(f, g)| {
-            match (t.get(f).copied(), u.get(g).copied()) {
+        fields
+            .iter()
+            .zip(ufields)
+            .all(|(f, g)| match (t.get(f).copied(), u.get(g).copied()) {
                 (Some(a), Some(b)) => self.uf.find(a) == self.uf.find(b),
                 _ => false,
-            }
-        })
+            })
     }
 }
 
@@ -209,10 +210,7 @@ impl Chase {
             steps: 0,
         };
         let all_fields = self.fields_of(tau, phi);
-        let shared: Tuple = fields
-            .iter()
-            .map(|f| (f.clone(), st.uf.fresh()))
-            .collect();
+        let shared: Tuple = fields.iter().map(|f| (f.clone(), st.uf.fresh())).collect();
         let mk = |uf: &mut Uf| -> Tuple {
             all_fields
                 .iter()
@@ -271,9 +269,13 @@ impl Chase {
         match self.run(&mut st, phi) {
             Some(()) => {
                 let seed = st.exts[tau][0].clone();
-                let matched = st.exts.get(target).cloned().unwrap_or_default().iter().any(|u| {
-                    st.tuple_eq(&seed, fields, u, target_fields)
-                });
+                let matched = st
+                    .exts
+                    .get(target)
+                    .cloned()
+                    .unwrap_or_default()
+                    .iter()
+                    .any(|u| st.tuple_eq(&seed, fields, u, target_fields));
                 if matched {
                     ChaseOutcome::Implied
                 } else {
@@ -380,9 +382,7 @@ impl Chase {
                     have.insert(want);
                     st.steps += 1;
                     fired = true;
-                    if st.steps > self.limits.max_steps
-                        || st.tuples() > self.limits.max_tuples
-                    {
+                    if st.steps > self.limits.max_steps || st.tuples() > self.limits.max_tuples {
                         return None;
                     }
                 }

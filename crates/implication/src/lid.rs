@@ -95,10 +95,22 @@ impl LidSolver {
             let h = solver.add(c.clone(), Rule::Hypothesis, vec![]);
             match c {
                 Constraint::FkToId { target, .. } => {
-                    solver.add(Constraint::Id { tau: target.clone() }, Rule::FkId, vec![h]);
+                    solver.add(
+                        Constraint::Id {
+                            tau: target.clone(),
+                        },
+                        Rule::FkId,
+                        vec![h],
+                    );
                 }
                 Constraint::SetFkToId { target, .. } => {
-                    solver.add(Constraint::Id { tau: target.clone() }, Rule::SfkId, vec![h]);
+                    solver.add(
+                        Constraint::Id {
+                            tau: target.clone(),
+                        },
+                        Rule::SfkId,
+                        vec![h],
+                    );
                 }
                 Constraint::InverseId {
                     tau,
@@ -125,7 +137,13 @@ impl LidSolver {
                         Rule::InvSfkId,
                         vec![h],
                     );
-                    solver.add(Constraint::Id { tau: target.clone() }, Rule::SfkId, vec![s1]);
+                    solver.add(
+                        Constraint::Id {
+                            tau: target.clone(),
+                        },
+                        Rule::SfkId,
+                        vec![s1],
+                    );
                     let s2 = solver.add(
                         Constraint::SetFkToId {
                             tau: target.clone(),
@@ -361,7 +379,9 @@ impl LidSolver {
                     },
                     None => fresh(),
                 };
-                inst.exts.get_mut(tau).unwrap()[copy].single.insert(f.clone(), v);
+                inst.exts.get_mut(tau).unwrap()[copy]
+                    .single
+                    .insert(f.clone(), v);
             }
         }
 
@@ -409,7 +429,9 @@ impl LidSolver {
                 };
                 if let Some(v) = shared {
                     for copy in 0..2 {
-                        inst.exts.get_mut(tau).unwrap()[copy].single.insert(f.clone(), v);
+                        inst.exts.get_mut(tau).unwrap()[copy]
+                            .single
+                            .insert(f.clone(), v);
                     }
                 }
             }
@@ -479,9 +501,10 @@ impl LidSolver {
                 else {
                     continue;
                 };
-                for (t1, l1, t2, l2) in
-                    [(tau, attr, target, target_attr), (target, target_attr, tau, attr)]
-                {
+                for (t1, l1, t2, l2) in [
+                    (tau, attr, target, target_attr),
+                    (target, target_attr, tau, attr),
+                ] {
                     // x ∈ ext(t1), y ∈ ext(t2): x.id ∈ y.l2 → y.id ∈ x.l1.
                     let ext2 = inst.ext(t2).to_vec();
                     let Some(ext1) = inst.exts.get_mut(t1) else {
@@ -528,8 +551,10 @@ impl LidSolver {
         target: &Name,
         target_attr: &Name,
     ) -> Option<()> {
-        for (t1, l1, t2, _l2) in [(target, target_attr, tau, attr), (tau, attr, target, target_attr)]
-        {
+        for (t1, l1, t2, _l2) in [
+            (target, target_attr, tau, attr),
+            (tau, attr, target, target_attr),
+        ] {
             // Try to make some y ∈ ext(t1) hold a value in y.l1 that is not
             // an ID of t2 (containment break)…
             let targets = self.sfk_targets(t1, l1);
@@ -586,7 +611,9 @@ mod tests {
         let solver = LidSolver::new(&sigma, Some(&s));
         // Directly stated facts.
         for phi in [
-            Constraint::Id { tau: "person".into() },
+            Constraint::Id {
+                tau: "person".into(),
+            },
             Constraint::Id { tau: "dept".into() },
             Constraint::sub_key("person", "name"),
         ] {
@@ -634,7 +661,9 @@ mod tests {
                 attr: "in_dept".into(),
                 target: "dept".into(),
             },
-            Constraint::Id { tau: "person".into() },
+            Constraint::Id {
+                tau: "person".into(),
+            },
             Constraint::Id { tau: "dept".into() },
             // Symmetric form of the inverse itself.
             Constraint::InverseId {
@@ -683,7 +712,10 @@ mod tests {
                 .countermodel()
                 .unwrap_or_else(|| panic!("no countermodel for {phi}"));
             assert!(m.satisfies_all(solver.sigma()), "Σ fails on:\n{m}");
-            assert!(!m.satisfies(&normalize(&phi, Some(&s))), "φ={phi} holds on:\n{m}");
+            assert!(
+                !m.satisfies(&normalize(&phi, Some(&s))),
+                "φ={phi} holds on:\n{m}"
+            );
         }
     }
 
@@ -718,7 +750,9 @@ mod tests {
     #[test]
     fn empty_sigma_implies_nothing_but_trivia() {
         let solver = LidSolver::new(&[], None);
-        assert!(!solver.implies(&Constraint::Id { tau: "a".into() }).is_implied());
+        assert!(!solver
+            .implies(&Constraint::Id { tau: "a".into() })
+            .is_implied());
         assert!(!solver
             .implies(&Constraint::unary_key("a", "x"))
             .is_implied());

@@ -231,13 +231,13 @@ impl LpSolver {
                 // g permuted so its source sequence equals f_c's target
                 // sequence.
                 let order: Vec<&Field> = match &f_c {
-                    Constraint::ForeignKey { target_fields, .. } => {
-                        target_fields.iter().collect()
-                    }
+                    Constraint::ForeignKey { target_fields, .. } => target_fields.iter().collect(),
                     _ => unreachable!(),
                 };
                 let g_aligned = permuted_constraint(&g, Some(&order));
-                let g_perm = self.base.push(g_aligned.clone(), Rule::PfkPerm, vec![g_step]);
+                let g_perm = self
+                    .base
+                    .push(g_aligned.clone(), Rule::PfkPerm, vec![g_step]);
                 let comp = match (&f_c, &g_aligned) {
                     (
                         Constraint::ForeignKey { tau, fields, .. },
@@ -254,9 +254,7 @@ impl LpSolver {
                     },
                     _ => unreachable!(),
                 };
-                let step = self
-                    .base
-                    .push(comp, Rule::PfkTrans, vec![f_sorted, g_perm]);
+                let step = self.base.push(comp, Rule::PfkTrans, vec![f_sorted, g_perm]);
                 new_fks.push((h, step));
             }
             for (h, step) in new_fks {
@@ -432,7 +430,9 @@ mod tests {
         assert!(s
             .implies(&Constraint::key("publisher", ["pname", "country"]))
             .is_implied());
-        assert!(!s.implies(&Constraint::key("publisher", ["pname"])).is_implied());
+        assert!(!s
+            .implies(&Constraint::key("publisher", ["pname"]))
+            .is_implied());
     }
 
     #[test]
@@ -490,10 +490,7 @@ mod tests {
     #[test]
     fn restriction_violations_rejected() {
         assert!(matches!(
-            LpSolver::new(&[
-                Constraint::key("p", ["a"]),
-                Constraint::key("p", ["b"]),
-            ]),
+            LpSolver::new(&[Constraint::key("p", ["a"]), Constraint::key("p", ["b"]),]),
             Err(LpError::TwoKeys(_))
         ));
         assert!(matches!(

@@ -321,10 +321,9 @@ impl LuSolver {
                         _ => unreachable!(),
                     };
                     let sk = inv_key(&sym).expect("inverse");
-                    inverses.entry(sk).or_insert_with(|| {
-                        
-                        base.push(sym, Rule::InvUSym, vec![h])
-                    });
+                    inverses
+                        .entry(sk)
+                        .or_insert_with(|| base.push(sym, Rule::InvUSym, vec![h]));
                 }
                 _ => unreachable!("validated above"),
             }
@@ -566,8 +565,10 @@ impl LuSolver {
                         None => Verdict::NotImplied(self.countermodel(phi, mode)),
                     }
                 } else {
-                    match (self.graph.get(tau, &fields[0]), self.graph.get(target, &target_fields[0]))
-                    {
+                    match (
+                        self.graph.get(tau, &fields[0]),
+                        self.graph.get(target, &target_fields[0]),
+                    ) {
                         (Some(s), Some(d)) => match self.fk_path(s, d, mode) {
                             Some(path) => {
                                 let (mut p, step) = self.prove_path(s, &path);
@@ -631,12 +632,10 @@ impl LuSolver {
                     None => Verdict::NotImplied(self.countermodel(phi, mode)),
                 }
             }
-            Constraint::InverseU { .. } => {
-                match inv_key(phi).and_then(|k| self.inverses.get(&k)) {
-                    Some(&i) => Verdict::Implied(self.prefix(i)),
-                    None => Verdict::NotImplied(self.countermodel(phi, mode)),
-                }
-            }
+            Constraint::InverseU { .. } => match inv_key(phi).and_then(|k| self.inverses.get(&k)) {
+                Some(&i) => Verdict::Implied(self.prefix(i)),
+                None => Verdict::NotImplied(self.countermodel(phi, mode)),
+            },
             _ => unreachable!("validated above"),
         };
         Ok(verdict)
@@ -930,7 +929,10 @@ mod tests {
             v.proof().unwrap().verify(&sigma, None).unwrap();
         }
         // Sources are not keys.
-        assert!(!s.implies(&key("a", "x"), Mode::Unrestricted).unwrap().is_implied());
+        assert!(!s
+            .implies(&key("a", "x"), Mode::Unrestricted)
+            .unwrap()
+            .is_implied());
         // No reverse path.
         let v = s.implies(&fk("d", "w", "a", "x"), Mode::Finite).unwrap();
         assert!(!v.is_implied());
@@ -990,7 +992,10 @@ mod tests {
             v.proof().unwrap().verify(&sigma, None).unwrap();
         }
         // SFK-K on the intermediate target.
-        assert!(s.implies(&key("b", "y"), Mode::Unrestricted).unwrap().is_implied());
+        assert!(s
+            .implies(&key("b", "y"), Mode::Unrestricted)
+            .unwrap()
+            .is_implied());
         // But not the unrelated direction.
         assert!(!s
             .implies(&Constraint::set_fk("r", "to", "r", "to2"), Mode::Finite)
@@ -998,7 +1003,10 @@ mod tests {
             .is_implied());
         // No SFK composition after a set-valued hop: c.z ⊆_S … is not even
         // well-formed; and r.to ⊆ c.z (single-valued form) is not implied.
-        assert!(!s.implies(&fk("r", "to", "c", "z"), Mode::Finite).unwrap().is_implied());
+        assert!(!s
+            .implies(&fk("r", "to", "c", "z"), Mode::Finite)
+            .unwrap()
+            .is_implied());
     }
 
     #[test]
@@ -1228,7 +1236,10 @@ mod tests {
         let s = LuSolver::new(d.constraints()).unwrap();
         // ref.to ⊆_S entry.isbn is declared; entry.isbn is a key.
         assert!(s
-            .implies(&Constraint::set_fk("ref", "to", "entry", "isbn"), Mode::Finite)
+            .implies(
+                &Constraint::set_fk("ref", "to", "entry", "isbn"),
+                Mode::Finite
+            )
             .unwrap()
             .is_implied());
         assert!(s

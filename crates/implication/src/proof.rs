@@ -137,7 +137,11 @@ impl std::error::Error for ProofError {}
 
 /// True iff `attr` denotes the ID attribute of `tau` — either the literal
 /// pseudo-name `id`, or (when a structure is given) the declared one.
-fn is_id_attr(structure: Option<&DtdStructure>, tau: &xic_model::Name, attr: &xic_model::Name) -> bool {
+fn is_id_attr(
+    structure: Option<&DtdStructure>,
+    tau: &xic_model::Name,
+    attr: &xic_model::Name,
+) -> bool {
     attr.as_str() == "id" || structure.is_some_and(|s| s.id_attr(tau) == Some(attr))
 }
 
@@ -182,8 +186,11 @@ impl Proof {
                     return Err(err(format!("premise {p} is not an earlier step")));
                 }
             }
-            let prem: Vec<&Constraint> =
-                step.premises.iter().map(|&p| &self.steps[p].conclusion).collect();
+            let prem: Vec<&Constraint> = step
+                .premises
+                .iter()
+                .map(|&p| &self.steps[p].conclusion)
+                .collect();
             let c = &step.conclusion;
             let ok = match step.rule {
                 Rule::Hypothesis => sigma.contains(c),
@@ -204,8 +211,17 @@ impl Proof {
                 ),
                 Rule::InvSfkId => match (prem.as_slice(), c) {
                     (
-                        [Constraint::InverseId { tau, attr, target, target_attr }],
-                        Constraint::SetFkToId { tau: ct, attr: ca, target: cg },
+                        [Constraint::InverseId {
+                            tau,
+                            attr,
+                            target,
+                            target_attr,
+                        }],
+                        Constraint::SetFkToId {
+                            tau: ct,
+                            attr: ca,
+                            target: cg,
+                        },
                     ) => {
                         (ct == tau && ca == attr && cg == target)
                             || (ct == target && ca == target_attr && cg == tau)
@@ -222,7 +238,12 @@ impl Proof {
                 },
                 Rule::InvIdSym => match (prem.as_slice(), c) {
                     (
-                        [Constraint::InverseId { tau, attr, target, target_attr }],
+                        [Constraint::InverseId {
+                            tau,
+                            attr,
+                            target,
+                            target_attr,
+                        }],
                         Constraint::InverseId {
                             tau: ct,
                             attr: ca,
@@ -252,16 +273,22 @@ impl Proof {
                 },
                 Rule::UfkK => match (prem.as_slice(), c) {
                     (
-                        [Constraint::ForeignKey { target, target_fields, .. }],
+                        [Constraint::ForeignKey {
+                            target,
+                            target_fields,
+                            ..
+                        }],
                         Constraint::Key { tau, fields },
-                    ) => {
-                        target_fields.len() == 1 && tau == target && fields == target_fields
-                    }
+                    ) => target_fields.len() == 1 && tau == target && fields == target_fields,
                     _ => false,
                 },
                 Rule::SfkK => match (prem.as_slice(), c) {
                     (
-                        [Constraint::SetForeignKey { target, target_field, .. }],
+                        [Constraint::SetForeignKey {
+                            target,
+                            target_field,
+                            ..
+                        }],
                         Constraint::Key { tau, fields },
                     ) => tau == target && fields.len() == 1 && &fields[0] == target_field,
                     _ => false,
@@ -329,7 +356,13 @@ impl Proof {
                 },
                 Rule::InvSfk => match (prem.as_slice(), c) {
                     (
-                        [Constraint::InverseU { tau, key, target, target_key, .. }],
+                        [Constraint::InverseU {
+                            tau,
+                            key,
+                            target,
+                            target_key,
+                            ..
+                        }],
                         Constraint::Key { tau: ct, fields },
                     ) => {
                         fields.len() == 1
@@ -386,7 +419,11 @@ impl Proof {
                 },
                 Rule::PfkK => match (prem.as_slice(), c) {
                     (
-                        [Constraint::ForeignKey { target, target_fields, .. }],
+                        [Constraint::ForeignKey {
+                            target,
+                            target_fields,
+                            ..
+                        }],
                         Constraint::Key { tau, fields },
                     ) => tau == target && as_set(fields) == as_set(target_fields),
                     _ => false,
@@ -432,14 +469,7 @@ impl Proof {
                             target: cg,
                             target_fields: cgf,
                         },
-                    ) => {
-                        t2 == t2b
-                            && g2 == f2b
-                            && ct == t1
-                            && cf == f1
-                            && cg == t3
-                            && cgf == g3
-                    }
+                    ) => t2 == t2b && g2 == f2b && ct == t1 && cf == f1 && cg == t3 && cgf == g3,
                     _ => false,
                 },
             };
@@ -472,12 +502,15 @@ impl Proof {
         if cfields.len() != 1 || ctfields.len() != 1 {
             return Ok(false);
         }
-        let Some((Constraint::ForeignKey {
-            tau: a_tau,
-            fields: a_fields,
-            target: b_tau,
-            target_fields: b_fields,
-        }, chain)) = prem.split_first().map(|(f, r)| (*f, r))
+        let Some((
+            Constraint::ForeignKey {
+                tau: a_tau,
+                fields: a_fields,
+                target: b_tau,
+                target_fields: b_fields,
+            },
+            chain,
+        )) = prem.split_first().map(|(f, r)| (*f, r))
         else {
             return Ok(false);
         };
@@ -485,11 +518,7 @@ impl Proof {
             return Ok(false);
         }
         // Conclusion must reverse the first premise.
-        if !(ctau == b_tau
-            && cfields == b_fields
-            && ctarget == a_tau
-            && ctfields == a_fields)
-        {
+        if !(ctau == b_tau && cfields == b_fields && ctarget == a_tau && ctfields == a_fields) {
             return Ok(false);
         }
         // Walk the chain from (b_tau, b_field) back to (a_tau, a_field).
@@ -503,19 +532,13 @@ impl Proof {
                     target_fields,
                 } if fields.len() == 1 && target_fields.len() == 1 => {
                     if !(tau == &cur.0 && fields[0] == cur.1) {
-                        return Err(format!(
-                            "cycle chain breaks at {}.{}",
-                            cur.0, cur.1
-                        ));
+                        return Err(format!("cycle chain breaks at {}.{}", cur.0, cur.1));
                     }
                     cur = (target.clone(), target_fields[0].clone());
                 }
                 Constraint::Key { tau, fields } if fields.len() == 1 => {
                     if tau != &cur.0 {
-                        return Err(format!(
-                            "cycle key step on {tau} but chain is at {}",
-                            cur.0
-                        ));
+                        return Err(format!("cycle key step on {tau} but chain is at {}", cur.0));
                     }
                     cur = (tau.clone(), fields[0].clone());
                 }
@@ -608,10 +631,7 @@ mod tests {
             vec![0, 1],
         );
         assert!(bad
-            .verify(
-                &[f1, Constraint::unary_fk("b", "OTHER", "c", "z")],
-                None
-            )
+            .verify(&[f1, Constraint::unary_fk("b", "OTHER", "c", "z")], None)
             .is_err());
     }
 
@@ -681,21 +701,14 @@ mod tests {
 
         // A chain ending at the wrong node is rejected.
         let mut bad2 = Proof::hypothesis(sigma[2].clone());
-        bad2.push(
-            Constraint::unary_key("t", "zzz"),
-            Rule::Hypothesis,
-            vec![],
-        );
+        bad2.push(Constraint::unary_key("t", "zzz"), Rule::Hypothesis, vec![]);
         bad2.push(
             Constraint::unary_fk("t", "b", "t", "a"),
             Rule::Cycle,
             vec![0, 1],
         );
         assert!(bad2
-            .verify(
-                &[sigma[2].clone(), Constraint::unary_key("t", "zzz")],
-                None
-            )
+            .verify(&[sigma[2].clone(), Constraint::unary_key("t", "zzz")], None)
             .is_err());
     }
 
@@ -734,11 +747,7 @@ mod tests {
     #[test]
     fn premise_ordering_enforced() {
         let mut p = Proof::default();
-        p.push(
-            Constraint::unary_key("a", "x"),
-            Rule::UfkK,
-            vec![5],
-        );
+        p.push(Constraint::unary_key("a", "x"), Rule::UfkK, vec![5]);
         assert!(p.verify(&[], None).is_err());
     }
 

@@ -323,8 +323,7 @@ pub fn instance_to_tree(inst: &Instance) -> (DtdStructure, DataTree) {
                 Field::Attr(_) => None,
             })
             .collect();
-        let model =
-            ContentModel::seq_all(subs.iter().map(|e| ContentModel::Elem((*e).clone())));
+        let model = ContentModel::seq_all(subs.iter().map(|e| ContentModel::Elem((*e).clone())));
         builder = builder.elem_model(tau.clone(), model);
         for f in singles {
             if let Field::Attr(l) = f {
@@ -374,7 +373,8 @@ pub fn instance_to_tree(inst: &Instance) -> (DtdStructure, DataTree) {
                     .get(l)
                     .map(|s| s.iter().map(|v| format!("v{v}")).collect())
                     .unwrap_or_default();
-                tb.attr(n, l.clone(), AttrValue::set(vals)).expect("fresh attr");
+                tb.attr(n, l.clone(), AttrValue::set(vals))
+                    .expect("fresh attr");
             }
         }
     }

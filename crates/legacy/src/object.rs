@@ -121,7 +121,9 @@ impl ObjSchema {
 
         let mut sigma = Vec::new();
         for c in &self.classes {
-            sigma.push(Constraint::Id { tau: c.name.clone() });
+            sigma.push(Constraint::Id {
+                tau: c.name.clone(),
+            });
         }
         for c in &self.classes {
             for k in &c.keys {
@@ -158,8 +160,7 @@ impl ObjSchema {
                     if !partner_many {
                         continue;
                     }
-                    let key = if (c.name.clone(), r.name.clone())
-                        < (r.target.clone(), inv.clone())
+                    let key = if (c.name.clone(), r.name.clone()) < (r.target.clone(), inv.clone())
                     {
                         (c.name.clone(), r.name.clone())
                     } else {
@@ -230,8 +231,9 @@ impl ObjSchema {
                             let k = rng.gen_range(0..=2.min(target_oids.len()));
                             let mut chosen = BTreeSet::new();
                             for _ in 0..k {
-                                chosen
-                                    .insert(target_oids[rng.gen_range(0..target_oids.len())].clone());
+                                chosen.insert(
+                                    target_oids[rng.gen_range(0..target_oids.len())].clone(),
+                                );
                             }
                             chosen.into_iter().collect()
                         } else {
@@ -262,7 +264,10 @@ impl ObjSchema {
                         .map(|v| {
                             v.iter()
                                 .map(|o| {
-                                    (o.oid.clone(), o.refs.get(&r.name).cloned().unwrap_or_default())
+                                    (
+                                        o.oid.clone(),
+                                        o.refs.get(&r.name).cloned().unwrap_or_default(),
+                                    )
                                 })
                                 .collect()
                         })
@@ -424,9 +429,7 @@ mod tests {
         assert!(solver.implies(&phi).is_implied());
         // And the ID constraints imply keys on oid.
         let phi = Constraint::unary_key("dept", "oid");
-        assert!(solver
-            .implies_with(&phi, Some(d.structure()))
-            .is_implied());
+        assert!(solver.implies_with(&phi, Some(d.structure())).is_implied());
     }
 
     #[test]

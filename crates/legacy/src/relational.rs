@@ -93,9 +93,7 @@ impl RelSchema {
             );
             b = b.elem_model(
                 r.name.clone(),
-                ContentModel::seq_all(
-                    r.columns.iter().map(|c| ContentModel::Elem(c.clone())),
-                ),
+                ContentModel::seq_all(r.columns.iter().map(|c| ContentModel::Elem(c.clone()))),
             );
             for c in &r.columns {
                 declared_cols.entry(c.clone()).or_default();

@@ -1,0 +1,132 @@
+//! A fast, non-cryptographic hasher for hot validation paths.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed against
+//! hash-flooding, which costs tens of nanoseconds per probe. Constraint
+//! checking hashes short value strings and dense `u32` symbols millions of
+//! times per document over data the process generated or parsed itself, so
+//! flooding resistance buys nothing here. [`FastHasher`] is a multiply-rotate
+//! word hasher (FxHash-style): each 8-byte word is folded into the state
+//! with a rotate, xor, and multiply by a Fibonacci-like constant.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate word hasher; see the module docs for the trade-off.
+#[derive(Clone, Copy, Debug)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl Default for FastHasher {
+    fn default() -> Self {
+        // A non-zero start state: with a zero state, folding in a zero
+        // word would be the identity and e.g. "" / "\0" would collide.
+        FastHasher { hash: SEED }
+    }
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Full-avalanche finalizer (xor-shift-multiply, Murmur3-style).
+        // The word mixer alone leaves high input bits underrepresented in
+        // the low output bits, and the table index is taken from the low
+        // bits: short little-endian strings with sequential suffixes
+        // ("p123456", "p123457", …) would otherwise cluster into long
+        // probe chains in large tables.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        BuildHasherDefault::<FastHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of("abc"), hash_of("abc"));
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of(vec![1u32, 2, 3]), hash_of(vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn distinct_values_disperse() {
+        // Not a collision-freeness proof, just a smoke test that the mixer
+        // is not degenerate on small keys.
+        let hashes: FastHashSet<u64> = (0..10_000u32).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+        assert_ne!(hash_of(""), hash_of("\0"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastHashMap<String, usize> = FastHashMap::default();
+        for i in 0..100 {
+            m.insert(format!("k{i}"), i);
+        }
+        for i in 0..100 {
+            assert_eq!(m.get(&format!("k{i}")), Some(&i));
+        }
+    }
+}

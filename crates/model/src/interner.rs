@@ -1,0 +1,133 @@
+//! String interning for hot validation paths.
+//!
+//! Constraint checking compares attribute and sub-element *values* — not
+//! names — millions of times on large documents. Interning each distinct
+//! value once turns every subsequent comparison, hash, and set probe into a
+//! `u32` operation, and shrinks columnar value indexes to a quarter of the
+//! pointer size.
+
+use std::sync::Arc;
+
+use crate::hash::FastHashMap;
+
+/// An interned string: a dense `u32` handle into an [`Interner`].
+///
+/// Two `Sym`s from the same interner are equal iff the strings they denote
+/// are equal, so `Sym` supports O(1) equality/hash where the underlying
+/// values would need full comparisons. `Sym` order is *allocation* order,
+/// not lexicographic order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense index of this symbol (0-based allocation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string intern pool mapping distinct strings to dense [`Sym`] handles.
+///
+/// ```
+/// use xic_model::Interner;
+/// let mut pool = Interner::new();
+/// let a = pool.intern("alice");
+/// let b = pool.intern("bob");
+/// assert_eq!(a, pool.intern("alice"));
+/// assert_ne!(a, b);
+/// assert_eq!(pool.resolve(a), "alice");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    // `Arc<str>` is shared between the lookup map and the dense table, so
+    // each distinct string is stored once.
+    strings: Vec<Arc<str>>,
+    map: FastHashMap<Arc<str>, Sym>,
+}
+
+impl Interner {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol (allocating one if new).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let shared: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&shared));
+        self.map.insert(shared, sym);
+        sym
+    }
+
+    /// The symbol of `s` if it has been interned, without allocating.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string a symbol denotes.
+    ///
+    /// # Panics
+    /// If `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut pool = Interner::new();
+        let a = pool.intern("x");
+        let b = pool.intern("y");
+        let a2 = pool.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.resolve(a), "x");
+        assert_eq!(pool.resolve(b), "y");
+    }
+
+    #[test]
+    fn get_does_not_allocate() {
+        let mut pool = Interner::new();
+        assert!(pool.get("v").is_none());
+        let s = pool.intern("v");
+        assert_eq!(pool.get("v"), Some(s));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_shareable_across_threads() {
+        let mut pool = Interner::new();
+        let s = pool.intern("shared");
+        let pool = std::sync::Arc::new(pool);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || pool.resolve(s).to_string())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "shared");
+        }
+    }
+}

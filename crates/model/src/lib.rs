@@ -19,7 +19,9 @@
 //! * [`DataTree::ext`] — `ext(τ)`, the set of vertices labelled `τ`;
 //! * [`DataTree::attr`] — `x.l`, the value of attribute `l` at vertex `x`;
 //! * [`DataTree::tuple`] — `x[X]` for a sequence `X` of attributes;
-//! * [`ExtIndex`] — a precomputed `τ ↦ ext(τ)` index for hot paths.
+//! * [`ExtIndex`] — a precomputed `τ ↦ ext(τ)` index for hot paths;
+//! * [`Interner`]/[`Sym`] — a string intern pool turning attribute-value
+//!   comparisons into `u32` operations in hot validation paths.
 //!
 //! Trees are built through [`TreeBuilder`], which enforces the single-parent
 //! invariant of Definition 2.1 by construction.
@@ -27,10 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
+mod interner;
 mod name;
 mod render;
 mod tree;
 
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
+pub use interner::{Interner, Sym};
 pub use name::Name;
 pub use render::{render_tree, RenderOptions};
 pub use tree::{

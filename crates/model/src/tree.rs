@@ -384,10 +384,7 @@ impl ExtIndex {
     pub fn build(tree: &DataTree) -> Self {
         let mut by_label: HashMap<Name, Vec<NodeId>> = HashMap::new();
         for id in tree.node_ids() {
-            by_label
-                .entry(tree.label(id).clone())
-                .or_default()
-                .push(id);
+            by_label.entry(tree.label(id).clone()).or_default().push(id);
         }
         ExtIndex { by_label }
     }
@@ -638,10 +635,7 @@ mod tests {
         let c = b.node("c");
         let d = b.node("d");
         b.child(r, c).unwrap();
-        assert_eq!(
-            b.child(d, c),
-            Err(ModelError::SecondParent { node: c })
-        );
+        assert_eq!(b.child(d, c), Err(ModelError::SecondParent { node: c }));
     }
 
     #[test]
@@ -673,7 +667,8 @@ mod tests {
             b.attr(r, "a", AttrValue::single("2")),
             Err(ModelError::DuplicateAttribute { .. })
         ));
-        b.attr(r, "b", AttrValue::set(Vec::<String>::new())).unwrap();
+        b.attr(r, "b", AttrValue::set(Vec::<String>::new()))
+            .unwrap();
         let t = b.finish(r).unwrap();
         assert!(t.attr(r, "b").unwrap().is_empty());
     }

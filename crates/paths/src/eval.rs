@@ -156,7 +156,8 @@ mod tests {
         let d1 = b.child_node(db, "dept").unwrap();
         b.attr(d1, "oid", AttrValue::single("d1")).unwrap();
         b.attr(d1, "manager", AttrValue::single("p1")).unwrap();
-        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"])).unwrap();
+        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"]))
+            .unwrap();
         b.leaf(d1, "dname", "R&D").unwrap();
         b.finish(db).unwrap()
     }
@@ -174,7 +175,13 @@ mod tests {
         let p1 = *r.nodes.iter().next().unwrap();
         assert_eq!(t.attr(p1, "oid").unwrap().as_single().unwrap(), "p1");
         // db.dept.has_staff reaches both persons.
-        let r = ext_of_path(&solver, &t, &idx, &"db".into(), &Path::from("dept.has_staff"));
+        let r = ext_of_path(
+            &solver,
+            &t,
+            &idx,
+            &"db".into(),
+            &Path::from("dept.has_staff"),
+        );
         assert_eq!(r.nodes.len(), 2);
         // …and their names.
         let r = ext_of_path(
@@ -249,13 +256,7 @@ mod tests {
         let t = b.finish(book).unwrap();
         assert!(validate(&t, &d).is_valid());
         let idx = ExtIndex::build(&t);
-        let vals = ext_of_path(
-            &solver,
-            &t,
-            &idx,
-            &"book".into(),
-            &Path::from("entry.isbn"),
-        );
+        let vals = ext_of_path(&solver, &t, &idx, &"book".into(), &Path::from("entry.isbn"));
         assert_eq!(vals.values.len(), 1);
         assert!(solver.functional_implied(
             &"book".into(),

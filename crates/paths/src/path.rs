@@ -324,10 +324,10 @@ mod tests {
     fn constraint_parse_rejects() {
         for src in [
             "",
-            "book.entry.isbn",                  // no operator
-            "book.a -> entry.b",                // functional anchors differ
-            " -> book.author",                  // missing lhs anchor
-            "book..a <= entry",                 // bad path
+            "book.entry.isbn",   // no operator
+            "book.a -> entry.b", // functional anchors differ
+            " -> book.author",   // missing lhs anchor
+            "book..a <= entry",  // bad path
         ] {
             assert!(PathConstraint::parse(src).is_err(), "{src:?}");
         }

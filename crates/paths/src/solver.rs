@@ -142,11 +142,7 @@ impl<'a> PathSolver<'a> {
                 None => StepType::S,
             });
         }
-        if self
-            .content
-            .get(tau)
-            .is_some_and(|els| els.contains(label))
-        {
+        if self.content.get(tau).is_some_and(|els| els.contains(label)) {
             return Some(StepType::Elem(label.clone()));
         }
         None
@@ -199,11 +195,7 @@ impl<'a> PathSolver<'a> {
                 }
             } else if self.unique.get(t1).is_some_and(|u| u.contains(label)) {
                 // Unique sub-element step.
-            } else if self
-                .content
-                .get(t1)
-                .is_some_and(|els| els.contains(label))
-            {
+            } else if self.content.get(t1).is_some_and(|els| els.contains(label)) {
                 // A repeatable sub-element: not functional.
                 return false;
             } else {
@@ -259,7 +251,9 @@ impl<'a> PathSolver<'a> {
         // Find a basic inverse τ₁.head ⇌ τmid.last and recurse on the
         // inner paths.
         for (t, l, tmid, lmid) in &self.inverses {
-            if t == tau1 && l == head && lmid == last
+            if t == tau1
+                && l == head
+                && lmid == last
                 && self.inverse_rec(tmid, &rho1[1..], tau2, &rho2[..rho2.len() - 1])
             {
                 return true;
@@ -352,10 +346,7 @@ mod tests {
         // ref.to dereferences to entry (ref.to ⊆_S entry.isbn is a key
         // reference, not an ID reference, so in the pure-L_u book DTD the
         // attribute does NOT dereference — it is S-typed).
-        assert_eq!(
-            s.type_of(&book, &Path::from("ref.to")),
-            Some(StepType::S)
-        );
+        assert_eq!(s.type_of(&book, &Path::from("ref.to")), Some(StepType::S));
         // Recursion: section.section.section is a path.
         assert!(s.is_path(&Name::new("section"), &Path::from("section.section.title")));
         // Non-paths.
@@ -574,11 +565,22 @@ mod tests {
         // The bound is respected.
         assert!(paths.iter().all(|p| p.len() <= 3));
         // Cross-check: brute-force over the label alphabet agrees.
-        let labels: Vec<Name> = ["entry", "author", "title", "publisher", "text",
-            "section", "ref", "isbn", "sid", "to", "book"]
-            .iter()
-            .map(|s| Name::new(*s))
-            .collect();
+        let labels: Vec<Name> = [
+            "entry",
+            "author",
+            "title",
+            "publisher",
+            "text",
+            "section",
+            "ref",
+            "isbn",
+            "sid",
+            "to",
+            "book",
+        ]
+        .iter()
+        .map(|s| Name::new(*s))
+        .collect();
         let mut expected = vec![Path::empty()];
         let mut frontier = vec![Path::empty()];
         for _ in 0..3 {

@@ -360,31 +360,32 @@ mod tests {
     #[test]
     fn nfa_and_dfa_agree_with_derivatives_on_cases() {
         let cases = [
-            ("entry, author*, section*, ref", vec![
-                ("entry ref", true),
-                ("entry author author section ref", true),
-                ("entry", false),
-                ("author ref", false),
-                ("entry ref ref", false),
-                ("", false),
-            ]),
-            ("(title, (text + section)*)", vec![
-                ("title", true),
-                ("title text text section", true),
-                ("text", false),
-                ("", false),
-            ]),
+            (
+                "entry, author*, section*, ref",
+                vec![
+                    ("entry ref", true),
+                    ("entry author author section ref", true),
+                    ("entry", false),
+                    ("author ref", false),
+                    ("entry ref ref", false),
+                    ("", false),
+                ],
+            ),
+            (
+                "(title, (text + section)*)",
+                vec![
+                    ("title", true),
+                    ("title text text section", true),
+                    ("text", false),
+                    ("", false),
+                ],
+            ),
             ("EMPTY", vec![("", true), ("a", false)]),
-            ("(a + b)*", vec![
-                ("", true),
-                ("a b a", true),
-                ("c", false),
-            ]),
-            ("S, a, S*", vec![
-                ("S a", true),
-                ("S a S S", true),
-                ("a", false),
-            ]),
+            ("(a + b)*", vec![("", true), ("a b a", true), ("c", false)]),
+            (
+                "S, a, S*",
+                vec![("S a", true), ("S a S S", true), ("a", false)],
+            ),
         ];
         for (src, words) in cases {
             let m = ContentModel::parse(src).unwrap();

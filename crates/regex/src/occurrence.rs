@@ -166,17 +166,20 @@ mod tests {
         assert!(!occ("(a, b) + (c, b)", "a").is_exactly_one());
         // {0, 2} has hull [0, 2]: not unique, and the hull extremes are exact.
         let i = occ("(a, a) + EMPTY", "a");
-        assert_eq!(i, OccurrenceInterval { min: 0, max: Some(2) });
+        assert_eq!(
+            i,
+            OccurrenceInterval {
+                min: 0,
+                max: Some(2)
+            }
+        );
     }
 
     #[test]
     fn star_cases() {
         assert_eq!(occ("a*", "a"), OccurrenceInterval { min: 0, max: None });
         assert_eq!(occ("b*", "a"), OccurrenceInterval::ZERO);
-        assert_eq!(
-            occ("(b*, a)", "a"),
-            OccurrenceInterval::ONE
-        );
+        assert_eq!(occ("(b*, a)", "a"), OccurrenceInterval::ONE);
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "content model parse error at {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "content model parse error at {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -181,7 +185,10 @@ mod tests {
     #[test]
     fn parses_paper_models() {
         for (src, printed) in [
-            ("(entry, author*, section*, ref)", "entry, author*, section*, ref"),
+            (
+                "(entry, author*, section*, ref)",
+                "entry, author*, section*, ref",
+            ),
             ("(title, (text|section)*)", "title, (text + section)*"),
             ("EMPTY", "EMPTY"),
             ("ε", "EMPTY"),

@@ -17,10 +17,8 @@ fn model_strategy() -> impl Strategy<Value = ContentModel> {
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| ContentModel::alt(x, y)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| ContentModel::seq(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| ContentModel::alt(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| ContentModel::seq(x, y)),
             inner.prop_map(ContentModel::star),
         ]
     })

@@ -5,23 +5,38 @@ use std::collections::HashMap;
 use xic_constraints::{Constraint, DtdC, DtdStructure, Field};
 use xic_model::{DataTree, ExtIndex, NodeId};
 
+use crate::plan::CName;
 use crate::report::Violation;
 
-/// The value of a field at a vertex: attribute lookup (single value) or the
-/// text content of the (unique) sub-element with that label (§3.4).
+/// The unique child of `x` labelled `e`, or `None` when `x` has zero or
+/// several such children.
 ///
-/// Returns `None` when the attribute is absent / non-singleton, or no such
-/// child exists.
+/// §3.4 treats a sub-element field `τ.e` as defined only when the
+/// sub-element is *unique*; with several `e` children "x.e" would not
+/// denote a single value, so the field is undefined rather than the text
+/// of an arbitrary first match.
+pub(crate) fn unique_sub(tree: &DataTree, x: NodeId, e: &str) -> Option<NodeId> {
+    let mut found = None;
+    for c in tree.node(x).child_nodes() {
+        if tree.label(c) == e {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(c);
+        }
+    }
+    found
+}
+
+/// The value of a field at a vertex: attribute lookup (single value) or the
+/// text content of the unique sub-element with that label (§3.4).
+///
+/// Returns `None` when the attribute is absent / non-singleton, or the
+/// sub-element is absent / non-unique.
 pub(crate) fn field_value(tree: &DataTree, x: NodeId, field: &Field) -> Option<String> {
     match field {
         Field::Attr(l) => tree.attr(x, l)?.as_single().cloned(),
-        Field::Sub(e) => {
-            let child = tree
-                .node(x)
-                .child_nodes()
-                .find(|&c| tree.label(c) == e)?;
-            Some(tree.node(child).text())
-        }
+        Field::Sub(e) => Some(tree.node(unique_sub(tree, x, e)?).text()),
     }
 }
 
@@ -35,36 +50,14 @@ fn set_value<'t>(tree: &'t DataTree, x: NodeId, l: &str) -> &'t [String] {
     tree.attr(x, l).map(|v| v.values()).unwrap_or(&[])
 }
 
-/// Checks every constraint of `dtdc` against `tree`, appending violations.
-pub(crate) fn check_all(
-    tree: &DataTree,
-    idx: &ExtIndex,
-    dtdc: &DtdC,
-    out: &mut Vec<Violation>,
-) {
-    let s = dtdc.structure();
-    // The global ID table is shared by all L_id checks: maps each ID value
-    // to the vertices carrying it (any element type with an ID attribute).
-    let needs_ids = dtdc
-        .constraints()
-        .iter()
-        .any(|c| matches!(c, Constraint::Id { .. }));
-    let global_ids = if needs_ids {
-        build_global_ids(tree, idx, s)
-    } else {
-        HashMap::new()
-    };
-    for c in dtdc.constraints() {
-        check_one(tree, idx, s, c, &global_ids, out);
-    }
-}
-
 /// Checks a single constraint against a data tree.
 ///
 /// This is the semantic ground truth used by tests and by the implication
 /// engine's counterexample checking: a constraint solver's "not implied"
 /// answer comes with a witness tree, and this function confirms the witness
-/// satisfies `Σ` while violating `φ`.
+/// satisfies `Σ` while violating `φ`. The [`crate::Validator`]'s compiled
+/// engine is required (and property-tested) to reproduce, for each
+/// constraint in Σ, exactly this function's violations in order.
 pub fn check_constraint(tree: &DataTree, dtdc: &DtdC, c: &Constraint) -> Vec<Violation> {
     let idx = ExtIndex::build(tree);
     let s = dtdc.structure();
@@ -101,7 +94,9 @@ fn check_one(
     global_ids: &HashMap<String, Vec<NodeId>>,
     out: &mut Vec<Violation>,
 ) {
-    let cname = c.to_string();
+    // Rendering a constraint for a report is lazy: clean documents (the
+    // common case) never pay for formatting Σ.
+    let cname = CName::new(c);
     match c {
         Constraint::Key { tau, fields } => {
             let mut seen: HashMap<Vec<String>, NodeId> = HashMap::new();
@@ -111,7 +106,7 @@ fn check_one(
                 };
                 match seen.get(&t) {
                     Some(&prev) => out.push(Violation::Key {
-                        constraint: cname.clone(),
+                        constraint: cname.get(),
                         a: prev,
                         b: x,
                         value: t.join(", "),
@@ -138,14 +133,14 @@ fn check_one(
                     Some(t) => {
                         if !targets.contains(&t) {
                             out.push(Violation::ForeignKey {
-                                constraint: cname.clone(),
+                                constraint: cname.get(),
                                 node: x,
                                 value: t.join(", "),
                             });
                         }
                     }
                     None => out.push(Violation::MissingField {
-                        constraint: cname.clone(),
+                        constraint: cname.get(),
                         node: x,
                         field: fields
                             .iter()
@@ -171,7 +166,7 @@ fn check_one(
                 for v in set_value(tree, x, attr) {
                     if !targets.contains(v) {
                         out.push(Violation::ForeignKey {
-                            constraint: cname.clone(),
+                            constraint: cname.get(),
                             node: x,
                             value: v.clone(),
                         });
@@ -188,10 +183,28 @@ fn check_one(
             target_attr,
         } => {
             check_inverse(
-                tree, idx, &cname, tau, key, attr, target, target_key, target_attr, out,
+                tree,
+                idx,
+                &cname,
+                tau,
+                key,
+                attr,
+                target,
+                target_key,
+                target_attr,
+                out,
             );
             check_inverse(
-                tree, idx, &cname, target, target_key, target_attr, tau, key, attr, out,
+                tree,
+                idx,
+                &cname,
+                target,
+                target_key,
+                target_attr,
+                tau,
+                key,
+                attr,
+                out,
             );
         }
         Constraint::Id { tau } => {
@@ -201,7 +214,7 @@ fn check_one(
             for &x in idx.ext(tau) {
                 match tree.attr(x, id_attr).and_then(|v| v.as_single()) {
                     None => out.push(Violation::MissingField {
-                        constraint: cname.clone(),
+                        constraint: cname.get(),
                         node: x,
                         field: format!("@{id_attr}"),
                     }),
@@ -209,7 +222,7 @@ fn check_one(
                         for &y in global_ids.get(v).into_iter().flatten() {
                             if y != x {
                                 out.push(Violation::DuplicateId {
-                                    constraint: cname.clone(),
+                                    constraint: cname.get(),
                                     a: x,
                                     b: y,
                                     value: v.clone(),
@@ -228,7 +241,7 @@ fn check_one(
                 };
                 if !targets.contains(v) {
                     out.push(Violation::ForeignKey {
-                        constraint: cname.clone(),
+                        constraint: cname.get(),
                         node: x,
                         value: v.clone(),
                     });
@@ -241,7 +254,7 @@ fn check_one(
                 for v in set_value(tree, x, attr) {
                     if !targets.contains(v) {
                         out.push(Violation::ForeignKey {
-                            constraint: cname.clone(),
+                            constraint: cname.get(),
                             node: x,
                             value: v.clone(),
                         });
@@ -261,15 +274,13 @@ fn check_one(
             // The L_id inverse carries reference typing (cf. rule
             // Inv-SFK-ID): the paired IDREFS attributes contain only IDs of
             // the partner type, i.e. τ.l ⊆_S τ'.id and τ'.l' ⊆_S τ.id.
-            for (src, src_attr, dst) in
-                [(tau, attr, target), (target, target_attr, tau)]
-            {
+            for (src, src_attr, dst) in [(tau, attr, target), (target, target_attr, tau)] {
                 let targets = id_values(tree, idx, s, dst);
                 for &x in idx.ext(src) {
                     for v in set_value(tree, x, src_attr) {
                         if !targets.contains(v) {
                             out.push(Violation::ForeignKey {
-                                constraint: cname.clone(),
+                                constraint: cname.get(),
                                 node: x,
                                 value: v.clone(),
                             });
@@ -280,10 +291,28 @@ fn check_one(
             let key_tau = Field::Attr(id_tau.clone());
             let key_target = Field::Attr(id_target.clone());
             check_inverse(
-                tree, idx, &cname, tau, &key_tau, attr, target, &key_target, target_attr, out,
+                tree,
+                idx,
+                &cname,
+                tau,
+                &key_tau,
+                attr,
+                target,
+                &key_target,
+                target_attr,
+                out,
             );
             check_inverse(
-                tree, idx, &cname, target, &key_target, target_attr, tau, &key_tau, attr, out,
+                tree,
+                idx,
+                &cname,
+                target,
+                &key_target,
+                target_attr,
+                tau,
+                &key_tau,
+                attr,
+                out,
             );
         }
     }
@@ -312,7 +341,7 @@ fn id_values(
 fn check_inverse(
     tree: &DataTree,
     idx: &ExtIndex,
-    cname: &str,
+    cname: &CName<'_>,
     tau: &xic_model::Name,
     key: &Field,
     attr: &xic_model::Name,
@@ -337,7 +366,7 @@ fn check_inverse(
                 let echoed = tree.attr(x, attr).is_some_and(|set| set.contains(&yk));
                 if !echoed {
                     out.push(Violation::Inverse {
-                        constraint: cname.to_string(),
+                        constraint: cname.get(),
                         from: y,
                         to: x,
                     });
@@ -372,7 +401,8 @@ mod tests {
         let d1 = b.child_node(db, "dept").unwrap();
         b.attr(d1, "oid", AttrValue::single("d1")).unwrap();
         b.attr(d1, "manager", AttrValue::single("p1")).unwrap();
-        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"])).unwrap();
+        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"]))
+            .unwrap();
         b.leaf(d1, "dname", "R&D").unwrap();
         b.finish(db).unwrap()
     }
@@ -404,10 +434,12 @@ mod tests {
         b.leaf(dd, "dname", "D").unwrap();
         let t = b.finish(db).unwrap();
         let r = validate(&t, &d);
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::DuplicateId { .. })), "{r}");
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::DuplicateId { .. })),
+            "{r}"
+        );
     }
 
     #[test]
@@ -430,14 +462,17 @@ mod tests {
         let d1 = b.child_node(db, "dept").unwrap();
         b.attr(d1, "oid", AttrValue::single("d1")).unwrap();
         b.attr(d1, "manager", AttrValue::single("p1")).unwrap();
-        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"])).unwrap();
+        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"]))
+            .unwrap();
         b.leaf(d1, "dname", "D").unwrap();
         let t = b.finish(db).unwrap();
         let r = validate(&t, &d);
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::Inverse { .. })), "{r}");
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::Inverse { .. })),
+            "{r}"
+        );
         // Exactly one direction fails.
         assert_eq!(
             r.violations
@@ -465,7 +500,8 @@ mod tests {
         let d1 = b.child_node(db, "dept").unwrap();
         b.attr(d1, "oid", AttrValue::single("d1")).unwrap();
         b.attr(d1, "manager", AttrValue::single("p1")).unwrap();
-        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"])).unwrap();
+        b.attr(d1, "has_staff", AttrValue::set(["p1", "p2"]))
+            .unwrap();
         b.leaf(d1, "dname", "D").unwrap();
         let t = b.finish(db).unwrap();
         let r = validate(&t, &d);
@@ -476,6 +512,37 @@ mod tests {
             .collect();
         assert_eq!(key_viols.len(), 1, "{r}");
         assert!(key_viols[0].to_string().contains("SameName"));
+    }
+
+    #[test]
+    fn non_unique_sub_element_field_is_undefined() {
+        // §3.4: `x.name` denotes the *unique* name child. Give both persons
+        // two name children whose first copies collide; the field is
+        // undefined, so the key has no witness. (The old checker read the
+        // first matching child and reported a spurious violation.)
+        let d = company_dtdc();
+        let mut b = TreeBuilder::new();
+        let db = b.node("db");
+        for oid in ["p1", "p2"] {
+            let p = b.child_node(db, "person").unwrap();
+            b.attr(p, "oid", AttrValue::single(oid)).unwrap();
+            b.attr(p, "in_dept", AttrValue::set(Vec::<String>::new()))
+                .unwrap();
+            b.leaf(p, "name", "SameName").unwrap();
+            b.leaf(p, "name", format!("Second-{oid}")).unwrap();
+            b.leaf(p, "address", "x").unwrap();
+        }
+        let t = b.finish(db).unwrap();
+        let key = Constraint::sub_key("person", "name");
+        assert!(check_constraint(&t, &d, &key).is_empty());
+        // The compiled engine agrees (content-model violations aside).
+        let r = validate(&t, &d);
+        assert!(
+            !r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::Key { .. })),
+            "{r}"
+        );
     }
 
     #[test]
@@ -547,10 +614,12 @@ mod tests {
         b.leaf(e, "country", "France").unwrap();
         let t = b.finish(db).unwrap();
         let rep = validate(&t, &d);
-        assert!(rep
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::ForeignKey { .. })), "{rep}");
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| matches!(v, Violation::ForeignKey { .. })),
+            "{rep}"
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Deterministic thread fan-out for the validation engine.
+//!
+//! The engine parallelizes at two grains — across constraints, and across
+//! chunks of one element extent — and in both cases results are returned
+//! **in input order**, so concatenating them reproduces the sequential
+//! engine's output byte for byte. The helpers here are plain
+//! `std::thread::scope` fan-outs (no external thread-pool dependency);
+//! with the `parallel` feature disabled, or `threads <= 1`, they degrade
+//! to the sequential loop.
+
+use std::ops::Range;
+
+/// Applies `f` to each item, returning results in input order, using up to
+/// `threads` worker threads.
+pub(crate) fn fan_out<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        parallel_impl::fan_out(threads, items, f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        items.into_iter().map(f).collect()
+    }
+}
+
+/// Minimum extent length worth splitting across threads: below this, the
+/// per-thread setup cost outweighs the scan.
+pub(crate) const SPLIT_THRESHOLD: usize = 4096;
+
+/// Splits `0..len` into at most `threads` contiguous chunks, applies `f` to
+/// each, and returns the chunk results in order. Falls back to a single
+/// chunk when `threads <= 1` or `len < SPLIT_THRESHOLD`.
+pub(crate) fn chunked<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if threads <= 1 || len < SPLIT_THRESHOLD {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(threads).max(SPLIT_THRESHOLD / 2);
+    let ranges: Vec<Range<usize>> = (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect();
+    fan_out(threads, ranges, f)
+}
+
+#[cfg(feature = "parallel")]
+mod parallel_impl {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    pub(super) fn fan_out<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let n = queue.lock().unwrap().len();
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let workers = threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((i, item)) = queue.lock().unwrap().pop_front() else {
+                        return;
+                    };
+                    let r = f(item);
+                    results.lock().unwrap().push((i, r));
+                });
+            }
+        });
+        let mut results = results.into_inner().unwrap();
+        results.sort_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let items: Vec<usize> = (0..100).collect();
+            let out = fan_out(threads, items, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunked_covers_range_exactly_once() {
+        for threads in [1, 2, 4] {
+            for len in [
+                0,
+                1,
+                SPLIT_THRESHOLD - 1,
+                SPLIT_THRESHOLD,
+                3 * SPLIT_THRESHOLD + 17,
+            ] {
+                let chunks = chunked(threads, len, |r| r.collect::<Vec<usize>>());
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(
+                    flat,
+                    (0..len).collect::<Vec<_>>(),
+                    "threads={threads} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_on_one_chunk() {
+        let chunks = chunked(8, 100, |r| r);
+        assert_eq!(chunks, vec![0..100]);
+    }
+}

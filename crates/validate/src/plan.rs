@@ -1,0 +1,763 @@
+//! The compiled constraint-validation plan and its columnar document index.
+//!
+//! The naive checker ([`crate::check_constraint`]) re-extracts field values
+//! from the tree for every constraint. On realistic schemas many
+//! constraints share element types and fields (a key and three foreign keys
+//! all touching `person.@oid`), so the [`Validator`] instead compiles Σ
+//! once into a [`Plan`]: the set of `(element type, field)` columns any
+//! constraint will read. Validating a document then proceeds in two stages:
+//!
+//! 1. **Extraction** — one pass over each needed extent builds a columnar
+//!    [`DocIndex`]: per `(τ, field)` a `Vec<Option<Sym>>` aligned with
+//!    `ext(τ)`, with every value interned to a `u32` [`Sym`]. Each field is
+//!    extracted once, no matter how many constraints read it, and all
+//!    subsequent equality/hash/set operations are integer operations.
+//! 2. **Checking** — every constraint is checked against the shared
+//!    columns. With `threads > 1` the checks fan out across constraints,
+//!    and large extents additionally split into chunks whose violation
+//!    lists are concatenated in document order.
+//!
+//! Both stages are engineered to reproduce the sequential checker's
+//! violation reports **byte for byte**: constraints report in Σ order,
+//! chunks merge in extent order, and interning is a bijection on the value
+//! strings so every probe/dedup decision matches the string-based path.
+//!
+//! [`Validator`]: crate::Validator
+
+use std::cell::OnceCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use xic_constraints::{Constraint, DtdC, DtdStructure, Field};
+use xic_model::{DataTree, ExtIndex, FastHashMap, FastHashSet, Interner, Name, NodeId, Sym};
+
+use crate::constraints::unique_sub;
+use crate::par::{chunked, fan_out};
+use crate::report::Violation;
+
+/// A dense bitset over the symbols of one document's [`Interner`].
+///
+/// Membership sets in foreign-key scans are probed once per referencing
+/// value; with symbols being dense `u32`s a bitset makes each probe one
+/// shift/mask instead of a hash — and it is freely shared by the chunked
+/// parallel scans.
+pub(crate) struct SymSet {
+    words: Vec<u64>,
+}
+
+impl SymSet {
+    /// An empty set able to hold all `sym_count` symbols of an interner.
+    pub(crate) fn new(sym_count: usize) -> Self {
+        SymSet {
+            words: vec![0; sym_count.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, sym: Sym) {
+        self.words[sym.index() / 64] |= 1 << (sym.index() % 64);
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, sym: Sym) -> bool {
+        self.words[sym.index() / 64] & (1 << (sym.index() % 64)) != 0
+    }
+}
+
+/// A constraint name rendered lazily: `Display` on `Constraint` is only
+/// paid when a violation is actually reported, so clean documents never
+/// format Σ.
+pub(crate) struct CName<'c> {
+    c: &'c Constraint,
+    cache: OnceCell<String>,
+}
+
+impl<'c> CName<'c> {
+    pub(crate) fn new(c: &'c Constraint) -> Self {
+        CName {
+            c,
+            cache: OnceCell::new(),
+        }
+    }
+
+    /// The rendered name (formatted on first use, cloned thereafter).
+    pub(crate) fn get(&self) -> String {
+        self.cache.get_or_init(|| self.c.to_string()).clone()
+    }
+}
+
+/// The columns a constraint set will read, compiled once per `DTD^C`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Plan {
+    /// Per element type: single-valued fields (attributes or unique
+    /// sub-elements) some constraint reads.
+    singles: BTreeMap<Name, BTreeSet<Field>>,
+    /// Per element type: set-valued attributes some constraint reads.
+    sets: BTreeMap<Name, BTreeSet<Name>>,
+    /// Whether any `L_id` ID constraint needs the document-wide ID table.
+    needs_ids: bool,
+}
+
+impl Plan {
+    /// Compiles the column set for `dtdc`'s Σ.
+    pub(crate) fn build(dtdc: &DtdC) -> Self {
+        let s = dtdc.structure();
+        let mut plan = Plan::default();
+        for c in dtdc.constraints() {
+            match c {
+                Constraint::Key { tau, fields } => {
+                    plan.add_singles(tau, fields);
+                }
+                Constraint::ForeignKey {
+                    tau,
+                    fields,
+                    target,
+                    target_fields,
+                } => {
+                    plan.add_singles(tau, fields);
+                    plan.add_singles(target, target_fields);
+                }
+                Constraint::SetForeignKey {
+                    tau,
+                    attr,
+                    target,
+                    target_field,
+                } => {
+                    plan.add_set(tau, attr);
+                    plan.add_single(target, target_field.clone());
+                }
+                Constraint::InverseU {
+                    tau,
+                    key,
+                    attr,
+                    target,
+                    target_key,
+                    target_attr,
+                } => {
+                    plan.add_single(tau, key.clone());
+                    plan.add_set(tau, attr);
+                    plan.add_single(target, target_key.clone());
+                    plan.add_set(target, target_attr);
+                }
+                Constraint::Id { tau } => {
+                    plan.needs_ids = true;
+                    plan.add_id_column(s, tau);
+                }
+                Constraint::FkToId { tau, attr, target } => {
+                    plan.add_single(tau, Field::Attr(attr.clone()));
+                    plan.add_id_column(s, target);
+                }
+                Constraint::SetFkToId { tau, attr, target } => {
+                    plan.add_set(tau, attr);
+                    plan.add_id_column(s, target);
+                }
+                Constraint::InverseId {
+                    tau,
+                    attr,
+                    target,
+                    target_attr,
+                } => {
+                    plan.add_set(tau, attr);
+                    plan.add_set(target, target_attr);
+                    plan.add_id_column(s, tau);
+                    plan.add_id_column(s, target);
+                }
+            }
+        }
+        if plan.needs_ids {
+            // The document-wide ID table spans every type with an ID
+            // attribute, not just the types named in Σ.
+            for tau in s.element_types() {
+                plan.add_id_column(s, tau);
+            }
+        }
+        plan
+    }
+
+    fn add_single(&mut self, tau: &Name, field: Field) {
+        self.singles.entry(tau.clone()).or_default().insert(field);
+    }
+
+    fn add_singles(&mut self, tau: &Name, fields: &[Field]) {
+        for f in fields {
+            self.add_single(tau, f.clone());
+        }
+    }
+
+    fn add_set(&mut self, tau: &Name, attr: &Name) {
+        self.sets
+            .entry(tau.clone())
+            .or_default()
+            .insert(attr.clone());
+    }
+
+    fn add_id_column(&mut self, s: &DtdStructure, tau: &Name) {
+        if let Some(id_attr) = s.id_attr(tau) {
+            self.add_single(tau, Field::Attr(id_attr.clone()));
+        }
+    }
+
+    /// Number of `(τ, field)` columns the plan extracts (for diagnostics).
+    pub(crate) fn column_count(&self) -> usize {
+        self.singles.values().map(BTreeSet::len).sum::<usize>()
+            + self.sets.values().map(BTreeSet::len).sum::<usize>()
+    }
+}
+
+/// The per-document columnar index: one interned column per planned
+/// `(τ, field)`, aligned with `ext(τ)`, plus the document-wide ID table.
+pub(crate) struct DocIndex {
+    interner: Interner,
+    /// `(τ, field) ↦` column of `ext(τ)`-aligned single values.
+    singles: HashMap<(Name, Field), Vec<Option<Sym>>>,
+    /// `(τ, attr) ↦` column of `ext(τ)`-aligned set values, each set in
+    /// `AttrValue`'s sorted-string order (so iteration matches
+    /// `set_value`).
+    sets: HashMap<(Name, Name), Vec<Vec<Sym>>>,
+    /// ID value ↦ carriers, in `element_types()` × document order
+    /// (matching the sequential `build_global_ids`).
+    global_ids: FastHashMap<Sym, Vec<NodeId>>,
+}
+
+impl DocIndex {
+    /// One-pass extraction of every planned column from `tree`.
+    pub(crate) fn build(tree: &DataTree, idx: &ExtIndex, s: &DtdStructure, plan: &Plan) -> Self {
+        let mut interner = Interner::new();
+        let mut singles = HashMap::new();
+        for (tau, fields) in &plan.singles {
+            let ext = idx.ext(tau);
+            for field in fields {
+                let col: Vec<Option<Sym>> = ext
+                    .iter()
+                    .map(|&x| extract_single(tree, x, field, &mut interner))
+                    .collect();
+                singles.insert((tau.clone(), field.clone()), col);
+            }
+        }
+        let mut sets = HashMap::new();
+        for (tau, attrs) in &plan.sets {
+            let ext = idx.ext(tau);
+            for attr in attrs {
+                let col: Vec<Vec<Sym>> = ext
+                    .iter()
+                    .map(|&x| match tree.attr(x, attr) {
+                        Some(v) => v.values().iter().map(|s| interner.intern(s)).collect(),
+                        None => Vec::new(),
+                    })
+                    .collect();
+                sets.insert((tau.clone(), attr.clone()), col);
+            }
+        }
+        let mut global_ids: FastHashMap<Sym, Vec<NodeId>> = FastHashMap::default();
+        if plan.needs_ids {
+            for tau in s.element_types() {
+                let Some(id_attr) = s.id_attr(tau) else {
+                    continue;
+                };
+                let key = (tau.clone(), Field::Attr(id_attr.clone()));
+                let Some(col) = singles.get(&key) else {
+                    continue;
+                };
+                let ext = idx.ext(tau);
+                for (pos, sym) in col.iter().enumerate() {
+                    if let Some(sym) = sym {
+                        global_ids.entry(*sym).or_default().push(ext[pos]);
+                    }
+                }
+            }
+        }
+        DocIndex {
+            interner,
+            singles,
+            sets,
+            global_ids,
+        }
+    }
+
+    fn single(&self, tau: &Name, field: &Field) -> &[Option<Sym>] {
+        self.singles
+            .get(&(tau.clone(), field.clone()))
+            .expect("plan covers every single field a constraint reads")
+    }
+
+    fn set(&self, tau: &Name, attr: &Name) -> &[Vec<Sym>] {
+        self.sets
+            .get(&(tau.clone(), attr.clone()))
+            .expect("plan covers every set attribute a constraint reads")
+    }
+
+    fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    fn join(&self, syms: &[Sym]) -> String {
+        syms.iter()
+            .map(|&s| self.resolve(s))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Number of distinct symbols interned (the [`SymSet`] capacity).
+    fn sym_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Distinct ID values of `ext(τ)` (empty when τ has no ID attribute).
+    fn ids_of(&self, s: &DtdStructure, tau: &Name) -> SymSet {
+        let mut ids = SymSet::new(self.sym_count());
+        let Some(id_attr) = s.id_attr(tau) else {
+            return ids;
+        };
+        for sym in self
+            .single(tau, &Field::Attr(id_attr.clone()))
+            .iter()
+            .flatten()
+        {
+            ids.insert(*sym);
+        }
+        ids
+    }
+}
+
+/// Single-valued field extraction; must agree with
+/// [`crate::constraints::field_value`].
+fn extract_single(
+    tree: &DataTree,
+    x: NodeId,
+    field: &Field,
+    interner: &mut Interner,
+) -> Option<Sym> {
+    match field {
+        Field::Attr(l) => tree.attr(x, l)?.as_single().map(|v| interner.intern(v)),
+        Field::Sub(e) => {
+            let child = unique_sub(tree, x, e)?;
+            Some(interner.intern(&tree.node(child).text()))
+        }
+    }
+}
+
+/// Checks all of Σ against the planned columns, appending violations in Σ
+/// order. `threads` is the total worker budget: constraints fan out first,
+/// and whatever budget remains per constraint splits large extents.
+pub(crate) fn check_all_planned(
+    tree: &DataTree,
+    idx: &ExtIndex,
+    dtdc: &DtdC,
+    plan: &Plan,
+    threads: usize,
+    out: &mut Vec<Violation>,
+) {
+    let s = dtdc.structure();
+    let doc = DocIndex::build(tree, idx, s, plan);
+    let cs = dtdc.constraints();
+    let outer = threads.max(1);
+    let inner = (outer / cs.len().max(1)).max(1);
+    let per_constraint = fan_out(outer, cs.iter().collect(), |c| {
+        let mut v = Vec::new();
+        check_one_planned(idx, s, &doc, c, inner, &mut v);
+        v
+    });
+    for v in per_constraint {
+        out.extend(v);
+    }
+}
+
+fn check_one_planned(
+    idx: &ExtIndex,
+    s: &DtdStructure,
+    doc: &DocIndex,
+    c: &Constraint,
+    inner: usize,
+    out: &mut Vec<Violation>,
+) {
+    match c {
+        Constraint::Key { tau, fields } => {
+            // First-seen dedup is order-dependent, so the scan itself stays
+            // sequential; with shared columns it is a pure Sym-tuple pass.
+            let cname = CName::new(c);
+            let ext = idx.ext(tau);
+            if let [field] = fields.as_slice() {
+                // Unary key: dedup on a dense first-seen table indexed by
+                // symbol — no per-element tuple allocation, no hashing.
+                let col = doc.single(tau, field);
+                const UNSEEN: u32 = u32::MAX;
+                let mut first = vec![UNSEEN; doc.sym_count()];
+                for (pos, &x) in ext.iter().enumerate() {
+                    let Some(sym) = col[pos] else {
+                        continue; // undefined fields cannot witness equality
+                    };
+                    let slot = &mut first[sym.index()];
+                    if *slot == UNSEEN {
+                        *slot = u32::try_from(pos).expect("extent fits u32");
+                    } else {
+                        out.push(Violation::Key {
+                            constraint: cname.get(),
+                            a: ext[*slot as usize],
+                            b: x,
+                            value: doc.resolve(sym).to_string(),
+                        });
+                    }
+                }
+                return;
+            }
+            let cols: Vec<&[Option<Sym>]> = fields.iter().map(|f| doc.single(tau, f)).collect();
+            let mut seen: FastHashMap<Vec<Sym>, NodeId> = FastHashMap::default();
+            for (pos, &x) in ext.iter().enumerate() {
+                let Some(t) = cols
+                    .iter()
+                    .map(|col| col[pos])
+                    .collect::<Option<Vec<Sym>>>()
+                else {
+                    continue; // undefined tuples cannot witness equality
+                };
+                match seen.get(&t) {
+                    Some(&prev) => out.push(Violation::Key {
+                        constraint: cname.get(),
+                        a: prev,
+                        b: x,
+                        value: doc.join(&t),
+                    }),
+                    None => {
+                        seen.insert(t, x);
+                    }
+                }
+            }
+        }
+        Constraint::ForeignKey {
+            tau,
+            fields,
+            target,
+            target_fields,
+        } => {
+            let ext = idx.ext(tau);
+            if let ([field], [target_field]) = (fields.as_slice(), target_fields.as_slice()) {
+                // Unary FK: target membership is a symbol bitset probe.
+                let mut targets = SymSet::new(doc.sym_count());
+                for sym in doc.single(target, target_field).iter().flatten() {
+                    targets.insert(*sym);
+                }
+                let col = doc.single(tau, field);
+                for chunk in chunked(inner, ext.len(), |range| {
+                    let cname = CName::new(c);
+                    let mut v = Vec::new();
+                    for pos in range {
+                        match col[pos] {
+                            Some(sym) => {
+                                if !targets.contains(sym) {
+                                    v.push(Violation::ForeignKey {
+                                        constraint: cname.get(),
+                                        node: ext[pos],
+                                        value: doc.resolve(sym).to_string(),
+                                    });
+                                }
+                            }
+                            None => v.push(Violation::MissingField {
+                                constraint: cname.get(),
+                                node: ext[pos],
+                                field: field.to_string(),
+                            }),
+                        }
+                    }
+                    v
+                }) {
+                    out.extend(chunk);
+                }
+                return;
+            }
+            let target_cols: Vec<&[Option<Sym>]> = target_fields
+                .iter()
+                .map(|f| doc.single(target, f))
+                .collect();
+            let targets: FastHashSet<Vec<Sym>> = (0..idx.ext(target).len())
+                .filter_map(|pos| {
+                    target_cols
+                        .iter()
+                        .map(|col| col[pos])
+                        .collect::<Option<Vec<Sym>>>()
+                })
+                .collect();
+            let cols: Vec<&[Option<Sym>]> = fields.iter().map(|f| doc.single(tau, f)).collect();
+            for chunk in chunked(inner, ext.len(), |range| {
+                let cname = CName::new(c);
+                let mut v = Vec::new();
+                for pos in range {
+                    match cols
+                        .iter()
+                        .map(|col| col[pos])
+                        .collect::<Option<Vec<Sym>>>()
+                    {
+                        Some(t) => {
+                            if !targets.contains(&t) {
+                                v.push(Violation::ForeignKey {
+                                    constraint: cname.get(),
+                                    node: ext[pos],
+                                    value: doc.join(&t),
+                                });
+                            }
+                        }
+                        None => v.push(Violation::MissingField {
+                            constraint: cname.get(),
+                            node: ext[pos],
+                            field: fields
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        }),
+                    }
+                }
+                v
+            }) {
+                out.extend(chunk);
+            }
+        }
+        Constraint::SetForeignKey {
+            tau,
+            attr,
+            target,
+            target_field,
+        } => {
+            let mut targets = SymSet::new(doc.sym_count());
+            for sym in doc.single(target, target_field).iter().flatten() {
+                targets.insert(*sym);
+            }
+            scan_set_fk(idx, doc, c, tau, attr, &targets, inner, out);
+        }
+        Constraint::InverseU {
+            tau,
+            key,
+            attr,
+            target,
+            target_key,
+            target_attr,
+        } => {
+            check_inverse_planned(
+                idx,
+                doc,
+                c,
+                tau,
+                key,
+                attr,
+                target,
+                target_key,
+                target_attr,
+                inner,
+                out,
+            );
+            check_inverse_planned(
+                idx,
+                doc,
+                c,
+                target,
+                target_key,
+                target_attr,
+                tau,
+                key,
+                attr,
+                inner,
+                out,
+            );
+        }
+        Constraint::Id { tau } => {
+            let Some(id_attr) = s.id_attr(tau) else {
+                return; // rejected at well-formedness; nothing to check
+            };
+            let col = doc.single(tau, &Field::Attr(id_attr.clone()));
+            let ext = idx.ext(tau);
+            for chunk in chunked(inner, ext.len(), |range| {
+                let cname = CName::new(c);
+                let mut v = Vec::new();
+                for pos in range {
+                    let x = ext[pos];
+                    match col[pos] {
+                        None => v.push(Violation::MissingField {
+                            constraint: cname.get(),
+                            node: x,
+                            field: format!("@{id_attr}"),
+                        }),
+                        Some(value) => {
+                            for &y in doc.global_ids.get(&value).into_iter().flatten() {
+                                if y != x {
+                                    v.push(Violation::DuplicateId {
+                                        constraint: cname.get(),
+                                        a: x,
+                                        b: y,
+                                        value: doc.resolve(value).to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                v
+            }) {
+                out.extend(chunk);
+            }
+        }
+        Constraint::FkToId { tau, attr, target } => {
+            let targets = doc.ids_of(s, target);
+            let col = doc.single(tau, &Field::Attr(attr.clone()));
+            let ext = idx.ext(tau);
+            for chunk in chunked(inner, ext.len(), |range| {
+                let cname = CName::new(c);
+                let mut v = Vec::new();
+                for pos in range {
+                    let Some(value) = col[pos] else {
+                        continue;
+                    };
+                    if !targets.contains(value) {
+                        v.push(Violation::ForeignKey {
+                            constraint: cname.get(),
+                            node: ext[pos],
+                            value: doc.resolve(value).to_string(),
+                        });
+                    }
+                }
+                v
+            }) {
+                out.extend(chunk);
+            }
+        }
+        Constraint::SetFkToId { tau, attr, target } => {
+            let targets = doc.ids_of(s, target);
+            scan_set_fk(idx, doc, c, tau, attr, &targets, inner, out);
+        }
+        Constraint::InverseId {
+            tau,
+            attr,
+            target,
+            target_attr,
+        } => {
+            let (Some(id_tau), Some(id_target)) = (s.id_attr(tau), s.id_attr(target)) else {
+                return; // rejected at well-formedness
+            };
+            // Reference typing first (τ.l ⊆_S τ'.id and τ'.l' ⊆_S τ.id),
+            // then both inverse directions — the exact sequential order.
+            for (src, src_attr, dst) in [(tau, attr, target), (target, target_attr, tau)] {
+                let targets = doc.ids_of(s, dst);
+                scan_set_fk(idx, doc, c, src, src_attr, &targets, inner, out);
+            }
+            let key_tau = Field::Attr(id_tau.clone());
+            let key_target = Field::Attr(id_target.clone());
+            check_inverse_planned(
+                idx,
+                doc,
+                c,
+                tau,
+                &key_tau,
+                attr,
+                target,
+                &key_target,
+                target_attr,
+                inner,
+                out,
+            );
+            check_inverse_planned(
+                idx,
+                doc,
+                c,
+                target,
+                &key_target,
+                target_attr,
+                tau,
+                &key_tau,
+                attr,
+                inner,
+                out,
+            );
+        }
+    }
+}
+
+/// The shared scan of set-valued FK variants: every member of `ext(τ).attr`
+/// must appear in `targets`.
+#[allow(clippy::too_many_arguments)]
+fn scan_set_fk(
+    idx: &ExtIndex,
+    doc: &DocIndex,
+    c: &Constraint,
+    tau: &Name,
+    attr: &Name,
+    targets: &SymSet,
+    inner: usize,
+    out: &mut Vec<Violation>,
+) {
+    let col = doc.set(tau, attr);
+    let ext = idx.ext(tau);
+    for chunk in chunked(inner, ext.len(), |range| {
+        let cname = CName::new(c);
+        let mut v = Vec::new();
+        for pos in range {
+            for &value in &col[pos] {
+                if !targets.contains(value) {
+                    v.push(Violation::ForeignKey {
+                        constraint: cname.get(),
+                        node: ext[pos],
+                        value: doc.resolve(value).to_string(),
+                    });
+                }
+            }
+        }
+        v
+    }) {
+        out.extend(chunk);
+    }
+}
+
+/// One direction of an inverse constraint over the columns:
+/// `∀x ∈ ext(τ) ∀y ∈ ext(τ') (x.key ∈ y.attr' → y.key' ∈ x.attr)`.
+///
+/// `ext(τ)` is indexed on the key sequentially (doc order matters for the
+/// violation sequence); the `ext(τ')` scan is per-`y` independent and
+/// splits across chunks.
+#[allow(clippy::too_many_arguments)]
+fn check_inverse_planned(
+    idx: &ExtIndex,
+    doc: &DocIndex,
+    c: &Constraint,
+    tau: &Name,
+    key: &Field,
+    attr: &Name,
+    target: &Name,
+    target_key: &Field,
+    target_attr: &Name,
+    inner: usize,
+    out: &mut Vec<Violation>,
+) {
+    let key_col = doc.single(tau, key);
+    let ext_tau = idx.ext(tau);
+    let mut by_key: FastHashMap<Sym, Vec<usize>> = FastHashMap::default();
+    for (pos, sym) in key_col.iter().enumerate() {
+        if let Some(sym) = sym {
+            by_key.entry(*sym).or_default().push(pos);
+        }
+    }
+    let echo_col = doc.set(tau, attr);
+    let target_key_col = doc.single(target, target_key);
+    let target_attr_col = doc.set(target, target_attr);
+    let ext_target = idx.ext(target);
+    for chunk in chunked(inner, ext_target.len(), |range| {
+        let cname = CName::new(c);
+        let mut v = Vec::new();
+        for ypos in range {
+            let Some(yk) = target_key_col[ypos] else {
+                continue;
+            };
+            for value in &target_attr_col[ypos] {
+                for &xpos in by_key.get(value).into_iter().flatten() {
+                    // x.key ∈ y.target_attr holds; require
+                    // y.target_key ∈ x.attr.
+                    if !echo_col[xpos].contains(&yk) {
+                        v.push(Violation::Inverse {
+                            constraint: cname.get(),
+                            from: ext_target[ypos],
+                            to: ext_tau[xpos],
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }) {
+        out.extend(chunk);
+    }
+}

@@ -6,7 +6,7 @@ use xic_constraints::{AttrType, DtdC};
 use xic_model::{Child, DataTree, ExtIndex, Name};
 use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
 
-use crate::constraints::check_all;
+use crate::plan::{check_all_planned, Plan};
 use crate::report::{Report, Violation};
 
 /// Which content-model matcher the validator uses (ablation E10b).
@@ -29,12 +29,20 @@ pub struct Options {
     /// attributes are tolerated (XML's `#IMPLIED` convention); undeclared
     /// attributes are always rejected.
     pub strict_attributes: bool,
+    /// Worker threads for constraint checking: `1` (default) runs the
+    /// sequential engine — the semantic ground truth — while `n > 1` fans
+    /// checks out across constraints and splits large extents, producing
+    /// byte-identical reports. `0` selects the machine's available
+    /// parallelism. Without the `parallel` cargo feature (default-on),
+    /// checking is always sequential.
+    pub threads: usize,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Options {
             strict_attributes: true,
+            threads: 1,
         }
     }
 }
@@ -44,7 +52,14 @@ impl Options {
     pub fn lenient() -> Self {
         Options {
             strict_attributes: false,
+            ..Options::default()
         }
+    }
+
+    /// These options with the given constraint-checking thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -72,6 +87,7 @@ impl CompiledMatcher {
 pub struct Validator<'a> {
     dtdc: &'a DtdC,
     matchers: HashMap<Name, CompiledMatcher>,
+    plan: Plan,
     options: Options,
 }
 
@@ -99,6 +115,7 @@ impl<'a> Validator<'a> {
         Validator {
             dtdc,
             matchers,
+            plan: Plan::build(dtdc),
             options,
         }
     }
@@ -108,13 +125,61 @@ impl<'a> Validator<'a> {
         self.dtdc
     }
 
+    /// Number of `(element type, field)` columns the compiled plan
+    /// extracts per document — a measure of how much extraction work Σ's
+    /// constraints share.
+    pub fn plan_columns(&self) -> usize {
+        self.plan.column_count()
+    }
+
+    /// The constraint-checking thread count after resolving `threads == 0`
+    /// to the machine's available parallelism (and clamping to `1` when
+    /// the `parallel` feature is disabled).
+    pub fn effective_threads(&self) -> usize {
+        if !cfg!(feature = "parallel") {
+            return 1;
+        }
+        match self.options.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Validates one data tree: structural checks (Definition 2.4, clauses
-    /// 1–3) followed by constraint satisfaction (`G ⊨ Σ`).
+    /// 1–3) followed by constraint satisfaction (`G ⊨ Σ`) on the compiled
+    /// plan.
     pub fn validate(&self, tree: &DataTree) -> Report {
         let mut violations = Vec::new();
         self.check_structure(tree, &mut violations);
         let idx = ExtIndex::build(tree);
-        check_all(tree, &idx, self.dtdc, &mut violations);
+        check_all_planned(
+            tree,
+            &idx,
+            self.dtdc,
+            &self.plan,
+            self.effective_threads(),
+            &mut violations,
+        );
+        Report { violations }
+    }
+
+    /// Runs only the constraint half (`G ⊨ Σ`, clause 4 of Definition
+    /// 2.4) on the compiled plan. This is the compiled counterpart of
+    /// looping [`crate::check_constraint`] over `Σ` — same violations, same
+    /// order — and the entry point E11 benchmarks.
+    pub fn validate_constraints(&self, tree: &DataTree) -> Report {
+        let mut violations = Vec::new();
+        let idx = ExtIndex::build(tree);
+        check_all_planned(
+            tree,
+            &idx,
+            self.dtdc,
+            &self.plan,
+            self.effective_threads(),
+            &mut violations,
+        );
         Report { violations }
     }
 
@@ -267,10 +332,12 @@ mod tests {
         b.attr(r, "to", AttrValue::set(["x"])).unwrap();
         let t = b.finish(book).unwrap();
         let rep = Validator::new(&d).validate(&t);
-        assert!(rep
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::ContentModel { .. })), "{rep}");
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| matches!(v, Violation::ContentModel { .. })),
+            "{rep}"
+        );
     }
 
     #[test]
@@ -312,9 +379,8 @@ mod tests {
             .iter()
             .any(|v| matches!(v, Violation::MissingAttribute { .. })));
 
-        let lenient =
-            Validator::with_matcher(&d, MatcherKind::Dfa, Options::lenient())
-                .validate_structure(&t);
+        let lenient = Validator::with_matcher(&d, MatcherKind::Dfa, Options::lenient())
+            .validate_structure(&t);
         assert!(!lenient
             .violations
             .iter()
@@ -339,10 +405,12 @@ mod tests {
         b.attr(r, "to", AttrValue::set(["a"])).unwrap();
         let t = b.finish(book).unwrap();
         let rep = Validator::new(&d).validate_structure(&t);
-        assert!(rep
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::NotSingleton { len: 2, .. })), "{rep}");
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| matches!(v, Violation::NotSingleton { len: 2, .. })),
+            "{rep}"
+        );
     }
 
     #[test]
@@ -350,17 +418,23 @@ mod tests {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
         let d = structure_only_dtdc();
-        let validators: Vec<Validator<'_>> = [
-            MatcherKind::Dfa,
-            MatcherKind::Nfa,
-            MatcherKind::Derivative,
-        ]
-        .into_iter()
-        .map(|k| Validator::with_matcher(&d, k, Options::lenient()))
-        .collect();
+        let validators: Vec<Validator<'_>> =
+            [MatcherKind::Dfa, MatcherKind::Nfa, MatcherKind::Derivative]
+                .into_iter()
+                .map(|k| Validator::with_matcher(&d, k, Options::lenient()))
+                .collect();
         let mut rng = SmallRng::seed_from_u64(99);
         // Random (often invalid) trees over the book alphabet.
-        let labels = ["book", "entry", "title", "publisher", "author", "section", "text", "ref"];
+        let labels = [
+            "book",
+            "entry",
+            "title",
+            "publisher",
+            "author",
+            "section",
+            "text",
+            "ref",
+        ];
         for _ in 0..60 {
             let mut b = TreeBuilder::new();
             let root = b.node(labels[rng.gen_range(0..labels.len())]);
@@ -377,8 +451,10 @@ mod tests {
                 }
             }
             let t = b.finish(root).unwrap();
-            let reports: Vec<Report> =
-                validators.iter().map(|v| v.validate_structure(&t)).collect();
+            let reports: Vec<Report> = validators
+                .iter()
+                .map(|v| v.validate_structure(&t))
+                .collect();
             for r in &reports[1..] {
                 assert_eq!(
                     r.violations.len(),

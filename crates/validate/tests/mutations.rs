@@ -20,7 +20,8 @@ fn book(n_sections: usize, n_refs: usize) -> DataTree {
     b.leaf(book, "author", "A").unwrap();
     for i in 0..n_sections {
         let s = b.child_node(book, "section").unwrap();
-        b.attr(s, "sid", AttrValue::single(format!("s{i}"))).unwrap();
+        b.attr(s, "sid", AttrValue::single(format!("s{i}")))
+            .unwrap();
         b.leaf(s, "title", format!("S{i}")).unwrap();
     }
     let r = b.child_node(book, "ref").unwrap();
@@ -166,7 +167,8 @@ fn structural_mutations_detected() {
     let mut b = TreeBuilder::new();
     let book = b.node("book");
     let r = b.child_node(book, "ref").unwrap();
-    b.attr(r, "to", AttrValue::set(Vec::<String>::new())).unwrap();
+    b.attr(r, "to", AttrValue::set(Vec::<String>::new()))
+        .unwrap();
     let t = b.finish(book).unwrap();
     let ks = kinds(&d, &t);
     assert!(ks.contains(&"content"), "{ks:?}");

@@ -77,7 +77,10 @@ pub(crate) fn parse_dtd_declarations(
             let spec = parse_content_spec(&mut cur).map_err(|e| shift(e, base_offset))?;
             cur.skip_ws();
             if !cur.eat(">") {
-                return Err(shift(cur.err::<()>("expected '>'").unwrap_err(), base_offset));
+                return Err(shift(
+                    cur.err::<()>("expected '>'").unwrap_err(),
+                    base_offset,
+                ));
             }
             elems.push((name, spec));
         } else if cur.eat("<!ATTLIST") {
@@ -98,7 +101,10 @@ pub(crate) fn parse_dtd_declarations(
         } else if cur.eat("<!ENTITY") || cur.eat("<!NOTATION") {
             // Skipped: out of the paper's scope.
             let Some(end) = cur.rest().find('>') else {
-                return Err(XmlError::new("unterminated declaration", base_offset + cur.pos));
+                return Err(XmlError::new(
+                    "unterminated declaration",
+                    base_offset + cur.pos,
+                ));
             };
             cur.pos += end + 1;
         } else {
@@ -363,11 +369,7 @@ mod tests {
 
     #[test]
     fn any_expands_over_all_types() {
-        let dtd = parse_dtd(
-            "<!ELEMENT a ANY> <!ELEMENT b EMPTY>",
-            "a",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT a ANY> <!ELEMENT b EMPTY>", "a").unwrap();
         let m = dtd.content_model("a").unwrap();
         use xic_regex::Symbol;
         // ANY accepts any mix of declared elements and text.
@@ -411,9 +413,9 @@ mod tests {
     #[test]
     fn rejects_bad_dtds() {
         for src in [
-            "<!ELEMENT a (b)>",                 // undeclared b
+            "<!ELEMENT a (b)>",                                 // undeclared b
             "<!ELEMENT a EMPTY> <!ATTLIST b x CDATA #IMPLIED>", // attlist on unknown
-            "<!ELEMENT a (#PCDATA | b)>",       // mixed without *
+            "<!ELEMENT a (#PCDATA | b)>",                       // mixed without *
             "<!ELEMENT a >",
             "<!GARBAGE>",
             "<!ELEMENT a EMPTY> <!ATTLIST a x ID #REQUIRED y ID #REQUIRED>", // two IDs

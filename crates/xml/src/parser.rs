@@ -27,7 +27,11 @@ impl XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -100,7 +104,8 @@ impl<'a> Cursor<'a> {
             }
             _ => return self.err("expected a name"),
         }
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')) {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+        {
             self.bump();
         }
         Ok(&self.src[start..self.pos])
@@ -264,9 +269,7 @@ fn parse_doctype(cur: &mut Cursor<'_>) -> Result<DtdStructure, XmlError> {
     parse_dtd_declarations(subset, &root, subset_start)
 }
 
-fn parse_attr_value(
-    cur: &mut Cursor<'_>,
-) -> Result<String, XmlError> {
+fn parse_attr_value(cur: &mut Cursor<'_>) -> Result<String, XmlError> {
     cur.skip_ws();
     let quote = match cur.bump() {
         Some(q @ ('"' | '\'')) => q,
@@ -322,9 +325,8 @@ fn parse_element(
                 } else {
                     AttrValue::single(value)
                 };
-                b.attr(node, aname.as_str(), av).map_err(|e| {
-                    XmlError::new(format!("attribute error: {e}"), attr_pos)
-                })?;
+                b.attr(node, aname.as_str(), av)
+                    .map_err(|e| XmlError::new(format!("attribute error: {e}"), attr_pos))?;
             }
             _ => return cur.err("expected attribute or '>'"),
         }
@@ -371,7 +373,9 @@ fn parse_element(
             cur.eat("</");
             let close = cur.name()?;
             if close != name {
-                return cur.err(format!("mismatched end tag: expected </{name}>, got </{close}>"));
+                return cur.err(format!(
+                    "mismatched end tag: expected </{name}>, got </{close}>"
+                ));
             }
             cur.skip_ws();
             if !cur.eat(">") {

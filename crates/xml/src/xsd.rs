@@ -59,9 +59,7 @@ fn emit_identity(
     tau: &Name,
     fields: &[Field],
 ) {
-    let refer_attr = refer
-        .map(|r| format!(" refer=\"{r}\""))
-        .unwrap_or_default();
+    let refer_attr = refer.map(|r| format!(" refer=\"{r}\"")).unwrap_or_default();
     let _ = writeln!(out, "<xs:{kind} name=\"{name}\"{refer_attr}>");
     let _ = writeln!(out, "  <xs:selector xpath=\".//{tau}\"/>");
     for f in fields {
@@ -84,9 +82,9 @@ pub fn constraints_to_xsd(dtdc: &DtdC) -> XsdExport {
     let mut emitted_keys: Vec<(Name, Vec<Field>)> = Vec::new();
 
     let ensure_key = |xml: &mut String,
-                          emitted: &mut Vec<(Name, Vec<Field>)>,
-                          tau: &Name,
-                          fields: &[Field]|
+                      emitted: &mut Vec<(Name, Vec<Field>)>,
+                      tau: &Name,
+                      fields: &[Field]|
      -> String {
         let name = key_name(tau, fields);
         if !emitted.iter().any(|(t, fs)| t == tau && fs == fields) {
@@ -103,16 +101,8 @@ pub fn constraints_to_xsd(dtdc: &DtdC) -> XsdExport {
                 ensure_key(&mut xml, &mut emitted_keys, tau, fields);
             }
             Constraint::Id { tau } => {
-                let id_attr = s
-                    .id_attr(tau)
-                    .cloned()
-                    .unwrap_or_else(|| Name::new("id"));
-                ensure_key(
-                    &mut xml,
-                    &mut emitted_keys,
-                    tau,
-                    &[Field::Attr(id_attr)],
-                );
+                let id_attr = s.id_attr(tau).cloned().unwrap_or_else(|| Name::new("id"));
+                ensure_key(&mut xml, &mut emitted_keys, tau, &[Field::Attr(id_attr)]);
             }
             _ => {}
         }
@@ -136,12 +126,8 @@ pub fn constraints_to_xsd(dtdc: &DtdC) -> XsdExport {
                     .id_attr(target)
                     .cloned()
                     .unwrap_or_else(|| Name::new("id"));
-                let refer = ensure_key(
-                    &mut xml,
-                    &mut emitted_keys,
-                    target,
-                    &[Field::Attr(id_attr)],
-                );
+                let refer =
+                    ensure_key(&mut xml, &mut emitted_keys, target, &[Field::Attr(id_attr)]);
                 let name = format!("ref_{tau}_{attr}");
                 emit_identity(
                     &mut xml,
@@ -178,48 +164,50 @@ pub fn xsd_to_constraints(
     let mut keys: Vec<(String, Name, Vec<Field>)> = Vec::new(); // (name, τ, fields)
     let mut out = Vec::new();
 
-    let parse_decl = |id: xic_model::NodeId| -> Result<(String, Option<String>, Name, Vec<Field>), XmlError> {
-        let node = tree.node(id);
-        let name = node
-            .attr("name")
-            .and_then(|v| v.as_single())
-            .cloned()
-            .ok_or_else(|| XmlError::new("identity constraint without name", 0))?;
-        let refer = node.attr("refer").and_then(|v| v.as_single()).cloned();
-        let mut tau: Option<Name> = None;
-        let mut fields = Vec::new();
-        for c in node.child_nodes() {
-            let child = tree.node(c);
-            match child.label.as_str() {
-                "xs:selector" => {
-                    let xpath = child
-                        .attr("xpath")
-                        .and_then(|v| v.as_single())
-                        .cloned()
-                        .unwrap_or_default();
-                    let t = xpath
-                        .trim_start_matches('.')
-                        .trim_start_matches('/')
-                        .trim_start_matches('/');
-                    tau = Some(Name::new(t));
+    let parse_decl =
+        |id: xic_model::NodeId| -> Result<(String, Option<String>, Name, Vec<Field>), XmlError> {
+            let node = tree.node(id);
+            let name = node
+                .attr("name")
+                .and_then(|v| v.as_single())
+                .cloned()
+                .ok_or_else(|| XmlError::new("identity constraint without name", 0))?;
+            let refer = node.attr("refer").and_then(|v| v.as_single()).cloned();
+            let mut tau: Option<Name> = None;
+            let mut fields = Vec::new();
+            for c in node.child_nodes() {
+                let child = tree.node(c);
+                match child.label.as_str() {
+                    "xs:selector" => {
+                        let xpath = child
+                            .attr("xpath")
+                            .and_then(|v| v.as_single())
+                            .cloned()
+                            .unwrap_or_default();
+                        let t = xpath
+                            .trim_start_matches('.')
+                            .trim_start_matches('/')
+                            .trim_start_matches('/');
+                        tau = Some(Name::new(t));
+                    }
+                    "xs:field" => {
+                        let xpath = child
+                            .attr("xpath")
+                            .and_then(|v| v.as_single())
+                            .cloned()
+                            .unwrap_or_default();
+                        fields.push(match xpath.strip_prefix('@') {
+                            Some(a) => Field::attr(a),
+                            None => Field::sub(xpath.as_str()),
+                        });
+                    }
+                    _ => {}
                 }
-                "xs:field" => {
-                    let xpath = child
-                        .attr("xpath")
-                        .and_then(|v| v.as_single())
-                        .cloned()
-                        .unwrap_or_default();
-                    fields.push(match xpath.strip_prefix('@') {
-                        Some(a) => Field::attr(a),
-                        None => Field::sub(xpath.as_str()),
-                    });
-                }
-                _ => {}
             }
-        }
-        let tau = tau.ok_or_else(|| XmlError::new("identity constraint without selector", 0))?;
-        Ok((name, refer, tau, fields))
-    };
+            let tau =
+                tau.ok_or_else(|| XmlError::new("identity constraint without selector", 0))?;
+            Ok((name, refer, tau, fields))
+        };
 
     // Keys first.
     for id in tree.node_ids() {
@@ -240,8 +228,7 @@ pub fn xsd_to_constraints(
     for id in tree.node_ids() {
         if tree.label(id).as_str() == "xs:keyref" {
             let (_, refer, tau, fields) = parse_decl(id)?;
-            let refer = refer
-                .ok_or_else(|| XmlError::new("xs:keyref without refer", 0))?;
+            let refer = refer.ok_or_else(|| XmlError::new("xs:keyref without refer", 0))?;
             let (_, target, target_fields) = keys
                 .iter()
                 .find(|(n, _, _)| *n == refer)

@@ -71,11 +71,7 @@ fn trees_equal(a: &DataTree, b: &DataTree) -> bool {
         }
         let ca: Vec<_> = na.child_nodes().collect();
         let cb: Vec<_> = nb.child_nodes().collect();
-        ca.len() == cb.len()
-            && ca
-                .iter()
-                .zip(&cb)
-                .all(|(&x2, &y2)| node_eq(a, x2, b, y2))
+        ca.len() == cb.len() && ca.iter().zip(&cb).all(|(&x2, &y2)| node_eq(a, x2, b, y2))
     }
     node_eq(a, a.root(), b, b.root())
 }

@@ -40,7 +40,9 @@ fn main() {
             attr: "in_dept".into(),
             target: "dept".into(),
         },
-        Constraint::Id { tau: "person".into() },
+        Constraint::Id {
+            tau: "person".into(),
+        },
         Constraint::unary_key("person", "oid"),
         Constraint::unary_key("person", "address"),
     ];

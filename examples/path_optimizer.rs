@@ -22,9 +22,9 @@ fn main() {
     for p in [
         "person",
         "person.name",
-        "dept.manager",          // dereferences to person
-        "dept.manager.name",     // …then into its name
-        "person.in_dept.dname",  // set-valued dereference
+        "dept.manager",                   // dereferences to person
+        "dept.manager.name",              // …then into its name
+        "person.in_dept.dname",           // set-valued dereference
         "dept.manager.in_dept.has_staff", // chains of references
         "person.bogus",
     ] {
@@ -37,17 +37,13 @@ fn main() {
 
     heading("Path functional constraints (Prop 4.1)");
     let fd_queries = [
-        ("person", "name", "address"),   // name is a key: determines address
-        ("person", "address", "name"),   // address is no key
-        ("dept", "dname", "manager"),    // dname is a key of dept
-        ("dept", "manager", "dname"),    // manager is not a key
+        ("person", "name", "address"), // name is a key: determines address
+        ("person", "address", "name"), // address is no key
+        ("dept", "dname", "manager"),  // dname is a key of dept
+        ("dept", "manager", "dname"),  // manager is not a key
     ];
     for (tau, rho, varrho) in fd_queries {
-        let implied = solver.functional_implied(
-            &tau.into(),
-            &Path::from(rho),
-            &Path::from(varrho),
-        );
+        let implied = solver.functional_implied(&tau.into(), &Path::from(rho), &Path::from(varrho));
         println!("Σ ⊨ {tau}.{rho} -> {tau}.{varrho} ?  {implied}");
     }
 
@@ -92,13 +88,7 @@ fn main() {
     let idx = ExtIndex::build(&tree);
     for (t1, r1, t2, r2) in inc_queries {
         let lhs = ext_of_path(&solver, &tree, &idx, &t1.into(), &Path::from(r1));
-        let rhs = ext_of_path(
-            &solver,
-            &tree,
-            &idx,
-            &t2.into(),
-            &Path::parse(r2).unwrap(),
-        );
+        let rhs = ext_of_path(&solver, &tree, &idx, &t2.into(), &Path::parse(r2).unwrap());
         let holds = lhs.is_subset(&rhs);
         let implied = solver.inclusion_implied(
             &t1.into(),

@@ -73,7 +73,10 @@ fn main() {
     heading("Content-model containment (product automaton)");
     let old = ContentModel::parse("(entry, author, ref)").unwrap();
     let new = ContentModel::parse("(entry, author, author*, section*, ref)").unwrap();
-    println!("L((entry, author, ref)) ⊆ L({new}) ?  {}", new.contains(&old));
+    println!(
+        "L((entry, author, ref)) ⊆ L({new}) ?  {}",
+        new.contains(&old)
+    );
     println!("reverse containment ?  {}", old.contains(&new));
     assert!(new.contains(&old) && !old.contains(&new));
 

@@ -30,7 +30,15 @@ fn implied_inclusions_hold_on_generated_documents() {
     let schema = ObjSchema::person_dept();
     let dtdc = schema.to_dtdc();
     let solver = PathSolver::new(&dtdc);
-    let labels = ["person", "dept", "name", "dname", "manager", "in_dept", "has_staff"];
+    let labels = [
+        "person",
+        "dept",
+        "name",
+        "dname",
+        "manager",
+        "in_dept",
+        "has_staff",
+    ];
     let anchors: Vec<Name> = vec!["db".into(), "person".into(), "dept".into()];
 
     let mut rng = xic_integration_tests::rng(200);
@@ -69,7 +77,14 @@ fn implied_functionals_hold_on_generated_documents() {
     let schema = ObjSchema::person_dept();
     let dtdc = schema.to_dtdc();
     let solver = PathSolver::new(&dtdc);
-    let labels = ["name", "dname", "manager", "in_dept", "has_staff", "address"];
+    let labels = [
+        "name",
+        "dname",
+        "manager",
+        "in_dept",
+        "has_staff",
+        "address",
+    ];
     let anchors: Vec<Name> = vec!["person".into(), "dept".into()];
 
     let mut rng = xic_integration_tests::rng(201);
@@ -192,8 +207,17 @@ fn random_paths_never_panic() {
     let dtdc = xic::constraints::examples::company_dtdc();
     let solver = PathSolver::new(&dtdc);
     let labels = [
-        "db", "person", "dept", "name", "dname", "address", "manager", "in_dept", "has_staff",
-        "oid", "bogus",
+        "db",
+        "person",
+        "dept",
+        "name",
+        "dname",
+        "address",
+        "manager",
+        "in_dept",
+        "has_staff",
+        "oid",
+        "bogus",
     ];
     let mut rng = xic_integration_tests::rng(203);
     for _ in 0..300 {

@@ -51,11 +51,7 @@ fn corollary_3_7_chase_behaviour_on_relational_schemas() {
         Constraint::fk("order_items", ["oid"], "orders", ["oid"]),
         Constraint::fk("order_items", ["pid"], "products", ["pid"]),
     ];
-    let chase = Chase::new(
-        &sigma,
-        xic::implication::chase::ChaseLimits::default(),
-    )
-    .unwrap();
+    let chase = Chase::new(&sigma, xic::implication::chase::ChaseLimits::default()).unwrap();
     // Superkey of a key relation: implied.
     assert!(chase
         .implies(&Constraint::key("order_items", ["oid", "pid", "qty"]))
@@ -71,7 +67,12 @@ fn corollary_3_7_chase_behaviour_on_relational_schemas() {
     // columns do not compose: order_items.oid targets orders.oid, and
     // orders has no FK on oid) — the chase agrees.
     assert!(!chase
-        .implies(&Constraint::fk("order_items", ["oid"], "customers", ["cid"]))
+        .implies(&Constraint::fk(
+            "order_items",
+            ["oid"],
+            "customers",
+            ["cid"]
+        ))
         .is_implied());
 }
 

@@ -100,8 +100,8 @@ fn random_content_models_round_trip_and_agree() {
     for _ in 0..60 {
         let m = random_model(&mut rng, 4);
         let printed = m.to_string();
-        let again = ContentModel::parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        let again =
+            ContentModel::parse(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
         // The parser left-associates, so trees may differ structurally —
         // but printing is stable and the languages must coincide.
         assert_eq!(again.to_string(), printed);

@@ -101,9 +101,9 @@ fn lu_inverse_verdicts_match_small_oracle() {
             let fin = solver.implies(&phi, LuMode::Finite).unwrap();
             let cm = find_countermodel(&sigma, &phi, small_bounds());
             match (&fin, &cm) {
-                (Verdict::Implied(p), Some(m)) => panic!(
-                    "inverse claimed implied but refuted:\n{m}\nΣ = {sigma:?}\nproof:\n{p}"
-                ),
+                (Verdict::Implied(p), Some(m)) => {
+                    panic!("inverse claimed implied but refuted:\n{m}\nΣ = {sigma:?}\nproof:\n{p}")
+                }
                 (Verdict::Implied(p), None) => {
                     implied += 1;
                     p.verify(&sigma, None).unwrap();
@@ -125,11 +125,15 @@ fn lu_countermodels_from_solver_verify() {
         let sigma = random_lu_sigma(&mut rng, n_types, n_fks);
         let solver = LuSolver::new(&sigma).unwrap();
         for phi in lu_queries(n_types) {
-            if let Verdict::NotImplied(Some(m)) =
-                solver.implies(&phi, LuMode::Finite).unwrap()
-            {
-                assert!(m.satisfies_all(&sigma), "Σ fails on solver countermodel\n{m}");
-                assert!(!m.satisfies(&phi), "{phi} holds on solver countermodel\n{m}");
+            if let Verdict::NotImplied(Some(m)) = solver.implies(&phi, LuMode::Finite).unwrap() {
+                assert!(
+                    m.satisfies_all(&sigma),
+                    "Σ fails on solver countermodel\n{m}"
+                );
+                assert!(
+                    !m.satisfies(&phi),
+                    "{phi} holds on solver countermodel\n{m}"
+                );
                 checked += 1;
             }
         }
@@ -190,7 +194,9 @@ fn lid_solver_sound_against_oracle() {
         let mut sigma: Vec<Constraint> = Vec::new();
         for (i, t) in types.iter().enumerate() {
             if rng.gen_bool(0.7) {
-                sigma.push(Constraint::Id { tau: t.as_str().into() });
+                sigma.push(Constraint::Id {
+                    tau: t.as_str().into(),
+                });
             }
             if rng.gen_bool(0.5) {
                 let target = &types[rng.gen_range(0..n_types)];
@@ -206,7 +212,9 @@ fn lid_solver_sound_against_oracle() {
         let solver = LidSolver::new(&sigma, None);
         let mut queries: Vec<Constraint> = Vec::new();
         for t in &types {
-            queries.push(Constraint::Id { tau: t.as_str().into() });
+            queries.push(Constraint::Id {
+                tau: t.as_str().into(),
+            });
             queries.push(Constraint::unary_key(t.as_str(), "u"));
         }
         for phi in queries {
@@ -276,11 +284,7 @@ fn chase_agrees_with_lp_solver_on_primary_schemas() {
             }
         }
         let lp = LpSolver::new(&sigma).unwrap();
-        let chase = Chase::new(
-            &sigma,
-            xic::implication::chase::ChaseLimits::default(),
-        )
-        .unwrap();
+        let chase = Chase::new(&sigma, xic::implication::chase::ChaseLimits::default()).unwrap();
         for i in 0..n_rel {
             for j in 0..n_rel {
                 if i == j {

@@ -1,0 +1,727 @@
+//! Offline, dependency-free subset of the `proptest` 1.x API.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the property-testing surface its
+//! tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter` and
+//!   `prop_recursive`, plus [`BoxedStrategy`];
+//! * leaf strategies: [`Just`], [`any`], integer ranges, tuples of
+//!   strategies, and `&str` character-class patterns (`"[a-z0-9]{1,12}"`);
+//! * [`collection::vec`], [`option::of`] and the [`prop_oneof!`] union;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support and the
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] family.
+//!
+//! Semantics: each test function runs `cases` deterministic random cases
+//! (seeded from the test's module path, overridable via `PROPTEST_CASES`).
+//! There is **no shrinking** — a failing case reports the generated input
+//! verbatim instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test configuration, RNG, and failure plumbing.
+
+    use std::fmt;
+
+    /// Why a test case failed (or was rejected).
+    pub type Reason = String;
+
+    /// Failure raised by the `prop_assert!` family or by user code.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// A hard assertion failure.
+        Fail(Reason),
+        /// The generated input was rejected (counts against retries).
+        Reject(Reason),
+    }
+
+    impl TestCaseError {
+        /// A hard failure with the given reason.
+        pub fn fail(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection with the given reason.
+        pub fn reject(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Shorthand for a test-case body's result.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-`proptest!` configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Maximum rejected inputs tolerated per accepted one.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+
+        /// The case count after applying the `PROPTEST_CASES` env override.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from an arbitrary name (e.g. the test path).
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name, so each test gets its own stream.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// A float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// `true` with probability `p`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            self.unit_f64() < p
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait, combinators, and leaf strategies.
+
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike crates.io proptest there is no value tree and no shrinking:
+    /// a strategy is just a deterministic function of the [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.generate(rng))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            BoxedStrategy::new(move |rng| f(self.generate(rng)))
+        }
+
+        /// Discards generated values failing `pred`, retrying (bounded).
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            let reason = reason.into();
+            BoxedStrategy::new(move |rng| {
+                for _ in 0..1_000 {
+                    let v = self.generate(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter gave up after 1000 rejections: {reason}")
+            })
+        }
+
+        /// Builds recursive structures: `f` receives a strategy for the
+        /// recursive positions and returns the composite strategy; nesting
+        /// is capped at `depth` levels, below which only leaves occur.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let recursive = f(current).boxed();
+                let fallback = leaf.clone();
+                current = BoxedStrategy::new(move |rng| {
+                    if rng.chance(0.7) {
+                        recursive.generate(rng)
+                    } else {
+                        fallback.generate(rng)
+                    }
+                });
+            }
+            current
+        }
+    }
+
+    /// A cloneable, type-erased [`Strategy`].
+    pub struct BoxedStrategy<T> {
+        gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generation function.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { gen_fn: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen_fn: Rc::clone(&self.gen_fn),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// A strategy producing clones of one fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (backs [`prop_oneof!`]).
+    pub fn union<T: fmt::Debug + 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy::new(move |rng| {
+            let i = rng.below(arms.len() as u64) as usize;
+            arms[i].generate(rng)
+        })
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+    /// `&str` patterns act as string strategies for the character-class
+    /// shape `[class]{lo,hi}` (also `{n}`, `*`, `+`, or no repetition);
+    /// anything else generates the literal string.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_pattern(self) {
+                Some((chars, lo, hi)) => {
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+    fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if class[i] == '\\' && i + 1 < class.len() {
+                chars.push(class[i + 1]);
+                i += 2;
+            } else if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                for c in lo..=hi {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        let rep = &rest[close + 1..];
+        let (lo, hi) = match rep {
+            "" => (1, 1),
+            "*" => (0, 8),
+            "+" => (1, 8),
+            _ => {
+                let inner = rep.strip_prefix('{')?.strip_suffix('}')?;
+                match inner.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                    None => {
+                        let n = inner.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+        };
+        (lo <= hi).then_some((chars, lo, hi))
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind [`any`].
+
+    use crate::strategy::BoxedStrategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The canonical strategy for this type.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            BoxedStrategy::new(|rng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    BoxedStrategy::new(|rng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// Anything usable as a collection size specification.
+    pub trait IntoSizeRange {
+        /// Returns inclusive `(lo, hi)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    /// A strategy for vectors whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: fmt::Debug,
+    {
+        let (lo, hi) = size.bounds();
+        BoxedStrategy::new(move |rng| {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use std::fmt;
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: fmt::Debug,
+    {
+        BoxedStrategy::new(move |rng| rng.chance(0.75).then(|| inner.generate(rng)))
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`\n {}",
+            left,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)` is
+/// rewritten into a deterministic multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cases {
+                let values = ($($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+);
+                let described = format!("{values:?}");
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ($($pat,)+) = values;
+                    let case_body = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    case_body()
+                }));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {}/{} failed: {}\ninput: {}",
+                        case + 1, cases, e, described
+                    ),
+                    Err(panic_payload) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked\ninput: {}",
+                            case + 1, cases, described
+                        );
+                        ::std::panic::resume_unwind(panic_payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!{ config = $config; $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! Everything a property test needs, via `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_just_generate_in_bounds() {
+        let mut rng = TestRng::from_name("self-test");
+        let strat = (0usize..10, Just("x"), 5u8..=6);
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, "x");
+            assert!(c == 5 || c == 6);
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::from_name("patterns");
+        let strat = "[a-c0-1]{2,5}";
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| "abc01".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn collections_and_options_cover_sizes() {
+        let mut rng = TestRng::from_name("collections");
+        let strat = prop::collection::vec(0u8..4, 0..6);
+        let mut saw_empty = false;
+        let mut saw_full = false;
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 6);
+            saw_empty |= v.is_empty();
+            saw_full |= v.len() == 5;
+        }
+        assert!(saw_empty && saw_full);
+        let opt = prop::option::of(Just(1u8));
+        let somes = (0..500)
+            .filter(|_| opt.generate(&mut rng).is_some())
+            .count();
+        assert!((200..500).contains(&somes), "{somes}");
+    }
+
+    #[test]
+    fn recursion_terminates_and_mixes_depths() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = Just(T::Leaf).boxed();
+        let strat = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_name("recursion");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!(max_depth >= 2, "recursion never nested: {max_depth}");
+        assert!(max_depth <= 4, "depth cap exceeded: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_binds((a, b) in (0usize..8, 0usize..8), flip in any::<bool>()) {
+            prop_assert!(a < 8 && b < 8);
+            if flip && a == b {
+                prop_assert_eq!(a, b);
+            } else {
+                let _ = (a, b);
+            }
+        }
+    }
+}
