@@ -1,30 +1,126 @@
-//! Reproduces experiments E1–E11 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E12 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
-//! check with measured scaling, plus the compiled-engine study E11.
+//! check with measured scaling, plus the compiled-engine study E11 and the
+//! streaming-pipeline study E12.
 //!
 //! ```text
-//! cargo run --release -p xic-bench --bin experiments [e1 e5 e11 ...]
+//! cargo run --release -p xic-bench --bin experiments [--smoke] [e1 e5 e11 ...]
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e11`). E11 additionally writes `BENCH_validate.json`
-//! (validation throughput: per-constraint baseline vs compiled engine at
-//! 1/2/4 threads) to the current directory.
+//! (by id: `e1` … `e12`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12) to their smallest size so CI can run them as a
+//! fast correctness check. E11 and E12 additionally record their measured
+//! rows; when either runs, the merged baseline is written to
+//! `BENCH_validate.json` in the current directory.
 //!
 //! Output format: one section per experiment with the paper's claim, the
 //! correctness assertions (panics if any fails), and measured timing rows.
 //! Linear-time claims are validated by the growth ratio between successive
 //! problem-size doublings (≈2 for linear algorithms; constant-factor noise
 //! is expected at small sizes).
+//!
+//! The binary installs a counting global allocator so E12 can report peak
+//! heap above a baseline (the honest cost of each validation path, source
+//! text excluded) without any platform-specific RSS probing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use xic::implication::chase::ChaseLimits;
 use xic::implication::lu::Mode;
 use xic::prelude::*;
 use xic_bench::*;
 
+/// A [`System`](std::alloc::System) wrapper tracking live and peak heap
+/// bytes. Only the `experiments` binary installs it; the library crates
+/// stay `forbid(unsafe_code)`.
+mod mem {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct Counting;
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    // SAFETY: defers all allocation to `System`; the counters are
+    // bookkeeping only and never influence the returned pointers.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                if new_size >= layout.size() {
+                    let grow = new_size - layout.size();
+                    let live = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+                    PEAK.fetch_max(live, Ordering::Relaxed);
+                } else {
+                    CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+                }
+            }
+            p
+        }
+    }
+
+    /// Resets the peak to the current live count and returns that
+    /// baseline; [`peak_above`] then reports the high-water mark of a
+    /// subsequent region relative to it.
+    pub fn reset_peak() -> usize {
+        let live = CURRENT.load(Ordering::Relaxed);
+        PEAK.store(live, Ordering::Relaxed);
+        live
+    }
+
+    /// Peak heap bytes above `baseline` since the matching `reset_peak`.
+    pub fn peak_above(baseline: usize) -> usize {
+        PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+    }
+}
+
+#[global_allocator]
+static ALLOC: mem::Counting = mem::Counting;
+
+/// `--smoke`: clamp E11/E12 to their smallest document size (CI gate).
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// JSON fragments registered by experiments, merged into
+/// `BENCH_validate.json` by `main` (key, JSON object source).
+static SECTIONS: Mutex<Vec<(&'static str, String)>> = Mutex::new(Vec::new());
+
+fn register_section(key: &'static str, json: String) {
+    SECTIONS.lock().unwrap().push((key, json));
+}
+
+/// The document sizes E11/E12 sweep; `--smoke` keeps only the first.
+fn scaling_sizes() -> &'static [usize] {
+    if SMOKE.load(Ordering::Relaxed) {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    }
+}
+
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).collect();
-    let experiments: [(&str, fn()); 11] = [
+    let mut filters: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = filters.iter().position(|f| f == "--smoke") {
+        filters.remove(i);
+        SMOKE.store(true, Ordering::Relaxed);
+    }
+    let experiments: [(&str, fn()); 12] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -36,6 +132,7 @@ fn main() {
         ("e9", e9_fo2_figure1),
         ("e10", e10_validation),
         ("e11", e11_validate_engine),
+        ("e12", e12_stream_pipeline),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -51,6 +148,17 @@ fn main() {
             run();
             ran += 1;
         }
+    }
+    let sections = SECTIONS.lock().unwrap();
+    if !sections.is_empty() {
+        let body = sections
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!("{{\n{body}\n}}\n");
+        std::fs::write("BENCH_validate.json", &json).expect("write BENCH_validate.json");
+        println!("\nbaselines written to BENCH_validate.json");
     }
     println!("\n{ran} experiment(s) completed with every assertion passing.");
 }
@@ -452,7 +560,7 @@ fn e10_validation() {
 
 /// E11 — the compiled constraint engine: one-pass shared field extraction
 /// vs per-constraint re-extraction, and thread scaling on large extents.
-/// Emits `BENCH_validate.json` with the measured throughput baseline.
+/// Registers its rows for `BENCH_validate.json`.
 fn e11_validate_engine() {
     heading(
         "E11 (engine)",
@@ -460,7 +568,7 @@ fn e11_validate_engine() {
     );
     let thread_counts = [1usize, 2, 4];
     let mut json_rows: Vec<String> = Vec::new();
-    for n in [10_000usize, 100_000, 1_000_000] {
+    for &n in scaling_sizes() {
         let (dtdc, tree) = constraint_heavy_workload(n, 101);
         let nodes = tree.len();
         let reps = if n >= 1_000_000 { 3 } else { 5 };
@@ -515,10 +623,113 @@ fn e11_validate_engine() {
             nodes as f64 / t_naive
         ));
     }
-    let json = format!(
-        "{{\n  \"experiment\": \"e11_validate_engine\",\n  \"workload\": \"constraint_heavy_workload (supplier/part/order, 10 shared-field L_u constraints, seed 101)\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+    register_section(
+        "e11_validate_engine",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload (supplier/part/order, 10 shared-field L_u constraints, seed 101)\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_rows.join(",\n")
+        ),
     );
-    std::fs::write("BENCH_validate.json", &json).expect("write BENCH_validate.json");
-    println!("  baseline written to BENCH_validate.json");
+}
+
+/// E12 — the streaming validation pipeline: `validate_stream` (one
+/// bounded-memory pass over the source text, with an optional lexer
+/// thread) against parse-then-validate, on the E11 workload serialized to
+/// XML. Measures wall time and — via the counting allocator — peak heap
+/// above the source text, and asserts the streaming path's memory
+/// advantage at the largest size. Registers its rows for
+/// `BENCH_validate.json`.
+fn e12_stream_pipeline() {
+    heading(
+        "E12 (stream)",
+        "streaming fused pass vs parse-then-validate: equal reports, bounded memory",
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in scaling_sizes() {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let src = format!(
+            "<!DOCTYPE db [\n{}]>\n{}",
+            serialize_dtd(dtdc.structure()),
+            serialize_document(&tree)
+        );
+        drop(tree);
+        let reps = if n >= 1_000_000 { 2 } else { 3 };
+
+        // Tree path: parse into a DataTree, then validate it.
+        let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default());
+        let base = mem::reset_peak();
+        let tree_report = {
+            let doc = parse_document(&src).unwrap();
+            v.validate(&doc.tree)
+        };
+        let tree_peak = mem::peak_above(base);
+        let t_tree = time_min(reps, || {
+            let doc = parse_document(&src).unwrap();
+            assert!(v.validate(&doc.tree).is_valid());
+        });
+
+        // Streaming path, sequential and pipelined.
+        let mut stream_json: Vec<String> = Vec::new();
+        let mut stream_peak_t1 = 0usize;
+        for threads in [1usize, 2] {
+            let v = Validator::with_matcher(
+                &dtdc,
+                MatcherKind::Dfa,
+                Options::default().with_threads(threads),
+            );
+            let base = mem::reset_peak();
+            let stream_report = v.validate_stream(&src).unwrap();
+            let peak = mem::peak_above(base);
+            assert_eq!(
+                tree_report.violations, stream_report.violations,
+                "stream/tree divergence at n={n} t={threads}"
+            );
+            let t = time_min(reps, || {
+                assert!(v.validate_stream(&src).unwrap().is_valid());
+            });
+            if threads == 1 {
+                stream_peak_t1 = peak;
+            }
+            println!(
+                "  nodes = {nodes:8}  stream t={threads}: {:9.3} ms ({:9.0} nodes/s)   peak {:8.2} MB   ×{:.1} less memory",
+                t * 1e3,
+                nodes as f64 / t,
+                peak as f64 / 1e6,
+                tree_peak as f64 / peak.max(1) as f64
+            );
+            stream_json.push(format!(
+                "{{\"threads\": {threads}, \"seconds\": {t:.6}, \"nodes_per_sec\": {:.0}, \"peak_heap_bytes\": {peak}}}",
+                nodes as f64 / t
+            ));
+        }
+        println!(
+            "  nodes = {nodes:8}  tree path : {:9.3} ms ({:9.0} nodes/s)   peak {:8.2} MB   ({} source bytes)",
+            t_tree * 1e3,
+            nodes as f64 / t_tree,
+            tree_peak as f64 / 1e6,
+            src.len()
+        );
+        // The headline claim: at scale the fused pass holds a small
+        // fraction of the tree path's working set.
+        if n >= 1_000_000 {
+            assert!(
+                tree_peak as f64 >= 2.0 * stream_peak_t1 as f64,
+                "expected ≥2× peak-memory reduction at n={n}: tree {tree_peak} vs stream {stream_peak_t1}"
+            );
+        }
+        json_rows.push(format!(
+            "      {{\"nodes\": {nodes}, \"source_bytes\": {}, \"tree\": {{\"seconds\": {t_tree:.6}, \"nodes_per_sec\": {:.0}, \"peak_heap_bytes\": {tree_peak}}}, \"stream\": [{}]}}",
+            src.len(),
+            nodes as f64 / t_tree,
+            stream_json.join(", ")
+        ));
+    }
+    register_section(
+        "e12_stream_pipeline",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload serialized with its DTD as internal subset (seed 101)\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_rows.join(",\n")
+        ),
+    );
 }

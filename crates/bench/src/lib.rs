@@ -1,5 +1,5 @@
 //! Workload generators shared by the Criterion benches and the
-//! `experiments` binary (experiments E1–E10; see EXPERIMENTS.md at the
+//! `experiments` binary (experiments E1–E12; see EXPERIMENTS.md at the
 //! repository root for the experiment ↔ paper-claim index).
 
 use rand::rngs::SmallRng;

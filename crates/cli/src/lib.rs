@@ -3,7 +3,7 @@
 //! A thin, dependency-free front end over the `xic` workspace:
 //!
 //! ```text
-//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N]
+//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -13,7 +13,10 @@
 //! * `validate` — checks a document against a `DTD^C` (Definition 2.4).
 //!   The DTD comes from `--dtd`, or from the document's own `<!DOCTYPE>`
 //!   internal subset. `Σ` comes from `--sigma` (the constraint syntax of
-//!   `xic-constraints`, one per line, `#` comments).
+//!   `xic-constraints`, one per line, `#` comments). By default the check
+//!   streams over the source text in one bounded-memory pass
+//!   ([`Validator::validate_events`]); `--no-stream` materializes the
+//!   document tree first. Both paths print identical reports.
 //! * `implies` — decides `Σ ⊨ φ` / `Σ ⊨_f φ` with the solver matching
 //!   `--lang`, printing the derivation or a countermodel when available.
 //! * `path` — decides a Section-4 path constraint
@@ -48,6 +51,7 @@ struct Opts {
     unrestricted: bool,
     emit_countermodel: Option<String>,
     threads: Option<usize>,
+    no_stream: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -73,6 +77,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 );
             }
             "--lenient" => o.lenient = true,
+            "--stream" => o.no_stream = false,
+            "--no-stream" => o.no_stream = true,
             "--finite" => o.finite = true,
             "--unrestricted" => o.unrestricted = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -146,6 +152,8 @@ const USAGE: &str = "\
 usage:
   xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
                [--threads N]   (0 = auto, 1 = sequential; reports are identical either way)
+               [--stream|--no-stream]  (default --stream: single-pass validation straight
+               from the source text; --no-stream parses a tree first — same report)
   xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
                [--emit-countermodel FILE] CONSTRAINT
   xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
@@ -171,8 +179,7 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
     let [doc_path] = o.positional.as_slice() else {
         return Err("validate takes exactly one document".into());
     };
-    let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
-    let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
+    let src = read(doc_path)?;
     let mut options = if o.lenient {
         Options::lenient()
     } else {
@@ -181,8 +188,24 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
     if let Some(threads) = o.threads {
         options = options.with_threads(threads);
     }
-    let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
-    let report = validator.validate(&doc.tree);
+    let report = if o.no_stream {
+        let doc = parse_document(&src).map_err(|e| e.to_string())?;
+        let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
+        let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+        validator.validate(&doc.tree)
+    } else {
+        // Default path: one bounded-memory pass — the document is never
+        // built as a tree. The DTD is pulled from the prolog before the
+        // first element event, so `load_dtdc` sees it exactly as the tree
+        // path would.
+        let mut events = parse_events(&src);
+        let doc_dtd = events.dtd().map_err(|e| e.to_string())?.cloned();
+        let dtdc = load_dtdc(o, doc_dtd.as_ref(), true)?;
+        let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+        validator
+            .validate_events(events)
+            .map_err(|e| e.to_string())?
+    };
     let _ = write!(out, "{report}");
     Ok(if report.is_valid() { 0 } else { 1 })
 }
@@ -452,6 +475,53 @@ ref.to <=s entry.isbn";
         let (code, out) = call(&["validate", "a.xml", "--threads", "nope"]);
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("--threads expects a number"), "{out}");
+    }
+
+    #[test]
+    fn validate_stream_and_tree_agree_byte_for_byte() {
+        let dtd = tmp("book7.dtd", BOOK_DTD);
+        let sigma = tmp("book7.sigma", BOOK_SIGMA);
+        let bad = tmp(
+            "bad7.xml",
+            r#"<book>
+  <entry isbn="x1"><title>T</title><publisher>P</publisher></entry>
+  <entry isbn="x1"><title>T2</title></entry>
+  <ref to="dangling"/>
+</book>"#,
+        );
+        let base = [
+            "validate",
+            bad.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ];
+        // Default is streaming; --stream is the explicit spelling.
+        let streamed = call(&base);
+        let mut explicit = base.to_vec();
+        explicit.push("--stream");
+        let mut tree = base.to_vec();
+        tree.push("--no-stream");
+        assert_eq!(streamed, call(&explicit));
+        assert_eq!(streamed, call(&tree));
+        assert_eq!(streamed.0, 1, "{}", streamed.1);
+        let mut threaded = base.to_vec();
+        threaded.extend(["--threads", "4"]);
+        assert_eq!(streamed, call(&threaded));
+    }
+
+    #[test]
+    fn validate_stream_reports_parse_errors_with_positions() {
+        let bad = tmp(
+            "unclosed.xml",
+            &format!("<!DOCTYPE book [\n{BOOK_DTD}\n]>\n<book>\n  <entry>\n</book>"),
+        );
+        let (code, out) = call(&["validate", bad.to_str().unwrap()]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("at 14:7"), "expected line:col position: {out}");
     }
 
     #[test]

@@ -98,8 +98,8 @@ pub mod prelude {
         check_constraint, validate, MatcherKind, Options, Report, Validator, Violation,
     };
     pub use xic_xml::{
-        constraints_to_xsd, parse_document, parse_dtd, serialize_document, serialize_dtd,
-        xsd_to_constraints, XsdExport,
+        constraints_to_xsd, parse_document, parse_dtd, parse_events, serialize_document,
+        serialize_dtd, xsd_to_constraints, Event, EventParser, XsdExport,
     };
 }
 

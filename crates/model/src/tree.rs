@@ -22,6 +22,16 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A node id from its dense index.
+    ///
+    /// For engines that reconstruct document order without materializing a
+    /// [`DataTree`] (e.g. streaming validation): both the tree and the
+    /// event parser assign ids in element-open order, so a counter of open
+    /// tags yields ids identical to the tree path's.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index fits u32"))
+    }
 }
 
 impl fmt::Debug for NodeId {
@@ -387,6 +397,20 @@ impl ExtIndex {
             by_label.entry(tree.label(id).clone()).or_default().push(id);
         }
         ExtIndex { by_label }
+    }
+
+    /// An empty index, for incremental construction (e.g. while streaming
+    /// a document without materializing a tree).
+    pub fn empty() -> Self {
+        ExtIndex {
+            by_label: HashMap::new(),
+        }
+    }
+
+    /// Appends `id` to `ext(label)`. Callers must push nodes in document
+    /// order to preserve the `ext(τ)`-is-document-ordered invariant.
+    pub fn push(&mut self, label: &Name, id: NodeId) {
+        self.by_label.entry(label.clone()).or_default().push(id);
     }
 
     /// `ext(τ)` in document order (empty slice if `τ` never occurs).

@@ -133,31 +133,63 @@ impl Nfa {
 
     /// Membership test by NFA simulation (set-of-positions).
     pub fn matches(&self, word: &[Symbol]) -> bool {
-        let mut cur: BTreeSet<usize> = BTreeSet::new();
-        let mut at_start = true;
+        let mut run = self.start_run();
         for s in word {
-            let mut next = BTreeSet::new();
-            let sources: Box<dyn Iterator<Item = usize>> = if at_start {
-                Box::new(self.first.iter().copied())
-            } else {
-                Box::new(cur.iter().flat_map(|&p| self.follow[p].iter().copied()))
-            };
-            for p in sources {
-                if &self.pos_symbol[p] == s {
-                    next.insert(p);
-                }
-            }
-            if next.is_empty() {
+            self.step_run(&mut run, s);
+            if run.is_dead() {
                 return false;
             }
-            cur = next;
-            at_start = false;
         }
-        if at_start {
+        self.run_accepts(&run)
+    }
+
+    /// Streaming interface: the initial simulation state.
+    pub fn start_run(&self) -> NfaRun {
+        NfaRun {
+            set: BTreeSet::new(),
+            at_start: true,
+        }
+    }
+
+    /// Streaming interface: advances `run` by one symbol.
+    pub fn step_run(&self, run: &mut NfaRun, s: &Symbol) {
+        let mut next = BTreeSet::new();
+        let sources: Box<dyn Iterator<Item = usize>> = if run.at_start {
+            Box::new(self.first.iter().copied())
+        } else {
+            Box::new(run.set.iter().flat_map(|&p| self.follow[p].iter().copied()))
+        };
+        for p in sources {
+            if &self.pos_symbol[p] == s {
+                next.insert(p);
+            }
+        }
+        run.set = next;
+        run.at_start = false;
+    }
+
+    /// Streaming interface: acceptance of the current state.
+    pub fn run_accepts(&self, run: &NfaRun) -> bool {
+        if run.at_start {
             self.nullable
         } else {
-            cur.iter().any(|p| self.last.contains(p))
+            run.set.iter().any(|p| self.last.contains(p))
         }
+    }
+}
+
+/// Incremental simulation state of an [`Nfa`]: the set of live positions,
+/// plus the distinguished "no symbol read yet" start configuration.
+#[derive(Clone, Debug)]
+pub struct NfaRun {
+    set: BTreeSet<usize>,
+    at_start: bool,
+}
+
+impl NfaRun {
+    /// True iff no completion of the word read so far can be accepted.
+    pub fn is_dead(&self) -> bool {
+        !self.at_start && self.set.is_empty()
     }
 }
 

@@ -38,6 +38,6 @@ mod sample;
 mod simplify;
 
 pub use ast::{ContentModel, Symbol};
-pub use automata::{Dfa, Nfa};
+pub use automata::{Dfa, Nfa, NfaRun};
 pub use occurrence::{occurrences, OccurrenceInterval};
 pub use parser::ParseError;

@@ -33,6 +33,17 @@
 //! extents) behind the default-on `parallel` cargo feature; reports are
 //! byte-identical to the sequential engine's regardless of thread count.
 //! [`check_constraint`] remains the naive per-constraint ground truth.
+//!
+//! ## Streaming validation
+//!
+//! [`Validator::validate_stream`] checks a document straight from its
+//! source text over [`xic_xml::parse_events`], never materializing a
+//! [`DataTree`]: content models run as incremental automata with O(depth)
+//! live state, attribute clauses fire as start tags complete, and the
+//! compiled plan's columns fill on the fly, feeding the same constraint
+//! engine. Reports are byte-identical to the tree path at any thread
+//! count; with `threads > 1` lexing overlaps checking through a bounded
+//! channel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +52,7 @@ mod constraints;
 mod par;
 mod plan;
 mod report;
+mod stream;
 mod structure;
 
 pub use constraints::check_constraint;

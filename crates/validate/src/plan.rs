@@ -90,11 +90,11 @@ impl<'c> CName<'c> {
 pub(crate) struct Plan {
     /// Per element type: single-valued fields (attributes or unique
     /// sub-elements) some constraint reads.
-    singles: BTreeMap<Name, BTreeSet<Field>>,
+    pub(crate) singles: BTreeMap<Name, BTreeSet<Field>>,
     /// Per element type: set-valued attributes some constraint reads.
-    sets: BTreeMap<Name, BTreeSet<Name>>,
+    pub(crate) sets: BTreeMap<Name, BTreeSet<Name>>,
     /// Whether any `L_id` ID constraint needs the document-wide ID table.
-    needs_ids: bool,
+    pub(crate) needs_ids: bool,
 }
 
 impl Plan {
@@ -247,6 +247,23 @@ impl DocIndex {
                 sets.insert((tau.clone(), attr.clone()), col);
             }
         }
+        DocIndex::from_parts(interner, singles, sets, idx, s, plan)
+    }
+
+    /// Assembles an index from already-extracted columns (the streaming
+    /// builder fills them without a tree) and derives the document-wide ID
+    /// table. Interning order does not matter for report equality: symbols
+    /// are only compared for equality/membership, never for order, and
+    /// every violation sequence follows extent order, so any bijective
+    /// interning yields byte-identical reports.
+    pub(crate) fn from_parts(
+        interner: Interner,
+        singles: HashMap<(Name, Field), Vec<Option<Sym>>>,
+        sets: HashMap<(Name, Name), Vec<Vec<Sym>>>,
+        idx: &ExtIndex,
+        s: &DtdStructure,
+        plan: &Plan,
+    ) -> Self {
         let mut global_ids: FastHashMap<Sym, Vec<NodeId>> = FastHashMap::default();
         if plan.needs_ids {
             for tau in s.element_types() {
@@ -346,14 +363,26 @@ pub(crate) fn check_all_planned(
     threads: usize,
     out: &mut Vec<Violation>,
 ) {
+    let doc = DocIndex::build(tree, idx, dtdc.structure(), plan);
+    check_planned(idx, dtdc, &doc, threads, out);
+}
+
+/// Checks all of Σ against a pre-built [`DocIndex`] (shared by the tree
+/// and streaming paths), appending violations in Σ order.
+pub(crate) fn check_planned(
+    idx: &ExtIndex,
+    dtdc: &DtdC,
+    doc: &DocIndex,
+    threads: usize,
+    out: &mut Vec<Violation>,
+) {
     let s = dtdc.structure();
-    let doc = DocIndex::build(tree, idx, s, plan);
     let cs = dtdc.constraints();
     let outer = threads.max(1);
     let inner = (outer / cs.len().max(1)).max(1);
     let per_constraint = fan_out(outer, cs.iter().collect(), |c| {
         let mut v = Vec::new();
-        check_one_planned(idx, s, &doc, c, inner, &mut v);
+        check_one_planned(idx, s, doc, c, inner, &mut v);
         v
     });
     for v in per_constraint {

@@ -1,0 +1,653 @@
+//! Streaming validation: one pass over the event stream, no [`DataTree`].
+//!
+//! [`Validator::validate_stream`] consumes the SAX-style event stream of
+//! [`xic_xml::parse_events`] and produces a [`Report`] **byte-identical**
+//! to [`Validator::validate`] on the parsed tree, while keeping only
+//! O(depth) structural state plus the planned constraint columns:
+//!
+//! * each open element holds one in-flight [`MatcherRun`] — a DFA state, a
+//!   Glushkov position set, or a Brzozowski derivative — stepped on every
+//!   child symbol, so content models are checked without ever storing a
+//!   child list;
+//! * attribute clauses run when an element's start tag completes ("seal"),
+//!   over the same name-sorted attribute view the tree would have built;
+//! * the PR-1 columnar [`DocIndex`] is filled on the fly: every planned
+//!   `(τ, field)` column receives its `ext(τ)`-aligned entry the moment
+//!   the carrying element seals (attributes) or closes (unique
+//!   sub-elements), and constraint checking then proceeds on the exact
+//!   engine the tree path uses ([`check_planned`]).
+//!
+//! ## Order preservation
+//!
+//! The tree engine reports structural violations grouped by node id, which
+//! equals element-open order. Streaming discovers them in a different
+//! order (a `ContentModel` violation of a parent surfaces after all its
+//! children close), so every structural violation is tagged with its
+//! node's open index and the list is stably sorted once at the end —
+//! within one node the push order already matches the tree engine
+//! (content model, then attribute clauses in name order). Constraint
+//! violations follow in Σ order, appended by the shared checker. This
+//! holds at any thread count: the pipelined path only moves *lexing* to
+//! another thread; event application stays sequential.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use xic_constraints::{AttrType, DtdC, DtdStructure, Field};
+use xic_model::{AttrValue, ExtIndex, Interner, Name, NodeId, Sym};
+use xic_regex::Symbol;
+use xic_xml::{parse_events, Event, EventParser, XmlError};
+
+use crate::plan::{check_planned, DocIndex, Plan};
+use crate::report::{Report, Violation};
+use crate::structure::{CompiledMatcher, MatcherRun, Validator};
+
+#[cfg(doc)]
+use xic_model::DataTree;
+
+/// Per element type: where each planned field of `τ` lives in the flat
+/// column arrays, split by how the value is obtained while streaming.
+#[derive(Default)]
+struct TauPlan {
+    /// Single-valued attribute fields: `(attribute, single-column id)`.
+    attr_singles: Vec<(Name, usize)>,
+    /// Unique sub-element fields (§3.4): `(child label, single-column id)`.
+    sub_singles: Vec<(Name, usize)>,
+    /// Set-valued attribute fields: `(attribute, set-column id)`.
+    sets: Vec<(Name, usize)>,
+}
+
+/// One open element (the O(depth) stack entry).
+struct Frame<'v> {
+    /// Open index of this element — identical to the tree path's node id.
+    node: u32,
+    /// Position of this element in `ext(label)`.
+    ext_pos: usize,
+    label: Name,
+    /// Content-model matcher and its run state; `None` for undeclared
+    /// element types (which skip structural checks, as in the tree path).
+    matcher: Option<(&'v CompiledMatcher, MatcherRun)>,
+    /// Index into [`StreamChecker::tau_plans`], when Σ reads this type.
+    plan: Option<usize>,
+    /// Whether the start tag is complete (attributes checked, columns
+    /// filled). Sealing happens on the first non-`Attr` event.
+    sealed: bool,
+    /// The child word rendered as the tree path would
+    /// (`", "`-joined symbols), kept for the `ContentModel` violation.
+    word: String,
+    /// Attributes collected until the seal, then name-sorted.
+    pending_attrs: Vec<(Name, AttrValue)>,
+    /// Attribute violations, held back so they follow a `ContentModel`
+    /// violation of the same node (the tree path's per-node order).
+    attr_viols: Vec<Violation>,
+    /// Per [`TauPlan::sub_singles`] entry: how many children with that
+    /// label closed, and the first one's text (the field value iff the
+    /// count ends at exactly one — §3.4's *unique* sub-element).
+    subs: Vec<(u32, Option<String>)>,
+    /// The slot in the parent's `subs` this element reports to, if its
+    /// label is a planned sub-element field of the parent's type.
+    sub_slot: Option<usize>,
+    /// Immediate text, collected only when `sub_slot` is set.
+    text: String,
+}
+
+/// The single-pass checker: feed [`Event`]s in document order via
+/// [`StreamChecker::on_event`], then call [`StreamChecker::finish`].
+pub(crate) struct StreamChecker<'v> {
+    dtdc: &'v DtdC,
+    s: &'v DtdStructure,
+    matchers: &'v HashMap<Name, CompiledMatcher>,
+    plan: &'v Plan,
+    strict: bool,
+    /// The *document's* internal-subset DTD, deciding which attribute
+    /// values tokenize into sets — exactly as `parse_document` does.
+    doc_dtd: Option<DtdStructure>,
+    stack: Vec<Frame<'v>>,
+    /// Count of opened elements; the next element's node id.
+    node_count: u32,
+    /// Structural violations tagged with their node's open index.
+    tagged: Vec<(u32, Violation)>,
+    ext: ExtIndex,
+    interner: Interner,
+    tau_plans: Vec<TauPlan>,
+    tau_lookup: HashMap<Name, usize>,
+    single_keys: Vec<(Name, Field)>,
+    single_cols: Vec<Vec<Option<Sym>>>,
+    set_keys: Vec<(Name, Name)>,
+    set_cols: Vec<Vec<Vec<Sym>>>,
+    /// `label ↦ Symbol::Elem(label)` cache so stepping a matcher does not
+    /// allocate a fresh `Name` per event.
+    symbols: HashMap<Name, Symbol>,
+}
+
+/// Binary search in a name-sorted attribute list (the streaming
+/// counterpart of `Node::attr`).
+fn find_attr<'a>(attrs: &'a [(Name, AttrValue)], l: &str) -> Option<&'a AttrValue> {
+    attrs
+        .binary_search_by(|(a, _)| a.as_str().cmp(l))
+        .ok()
+        .map(|i| &attrs[i].1)
+}
+
+/// Appends one symbol to a rendered child word, matching the tree path's
+/// `", "`-join of `Symbol` displays.
+fn push_word(word: &mut String, sym: &Symbol) {
+    use std::fmt::Write;
+    if !word.is_empty() {
+        word.push_str(", ");
+    }
+    let _ = write!(word, "{sym}");
+}
+
+impl<'v> StreamChecker<'v> {
+    pub(crate) fn new(v: &'v Validator<'_>, doc_dtd: Option<DtdStructure>) -> Self {
+        // Flatten the plan's per-type field sets into dense columns with a
+        // per-τ recipe, so the hot path never touches the BTree maps.
+        let mut tau_plans: Vec<TauPlan> = Vec::new();
+        let mut tau_lookup: HashMap<Name, usize> = HashMap::new();
+        let mut plan_of = |tau: &Name, tau_plans: &mut Vec<TauPlan>| -> usize {
+            *tau_lookup.entry(tau.clone()).or_insert_with(|| {
+                tau_plans.push(TauPlan::default());
+                tau_plans.len() - 1
+            })
+        };
+        let mut single_keys = Vec::new();
+        for (tau, fields) in &v.plan.singles {
+            let pi = plan_of(tau, &mut tau_plans);
+            for field in fields {
+                let col = single_keys.len();
+                single_keys.push((tau.clone(), field.clone()));
+                match field {
+                    Field::Attr(l) => tau_plans[pi].attr_singles.push((l.clone(), col)),
+                    Field::Sub(e) => tau_plans[pi].sub_singles.push((e.clone(), col)),
+                }
+            }
+        }
+        let mut set_keys = Vec::new();
+        for (tau, attrs) in &v.plan.sets {
+            let pi = plan_of(tau, &mut tau_plans);
+            for attr in attrs {
+                let col = set_keys.len();
+                set_keys.push((tau.clone(), attr.clone()));
+                tau_plans[pi].sets.push((attr.clone(), col));
+            }
+        }
+        StreamChecker {
+            dtdc: v.dtdc,
+            s: v.dtdc.structure(),
+            matchers: &v.matchers,
+            plan: &v.plan,
+            strict: v.options.strict_attributes,
+            doc_dtd,
+            stack: Vec::new(),
+            node_count: 0,
+            tagged: Vec::new(),
+            ext: ExtIndex::empty(),
+            interner: Interner::new(),
+            single_cols: vec![Vec::new(); single_keys.len()],
+            set_cols: vec![Vec::new(); set_keys.len()],
+            tau_plans,
+            tau_lookup,
+            single_keys,
+            set_keys,
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// The interned label and its element symbol (cached per spelling).
+    fn label_sym(&mut self, name: &str) -> (Name, Symbol) {
+        if let Some((label, sym)) = self.symbols.get_key_value(name) {
+            return (label.clone(), sym.clone());
+        }
+        let label = Name::new(name);
+        let sym = Symbol::Elem(label.clone());
+        self.symbols.insert(label.clone(), sym.clone());
+        (label, sym)
+    }
+
+    /// Applies one event. Events must arrive in document order.
+    pub(crate) fn on_event(&mut self, ev: Event<'_>) {
+        match ev {
+            Event::Open { name, .. } => self.open(name),
+            Event::Attr { name, value, .. } => self.attr(name, value),
+            Event::Text { value, .. } => self.text(&value),
+            Event::Close { .. } => self.close(),
+        }
+    }
+
+    fn open(&mut self, name: &str) {
+        self.seal_top();
+        let (label, sym) = self.label_sym(name);
+        let node = self.node_count;
+        self.node_count += 1;
+        let mut sub_slot = None;
+        match self.stack.last_mut() {
+            Some(parent) => {
+                if let Some((m, run)) = parent.matcher.as_mut() {
+                    m.step(run, &sym);
+                    push_word(&mut parent.word, &sym);
+                }
+                if let Some(pi) = parent.plan {
+                    sub_slot = self.tau_plans[pi]
+                        .sub_singles
+                        .iter()
+                        .position(|(e, _)| e == &label);
+                }
+            }
+            None => {
+                if label != *self.s.root() {
+                    self.tagged.push((
+                        node,
+                        Violation::RootLabel {
+                            expected: self.s.root().clone(),
+                            found: label.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        let matcher = match self.matchers.get(name) {
+            Some(m) => Some((m, m.start())),
+            None => {
+                self.tagged.push((
+                    node,
+                    Violation::UnknownElementType {
+                        node: NodeId::from_index(node as usize),
+                        label: label.clone(),
+                    },
+                ));
+                None
+            }
+        };
+        let plan = self.tau_lookup.get(name).copied();
+        let subs = plan.map_or_else(Vec::new, |pi| {
+            vec![(0, None); self.tau_plans[pi].sub_singles.len()]
+        });
+        let ext_pos = self.ext.ext(name).len();
+        self.ext.push(&label, NodeId::from_index(node as usize));
+        self.stack.push(Frame {
+            node,
+            ext_pos,
+            label,
+            matcher,
+            plan,
+            sealed: false,
+            word: String::new(),
+            pending_attrs: Vec::new(),
+            attr_viols: Vec::new(),
+            subs,
+            sub_slot,
+            text: String::new(),
+        });
+    }
+
+    fn attr(&mut self, name: &str, value: Cow<'_, str>) {
+        let (aname, _) = self.label_sym(name);
+        let top = self.stack.last_mut().expect("Attr events follow an Open");
+        // Same set-splitting rule as `parse_document`: the *document's*
+        // DTD decides, not the DTD^C being validated against.
+        let set_valued = self
+            .doc_dtd
+            .as_ref()
+            .is_some_and(|d| d.is_set_valued(&top.label, name));
+        let v = if set_valued {
+            AttrValue::set(value.split_whitespace())
+        } else {
+            AttrValue::single(value.into_owned())
+        };
+        top.pending_attrs.push((aname, v));
+    }
+
+    fn text(&mut self, value: &str) {
+        self.seal_top();
+        let top = self.stack.last_mut().expect("Text occurs inside the root");
+        if let Some((m, run)) = top.matcher.as_mut() {
+            m.step(run, &Symbol::S);
+            push_word(&mut top.word, &Symbol::S);
+        }
+        if top.sub_slot.is_some() {
+            top.text.push_str(value);
+        }
+    }
+
+    /// Completes the top element's start tag: name-sorts its attributes,
+    /// runs the attribute clauses of Definition 2.4, and fills its row of
+    /// every planned attribute column. Runs exactly once per element —
+    /// every event after the attributes (child open, text, close) lands
+    /// here first.
+    fn seal_top(&mut self) {
+        let Some(top) = self.stack.last_mut() else {
+            return;
+        };
+        if top.sealed {
+            return;
+        }
+        top.sealed = true;
+        top.pending_attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        let node_id = NodeId::from_index(top.node as usize);
+        // Attribute clauses — skipped for undeclared element types, like
+        // the tree path (which `continue`s after UnknownElementType).
+        if top.matcher.is_some() {
+            for (l, value) in &top.pending_attrs {
+                match self.s.attr_type(&top.label, l) {
+                    None => top.attr_viols.push(Violation::UndeclaredAttribute {
+                        node: node_id,
+                        attr: l.clone(),
+                    }),
+                    Some(AttrType::Single) => {
+                        if !value.is_singleton() {
+                            top.attr_viols.push(Violation::NotSingleton {
+                                node: node_id,
+                                attr: l.clone(),
+                                len: value.len(),
+                            });
+                        }
+                    }
+                    Some(AttrType::SetValued) => {}
+                }
+            }
+            if self.strict {
+                for (l, _) in self.s.attributes(&top.label) {
+                    if find_attr(&top.pending_attrs, l).is_none() {
+                        top.attr_viols.push(Violation::MissingAttribute {
+                            node: node_id,
+                            attr: l.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Column fill — by label, declared or not, because `ext(τ)` (and
+        // hence the tree path's columns) includes undeclared nodes too.
+        if let Some(pi) = top.plan {
+            let tp = &self.tau_plans[pi];
+            for (l, col) in &tp.attr_singles {
+                let sym = match find_attr(&top.pending_attrs, l).and_then(AttrValue::as_single) {
+                    Some(v) => Some(self.interner.intern(v)),
+                    None => None,
+                };
+                debug_assert_eq!(self.single_cols[*col].len(), top.ext_pos);
+                self.single_cols[*col].push(sym);
+            }
+            for (l, col) in &tp.sets {
+                let syms = match find_attr(&top.pending_attrs, l) {
+                    Some(v) => {
+                        let mut syms = Vec::with_capacity(v.len());
+                        for s in v.values() {
+                            syms.push(self.interner.intern(s));
+                        }
+                        syms
+                    }
+                    None => Vec::new(),
+                };
+                debug_assert_eq!(self.set_cols[*col].len(), top.ext_pos);
+                self.set_cols[*col].push(syms);
+            }
+            // Sub-element fields get a placeholder now (keeping the column
+            // ext-aligned) and their value at close, when the children —
+            // and hence uniqueness — are known.
+            for (_, col) in &tp.sub_singles {
+                debug_assert_eq!(self.single_cols[*col].len(), top.ext_pos);
+                self.single_cols[*col].push(None);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.seal_top();
+        let mut frame = self.stack.pop().expect("Close matches an Open");
+        let node_id = NodeId::from_index(frame.node as usize);
+        if let Some((m, run)) = &frame.matcher {
+            if !m.accepts(run) {
+                self.tagged.push((
+                    frame.node,
+                    Violation::ContentModel {
+                        node: node_id,
+                        tau: frame.label.clone(),
+                        expected: self
+                            .s
+                            .content_model(&frame.label)
+                            .map(ToString::to_string)
+                            .unwrap_or_default(),
+                        found: std::mem::take(&mut frame.word),
+                    },
+                ));
+            }
+        }
+        for v in frame.attr_viols.drain(..) {
+            self.tagged.push((frame.node, v));
+        }
+        // Patch this element's unique-sub-element column entries.
+        if let Some(pi) = frame.plan {
+            for (i, (_, col)) in self.tau_plans[pi].sub_singles.iter().enumerate() {
+                let (count, text) = &mut frame.subs[i];
+                if *count == 1 {
+                    if let Some(text) = text.take() {
+                        self.single_cols[*col][frame.ext_pos] = Some(self.interner.intern(&text));
+                    }
+                }
+            }
+        }
+        // Report to the parent's unique-sub-element tracking.
+        if let Some(slot) = frame.sub_slot {
+            if let Some(parent) = self.stack.last_mut() {
+                let (count, text) = &mut parent.subs[slot];
+                *count += 1;
+                *text = if *count == 1 {
+                    Some(std::mem::take(&mut frame.text))
+                } else {
+                    None // a second child with this label: field undefined
+                };
+            }
+        }
+    }
+
+    /// Sorts the structural violations into node order and runs the shared
+    /// constraint checker over the streamed columns.
+    pub(crate) fn finish(mut self, threads: usize) -> Report {
+        debug_assert!(self.stack.is_empty(), "finish before the root closed");
+        self.tagged.sort_by_key(|&(n, _)| n); // stable: per-node order kept
+        let mut violations: Vec<Violation> = self.tagged.into_iter().map(|(_, v)| v).collect();
+        let singles: HashMap<(Name, Field), Vec<Option<Sym>>> =
+            self.single_keys.into_iter().zip(self.single_cols).collect();
+        let sets: HashMap<(Name, Name), Vec<Vec<Sym>>> =
+            self.set_keys.into_iter().zip(self.set_cols).collect();
+        let doc = DocIndex::from_parts(self.interner, singles, sets, &self.ext, self.s, self.plan);
+        check_planned(&self.ext, self.dtdc, &doc, threads, &mut violations);
+        Report { violations }
+    }
+}
+
+impl Validator<'_> {
+    /// Validates a document directly from its source text, without ever
+    /// materializing a [`DataTree`]: the event stream drives the matcher
+    /// automata (O(depth) live state) and fills the compiled constraint
+    /// columns on the fly. The report is byte-identical to parsing the
+    /// document and calling [`Validator::validate`], at any thread count.
+    ///
+    /// With [`Options::threads`](crate::Options) `> 1` (and the `parallel`
+    /// feature), lexing moves to a producer thread feeding a bounded
+    /// channel, overlapping parsing with checking; the remaining budget
+    /// fans out the final constraint pass.
+    ///
+    /// Errors are *parse* errors only — invalid documents yield an `Ok`
+    /// report listing violations, exactly like the tree path.
+    pub fn validate_stream(&self, src: &str) -> Result<Report, XmlError> {
+        self.validate_events(parse_events(src))
+    }
+
+    /// Validates an event stream (see [`Validator::validate_stream`]).
+    ///
+    /// The parser's internal-subset DTD, if any, decides which attribute
+    /// values tokenize into sets — the same rule
+    /// [`parse_document`](xic_xml::parse_document) applies — so the stream
+    /// sees the values the tree would have held.
+    pub fn validate_events(&self, mut events: EventParser<'_>) -> Result<Report, XmlError> {
+        let doc_dtd = events.dtd()?.cloned();
+        let threads = self.effective_threads();
+        let mut checker = StreamChecker::new(self, doc_dtd);
+        #[cfg(feature = "parallel")]
+        if threads > 1 {
+            run_pipelined(events, &mut checker)?;
+            return Ok(checker.finish(threads));
+        }
+        // threads == 1: a pure pull loop — no channel, no scope, no
+        // synchronization of any kind.
+        for ev in &mut events {
+            checker.on_event(ev?);
+        }
+        Ok(checker.finish(threads))
+    }
+}
+
+/// The pipelined event loop: a producer thread lexes batches of events
+/// into a bounded channel while the consumer (this thread) applies them.
+/// Only the lexer moves — application order is untouched, which is what
+/// keeps reports byte-identical regardless of thread count.
+#[cfg(feature = "parallel")]
+fn run_pipelined<'s>(
+    events: EventParser<'s>,
+    checker: &mut StreamChecker<'_>,
+) -> Result<(), XmlError> {
+    use std::sync::mpsc;
+    /// Events per channel message: large enough to amortize the channel,
+    /// small enough to bound in-flight memory (`BATCH × BOUND` events).
+    const BATCH: usize = 1024;
+    /// Channel capacity in batches.
+    const BOUND: usize = 8;
+    let (tx, rx) = mpsc::sync_channel::<Result<Vec<Event<'s>>, XmlError>>(BOUND);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut events = events;
+            let mut batch = Vec::with_capacity(BATCH);
+            for ev in &mut events {
+                match ev {
+                    Ok(ev) => {
+                        batch.push(ev);
+                        if batch.len() == BATCH {
+                            let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH));
+                            if tx.send(Ok(full)).is_err() {
+                                return; // receiver bailed on an error
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+            let _ = tx.send(Ok(batch));
+        });
+        for msg in rx {
+            for ev in msg? {
+                checker.on_event(ev);
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatcherKind, Options};
+    use xic_constraints::examples::book_dtdc;
+    use xic_xml::parse_document;
+
+    const BOOK: &str = r#"<book>
+  <entry isbn="1-55860-622-X"><title>Data on the Web</title><publisher>MK</publisher></entry>
+  <author>Abiteboul</author>
+  <section sid="s1"><title>Intro</title><text>...</text></section>
+  <ref to="1-55860-622-X"/>
+</book>"#;
+
+    /// Documents exercising every violation kind the stream must order
+    /// exactly like the tree engine.
+    const DOCS: &[&str] = &[
+        BOOK,
+        // Wrong root + unknown types + stray attributes.
+        r#"<library bad="x"><book/><shelf id="1">text</shelf></library>"#,
+        // Content-model failures at several depths, undeclared and
+        // duplicate-set attributes, missing required attributes.
+        r#"<book><entry><title>T</title></entry><section sid="a b"><section sid="inner"><bogus/></section></section><ref to=""/></book>"#,
+        // Key/foreign-key violations: duplicate isbn, dangling ref.
+        r#"<book>
+  <entry isbn="k"><title>A</title><publisher>P</publisher></entry>
+  <entry isbn="k"><title>A</title><publisher>P</publisher></entry>
+  <author>A</author>
+  <ref to="missing"/>
+</book>"#,
+        // Unique sub-element field: two titles make entry.title undefined.
+        r#"<book><entry isbn="i"><title>A</title><title>B</title><publisher>P</publisher></entry><author>A</author><ref to="i"/></book>"#,
+    ];
+
+    fn assert_stream_matches_tree(src: &str) {
+        let d = book_dtdc();
+        for kind in [MatcherKind::Dfa, MatcherKind::Nfa, MatcherKind::Derivative] {
+            for strict in [true, false] {
+                for threads in [1, 2, 4] {
+                    let opts = Options {
+                        strict_attributes: strict,
+                        threads,
+                    };
+                    let v = Validator::with_matcher(&d, kind, opts);
+                    let tree = parse_document(src).unwrap().tree;
+                    let want = v.validate(&tree);
+                    let got = v.validate_stream(src).unwrap();
+                    assert_eq!(
+                        format!("{want}"),
+                        format!("{got}"),
+                        "kind={kind:?} strict={strict} threads={threads}\n{src}"
+                    );
+                    assert_eq!(want.violations, got.violations);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_report_equals_tree_report() {
+        for src in DOCS {
+            assert_stream_matches_tree(src);
+        }
+    }
+
+    #[test]
+    fn valid_book_is_valid_streamed() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let r = v.validate_stream(BOOK).unwrap();
+        assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn parse_errors_surface_with_positions() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let e = v
+            .validate_stream("<book>\n  <entry></wrong>\n</book>")
+            .unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+        assert!(e.to_string().contains("at 2:"), "{e}");
+    }
+
+    #[test]
+    fn document_dtd_drives_set_splitting() {
+        // The document's own DTD declares `to` as IDREFS, so "a b" is a
+        // two-element set in both paths — and both of its members then
+        // dangle as foreign keys against entry.isbn.
+        let src = r#"<!DOCTYPE book [
+  <!ELEMENT book (entry|author|ref)*>
+  <!ELEMENT entry (title, publisher)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT publisher (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT ref EMPTY>
+  <!ATTLIST entry isbn CDATA #IMPLIED>
+  <!ATTLIST ref to IDREFS #IMPLIED>
+]>
+<book><entry isbn="i"><title>T</title><publisher>P</publisher></entry><author>A</author><ref to="a b"/></book>"#;
+        assert_stream_matches_tree(src);
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use xic_constraints::{AttrType, DtdC};
 use xic_model::{Child, DataTree, ExtIndex, Name};
-use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
+use xic_regex::{ContentModel, Dfa, Nfa, NfaRun, Symbol};
 
 use crate::plan::{check_all_planned, Plan};
 use crate::report::{Report, Violation};
@@ -63,9 +63,20 @@ impl Options {
     }
 }
 
-enum CompiledMatcher {
+pub(crate) enum CompiledMatcher {
     Dfa(Dfa),
     Nfa(Nfa),
+    Derivative(ContentModel),
+}
+
+/// In-flight state of one [`CompiledMatcher`] run (one per open element in
+/// the streaming checker).
+pub(crate) enum MatcherRun {
+    /// Current DFA state; `None` is the dead state.
+    Dfa(Option<usize>),
+    /// Live Glushkov position set.
+    Nfa(NfaRun),
+    /// Current Brzozowski derivative of the content model.
     Derivative(ContentModel),
 }
 
@@ -77,6 +88,41 @@ impl CompiledMatcher {
             CompiledMatcher::Derivative(m) => m.matches_derivative(word),
         }
     }
+
+    /// Streaming interface: the run state before any child symbol.
+    pub(crate) fn start(&self) -> MatcherRun {
+        match self {
+            CompiledMatcher::Dfa(d) => MatcherRun::Dfa(Some(d.start())),
+            CompiledMatcher::Nfa(n) => MatcherRun::Nfa(n.start_run()),
+            CompiledMatcher::Derivative(m) => MatcherRun::Derivative(m.clone()),
+        }
+    }
+
+    /// Streaming interface: advances `run` by one child symbol.
+    pub(crate) fn step(&self, run: &mut MatcherRun, sym: &Symbol) {
+        match (self, run) {
+            (CompiledMatcher::Dfa(d), MatcherRun::Dfa(state)) => {
+                *state = state.and_then(|s| d.step(s, sym));
+            }
+            (CompiledMatcher::Nfa(n), MatcherRun::Nfa(r)) => n.step_run(r, sym),
+            (CompiledMatcher::Derivative(_), MatcherRun::Derivative(m)) => {
+                *m = m.derivative(sym);
+            }
+            _ => unreachable!("matcher run paired with a different matcher"),
+        }
+    }
+
+    /// Streaming interface: acceptance of the word read so far.
+    pub(crate) fn accepts(&self, run: &MatcherRun) -> bool {
+        match (self, run) {
+            (CompiledMatcher::Dfa(d), MatcherRun::Dfa(state)) => {
+                state.is_some_and(|s| d.is_accepting(s))
+            }
+            (CompiledMatcher::Nfa(n), MatcherRun::Nfa(r)) => n.run_accepts(r),
+            (CompiledMatcher::Derivative(_), MatcherRun::Derivative(m)) => m.nullable(),
+            _ => unreachable!("matcher run paired with a different matcher"),
+        }
+    }
 }
 
 /// Compile-once validator for a `DTD^C`.
@@ -85,10 +131,10 @@ impl CompiledMatcher {
 /// [`MatcherKind`]); [`Validator::validate`] then checks any number of data
 /// trees against the same `DTD^C`.
 pub struct Validator<'a> {
-    dtdc: &'a DtdC,
-    matchers: HashMap<Name, CompiledMatcher>,
-    plan: Plan,
-    options: Options,
+    pub(crate) dtdc: &'a DtdC,
+    pub(crate) matchers: HashMap<Name, CompiledMatcher>,
+    pub(crate) plan: Plan,
+    pub(crate) options: Options,
 }
 
 impl<'a> Validator<'a> {

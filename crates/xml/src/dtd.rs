@@ -42,7 +42,7 @@ use crate::parser::{Cursor, XmlError};
 /// assert!(dtd.is_set_valued("ref", "to"));
 /// ```
 pub fn parse_dtd(src: &str, root: &str) -> Result<DtdStructure, XmlError> {
-    parse_dtd_declarations(src, root, 0)
+    parse_dtd_declarations(src, root, 0).map_err(|e| e.locate(src))
 }
 
 /// `ANY` placeholder resolved once all element names are known.

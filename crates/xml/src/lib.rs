@@ -10,6 +10,9 @@
 //!
 //! * [`parse_document`] — XML text → [`xic_model::DataTree`] (plus the
 //!   internal-subset DTD if a `<!DOCTYPE … [ … ]>` is present);
+//! * [`parse_events`] — XML text → a SAX-style stream of
+//!   Open/Attr/Text/Close [`Event`]s, sharing the same lexer, for
+//!   consumers (like the streaming validator) that never build a tree;
 //! * [`parse_dtd`] — DTD text → [`xic_constraints::DtdStructure`];
 //! * [`serialize_document`] / [`serialize_dtd`] — the inverses; round-trips
 //!   are exercised by tests.
@@ -27,11 +30,13 @@
 #![warn(missing_docs)]
 
 mod dtd;
+mod events;
 mod parser;
 mod serialize;
 mod xsd;
 
 pub use dtd::parse_dtd;
+pub use events::{parse_events, Event, EventParser};
 pub use parser::{parse_document, ParsedDocument, XmlError, MAX_DEPTH};
 pub use serialize::{serialize_document, serialize_dtd};
 pub use xsd::{constraints_to_xsd, xsd_to_constraints, XsdExport};

@@ -1,19 +1,29 @@
 //! The XML document parser.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use xic_constraints::DtdStructure;
-use xic_model::{AttrValue, DataTree, ModelError, TreeBuilder};
+use xic_model::{AttrValue, DataTree, ModelError, NodeId, TreeBuilder};
 
 use crate::dtd::parse_dtd_declarations;
+use crate::events::{Event, EventParser};
 
-/// XML parse error with byte offset.
+/// XML parse error with source position.
+///
+/// `offset` is always the byte position where the error was detected;
+/// `line`/`col` are filled in (1-based) at the public API boundary and are
+/// `0` when no source text was available to locate against.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct XmlError {
     /// Human-readable description.
     pub message: String,
     /// Byte offset where the error was detected.
     pub offset: usize,
+    /// 1-based line of `offset` (`0` if unlocated).
+    pub line: u32,
+    /// 1-based column of `offset`, in characters (`0` if unlocated).
+    pub col: u32,
 }
 
 impl XmlError {
@@ -21,17 +31,51 @@ impl XmlError {
         XmlError {
             message: message.into(),
             offset,
+            line: 0,
+            col: 0,
         }
+    }
+
+    /// Fills `line`/`col` from the source the offset refers to. Idempotent:
+    /// an already-located error is returned unchanged.
+    pub fn locate(mut self, src: &str) -> Self {
+        if self.line > 0 {
+            return self;
+        }
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for (i, c) in src.char_indices() {
+            if i >= self.offset {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        self.line = line;
+        self.col = col;
+        self
     }
 }
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "XML parse error at byte {}: {}",
-            self.offset, self.message
-        )
+        if self.line > 0 {
+            write!(
+                f,
+                "XML parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(
+                f,
+                "XML parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
     }
 }
 
@@ -141,10 +185,10 @@ impl<'a> Cursor<'a> {
 }
 
 /// Decodes the five predefined entities and decimal/hex character
-/// references.
-pub(crate) fn decode_text(raw: &str, at: usize) -> Result<String, XmlError> {
+/// references, borrowing the input when no reference occurs.
+pub(crate) fn decode_text_cow(raw: &str, at: usize) -> Result<Cow<'_, str>, XmlError> {
     if !raw.contains('&') {
-        return Ok(raw.to_string());
+        return Ok(Cow::Borrowed(raw));
     }
     let mut out = String::with_capacity(raw.len());
     let mut it = raw.char_indices();
@@ -189,13 +233,15 @@ pub(crate) fn decode_text(raw: &str, at: usize) -> Result<String, XmlError> {
             it.next();
         }
     }
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
 /// Parses an XML document into a data tree.
 ///
-/// If the document has a `<!DOCTYPE root [ … ]>` with an internal subset,
-/// the subset's `<!ELEMENT>`/`<!ATTLIST>` declarations are parsed into a
+/// This is the event stream of [`EventParser`] folded into a
+/// [`TreeBuilder`], so the tree and streaming paths share one lexer. If the
+/// document has a `<!DOCTYPE root [ … ]>` with an internal subset, the
+/// subset's `<!ELEMENT>`/`<!ATTLIST>` declarations are parsed into a
 /// [`DtdStructure`] (rooted at the DOCTYPE name) and attributes declared
 /// `IDREFS` are tokenized into value sets.
 ///
@@ -215,40 +261,56 @@ pub(crate) fn decode_text(raw: &str, at: usize) -> Result<String, XmlError> {
 /// assert_eq!(doc.tree.attr(r, "to").unwrap().len(), 2);
 /// ```
 pub fn parse_document(src: &str) -> Result<ParsedDocument, XmlError> {
-    let mut cur = Cursor::new(src);
-    let mut dtd: Option<DtdStructure> = None;
-
-    // Prolog: XML declaration, comments, DOCTYPE.
-    loop {
-        cur.skip_ws();
-        if cur.skip_pi()? || cur.skip_comment()? {
-            continue;
-        }
-        if cur.rest().starts_with("<!DOCTYPE") {
-            dtd = Some(parse_doctype(&mut cur)?);
-            continue;
-        }
-        break;
-    }
-
+    let mut events = EventParser::new(src);
+    let dtd = events.dtd()?.cloned();
     let mut b = TreeBuilder::new();
-    let root = parse_element(&mut cur, &mut b, dtd.as_ref(), 0)?;
-    // Trailing misc.
-    loop {
-        cur.skip_ws();
-        if cur.skip_pi()? || cur.skip_comment()? {
-            continue;
+    // Stack of (node, element name) for the open elements.
+    let mut stack: Vec<(NodeId, &str)> = Vec::new();
+    let mut root: Option<NodeId> = None;
+    for event in &mut events {
+        match event? {
+            Event::Open { name, .. } => {
+                let node = b.node(name);
+                match stack.last() {
+                    Some(&(parent, _)) => {
+                        b.child(parent, node)
+                            .map_err(|e| XmlError::from(e).locate(src))?;
+                    }
+                    None => root = Some(node),
+                }
+                stack.push((node, name));
+            }
+            Event::Attr {
+                name,
+                value,
+                offset,
+            } => {
+                let &(node, elem) = stack.last().expect("Attr implies an open element");
+                let av = if dtd.as_ref().is_some_and(|d| d.is_set_valued(elem, name)) {
+                    AttrValue::set(value.split_whitespace().map(str::to_string))
+                } else {
+                    AttrValue::single(value.into_owned())
+                };
+                b.attr(node, name, av).map_err(|e| {
+                    XmlError::new(format!("attribute error: {e}"), offset).locate(src)
+                })?;
+            }
+            Event::Text { value, .. } => {
+                let &(node, _) = stack.last().expect("Text implies an open element");
+                b.text(node, value.into_owned())
+                    .map_err(|e| XmlError::from(e).locate(src))?;
+            }
+            Event::Close { .. } => {
+                stack.pop();
+            }
         }
-        break;
     }
-    if !cur.rest().is_empty() {
-        return cur.err("content after the root element");
-    }
-    let tree = b.finish(root)?;
+    let root = root.expect("a completed event stream contains a root element");
+    let tree = b.finish(root).map_err(|e| XmlError::from(e).locate(src))?;
     Ok(ParsedDocument { tree, dtd })
 }
 
-fn parse_doctype(cur: &mut Cursor<'_>) -> Result<DtdStructure, XmlError> {
+pub(crate) fn parse_doctype(cur: &mut Cursor<'_>) -> Result<DtdStructure, XmlError> {
     assert!(cur.eat("<!DOCTYPE"));
     cur.skip_ws();
     let root = cur.name()?.to_string();
@@ -269,125 +331,11 @@ fn parse_doctype(cur: &mut Cursor<'_>) -> Result<DtdStructure, XmlError> {
     parse_dtd_declarations(subset, &root, subset_start)
 }
 
-fn parse_attr_value(cur: &mut Cursor<'_>) -> Result<String, XmlError> {
-    cur.skip_ws();
-    let quote = match cur.bump() {
-        Some(q @ ('"' | '\'')) => q,
-        _ => return cur.err("expected quoted attribute value"),
-    };
-    let start = cur.pos;
-    let Some(end) = cur.rest().find(quote) else {
-        return cur.err("unterminated attribute value");
-    };
-    let raw = &cur.src[start..start + end];
-    cur.pos += end + 1;
-    decode_text(raw, start)
-}
-
-/// Maximum element nesting depth accepted by the parser. Parsing is
-/// recursive; the bound keeps adversarially deep documents from
-/// overflowing the stack (matching the guards of production XML parsers).
+/// Maximum element nesting depth accepted by the parser. The bound keeps
+/// adversarially deep documents from exhausting downstream consumers that
+/// hold per-open-element state (matching the guards of production XML
+/// parsers).
 pub const MAX_DEPTH: usize = 512;
-
-fn parse_element(
-    cur: &mut Cursor<'_>,
-    b: &mut TreeBuilder,
-    dtd: Option<&DtdStructure>,
-    depth: usize,
-) -> Result<xic_model::NodeId, XmlError> {
-    if depth > MAX_DEPTH {
-        return cur.err(format!(
-            "element nesting exceeds the supported depth of {MAX_DEPTH}"
-        ));
-    }
-    cur.skip_ws();
-    if !cur.eat("<") {
-        return cur.err("expected an element start tag");
-    }
-    let name = cur.name()?.to_string();
-    let node = b.node(name.as_str());
-
-    // Attributes.
-    loop {
-        cur.skip_ws();
-        match cur.peek() {
-            Some('>') | Some('/') => break,
-            Some(c) if c.is_alphabetic() || c == '_' => {
-                let attr_pos = cur.pos;
-                let aname = cur.name()?.to_string();
-                cur.skip_ws();
-                if !cur.eat("=") {
-                    return cur.err("expected '=' in attribute");
-                }
-                let value = parse_attr_value(cur)?;
-                let av = if dtd.is_some_and(|d| d.is_set_valued(&name, &aname)) {
-                    AttrValue::set(value.split_whitespace().map(str::to_string))
-                } else {
-                    AttrValue::single(value)
-                };
-                b.attr(node, aname.as_str(), av)
-                    .map_err(|e| XmlError::new(format!("attribute error: {e}"), attr_pos))?;
-            }
-            _ => return cur.err("expected attribute or '>'"),
-        }
-    }
-
-    if cur.eat("/>") {
-        return Ok(node);
-    }
-    if !cur.eat(">") {
-        return cur.err("expected '>'");
-    }
-
-    // Content.
-    loop {
-        // Character data up to the next markup.
-        let start = cur.pos;
-        let Some(lt) = cur.rest().find('<') else {
-            return cur.err("unterminated element (missing end tag)");
-        };
-        if lt > 0 {
-            let raw = &cur.src[start..start + lt];
-            cur.pos += lt;
-            let text = decode_text(raw, start)?;
-            // Drop ignorable (whitespace-only) runs.
-            if !text.trim().is_empty() {
-                b.text(node, text)?;
-            }
-        }
-        if cur.skip_comment()? || cur.skip_pi()? {
-            continue;
-        }
-        if cur.eat("<![CDATA[") {
-            let Some(end) = cur.rest().find("]]>") else {
-                return cur.err("unterminated CDATA section");
-            };
-            let raw = cur.rest()[..end].to_string();
-            cur.pos += end + 3;
-            if !raw.is_empty() {
-                b.text(node, raw)?;
-            }
-            continue;
-        }
-        if cur.rest().starts_with("</") {
-            cur.eat("</");
-            let close = cur.name()?;
-            if close != name {
-                return cur.err(format!(
-                    "mismatched end tag: expected </{name}>, got </{close}>"
-                ));
-            }
-            cur.skip_ws();
-            if !cur.eat(">") {
-                return cur.err("expected '>' in end tag");
-            }
-            return Ok(node);
-        }
-        // Child element.
-        let child = parse_element(cur, b, dtd, depth + 1)?;
-        b.child(node, child)?;
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -504,7 +452,7 @@ mod tests {
         // Within the bound: fine.
         let deep_ok = format!("{}{}", "<a>".repeat(100), "</a>".repeat(100));
         assert_eq!(parse_document(&deep_ok).unwrap().tree.len(), 100);
-        // Beyond the bound: a clean error, not a stack overflow.
+        // Beyond the bound: a clean error, not unbounded consumer state.
         let n = super::MAX_DEPTH + 10;
         let deep_bad = format!("{}{}", "<a>".repeat(n), "</a>".repeat(n));
         let e = parse_document(&deep_bad).unwrap_err();
@@ -516,5 +464,17 @@ mod tests {
         let e = parse_document("<a><b></c></a>").unwrap_err();
         assert!(e.offset >= 6, "{e}");
         assert!(e.to_string().contains("mismatched end tag"));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // The bad end tag sits on line 3; `</c` starts at column 3.
+        let e = parse_document("<a>\n  <b>\n  </c>\n</a>").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 6), "{e}");
+        assert!(e.to_string().contains("at 3:6"), "{e}");
+        // Single-line documents locate on line 1.
+        let e = parse_document("<a x=1/>").unwrap_err();
+        assert_eq!(e.line, 1, "{e}");
+        assert!(e.col > 1, "{e}");
     }
 }

@@ -168,6 +168,13 @@ fn dtd_content(m: &xic_regex::ContentModel) -> String {
             }
         }
     }
+    // Mixed content must print `#PCDATA` first — XML's grammar (and our
+    // parser) reject it elsewhere in the alternation.
+    if let M::Star(inner) = m {
+        if let Some(s) = mixed_content(inner) {
+            return s;
+        }
+    }
     match m {
         // Top-level forms XML requires parenthesized or bare.
         M::Epsilon => "EMPTY".to_string(),
@@ -182,6 +189,37 @@ fn dtd_content(m: &xic_regex::ContentModel) -> String {
             }
         }
     }
+}
+
+/// `(#PCDATA | a | b)*` for a starred alternation of leaves that includes
+/// `S` (also covering `S*` as `(#PCDATA)*`); `None` when the starred body
+/// is not DTD mixed content. The parse-back is `(S + a + b)*` — `#PCDATA`
+/// moves to the front, which preserves the language.
+fn mixed_content(inner: &xic_regex::ContentModel) -> Option<String> {
+    use xic_regex::ContentModel as M;
+    fn leaves<'m>(m: &'m M, out: &mut Vec<&'m M>) -> bool {
+        match m {
+            M::Alt(a, b) => leaves(a, out) && leaves(b, out),
+            M::S | M::Elem(_) => {
+                out.push(m);
+                true
+            }
+            _ => false,
+        }
+    }
+    let mut ls = Vec::new();
+    if !leaves(inner, &mut ls) || !ls.iter().any(|m| matches!(m, M::S)) {
+        return None;
+    }
+    let mut s = String::from("(#PCDATA");
+    for l in ls {
+        if let M::Elem(n) = l {
+            s.push_str(" | ");
+            s.push_str(n.as_str());
+        }
+    }
+    s.push_str(")*");
+    Some(s)
 }
 
 #[cfg(test)]
@@ -291,6 +329,35 @@ mod tests {
         assert_eq!(again.attr_kind("section", "sid"), Some(AttrKind::Id));
         assert_eq!(again.attr_kind("ref", "to"), Some(AttrKind::IdRef));
         assert!(again.is_set_valued("ref", "to"));
+    }
+
+    #[test]
+    fn mixed_and_starred_pcdata_models_round_trip() {
+        // Builder-made structures can hold `S` anywhere in an alternation
+        // (e.g. `(e0 + e1 + S)*`) and bare `S*`; both must print in the
+        // `#PCDATA`-first form our parser (and XML) accept.
+        let dtd = xic_constraints::DtdStructure::builder("a")
+            .elem("a", "(b + c + S)*")
+            .elem("b", "S*")
+            .elem("c", "S")
+            .build()
+            .unwrap();
+        let printed = serialize_dtd(&dtd);
+        assert!(
+            printed.contains("<!ELEMENT a (#PCDATA | b | c)*>"),
+            "{printed}"
+        );
+        assert!(printed.contains("<!ELEMENT b (#PCDATA)*>"), "{printed}");
+        let again = parse_dtd(&printed, "a").unwrap();
+        assert_eq!(
+            again.content_model("a").unwrap().to_string(),
+            "(S + b + c)*"
+        );
+        assert_eq!(again.content_model("b").unwrap().to_string(), "S*");
+        assert_eq!(
+            again.content_model("c").unwrap(),
+            dtd.content_model("c").unwrap()
+        );
     }
 
     #[test]
