@@ -1,17 +1,17 @@
-//! Reproduces experiments E1–E12 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E13 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
-//! check with measured scaling, plus the compiled-engine study E11 and the
-//! streaming-pipeline study E12.
+//! check with measured scaling, plus the compiled-engine study E11, the
+//! streaming-pipeline study E12 and the incremental-revalidation study E13.
 //!
 //! ```text
 //! cargo run --release -p xic-bench --bin experiments [--smoke] [e1 e5 e11 ...]
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e12`). `--smoke` restricts the document-scaling
-//! experiments (E11/E12) to their smallest size so CI can run them as a
-//! fast correctness check. E11 and E12 additionally record their measured
-//! rows; when either runs, the merged baseline is written to
+//! (by id: `e1` … `e13`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12/E13) to their smallest size so CI can run them as
+//! a fast correctness check. E11, E12 and E13 additionally record their
+//! measured rows; when any of them runs, the merged baseline is written to
 //! `BENCH_validate.json` in the current directory.
 //!
 //! Output format: one section per experiment with the paper's claim, the
@@ -120,7 +120,7 @@ fn main() {
         filters.remove(i);
         SMOKE.store(true, Ordering::Relaxed);
     }
-    let experiments: [(&str, fn()); 12] = [
+    let experiments: [(&str, fn()); 13] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -133,6 +133,7 @@ fn main() {
         ("e10", e10_validation),
         ("e11", e11_validate_engine),
         ("e12", e12_stream_pipeline),
+        ("e13", e13_incremental_revalidate),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -729,6 +730,173 @@ fn e12_stream_pipeline() {
         "e12_stream_pipeline",
         format!(
             "{{\n    \"workload\": \"constraint_heavy_workload serialized with its DTD as internal subset (seed 101)\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_rows.join(",\n")
+        ),
+    );
+}
+
+/// E13 — incremental revalidation: a [`LiveValidator`] absorbing typed
+/// edit deltas against full from-scratch revalidation, across edit-batch
+/// sizes, on the E11 workload. Verifies byte-identical reports against
+/// the from-scratch engine after every edit of a mixed script (smallest
+/// size), exercises the violation diff on a break/repair episode, and at
+/// 10⁶ vertices asserts the headline ≥10× single-edit speedup. Registers
+/// its rows for `BENCH_validate.json`.
+fn e13_incremental_revalidate() {
+    heading(
+        "E13 (incremental)",
+        "incremental revalidation under edits: per-edit cost vs full revalidate, violation diffs",
+    );
+    use rand::Rng;
+    use xic::model::Child;
+    let batch_sizes = [1usize, 10, 100];
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in scaling_sizes() {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let rows = (n / 4).max(1);
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+        let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default());
+        let t_full = time_min(reps, || assert!(v.validate(&tree).is_valid()));
+
+        // Correctness gate at the smallest size (runs under --smoke): a
+        // mixed edit script, cross-checked against from-scratch validation
+        // after every single edit.
+        if n == scaling_sizes()[0] {
+            let (_, fresh_tree) = constraint_heavy_workload(n, 101);
+            let mut live = LiveValidator::new(&v, fresh_tree);
+            let mut r = rng(202);
+            let orders: Vec<NodeId> = live.tree().ext("order").collect();
+            for i in 0..20usize {
+                let o = orders[r.gen_range(0..orders.len())];
+                match i % 4 {
+                    0 => {
+                        live.set_attr(
+                            o,
+                            "sup",
+                            AttrValue::single(format!("s{}", r.gen_range(0..rows))),
+                        )
+                        .unwrap();
+                    }
+                    1 => {
+                        live.set_attr(
+                            o,
+                            "part",
+                            AttrValue::single(format!("p{}", r.gen_range(0..rows))),
+                        )
+                        .unwrap();
+                    }
+                    2 => {
+                        // A dangling reference: raises, next round repairs.
+                        live.set_attr(o, "sup", AttrValue::single("s-dangling"))
+                            .unwrap();
+                    }
+                    _ => {
+                        let memo = live
+                            .tree()
+                            .node(o)
+                            .children
+                            .iter()
+                            .find_map(|c| match c {
+                                Child::Node(m) => Some(*m),
+                                Child::Text(_) => None,
+                            })
+                            .expect("order has a memo child");
+                        live.set_text(memo, 0, format!("m{}", r.gen_range(0..rows)))
+                            .unwrap();
+                    }
+                }
+                let fresh = v.validate(live.tree());
+                assert_eq!(
+                    live.report().violations,
+                    fresh.violations,
+                    "incremental/from-scratch divergence after edit {i}"
+                );
+            }
+            println!("  nodes = {nodes:8}  20-edit mixed script: report byte-identical to from-scratch after every edit");
+        }
+
+        let start = std::time::Instant::now();
+        let mut live = LiveValidator::new(&v, tree);
+        let t_init = start.elapsed().as_secs_f64();
+
+        // The violation diff: break one foreign key, then repair it.
+        let orders: Vec<NodeId> = live.tree().ext("order").collect();
+        let broken = live
+            .set_attr(orders[0], "sup", AttrValue::single("s-nowhere"))
+            .unwrap();
+        assert!(
+            !broken.diff.raised.is_empty(),
+            "dangling FK must raise a violation"
+        );
+        let repaired = live
+            .set_attr(orders[0], "sup", AttrValue::single("s0"))
+            .unwrap();
+        assert!(
+            !repaired.diff.cleared.is_empty() && repaired.diff.raised.is_empty(),
+            "repair must clear the raised violation"
+        );
+
+        println!(
+            "  nodes = {nodes:8}  full validate {:9.3} ms   live init {:9.3} ms   diff: break +{} / repair -{}",
+            t_full * 1e3,
+            t_init * 1e3,
+            broken.diff.raised.len(),
+            repaired.diff.cleared.len()
+        );
+
+        let mut r = rng(303);
+        let mut batch_json: Vec<String> = Vec::new();
+        let mut single_edit_speedup = f64::NAN;
+        for &batch in &batch_sizes {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let edits: Vec<(NodeId, String)> = (0..batch)
+                    .map(|_| {
+                        (
+                            orders[r.gen_range(0..orders.len())],
+                            format!("s{}", r.gen_range(0..rows)),
+                        )
+                    })
+                    .collect();
+                let start = std::time::Instant::now();
+                for (o, sup) in &edits {
+                    let out = live
+                        .set_attr(*o, "sup", AttrValue::single(sup.clone()))
+                        .unwrap();
+                    std::hint::black_box(&out);
+                }
+                best = best.min(start.elapsed().as_secs_f64() / batch as f64);
+            }
+            let speedup = t_full / best;
+            if batch == 1 {
+                single_edit_speedup = speedup;
+            }
+            println!(
+                "        batch {batch:4}: {:9.3} µs/edit   ×{speedup:9.0} vs full revalidate",
+                best * 1e6
+            );
+            batch_json.push(format!(
+                "{{\"batch\": {batch}, \"seconds_per_edit\": {best:.9}, \"speedup_vs_full\": {speedup:.1}}}"
+            ));
+        }
+        // The headline claim: at 10⁶ vertices a single edit revalidates
+        // ≥10× faster than a from-scratch pass (in practice far more).
+        if n >= 1_000_000 {
+            assert!(
+                single_edit_speedup >= 10.0,
+                "expected ≥10× single-edit speedup at n={n}, got ×{single_edit_speedup:.1}"
+            );
+        }
+        json_rows.push(format!(
+            "      {{\"nodes\": {nodes}, \"full_validate_seconds\": {t_full:.6}, \"live_init_seconds\": {t_init:.6}, \"incremental\": [{}]}}",
+            batch_json.join(", ")
+        ));
+    }
+    register_section(
+        "e13_incremental",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload; random order.sup retargets through LiveValidator (seed 101/303)\",\n    \"rows\": [\n{}\n    ]\n  }}",
             json_rows.join(",\n")
         ),
     );

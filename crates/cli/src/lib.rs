@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream]
+//! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -17,6 +18,12 @@
 //!   streams over the source text in one bounded-memory pass
 //!   ([`Validator::validate_events`]); `--no-stream` materializes the
 //!   document tree first. Both paths print identical reports.
+//! * `apply-edits` — loads a document into a [`LiveValidator`], plays a
+//!   line-based edit script against it (`set-attr`, `remove-attr`,
+//!   `set-text`, `delete`, `insert`; vertices are addressed by the node
+//!   numbers `render` prints), and prints the violations each edit raised
+//!   (`+`) and cleared (`-`) followed by the final report — incremental
+//!   revalidation, never a from-scratch pass per edit.
 //! * `implies` — decides `Σ ⊨ φ` / `Σ ⊨_f φ` with the solver matching
 //!   `--lang`, printing the derivation or a countermodel when available.
 //! * `path` — decides a Section-4 path constraint
@@ -52,6 +59,7 @@ struct Opts {
     emit_countermodel: Option<String>,
     threads: Option<usize>,
     no_stream: bool,
+    ids: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -77,6 +85,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 );
             }
             "--lenient" => o.lenient = true,
+            "--ids" => o.ids = true,
             "--stream" => o.no_stream = false,
             "--no-stream" => o.no_stream = true,
             "--finite" => o.finite = true,
@@ -154,10 +163,17 @@ usage:
                [--threads N]   (0 = auto, 1 = sequential; reports are identical either way)
                [--stream|--no-stream]  (default --stream: single-pass validation straight
                from the source text; --no-stream parses a tree first — same report)
+  xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
+               [--lenient]   incremental revalidation: per edit, prints the violations it
+               raised (+) and cleared (-), then the final report. Script lines
+               (# comments; vertices are the node numbers `render --ids` prints):
+                 set-attr NODE ATTR V[,V...]    remove-attr NODE ATTR
+                 set-text NODE INDEX [TEXT]     delete NODE
+                 insert PARENT POSITION <xml fragment>
   xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
                [--emit-countermodel FILE] CONSTRAINT
   xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
-  xic render   <doc.xml>
+  xic render   <doc.xml> [--ids]
   xic xsd      --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid";
 
 fn run_inner(args: &[String], out: &mut String) -> Result<i32, String> {
@@ -167,6 +183,7 @@ fn run_inner(args: &[String], out: &mut String) -> Result<i32, String> {
     let o = parse_opts(rest)?;
     match cmd.as_str() {
         "validate" => cmd_validate(&o, out),
+        "apply-edits" => cmd_apply_edits(&o, out),
         "implies" => cmd_implies(&o, out),
         "path" => cmd_path(&o, out),
         "render" => cmd_render(&o, out),
@@ -206,6 +223,127 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
             .validate_events(events)
             .map_err(|e| e.to_string())?
     };
+    let _ = write!(out, "{report}");
+    Ok(if report.is_valid() { 0 } else { 1 })
+}
+
+/// Splits `n` whitespace-separated tokens off the front of `line` and
+/// returns them with the (trimmed) remainder of the line.
+fn split_tokens(line: &str, n: usize) -> Result<(Vec<&str>, &str), String> {
+    let mut rest = line;
+    let mut toks = Vec::with_capacity(n);
+    for _ in 0..n {
+        rest = rest.trim_start();
+        let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+        if end == 0 {
+            return Err(format!("too few arguments in {line:?}"));
+        }
+        toks.push(&rest[..end]);
+        rest = &rest[end..];
+    }
+    Ok((toks, rest.trim_start()))
+}
+
+/// Parses a vertex address: the node number `render --ids` prints, with an
+/// optional `#` or `n` prefix (`7`, `#7` and `n7` all name vertex 7).
+fn parse_node(s: &str) -> Result<NodeId, String> {
+    let digits = s.strip_prefix(['#', 'n']).unwrap_or(s);
+    digits
+        .parse::<usize>()
+        .map(NodeId::from_index)
+        .map_err(|_| format!("bad node id {s:?} (expected a node number, e.g. 7 or #7)"))
+}
+
+/// Applies one line of an edit script to the live validator.
+fn apply_script_line(live: &mut LiveValidator<'_, '_>, line: &str) -> Result<EditOutcome, String> {
+    let (cmd, _) = split_tokens(line, 1)?;
+    let model_err = |e: xic::model::ModelError| e.to_string();
+    match cmd[0] {
+        "set-attr" => {
+            let (toks, value) = split_tokens(line, 3)?;
+            if value.is_empty() {
+                return Err("set-attr NODE ATTR V[,V...]: missing value".into());
+            }
+            let vals: Vec<&str> = value.split(',').collect();
+            let av = if let [single] = vals.as_slice() {
+                AttrValue::single(*single)
+            } else {
+                AttrValue::set(vals)
+            };
+            live.set_attr(parse_node(toks[1])?, toks[2], av)
+                .map_err(model_err)
+        }
+        "remove-attr" => {
+            let (toks, rest) = split_tokens(line, 3)?;
+            if !rest.is_empty() {
+                return Err("remove-attr takes exactly NODE ATTR".into());
+            }
+            live.remove_attr(parse_node(toks[1])?, toks[2])
+                .map_err(model_err)
+        }
+        "set-text" => {
+            let (toks, text) = split_tokens(line, 3)?;
+            let index: usize = toks[2]
+                .parse()
+                .map_err(|_| format!("bad text index {:?}", toks[2]))?;
+            live.set_text(parse_node(toks[1])?, index, text)
+                .map_err(model_err)
+        }
+        "delete" => {
+            let (toks, rest) = split_tokens(line, 2)?;
+            if !rest.is_empty() {
+                return Err("delete takes exactly NODE".into());
+            }
+            live.delete_subtree(parse_node(toks[1])?).map_err(model_err)
+        }
+        "insert" => {
+            let (toks, fragment) = split_tokens(line, 3)?;
+            let position: usize = toks[2]
+                .parse()
+                .map_err(|_| format!("bad position {:?}", toks[2]))?;
+            let sub = parse_document(fragment).map_err(|e| format!("bad fragment: {e}"))?;
+            live.insert_subtree(parse_node(toks[1])?, position, &sub.tree)
+                .map_err(model_err)
+        }
+        other => Err(format!(
+            "unknown edit {other:?} (expected set-attr, remove-attr, set-text, delete or insert)"
+        )),
+    }
+}
+
+fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let [doc_path, script_path] = o.positional.as_slice() else {
+        return Err("apply-edits takes a document and an edit script".into());
+    };
+    let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
+    let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
+    let mut options = if o.lenient {
+        Options::lenient()
+    } else {
+        Options::default()
+    };
+    if let Some(threads) = o.threads {
+        options = options.with_threads(threads);
+    }
+    let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+    let mut live = LiveValidator::new(&validator, doc.tree);
+    let script = read(script_path)?;
+    for (idx, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let outcome = apply_script_line(&mut live, line)
+            .map_err(|e| format!("{script_path}:{}: {e}", idx + 1))?;
+        let _ = writeln!(out, "edit: {line}");
+        for v in &outcome.diff.raised {
+            let _ = writeln!(out, "  + {v}");
+        }
+        for v in &outcome.diff.cleared {
+            let _ = writeln!(out, "  - {v}");
+        }
+    }
+    let report = live.report();
     let _ = write!(out, "{report}");
     Ok(if report.is_valid() { 0 } else { 1 })
 }
@@ -357,7 +495,11 @@ fn cmd_render(o: &Opts, out: &mut String) -> Result<i32, String> {
         return Err("render takes exactly one document".into());
     };
     let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
-    out.push_str(&render_tree(&doc.tree, &RenderOptions::default()));
+    let opts = RenderOptions {
+        show_ids: o.ids,
+        ..RenderOptions::default()
+    };
+    out.push_str(&render_tree(&doc.tree, &opts));
     Ok(0)
 }
 
@@ -532,6 +674,118 @@ ref.to <=s entry.isbn";
         );
         let (code, out) = call(&["validate", doc.to_str().unwrap()]);
         assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn apply_edits_reports_raised_and_cleared_violations() {
+        let dtd = tmp("book8.dtd", BOOK_DTD);
+        let sigma = tmp("book8.sigma", BOOK_SIGMA);
+        let doc = tmp("good8.xml", GOOD_DOC);
+        // GOOD_DOC node numbers: 0 book, 1 entry, 2 title, 3 publisher,
+        // 4 author, 5 ref.
+        let script = tmp(
+            "edits8.txt",
+            "# break the set-valued foreign key, then repair it\n\
+             set-attr 5 to dangling\n\
+             set-attr #5 to x1\n",
+        );
+        let (code, out) = call(&[
+            "apply-edits",
+            doc.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("+ ") && out.contains("dangling"), "{out}");
+        assert!(out.contains("- "), "expected the repair to clear: {out}");
+        assert!(out.contains("valid"), "{out}");
+    }
+
+    #[test]
+    fn apply_edits_insert_and_delete_match_fresh_validation() {
+        let dtd = tmp("book9.dtd", BOOK_DTD);
+        let sigma = tmp("book9.sigma", BOOK_SIGMA);
+        let doc = tmp("good9.xml", GOOD_DOC);
+        // A second entry with a duplicate isbn violates both the key and
+        // book's content model; deleting the original restores validity.
+        let script = tmp(
+            "edits9.txt",
+            "insert 0 1 <entry isbn=\"x1\"><title>T2</title><publisher>P2</publisher></entry>\n",
+        );
+        let base = [
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ];
+        let mut args = vec![
+            "apply-edits",
+            doc.to_str().unwrap(),
+            script.to_str().unwrap(),
+        ];
+        args.extend(base);
+        let (code, out) = call(&args);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("key"), "{out}");
+
+        let script2 = tmp(
+            "edits9b.txt",
+            "insert 0 1 <entry isbn=\"x1\"><title>T2</title><publisher>P2</publisher></entry>\n\
+             delete 1\n",
+        );
+        let mut args = vec![
+            "apply-edits",
+            doc.to_str().unwrap(),
+            script2.to_str().unwrap(),
+        ];
+        args.extend(base);
+        let (code, out) = call(&args);
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn apply_edits_rejects_malformed_scripts() {
+        let dtd = tmp("book10.dtd", BOOK_DTD);
+        let sigma = tmp("book10.sigma", BOOK_SIGMA);
+        let doc = tmp("good10.xml", GOOD_DOC);
+        for (name, bad_line, needle) in [
+            ("e10a.txt", "frobnicate 1", "unknown edit"),
+            ("e10b.txt", "set-attr zap to x1", "bad node id"),
+            ("e10c.txt", "set-attr 5 to", "missing value"),
+            ("e10d.txt", "delete 99", "unknown vertex"),
+            ("e10e.txt", "insert 0 0 <oops", "bad fragment"),
+        ] {
+            let script = tmp(name, bad_line);
+            let (code, out) = call(&[
+                "apply-edits",
+                doc.to_str().unwrap(),
+                script.to_str().unwrap(),
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--root",
+                "book",
+                "--sigma",
+                sigma.to_str().unwrap(),
+            ]);
+            assert_eq!(code, 2, "{bad_line}: {out}");
+            assert!(out.to_lowercase().contains(needle), "{bad_line}: {out}");
+        }
+    }
+
+    #[test]
+    fn render_ids_flag_numbers_vertices() {
+        let doc = tmp("render_ids.xml", GOOD_DOC);
+        let (code, out) = call(&["render", doc.to_str().unwrap(), "--ids"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("#0 book"), "{out}");
+        assert!(out.contains("#1 entry"), "{out}");
     }
 
     #[test]

@@ -90,12 +90,13 @@ pub mod prelude {
     };
     pub use xic_legacy::{ObjSchema, RelSchema};
     pub use xic_model::{
-        render_tree, AttrValue, DataTree, ExtIndex, Name, NodeId, RenderOptions, TreeBuilder,
+        render_tree, AttrValue, DataTree, Edit, ExtIndex, Name, NodeId, RenderOptions, TreeBuilder,
     };
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
     pub use xic_validate::{
-        check_constraint, validate, MatcherKind, Options, Report, Validator, Violation,
+        check_constraint, validate, EditOutcome, LiveValidator, MatcherKind, Options, Report,
+        ReportDiff, Validator, Violation,
     };
     pub use xic_xml::{
         constraints_to_xsd, parse_document, parse_dtd, parse_events, serialize_document,

@@ -24,7 +24,10 @@
 //!   comparisons into `u32` operations in hot validation paths.
 //!
 //! Trees are built through [`TreeBuilder`], which enforces the single-parent
-//! invariant of Definition 2.1 by construction.
+//! invariant of Definition 2.1 by construction. Finished trees can be
+//! *edited* in place (subtree insert/delete, attribute and text updates);
+//! every mutation returns a typed [`Edit`] delta so that derived indexes —
+//! notably incremental validators — can follow along without rescanning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,5 +43,5 @@ pub use interner::{Interner, Sym};
 pub use name::Name;
 pub use render::{render_tree, RenderOptions};
 pub use tree::{
-    AttrValue, Child, DataTree, ExtIndex, ModelError, Node, NodeId, TreeBuilder, Value,
+    AttrValue, Child, DataTree, Edit, ExtIndex, ModelError, Node, NodeId, TreeBuilder, Value,
 };

@@ -13,6 +13,9 @@ pub struct RenderOptions {
     pub show_attrs: bool,
     /// Whether string children are shown.
     pub show_text: bool,
+    /// Whether each vertex is prefixed with its node number (`#N`) — the
+    /// id an edit script passes to `apply-edits`.
+    pub show_ids: bool,
 }
 
 impl Default for RenderOptions {
@@ -21,6 +24,7 @@ impl Default for RenderOptions {
             max_depth: usize::MAX,
             show_attrs: true,
             show_text: true,
+            show_ids: false,
         }
     }
 }
@@ -50,7 +54,11 @@ pub fn render_tree(tree: &DataTree, opts: &RenderOptions) -> String {
 fn render_node(tree: &DataTree, id: NodeId, depth: usize, opts: &RenderOptions, out: &mut String) {
     let pad = "  ".repeat(depth);
     let node = tree.node(id);
-    let _ = write!(out, "{pad}{}", node.label);
+    if opts.show_ids {
+        let _ = write!(out, "{pad}#{} {}", id.index(), node.label);
+    } else {
+        let _ = write!(out, "{pad}{}", node.label);
+    }
     if opts.show_attrs {
         for (name, value) in node.attrs() {
             let _ = write!(out, "  @{name} = {value}");
@@ -109,9 +117,24 @@ mod tests {
                 max_depth: 0,
                 show_attrs: false,
                 show_text: false,
+                show_ids: false,
             },
         );
         assert_eq!(s.trim(), "book");
+    }
+
+    #[test]
+    fn show_ids_prefixes_node_numbers() {
+        let t = small();
+        let s = render_tree(
+            &t,
+            &RenderOptions {
+                show_ids: true,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(s.lines().next().unwrap().starts_with("#0 book"), "{s}");
+        assert!(s.contains("#1 entry"), "{s}");
     }
 
     #[test]

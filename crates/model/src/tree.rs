@@ -205,7 +205,7 @@ impl Node {
     }
 }
 
-/// Errors raised while constructing a data tree.
+/// Errors raised while constructing or editing a data tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ModelError {
     /// A node was attached below two different parents, violating the tree
@@ -230,6 +230,33 @@ pub enum ModelError {
         /// Count of vertices outside the root's tree.
         orphans: usize,
     },
+    /// An edit addressed a vertex that was already deleted.
+    DeadNode(NodeId),
+    /// The root vertex cannot be deleted.
+    RootDelete(NodeId),
+    /// An insert position exceeded the parent's child count.
+    BadPosition {
+        /// The parent vertex.
+        node: NodeId,
+        /// The requested child-list position.
+        position: usize,
+        /// The parent's current child count.
+        len: usize,
+    },
+    /// [`DataTree::set_text`] addressed a text child that does not exist.
+    NoSuchText {
+        /// The vertex.
+        node: NodeId,
+        /// The requested text-child index.
+        index: usize,
+    },
+    /// [`DataTree::remove_attr`] addressed an attribute that is not set.
+    NoSuchAttribute {
+        /// The vertex.
+        node: NodeId,
+        /// The missing attribute.
+        attr: Name,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -248,20 +275,149 @@ impl fmt::Display for ModelError {
             ModelError::Unreachable { orphans } => {
                 write!(f, "{orphans} vertices are not reachable from the root")
             }
+            ModelError::DeadNode(n) => write!(f, "vertex {n:?} was deleted"),
+            ModelError::RootDelete(n) => {
+                write!(f, "cannot delete the root vertex {n:?}")
+            }
+            ModelError::BadPosition {
+                node,
+                position,
+                len,
+            } => {
+                write!(
+                    f,
+                    "position {position} out of range for {node:?} with {len} children"
+                )
+            }
+            ModelError::NoSuchText { node, index } => {
+                write!(f, "vertex {node:?} has no text child #{index}")
+            }
+            ModelError::NoSuchAttribute { node, attr } => {
+                write!(f, "no attribute {attr} on {node:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for ModelError {}
 
+/// A typed delta describing one successful mutation of a [`DataTree`].
+///
+/// Edits are the currency of incremental revalidation: applying a mutation
+/// method on [`DataTree`] returns the `Edit` actually performed, carrying
+/// enough context (parent, position, displaced values) for a consumer to
+/// update derived indexes without rescanning the tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// A subtree was grafted under `parent` at child-list `position`.
+    InsertSubtree {
+        /// The vertex the subtree was attached to.
+        parent: NodeId,
+        /// Position in `parent`'s full (text + element) child list.
+        position: usize,
+        /// The root of the newly created subtree (ids are freshly
+        /// allocated at the end of the arena, in fragment document order).
+        root: NodeId,
+        /// Number of vertices created.
+        count: usize,
+    },
+    /// The subtree rooted at `root` was detached and deleted.
+    DeleteSubtree {
+        /// The former parent of the deleted root.
+        parent: NodeId,
+        /// The child-list position the subtree was removed from.
+        position: usize,
+        /// The root of the deleted subtree (its id is never reused).
+        root: NodeId,
+        /// Number of vertices deleted.
+        count: usize,
+    },
+    /// Attribute `attr` on `node` was set (created or replaced).
+    SetAttr {
+        /// The vertex edited.
+        node: NodeId,
+        /// The attribute name.
+        attr: Name,
+        /// The previous value, if the attribute was already set.
+        old: Option<AttrValue>,
+        /// The new value.
+        new: AttrValue,
+    },
+    /// Attribute `attr` on `node` was removed.
+    RemoveAttr {
+        /// The vertex edited.
+        node: NodeId,
+        /// The attribute name.
+        attr: Name,
+        /// The removed value.
+        old: AttrValue,
+    },
+    /// The `index`-th text child of `node` was replaced.
+    SetText {
+        /// The vertex edited.
+        node: NodeId,
+        /// Index among the vertex's text children (element children do
+        /// not count).
+        index: usize,
+        /// The previous text.
+        old: Value,
+        /// The new text.
+        new: Value,
+    },
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::InsertSubtree {
+                parent,
+                position,
+                root,
+                count,
+            } => write!(
+                f,
+                "insert {root:?} ({count} vertices) under {parent:?} at {position}"
+            ),
+            Edit::DeleteSubtree {
+                parent,
+                position,
+                root,
+                count,
+            } => write!(
+                f,
+                "delete {root:?} ({count} vertices) from {parent:?} at {position}"
+            ),
+            Edit::SetAttr {
+                node, attr, new, ..
+            } => write!(f, "set {node:?}.{attr} = {new}"),
+            Edit::RemoveAttr { node, attr, .. } => write!(f, "remove {node:?}.{attr}"),
+            Edit::SetText {
+                node, index, new, ..
+            } => write!(f, "set text #{index} of {node:?} to {new:?}"),
+        }
+    }
+}
+
 /// A data tree `(V, elem, att, root)` per Definition 2.1.
 ///
-/// Construct via [`TreeBuilder`]; a finished tree is immutable and all its
-/// vertices are reachable from [`DataTree::root`].
+/// Construct via [`TreeBuilder`]. A finished tree may afterwards be edited
+/// through the mutation methods ([`DataTree::insert_subtree`],
+/// [`DataTree::delete_subtree`], [`DataTree::set_attr`],
+/// [`DataTree::remove_attr`], [`DataTree::set_text`]), each returning the
+/// [`Edit`] delta performed. Deleted vertices become *tombstones*: their
+/// ids are never reused, [`DataTree::node`] still resolves them (so
+/// consumers of deltas can read the removed content), but they are
+/// excluded from `len`, `node_ids`, `ext` and every derived view.
 #[derive(Clone, Debug)]
 pub struct DataTree {
     nodes: Vec<Node>,
     root: NodeId,
+    /// Tombstone flags; empty means "no vertex was ever deleted" (the
+    /// common case for freshly built trees), otherwise one flag per arena
+    /// slot.
+    dead: Vec<bool>,
+    /// Count of tombstoned vertices.
+    dead_count: usize,
 }
 
 impl DataTree {
@@ -270,14 +426,26 @@ impl DataTree {
         self.root
     }
 
-    /// Number of vertices `|V|`.
+    /// Number of live vertices `|V|` (tombstones excluded).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.dead_count
     }
 
     /// True iff the tree has no vertices (never true for built trees).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// Exclusive upper bound on node ids ever allocated in this tree,
+    /// including tombstones. Freshly inserted subtrees receive ids in
+    /// `id_bound()..` at the moment of insertion.
+    pub fn id_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff `id` belongs to this tree and has not been deleted.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len() && !self.dead.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Access a vertex.
@@ -308,9 +476,16 @@ impl DataTree {
             .collect()
     }
 
-    /// All vertices, in creation (document) order.
-    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.nodes.len() as u32).map(NodeId)
+    /// All live vertices, in creation order.
+    ///
+    /// For trees that were never edited, creation order coincides with
+    /// document order; after subtree insertions the two may diverge (new
+    /// vertices always take ids at the end of the arena), but creation
+    /// order remains the canonical scan order of every validation path.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&id| self.is_alive(id))
     }
 
     /// `ext(τ)` — the vertices labelled `τ`, in document order.
@@ -339,12 +514,209 @@ impl DataTree {
         d
     }
 
-    /// Total count of text children across all vertices.
+    /// Total count of text children across all live vertices.
     pub fn text_len(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| n.children.iter().filter(|c| c.as_text().is_some()).count())
+        self.node_ids()
+            .map(|id| {
+                self.node(id)
+                    .children
+                    .iter()
+                    .filter(|c| c.as_text().is_some())
+                    .count()
+            })
             .sum()
+    }
+
+    fn check_alive(&self, id: NodeId) -> Result<(), ModelError> {
+        if id.index() >= self.nodes.len() {
+            Err(ModelError::UnknownNode(id))
+        } else if !self.is_alive(id) {
+            Err(ModelError::DeadNode(id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sets attribute `l` on `node`, creating or replacing it, and returns
+    /// the [`Edit::SetAttr`] delta (carrying the displaced value, if any).
+    pub fn set_attr(
+        &mut self,
+        node: NodeId,
+        l: impl Into<Name>,
+        value: AttrValue,
+    ) -> Result<Edit, ModelError> {
+        self.check_alive(node)?;
+        let l = l.into();
+        let attrs = &mut self.nodes[node.index()].attrs;
+        let old = match attrs.binary_search_by(|(n, _)| n.cmp(&l)) {
+            Ok(i) => Some(std::mem::replace(&mut attrs[i].1, value.clone())),
+            Err(pos) => {
+                attrs.insert(pos, (l.clone(), value.clone()));
+                None
+            }
+        };
+        Ok(Edit::SetAttr {
+            node,
+            attr: l,
+            old,
+            new: value,
+        })
+    }
+
+    /// Removes attribute `l` from `node`, returning the
+    /// [`Edit::RemoveAttr`] delta. Errors if the attribute is not set.
+    pub fn remove_attr(&mut self, node: NodeId, l: &str) -> Result<Edit, ModelError> {
+        self.check_alive(node)?;
+        let attrs = &mut self.nodes[node.index()].attrs;
+        match attrs.binary_search_by(|(n, _)| n.as_str().cmp(l)) {
+            Ok(i) => {
+                let (attr, old) = attrs.remove(i);
+                Ok(Edit::RemoveAttr { node, attr, old })
+            }
+            Err(_) => Err(ModelError::NoSuchAttribute {
+                node,
+                attr: Name::new(l),
+            }),
+        }
+    }
+
+    /// Replaces the `index`-th *text* child of `node` (element children do
+    /// not count towards `index`), returning the [`Edit::SetText`] delta.
+    ///
+    /// The child word of `node` is unchanged by this edit (a text slot
+    /// stays a text slot), so content models never need rechecking.
+    pub fn set_text(
+        &mut self,
+        node: NodeId,
+        index: usize,
+        text: impl Into<Value>,
+    ) -> Result<Edit, ModelError> {
+        self.check_alive(node)?;
+        let text = text.into();
+        let mut k = 0usize;
+        for c in &mut self.nodes[node.index()].children {
+            if let Child::Text(t) = c {
+                if k == index {
+                    let old = std::mem::replace(t, text.clone());
+                    return Ok(Edit::SetText {
+                        node,
+                        index,
+                        old,
+                        new: text,
+                    });
+                }
+                k += 1;
+            }
+        }
+        Err(ModelError::NoSuchText { node, index })
+    }
+
+    /// Grafts a copy of `fragment` (its live vertices) under `parent` at
+    /// child-list `position`, returning the [`Edit::InsertSubtree`] delta.
+    ///
+    /// The copied vertices receive fresh ids at the end of this tree's
+    /// arena, assigned in `fragment` creation order, so existing ids are
+    /// undisturbed and `ext(τ)` views only ever *append*.
+    pub fn insert_subtree(
+        &mut self,
+        parent: NodeId,
+        position: usize,
+        fragment: &DataTree,
+    ) -> Result<Edit, ModelError> {
+        self.check_alive(parent)?;
+        let len = self.nodes[parent.index()].children.len();
+        if position > len {
+            return Err(ModelError::BadPosition {
+                node: parent,
+                position,
+                len,
+            });
+        }
+        // Map live fragment ids to fresh ids, in creation order.
+        let map: HashMap<u32, u32> = (self.nodes.len() as u32..)
+            .zip(fragment.node_ids())
+            .map(|(next, id)| (id.0, next))
+            .collect();
+        for id in fragment.node_ids() {
+            let src = fragment.node(id);
+            let children = src
+                .children
+                .iter()
+                .map(|c| match c {
+                    Child::Text(t) => Child::Text(t.clone()),
+                    Child::Node(n) => Child::Node(NodeId(map[&n.0])),
+                })
+                .collect();
+            let parent_link = if id == fragment.root() {
+                Some(parent)
+            } else {
+                src.parent().map(|p| NodeId(map[&p.0]))
+            };
+            self.nodes.push(Node {
+                label: src.label.clone(),
+                children,
+                attrs: src.attrs.clone(),
+                parent: parent_link,
+            });
+        }
+        if !self.dead.is_empty() {
+            self.dead.resize(self.nodes.len(), false);
+        }
+        let root = NodeId(map[&fragment.root().0]);
+        self.nodes[parent.index()]
+            .children
+            .insert(position, Child::Node(root));
+        Ok(Edit::InsertSubtree {
+            parent,
+            position,
+            root,
+            count: map.len(),
+        })
+    }
+
+    /// Detaches and deletes the subtree rooted at `node`, returning the
+    /// [`Edit::DeleteSubtree`] delta. The root of the tree cannot be
+    /// deleted. Deleted vertices become tombstones readable via
+    /// [`DataTree::node`] but excluded from all live views.
+    pub fn delete_subtree(&mut self, node: NodeId) -> Result<Edit, ModelError> {
+        self.check_alive(node)?;
+        if node == self.root {
+            return Err(ModelError::RootDelete(node));
+        }
+        let parent = self.nodes[node.index()]
+            .parent
+            .expect("non-root vertex has a parent");
+        let position = self.nodes[parent.index()]
+            .children
+            .iter()
+            .position(|c| c.as_node() == Some(node))
+            .expect("parent lists the vertex as a child");
+        self.nodes[parent.index()].children.remove(position);
+        self.nodes[node.index()].parent = None;
+        if self.dead.is_empty() {
+            self.dead = vec![false; self.nodes.len()];
+        }
+        let mut stack = vec![node];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if self.dead[id.index()] {
+                continue;
+            }
+            self.dead[id.index()] = true;
+            count += 1;
+            for c in &self.nodes[id.index()].children {
+                if let Child::Node(n) = c {
+                    stack.push(*n);
+                }
+            }
+        }
+        self.dead_count += count;
+        Ok(Edit::DeleteSubtree {
+            parent,
+            position,
+            root: node,
+            count,
+        })
     }
 }
 
@@ -562,6 +934,8 @@ impl TreeBuilder {
         Ok(DataTree {
             nodes: self.nodes,
             root,
+            dead: Vec::new(),
+            dead_count: 0,
         })
     }
 }
@@ -716,5 +1090,170 @@ mod tests {
         b.text(r, "on the Web").unwrap();
         let t = b.finish(r).unwrap();
         assert_eq!(t.node(r).text(), "Data on the Web");
+    }
+
+    #[test]
+    fn set_attr_replaces_and_creates() {
+        let mut t = book_tree();
+        let entry = t.ext("entry").next().unwrap();
+        let e = t
+            .set_attr(entry, "isbn", AttrValue::single("0-201-53771-0"))
+            .unwrap();
+        assert_eq!(
+            e,
+            Edit::SetAttr {
+                node: entry,
+                attr: Name::new("isbn"),
+                old: Some(AttrValue::single("1-55860-622-X")),
+                new: AttrValue::single("0-201-53771-0"),
+            }
+        );
+        assert_eq!(
+            t.attr(entry, "isbn").unwrap().as_single().unwrap(),
+            "0-201-53771-0"
+        );
+        let e = t.set_attr(entry, "lang", AttrValue::single("en")).unwrap();
+        assert!(matches!(e, Edit::SetAttr { old: None, .. }));
+        assert_eq!(t.attr(entry, "lang").unwrap().as_single().unwrap(), "en");
+    }
+
+    #[test]
+    fn remove_attr_and_errors() {
+        let mut t = book_tree();
+        let entry = t.ext("entry").next().unwrap();
+        let e = t.remove_attr(entry, "isbn").unwrap();
+        assert!(matches!(e, Edit::RemoveAttr { .. }));
+        assert!(t.attr(entry, "isbn").is_none());
+        assert_eq!(
+            t.remove_attr(entry, "isbn"),
+            Err(ModelError::NoSuchAttribute {
+                node: entry,
+                attr: Name::new("isbn")
+            })
+        );
+    }
+
+    #[test]
+    fn set_text_replaces_kth_text_child() {
+        let mut t = book_tree();
+        let title = t.ext("title").next().unwrap();
+        let e = t.set_text(title, 0, "Web Data").unwrap();
+        assert_eq!(
+            e,
+            Edit::SetText {
+                node: title,
+                index: 0,
+                old: "Data on the Web".into(),
+                new: "Web Data".into(),
+            }
+        );
+        assert_eq!(t.node(title).text(), "Web Data");
+        assert_eq!(
+            t.set_text(title, 1, "x"),
+            Err(ModelError::NoSuchText {
+                node: title,
+                index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn delete_subtree_tombstones_without_id_reuse() {
+        let mut t = book_tree();
+        let before = t.len();
+        let bound = t.id_bound();
+        let s1 = t.ext("section").next().unwrap();
+        let e = t.delete_subtree(s1).unwrap();
+        // s1 holds a title leaf and a nested section: 3 vertices total.
+        assert_eq!(
+            e,
+            Edit::DeleteSubtree {
+                parent: t.root(),
+                position: 4,
+                root: s1,
+                count: 3,
+            }
+        );
+        assert_eq!(t.len(), before - 3);
+        assert_eq!(t.id_bound(), bound, "ids are never reclaimed");
+        assert!(!t.is_alive(s1));
+        assert_eq!(t.ext("section").count(), 0);
+        assert!(t.node_ids().all(|id| t.is_alive(id)));
+        // Tombstones stay readable (delta consumers need the content)...
+        assert_eq!(t.node(s1).label.as_str(), "section");
+        // ...but cannot be edited or deleted again.
+        assert_eq!(t.delete_subtree(s1), Err(ModelError::DeadNode(s1)));
+        assert_eq!(
+            t.set_attr(s1, "sid", AttrValue::single("x")),
+            Err(ModelError::DeadNode(s1))
+        );
+        assert_eq!(
+            t.delete_subtree(t.root()),
+            Err(ModelError::RootDelete(t.root()))
+        );
+    }
+
+    #[test]
+    fn insert_subtree_grafts_fresh_ids_at_arena_end() {
+        let mut t = book_tree();
+        let mut fb = TreeBuilder::new();
+        let s = fb.node("section");
+        fb.attr(s, "sid", AttrValue::single("new")).unwrap();
+        fb.leaf(s, "title", "New Section").unwrap();
+        let frag = fb.finish(s).unwrap();
+
+        let bound = t.id_bound();
+        let before = t.len();
+        let e = t.insert_subtree(t.root(), 0, &frag).unwrap();
+        let Edit::InsertSubtree {
+            parent,
+            position,
+            root,
+            count,
+        } = e
+        else {
+            panic!("expected InsertSubtree, got {e:?}");
+        };
+        assert_eq!((parent, position, count), (t.root(), 0, 2));
+        assert_eq!(root.index(), bound, "fresh ids start at the old bound");
+        assert_eq!(t.len(), before + 2);
+        assert_eq!(t.node(root).parent(), Some(t.root()));
+        assert_eq!(t.node(t.root()).children[0].as_node(), Some(root));
+        assert_eq!(t.attr(root, "sid").unwrap().as_single().unwrap(), "new");
+        assert_eq!(t.ext("section").count(), 3);
+        // Position past the end is rejected.
+        let n = t.node(t.root()).children.len();
+        assert_eq!(
+            t.insert_subtree(t.root(), n + 1, &frag),
+            Err(ModelError::BadPosition {
+                node: t.root(),
+                position: n + 1,
+                len: n,
+            })
+        );
+    }
+
+    #[test]
+    fn insert_skips_fragment_tombstones() {
+        let mut fb = TreeBuilder::new();
+        let r = fb.node("db");
+        let keep = fb.child_node(r, "keep").unwrap();
+        let drop_ = fb.child_node(r, "drop").unwrap();
+        let mut frag = fb.finish(r).unwrap();
+        frag.delete_subtree(drop_).unwrap();
+
+        let mut tb = TreeBuilder::new();
+        let host = tb.node("host");
+        let mut t = tb.finish(host).unwrap();
+        let e = t.insert_subtree(host, 0, &frag).unwrap();
+        let Edit::InsertSubtree { root, count, .. } = e else {
+            panic!()
+        };
+        assert_eq!(count, 2, "only live fragment vertices are copied");
+        assert_eq!(t.node(root).label.as_str(), "db");
+        let kids: Vec<_> = t.node(root).child_nodes().collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(t.node(kids[0]).label.as_str(), "keep");
+        let _ = keep;
     }
 }

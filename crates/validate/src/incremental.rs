@@ -1,0 +1,2064 @@
+//! Incremental constraint revalidation under document edits.
+//!
+//! [`Validator::validate`] rebuilds the extent index, re-extracts every
+//! planned column, and rescans every constraint for each call — Θ(doc) work
+//! even when one attribute changed. [`LiveValidator`] instead owns the tree
+//! and maintains, across edits, exactly the state a from-scratch run would
+//! compute:
+//!
+//! * a **mutable columnar store** — per planned `(τ, field)` a map from
+//!   vertex to interned value plus a reverse occurrence index (value ↦
+//!   vertices), replacing the extent-aligned one-shot columns of
+//!   [`crate::plan`]'s `DocIndex`;
+//! * **refcounted membership sets** ([`CountedSymSet`], and tuple refcounts
+//!   for n-ary foreign keys) in place of the one-shot first-seen tables and
+//!   bitsets, so target values can be retracted one occurrence at a time;
+//! * a **per-vertex structural map**: the content-model and attribute
+//!   violations of each vertex, recomputed only for vertices whose own
+//!   child word or attributes an edit touched;
+//! * per-constraint **violation tables** keyed so that in-order iteration
+//!   reproduces the sequential engine's emission order byte for byte.
+//!
+//! Each edit returns an [`EditOutcome`]: the typed [`Edit`] delta the tree
+//! produced and a [`ReportDiff`] of violations newly raised and newly
+//! cleared, while [`LiveValidator::report`] stays byte-identical to
+//! `Validator::validate` on the current tree (enforced by the
+//! `incremental_equivalence` proptest).
+//!
+//! Per edit the work is bounded by the number of vertices whose violation
+//! status can actually change — the edited vertex, its parent, and the
+//! vertices sharing a key/reference value with it — never by document size.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use xic_constraints::{Constraint, DtdC, Field};
+use xic_model::{
+    AttrValue, DataTree, Edit, ExtIndex, FastHashMap, Interner, ModelError, Name, NodeId, Sym,
+    Value,
+};
+use xic_regex::Symbol;
+
+use crate::plan::{extract_single, CountedSymSet};
+use crate::report::{Report, Violation};
+use crate::structure::Validator;
+
+/// The violations an edit newly raised and newly cleared.
+///
+/// `old report + raised − cleared = new report` as multisets; violations
+/// that merely moved position in the report appear in neither list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReportDiff {
+    /// Violations present after the edit but not before.
+    pub raised: Vec<Violation>,
+    /// Violations present before the edit but not after.
+    pub cleared: Vec<Violation>,
+}
+
+impl ReportDiff {
+    /// True iff the edit changed no violation.
+    pub fn is_empty(&self) -> bool {
+        self.raised.is_empty() && self.cleared.is_empty()
+    }
+}
+
+/// The result of applying one edit through [`LiveValidator`]: the typed
+/// tree delta and the violation diff it caused.
+#[derive(Clone, Debug)]
+pub struct EditOutcome {
+    /// The delta the tree recorded for this edit.
+    pub edit: Edit,
+    /// Violations raised and cleared by this edit.
+    pub diff: ReportDiff,
+}
+
+/// Sort key of one violation entry inside a part's table. The tuples are
+/// chosen per part kind so that `BTreeMap` iteration order equals the
+/// sequential engine's emission order (see each kind's refresh method).
+type VKey = (u32, u32, u32, u32);
+
+/// Records, per touched violation slot, its value *before* the edit; after
+/// all updates ran, comparing against the post-edit value yields the diff.
+#[derive(Default)]
+struct DiffAcc {
+    /// Vertex ↦ its structural violations at first touch.
+    structure: BTreeMap<u32, Vec<Violation>>,
+    /// `(part, key)` ↦ the entry at first touch.
+    parts: BTreeMap<(u32, VKey), Option<Violation>>,
+}
+
+impl DiffAcc {
+    fn touch_struct(&mut self, x: u32, old: &[Violation]) {
+        self.structure.entry(x).or_insert_with(|| old.to_vec());
+    }
+
+    fn touch_part(&mut self, pi: u32, k: VKey, old: Option<&Violation>) {
+        self.parts.entry((pi, k)).or_insert_with(|| old.cloned());
+    }
+
+    fn finalize(self, struct_now: &BTreeMap<u32, Vec<Violation>>, parts: &[Part]) -> ReportDiff {
+        let mut raised = Vec::new();
+        let mut cleared = Vec::new();
+        let empty = Vec::new();
+        for (x, old) in &self.structure {
+            let new = struct_now.get(x).unwrap_or(&empty);
+            let mut leftovers: Vec<&Violation> = old.iter().collect();
+            for v in new {
+                if let Some(i) = leftovers.iter().position(|o| *o == v) {
+                    leftovers.remove(i);
+                } else {
+                    raised.push(v.clone());
+                }
+            }
+            cleared.extend(leftovers.into_iter().cloned());
+        }
+        for ((pi, k), old) in &self.parts {
+            let new = parts[*pi as usize].entries.get(k);
+            match (old, new) {
+                (None, Some(n)) => raised.push(n.clone()),
+                (Some(o), None) => cleared.push(o.clone()),
+                (Some(o), Some(n)) if o != n => {
+                    cleared.push(o.clone());
+                    raised.push(n.clone());
+                }
+                _ => {}
+            }
+        }
+        // An edit that moves a violation between slots (e.g. a key group
+        // whose surviving witness changes) would otherwise report the same
+        // violation as both raised and cleared: cancel such pairs.
+        let mut i = 0;
+        while i < raised.len() {
+            if let Some(j) = cleared.iter().position(|c| *c == raised[i]) {
+                cleared.remove(j);
+                raised.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        ReportDiff { raised, cleared }
+    }
+}
+
+/// One planned single-valued column as a mutable map: vertex ↦ value, plus
+/// the reverse occurrence index the refresh paths probe.
+#[derive(Default)]
+struct SingleCol {
+    vals: FastHashMap<u32, Option<Sym>>,
+    occ: FastHashMap<Sym, BTreeSet<u32>>,
+}
+
+impl SingleCol {
+    /// Sets `x`'s value (tracking `x` if new), returning the previous one.
+    fn set(&mut self, x: u32, new: Option<Sym>) -> Option<Sym> {
+        let slot = self.vals.entry(x).or_insert(None);
+        let old = *slot;
+        *slot = new;
+        if old != new {
+            if let Some(o) = old {
+                if let Some(set) = self.occ.get_mut(&o) {
+                    set.remove(&x);
+                    if set.is_empty() {
+                        self.occ.remove(&o);
+                    }
+                }
+            }
+            if let Some(n) = new {
+                self.occ.entry(n).or_default().insert(x);
+            }
+        }
+        old
+    }
+
+    /// Stops tracking `x`, returning its last value.
+    fn remove(&mut self, x: u32) -> Option<Sym> {
+        let old = self.vals.remove(&x).flatten();
+        if let Some(o) = old {
+            if let Some(set) = self.occ.get_mut(&o) {
+                set.remove(&x);
+                if set.is_empty() {
+                    self.occ.remove(&o);
+                }
+            }
+        }
+        old
+    }
+
+    /// `x`'s value (`None` for an undefined field or an untracked vertex).
+    fn get(&self, x: u32) -> Option<Sym> {
+        self.vals.get(&x).copied().flatten()
+    }
+
+    /// The tracked vertices holding value `v`, ascending.
+    fn nodes_with(&self, v: Sym) -> impl Iterator<Item = u32> + '_ {
+        self.occ.get(&v).into_iter().flatten().copied()
+    }
+}
+
+/// One planned set-valued column: vertex ↦ members (in `AttrValue`'s sorted
+/// order), plus member ↦ vertices.
+#[derive(Default)]
+struct SetCol {
+    vals: FastHashMap<u32, Vec<Sym>>,
+    occ: FastHashMap<Sym, BTreeSet<u32>>,
+}
+
+impl SetCol {
+    fn set(&mut self, x: u32, new: Vec<Sym>) -> Vec<Sym> {
+        let old = self.vals.insert(x, new.clone()).unwrap_or_default();
+        for &m in &old {
+            if let Some(set) = self.occ.get_mut(&m) {
+                set.remove(&x);
+                if set.is_empty() {
+                    self.occ.remove(&m);
+                }
+            }
+        }
+        for &m in &new {
+            self.occ.entry(m).or_default().insert(x);
+        }
+        old
+    }
+
+    fn remove(&mut self, x: u32) -> Vec<Sym> {
+        let old = self.vals.remove(&x).unwrap_or_default();
+        for &m in &old {
+            if let Some(set) = self.occ.get_mut(&m) {
+                set.remove(&x);
+                if set.is_empty() {
+                    self.occ.remove(&m);
+                }
+            }
+        }
+        old
+    }
+
+    fn get(&self, x: u32) -> &[Sym] {
+        self.vals.get(&x).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn nodes_with(&self, v: Sym) -> impl Iterator<Item = u32> + '_ {
+        self.occ.get(&v).into_iter().flatten().copied()
+    }
+}
+
+/// The live counterpart of the one-shot `DocIndex`: every planned column as
+/// a mutable map, sharing one interner. Interning order is irrelevant for
+/// report equality — symbols are only compared for equality/membership, and
+/// violations carry resolved strings.
+struct Store {
+    interner: Interner,
+    singles: HashMap<(Name, Field), SingleCol>,
+    sets: HashMap<(Name, Name), SetCol>,
+}
+
+impl Store {
+    fn single(&self, tau: &Name, f: &Field) -> &SingleCol {
+        self.singles
+            .get(&(tau.clone(), f.clone()))
+            .expect("plan covers every single field a constraint reads")
+    }
+
+    fn set_col(&self, tau: &Name, a: &Name) -> &SetCol {
+        self.sets
+            .get(&(tau.clone(), a.clone()))
+            .expect("plan covers every set attribute a constraint reads")
+    }
+
+    fn resolve(&self, s: Sym) -> &str {
+        self.interner.resolve(s)
+    }
+
+    fn join(&self, t: &[Sym]) -> String {
+        t.iter()
+            .map(|&s| self.resolve(s))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The document-wide ID table: ID value ↦ carriers as `(type rank, vertex)`
+/// pairs, whose `BTreeSet` order equals the sequential engine's
+/// `element_types() × extent` carrier order.
+#[derive(Default)]
+struct IdTable {
+    /// Element type ↦ its rank in `element_types()` order.
+    ranks: FastHashMap<Name, u32>,
+    /// Element type ↦ its ID attribute as a field (types with one only).
+    id_field_of: HashMap<Name, Field>,
+    carriers: FastHashMap<Sym, BTreeSet<(u32, u32)>>,
+}
+
+impl IdTable {
+    fn carriers_of(&self, v: Sym) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.carriers.get(&v).into_iter().flatten().copied()
+    }
+
+    /// Core carrier maintenance, run before parts see the change.
+    fn apply(&mut self, change: &Change, store: &Store) {
+        let IdTable {
+            ranks,
+            id_field_of,
+            carriers,
+        } = self;
+        match change {
+            Change::Single {
+                tau,
+                field,
+                node,
+                old,
+                new,
+            } => {
+                if id_field_of.get(tau) == Some(field) {
+                    let rank = ranks[tau];
+                    if let Some(o) = *old {
+                        if let Some(set) = carriers.get_mut(&o) {
+                            set.remove(&(rank, *node));
+                            if set.is_empty() {
+                                carriers.remove(&o);
+                            }
+                        }
+                    }
+                    if let Some(n) = *new {
+                        carriers.entry(n).or_default().insert((rank, *node));
+                    }
+                }
+            }
+            Change::NodeAdded { tau, node } => {
+                if let Some(f) = id_field_of.get(tau) {
+                    if let Some(v) = store.single(tau, f).get(*node) {
+                        carriers.entry(v).or_default().insert((ranks[tau], *node));
+                    }
+                }
+            }
+            Change::NodeRemoved { tau, node, singles } => {
+                if let Some(f) = id_field_of.get(tau) {
+                    if let Some(v) = snapshot_single(singles, f) {
+                        let rank = ranks[tau];
+                        if let Some(set) = carriers.get_mut(&v) {
+                            set.remove(&(rank, *node));
+                            if set.is_empty() {
+                                carriers.remove(&v);
+                            }
+                        }
+                    }
+                }
+            }
+            Change::Set { .. } => {}
+        }
+    }
+}
+
+/// One column-level delta, dispatched to every constraint part. The store
+/// (and ID table) already reflect the *post*-change state when parts run;
+/// the change carries the old values parts need for retraction.
+enum Change {
+    /// A vertex entered the document with all its columns already filled.
+    NodeAdded { tau: Name, node: u32 },
+    /// A vertex left the document; `singles` snapshots its single-valued
+    /// column values at removal time.
+    NodeRemoved {
+        tau: Name,
+        node: u32,
+        singles: Vec<(Field, Option<Sym>)>,
+    },
+    /// One single-valued column cell changed.
+    Single {
+        tau: Name,
+        field: Field,
+        node: u32,
+        old: Option<Sym>,
+        new: Option<Sym>,
+    },
+    /// One set-valued column cell changed (members after the change are in
+    /// the store; parts recompute affected slots from scratch).
+    Set { tau: Name, attr: Name, node: u32 },
+}
+
+fn snapshot_single(singles: &[(Field, Option<Sym>)], f: &Field) -> Option<Sym> {
+    singles.iter().find(|(g, _)| g == f).and_then(|(_, v)| *v)
+}
+
+fn nid(x: u32) -> NodeId {
+    NodeId::from_index(x as usize)
+}
+
+/// Shared mutable context for one part while it processes one change:
+/// read access to the store and ID table, write access to the part's
+/// violation table, all writes funneled through the diff accumulator.
+struct Ctx<'a> {
+    store: &'a Store,
+    ids: &'a IdTable,
+    name: &'a str,
+    pi: u32,
+    entries: &'a mut BTreeMap<VKey, Violation>,
+    acc: &'a mut DiffAcc,
+}
+
+impl Ctx<'_> {
+    fn set(&mut self, k: VKey, v: Option<Violation>) {
+        self.acc.touch_part(self.pi, k, self.entries.get(&k));
+        match v {
+            Some(v) => {
+                self.entries.insert(k, v);
+            }
+            None => {
+                self.entries.remove(&k);
+            }
+        }
+    }
+
+    /// Clears every entry keyed under vertex `x`.
+    fn clear_node(&mut self, x: u32) {
+        let keys: Vec<VKey> = self
+            .entries
+            .range((x, 0, 0, 0)..=(x, u32::MAX, u32::MAX, u32::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            self.set(k, None);
+        }
+    }
+
+    fn cname(&self) -> String {
+        self.name.to_string()
+    }
+}
+
+/// One independently-refreshable slice of a constraint's check. Constraints
+/// that the sequential engine checks in several sequential passes (the two
+/// directions of an inverse, the four passes of `InverseId`) become several
+/// consecutive parts, so concatenating all parts' tables in order
+/// reproduces the Σ-order report.
+struct Part {
+    /// The rendered constraint name (every entry carries a clone).
+    name: String,
+    /// Violation slot ↦ current violation; iteration order = report order.
+    entries: BTreeMap<VKey, Violation>,
+    kind: PartKind,
+}
+
+enum PartKind {
+    Key(KeyPart),
+    FkSingle(FkSinglePart),
+    FkNary(FkNaryPart),
+    SetFk(SetFkPart),
+    Id(IdPart),
+    Inverse(InversePart),
+}
+
+impl Part {
+    fn apply(&mut self, change: &Change, store: &Store, ids: &IdTable, pi: u32, acc: &mut DiffAcc) {
+        let mut cx = Ctx {
+            store,
+            ids,
+            name: &self.name,
+            pi,
+            entries: &mut self.entries,
+            acc,
+        };
+        match &mut self.kind {
+            PartKind::Key(k) => k.apply(change, &mut cx),
+            PartKind::FkSingle(k) => k.apply(change, &mut cx),
+            PartKind::FkNary(k) => k.apply(change, &mut cx),
+            PartKind::SetFk(k) => k.apply(change, &mut cx),
+            PartKind::Id(k) => k.apply(change, &mut cx),
+            PartKind::Inverse(k) => k.apply(change, &mut cx),
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, store: &Store, ids: &IdTable, pi: u32, acc: &mut DiffAcc) {
+        let mut cx = Ctx {
+            store,
+            ids,
+            name: &self.name,
+            pi,
+            entries: &mut self.entries,
+            acc,
+        };
+        match &mut self.kind {
+            PartKind::Key(k) => k.init(idx, &mut cx),
+            PartKind::FkSingle(k) => k.init(idx, &mut cx),
+            PartKind::FkNary(k) => k.init(idx, &mut cx),
+            PartKind::SetFk(k) => k.init(idx, &mut cx),
+            PartKind::Id(k) => k.init(idx, &mut cx),
+            PartKind::Inverse(k) => k.init(idx, &mut cx),
+        }
+    }
+}
+
+/// A key constraint: within `ext(τ)`, no two vertices with complete field
+/// tuples agree. Entries are keyed `(x, 0, 0, 0)` at the *later* witness:
+/// the sequential first-seen scan emits one violation per non-first holder,
+/// in extent order, against the group's minimum vertex.
+struct KeyPart {
+    tau: Name,
+    fields: Vec<Field>,
+    /// Vertex ↦ its complete tuple (absent while any field is undefined).
+    tuples: FastHashMap<u32, Vec<Sym>>,
+    /// Tuple ↦ holders, ascending (first = the group's witness `a`).
+    occ: FastHashMap<Vec<Sym>, BTreeSet<u32>>,
+}
+
+impl KeyPart {
+    fn tuple_of(&self, store: &Store, x: u32) -> Option<Vec<Sym>> {
+        self.fields
+            .iter()
+            .map(|f| store.single(&self.tau, f).get(x))
+            .collect()
+    }
+
+    fn update_node(&mut self, x: u32, cx: &mut Ctx, removed: bool) {
+        let new = if removed {
+            None
+        } else {
+            self.tuple_of(cx.store, x)
+        };
+        let old = self.tuples.get(&x).cloned();
+        if old == new {
+            return;
+        }
+        if let Some(t) = &old {
+            if let Some(set) = self.occ.get_mut(t) {
+                set.remove(&x);
+                if set.is_empty() {
+                    self.occ.remove(t);
+                }
+            }
+            self.tuples.remove(&x);
+        }
+        cx.set((x, 0, 0, 0), None);
+        if let Some(t) = new.clone() {
+            self.occ.entry(t.clone()).or_default().insert(x);
+            self.tuples.insert(x, t);
+        }
+        if let Some(t) = &old {
+            self.refresh_group(t, cx);
+        }
+        if let Some(t) = &new {
+            self.refresh_group(t, cx);
+        }
+    }
+
+    /// Recomputes every current holder's entry for one tuple group.
+    fn refresh_group(&self, t: &[Sym], cx: &mut Ctx) {
+        let Some(holders) = self.occ.get(t) else {
+            return;
+        };
+        let mut iter = holders.iter().copied();
+        let Some(first) = iter.next() else {
+            return;
+        };
+        cx.set((first, 0, 0, 0), None);
+        let rest: Vec<u32> = iter.collect();
+        if rest.is_empty() {
+            return;
+        }
+        let value = cx.store.join(t);
+        for h in rest {
+            cx.set(
+                (h, 0, 0, 0),
+                Some(Violation::Key {
+                    constraint: cx.cname(),
+                    a: nid(first),
+                    b: nid(h),
+                    value: value.clone(),
+                }),
+            );
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        match change {
+            Change::Single {
+                tau, field, node, ..
+            } if *tau == self.tau && self.fields.contains(field) => {
+                self.update_node(*node, cx, false);
+            }
+            Change::NodeAdded { tau, node } if *tau == self.tau => {
+                self.update_node(*node, cx, false);
+            }
+            Change::NodeRemoved { tau, node, .. } if *tau == self.tau => {
+                self.update_node(*node, cx, true);
+            }
+            _ => {}
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        for &x in idx.ext(&self.tau) {
+            let x = x.index() as u32;
+            if let Some(t) = self.tuple_of(cx.store, x) {
+                self.occ.entry(t.clone()).or_default().insert(x);
+                self.tuples.insert(x, t);
+            }
+        }
+        let groups: Vec<Vec<Sym>> = self
+            .occ
+            .iter()
+            .filter(|(_, h)| h.len() > 1)
+            .map(|(t, _)| t.clone())
+            .collect();
+        for t in groups {
+            self.refresh_group(&t, cx);
+        }
+    }
+}
+
+/// A unary foreign key over single-valued columns (`ForeignKey` with one
+/// field, and `FkToId`). Entries are keyed `(x, 0, 0, 0)`: the sequential
+/// scan emits at most one violation per referencing vertex, in extent
+/// order.
+struct FkSinglePart {
+    tau: Name,
+    field: Field,
+    target: Name,
+    /// The referenced column; `None` (an `FkToId` whose target type has no
+    /// ID attribute) leaves the target set permanently empty.
+    target_field: Option<Field>,
+    /// `Some(field string)` emits `MissingField` for an undefined source
+    /// value (`ForeignKey` semantics); `None` skips it (`FkToId`).
+    missing_field: Option<String>,
+    targets: CountedSymSet,
+}
+
+impl FkSinglePart {
+    fn refresh_source(&self, x: u32, cx: &mut Ctx) {
+        let entry = match cx.store.single(&self.tau, &self.field).get(x) {
+            None => self
+                .missing_field
+                .as_ref()
+                .map(|mf| Violation::MissingField {
+                    constraint: cx.cname(),
+                    node: nid(x),
+                    field: mf.clone(),
+                }),
+            Some(sym) if self.targets.contains(sym) => None,
+            Some(sym) => Some(Violation::ForeignKey {
+                constraint: cx.cname(),
+                node: nid(x),
+                value: cx.store.resolve(sym).to_string(),
+            }),
+        };
+        cx.set((x, 0, 0, 0), entry);
+    }
+
+    /// Applies one target-column value change; on a presence transition,
+    /// re-derives every source holding the transitioned value.
+    fn retarget(&mut self, old: Option<Sym>, new: Option<Sym>, cx: &mut Ctx) {
+        if old == new {
+            return;
+        }
+        let mut transitions: Vec<Sym> = Vec::new();
+        if let Some(o) = old {
+            if self.targets.remove(o) {
+                transitions.push(o);
+            }
+        }
+        if let Some(n) = new {
+            if self.targets.insert(n) {
+                transitions.push(n);
+            }
+        }
+        let store = cx.store;
+        for v in transitions {
+            let deps: Vec<u32> = store.single(&self.tau, &self.field).nodes_with(v).collect();
+            for x in deps {
+                self.refresh_source(x, cx);
+            }
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        // Target role: keep the refcounted membership set current.
+        match change {
+            Change::Single {
+                tau,
+                field,
+                old,
+                new,
+                ..
+            } if *tau == self.target && Some(field) == self.target_field.as_ref() => {
+                self.retarget(*old, *new, cx);
+            }
+            Change::NodeAdded { tau, node } if *tau == self.target => {
+                if let Some(tf) = self.target_field.clone() {
+                    let v = cx.store.single(&self.target, &tf).get(*node);
+                    self.retarget(None, v, cx);
+                }
+            }
+            Change::NodeRemoved { tau, singles, .. } if *tau == self.target => {
+                if let Some(tf) = &self.target_field {
+                    let old = snapshot_single(singles, tf);
+                    self.retarget(old, None, cx);
+                }
+            }
+            _ => {}
+        }
+        // Source role: re-derive the edited vertex's own entry.
+        match change {
+            Change::Single {
+                tau, field, node, ..
+            } if *tau == self.tau && *field == self.field => {
+                self.refresh_source(*node, cx);
+            }
+            Change::NodeAdded { tau, node } if *tau == self.tau => {
+                self.refresh_source(*node, cx);
+            }
+            Change::NodeRemoved { tau, node, .. } if *tau == self.tau => {
+                cx.set((*node, 0, 0, 0), None);
+            }
+            _ => {}
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        if let Some(tf) = &self.target_field {
+            let col = cx.store.single(&self.target, tf);
+            for &y in idx.ext(&self.target) {
+                if let Some(v) = col.get(y.index() as u32) {
+                    self.targets.insert(v);
+                }
+            }
+        }
+        for &x in idx.ext(&self.tau) {
+            self.refresh_source(x.index() as u32, cx);
+        }
+    }
+}
+
+/// An n-ary foreign key: source tuples against refcounted target tuples.
+struct FkNaryPart {
+    tau: Name,
+    fields: Vec<Field>,
+    target: Name,
+    target_fields: Vec<Field>,
+    /// The pre-joined field list for `MissingField` reports.
+    missing: String,
+    src_tuples: FastHashMap<u32, Vec<Sym>>,
+    src_occ: FastHashMap<Vec<Sym>, BTreeSet<u32>>,
+    tgt_tuples: FastHashMap<u32, Vec<Sym>>,
+    tgt_counts: FastHashMap<Vec<Sym>, u32>,
+}
+
+impl FkNaryPart {
+    fn tuple(store: &Store, tau: &Name, fields: &[Field], x: u32) -> Option<Vec<Sym>> {
+        fields.iter().map(|f| store.single(tau, f).get(x)).collect()
+    }
+
+    fn refresh_source(&self, x: u32, cx: &mut Ctx) {
+        let entry = match self.src_tuples.get(&x) {
+            None => Some(Violation::MissingField {
+                constraint: cx.cname(),
+                node: nid(x),
+                field: self.missing.clone(),
+            }),
+            Some(t) if self.tgt_counts.contains_key(t) => None,
+            Some(t) => Some(Violation::ForeignKey {
+                constraint: cx.cname(),
+                node: nid(x),
+                value: cx.store.join(t),
+            }),
+        };
+        cx.set((x, 0, 0, 0), entry);
+    }
+
+    fn update_source(&mut self, x: u32, cx: &mut Ctx, removed: bool) {
+        let new = if removed {
+            None
+        } else {
+            Self::tuple(cx.store, &self.tau, &self.fields, x)
+        };
+        let old = self.src_tuples.get(&x).cloned();
+        if old != new {
+            if let Some(t) = &old {
+                if let Some(set) = self.src_occ.get_mut(t) {
+                    set.remove(&x);
+                    if set.is_empty() {
+                        self.src_occ.remove(t);
+                    }
+                }
+                self.src_tuples.remove(&x);
+            }
+            if let Some(t) = new {
+                self.src_occ.entry(t.clone()).or_default().insert(x);
+                self.src_tuples.insert(x, t);
+            }
+        }
+        if removed {
+            cx.set((x, 0, 0, 0), None);
+        } else {
+            self.refresh_source(x, cx);
+        }
+    }
+
+    fn update_target(&mut self, y: u32, cx: &mut Ctx, removed: bool) {
+        let new = if removed {
+            None
+        } else {
+            Self::tuple(cx.store, &self.target, &self.target_fields, y)
+        };
+        let old = self.tgt_tuples.get(&y).cloned();
+        if old == new {
+            return;
+        }
+        let mut transitions: Vec<Vec<Sym>> = Vec::new();
+        if let Some(t) = old {
+            let cnt = self.tgt_counts.get_mut(&t).expect("target tuple accounted");
+            *cnt -= 1;
+            if *cnt == 0 {
+                self.tgt_counts.remove(&t);
+                transitions.push(t);
+            }
+            self.tgt_tuples.remove(&y);
+        }
+        if let Some(t) = new {
+            let cnt = self.tgt_counts.entry(t.clone()).or_insert(0);
+            *cnt += 1;
+            if *cnt == 1 {
+                transitions.push(t.clone());
+            }
+            self.tgt_tuples.insert(y, t);
+        }
+        for t in transitions {
+            let deps: Vec<u32> = self
+                .src_occ
+                .get(&t)
+                .into_iter()
+                .flatten()
+                .copied()
+                .collect();
+            for x in deps {
+                self.refresh_source(x, cx);
+            }
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        match change {
+            Change::Single {
+                tau, field, node, ..
+            } => {
+                if *tau == self.target && self.target_fields.contains(field) {
+                    self.update_target(*node, cx, false);
+                }
+                if *tau == self.tau && self.fields.contains(field) {
+                    self.update_source(*node, cx, false);
+                }
+            }
+            Change::NodeAdded { tau, node } => {
+                if *tau == self.target {
+                    self.update_target(*node, cx, false);
+                }
+                if *tau == self.tau {
+                    self.update_source(*node, cx, false);
+                }
+            }
+            Change::NodeRemoved { tau, node, .. } => {
+                if *tau == self.target {
+                    self.update_target(*node, cx, true);
+                }
+                if *tau == self.tau {
+                    self.update_source(*node, cx, true);
+                }
+            }
+            Change::Set { .. } => {}
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        for &y in idx.ext(&self.target) {
+            let y = y.index() as u32;
+            if let Some(t) = Self::tuple(cx.store, &self.target, &self.target_fields, y) {
+                *self.tgt_counts.entry(t.clone()).or_insert(0) += 1;
+                self.tgt_tuples.insert(y, t);
+            }
+        }
+        for &x in idx.ext(&self.tau) {
+            let x = x.index() as u32;
+            if let Some(t) = Self::tuple(cx.store, &self.tau, &self.fields, x) {
+                self.src_occ.entry(t.clone()).or_default().insert(x);
+                self.src_tuples.insert(x, t);
+            }
+        }
+        for &x in idx.ext(&self.tau) {
+            self.refresh_source(x.index() as u32, cx);
+        }
+    }
+}
+
+/// A set-valued foreign key (`SetForeignKey`, `SetFkToId`, and the
+/// reference-typing passes of `InverseId`): every member of `(τ, attr)`
+/// must be in the target set. Entries are keyed `(x, member index, 0, 0)`,
+/// matching the sequential per-vertex, per-member scan order.
+struct SetFkPart {
+    tau: Name,
+    attr: Name,
+    target: Name,
+    target_field: Option<Field>,
+    targets: CountedSymSet,
+}
+
+impl SetFkPart {
+    fn refresh_source(&self, x: u32, cx: &mut Ctx) {
+        cx.clear_node(x);
+        let store = cx.store;
+        let members = store.set_col(&self.tau, &self.attr).get(x);
+        for (i, &m) in members.iter().enumerate() {
+            if !self.targets.contains(m) {
+                cx.set(
+                    (x, i as u32, 0, 0),
+                    Some(Violation::ForeignKey {
+                        constraint: cx.cname(),
+                        node: nid(x),
+                        value: store.resolve(m).to_string(),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn retarget(&mut self, old: Option<Sym>, new: Option<Sym>, cx: &mut Ctx) {
+        if old == new {
+            return;
+        }
+        let mut transitions: Vec<Sym> = Vec::new();
+        if let Some(o) = old {
+            if self.targets.remove(o) {
+                transitions.push(o);
+            }
+        }
+        if let Some(n) = new {
+            if self.targets.insert(n) {
+                transitions.push(n);
+            }
+        }
+        let store = cx.store;
+        for v in transitions {
+            let deps: Vec<u32> = store.set_col(&self.tau, &self.attr).nodes_with(v).collect();
+            for x in deps {
+                self.refresh_source(x, cx);
+            }
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        // Target role.
+        match change {
+            Change::Single {
+                tau,
+                field,
+                old,
+                new,
+                ..
+            } if *tau == self.target && Some(field) == self.target_field.as_ref() => {
+                self.retarget(*old, *new, cx);
+            }
+            Change::NodeAdded { tau, node } if *tau == self.target => {
+                if let Some(tf) = self.target_field.clone() {
+                    let v = cx.store.single(&self.target, &tf).get(*node);
+                    self.retarget(None, v, cx);
+                }
+            }
+            Change::NodeRemoved { tau, singles, .. } if *tau == self.target => {
+                if let Some(tf) = &self.target_field {
+                    let old = snapshot_single(singles, tf);
+                    self.retarget(old, None, cx);
+                }
+            }
+            _ => {}
+        }
+        // Source role.
+        match change {
+            Change::Set {
+                tau, attr, node, ..
+            } if *tau == self.tau && *attr == self.attr => {
+                self.refresh_source(*node, cx);
+            }
+            Change::NodeAdded { tau, node } if *tau == self.tau => {
+                self.refresh_source(*node, cx);
+            }
+            Change::NodeRemoved { tau, node, .. } if *tau == self.tau => {
+                cx.clear_node(*node);
+            }
+            _ => {}
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        if let Some(tf) = &self.target_field {
+            let col = cx.store.single(&self.target, tf);
+            for &y in idx.ext(&self.target) {
+                if let Some(v) = col.get(y.index() as u32) {
+                    self.targets.insert(v);
+                }
+            }
+        }
+        for &x in idx.ext(&self.tau) {
+            self.refresh_source(x.index() as u32, cx);
+        }
+    }
+}
+
+/// An `L_id` ID constraint on one element type: every `ext(τ)` vertex needs
+/// a defined ID that no other vertex in the document carries. Entries are
+/// keyed `(x, 0, 0, 0)` for `MissingField` and `(x, rank(y), y, 0)` per
+/// duplicate carrier `y` — the carrier set's `(rank, vertex)` order is the
+/// sequential global-ID-table order.
+struct IdPart {
+    tau: Name,
+    id_field: Field,
+    /// Pre-rendered `@id_attr` for `MissingField` reports.
+    missing: String,
+}
+
+impl IdPart {
+    fn refresh_entity(&self, x: u32, cx: &mut Ctx) {
+        cx.clear_node(x);
+        let store = cx.store;
+        match store.single(&self.tau, &self.id_field).get(x) {
+            None => cx.set(
+                (x, 0, 0, 0),
+                Some(Violation::MissingField {
+                    constraint: cx.cname(),
+                    node: nid(x),
+                    field: self.missing.clone(),
+                }),
+            ),
+            Some(v) => {
+                let ids = cx.ids;
+                for (rank, y) in ids.carriers_of(v) {
+                    if y != x {
+                        cx.set(
+                            (x, rank, y, 0),
+                            Some(Violation::DuplicateId {
+                                constraint: cx.cname(),
+                                a: nid(x),
+                                b: nid(y),
+                                value: store.resolve(v).to_string(),
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-derives every `ext(τ)` vertex holding ID value `v`.
+    fn refresh_holders(&self, v: Sym, cx: &mut Ctx) {
+        let store = cx.store;
+        let deps: Vec<u32> = store
+            .single(&self.tau, &self.id_field)
+            .nodes_with(v)
+            .collect();
+        for x in deps {
+            self.refresh_entity(x, cx);
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        match change {
+            Change::Single {
+                tau,
+                field,
+                node,
+                old,
+                new,
+            } => {
+                // A carrier change anywhere (any type's ID column) shifts
+                // the duplicate lists of this type's holders of the value.
+                if cx.ids.id_field_of.get(tau) == Some(field) {
+                    for v in old.iter().chain(new.iter()).copied() {
+                        self.refresh_holders(v, cx);
+                    }
+                }
+                if *tau == self.tau && *field == self.id_field {
+                    self.refresh_entity(*node, cx);
+                }
+            }
+            Change::NodeAdded { tau, node } => {
+                if let Some(f) = cx.ids.id_field_of.get(tau).cloned() {
+                    if let Some(v) = cx.store.single(tau, &f).get(*node) {
+                        self.refresh_holders(v, cx);
+                    }
+                }
+                if *tau == self.tau {
+                    self.refresh_entity(*node, cx);
+                }
+            }
+            Change::NodeRemoved { tau, node, singles } => {
+                if let Some(f) = cx.ids.id_field_of.get(tau) {
+                    if let Some(v) = snapshot_single(singles, f) {
+                        self.refresh_holders(v, cx);
+                    }
+                }
+                if *tau == self.tau {
+                    cx.clear_node(*node);
+                }
+            }
+            Change::Set { .. } => {}
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        for &x in idx.ext(&self.tau) {
+            self.refresh_entity(x.index() as u32, cx);
+        }
+    }
+}
+
+/// One direction of an inverse constraint: for every `y ∈ ext(τ')` with a
+/// defined key, each member `m` of `y.attr'` and each `x ∈ ext(τ)` with
+/// `x.key = m` must have `y.key' ∈ x.attr`. Entries are keyed
+/// `(y, member index, x, 0)` — the sequential scan's loop nesting order.
+struct InversePart {
+    tau: Name,
+    key: Field,
+    attr: Name,
+    target: Name,
+    target_key: Field,
+    target_attr: Name,
+}
+
+impl InversePart {
+    fn refresh_y(&self, y: u32, cx: &mut Ctx) {
+        cx.clear_node(y);
+        let store = cx.store;
+        let Some(yk) = store.single(&self.target, &self.target_key).get(y) else {
+            return;
+        };
+        let members = store.set_col(&self.target, &self.target_attr).get(y);
+        let key_col = store.single(&self.tau, &self.key);
+        let echo_col = store.set_col(&self.tau, &self.attr);
+        for (i, &m) in members.iter().enumerate() {
+            for x in key_col.nodes_with(m) {
+                if !echo_col.get(x).contains(&yk) {
+                    cx.set(
+                        (y, i as u32, x, 0),
+                        Some(Violation::Inverse {
+                            constraint: cx.cname(),
+                            from: nid(y),
+                            to: nid(x),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        let mut ys: BTreeSet<u32> = BTreeSet::new();
+        let store = cx.store;
+        match change {
+            Change::Single {
+                tau,
+                field,
+                node,
+                old,
+                new,
+            } => {
+                if *tau == self.target && *field == self.target_key {
+                    ys.insert(*node);
+                }
+                if *tau == self.tau && *field == self.key {
+                    let refs = store.set_col(&self.target, &self.target_attr);
+                    for v in old.iter().chain(new.iter()).copied() {
+                        ys.extend(refs.nodes_with(v));
+                    }
+                }
+            }
+            Change::Set { tau, attr, node } => {
+                if *tau == self.target && *attr == self.target_attr {
+                    ys.insert(*node);
+                }
+                if *tau == self.tau && *attr == self.attr {
+                    if let Some(xk) = store.single(&self.tau, &self.key).get(*node) {
+                        ys.extend(
+                            store
+                                .set_col(&self.target, &self.target_attr)
+                                .nodes_with(xk),
+                        );
+                    }
+                }
+            }
+            Change::NodeAdded { tau, node } => {
+                if *tau == self.target {
+                    ys.insert(*node);
+                }
+                if *tau == self.tau {
+                    if let Some(xk) = store.single(&self.tau, &self.key).get(*node) {
+                        ys.extend(
+                            store
+                                .set_col(&self.target, &self.target_attr)
+                                .nodes_with(xk),
+                        );
+                    }
+                }
+            }
+            Change::NodeRemoved { tau, node, singles } => {
+                if *tau == self.target {
+                    cx.clear_node(*node);
+                }
+                if *tau == self.tau {
+                    if let Some(xk) = snapshot_single(singles, &self.key) {
+                        ys.extend(
+                            store
+                                .set_col(&self.target, &self.target_attr)
+                                .nodes_with(xk),
+                        );
+                    }
+                }
+            }
+        }
+        for y in ys {
+            self.refresh_y(y, cx);
+        }
+    }
+
+    fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        for &y in idx.ext(&self.target) {
+            self.refresh_y(y.index() as u32, cx);
+        }
+    }
+}
+
+/// Decomposes Σ into parts, in Σ order, mirroring the sequential engine's
+/// per-constraint pass structure (see `check_one_planned`).
+fn build_parts(dtdc: &DtdC) -> Vec<Part> {
+    let s = dtdc.structure();
+    let mut parts = Vec::new();
+    let push = |name: String, kind: PartKind, parts: &mut Vec<Part>| {
+        parts.push(Part {
+            name,
+            entries: BTreeMap::new(),
+            kind,
+        });
+    };
+    for c in dtdc.constraints() {
+        let name = c.to_string();
+        match c {
+            Constraint::Key { tau, fields } => push(
+                name,
+                PartKind::Key(KeyPart {
+                    tau: tau.clone(),
+                    fields: fields.clone(),
+                    tuples: FastHashMap::default(),
+                    occ: FastHashMap::default(),
+                }),
+                &mut parts,
+            ),
+            Constraint::ForeignKey {
+                tau,
+                fields,
+                target,
+                target_fields,
+            } => {
+                if let ([f], [tf]) = (fields.as_slice(), target_fields.as_slice()) {
+                    push(
+                        name,
+                        PartKind::FkSingle(FkSinglePart {
+                            tau: tau.clone(),
+                            field: f.clone(),
+                            target: target.clone(),
+                            target_field: Some(tf.clone()),
+                            missing_field: Some(f.to_string()),
+                            targets: CountedSymSet::default(),
+                        }),
+                        &mut parts,
+                    );
+                } else {
+                    push(
+                        name,
+                        PartKind::FkNary(FkNaryPart {
+                            tau: tau.clone(),
+                            fields: fields.clone(),
+                            target: target.clone(),
+                            target_fields: target_fields.clone(),
+                            missing: fields
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            src_tuples: FastHashMap::default(),
+                            src_occ: FastHashMap::default(),
+                            tgt_tuples: FastHashMap::default(),
+                            tgt_counts: FastHashMap::default(),
+                        }),
+                        &mut parts,
+                    );
+                }
+            }
+            Constraint::SetForeignKey {
+                tau,
+                attr,
+                target,
+                target_field,
+            } => push(
+                name,
+                PartKind::SetFk(SetFkPart {
+                    tau: tau.clone(),
+                    attr: attr.clone(),
+                    target: target.clone(),
+                    target_field: Some(target_field.clone()),
+                    targets: CountedSymSet::default(),
+                }),
+                &mut parts,
+            ),
+            Constraint::InverseU {
+                tau,
+                key,
+                attr,
+                target,
+                target_key,
+                target_attr,
+            } => {
+                for (t, k, a, u, uk, ua) in [
+                    (tau, key, attr, target, target_key, target_attr),
+                    (target, target_key, target_attr, tau, key, attr),
+                ] {
+                    push(
+                        name.clone(),
+                        PartKind::Inverse(InversePart {
+                            tau: t.clone(),
+                            key: k.clone(),
+                            attr: a.clone(),
+                            target: u.clone(),
+                            target_key: uk.clone(),
+                            target_attr: ua.clone(),
+                        }),
+                        &mut parts,
+                    );
+                }
+            }
+            Constraint::Id { tau } => {
+                if let Some(id) = s.id_attr(tau) {
+                    push(
+                        name,
+                        PartKind::Id(IdPart {
+                            tau: tau.clone(),
+                            id_field: Field::Attr(id.clone()),
+                            missing: format!("@{id}"),
+                        }),
+                        &mut parts,
+                    );
+                }
+            }
+            Constraint::FkToId { tau, attr, target } => push(
+                name,
+                PartKind::FkSingle(FkSinglePart {
+                    tau: tau.clone(),
+                    field: Field::Attr(attr.clone()),
+                    target: target.clone(),
+                    target_field: s.id_attr(target).map(|i| Field::Attr(i.clone())),
+                    missing_field: None,
+                    targets: CountedSymSet::default(),
+                }),
+                &mut parts,
+            ),
+            Constraint::SetFkToId { tau, attr, target } => push(
+                name,
+                PartKind::SetFk(SetFkPart {
+                    tau: tau.clone(),
+                    attr: attr.clone(),
+                    target: target.clone(),
+                    target_field: s.id_attr(target).map(|i| Field::Attr(i.clone())),
+                    targets: CountedSymSet::default(),
+                }),
+                &mut parts,
+            ),
+            Constraint::InverseId {
+                tau,
+                attr,
+                target,
+                target_attr,
+            } => {
+                let (Some(id_tau), Some(id_target)) = (s.id_attr(tau), s.id_attr(target)) else {
+                    continue; // rejected at well-formedness; nothing to check
+                };
+                // Reference typing first, then both inverse directions —
+                // the exact sequential pass order.
+                for (src, src_attr, dst, dst_id) in [
+                    (tau, attr, target, id_target),
+                    (target, target_attr, tau, id_tau),
+                ] {
+                    push(
+                        name.clone(),
+                        PartKind::SetFk(SetFkPart {
+                            tau: src.clone(),
+                            attr: src_attr.clone(),
+                            target: dst.clone(),
+                            target_field: Some(Field::Attr(dst_id.clone())),
+                            targets: CountedSymSet::default(),
+                        }),
+                        &mut parts,
+                    );
+                }
+                for (t, k, a, u, uk, ua) in [
+                    (tau, id_tau, attr, target, id_target, target_attr),
+                    (target, id_target, target_attr, tau, id_tau, attr),
+                ] {
+                    push(
+                        name.clone(),
+                        PartKind::Inverse(InversePart {
+                            tau: t.clone(),
+                            key: Field::Attr(k.clone()),
+                            attr: a.clone(),
+                            target: u.clone(),
+                            target_key: Field::Attr(uk.clone()),
+                            target_attr: ua.clone(),
+                        }),
+                        &mut parts,
+                    );
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// A validator that owns a document and revalidates it incrementally under
+/// edits.
+///
+/// Construction pays one full validation pass (building the mutable column
+/// store, ID table, structural map, and per-constraint violation tables);
+/// each edit thereafter updates only the state the edit can affect and
+/// returns the violation diff. [`LiveValidator::report`] is always
+/// byte-identical to [`Validator::validate`] on [`LiveValidator::tree`].
+///
+/// Incremental checking is inherently sequential — per-edit work is far
+/// below the engine's parallel cutoff — so the validator's `threads`
+/// option is ignored here (reports are identical at every setting anyway).
+pub struct LiveValidator<'v, 'd> {
+    v: &'v Validator<'d>,
+    tree: DataTree,
+    store: Store,
+    ids: IdTable,
+    parts: Vec<Part>,
+    /// Vertex ↦ its structural violations (absent = none), in vertex order.
+    struct_viols: BTreeMap<u32, Vec<Violation>>,
+    /// The root-label violation, if any (immutable: the root cannot be
+    /// deleted or relabelled).
+    root_viol: Option<Violation>,
+}
+
+impl<'v, 'd> LiveValidator<'v, 'd> {
+    /// Builds the live state for `tree` (one full-validation-cost pass).
+    pub fn new(v: &'v Validator<'d>, tree: DataTree) -> Self {
+        let s = v.dtdc().structure();
+        let idx = ExtIndex::build(&tree);
+
+        let mut store = Store {
+            interner: Interner::new(),
+            singles: HashMap::new(),
+            sets: HashMap::new(),
+        };
+        for (tau, fields) in &v.plan.singles {
+            let ext = idx.ext(tau);
+            for field in fields {
+                let mut col = SingleCol::default();
+                for &x in ext {
+                    let val = extract_single(&tree, x, field, &mut store.interner);
+                    col.set(x.index() as u32, val);
+                }
+                store.singles.insert((tau.clone(), field.clone()), col);
+            }
+        }
+        for (tau, attrs) in &v.plan.sets {
+            let ext = idx.ext(tau);
+            for attr in attrs {
+                let mut col = SetCol::default();
+                for &x in ext {
+                    let members: Vec<Sym> = match tree.attr(x, attr) {
+                        Some(val) => val
+                            .values()
+                            .iter()
+                            .map(|s| store.interner.intern(s))
+                            .collect(),
+                        None => Vec::new(),
+                    };
+                    col.set(x.index() as u32, members);
+                }
+                store.sets.insert((tau.clone(), attr.clone()), col);
+            }
+        }
+
+        let mut ids = IdTable::default();
+        for (rank, tau) in s.element_types().enumerate() {
+            ids.ranks.insert(tau.clone(), rank as u32);
+        }
+        if v.plan.needs_ids {
+            for tau in s.element_types() {
+                if let Some(a) = s.id_attr(tau) {
+                    ids.id_field_of.insert(tau.clone(), Field::Attr(a.clone()));
+                }
+            }
+            let IdTable {
+                ranks,
+                id_field_of,
+                carriers,
+            } = &mut ids;
+            for (tau, f) in id_field_of.iter() {
+                let Some(col) = store.singles.get(&(tau.clone(), f.clone())) else {
+                    continue;
+                };
+                let rank = ranks[tau];
+                for (&x, val) in &col.vals {
+                    if let Some(val) = *val {
+                        carriers.entry(val).or_default().insert((rank, x));
+                    }
+                }
+            }
+        }
+
+        let mut root_viol = None;
+        let root_label = tree.label(tree.root());
+        if root_label != s.root() {
+            root_viol = Some(Violation::RootLabel {
+                expected: s.root().clone(),
+                found: root_label.clone(),
+            });
+        }
+        let mut struct_viols = BTreeMap::new();
+        let mut word: Vec<Symbol> = Vec::new();
+        let mut buf: Vec<Violation> = Vec::new();
+        for id in tree.node_ids() {
+            buf.clear();
+            v.check_structure_node(&tree, id, &mut word, &mut buf);
+            if !buf.is_empty() {
+                struct_viols.insert(id.index() as u32, buf.clone());
+            }
+        }
+
+        let mut parts = build_parts(v.dtdc());
+        let mut acc = DiffAcc::default();
+        for (pi, p) in parts.iter_mut().enumerate() {
+            p.init(&idx, &store, &ids, pi as u32, &mut acc);
+        }
+
+        LiveValidator {
+            v,
+            tree,
+            store,
+            ids,
+            parts,
+            struct_viols,
+            root_viol,
+        }
+    }
+
+    /// The current document.
+    pub fn tree(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// The full report for the current document — byte-identical to
+    /// [`Validator::validate`] on [`LiveValidator::tree`], assembled in
+    /// O(#violations) from the maintained tables.
+    pub fn report(&self) -> Report {
+        let mut violations = Vec::new();
+        violations.extend(self.root_viol.iter().cloned());
+        for vs in self.struct_viols.values() {
+            violations.extend(vs.iter().cloned());
+        }
+        for p in &self.parts {
+            violations.extend(p.entries.values().cloned());
+        }
+        Report { violations }
+    }
+
+    /// Sets attribute `l` of `node` (creating or replacing it) and
+    /// revalidates incrementally.
+    pub fn set_attr(
+        &mut self,
+        node: NodeId,
+        l: impl Into<Name>,
+        value: AttrValue,
+    ) -> Result<EditOutcome, ModelError> {
+        let l: Name = l.into();
+        let edit = self.tree.set_attr(node, l.clone(), value)?;
+        let mut acc = DiffAcc::default();
+        self.apply_attr_change(node, &l, &mut acc);
+        self.refresh_struct(node, &mut acc);
+        Ok(self.outcome(edit, acc))
+    }
+
+    /// Removes attribute `l` of `node` and revalidates incrementally.
+    pub fn remove_attr(&mut self, node: NodeId, l: &str) -> Result<EditOutcome, ModelError> {
+        let edit = self.tree.remove_attr(node, l)?;
+        let Edit::RemoveAttr { attr, .. } = &edit else {
+            unreachable!("remove_attr yields a RemoveAttr delta");
+        };
+        let attr = attr.clone();
+        let mut acc = DiffAcc::default();
+        self.apply_attr_change(node, &attr, &mut acc);
+        self.refresh_struct(node, &mut acc);
+        Ok(self.outcome(edit, acc))
+    }
+
+    /// Replaces the `index`-th *text* child of `node` and revalidates
+    /// incrementally. The child word is unchanged, so no structural
+    /// recheck is needed; only the parent's sub-element column can shift.
+    pub fn set_text(
+        &mut self,
+        node: NodeId,
+        index: usize,
+        text: impl Into<Value>,
+    ) -> Result<EditOutcome, ModelError> {
+        let edit = self.tree.set_text(node, index, text)?;
+        let mut acc = DiffAcc::default();
+        if let Some(p) = self.tree.node(node).parent() {
+            let ptau = self.tree.label(p).clone();
+            let e = self.tree.label(node).clone();
+            self.emit_single(&ptau, &Field::Sub(e), p.index() as u32, &mut acc);
+        }
+        Ok(self.outcome(edit, acc))
+    }
+
+    /// Grafts a copy of `fragment` under `parent` at child `position` and
+    /// revalidates incrementally. The new vertices get fresh ids at the
+    /// arena end, so every extent view only appends and report order is
+    /// preserved.
+    pub fn insert_subtree(
+        &mut self,
+        parent: NodeId,
+        position: usize,
+        fragment: &DataTree,
+    ) -> Result<EditOutcome, ModelError> {
+        let before = self.tree.id_bound();
+        let edit = self.tree.insert_subtree(parent, position, fragment)?;
+        let Edit::InsertSubtree { root, .. } = &edit else {
+            unreachable!("insert_subtree yields an InsertSubtree delta");
+        };
+        let root = *root;
+        let mut acc = DiffAcc::default();
+        let new_ids: Vec<NodeId> = (before..self.tree.id_bound())
+            .map(NodeId::from_index)
+            .collect();
+        // Fill every new vertex's columns first, then announce them: the
+        // store must reflect the final state before any part refreshes,
+        // and each refresh is idempotent over it.
+        for &x in &new_ids {
+            self.fill_node(x);
+        }
+        for &x in &new_ids {
+            let tau = self.tree.label(x).clone();
+            self.dispatch(
+                Change::NodeAdded {
+                    tau,
+                    node: x.index() as u32,
+                },
+                &mut acc,
+            );
+            self.refresh_struct(x, &mut acc);
+        }
+        let e = self.tree.label(root).clone();
+        let ptau = self.tree.label(parent).clone();
+        self.emit_single(&ptau, &Field::Sub(e), parent.index() as u32, &mut acc);
+        self.refresh_struct(parent, &mut acc);
+        Ok(self.outcome(edit, acc))
+    }
+
+    /// Deletes the subtree rooted at `node` and revalidates incrementally.
+    pub fn delete_subtree(&mut self, node: NodeId) -> Result<EditOutcome, ModelError> {
+        let edit = self.tree.delete_subtree(node)?;
+        let Edit::DeleteSubtree { parent, root, .. } = &edit else {
+            unreachable!("delete_subtree yields a DeleteSubtree delta");
+        };
+        let (parent, root) = (*parent, *root);
+        let mut acc = DiffAcc::default();
+        // The tombstoned vertices are still readable; collect the removed
+        // subtree in ascending id order and retract each vertex.
+        let mut removed: Vec<NodeId> = Vec::new();
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            removed.push(x);
+            stack.extend(self.tree.node(x).child_nodes());
+        }
+        removed.sort_by_key(|n| n.index());
+        for &x in &removed {
+            self.remove_node(x, &mut acc);
+        }
+        let e = self.tree.label(root).clone();
+        let ptau = self.tree.label(parent).clone();
+        self.emit_single(&ptau, &Field::Sub(e), parent.index() as u32, &mut acc);
+        self.refresh_struct(parent, &mut acc);
+        Ok(self.outcome(edit, acc))
+    }
+
+    fn outcome(&mut self, edit: Edit, acc: DiffAcc) -> EditOutcome {
+        EditOutcome {
+            edit,
+            diff: acc.finalize(&self.struct_viols, &self.parts),
+        }
+    }
+
+    /// Re-extracts both columns attribute `l` can feed (a single-valued
+    /// `Attr` field and a set-valued attribute column) and dispatches any
+    /// change.
+    fn apply_attr_change(&mut self, node: NodeId, l: &Name, acc: &mut DiffAcc) {
+        let tau = self.tree.label(node).clone();
+        let xi = node.index() as u32;
+        self.emit_single(&tau, &Field::Attr(l.clone()), xi, acc);
+        self.emit_set(&tau, l, xi, acc);
+    }
+
+    /// Recomputes one single-valued cell from the tree; if it changed,
+    /// updates the store and dispatches the delta. No-op for unplanned
+    /// columns.
+    fn emit_single(&mut self, tau: &Name, field: &Field, x: u32, acc: &mut DiffAcc) {
+        let key = (tau.clone(), field.clone());
+        if !self.store.singles.contains_key(&key) {
+            return;
+        }
+        let Self { tree, store, .. } = &mut *self;
+        let new = extract_single(tree, nid(x), field, &mut store.interner);
+        let old = store
+            .singles
+            .get_mut(&key)
+            .expect("checked above")
+            .set(x, new);
+        if old != new {
+            self.dispatch(
+                Change::Single {
+                    tau: tau.clone(),
+                    field: field.clone(),
+                    node: x,
+                    old,
+                    new,
+                },
+                acc,
+            );
+        }
+    }
+
+    /// Set-valued counterpart of [`Self::emit_single`].
+    fn emit_set(&mut self, tau: &Name, attr: &Name, x: u32, acc: &mut DiffAcc) {
+        let key = (tau.clone(), attr.clone());
+        if !self.store.sets.contains_key(&key) {
+            return;
+        }
+        let Self { tree, store, .. } = &mut *self;
+        let new: Vec<Sym> = match tree.attr(nid(x), attr) {
+            Some(val) => val
+                .values()
+                .iter()
+                .map(|s| store.interner.intern(s))
+                .collect(),
+            None => Vec::new(),
+        };
+        let old = store
+            .sets
+            .get_mut(&key)
+            .expect("checked above")
+            .set(x, new.clone());
+        if old != new {
+            self.dispatch(
+                Change::Set {
+                    tau: tau.clone(),
+                    attr: attr.clone(),
+                    node: x,
+                },
+                acc,
+            );
+        }
+    }
+
+    /// Runs core ID-table maintenance, then every part, on one change.
+    fn dispatch(&mut self, change: Change, acc: &mut DiffAcc) {
+        let Self {
+            parts, store, ids, ..
+        } = self;
+        ids.apply(&change, store);
+        for (pi, p) in parts.iter_mut().enumerate() {
+            p.apply(&change, store, ids, pi as u32, acc);
+        }
+    }
+
+    /// Fills a freshly inserted vertex's planned columns from the tree
+    /// (no change dispatch — `NodeAdded` announces it afterwards).
+    fn fill_node(&mut self, x: NodeId) {
+        let v = self.v;
+        let tau = self.tree.label(x).clone();
+        let xi = x.index() as u32;
+        let Self { tree, store, .. } = &mut *self;
+        if let Some(fields) = v.plan.singles.get(&tau) {
+            for f in fields {
+                let val = extract_single(tree, x, f, &mut store.interner);
+                store
+                    .singles
+                    .get_mut(&(tau.clone(), f.clone()))
+                    .expect("plan column built at construction")
+                    .set(xi, val);
+            }
+        }
+        if let Some(attrs) = v.plan.sets.get(&tau) {
+            for a in attrs {
+                let members: Vec<Sym> = match tree.attr(x, a) {
+                    Some(val) => val
+                        .values()
+                        .iter()
+                        .map(|s| store.interner.intern(s))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                store
+                    .sets
+                    .get_mut(&(tau.clone(), a.clone()))
+                    .expect("plan column built at construction")
+                    .set(xi, members);
+            }
+        }
+    }
+
+    /// Retracts one removed vertex: snapshots and drops its store cells,
+    /// announces `NodeRemoved`, clears its structural entry.
+    fn remove_node(&mut self, x: NodeId, acc: &mut DiffAcc) {
+        let v = self.v;
+        let tau = self.tree.label(x).clone();
+        let xi = x.index() as u32;
+        let mut singles: Vec<(Field, Option<Sym>)> = Vec::new();
+        if let Some(fields) = v.plan.singles.get(&tau) {
+            for f in fields {
+                let col = self
+                    .store
+                    .singles
+                    .get_mut(&(tau.clone(), f.clone()))
+                    .expect("plan column built at construction");
+                singles.push((f.clone(), col.remove(xi)));
+            }
+        }
+        if let Some(attrs) = v.plan.sets.get(&tau) {
+            for a in attrs {
+                self.store
+                    .sets
+                    .get_mut(&(tau.clone(), a.clone()))
+                    .expect("plan column built at construction")
+                    .remove(xi);
+            }
+        }
+        self.dispatch(
+            Change::NodeRemoved {
+                tau,
+                node: xi,
+                singles,
+            },
+            acc,
+        );
+        self.clear_struct(x, acc);
+    }
+
+    /// Re-runs the per-vertex structural check for `x`.
+    fn refresh_struct(&mut self, x: NodeId, acc: &mut DiffAcc) {
+        let xi = x.index() as u32;
+        let old = self.struct_viols.get(&xi).cloned().unwrap_or_default();
+        acc.touch_struct(xi, &old);
+        let mut word: Vec<Symbol> = Vec::new();
+        let mut buf: Vec<Violation> = Vec::new();
+        self.v
+            .check_structure_node(&self.tree, x, &mut word, &mut buf);
+        if buf.is_empty() {
+            self.struct_viols.remove(&xi);
+        } else {
+            self.struct_viols.insert(xi, buf);
+        }
+    }
+
+    /// Drops the structural entry of a removed vertex.
+    fn clear_struct(&mut self, x: NodeId, acc: &mut DiffAcc) {
+        let xi = x.index() as u32;
+        let old = self.struct_viols.remove(&xi).unwrap_or_default();
+        acc.touch_struct(xi, &old);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::examples::book_dtdc;
+    use xic_model::TreeBuilder;
+
+    /// A fully valid book document.
+    fn valid_book() -> DataTree {
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        let entry = b.child_node(book, "entry").unwrap();
+        b.attr(entry, "isbn", AttrValue::single("x1")).unwrap();
+        b.leaf(entry, "title", "T").unwrap();
+        b.leaf(entry, "publisher", "P").unwrap();
+        b.leaf(book, "author", "A").unwrap();
+        let s1 = b.child_node(book, "section").unwrap();
+        b.attr(s1, "sid", AttrValue::single("s1")).unwrap();
+        b.leaf(s1, "title", "Intro").unwrap();
+        b.leaf(s1, "text", "...").unwrap();
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["x1"])).unwrap();
+        b.finish(book).unwrap()
+    }
+
+    /// A standalone entry fragment with the given ISBN.
+    fn entry_fragment(isbn: &str) -> DataTree {
+        let mut b = TreeBuilder::new();
+        let entry = b.node("entry");
+        b.attr(entry, "isbn", AttrValue::single(isbn)).unwrap();
+        b.leaf(entry, "title", "T2").unwrap();
+        b.leaf(entry, "publisher", "P2").unwrap();
+        b.finish(entry).unwrap()
+    }
+
+    /// Asserts the live report is byte-identical to a from-scratch run.
+    fn assert_matches_scratch(live: &LiveValidator<'_, '_>, v: &Validator<'_>) {
+        let scratch = v.validate(live.tree());
+        assert_eq!(
+            live.report().violations,
+            scratch.violations,
+            "live report diverged from from-scratch validation"
+        );
+    }
+
+    /// Asserts `old + raised − cleared = new` as violation multisets.
+    fn assert_diff_consistent(old: &Report, diff: &ReportDiff, new: &Report) {
+        let mut expect: Vec<&Violation> = old.violations.iter().collect();
+        for r in &diff.raised {
+            expect.push(r);
+        }
+        for c in &diff.cleared {
+            let i = expect
+                .iter()
+                .position(|v| *v == c)
+                .expect("cleared violation was present");
+            expect.remove(i);
+        }
+        let mut actual: Vec<&Violation> = new.violations.iter().collect();
+        let key = |v: &&Violation| format!("{v:?}");
+        expect.sort_by_key(key);
+        actual.sort_by_key(key);
+        assert_eq!(expect, actual, "diff does not reconcile old and new");
+    }
+
+    #[test]
+    fn attr_edit_raises_and_clears_fk_violation() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let mut live = LiveValidator::new(&v, valid_book());
+        assert!(live.report().is_valid());
+        let entry = live.tree().ext("entry").next().unwrap();
+
+        // Renaming the entry's key leaves ref.@to dangling.
+        let before = live.report();
+        let out = live
+            .set_attr(entry, "isbn", AttrValue::single("x9"))
+            .unwrap();
+        assert!(
+            out.diff
+                .raised
+                .iter()
+                .any(|x| matches!(x, Violation::ForeignKey { value, .. } if value == "x1")),
+            "expected a dangling-reference violation, got {:?}",
+            out.diff
+        );
+        assert_diff_consistent(&before, &out.diff, &live.report());
+        assert_matches_scratch(&live, &v);
+
+        // Renaming it back clears exactly what was raised.
+        let before = live.report();
+        let out = live
+            .set_attr(entry, "isbn", AttrValue::single("x1"))
+            .unwrap();
+        assert!(out.diff.raised.is_empty(), "{:?}", out.diff);
+        assert!(!out.diff.cleared.is_empty());
+        assert_diff_consistent(&before, &out.diff, &live.report());
+        assert!(live.report().is_valid());
+        assert_matches_scratch(&live, &v);
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrips_key_violation() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let mut live = LiveValidator::new(&v, valid_book());
+        let book = live.tree().root();
+
+        // A second entry with a duplicate ISBN violates the key and the
+        // content model (book allows one entry).
+        let before = live.report();
+        let out = live.insert_subtree(book, 1, &entry_fragment("x1")).unwrap();
+        let inserted = match out.edit {
+            Edit::InsertSubtree { root, count, .. } => {
+                assert_eq!(count, 3);
+                root
+            }
+            ref e => panic!("unexpected delta {e:?}"),
+        };
+        assert!(out
+            .diff
+            .raised
+            .iter()
+            .any(|x| matches!(x, Violation::Key { .. })));
+        assert_diff_consistent(&before, &out.diff, &live.report());
+        assert_matches_scratch(&live, &v);
+
+        // Deleting it restores the exact pre-insert report.
+        let before = live.report();
+        let out = live.delete_subtree(inserted).unwrap();
+        assert_diff_consistent(&before, &out.diff, &live.report());
+        assert!(live.report().is_valid());
+        assert_matches_scratch(&live, &v);
+    }
+
+    #[test]
+    fn remove_attr_and_set_text_track_scratch() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let mut live = LiveValidator::new(&v, valid_book());
+        let entry = live.tree().ext("entry").next().unwrap();
+        let title = live.tree().ext("title").next().unwrap();
+
+        let before = live.report();
+        let out = live.remove_attr(entry, "isbn").unwrap();
+        assert!(!out.diff.raised.is_empty(), "missing key field must raise");
+        assert_diff_consistent(&before, &out.diff, &live.report());
+        assert_matches_scratch(&live, &v);
+
+        let out = live.set_text(title, 0, "New Title").unwrap();
+        assert_matches_scratch(&live, &v);
+        assert_eq!(live.tree().node(title).text(), "New Title");
+        drop(out);
+    }
+
+    #[test]
+    fn no_op_edit_has_empty_diff() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let mut live = LiveValidator::new(&v, valid_book());
+        let entry = live.tree().ext("entry").next().unwrap();
+        let out = live
+            .set_attr(entry, "isbn", AttrValue::single("x1"))
+            .unwrap();
+        assert!(out.diff.is_empty(), "{:?}", out.diff);
+        assert_matches_scratch(&live, &v);
+    }
+
+    #[test]
+    fn invalid_document_stays_in_sync() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        // Start from an invalid tree: dangling ref and missing section id.
+        let mut b = TreeBuilder::new();
+        let book = b.node("book");
+        let entry = b.child_node(book, "entry").unwrap();
+        b.attr(entry, "isbn", AttrValue::single("k")).unwrap();
+        b.leaf(entry, "title", "T").unwrap();
+        b.leaf(entry, "publisher", "P").unwrap();
+        let r = b.child_node(book, "ref").unwrap();
+        b.attr(r, "to", AttrValue::set(["nope", "k"])).unwrap();
+        let t = b.finish(book).unwrap();
+
+        let mut live = LiveValidator::new(&v, t);
+        assert!(!live.report().is_valid());
+        assert_matches_scratch(&live, &v);
+
+        let before = live.report();
+        let out = live.set_attr(r, "to", AttrValue::set(["k"])).unwrap();
+        assert_diff_consistent(&before, &out.diff, &live.report());
+        assert_matches_scratch(&live, &v);
+    }
+}

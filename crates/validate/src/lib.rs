@@ -44,11 +44,21 @@
 //! engine. Reports are byte-identical to the tree path at any thread
 //! count; with `threads > 1` lexing overlaps checking through a bounded
 //! channel.
+//!
+//! ## Incremental revalidation
+//!
+//! [`LiveValidator`] owns a document and keeps its validation state alive
+//! across edits: typed [`xic_model::Edit`] deltas update refcounted
+//! key/reference indexes and a per-vertex structural map instead of
+//! re-running the whole pipeline, and each edit returns the violations it
+//! raised and cleared as a [`ReportDiff`]. [`LiveValidator::report`] stays
+//! byte-identical to [`Validator::validate`] on the current tree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod constraints;
+mod incremental;
 mod par;
 mod plan;
 mod report;
@@ -56,6 +66,7 @@ mod stream;
 mod structure;
 
 pub use constraints::check_constraint;
+pub use incremental::{EditOutcome, LiveValidator, ReportDiff};
 pub use report::{Report, Violation};
 pub use structure::{MatcherKind, Options, Validator};
 

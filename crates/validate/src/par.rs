@@ -35,6 +35,14 @@ where
 /// per-thread setup cost outweighs the scan.
 pub(crate) const SPLIT_THRESHOLD: usize = 4096;
 
+/// Minimum document vertices per worker thread. E11 measured the engine at
+/// 10⁵ vertices running *slower* with 2 and 4 threads than with 1 (spawn +
+/// order-preserving merge overhead exceeds the saved scan time), while 10⁶
+/// vertices amortize it; the threshold sits between, so a requested (or
+/// auto-detected) thread budget is clamped to `nodes / MIN_NODES_PER_THREAD`
+/// and small documents always take the sequential fast path.
+pub(crate) const MIN_NODES_PER_THREAD: usize = 200_000;
+
 /// Splits `0..len` into at most `threads` contiguous chunks, applies `f` to
 /// each, and returns the chunk results in order. Falls back to a single
 /// chunk when `threads <= 1` or `len < SPLIT_THRESHOLD`.

@@ -63,6 +63,48 @@ impl SymSet {
     }
 }
 
+/// A [`SymSet`] with *removal*: each symbol carries an occurrence count, so
+/// membership survives duplicates and can be retracted one occurrence at a
+/// time. Incremental revalidation uses this for foreign-key target sets,
+/// where edits add and remove target values in any order; the dense layout
+/// keeps probes a single index like the bitset, and the table grows on
+/// demand as the live document interns new values.
+#[derive(Default)]
+pub(crate) struct CountedSymSet {
+    counts: Vec<u32>,
+}
+
+impl CountedSymSet {
+    /// Adds one occurrence of `sym`. Returns `true` iff the symbol was
+    /// absent before (a 0 → 1 presence transition).
+    pub(crate) fn insert(&mut self, sym: Sym) -> bool {
+        if sym.index() >= self.counts.len() {
+            self.counts.resize(sym.index() + 1, 0);
+        }
+        self.counts[sym.index()] += 1;
+        self.counts[sym.index()] == 1
+    }
+
+    /// Removes one occurrence of `sym`. Returns `true` iff this was the
+    /// last occurrence (a 1 → 0 presence transition).
+    ///
+    /// # Panics
+    /// Panics if `sym` has no recorded occurrence (an accounting bug in
+    /// the caller).
+    pub(crate) fn remove(&mut self, sym: Sym) -> bool {
+        let slot = &mut self.counts[sym.index()];
+        assert!(*slot > 0, "removing an absent symbol from a counted set");
+        *slot -= 1;
+        *slot == 0
+    }
+
+    /// Membership test: at least one occurrence recorded.
+    #[inline]
+    pub(crate) fn contains(&self, sym: Sym) -> bool {
+        self.counts.get(sym.index()).copied().unwrap_or(0) > 0
+    }
+}
+
 /// A constraint name rendered lazily: `Display` on `Constraint` is only
 /// paid when a violation is actually reported, so clean documents never
 /// format Σ.
@@ -337,7 +379,7 @@ impl DocIndex {
 
 /// Single-valued field extraction; must agree with
 /// [`crate::constraints::field_value`].
-fn extract_single(
+pub(crate) fn extract_single(
     tree: &DataTree,
     x: NodeId,
     field: &Field,
@@ -364,21 +406,29 @@ pub(crate) fn check_all_planned(
     out: &mut Vec<Violation>,
 ) {
     let doc = DocIndex::build(tree, idx, dtdc.structure(), plan);
-    check_planned(idx, dtdc, &doc, threads, out);
+    check_planned(idx, dtdc, &doc, threads, tree.len(), out);
 }
 
 /// Checks all of Σ against a pre-built [`DocIndex`] (shared by the tree
 /// and streaming paths), appending violations in Σ order.
+///
+/// `doc_nodes` (the document's vertex count) gates the thread budget: below
+/// [`crate::par::MIN_NODES_PER_THREAD`] vertices per worker, spawn/merge
+/// overhead exceeds the scan itself (E11 measured threads=2/4 *slower* than
+/// 1 at 10⁵ vertices), so the budget is clamped to what the document can
+/// amortize.
 pub(crate) fn check_planned(
     idx: &ExtIndex,
     dtdc: &DtdC,
     doc: &DocIndex,
     threads: usize,
+    doc_nodes: usize,
     out: &mut Vec<Violation>,
 ) {
     let s = dtdc.structure();
     let cs = dtdc.constraints();
-    let outer = threads.max(1);
+    let affordable = (doc_nodes / crate::par::MIN_NODES_PER_THREAD).max(1);
+    let outer = threads.max(1).min(affordable);
     let inner = (outer / cs.len().max(1)).max(1);
     let per_constraint = fan_out(outer, cs.iter().collect(), |c| {
         let mut v = Vec::new();

@@ -453,7 +453,14 @@ impl<'v> StreamChecker<'v> {
         let sets: HashMap<(Name, Name), Vec<Vec<Sym>>> =
             self.set_keys.into_iter().zip(self.set_cols).collect();
         let doc = DocIndex::from_parts(self.interner, singles, sets, &self.ext, self.s, self.plan);
-        check_planned(&self.ext, self.dtdc, &doc, threads, &mut violations);
+        check_planned(
+            &self.ext,
+            self.dtdc,
+            &doc,
+            threads,
+            self.node_count as usize,
+            &mut violations,
+        );
         Report { violations }
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use xic_constraints::{AttrType, DtdC};
-use xic_model::{Child, DataTree, ExtIndex, Name};
+use xic_model::{Child, DataTree, ExtIndex, Name, NodeId};
 use xic_regex::{ContentModel, Dfa, Nfa, NfaRun, Symbol};
 
 use crate::plan::{check_all_planned, Plan};
@@ -29,12 +29,14 @@ pub struct Options {
     /// attributes are tolerated (XML's `#IMPLIED` convention); undeclared
     /// attributes are always rejected.
     pub strict_attributes: bool,
-    /// Worker threads for constraint checking: `1` (default) runs the
-    /// sequential engine — the semantic ground truth — while `n > 1` fans
-    /// checks out across constraints and splits large extents, producing
-    /// byte-identical reports. `0` selects the machine's available
-    /// parallelism. Without the `parallel` cargo feature (default-on),
-    /// checking is always sequential.
+    /// Worker threads for constraint checking: `0` (default) resolves to
+    /// the machine's available parallelism via
+    /// [`std::thread::available_parallelism`], `1` runs the sequential
+    /// engine — the semantic ground truth — and `n > 1` fans checks out
+    /// across constraints and splits large extents. Every setting produces
+    /// byte-identical reports, and small documents stay single-threaded
+    /// regardless (see `MIN_NODES_PER_THREAD`). Without the `parallel`
+    /// cargo feature (default-on), checking is always sequential.
     pub threads: usize,
 }
 
@@ -42,7 +44,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             strict_attributes: true,
-            threads: 1,
+            threads: 0,
         }
     }
 }
@@ -237,75 +239,90 @@ impl<'a> Validator<'a> {
     }
 
     fn check_structure(&self, tree: &DataTree, out: &mut Vec<Violation>) {
-        let s = self.dtdc.structure();
         let root_label = tree.label(tree.root());
-        if root_label != s.root() {
+        if root_label != self.dtdc.structure().root() {
             out.push(Violation::RootLabel {
-                expected: s.root().clone(),
+                expected: self.dtdc.structure().root().clone(),
                 found: root_label.clone(),
             });
         }
         let mut word: Vec<Symbol> = Vec::new();
         for id in tree.node_ids() {
-            let node = tree.node(id);
-            let tau = &node.label;
-            let Some(matcher) = self.matchers.get(tau) else {
-                out.push(Violation::UnknownElementType {
+            self.check_structure_node(tree, id, &mut word, out);
+        }
+    }
+
+    /// The per-vertex half of the structural check (content model against
+    /// the vertex's own child word, plus attribute clauses). Shared by the
+    /// whole-tree scan above and by incremental revalidation, which reruns
+    /// it for exactly the vertices an edit touched. `word` is scratch
+    /// space reused across calls.
+    pub(crate) fn check_structure_node(
+        &self,
+        tree: &DataTree,
+        id: NodeId,
+        word: &mut Vec<Symbol>,
+        out: &mut Vec<Violation>,
+    ) {
+        let s = self.dtdc.structure();
+        let node = tree.node(id);
+        let tau = &node.label;
+        let Some(matcher) = self.matchers.get(tau) else {
+            out.push(Violation::UnknownElementType {
+                node: id,
+                label: tau.clone(),
+            });
+            return;
+        };
+        // Child word.
+        word.clear();
+        for c in &node.children {
+            word.push(match c {
+                Child::Text(_) => Symbol::S,
+                Child::Node(n) => Symbol::Elem(tree.label(*n).clone()),
+            });
+        }
+        if !matcher.matches(word) {
+            out.push(Violation::ContentModel {
+                node: id,
+                tau: tau.clone(),
+                expected: s
+                    .content_model(tau)
+                    .map(ToString::to_string)
+                    .unwrap_or_default(),
+                found: word
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
+        }
+        // Attributes: att(v, l) defined iff R(τ, l) defined.
+        for (l, value) in node.attrs() {
+            match s.attr_type(tau, l) {
+                None => out.push(Violation::UndeclaredAttribute {
                     node: id,
-                    label: tau.clone(),
-                });
-                continue;
-            };
-            // Child word.
-            word.clear();
-            for c in &node.children {
-                word.push(match c {
-                    Child::Text(_) => Symbol::S,
-                    Child::Node(n) => Symbol::Elem(tree.label(*n).clone()),
-                });
-            }
-            if !matcher.matches(&word) {
-                out.push(Violation::ContentModel {
-                    node: id,
-                    tau: tau.clone(),
-                    expected: s
-                        .content_model(tau)
-                        .map(ToString::to_string)
-                        .unwrap_or_default(),
-                    found: word
-                        .iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                });
-            }
-            // Attributes: att(v, l) defined iff R(τ, l) defined.
-            for (l, value) in node.attrs() {
-                match s.attr_type(tau, l) {
-                    None => out.push(Violation::UndeclaredAttribute {
-                        node: id,
-                        attr: l.clone(),
-                    }),
-                    Some(AttrType::Single) => {
-                        if !value.is_singleton() {
-                            out.push(Violation::NotSingleton {
-                                node: id,
-                                attr: l.clone(),
-                                len: value.len(),
-                            });
-                        }
-                    }
-                    Some(AttrType::SetValued) => {}
-                }
-            }
-            if self.options.strict_attributes {
-                for (l, _) in s.attributes(tau) {
-                    if node.attr(l).is_none() {
-                        out.push(Violation::MissingAttribute {
+                    attr: l.clone(),
+                }),
+                Some(AttrType::Single) => {
+                    if !value.is_singleton() {
+                        out.push(Violation::NotSingleton {
                             node: id,
                             attr: l.clone(),
+                            len: value.len(),
                         });
                     }
+                }
+                Some(AttrType::SetValued) => {}
+            }
+        }
+        if self.options.strict_attributes {
+            for (l, _) in s.attributes(tau) {
+                if node.attr(l).is_none() {
+                    out.push(Violation::MissingAttribute {
+                        node: id,
+                        attr: l.clone(),
+                    });
                 }
             }
         }

@@ -1,0 +1,327 @@
+//! Property test: incremental revalidation is report-equivalent to the
+//! from-scratch engine — **byte-identical** violation sequences after
+//! every edit of a random edit sequence, on random Σ and random documents,
+//! strict and lenient — and every [`ReportDiff`] reconciles the reports:
+//! `old + raised − cleared = new` as multisets.
+//!
+//! The Σ/document universe is the one the stream-equivalence test uses
+//! (same 96-case budget); on top of it, a random sequence of typed edits
+//! (attribute set/remove, text replacement, subtree insert/delete) is
+//! played through a [`LiveValidator`] with a from-scratch
+//! [`Validator::validate`] cross-check after every single step.
+
+use proptest::prelude::*;
+use xic_constraints::{Constraint, DtdC, DtdStructure, Field, Language};
+use xic_model::{AttrValue, Child, DataTree, NodeId, TreeBuilder};
+use xic_validate::{LiveValidator, MatcherKind, Options, ReportDiff, Validator, Violation};
+
+/// Same universe as the stream-equivalence test: three element types with
+/// an ID attribute, two single attributes, two set-valued attributes, and
+/// two sub-element labels.
+fn test_structure() -> DtdStructure {
+    let mut b = DtdStructure::builder("db").elem("db", "(t0 + t1 + t2)*");
+    for t in ["t0", "t1", "t2"] {
+        b = b
+            .elem(t, "(e0 + e1 + S)*")
+            .id_attr(t, "id")
+            .attr(t, "a0", "S")
+            .attr(t, "a1", "S")
+            .idrefs_attr(t, "r0")
+            .attr(t, "r1", "S*");
+    }
+    b.elem("e0", "S")
+        .elem("e1", "S")
+        .build()
+        .expect("test structure is well-formed")
+}
+
+fn tau() -> BoxedStrategy<&'static str> {
+    prop_oneof![Just("t0"), Just("t1"), Just("t2")]
+}
+
+fn set_attr() -> BoxedStrategy<&'static str> {
+    prop_oneof![Just("r0"), Just("r1")]
+}
+
+fn single_attr() -> BoxedStrategy<&'static str> {
+    prop_oneof![Just("a0"), Just("a1"), Just("id")]
+}
+
+fn field() -> BoxedStrategy<Field> {
+    prop_oneof![
+        single_attr().prop_map(Field::attr),
+        prop_oneof![Just("e0"), Just("e1")].prop_map(Field::sub),
+    ]
+}
+
+fn constraint() -> BoxedStrategy<Constraint> {
+    prop_oneof![
+        (tau(), prop::collection::vec(field(), 1..3)).prop_map(|(t, fs)| Constraint::Key {
+            tau: t.into(),
+            fields: fs,
+        }),
+        (
+            tau(),
+            tau(),
+            prop::collection::vec((field(), field()), 1..3)
+        )
+            .prop_map(|(t, u, pairs)| {
+                let (xs, ys): (Vec<Field>, Vec<Field>) = pairs.into_iter().unzip();
+                Constraint::ForeignKey {
+                    tau: t.into(),
+                    fields: xs,
+                    target: u.into(),
+                    target_fields: ys,
+                }
+            }),
+        (tau(), set_attr(), tau(), field()).prop_map(|(t, a, u, f)| {
+            Constraint::SetForeignKey {
+                tau: t.into(),
+                attr: a.into(),
+                target: u.into(),
+                target_field: f,
+            }
+        }),
+        (tau(), field(), set_attr(), tau(), field(), set_attr()).prop_map(
+            |(t, k, a, u, tk, ta)| Constraint::InverseU {
+                tau: t.into(),
+                key: k,
+                attr: a.into(),
+                target: u.into(),
+                target_key: tk,
+                target_attr: ta.into(),
+            }
+        ),
+        tau().prop_map(|t| Constraint::Id { tau: t.into() }),
+        (tau(), single_attr(), tau()).prop_map(|(t, a, u)| Constraint::FkToId {
+            tau: t.into(),
+            attr: a.into(),
+            target: u.into(),
+        }),
+        (tau(), set_attr(), tau()).prop_map(|(t, a, u)| Constraint::SetFkToId {
+            tau: t.into(),
+            attr: a.into(),
+            target: u.into(),
+        }),
+        (tau(), set_attr(), tau(), set_attr()).prop_map(|(t, a, u, ta)| {
+            Constraint::InverseId {
+                tau: t.into(),
+                attr: a.into(),
+                target: u.into(),
+                target_attr: ta.into(),
+            }
+        }),
+    ]
+}
+
+/// One random element: `((type, id, a0, a1), (r0, r1, sub-elements))`,
+/// all values drawn from a 6-value pool so collisions are common.
+type NodeRecipe = (
+    (u8, Option<u8>, Option<u8>, Option<u8>),
+    (Vec<u8>, Vec<u8>, Vec<(u8, u8)>),
+);
+
+fn node_recipe() -> BoxedStrategy<NodeRecipe> {
+    let head = (
+        0u8..3,
+        prop::option::of(0u8..6),
+        prop::option::of(0u8..6),
+        prop::option::of(0u8..6),
+    );
+    let tail = (
+        prop::collection::vec(0u8..6, 0..3),
+        prop::collection::vec(0u8..6, 0..3),
+        prop::collection::vec((0u8..2, 0u8..6), 0..4),
+    );
+    (head, tail).boxed()
+}
+
+fn val(v: u8) -> String {
+    format!("v{v}")
+}
+
+fn fill_node(b: &mut TreeBuilder, p: NodeId, recipe: &NodeRecipe) {
+    let ((_, id, a0, a1), (r0, r1, subs)) = recipe;
+    if let Some(v) = id {
+        b.attr(p, "id", AttrValue::single(val(*v))).unwrap();
+    }
+    if let Some(v) = a0 {
+        b.attr(p, "a0", AttrValue::single(val(*v))).unwrap();
+    }
+    if let Some(v) = a1 {
+        b.attr(p, "a1", AttrValue::single(val(*v))).unwrap();
+    }
+    b.attr(p, "r0", AttrValue::set(r0.iter().map(|&v| val(v))))
+        .unwrap();
+    b.attr(p, "r1", AttrValue::set(r1.iter().map(|&v| val(v))))
+        .unwrap();
+    for (w, tv) in subs {
+        b.leaf(p, format!("e{w}"), val(*tv)).unwrap();
+    }
+}
+
+fn build_tree(recipes: &[NodeRecipe]) -> DataTree {
+    let mut b = TreeBuilder::new();
+    let db = b.node("db");
+    for recipe in recipes {
+        let p = b.child_node(db, format!("t{}", recipe.0 .0)).unwrap();
+        fill_node(&mut b, p, recipe);
+    }
+    b.finish(db).unwrap()
+}
+
+/// A standalone one-element fragment for subtree insertion.
+fn build_fragment(recipe: &NodeRecipe) -> DataTree {
+    let mut b = TreeBuilder::new();
+    let p = b.node(format!("t{}", recipe.0 .0));
+    fill_node(&mut b, p, recipe);
+    b.finish(p).unwrap()
+}
+
+const ATTRS: [&str; 5] = ["id", "a0", "a1", "r0", "r1"];
+
+/// One random edit; vertex/attribute/position selectors are reduced modulo
+/// the live ranges at application time so every recipe stays applicable as
+/// the document evolves.
+#[derive(Debug, Clone)]
+enum EditRecipe {
+    /// `(vertex, attribute, values)` — set (or create) an attribute.
+    SetAttr(u8, u8, Vec<u8>),
+    /// `(vertex, attribute)` — remove an attribute (skipped when absent).
+    RemoveAttr(u8, u8),
+    /// `(vertex, text child, value)` — replace a text child (skipped when
+    /// the vertex has none).
+    SetText(u8, u8, u8),
+    /// `(vertex)` — delete the subtree (skipped at the root).
+    Delete(u8),
+    /// `(parent, position, fragment)` — graft a fresh element.
+    Insert(u8, u8, NodeRecipe),
+}
+
+fn edit_recipe() -> BoxedStrategy<EditRecipe> {
+    prop_oneof![
+        (any::<u8>(), 0u8..5, prop::collection::vec(0u8..6, 1..3))
+            .prop_map(|(n, a, vs)| EditRecipe::SetAttr(n, a, vs)),
+        (any::<u8>(), 0u8..5).prop_map(|(n, a)| EditRecipe::RemoveAttr(n, a)),
+        (any::<u8>(), any::<u8>(), 0u8..6).prop_map(|(n, i, v)| EditRecipe::SetText(n, i, v)),
+        any::<u8>().prop_map(EditRecipe::Delete),
+        (any::<u8>(), any::<u8>(), node_recipe()).prop_map(|(n, p, r)| EditRecipe::Insert(n, p, r)),
+    ]
+    .boxed()
+}
+
+/// Applies one recipe; `None` means the recipe was inapplicable (removing
+/// an absent attribute, editing text of a text-less vertex, deleting the
+/// root) and the step is skipped.
+fn apply_edit(live: &mut LiveValidator<'_, '_>, e: &EditRecipe) -> Option<ReportDiff> {
+    let ids: Vec<NodeId> = live.tree().node_ids().collect();
+    let pick = |sel: u8| ids[sel as usize % ids.len()];
+    match e {
+        EditRecipe::SetAttr(n, a, vs) => {
+            let node = pick(*n);
+            let value = AttrValue::set(vs.iter().map(|&v| val(v)));
+            Some(
+                live.set_attr(node, ATTRS[*a as usize], value)
+                    .expect("live vertex")
+                    .diff,
+            )
+        }
+        EditRecipe::RemoveAttr(n, a) => {
+            let node = pick(*n);
+            live.remove_attr(node, ATTRS[*a as usize])
+                .ok()
+                .map(|o| o.diff)
+        }
+        EditRecipe::SetText(n, i, v) => {
+            let node = pick(*n);
+            let texts = live
+                .tree()
+                .node(node)
+                .children
+                .iter()
+                .filter(|c| matches!(c, Child::Text(_)))
+                .count();
+            if texts == 0 {
+                return None;
+            }
+            Some(
+                live.set_text(node, *i as usize % texts, val(*v))
+                    .expect("text child exists")
+                    .diff,
+            )
+        }
+        EditRecipe::Delete(n) => {
+            let node = pick(*n);
+            if node == live.tree().root() {
+                return None;
+            }
+            Some(live.delete_subtree(node).expect("non-root vertex").diff)
+        }
+        EditRecipe::Insert(n, p, recipe) => {
+            let parent = pick(*n);
+            let len = live.tree().node(parent).children.len();
+            let pos = *p as usize % (len + 1);
+            Some(
+                live.insert_subtree(parent, pos, &build_fragment(recipe))
+                    .expect("position in range")
+                    .diff,
+            )
+        }
+    }
+}
+
+/// Violation multiset as Debug-string counts (zero entries pruned).
+fn counts(vs: &[Violation]) -> std::collections::BTreeMap<String, i64> {
+    let mut m = std::collections::BTreeMap::new();
+    for v in vs {
+        *m.entry(format!("{v:?}")).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn live_report_is_byte_identical_after_every_edit(
+        sigma in prop::collection::vec(constraint(), 0..8),
+        nodes in prop::collection::vec(node_recipe(), 0..25),
+        edits in prop::collection::vec(edit_recipe(), 1..10),
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, sigma);
+        for strict in [true, false] {
+            let opts = Options { strict_attributes: strict, threads: 1 };
+            let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, opts);
+            let mut live = LiveValidator::new(&v, build_tree(&nodes));
+            prop_assert_eq!(
+                &live.report().violations,
+                &v.validate(live.tree()).violations,
+                "initial report diverged (strict={})", strict
+            );
+            for e in &edits {
+                let before = live.report().violations;
+                let Some(diff) = apply_edit(&mut live, e) else { continue };
+                let after = live.report().violations;
+                let scratch = v.validate(live.tree()).violations;
+                prop_assert_eq!(
+                    &after, &scratch,
+                    "live report diverged (strict={}, edit={:?})", strict, e
+                );
+                // The diff must reconcile the two reports as multisets.
+                let mut m = counts(&before);
+                for r in &diff.raised {
+                    *m.entry(format!("{r:?}")).or_insert(0) += 1;
+                }
+                for c in &diff.cleared {
+                    *m.entry(format!("{c:?}")).or_insert(0) -= 1;
+                }
+                m.retain(|_, n| *n != 0);
+                prop_assert_eq!(
+                    &m, &counts(&after),
+                    "diff does not reconcile (strict={}, edit={:?}, diff={:?})",
+                    strict, e, diff
+                );
+            }
+        }
+    }
+}
