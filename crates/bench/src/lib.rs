@@ -1,6 +1,8 @@
 //! Workload generators shared by the Criterion benches and the
-//! `experiments` binary (experiments E1–E12; see EXPERIMENTS.md at the
+//! `experiments` binary (experiments E1–E14; see EXPERIMENTS.md at the
 //! repository root for the experiment ↔ paper-claim index).
+
+#![warn(missing_docs)]
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -3,8 +3,8 @@
 //! A thin, dependency-free front end over the `xic` workspace:
 //!
 //! ```text
-//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream]
-//! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient]
+//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream] [--metrics text|json]
+//! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--metrics text|json]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -18,6 +18,10 @@
 //!   streams over the source text in one bounded-memory pass
 //!   ([`Validator::validate_events`]); `--no-stream` materializes the
 //!   document tree first. Both paths print identical reports.
+//!   `--metrics text|json` appends a per-phase breakdown (parse,
+//!   structure, plan, check, merge timings plus node/attribute/violation
+//!   counters) from the [`xic::obs`] layer; `XIC_TRACE=1`
+//!   additionally echoes spans to stderr as they close.
 //! * `apply-edits` — loads a document into a [`LiveValidator`], plays a
 //!   line-based edit script against it (`set-attr`, `remove-attr`,
 //!   `set-text`, `delete`, `insert`; vertices are addressed by the node
@@ -60,6 +64,7 @@ struct Opts {
     threads: Option<usize>,
     no_stream: bool,
     ids: bool,
+    metrics: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -83,6 +88,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     v.parse()
                         .map_err(|_| format!("--threads expects a number, got {v:?}"))?,
                 );
+            }
+            "--metrics" => {
+                let v = grab("--metrics")?;
+                if v != "text" && v != "json" {
+                    return Err(format!("--metrics expects text or json, got {v:?}"));
+                }
+                o.metrics = Some(v);
             }
             "--lenient" => o.lenient = true,
             "--ids" => o.ids = true,
@@ -144,6 +156,32 @@ fn load_dtdc(o: &Opts, doc_dtd: Option<&DtdStructure>, checked: bool) -> Result<
     }
 }
 
+/// The observability handle for this invocation: a fresh
+/// [`MetricsCollector`] (honouring the `XIC_TRACE` span-echo filter) when
+/// `--metrics` was passed, otherwise the disabled handle — with no
+/// collector attached the validator never reads a clock.
+fn metrics_obs(o: &Opts) -> Obs {
+    match o.metrics {
+        Some(_) => Obs::new(MetricsCollector::shared()),
+        None => Obs::off(),
+    }
+}
+
+/// Appends the metrics block after a report, in the `--metrics` format.
+fn emit_metrics(o: &Opts, metrics: Option<&Metrics>, out: &mut String) {
+    let (Some(fmt), Some(m)) = (o.metrics.as_deref(), metrics) else {
+        return;
+    };
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    if fmt == "json" {
+        let _ = writeln!(out, "{}", m.to_json());
+    } else {
+        let _ = write!(out, "{}", m.to_text());
+    }
+}
+
 /// Runs the CLI. Returns the process exit code; human-readable output goes
 /// to `out`.
 pub fn run(args: &[String], out: &mut String) -> i32 {
@@ -163,8 +201,11 @@ usage:
                [--threads N]   (0 = auto, 1 = sequential; reports are identical either way)
                [--stream|--no-stream]  (default --stream: single-pass validation straight
                from the source text; --no-stream parses a tree first — same report)
+               [--metrics text|json]  (append per-phase timings and counters after the
+               report; set XIC_TRACE=1 or XIC_TRACE=prefix,... to echo spans to stderr)
   xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
-               [--lenient]   incremental revalidation: per edit, prints the violations it
+               [--lenient] [--metrics text|json]
+               incremental revalidation: per edit, prints the violations it
                raised (+) and cleared (-), then the final report. Script lines
                (# comments; vertices are the node numbers `render --ids` prints):
                  set-attr NODE ATTR V[,V...]    remove-attr NODE ATTR
@@ -205,10 +246,18 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
     if let Some(threads) = o.threads {
         options = options.with_threads(threads);
     }
+    let obs = metrics_obs(o);
     let report = if o.no_stream {
-        let doc = parse_document(&src).map_err(|e| e.to_string())?;
+        let doc = {
+            // On the tree path parsing happens up front, outside the
+            // validator — time it here so the phase breakdown still
+            // covers the whole run.
+            let _parse = obs.span("parse");
+            parse_document(&src).map_err(|e| e.to_string())?
+        };
         let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
-        let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+        let validator =
+            Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
         validator.validate(&doc.tree)
     } else {
         // Default path: one bounded-memory pass — the document is never
@@ -218,12 +267,14 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
         let mut events = parse_events(&src);
         let doc_dtd = events.dtd().map_err(|e| e.to_string())?.cloned();
         let dtdc = load_dtdc(o, doc_dtd.as_ref(), true)?;
-        let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+        let validator =
+            Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
         validator
             .validate_events(events)
             .map_err(|e| e.to_string())?
     };
     let _ = write!(out, "{report}");
+    emit_metrics(o, report.metrics.as_ref(), out);
     Ok(if report.is_valid() { 0 } else { 1 })
 }
 
@@ -315,7 +366,11 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     let [doc_path, script_path] = o.positional.as_slice() else {
         return Err("apply-edits takes a document and an edit script".into());
     };
-    let doc = parse_document(&read(doc_path)?).map_err(|e| e.to_string())?;
+    let obs = metrics_obs(o);
+    let doc = {
+        let _parse = obs.span("parse");
+        parse_document(&read(doc_path)?).map_err(|e| e.to_string())?
+    };
     let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
     let mut options = if o.lenient {
         Options::lenient()
@@ -325,7 +380,7 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     if let Some(threads) = o.threads {
         options = options.with_threads(threads);
     }
-    let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options);
+    let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
     let mut live = LiveValidator::new(&validator, doc.tree);
     let script = read(script_path)?;
     for (idx, raw) in script.lines().enumerate() {
@@ -345,6 +400,7 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     }
     let report = live.report();
     let _ = write!(out, "{report}");
+    emit_metrics(o, report.metrics.as_ref(), out);
     Ok(if report.is_valid() { 0 } else { 1 })
 }
 
@@ -973,5 +1029,108 @@ ref.to <=s entry.isbn";
         ]);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("countermodel"), "{out}");
+    }
+
+    /// Runs `validate` on the book fixture with the given extra flags.
+    fn validate_book(extra: &[&str]) -> (i32, String) {
+        let dtd = tmp("book.dtd", BOOK_DTD);
+        let sigma = tmp("book.sigma", BOOK_SIGMA);
+        let good = tmp("good.xml", GOOD_DOC);
+        let mut args = vec![
+            "validate".to_string(),
+            good.to_str().unwrap().to_string(),
+            "--dtd".into(),
+            dtd.to_str().unwrap().to_string(),
+            "--root".into(),
+            "book".into(),
+            "--sigma".into(),
+            sigma.to_str().unwrap().to_string(),
+        ];
+        args.extend(extra.iter().map(ToString::to_string));
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        call(&refs)
+    }
+
+    /// Extracts and parses the JSON metrics block from CLI output (the
+    /// report comes first; the metrics document is the trailing `{...}`).
+    fn metrics_of(out: &str) -> Metrics {
+        let start = out
+            .find('{')
+            .unwrap_or_else(|| panic!("no JSON in {out:?}"));
+        Metrics::parse_json(out[start..].trim()).unwrap_or_else(|e| panic!("{e}: {out}"))
+    }
+
+    #[test]
+    fn metrics_json_emits_phase_breakdown() {
+        let stream: &[&str] = &["--metrics", "json", "--threads", "1"];
+        let tree: &[&str] = &["--metrics", "json", "--threads", "1", "--no-stream"];
+        for mode in [stream, tree] {
+            let (code, out) = validate_book(mode);
+            assert_eq!(code, 0, "{out}");
+            let m = metrics_of(&out);
+            let phases = ["parse", "structure", "plan", "check", "merge"];
+            for p in phases {
+                assert!(m.spans.contains_key(p), "missing span {p:?} in {out}");
+            }
+            // Sequential run: the phases nest inside the wall clock, so
+            // their durations sum to at most the wall time.
+            let phase_sum: u64 = phases.iter().map(|p| m.span(p).nanos).sum();
+            assert!(
+                phase_sum <= m.wall_nanos,
+                "phase sum {phase_sum} > wall {}",
+                m.wall_nanos
+            );
+            assert!(m.counter("nodes") > 0, "{out}");
+            assert!(m.counter("attrs") > 0, "{out}");
+            assert_eq!(m.counter("violations"), 0, "{out}");
+        }
+    }
+
+    #[test]
+    fn metrics_text_appends_breakdown_without_changing_report() {
+        let (plain_code, plain) = validate_book(&[]);
+        let (code, out) = validate_book(&["--metrics", "text"]);
+        assert_eq!(code, plain_code);
+        // The report portion is byte-identical; the metrics block follows.
+        assert!(out.starts_with(&plain), "{out:?} vs {plain:?}");
+        assert!(out.contains("metrics (wall"), "{out}");
+        assert!(out.contains("nodes/s"), "{out}");
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_format() {
+        let (code, out) = validate_book(&["--metrics", "yaml"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--metrics expects text or json"), "{out}");
+    }
+
+    #[test]
+    fn apply_edits_metrics_counts_edits() {
+        let dtd = tmp("book.dtd", BOOK_DTD);
+        let sigma = tmp("book.sigma", BOOK_SIGMA);
+        let doc = tmp("edit-metrics.xml", GOOD_DOC);
+        let script = tmp(
+            "edit-metrics.txt",
+            "set-attr 1 isbn x2\nset-attr 1 isbn x1\n",
+        );
+        let (code, out) = call(&[
+            "apply-edits",
+            doc.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--metrics",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let m = metrics_of(&out);
+        assert_eq!(m.counter("edits"), 2, "{out}");
+        assert!(m.spans.contains_key("edit"), "{out}");
+        assert!(m.spans.contains_key("edit.set_attr"), "{out}");
+        assert!(m.spans.contains_key("parse"), "{out}");
     }
 }

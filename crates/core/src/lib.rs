@@ -69,6 +69,7 @@ pub use xic_fo2 as fo2;
 pub use xic_implication as implication;
 pub use xic_legacy as legacy;
 pub use xic_model as model;
+pub use xic_obs as obs;
 pub use xic_paths as paths;
 pub use xic_regex as regex;
 pub use xic_validate as validate_mod;
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use xic_model::{
         render_tree, AttrValue, DataTree, Edit, ExtIndex, Name, NodeId, RenderOptions, TreeBuilder,
     };
+    pub use xic_obs::{Metrics, MetricsCollector, Obs, TraceFilter};
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
     pub use xic_validate::{

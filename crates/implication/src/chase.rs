@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 
 use xic_constraints::{Constraint, Field};
 use xic_model::Name;
+use xic_obs::Obs;
 
 use crate::semantics::{Element, Instance};
 
@@ -107,6 +108,7 @@ type Tuple = BTreeMap<Field, usize>;
 pub struct Chase {
     sigma: Vec<Constraint>,
     limits: ChaseLimits,
+    obs: Obs,
 }
 
 struct State {
@@ -143,7 +145,16 @@ impl Chase {
         Ok(Chase {
             sigma: sigma.to_vec(),
             limits,
+            obs: Obs::off(),
         })
+    }
+
+    /// Attaches an observability handle: each query records a `chase`
+    /// span and its rule firings on the `chase.steps` counter. Outcomes
+    /// are unaffected.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// All fields mentioned for `tau` anywhere in `Σ ∪ {φ}`.
@@ -178,6 +189,7 @@ impl Chase {
 
     /// Decides `Σ ⊨ φ` for a key or foreign-key `φ` via the chase.
     pub fn implies(&self, phi: &Constraint) -> ChaseOutcome {
+        let _chase = self.obs.span("chase");
         match phi {
             Constraint::Key { tau, fields } => self.key_query(tau, fields, phi),
             Constraint::ForeignKey {
@@ -291,6 +303,12 @@ impl Chase {
     /// EGDs+INDs, so batching does not change the terminal instance up to
     /// isomorphism).
     fn run(&self, st: &mut State, phi: &Constraint) -> Option<()> {
+        let r = self.run_inner(st, phi);
+        self.obs.add("chase.steps", st.steps as u64);
+        r
+    }
+
+    fn run_inner(&self, st: &mut State, phi: &Constraint) -> Option<()> {
         loop {
             if st.steps > self.limits.max_steps || st.tuples() > self.limits.max_tuples {
                 return None;

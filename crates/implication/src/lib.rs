@@ -60,6 +60,18 @@ pub use lu::LuSolver;
 pub use proof::{Proof, Rule, Step};
 pub use semantics::Instance;
 
+use xic_obs::Obs;
+
+/// Flushes one solver query's outcome to `obs`: every `Implied` verdict
+/// contributes its derivation length to the `implication.rules` counter
+/// (each proof step is one axiom application). Callers hold the
+/// `implication.query` span around the query itself.
+fn record_verdict(obs: &Obs, verdict: &Verdict) {
+    if let Verdict::Implied(p) = verdict {
+        obs.add("implication.rules", p.steps.len() as u64);
+    }
+}
+
 /// The verdict of an implication query.
 #[derive(Clone, Debug)]
 pub enum Verdict {

@@ -17,6 +17,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use xic_constraints::{Constraint, DtdStructure, Field};
 use xic_model::Name;
+use xic_obs::Obs;
 
 use crate::proof::{Proof, Rule};
 use crate::semantics::{id_field, Element, Instance};
@@ -53,6 +54,7 @@ pub struct LidSolver {
     sigma: Vec<Constraint>,
     proof: Proof,
     facts: HashMap<Constraint, usize>,
+    obs: Obs,
 }
 
 /// Rewrites the concrete ID attribute name of each type to the `id`
@@ -90,6 +92,7 @@ impl LidSolver {
             sigma: sigma.clone(),
             proof: Proof::default(),
             facts: HashMap::new(),
+            obs: Obs::off(),
         };
         for c in &sigma {
             let h = solver.add(c.clone(), Rule::Hypothesis, vec![]);
@@ -247,15 +250,26 @@ impl LidSolver {
         self.implies_with(phi, None)
     }
 
+    /// Attaches an observability handle: subsequent queries record an
+    /// `implication.query` span and, when implied, the derivation length
+    /// on the `implication.rules` counter. Verdicts are unaffected.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Like [`LidSolver::implies`], normalizing `φ` against a structure.
     pub fn implies_with(&self, phi: &Constraint, structure: Option<&DtdStructure>) -> Verdict {
+        let _q = self.obs.span("implication.query");
         let phi = normalize(phi, structure);
-        match self.facts.get(&phi) {
+        let verdict = match self.facts.get(&phi) {
             Some(&i) => Verdict::Implied(Proof {
                 steps: self.proof.steps[..=i].to_vec(),
             }),
             None => Verdict::NotImplied(self.countermodel(&phi)),
-        }
+        };
+        crate::record_verdict(&self.obs, &verdict);
+        verdict
     }
 
     /// All `FkToId` facts of `Σ` on `(tau, attr)`, as target types.

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use xic_constraints::{Constraint, Field};
 use xic_model::Name;
+use xic_obs::Obs;
 
 use crate::bruteforce::{find_countermodel, Bounds};
 use crate::proof::{Proof, Rule};
@@ -113,6 +114,7 @@ impl std::error::Error for LpError {}
 /// ```
 pub struct LpSolver {
     sigma: Vec<Constraint>,
+    obs: Obs,
     /// Primary key (field set) per type.
     primary: BTreeMap<Name, BTreeSet<Field>>,
     /// Step index of each declared key's hypothesis.
@@ -177,6 +179,7 @@ impl LpSolver {
 
         let mut solver = LpSolver {
             sigma: sigma.to_vec(),
+            obs: Obs::off(),
             primary,
             key_steps,
             fks,
@@ -184,6 +187,14 @@ impl LpSolver {
         };
         solver.saturate();
         Ok(solver)
+    }
+
+    /// Attaches an observability handle: subsequent queries record an
+    /// `implication.query` span and, when implied, the derivation length
+    /// on the `implication.rules` counter. Verdicts are unaffected.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Saturates canonical FKs under `PFK-trans` (worklist).
@@ -273,6 +284,13 @@ impl LpSolver {
     /// under the primary-key restriction). Errors if `φ` breaks the
     /// restriction relative to `Σ`.
     pub fn implies(&self, phi: &Constraint) -> Verdict {
+        let _q = self.obs.span("implication.query");
+        let verdict = self.implies_inner(phi);
+        crate::record_verdict(&self.obs, &verdict);
+        verdict
+    }
+
+    fn implies_inner(&self, phi: &Constraint) -> Verdict {
         match phi {
             Constraint::Key { tau, fields } => {
                 let set: BTreeSet<Field> = fields.iter().cloned().collect();

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 
 use xic_constraints::{Constraint, Field};
 use xic_model::Name;
+use xic_obs::Obs;
 
 use crate::bruteforce::{find_countermodel, Bounds};
 use crate::proof::{Proof, Rule};
@@ -174,6 +175,7 @@ pub struct LuSolver {
     h_adj: Vec<Vec<(NodeId, HEdge)>>,
     /// Inverse facts (Σ, with hypothesis step), keyed symmetrically.
     inverses: HashMap<InvKey, usize>,
+    obs: Obs,
 }
 
 /// Justification of an `H`-edge: a declared FK, or a same-type key step.
@@ -374,7 +376,16 @@ impl LuSolver {
             h_scc,
             h_adj,
             inverses,
+            obs: Obs::off(),
         })
+    }
+
+    /// Attaches an observability handle: subsequent queries record an
+    /// `implication.query` span and, when implied, the derivation length
+    /// on the `implication.rules` counter. Verdicts are unaffected.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The constraint set `Σ`.
@@ -539,6 +550,7 @@ impl LuSolver {
         if !phi.in_language(Language::Lu) {
             return Err(NotLu(phi.to_string()));
         }
+        let _q = self.obs.span("implication.query");
         let verdict = match phi {
             Constraint::Key { tau, fields } => {
                 match self.keys.get(&(tau.clone(), fields[0].clone())) {
@@ -638,6 +650,7 @@ impl LuSolver {
             },
             _ => unreachable!("validated above"),
         };
+        crate::record_verdict(&self.obs, &verdict);
         Ok(verdict)
     }
 

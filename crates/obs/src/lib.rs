@@ -1,0 +1,431 @@
+//! # xic-obs — observability for the xic validation stack
+//!
+//! A lightweight span/counter layer threaded through the whole pipeline
+//! (`xic-xml` → `xic-validate` → `xic-implication` → the CLI) so a run is
+//! no longer a black box: where did the time go (parse? column
+//! extraction? which constraint kind?), how much work was done (nodes,
+//! attributes, entity expansions, chase steps), and how busy were the
+//! parallel stages (per-chunk timings, stream-pipeline occupancy, peak
+//! in-flight frames)?
+//!
+//! The design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Instrumented code holds an [`Obs`]
+//!    handle — a pointer-sized `Option`. While it is [`Obs::off`] (the
+//!    default everywhere), every instrumentation point is one untaken
+//!    branch: no clock is read, no atomic touched, nothing allocated.
+//!    E14 (see `EXPERIMENTS.md`) keeps the disabled-handle overhead of
+//!    the full validation pipeline within measurement noise (&lt; 2 %).
+//! 2. **No dependencies.** Timing is [`std::time::Instant`], aggregation
+//!    is a mutex around two B-tree maps, counters flush in batches. No
+//!    `tracing`, no `serde`; the JSON codec for [`Metrics`] is ~100 lines
+//!    in this crate.
+//! 3. **Off the hot path even when enabled.** Instrumentation points sit
+//!    at *phase*, *constraint*, *chunk* and *edit* granularity — never
+//!    per node or per event. Per-item totals (nodes, attributes, XML
+//!    events) are accumulated in plain local fields by the code that
+//!    already owns a loop over them and recorded once at the end.
+//!
+//! ## Using it
+//!
+//! Everything starts from a [`Collector`] — usually a
+//! [`MetricsCollector`] — wrapped in an [`Obs`] handle and handed to the
+//! component under observation:
+//!
+//! ```
+//! use xic_obs::{MetricsCollector, Obs};
+//!
+//! let collector = MetricsCollector::shared();
+//! let obs = Obs::new(collector.clone());
+//!
+//! {
+//!     let _guard = obs.span("check"); // records on drop
+//!     obs.add("nodes", 10_001);
+//! }
+//!
+//! let m = collector.snapshot();
+//! assert_eq!(m.counter("nodes"), 10_001);
+//! assert_eq!(m.span("check").count, 1);
+//! assert!(m.wall_nanos >= m.span("check").nanos);
+//! ```
+//!
+//! The resulting [`Metrics`] snapshot serializes to a stable, key-ordered
+//! JSON document ([`Metrics::to_json`] / [`Metrics::parse_json`]) and a
+//! human-readable table ([`Metrics::to_text`]); the `xic` CLI surfaces
+//! both through `--metrics text|json`.
+//!
+//! ## Span taxonomy
+//!
+//! Span and counter names are dotted, lower-case, and stable — they are
+//! part of the CLI's JSON output. The validation stack uses:
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `parse` | span | producing the document: tree parse, or the fused streaming pass |
+//! | `structure` | span | Definition 2.4 clauses 1–3 (streaming: the deferred node-order sort) |
+//! | `plan` | span | extent/column extraction (`DocIndex` build) |
+//! | `check` | span | constraint checking over the planned columns |
+//! | `check.key` … `check.inverse_id` | span | per-constraint-kind share of `check` |
+//! | `merge` | span | concatenating per-constraint violation lists in Σ order |
+//! | `par.constraint`, `par.chunk` | span | one parallel task at each fan-out grain |
+//! | `stream.apply`, `stream.recv_wait` | span | pipeline occupancy: consumer work vs. waiting on the lexer thread |
+//! | `edit`, `edit.set_attr`, … | span | one `LiveValidator` edit (total and per kind) |
+//! | `implication.query`, `chase` | span | one implication query / chase run |
+//! | `nodes`, `attrs`, `violations` | counter | document totals per run |
+//! | `xml.events`, `xml.entity_expansions` | counter | lexer/parser totals |
+//! | `stream.batches`, `par.tasks`, `edits` | counter | work items per run |
+//! | `violations.raised`, `violations.cleared` | counter | `ReportDiff` totals across edits |
+//! | `implication.rules`, `chase.steps` | counter | proof-rule applications / chase firings |
+//! | `stream.peak_depth` | maximum | peak in-flight element frames (streaming) |
+//!
+//! ## Tracing
+//!
+//! Setting the `XIC_TRACE` environment variable makes the CLI's collector
+//! echo every matching span to stderr as it closes (`XIC_TRACE=1` for
+//! everything, or a comma-separated list of name prefixes such as
+//! `XIC_TRACE=check,edit`). See [`TraceFilter`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+
+pub use metrics::{Metrics, SpanStat};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A sink for observability events.
+///
+/// Implementations must be cheap and thread-safe: spans and counters are
+/// reported from parallel validation workers. The provided
+/// [`Collector::metrics`] hook lets aggregating collectors surface a
+/// [`Metrics`] snapshot through code that only holds the trait object
+/// (e.g. to embed metrics in a validation `Report`).
+pub trait Collector: Send + Sync {
+    /// A span named `name` completed, having taken `nanos` nanoseconds.
+    fn record_span(&self, name: &'static str, nanos: u64);
+
+    /// Adds `delta` to the counter named `name`.
+    fn add(&self, name: &'static str, delta: u64);
+
+    /// Raises the maximum named `name` to at least `value`.
+    fn record_max(&self, name: &'static str, value: u64);
+
+    /// A snapshot of everything recorded so far, if this collector
+    /// aggregates (the default implementation returns `None`).
+    fn metrics(&self) -> Option<Metrics> {
+        None
+    }
+}
+
+/// The handle instrumented code holds: either off (the default — every
+/// operation is one untaken branch) or a shared reference to a
+/// [`Collector`].
+///
+/// `Obs` is deliberately owned and cloneable rather than borrowed, so
+/// long-lived components (validators, solvers, live documents) can store
+/// it without growing lifetime parameters.
+#[derive(Clone, Default)]
+pub struct Obs {
+    collector: Option<Arc<dyn Collector>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A handle forwarding to `collector`.
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Obs {
+            collector: Some(collector),
+        }
+    }
+
+    /// The disabled handle (what `Default` also produces).
+    pub fn off() -> Self {
+        Obs::default()
+    }
+
+    /// Whether a collector is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Starts a span; the returned guard records the elapsed time into
+    /// `name` when dropped. When disabled, no clock is read.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            active: self.collector.as_deref().map(|c| (c, name, Instant::now())),
+        }
+    }
+
+    /// Adds `delta` to the counter `name` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(c) = self.collector.as_deref() {
+            c.add(name, delta);
+        }
+    }
+
+    /// Raises the maximum `name` to at least `value` (no-op when
+    /// disabled).
+    #[inline]
+    pub fn max(&self, name: &'static str, value: u64) {
+        if let Some(c) = self.collector.as_deref() {
+            c.record_max(name, value);
+        }
+    }
+
+    /// Records an already-measured span duration (for callers that time
+    /// a region themselves, e.g. across a thread boundary).
+    #[inline]
+    pub fn record_span(&self, name: &'static str, nanos: u64) {
+        if let Some(c) = self.collector.as_deref() {
+            c.record_span(name, nanos);
+        }
+    }
+
+    /// A [`Metrics`] snapshot from the attached collector, if it
+    /// aggregates one (see [`Collector::metrics`]).
+    pub fn snapshot(&self) -> Option<Metrics> {
+        self.collector.as_deref().and_then(Collector::metrics)
+    }
+}
+
+/// An in-flight span (see [`Obs::span`]); records on drop.
+///
+/// Dropping the guard of a disabled handle does nothing — not even a
+/// clock read happened when it was created.
+#[must_use = "a span records when the guard is dropped"]
+pub struct Span<'a> {
+    active: Option<(&'a dyn Collector, &'static str, Instant)>,
+}
+
+impl Span<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((c, name, start)) = self.active.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            c.record_span(name, nanos);
+        }
+    }
+}
+
+/// Which span names the collector echoes to stderr as they close.
+///
+/// Built from the `XIC_TRACE` environment variable by
+/// [`TraceFilter::from_env`]: `1`, `all` or `*` match every span; any
+/// other value is a comma-separated list of name prefixes (`check` also
+/// matches `check.key`).
+#[derive(Clone, Debug)]
+pub struct TraceFilter {
+    /// `None` ⇒ match everything; otherwise the accepted name prefixes.
+    prefixes: Option<Vec<String>>,
+}
+
+impl TraceFilter {
+    /// A filter matching every span.
+    pub fn all() -> Self {
+        TraceFilter { prefixes: None }
+    }
+
+    /// A filter matching spans whose name starts with any of `prefixes`.
+    pub fn prefixes<I: IntoIterator<Item = S>, S: Into<String>>(prefixes: I) -> Self {
+        TraceFilter {
+            prefixes: Some(prefixes.into_iter().map(Into::into).collect()),
+        }
+    }
+
+    /// The filter requested by the `XIC_TRACE` environment variable, or
+    /// `None` when the variable is unset or empty.
+    pub fn from_env() -> Option<Self> {
+        let v = std::env::var("XIC_TRACE").ok()?;
+        Self::parse(&v)
+    }
+
+    /// Parses an `XIC_TRACE` value (see the type docs). Empty ⇒ `None`.
+    pub fn parse(value: &str) -> Option<Self> {
+        let v = value.trim();
+        if v.is_empty() {
+            return None;
+        }
+        if v == "1" || v == "all" || v == "*" {
+            return Some(TraceFilter::all());
+        }
+        Some(TraceFilter::prefixes(
+            v.split(',').map(str::trim).filter(|p| !p.is_empty()),
+        ))
+    }
+
+    /// Whether `name` passes the filter.
+    pub fn matches(&self, name: &str) -> bool {
+        match &self.prefixes {
+            None => true,
+            Some(ps) => ps.iter().any(|p| name.starts_with(p.as_str())),
+        }
+    }
+}
+
+/// The standard aggregating [`Collector`]: span totals, counters and
+/// maxima behind one mutex. Spans and counters arrive at phase,
+/// constraint, chunk and edit granularity (a few hundred events per run),
+/// so a mutex around two B-tree maps is plenty fast and keeps the crate
+/// dependency-free.
+///
+/// Optionally echoes matching spans to stderr as they close (see
+/// [`TraceFilter`]); `wall_nanos` in the snapshot is the time since
+/// construction.
+pub struct MetricsCollector {
+    start: Instant,
+    trace: Option<TraceFilter>,
+    inner: Mutex<metrics::Inner>,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector::new()
+    }
+}
+
+impl MetricsCollector {
+    /// An empty collector; the snapshot's wall clock starts now.
+    pub fn new() -> Self {
+        MetricsCollector {
+            start: Instant::now(),
+            trace: None,
+            inner: Mutex::new(metrics::Inner::default()),
+        }
+    }
+
+    /// An empty collector that also echoes spans matching `filter` to
+    /// stderr as they close.
+    pub fn with_trace(filter: TraceFilter) -> Self {
+        MetricsCollector {
+            trace: Some(filter),
+            ..MetricsCollector::new()
+        }
+    }
+
+    /// A collector honouring the `XIC_TRACE` environment variable,
+    /// ready to share (`Arc`-wrapped for [`Obs::new`]).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(match TraceFilter::from_env() {
+            Some(f) => MetricsCollector::with_trace(f),
+            None => MetricsCollector::new(),
+        })
+    }
+
+    /// Everything recorded so far, with `wall_nanos` the time since this
+    /// collector was created.
+    pub fn snapshot(&self) -> Metrics {
+        let wall = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.inner.lock().unwrap().snapshot(wall)
+    }
+}
+
+impl Collector for MetricsCollector {
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        if let Some(t) = &self.trace {
+            if t.matches(name) {
+                eprintln!("[xic-trace] {name} {:.3}ms", nanos as f64 / 1e6);
+            }
+        }
+        self.inner.lock().unwrap().record_span(name, nanos);
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        self.inner.lock().unwrap().add(name, delta);
+    }
+
+    fn record_max(&self, name: &'static str, value: u64) {
+        self.inner.lock().unwrap().record_max(name, value);
+    }
+
+    fn metrics(&self) -> Option<Metrics> {
+        Some(self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing_and_is_cheap() {
+        let obs = Obs::off();
+        assert!(!obs.enabled());
+        let g = obs.span("parse");
+        obs.add("nodes", 5);
+        obs.max("depth", 9);
+        drop(g);
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn spans_counters_and_maxima_aggregate() {
+        let c = MetricsCollector::shared();
+        let obs = Obs::new(c.clone());
+        for _ in 0..3 {
+            let _g = obs.span("check");
+        }
+        obs.record_span("check", 1_000);
+        obs.add("nodes", 7);
+        obs.add("nodes", 4);
+        obs.max("depth", 3);
+        obs.max("depth", 9);
+        obs.max("depth", 5);
+        let m = c.snapshot();
+        assert_eq!(m.span("check").count, 4);
+        assert!(m.span("check").nanos >= 1_000);
+        assert_eq!(m.counter("nodes"), 11);
+        assert_eq!(m.counter("depth"), 9);
+        assert!(m.wall_nanos > 0);
+        assert!(obs.snapshot().is_some());
+    }
+
+    #[test]
+    fn trace_filter_parsing() {
+        assert!(TraceFilter::parse("").is_none());
+        assert!(TraceFilter::parse("  ").is_none());
+        for all in ["1", "all", "*"] {
+            let f = TraceFilter::parse(all).unwrap();
+            assert!(f.matches("anything"));
+        }
+        let f = TraceFilter::parse("check, edit").unwrap();
+        assert!(f.matches("check"));
+        assert!(f.matches("check.key"));
+        assert!(f.matches("edit.set_attr"));
+        assert!(!f.matches("parse"));
+    }
+
+    #[test]
+    fn collector_is_shareable_across_threads() {
+        let c = MetricsCollector::shared();
+        let obs = Obs::new(c.clone());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    let _g = obs.span("par.task");
+                    obs.add("par.tasks", 1);
+                });
+            }
+        });
+        let m = c.snapshot();
+        assert_eq!(m.span("par.task").count, 4);
+        assert_eq!(m.counter("par.tasks"), 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! The [`Metrics`] snapshot: what a [`MetricsCollector`] aggregated.
+//!
+//! [`MetricsCollector`]: crate::MetricsCollector
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{self, Json};
+
+/// Aggregate of one span name: how often it closed and the total time
+/// spent inside it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub nanos: u64,
+}
+
+/// A point-in-time snapshot of everything a collector recorded.
+///
+/// Both maps are B-trees so iteration — and hence [`Metrics::to_json`] /
+/// [`Metrics::to_text`] output — is deterministically key-ordered;
+/// serializing the same snapshot twice yields identical bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Nanoseconds from collector creation to this snapshot.
+    pub wall_nanos: u64,
+    /// Per span name: completion count and total time.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Per counter name: accumulated total (maxima are folded in here as
+    /// their final value).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Mutable aggregation state behind the collector's mutex.
+#[derive(Default)]
+pub(crate) struct Inner {
+    spans: BTreeMap<&'static str, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    maxima: BTreeMap<&'static str, u64>,
+}
+
+impl Inner {
+    pub(crate) fn record_span(&mut self, name: &'static str, nanos: u64) {
+        let s = self.spans.entry(name).or_default();
+        s.count += 1;
+        s.nanos = s.nanos.saturating_add(nanos);
+    }
+
+    pub(crate) fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_default() += delta;
+    }
+
+    pub(crate) fn record_max(&mut self, name: &'static str, value: u64) {
+        let slot = self.maxima.entry(name).or_default();
+        *slot = (*slot).max(value);
+    }
+
+    pub(crate) fn snapshot(&self, wall_nanos: u64) -> Metrics {
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        for (&k, &v) in &self.maxima {
+            counters.insert(k.to_string(), v);
+        }
+        Metrics {
+            wall_nanos,
+            spans: self
+                .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            counters,
+        }
+    }
+}
+
+impl Metrics {
+    /// The stat of span `name` (zero if never recorded).
+    pub fn span(&self, name: &str) -> SpanStat {
+        self.spans.get(name).copied().unwrap_or_default()
+    }
+
+    /// The value of counter `name` (zero if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes to a stable JSON document: keys appear in B-tree
+    /// (lexicographic) order, so equal snapshots produce identical bytes.
+    ///
+    /// ```
+    /// use xic_obs::Metrics;
+    /// let mut m = Metrics::default();
+    /// m.wall_nanos = 42;
+    /// m.counters.insert("nodes".into(), 7);
+    /// let j = m.to_json();
+    /// assert_eq!(Metrics::parse_json(&j).unwrap(), m);
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut spans = Vec::new();
+        for (name, s) in &self.spans {
+            spans.push((
+                name.clone(),
+                Json::Object(vec![
+                    ("count".into(), Json::Number(s.count as f64)),
+                    ("nanos".into(), Json::Number(s.nanos as f64)),
+                ]),
+            ));
+        }
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Number(v as f64)))
+            .collect();
+        let doc = Json::Object(vec![
+            ("wall_nanos".into(), Json::Number(self.wall_nanos as f64)),
+            ("spans".into(), Json::Object(spans)),
+            ("counters".into(), Json::Object(counters)),
+        ]);
+        doc.render()
+    }
+
+    /// Parses a document produced by [`Metrics::to_json`]. Unknown keys
+    /// are rejected; this is a codec for this crate's own output, not a
+    /// general JSON reader.
+    pub fn parse_json(src: &str) -> Result<Metrics, String> {
+        let doc = json::parse(src)?;
+        let top = doc.as_object("top level")?;
+        let mut m = Metrics::default();
+        for (k, v) in top {
+            match k.as_str() {
+                "wall_nanos" => m.wall_nanos = v.as_u64("wall_nanos")?,
+                "spans" => {
+                    for (name, stat) in v.as_object("spans")? {
+                        let mut s = SpanStat::default();
+                        for (sk, sv) in stat.as_object("span stat")? {
+                            match sk.as_str() {
+                                "count" => s.count = sv.as_u64("count")?,
+                                "nanos" => s.nanos = sv.as_u64("nanos")?,
+                                other => return Err(format!("unknown span key {other:?}")),
+                            }
+                        }
+                        m.spans.insert(name.clone(), s);
+                    }
+                }
+                "counters" => {
+                    for (name, v) in v.as_object("counters")? {
+                        m.counters.insert(name.clone(), v.as_u64(name)?);
+                    }
+                }
+                other => return Err(format!("unknown metrics key {other:?}")),
+            }
+        }
+        Ok(m)
+    }
+
+    /// A human-readable per-phase breakdown: each span with its share of
+    /// wall time, the counters, and a derived nodes/s throughput when a
+    /// `nodes` counter is present.
+    pub fn to_text(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Formats a duration in the most readable unit.
+fn human_time(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n >= 1e9 {
+        format!("{:.3}s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.3}ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.3}µs", n / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics (wall {}):", human_time(self.wall_nanos))?;
+        let name_w = self.spans.keys().map(String::len).max().unwrap_or(0);
+        for (name, s) in &self.spans {
+            let pct = if self.wall_nanos > 0 {
+                s.nanos as f64 * 100.0 / self.wall_nanos as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "  {name:<name_w$}  {:>10}  {pct:5.1}%  ×{}",
+                human_time(s.nanos),
+                s.count
+            )?;
+        }
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name} = {v}")?;
+        }
+        let nodes = self.counter("nodes");
+        if nodes > 0 && self.wall_nanos > 0 {
+            writeln!(
+                f,
+                "  throughput = {:.0} nodes/s",
+                nodes as f64 * 1e9 / self.wall_nanos as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metrics {
+        let mut inner = Inner::default();
+        inner.record_span("parse", 1_500_000);
+        inner.record_span("check", 2_000_000);
+        inner.record_span("check", 500_000);
+        inner.add("nodes", 10_001);
+        inner.add("attrs", 3);
+        inner.record_max("stream.peak_depth", 17);
+        inner.snapshot(10_000_000)
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = sample();
+        let j = m.to_json();
+        let back = Metrics::parse_json(&j).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_is_stable_and_key_ordered() {
+        let m = sample();
+        assert_eq!(m.to_json(), m.to_json());
+        let j = m.to_json();
+        // Spans and counters appear in lexicographic key order.
+        assert!(j.find("\"check\"").unwrap() < j.find("\"parse\"").unwrap());
+        assert!(j.find("\"attrs\"").unwrap() < j.find("\"nodes\"").unwrap());
+        // Maxima fold into the counters map.
+        assert!(j.contains("\"stream.peak_depth\": 17"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_garbage() {
+        assert!(Metrics::parse_json("{\"bogus\": 1}").is_err());
+        assert!(Metrics::parse_json("not json").is_err());
+        assert!(Metrics::parse_json("{\"wall_nanos\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn text_breakdown_mentions_phases_counters_and_throughput() {
+        let t = sample().to_text();
+        assert!(t.contains("parse"), "{t}");
+        assert!(t.contains("check"), "{t}");
+        assert!(t.contains("nodes = 10001"), "{t}");
+        assert!(t.contains("nodes/s"), "{t}");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert_eq!(human_time(12), "12ns");
+        assert_eq!(human_time(12_300), "12.300µs");
+        assert_eq!(human_time(12_300_000), "12.300ms");
+        assert_eq!(human_time(1_230_000_000), "1.230s");
+    }
+}

@@ -36,6 +36,7 @@ use xic_model::{
     AttrValue, DataTree, Edit, ExtIndex, FastHashMap, Interner, ModelError, Name, NodeId, Sym,
     Value,
 };
+use xic_obs::{Metrics, Obs};
 use xic_regex::Symbol;
 
 use crate::plan::{extract_single, CountedSymSet};
@@ -46,13 +47,26 @@ use crate::structure::Validator;
 ///
 /// `old report + raised − cleared = new report` as multisets; violations
 /// that merely moved position in the report appear in neither list.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct ReportDiff {
     /// Violations present after the edit but not before.
     pub raised: Vec<Violation>,
     /// Violations present before the edit but not after.
     pub cleared: Vec<Violation>,
+    /// Cumulative observability snapshot, present iff the owning
+    /// validator has a metrics-aggregating collector attached (see
+    /// `Validator::set_obs`). Excluded from equality: two diffs raising
+    /// and clearing the same violations are equal whatever was measured.
+    pub metrics: Option<Metrics>,
 }
+
+impl PartialEq for ReportDiff {
+    fn eq(&self, other: &Self) -> bool {
+        self.raised == other.raised && self.cleared == other.cleared
+    }
+}
+
+impl Eq for ReportDiff {}
 
 impl ReportDiff {
     /// True iff the edit changed no violation.
@@ -135,7 +149,11 @@ impl DiffAcc {
                 i += 1;
             }
         }
-        ReportDiff { raised, cleared }
+        ReportDiff {
+            raised,
+            cleared,
+            metrics: None,
+        }
     }
 }
 
@@ -1562,7 +1580,16 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
         for p in &self.parts {
             violations.extend(p.entries.values().cloned());
         }
-        Report { violations }
+        Report {
+            violations,
+            metrics: self.v.obs.snapshot(),
+        }
+    }
+
+    /// The validator's observability handle, cloned so a span guard never
+    /// borrows `self` across the `&mut self` edit work.
+    fn obs(&self) -> Obs {
+        self.v.obs.clone()
     }
 
     /// Sets attribute `l` of `node` (creating or replacing it) and
@@ -1573,6 +1600,9 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
         l: impl Into<Name>,
         value: AttrValue,
     ) -> Result<EditOutcome, ModelError> {
+        let obs = self.obs();
+        let _edit = obs.span("edit");
+        let _kind = obs.span("edit.set_attr");
         let l: Name = l.into();
         let edit = self.tree.set_attr(node, l.clone(), value)?;
         let mut acc = DiffAcc::default();
@@ -1583,6 +1613,9 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
 
     /// Removes attribute `l` of `node` and revalidates incrementally.
     pub fn remove_attr(&mut self, node: NodeId, l: &str) -> Result<EditOutcome, ModelError> {
+        let obs = self.obs();
+        let _edit = obs.span("edit");
+        let _kind = obs.span("edit.remove_attr");
         let edit = self.tree.remove_attr(node, l)?;
         let Edit::RemoveAttr { attr, .. } = &edit else {
             unreachable!("remove_attr yields a RemoveAttr delta");
@@ -1603,6 +1636,9 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
         index: usize,
         text: impl Into<Value>,
     ) -> Result<EditOutcome, ModelError> {
+        let obs = self.obs();
+        let _edit = obs.span("edit");
+        let _kind = obs.span("edit.set_text");
         let edit = self.tree.set_text(node, index, text)?;
         let mut acc = DiffAcc::default();
         if let Some(p) = self.tree.node(node).parent() {
@@ -1623,6 +1659,9 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
         position: usize,
         fragment: &DataTree,
     ) -> Result<EditOutcome, ModelError> {
+        let obs = self.obs();
+        let _edit = obs.span("edit");
+        let _kind = obs.span("edit.insert_subtree");
         let before = self.tree.id_bound();
         let edit = self.tree.insert_subtree(parent, position, fragment)?;
         let Edit::InsertSubtree { root, .. } = &edit else {
@@ -1659,6 +1698,9 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
 
     /// Deletes the subtree rooted at `node` and revalidates incrementally.
     pub fn delete_subtree(&mut self, node: NodeId) -> Result<EditOutcome, ModelError> {
+        let obs = self.obs();
+        let _edit = obs.span("edit");
+        let _kind = obs.span("edit.delete_subtree");
         let edit = self.tree.delete_subtree(node)?;
         let Edit::DeleteSubtree { parent, root, .. } = &edit else {
             unreachable!("delete_subtree yields a DeleteSubtree delta");
@@ -1685,10 +1727,15 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
     }
 
     fn outcome(&mut self, edit: Edit, acc: DiffAcc) -> EditOutcome {
-        EditOutcome {
-            edit,
-            diff: acc.finalize(&self.struct_viols, &self.parts),
+        let mut diff = acc.finalize(&self.struct_viols, &self.parts);
+        let obs = &self.v.obs;
+        if obs.enabled() {
+            obs.add("edits", 1);
+            obs.add("violations.raised", diff.raised.len() as u64);
+            obs.add("violations.cleared", diff.cleared.len() as u64);
+            diff.metrics = obs.snapshot();
         }
+        EditOutcome { edit, diff }
     }
 
     /// Re-extracts both columns attribute `l` can feed (a single-valued

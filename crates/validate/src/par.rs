@@ -7,12 +7,27 @@
 //! `std::thread::scope` fan-outs (no external thread-pool dependency);
 //! with the `parallel` feature disabled, or `threads <= 1`, they degrade
 //! to the sequential loop.
+//!
+//! Both helpers accept an [`Obs`] handle and a span name: when work
+//! actually fans out across worker threads, each task records one
+//! `task_span` span and bumps the `par.tasks` counter. The sequential
+//! fallback records nothing — its time is already covered by the
+//! enclosing phase span, and per-task spans there would double-count.
 
 use std::ops::Range;
 
+use xic_obs::Obs;
+
 /// Applies `f` to each item, returning results in input order, using up to
-/// `threads` worker threads.
-pub(crate) fn fan_out<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+/// `threads` worker threads. Per-task timings are recorded against
+/// `task_span` only on the parallel path.
+pub(crate) fn fan_out<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    obs: &Obs,
+    task_span: &'static str,
+    f: F,
+) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -23,10 +38,11 @@ where
     }
     #[cfg(feature = "parallel")]
     {
-        parallel_impl::fan_out(threads, items, f)
+        parallel_impl::fan_out(threads, items, obs, task_span, f)
     }
     #[cfg(not(feature = "parallel"))]
     {
+        let _ = (obs, task_span);
         items.into_iter().map(f).collect()
     }
 }
@@ -45,8 +61,15 @@ pub(crate) const MIN_NODES_PER_THREAD: usize = 200_000;
 
 /// Splits `0..len` into at most `threads` contiguous chunks, applies `f` to
 /// each, and returns the chunk results in order. Falls back to a single
-/// chunk when `threads <= 1` or `len < SPLIT_THRESHOLD`.
-pub(crate) fn chunked<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+/// chunk when `threads <= 1` or `len < SPLIT_THRESHOLD`. Per-chunk timings
+/// are recorded against `task_span` only when the chunks fan out.
+pub(crate) fn chunked<R, F>(
+    threads: usize,
+    len: usize,
+    obs: &Obs,
+    task_span: &'static str,
+    f: F,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
@@ -59,7 +82,7 @@ where
         .step_by(chunk)
         .map(|start| start..(start + chunk).min(len))
         .collect();
-    fan_out(threads, ranges, f)
+    fan_out(threads, ranges, obs, task_span, f)
 }
 
 #[cfg(feature = "parallel")]
@@ -67,7 +90,15 @@ mod parallel_impl {
     use std::collections::VecDeque;
     use std::sync::Mutex;
 
-    pub(super) fn fan_out<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+    use xic_obs::Obs;
+
+    pub(super) fn fan_out<T, R, F>(
+        threads: usize,
+        items: Vec<T>,
+        obs: &Obs,
+        task_span: &'static str,
+        f: F,
+    ) -> Vec<R>
     where
         T: Send,
         R: Send,
@@ -84,7 +115,11 @@ mod parallel_impl {
                     let Some((i, item)) = queue.lock().unwrap().pop_front() else {
                         return;
                     };
-                    let r = f(item);
+                    let r = {
+                        let _task = obs.span(task_span);
+                        f(item)
+                    };
+                    obs.add("par.tasks", 1);
                     results.lock().unwrap().push((i, r));
                 });
             }
@@ -103,7 +138,7 @@ mod tests {
     fn fan_out_preserves_input_order() {
         for threads in [1, 2, 4, 8] {
             let items: Vec<usize> = (0..100).collect();
-            let out = fan_out(threads, items, |i| i * 2);
+            let out = fan_out(threads, items, &Obs::off(), "par.test", |i| i * 2);
             assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
         }
     }
@@ -118,7 +153,9 @@ mod tests {
                 SPLIT_THRESHOLD,
                 3 * SPLIT_THRESHOLD + 17,
             ] {
-                let chunks = chunked(threads, len, |r| r.collect::<Vec<usize>>());
+                let chunks = chunked(threads, len, &Obs::off(), "par.test", |r| {
+                    r.collect::<Vec<usize>>()
+                });
                 let flat: Vec<usize> = chunks.into_iter().flatten().collect();
                 assert_eq!(
                     flat,
@@ -131,7 +168,22 @@ mod tests {
 
     #[test]
     fn small_inputs_stay_on_one_chunk() {
-        let chunks = chunked(8, 100, |r| r);
+        let chunks = chunked(8, 100, &Obs::off(), "par.test", |r| r);
         assert_eq!(chunks, vec![0..100]);
+    }
+
+    #[test]
+    fn parallel_fan_out_records_task_spans() {
+        let collector = xic_obs::MetricsCollector::shared();
+        let obs = Obs::new(collector.clone());
+        let items: Vec<usize> = (0..8).collect();
+        let out = fan_out(4, items, &obs, "par.test", |i| i + 1);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        #[cfg(feature = "parallel")]
+        {
+            let m = collector.snapshot();
+            assert_eq!(m.counter("par.tasks"), 8);
+            assert_eq!(m.span("par.test").count, 8);
+        }
     }
 }

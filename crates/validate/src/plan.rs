@@ -29,6 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use xic_constraints::{Constraint, DtdC, DtdStructure, Field};
 use xic_model::{DataTree, ExtIndex, FastHashMap, FastHashSet, Interner, Name, NodeId, Sym};
+use xic_obs::Obs;
 
 use crate::constraints::unique_sub;
 use crate::par::{chunked, fan_out};
@@ -403,10 +404,28 @@ pub(crate) fn check_all_planned(
     dtdc: &DtdC,
     plan: &Plan,
     threads: usize,
+    obs: &Obs,
     out: &mut Vec<Violation>,
 ) {
-    let doc = DocIndex::build(tree, idx, dtdc.structure(), plan);
-    check_planned(idx, dtdc, &doc, threads, tree.len(), out);
+    let doc = {
+        let _plan = obs.span("plan");
+        DocIndex::build(tree, idx, dtdc.structure(), plan)
+    };
+    check_planned(idx, dtdc, &doc, threads, tree.len(), obs, out);
+}
+
+/// The span name of one constraint kind's share of the `check` phase.
+fn kind_span(c: &Constraint) -> &'static str {
+    match c {
+        Constraint::Key { .. } => "check.key",
+        Constraint::ForeignKey { .. } => "check.foreign_key",
+        Constraint::SetForeignKey { .. } => "check.set_foreign_key",
+        Constraint::InverseU { .. } => "check.inverse",
+        Constraint::Id { .. } => "check.id",
+        Constraint::FkToId { .. } => "check.fk_to_id",
+        Constraint::SetFkToId { .. } => "check.set_fk_to_id",
+        Constraint::InverseId { .. } => "check.inverse_id",
+    }
 }
 
 /// Checks all of Σ against a pre-built [`DocIndex`] (shared by the tree
@@ -423,6 +442,7 @@ pub(crate) fn check_planned(
     doc: &DocIndex,
     threads: usize,
     doc_nodes: usize,
+    obs: &Obs,
     out: &mut Vec<Violation>,
 ) {
     let s = dtdc.structure();
@@ -430,11 +450,16 @@ pub(crate) fn check_planned(
     let affordable = (doc_nodes / crate::par::MIN_NODES_PER_THREAD).max(1);
     let outer = threads.max(1).min(affordable);
     let inner = (outer / cs.len().max(1)).max(1);
-    let per_constraint = fan_out(outer, cs.iter().collect(), |c| {
-        let mut v = Vec::new();
-        check_one_planned(idx, s, doc, c, inner, &mut v);
-        v
-    });
+    let per_constraint = {
+        let _check = obs.span("check");
+        fan_out(outer, cs.iter().collect(), obs, "par.constraint", |c| {
+            let _kind = obs.span(kind_span(c));
+            let mut v = Vec::new();
+            check_one_planned(idx, s, doc, c, inner, obs, &mut v);
+            v
+        })
+    };
+    let _merge = obs.span("merge");
     for v in per_constraint {
         out.extend(v);
     }
@@ -446,6 +471,7 @@ fn check_one_planned(
     doc: &DocIndex,
     c: &Constraint,
     inner: usize,
+    obs: &Obs,
     out: &mut Vec<Violation>,
 ) {
     match c {
@@ -515,7 +541,7 @@ fn check_one_planned(
                     targets.insert(*sym);
                 }
                 let col = doc.single(tau, field);
-                for chunk in chunked(inner, ext.len(), |range| {
+                for chunk in chunked(inner, ext.len(), obs, "par.chunk", |range| {
                     let cname = CName::new(c);
                     let mut v = Vec::new();
                     for pos in range {
@@ -555,7 +581,7 @@ fn check_one_planned(
                 })
                 .collect();
             let cols: Vec<&[Option<Sym>]> = fields.iter().map(|f| doc.single(tau, f)).collect();
-            for chunk in chunked(inner, ext.len(), |range| {
+            for chunk in chunked(inner, ext.len(), obs, "par.chunk", |range| {
                 let cname = CName::new(c);
                 let mut v = Vec::new();
                 for pos in range {
@@ -599,7 +625,7 @@ fn check_one_planned(
             for sym in doc.single(target, target_field).iter().flatten() {
                 targets.insert(*sym);
             }
-            scan_set_fk(idx, doc, c, tau, attr, &targets, inner, out);
+            scan_set_fk(idx, doc, c, tau, attr, &targets, inner, obs, out);
         }
         Constraint::InverseU {
             tau,
@@ -620,6 +646,7 @@ fn check_one_planned(
                 target_key,
                 target_attr,
                 inner,
+                obs,
                 out,
             );
             check_inverse_planned(
@@ -633,6 +660,7 @@ fn check_one_planned(
                 key,
                 attr,
                 inner,
+                obs,
                 out,
             );
         }
@@ -642,7 +670,7 @@ fn check_one_planned(
             };
             let col = doc.single(tau, &Field::Attr(id_attr.clone()));
             let ext = idx.ext(tau);
-            for chunk in chunked(inner, ext.len(), |range| {
+            for chunk in chunked(inner, ext.len(), obs, "par.chunk", |range| {
                 let cname = CName::new(c);
                 let mut v = Vec::new();
                 for pos in range {
@@ -676,7 +704,7 @@ fn check_one_planned(
             let targets = doc.ids_of(s, target);
             let col = doc.single(tau, &Field::Attr(attr.clone()));
             let ext = idx.ext(tau);
-            for chunk in chunked(inner, ext.len(), |range| {
+            for chunk in chunked(inner, ext.len(), obs, "par.chunk", |range| {
                 let cname = CName::new(c);
                 let mut v = Vec::new();
                 for pos in range {
@@ -698,7 +726,7 @@ fn check_one_planned(
         }
         Constraint::SetFkToId { tau, attr, target } => {
             let targets = doc.ids_of(s, target);
-            scan_set_fk(idx, doc, c, tau, attr, &targets, inner, out);
+            scan_set_fk(idx, doc, c, tau, attr, &targets, inner, obs, out);
         }
         Constraint::InverseId {
             tau,
@@ -713,7 +741,7 @@ fn check_one_planned(
             // then both inverse directions — the exact sequential order.
             for (src, src_attr, dst) in [(tau, attr, target), (target, target_attr, tau)] {
                 let targets = doc.ids_of(s, dst);
-                scan_set_fk(idx, doc, c, src, src_attr, &targets, inner, out);
+                scan_set_fk(idx, doc, c, src, src_attr, &targets, inner, obs, out);
             }
             let key_tau = Field::Attr(id_tau.clone());
             let key_target = Field::Attr(id_target.clone());
@@ -728,6 +756,7 @@ fn check_one_planned(
                 &key_target,
                 target_attr,
                 inner,
+                obs,
                 out,
             );
             check_inverse_planned(
@@ -741,6 +770,7 @@ fn check_one_planned(
                 &key_tau,
                 attr,
                 inner,
+                obs,
                 out,
             );
         }
@@ -758,11 +788,12 @@ fn scan_set_fk(
     attr: &Name,
     targets: &SymSet,
     inner: usize,
+    obs: &Obs,
     out: &mut Vec<Violation>,
 ) {
     let col = doc.set(tau, attr);
     let ext = idx.ext(tau);
-    for chunk in chunked(inner, ext.len(), |range| {
+    for chunk in chunked(inner, ext.len(), obs, "par.chunk", |range| {
         let cname = CName::new(c);
         let mut v = Vec::new();
         for pos in range {
@@ -800,6 +831,7 @@ fn check_inverse_planned(
     target_key: &Field,
     target_attr: &Name,
     inner: usize,
+    obs: &Obs,
     out: &mut Vec<Violation>,
 ) {
     let key_col = doc.single(tau, key);
@@ -814,7 +846,7 @@ fn check_inverse_planned(
     let target_key_col = doc.single(target, target_key);
     let target_attr_col = doc.set(target, target_attr);
     let ext_target = idx.ext(target);
-    for chunk in chunked(inner, ext_target.len(), |range| {
+    for chunk in chunked(inner, ext_target.len(), obs, "par.chunk", |range| {
         let cname = CName::new(c);
         let mut v = Vec::new();
         for ypos in range {

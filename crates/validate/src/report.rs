@@ -3,6 +3,7 @@
 use std::fmt;
 
 use xic_model::{Name, NodeId};
+use xic_obs::Metrics;
 
 /// One validity failure: which clause of Definition 2.4 is violated, and
 /// where.
@@ -177,9 +178,21 @@ impl fmt::Display for Violation {
 pub struct Report {
     /// All violations found (empty ⇒ valid).
     pub violations: Vec<Violation>,
+    /// Per-run observability snapshot, present iff the producing
+    /// validator had a metrics-aggregating collector attached (see
+    /// `Validator::set_obs`). Never affects validity or `Display`.
+    pub metrics: Option<Metrics>,
 }
 
 impl Report {
+    /// A report of `violations` with no metrics attached.
+    pub fn from_violations(violations: Vec<Violation>) -> Self {
+        Report {
+            violations,
+            metrics: None,
+        }
+    }
+
     /// True iff no violation was found.
     pub fn is_valid(&self) -> bool {
         self.violations.is_empty()
@@ -249,12 +262,10 @@ mod tests {
         for v in vs {
             assert!(!v.to_string().is_empty());
         }
-        let r = Report {
-            violations: vec![Violation::RootLabel {
-                expected: Name::new("a"),
-                found: Name::new("b"),
-            }],
-        };
+        let r = Report::from_violations(vec![Violation::RootLabel {
+            expected: Name::new("a"),
+            found: Name::new("b"),
+        }]);
         assert!(!r.is_valid());
         assert_eq!(r.len(), 1);
         assert!(r.to_string().contains("1 violation"));

@@ -35,6 +35,7 @@ use std::collections::HashMap;
 
 use xic_constraints::{AttrType, DtdC, DtdStructure, Field};
 use xic_model::{AttrValue, ExtIndex, Interner, Name, NodeId, Sym};
+use xic_obs::Obs;
 use xic_regex::Symbol;
 use xic_xml::{parse_events, Event, EventParser, XmlError};
 
@@ -118,6 +119,14 @@ pub(crate) struct StreamChecker<'v> {
     /// `label ↦ Symbol::Elem(label)` cache so stepping a matcher does not
     /// allocate a fresh `Name` per event.
     symbols: HashMap<Name, Symbol>,
+    /// The validator's observability handle (off by default). Per-event
+    /// totals below are plain fields — never collector calls on the hot
+    /// path — flushed once in [`StreamChecker::finish`].
+    obs: Obs,
+    /// Deepest `stack` length seen (peak in-flight frames).
+    max_depth: usize,
+    /// Attributes sealed across all elements.
+    attr_count: u64,
 }
 
 /// Binary search in a name-sorted attribute list (the streaming
@@ -191,6 +200,9 @@ impl<'v> StreamChecker<'v> {
             single_keys,
             set_keys,
             symbols: HashMap::new(),
+            obs: v.obs.clone(),
+            max_depth: 0,
+            attr_count: 0,
         }
     }
 
@@ -279,6 +291,9 @@ impl<'v> StreamChecker<'v> {
             sub_slot,
             text: String::new(),
         });
+        if self.stack.len() > self.max_depth {
+            self.max_depth = self.stack.len();
+        }
     }
 
     fn attr(&mut self, name: &str, value: Cow<'_, str>) {
@@ -323,6 +338,7 @@ impl<'v> StreamChecker<'v> {
             return;
         }
         top.sealed = true;
+        self.attr_count += top.pending_attrs.len() as u64;
         top.pending_attrs.sort_by(|a, b| a.0.cmp(&b.0));
         let node_id = NodeId::from_index(top.node as usize);
         // Attribute clauses — skipped for undeclared element types, like
@@ -446,22 +462,42 @@ impl<'v> StreamChecker<'v> {
     /// constraint checker over the streamed columns.
     pub(crate) fn finish(mut self, threads: usize) -> Report {
         debug_assert!(self.stack.is_empty(), "finish before the root closed");
-        self.tagged.sort_by_key(|&(n, _)| n); // stable: per-node order kept
-        let mut violations: Vec<Violation> = self.tagged.into_iter().map(|(_, v)| v).collect();
-        let singles: HashMap<(Name, Field), Vec<Option<Sym>>> =
-            self.single_keys.into_iter().zip(self.single_cols).collect();
-        let sets: HashMap<(Name, Name), Vec<Vec<Sym>>> =
-            self.set_keys.into_iter().zip(self.set_cols).collect();
-        let doc = DocIndex::from_parts(self.interner, singles, sets, &self.ext, self.s, self.plan);
+        let obs = self.obs.clone();
+        // The deferred node-order sort is streaming's share of the
+        // "structure" phase; everything else structural happened inside
+        // the fused "parse" pass (see DESIGN.md §4.10).
+        let mut violations: Vec<Violation> = {
+            let _structure = obs.span("structure");
+            self.tagged.sort_by_key(|&(n, _)| n); // stable: per-node order kept
+            self.tagged.into_iter().map(|(_, v)| v).collect()
+        };
+        let doc = {
+            let _plan = obs.span("plan");
+            let singles: HashMap<(Name, Field), Vec<Option<Sym>>> =
+                self.single_keys.into_iter().zip(self.single_cols).collect();
+            let sets: HashMap<(Name, Name), Vec<Vec<Sym>>> =
+                self.set_keys.into_iter().zip(self.set_cols).collect();
+            DocIndex::from_parts(self.interner, singles, sets, &self.ext, self.s, self.plan)
+        };
         check_planned(
             &self.ext,
             self.dtdc,
             &doc,
             threads,
             self.node_count as usize,
+            &obs,
             &mut violations,
         );
-        Report { violations }
+        if obs.enabled() {
+            obs.add("nodes", u64::from(self.node_count));
+            obs.add("attrs", self.attr_count);
+            obs.add("violations", violations.len() as u64);
+            obs.max("stream.peak_depth", self.max_depth as u64);
+        }
+        Report {
+            violations,
+            metrics: obs.snapshot(),
+        }
     }
 }
 
@@ -495,15 +531,34 @@ impl Validator<'_> {
         let mut checker = StreamChecker::new(self, doc_dtd);
         #[cfg(feature = "parallel")]
         if threads > 1 {
-            run_pipelined(events, &mut checker)?;
+            {
+                let _parse = self.obs.span("parse");
+                run_pipelined(events, &mut checker, &self.obs)?;
+            }
             return Ok(checker.finish(threads));
         }
         // threads == 1: a pure pull loop — no channel, no scope, no
-        // synchronization of any kind.
-        for ev in &mut events {
-            checker.on_event(ev?);
+        // synchronization of any kind. Streaming fuses lexing with
+        // structural checking, so "parse" covers the whole single pass.
+        {
+            let _parse = self.obs.span("parse");
+            for ev in &mut events {
+                checker.on_event(ev?);
+            }
         }
+        self.flush_parse_stats(events.stats());
         Ok(checker.finish(threads))
+    }
+
+    /// Flushes the parser's plain-field counters to the collector, once
+    /// per document (the parser itself has no collector dependency).
+    pub(crate) fn flush_parse_stats(&self, stats: xic_xml::ParseStats) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.add("xml.events", stats.events);
+        self.obs
+            .add("xml.entity_expansions", stats.entity_expansions);
     }
 }
 
@@ -515,6 +570,7 @@ impl Validator<'_> {
 fn run_pipelined<'s>(
     events: EventParser<'s>,
     checker: &mut StreamChecker<'_>,
+    obs: &Obs,
 ) -> Result<(), XmlError> {
     use std::sync::mpsc;
     /// Events per channel message: large enough to amortize the channel,
@@ -524,7 +580,7 @@ fn run_pipelined<'s>(
     const BOUND: usize = 8;
     let (tx, rx) = mpsc::sync_channel::<Result<Vec<Event<'s>>, XmlError>>(BOUND);
     std::thread::scope(|scope| {
-        scope.spawn(move || {
+        let producer = scope.spawn(move || {
             let mut events = events;
             let mut batch = Vec::with_capacity(BATCH);
             for ev in &mut events {
@@ -534,24 +590,49 @@ fn run_pipelined<'s>(
                         if batch.len() == BATCH {
                             let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH));
                             if tx.send(Ok(full)).is_err() {
-                                return; // receiver bailed on an error
+                                return events.stats(); // receiver bailed on an error
                             }
                         }
                     }
                     Err(e) => {
                         let _ = tx.send(Err(e));
-                        return;
+                        return events.stats();
                     }
                 }
             }
             let _ = tx.send(Ok(batch));
+            events.stats()
         });
-        for msg in rx {
-            for ev in msg? {
+        // `stream.recv_wait` is time this consumer spends starved (the
+        // producer still lexing); `stream.apply` is time spent applying
+        // events. Both recorded per batch, never per event.
+        let result = loop {
+            let msg = {
+                let _wait = obs.span("stream.recv_wait");
+                rx.recv()
+            };
+            let Ok(msg) = msg else {
+                break Ok(()); // producer done, channel drained
+            };
+            let batch = match msg {
+                Ok(batch) => batch,
+                Err(e) => break Err(e),
+            };
+            let _apply = obs.span("stream.apply");
+            obs.add("stream.batches", 1);
+            for ev in batch {
                 checker.on_event(ev);
             }
+        };
+        // Unblock a producer still sending before the scope joins it.
+        drop(rx);
+        if let Ok(stats) = producer.join() {
+            if obs.enabled() {
+                obs.add("xml.events", stats.events);
+                obs.add("xml.entity_expansions", stats.entity_expansions);
+            }
         }
-        Ok(())
+        result
     })
 }
 

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use xic_constraints::{AttrType, DtdC};
 use xic_model::{Child, DataTree, ExtIndex, Name, NodeId};
+use xic_obs::Obs;
 use xic_regex::{ContentModel, Dfa, Nfa, NfaRun, Symbol};
 
 use crate::plan::{check_all_planned, Plan};
@@ -137,6 +138,7 @@ pub struct Validator<'a> {
     pub(crate) matchers: HashMap<Name, CompiledMatcher>,
     pub(crate) plan: Plan,
     pub(crate) options: Options,
+    pub(crate) obs: Obs,
 }
 
 impl<'a> Validator<'a> {
@@ -165,7 +167,27 @@ impl<'a> Validator<'a> {
             matchers,
             plan: Plan::build(dtdc),
             options,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle: every subsequent validation run
+    /// (tree, streaming, or incremental through a [`LiveValidator`])
+    /// records its phase spans and counters there, and reports embed a
+    /// [`Metrics`](xic_obs::Metrics) snapshot when the collector
+    /// aggregates one. Validation *results* are byte-identical with or
+    /// without a collector (enforced by the `obs_equivalence` proptest).
+    ///
+    /// [`LiveValidator`]: crate::LiveValidator
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// This validator with an observability handle attached
+    /// (builder-style [`Validator::set_obs`]).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The underlying `DTD^C`.
@@ -200,7 +222,10 @@ impl<'a> Validator<'a> {
     /// plan.
     pub fn validate(&self, tree: &DataTree) -> Report {
         let mut violations = Vec::new();
-        self.check_structure(tree, &mut violations);
+        {
+            let _structure = self.obs.span("structure");
+            self.check_structure(tree, &mut violations);
+        }
         let idx = ExtIndex::build(tree);
         check_all_planned(
             tree,
@@ -208,9 +233,29 @@ impl<'a> Validator<'a> {
             self.dtdc,
             &self.plan,
             self.effective_threads(),
+            &self.obs,
             &mut violations,
         );
-        Report { violations }
+        self.record_doc_totals(tree, &violations);
+        Report {
+            violations,
+            metrics: self.obs.snapshot(),
+        }
+    }
+
+    /// Flushes the per-run document totals (enabled-collector path only;
+    /// the disabled handle returns before touching the tree).
+    fn record_doc_totals(&self, tree: &DataTree, violations: &[Violation]) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.add("nodes", tree.len() as u64);
+        let attrs: usize = tree
+            .node_ids()
+            .map(|id| tree.node(id).attrs().count())
+            .sum();
+        self.obs.add("attrs", attrs as u64);
+        self.obs.add("violations", violations.len() as u64);
     }
 
     /// Runs only the constraint half (`G ⊨ Σ`, clause 4 of Definition
@@ -226,16 +271,21 @@ impl<'a> Validator<'a> {
             self.dtdc,
             &self.plan,
             self.effective_threads(),
+            &self.obs,
             &mut violations,
         );
-        Report { violations }
+        Report {
+            violations,
+            metrics: self.obs.snapshot(),
+        }
     }
 
     /// Runs only the structural half (clauses 1–3 of Definition 2.4).
     pub fn validate_structure(&self, tree: &DataTree) -> Report {
         let mut violations = Vec::new();
+        let _structure = self.obs.span("structure");
         self.check_structure(tree, &mut violations);
-        Report { violations }
+        Report::from_violations(violations)
     }
 
     fn check_structure(&self, tree: &DataTree, out: &mut Vec<Violation>) {

@@ -100,6 +100,20 @@ pub struct EventParser<'s> {
     stack: Vec<&'s str>,
     /// Attribute names seen in the current start tag (duplicate detection).
     attrs_seen: Vec<&'s str>,
+    stats: ParseStats,
+}
+
+/// Cheap per-parse counters, maintained unconditionally — each is a plain
+/// integer increment on an already-taken branch, so there is no observable
+/// cost and no collector dependency in this crate. Consumers that surface
+/// metrics read them once via [`EventParser::stats`] after the parse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Events produced so far (`Open`/`Attr`/`Text`/`Close`).
+    pub events: u64,
+    /// Text and attribute values whose entity decoding forced a copy
+    /// (values containing at least one entity or character reference).
+    pub entity_expansions: u64,
 }
 
 impl<'s> EventParser<'s> {
@@ -111,7 +125,13 @@ impl<'s> EventParser<'s> {
             dtd: None,
             stack: Vec::new(),
             attrs_seen: Vec::new(),
+            stats: ParseStats::default(),
         }
+    }
+
+    /// Counters accumulated so far (final after the stream is exhausted).
+    pub fn stats(&self) -> ParseStats {
+        self.stats
     }
 
     /// Consumes the prolog (if not yet consumed) and returns the DTD from
@@ -332,7 +352,24 @@ impl<'s> Iterator for EventParser<'s> {
 
     fn next(&mut self) -> Option<Self::Item> {
         match self.step() {
-            Ok(ev) => ev.map(Ok),
+            Ok(ev) => {
+                if let Some(ev) = &ev {
+                    self.stats.events += 1;
+                    if matches!(
+                        ev,
+                        Event::Attr {
+                            value: Cow::Owned(_),
+                            ..
+                        } | Event::Text {
+                            value: Cow::Owned(_),
+                            ..
+                        }
+                    ) {
+                        self.stats.entity_expansions += 1;
+                    }
+                }
+                ev.map(Ok)
+            }
             Err(e) => {
                 self.state = State::Done;
                 Some(Err(e.locate(self.cur.src)))

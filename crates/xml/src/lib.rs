@@ -36,7 +36,7 @@ mod serialize;
 mod xsd;
 
 pub use dtd::parse_dtd;
-pub use events::{parse_events, Event, EventParser};
+pub use events::{parse_events, Event, EventParser, ParseStats};
 pub use parser::{parse_document, ParsedDocument, XmlError, MAX_DEPTH};
 pub use serialize::{serialize_document, serialize_dtd};
 pub use xsd::{constraints_to_xsd, xsd_to_constraints, XsdExport};

@@ -1,6 +1,8 @@
 //! Shared helpers for the cross-crate integration tests (the tests live in
 //! sibling `.rs` files declared as `[[test]]` targets).
 
+#![warn(missing_docs)]
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 use xic::prelude::*;

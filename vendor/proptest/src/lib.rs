@@ -4,9 +4,11 @@
 //! registry, so the workspace vendors the property-testing surface its
 //! tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_filter` and
-//!   `prop_recursive`, plus [`BoxedStrategy`];
-//! * leaf strategies: [`Just`], [`any`], integer ranges, tuples of
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_filter` and `prop_recursive`, plus
+//!   [`BoxedStrategy`](strategy::BoxedStrategy);
+//! * leaf strategies: [`Just`](strategy::Just), [`any`](arbitrary::any),
+//!   integer ranges, tuples of
 //!   strategies, and `&str` character-class patterns (`"[a-z0-9]{1,12}"`);
 //! * [`collection::vec`], [`option::of`] and the [`prop_oneof!`] union;
 //! * the [`proptest!`] macro with `#![proptest_config(..)]` support and the
@@ -274,7 +276,8 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among same-typed strategies (backs [`prop_oneof!`]).
+    /// Uniform choice among same-typed strategies (backs
+    /// [`prop_oneof!`](crate::prop_oneof)).
     pub fn union<T: fmt::Debug + 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         BoxedStrategy::new(move |rng| {
