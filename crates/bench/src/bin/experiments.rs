@@ -1,4 +1,4 @@
-//! Reproduces experiments E1–E14 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E15 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
 //! check with measured scaling, plus the compiled-engine study E11, the
 //! streaming-pipeline study E12 and the incremental-revalidation study E13.
@@ -8,8 +8,8 @@
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e14`). `--smoke` restricts the document-scaling
-//! experiments (E11/E12/E13) to their smallest size so CI can run them as
+//! (by id: `e1` … `e15`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12/E13/E15) to their smallest size so CI can run them as
 //! a fast correctness check. E11, E12 and E13 additionally record their
 //! measured rows; when any of them runs, the merged baseline is written to
 //! `target/BENCH_validate.json` (copy it over the tracked
@@ -122,7 +122,7 @@ fn main() {
         filters.remove(i);
         SMOKE.store(true, Ordering::Relaxed);
     }
-    let experiments: [(&str, fn()); 14] = [
+    let experiments: [(&str, fn()); 15] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -137,6 +137,7 @@ fn main() {
         ("e12", e12_stream_pipeline),
         ("e13", e13_incremental_revalidate),
         ("e14", e14_obs_overhead),
+        ("e15", e15_telemetry_overhead),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -1006,6 +1007,120 @@ fn e14_obs_overhead() {
         "e14_obs_overhead",
         format!(
             "{{\n    \"workload\": \"constraint_heavy_workload, threads = 1, collector off vs MetricsCollector attached\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_rows.join(",\n")
+        ),
+    );
+}
+
+/// E15 — the telemetry extensions (DESIGN §4.11): latency histograms and
+/// the trace-event ring cost nothing when absent and stay within the E14
+/// overhead budget when attached. Three configurations per size on the
+/// E11 workload: no collector, a histogram-recording
+/// [`MetricsCollector`], and a [`TraceCollector`] ring. The within-run
+/// histogram-on/off ratio is gated (the budget claim); the recorded E11
+/// sequential baseline is compared with a gross-regression tripwire
+/// (E14 owns the tight disabled-handle gate); the histogram snapshot
+/// and the ring must actually contain the run. Registers its rows for
+/// `BENCH_validate.json`.
+fn e15_telemetry_overhead() {
+    heading(
+        "E15 (telemetry)",
+        "histograms + trace ring: within the E14 budget, distributions recorded",
+    );
+    let baselines = std::fs::read_to_string("BENCH_validate.json").ok();
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in scaling_sizes() {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+        let opts = Options::default().with_threads(1);
+
+        let off = Validator::with_matcher(&dtdc, MatcherKind::Dfa, opts);
+        let t_off = time_min(reps, || {
+            assert!(off.validate_constraints(&tree).is_valid());
+        });
+
+        let hist_collector = MetricsCollector::shared_with_histograms();
+        let hist = Validator::with_matcher(&dtdc, MatcherKind::Dfa, opts)
+            .with_obs(Obs::new(hist_collector.clone()));
+        let t_hist = time_min(reps, || {
+            assert!(hist.validate_constraints(&tree).is_valid());
+        });
+
+        let ring = std::sync::Arc::new(TraceCollector::new());
+        let trace =
+            Validator::with_matcher(&dtdc, MatcherKind::Dfa, opts).with_obs(Obs::new(ring.clone()));
+        let t_trace = time_min(reps, || {
+            assert!(trace.validate_constraints(&tree).is_valid());
+        });
+
+        // The collectors observed the runs they were attached to: the
+        // check family carries a latency distribution (one sample per
+        // per-constraint check span), and the ring holds raw events.
+        let m = hist_collector.snapshot();
+        let h = m.hist("check").expect("check histogram recorded");
+        assert!(h.count > 0, "empty check histogram at n={n}");
+        assert!(h.max >= h.quantile(0.5), "histogram max below its median");
+        assert!(!ring.events().is_empty(), "trace ring stayed empty");
+        assert!(ring.events().iter().any(|e| e.name == "check"));
+
+        let hist_over_off = t_hist / t_off;
+        let trace_over_off = t_trace / t_off;
+        println!(
+            "  nodes = {nodes:8}   off: {:9.3} ms ({:9.0} nodes/s)   hist: {:9.3} ms (×{hist_over_off:.3})   trace: {:9.3} ms (×{trace_over_off:.3})",
+            t_off * 1e3,
+            nodes as f64 / t_off,
+            t_hist * 1e3,
+            t_trace * 1e3
+        );
+        // The budget claim of this experiment is *within-run*: attaching
+        // the histogram-recording collector to the very validator just
+        // timed bare. The 2% budget, with headroom for timer noise; the
+        // recorded ratio is the honest number.
+        assert!(
+            hist_over_off <= 1.10,
+            "histogram recording cost ×{hist_over_off:.3} over the bare run at n={n}"
+        );
+        let base = baselines
+            .as_deref()
+            .and_then(|b| e11_baseline_nodes_per_sec(b, nodes));
+        let off_ratio = base.map(|base| {
+            let ratio = (nodes as f64 / t_off) / base;
+            println!(
+                "        off  vs recorded E11 t=1 baseline ({base:.0} nodes/s): ×{ratio:.3} (target ≥0.98)"
+            );
+            // E14 gates the disabled handle against the baselines at
+            // 0.90; consecutive minima within one process drift ~8% at
+            // 10⁶ on this host, so repeating that gate here would only
+            // add flake. Keep a gross-regression tripwire and record
+            // the honest ratio.
+            assert!(
+                ratio >= 0.75,
+                "disabled-handle throughput fell to ×{ratio:.3} of the E11 baseline at n={n}"
+            );
+            ratio
+        });
+        let hist_ratio = base.map(|base| {
+            let ratio = (nodes as f64 / t_hist) / base;
+            println!(
+                "        hist vs recorded E11 t=1 baseline ({base:.0} nodes/s): ×{ratio:.3} (target ≥0.98)"
+            );
+            assert!(
+                ratio >= 0.75,
+                "histogram-on throughput fell to ×{ratio:.3} of the E11 baseline at n={n}"
+            );
+            ratio
+        });
+        json_rows.push(format!(
+            "      {{\"nodes\": {nodes}, \"off_seconds\": {t_off:.6}, \"hist_seconds\": {t_hist:.6}, \"trace_seconds\": {t_trace:.6}, \"hist_over_off\": {hist_over_off:.4}, \"trace_over_off\": {trace_over_off:.4}, \"off_over_e11_baseline\": {}, \"hist_over_e11_baseline\": {}}}",
+            off_ratio.map_or("null".to_string(), |r| format!("{r:.4}")),
+            hist_ratio.map_or("null".to_string(), |r| format!("{r:.4}"))
+        ));
+    }
+    register_section(
+        "e15_telemetry_overhead",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload, threads = 1: no collector vs histogram-recording MetricsCollector vs TraceCollector ring\",\n    \"rows\": [\n{}\n    ]\n  }}",
             json_rows.join(",\n")
         ),
     );

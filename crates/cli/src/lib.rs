@@ -3,8 +3,9 @@
 //! A thin, dependency-free front end over the `xic` workspace:
 //!
 //! ```text
-//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream] [--metrics text|json]
-//! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--metrics text|json]
+//! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream] [--metrics text|json|prom] [--trace-out FILE]
+//! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--metrics text|json|prom] [--trace-out FILE]
+//! xic serve    <doc.xml> --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -44,6 +45,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod serve;
+
+pub use serve::serve_on;
+
 use std::fmt::Write as _;
 
 use xic::implication::lu::Mode;
@@ -65,6 +70,8 @@ struct Opts {
     no_stream: bool,
     ids: bool,
     metrics: Option<String>,
+    trace_out: Option<String>,
+    addr: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -91,11 +98,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--metrics" => {
                 let v = grab("--metrics")?;
-                if v != "text" && v != "json" {
-                    return Err(format!("--metrics expects text or json, got {v:?}"));
+                if v != "text" && v != "json" && v != "prom" {
+                    return Err(format!("--metrics expects text, json or prom, got {v:?}"));
                 }
                 o.metrics = Some(v);
             }
+            "--trace-out" => o.trace_out = Some(grab("--trace-out")?),
+            "--addr" => o.addr = Some(grab("--addr")?),
             "--lenient" => o.lenient = true,
             "--ids" => o.ids = true,
             "--stream" => o.no_stream = false,
@@ -156,15 +165,45 @@ fn load_dtdc(o: &Opts, doc_dtd: Option<&DtdStructure>, checked: bool) -> Result<
     }
 }
 
-/// The observability handle for this invocation: a fresh
-/// [`MetricsCollector`] (honouring the `XIC_TRACE` span-echo filter) when
-/// `--metrics` was passed, otherwise the disabled handle — with no
-/// collector attached the validator never reads a clock.
-fn metrics_obs(o: &Opts) -> Obs {
-    match o.metrics {
-        Some(_) => Obs::new(MetricsCollector::shared()),
-        None => Obs::off(),
+/// The observability wiring for one invocation: the handle instrumented
+/// code holds, plus the trace ring when `--trace-out` asked for one (the
+/// caller drains it into the file after the run).
+struct ObsSetup {
+    obs: Obs,
+    trace: Option<std::sync::Arc<TraceCollector>>,
+}
+
+/// Builds the [`Obs`] handle for this invocation: a fresh
+/// [`MetricsCollector`] (honouring the `XIC_TRACE` span-echo filter, with
+/// latency histograms on the default span families) when `--metrics` was
+/// passed, a [`TraceCollector`] ring when `--trace-out` was, both under a
+/// [`Fanout`] when both were — otherwise the disabled handle, where the
+/// validator never reads a clock.
+fn obs_setup(o: &Opts) -> ObsSetup {
+    let metrics = o
+        .metrics
+        .as_ref()
+        .map(|_| MetricsCollector::shared_with_histograms());
+    let trace = o
+        .trace_out
+        .as_ref()
+        .map(|_| std::sync::Arc::new(TraceCollector::new()));
+    let obs = match (metrics, &trace) {
+        (None, None) => Obs::off(),
+        (Some(m), None) => Obs::new(m),
+        (None, Some(t)) => Obs::new(t.clone()),
+        (Some(m), Some(t)) => Obs::new(std::sync::Arc::new(Fanout::new(vec![m, t.clone()]))),
+    };
+    ObsSetup { obs, trace }
+}
+
+/// Writes the Chrome trace-event export to `--trace-out`, if requested.
+fn emit_trace(o: &Opts, setup: &ObsSetup) -> Result<(), String> {
+    if let (Some(path), Some(tc)) = (&o.trace_out, &setup.trace) {
+        std::fs::write(path, tc.to_chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    Ok(())
 }
 
 /// Appends the metrics block after a report, in the `--metrics` format.
@@ -175,10 +214,14 @@ fn emit_metrics(o: &Opts, metrics: Option<&Metrics>, out: &mut String) {
     if !out.is_empty() && !out.ends_with('\n') {
         out.push('\n');
     }
-    if fmt == "json" {
-        let _ = writeln!(out, "{}", m.to_json());
-    } else {
-        let _ = write!(out, "{}", m.to_text());
+    match fmt {
+        "json" => {
+            let _ = writeln!(out, "{}", m.to_json());
+        }
+        "prom" => out.push_str(&m.to_prometheus()),
+        _ => {
+            let _ = write!(out, "{}", m.to_text());
+        }
     }
 }
 
@@ -201,16 +244,29 @@ usage:
                [--threads N]   (0 = auto, 1 = sequential; reports are identical either way)
                [--stream|--no-stream]  (default --stream: single-pass validation straight
                from the source text; --no-stream parses a tree first — same report)
-               [--metrics text|json]  (append per-phase timings and counters after the
-               report; set XIC_TRACE=1 or XIC_TRACE=prefix,... to echo spans to stderr)
+               [--metrics text|json|prom]  (append per-phase timings, counters and latency
+               histograms after the report; prom = Prometheus text exposition; set
+               XIC_TRACE=1 or XIC_TRACE=prefix,... to echo spans to stderr)
+               [--trace-out FILE]  (write a Chrome trace-event / Perfetto timeline of
+               all spans; open in chrome://tracing or ui.perfetto.dev)
   xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
-               [--lenient] [--metrics text|json]
+               [--lenient] [--metrics text|json|prom] [--trace-out FILE]
                incremental revalidation: per edit, prints the violations it
                raised (+) and cleared (-), then the final report. Script lines
                (# comments; vertices are the node numbers `render --ids` prints):
                  set-attr NODE ATTR V[,V...]    remove-attr NODE ATTR
                  set-text NODE INDEX [TEXT]     delete NODE
                  insert PARENT POSITION <xml fragment>
+  xic serve    <doc.xml> [--addr HOST:PORT] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
+               [--lenient] [--threads N]
+               long-running validation daemon over the loaded document
+               (default --addr 127.0.0.1:9100). HTTP endpoints:
+                 GET  /report   current validation report
+                 GET  /metrics  Prometheus text exposition (counters, span
+                                summaries, latency histogram buckets)
+                 POST /edits    edit-script body (apply-edits syntax); the
+                                response matches apply-edits output exactly
+                 POST /shutdown stop accepting and exit cleanly
   xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
                [--emit-countermodel FILE] CONSTRAINT
   xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
@@ -225,6 +281,7 @@ fn run_inner(args: &[String], out: &mut String) -> Result<i32, String> {
     match cmd.as_str() {
         "validate" => cmd_validate(&o, out),
         "apply-edits" => cmd_apply_edits(&o, out),
+        "serve" => serve::cmd_serve(&o, out),
         "implies" => cmd_implies(&o, out),
         "path" => cmd_path(&o, out),
         "render" => cmd_render(&o, out),
@@ -246,7 +303,8 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
     if let Some(threads) = o.threads {
         options = options.with_threads(threads);
     }
-    let obs = metrics_obs(o);
+    let setup = obs_setup(o);
+    let obs = setup.obs.clone();
     let report = if o.no_stream {
         let doc = {
             // On the tree path parsing happens up front, outside the
@@ -275,6 +333,7 @@ fn cmd_validate(o: &Opts, out: &mut String) -> Result<i32, String> {
     };
     let _ = write!(out, "{report}");
     emit_metrics(o, report.metrics.as_ref(), out);
+    emit_trace(o, &setup)?;
     Ok(if report.is_valid() { 0 } else { 1 })
 }
 
@@ -366,7 +425,8 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     let [doc_path, script_path] = o.positional.as_slice() else {
         return Err("apply-edits takes a document and an edit script".into());
     };
-    let obs = metrics_obs(o);
+    let setup = obs_setup(o);
+    let obs = setup.obs.clone();
     let doc = {
         let _parse = obs.span("parse");
         parse_document(&read(doc_path)?).map_err(|e| e.to_string())?
@@ -401,6 +461,7 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     let report = live.report();
     let _ = write!(out, "{report}");
     emit_metrics(o, report.metrics.as_ref(), out);
+    emit_trace(o, &setup)?;
     Ok(if report.is_valid() { 0 } else { 1 })
 }
 
@@ -1101,7 +1162,98 @@ ref.to <=s entry.isbn";
     fn metrics_rejects_unknown_format() {
         let (code, out) = validate_book(&["--metrics", "yaml"]);
         assert_eq!(code, 2, "{out}");
-        assert!(out.contains("--metrics expects text or json"), "{out}");
+        assert!(
+            out.contains("--metrics expects text, json or prom"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn metrics_prom_renders_exposition_format() {
+        let (code, out) = validate_book(&["--metrics", "prom", "--threads", "1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# TYPE xic_nodes_total counter"), "{out}");
+        assert!(out.contains("# TYPE xic_span_seconds summary"), "{out}");
+        assert!(
+            out.contains("xic_span_seconds_count{span=\"parse\"} 1"),
+            "{out}"
+        );
+        // The check family opts into histograms, so bucket series appear.
+        assert!(out.contains("# TYPE xic_check_seconds histogram"), "{out}");
+        assert!(
+            out.contains("xic_check_seconds_bucket{le=\"+Inf\"} 1"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn metrics_json_includes_histogram_quantiles() {
+        let (code, out) = validate_book(&["--metrics", "json", "--threads", "1"]);
+        assert_eq!(code, 0, "{out}");
+        let m = metrics_of(&out);
+        let h = m.hist("check").expect("check histogram recorded");
+        assert_eq!(h.count, 1);
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert!(out.contains("\"p99\""), "{out}");
+    }
+
+    #[test]
+    fn trace_out_writes_loadable_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("xic-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, extra) in [
+            ("trace-validate.json", Vec::new()),
+            ("trace-validate-metrics.json", vec!["--metrics", "json"]),
+        ] {
+            let path = dir.join(name);
+            let _ = std::fs::remove_file(&path);
+            let mut flags = vec!["--trace-out", path.to_str().unwrap(), "--threads", "1"];
+            flags.extend(extra);
+            let (code, out) = validate_book(&flags);
+            assert_eq!(code, 0, "{out}");
+            let trace = std::fs::read_to_string(&path).unwrap();
+            // Array-form trace-event JSON with the fields the viewers need.
+            assert!(trace.starts_with('['), "{trace}");
+            assert!(trace.trim_end().ends_with(']'), "{trace}");
+            for field in [
+                "\"name\"",
+                "\"ph\": \"X\"",
+                "\"ts\"",
+                "\"dur\"",
+                "\"pid\"",
+                "\"tid\"",
+            ] {
+                assert!(trace.contains(field), "missing {field} in {trace}");
+            }
+            assert!(trace.contains("\"check\""), "{trace}");
+        }
+
+        // apply-edits records edit spans on the same timeline.
+        let dtd = tmp("book.dtd", BOOK_DTD);
+        let sigma = tmp("book.sigma", BOOK_SIGMA);
+        let doc = tmp("trace-edit.xml", GOOD_DOC);
+        let script = tmp("trace-edit.txt", "set-attr 1 isbn x2\n");
+        let path = dir.join("trace-edits.json");
+        let _ = std::fs::remove_file(&path);
+        let (code, out) = call(&[
+            "apply-edits",
+            doc.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]);
+        // The edit dangles the foreign key, so the report is invalid —
+        // the trace must be written regardless.
+        assert_eq!(code, 1, "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"edit\""), "{trace}");
+        assert!(trace.contains("\"edit.set_attr\""), "{trace}");
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! `xic serve` — a long-running validation daemon over one document.
+//!
+//! In the spirit of the hand-rolled JSON codec in `xic-obs`, the HTTP
+//! layer is a minimal std-`TcpListener` HTTP/1.1 loop — no external
+//! crates, one connection at a time, `Connection: close` on every
+//! response. The daemon holds a [`LiveValidator`] over the loaded
+//! document, so edits revalidate incrementally (PR 3) and every request
+//! is observable (PR 4 + this PR's histograms):
+//!
+//! | endpoint | behaviour |
+//! |----------|-----------|
+//! | `GET /report` | the current validation report |
+//! | `GET /metrics` | Prometheus text exposition: validator counters, span summaries and latency histogram buckets, merged with the HTTP layer's own collector via [`Metrics::merge`] |
+//! | `POST /edits` | body = an `apply-edits` script; applies each line and responds with the per-edit ± diffs followed by the new report — byte-identical to `xic apply-edits` output on the same script |
+//! | `POST /shutdown` | stop accepting and return cleanly |
+//!
+//! Edits apply in order and are **not** transactional: a bad line aborts
+//! the script mid-way with a 400, keeping the edits already applied (the
+//! response says which line failed; `GET /report` shows the resulting
+//! state).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xic::prelude::*;
+
+use crate::{apply_script_line, load_dtdc, parse_opts, read, Opts};
+
+/// The address `xic serve` binds when `--addr` is absent.
+const DEFAULT_ADDR: &str = "127.0.0.1:9100";
+
+/// Entry point of the `serve` subcommand: binds `--addr` (default
+/// `127.0.0.1:9100`), announces the address on stdout, and serves until
+/// `POST /shutdown`.
+pub(crate) fn cmd_serve(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let addr = o.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    {
+        // `run` only prints `out` after the command returns; a daemon has
+        // to announce its address before blocking in the accept loop.
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "xic serve listening on http://{local} (GET /report, GET /metrics, POST /edits, POST /shutdown)"
+        );
+        let _ = stdout.flush();
+    }
+    serve_loop(listener, o)?;
+    let _ = writeln!(out, "xic serve: shut down cleanly");
+    Ok(0)
+}
+
+/// Runs the serve loop on an already-bound listener. `args` is the
+/// `serve` subcommand's argument list (document path plus `--dtd`,
+/// `--root`, `--sigma`, …); the `--addr` flag is ignored here, since the
+/// caller owns the socket. Returns when `POST /shutdown` is received.
+///
+/// This is the testable surface of the daemon: bind `127.0.0.1:0`
+/// yourself, hand the listener over, and talk HTTP to the port you got.
+pub fn serve_on(listener: TcpListener, args: &[String]) -> Result<(), String> {
+    serve_loop(listener, &parse_opts(args)?)
+}
+
+fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
+    let [doc_path] = o.positional.as_slice() else {
+        return Err("serve takes exactly one document".into());
+    };
+    // Validator-level observability is always on for a daemon — scraping
+    // is the point — with latency histograms on the default families.
+    let collector = MetricsCollector::shared_with_histograms();
+    let obs = Obs::new(collector.clone());
+    let doc = {
+        let _parse = obs.span("parse");
+        parse_document(&read(doc_path)?).map_err(|e| e.to_string())?
+    };
+    let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
+    let mut options = if o.lenient {
+        Options::lenient()
+    } else {
+        Options::default()
+    };
+    if let Some(threads) = o.threads {
+        options = options.with_threads(threads);
+    }
+    let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
+    let mut live = LiveValidator::new(&validator, doc.tree);
+
+    // The HTTP layer gets its own collector (request counter + latency
+    // histogram), merged into the validator's snapshot at scrape time —
+    // this is what `Metrics::merge` exists for.
+    let http_collector = {
+        let mut c = MetricsCollector::new();
+        c.set_histogram_families(["http"]);
+        Arc::new(c)
+    };
+    let http_obs = Obs::new(http_collector.clone());
+
+    for conn in listener.incoming() {
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let span = http_obs.span("http.request");
+        http_obs.add("http.requests", 1);
+        let request = read_request(&mut stream);
+        let shutdown = match request {
+            Ok((method, path, body)) => {
+                let (status, content_type, payload, stop) = match (method.as_str(), path.as_str()) {
+                    ("GET", "/report") => (
+                        "200 OK",
+                        "text/plain; charset=utf-8",
+                        live.report().to_string(),
+                        false,
+                    ),
+                    ("GET", "/metrics") => {
+                        let mut m = collector.snapshot();
+                        m.merge(&http_collector.snapshot());
+                        (
+                            "200 OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            m.to_prometheus(),
+                            false,
+                        )
+                    }
+                    ("POST", "/edits") => match apply_edit_script(&mut live, &body) {
+                        Ok(rendered) => ("200 OK", "text/plain; charset=utf-8", rendered, false),
+                        Err(e) => (
+                            "400 Bad Request",
+                            "text/plain; charset=utf-8",
+                            format!("error: {e}\n"),
+                            false,
+                        ),
+                    },
+                    ("POST", "/shutdown") => (
+                        "200 OK",
+                        "text/plain; charset=utf-8",
+                        "shutting down\n".into(),
+                        true,
+                    ),
+                    _ => (
+                        "404 Not Found",
+                        "text/plain; charset=utf-8",
+                        format!("no such endpoint: {method} {path}\n"),
+                        false,
+                    ),
+                };
+                respond(&mut stream, status, content_type, &payload);
+                stop
+            }
+            Err(e) => {
+                respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    &format!("error: {e}\n"),
+                );
+                false
+            }
+        };
+        span.end();
+        if shutdown {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Plays an edit script against the live document, rendering exactly what
+/// `xic apply-edits` prints: per edit the line and its ± diffs, then the
+/// final report.
+fn apply_edit_script(live: &mut LiveValidator<'_, '_>, script: &str) -> Result<String, String> {
+    let mut out = String::new();
+    for (idx, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let outcome =
+            apply_script_line(live, line).map_err(|e| format!("edits line {}: {e}", idx + 1))?;
+        let _ = writeln!(out, "edit: {line}");
+        for v in &outcome.diff.raised {
+            let _ = writeln!(out, "  + {v}");
+        }
+        for v in &outcome.diff.cleared {
+            let _ = writeln!(out, "  - {v}");
+        }
+    }
+    let _ = write!(out, "{}", live.report());
+    Ok(out)
+}
+
+/// Reads one HTTP/1.1 request: the request line, headers (only
+/// `Content-Length` is interpreted), and exactly that many body bytes.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("bad request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(format!("malformed request line {line:?}"));
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("bad header: {e}"))?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("truncated body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok((method, path, body))
+}
+
+/// Writes a complete response and closes the write side.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xic-serve-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    const BOOK_DTD: &str = "\
+<!ELEMENT book (entry, author*, section*, ref)>
+<!ELEMENT entry (title, publisher)>
+<!ELEMENT title (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+<!ELEMENT author (#PCDATA)> <!ELEMENT text (#PCDATA)>
+<!ELEMENT section (title, (text | section)*)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST entry isbn CDATA #REQUIRED>
+<!ATTLIST section sid CDATA #REQUIRED>
+<!ATTLIST ref to NMTOKENS #IMPLIED>";
+
+    const BOOK_SIGMA: &str = "\
+entry.isbn -> entry
+section.sid -> section
+ref.to <=s entry.isbn";
+
+    const GOOD_DOC: &str = r#"<book>
+  <entry isbn="x1"><title>T</title><publisher>P</publisher></entry>
+  <author>A</author>
+  <ref to="x1"/>
+</book>"#;
+
+    /// One raw HTTP/1.1 exchange; returns (status line, body).
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: xic\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(req.as_bytes()).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        let (head, payload) = response
+            .split_once("\r\n\r\n")
+            .unwrap_or((response.as_str(), ""));
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, payload.to_string())
+    }
+
+    /// Binds port 0, starts the daemon on the book fixture, runs `f`
+    /// against it, then shuts it down cleanly.
+    fn with_daemon(doc: &str, f: impl FnOnce(SocketAddr)) {
+        let dtd = tmp("book.dtd", BOOK_DTD);
+        let sigma = tmp("book.sigma", BOOK_SIGMA);
+        let doc = tmp("doc.xml", doc);
+        let args: Vec<String> = [
+            doc.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || serve_on(listener, &args));
+        f(addr);
+        let (status, _) = http(addr, "POST", "/shutdown", "");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn report_metrics_and_edits_round_trip() {
+        with_daemon(GOOD_DOC, |addr| {
+            let (status, report) = http(addr, "GET", "/report", "");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert!(report.contains("valid"), "{report}");
+
+            // Prometheus exposition: # TYPE headers, counters, histogram
+            // series from the edit applied below come in the next scrape.
+            let (status, prom) = http(addr, "GET", "/metrics", "");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert!(prom.contains("# TYPE xic_wall_seconds gauge"), "{prom}");
+            assert!(
+                prom.contains("# TYPE xic_http_requests_total counter"),
+                "{prom}"
+            );
+            assert!(
+                prom.contains("xic_span_seconds_count{span=\"parse\"}"),
+                "{prom}"
+            );
+
+            // An edit script: break the foreign key, then repair it.
+            let script = "set-attr 5 to dangling\nset-attr 5 to x1\n";
+            let (status, diff) = http(addr, "POST", "/edits", script);
+            assert_eq!(status, "HTTP/1.1 200 OK", "{diff}");
+            assert!(diff.contains("edit: set-attr 5 to dangling"), "{diff}");
+            assert!(diff.contains("+ "), "{diff}");
+            assert!(diff.contains("- "), "{diff}");
+            assert!(diff.contains("valid"), "{diff}");
+
+            // /edits responses match `xic apply-edits` byte-for-byte on
+            // the same script against the same starting document.
+            let dtd = tmp("book.dtd", BOOK_DTD);
+            let sigma = tmp("book.sigma", BOOK_SIGMA);
+            let doc = tmp("doc.xml", GOOD_DOC);
+            let script_file = tmp("script.txt", script);
+            let args: Vec<String> = [
+                "apply-edits",
+                doc.to_str().unwrap(),
+                script_file.to_str().unwrap(),
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--root",
+                "book",
+                "--sigma",
+                sigma.to_str().unwrap(),
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+            let mut cli_out = String::new();
+            assert_eq!(crate::run(&args, &mut cli_out), 0);
+            assert_eq!(diff, cli_out, "serve /edits diverged from apply-edits");
+
+            // After the edits, the histogram series are live.
+            let (_, prom) = http(addr, "GET", "/metrics", "");
+            assert!(prom.contains("# TYPE xic_edit_seconds histogram"), "{prom}");
+            assert!(
+                prom.contains("xic_edit_seconds_bucket{le=\"+Inf\"} 2"),
+                "{prom}"
+            );
+            assert!(prom.contains("xic_edit_seconds_count 2"), "{prom}");
+            assert!(prom.contains("xic_edits_total 2"), "{prom}");
+            assert!(
+                prom.contains("# TYPE xic_http_request_seconds histogram"),
+                "{prom}"
+            );
+        });
+    }
+
+    #[test]
+    fn bad_requests_get_4xx_and_leave_the_daemon_alive() {
+        with_daemon(GOOD_DOC, |addr| {
+            let (status, body) = http(addr, "GET", "/nope", "");
+            assert_eq!(status, "HTTP/1.1 404 Not Found");
+            assert!(body.contains("no such endpoint"), "{body}");
+
+            let (status, body) = http(addr, "POST", "/edits", "frobnicate 1\n");
+            assert_eq!(status, "HTTP/1.1 400 Bad Request");
+            assert!(body.contains("unknown edit"), "{body}");
+
+            // Still serving after the errors.
+            let (status, _) = http(addr, "GET", "/report", "");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+        });
+    }
+
+    #[test]
+    fn edits_mutate_the_served_document() {
+        with_daemon(GOOD_DOC, |addr| {
+            let (_, before) = http(addr, "GET", "/report", "");
+            assert!(before.contains("valid"), "{before}");
+            let (status, _) = http(addr, "POST", "/edits", "set-attr 5 to dangling\n");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            let (_, after) = http(addr, "GET", "/report", "");
+            assert!(after.contains("dangling"), "{after}");
+        });
+    }
+}

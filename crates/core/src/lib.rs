@@ -93,7 +93,9 @@ pub mod prelude {
     pub use xic_model::{
         render_tree, AttrValue, DataTree, Edit, ExtIndex, Name, NodeId, RenderOptions, TreeBuilder,
     };
-    pub use xic_obs::{Metrics, MetricsCollector, Obs, TraceFilter};
+    pub use xic_obs::{
+        Fanout, Histogram, Metrics, MetricsCollector, Obs, TraceCollector, TraceFilter,
+    };
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
     pub use xic_validate::{

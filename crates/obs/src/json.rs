@@ -1,8 +1,9 @@
-//! A tiny JSON codec for the [`Metrics`](crate::Metrics) wire format.
+//! A tiny JSON codec for the [`Metrics`](crate::Metrics) wire format and
+//! the Chrome trace-event export.
 //!
 //! Only the subset this crate emits is supported — objects with string
-//! keys, numbers, and strings — which keeps the parser ~100 lines and the
-//! crate dependency-free. Object order is preserved on both sides so
+//! keys, arrays, numbers, and strings — which keeps the parser small and
+//! the crate dependency-free. Object order is preserved on both sides so
 //! emitted documents are byte-stable.
 
 /// A parsed JSON value (the supported subset).
@@ -10,6 +11,8 @@
 pub(crate) enum Json {
     /// An object, in emission/parse order.
     Object(Vec<(String, Json)>),
+    /// An array.
+    Array(Vec<Json>),
     /// A number (all metrics values are non-negative integers that fit
     /// an `f64` exactly; `u64::MAX` sentinels survive via saturation).
     Number(f64),
@@ -51,6 +54,18 @@ impl Json {
                 }
                 out.push('}');
             }
+            Json::Array(items) => {
+                // Arrays render on one line: the crate only emits arrays
+                // of scalars (histogram buckets) or short trace events.
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render_into(out, indent);
+                }
+                out.push(']');
+            }
             Json::Number(n) => {
                 if n.fract() == 0.0 && n.abs() < 9e15 {
                     let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
@@ -81,6 +96,14 @@ impl Json {
             other => Err(format!(
                 "{what}: expected a non-negative number, got {other:?}"
             )),
+        }
+    }
+
+    /// The array's items, or an error naming `what`.
+    pub(crate) fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(format!("{what}: expected an array, got {other:?}")),
         }
     }
 }
@@ -153,6 +176,7 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::String(self.string()?)),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             other => Err(format!(
@@ -160,6 +184,35 @@ impl Parser<'_> {
                 other.map(|b| b as char),
                 self.pos
             )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
         }
     }
 
@@ -282,8 +335,25 @@ mod tests {
     fn rejects_trailing_garbage_and_bad_syntax() {
         assert!(parse("{} x").is_err());
         assert!(parse("{\"a\" 1}").is_err());
-        assert!(parse("[1]").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("[1 2]").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn arrays_render_inline_and_round_trip() {
+        let doc = Json::Array(vec![
+            Json::Number(1.0),
+            Json::Object(vec![("k".into(), Json::Array(vec![]))]),
+            Json::String("x".into()),
+        ]);
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert_eq!(
+            Json::Array(vec![Json::Number(1.0), Json::Number(2.0)]).render(),
+            "[1, 2]"
+        );
+        assert_eq!(parse("[ ]").unwrap(), Json::Array(vec![]));
     }
 
     #[test]

@@ -83,17 +83,43 @@
 //! Setting the `XIC_TRACE` environment variable makes the CLI's collector
 //! echo every matching span to stderr as it closes (`XIC_TRACE=1` for
 //! everything, or a comma-separated list of name prefixes such as
-//! `XIC_TRACE=check,edit`). See [`TraceFilter`].
+//! `XIC_TRACE=check,edit`). Each line carries the originating thread's
+//! first-seen ordinal and the span's start offset from collector
+//! creation — `[xic-trace] t2 +14.103ms par.chunk 3.220ms` — so
+//! interleaved parallel spans stay attributable. See [`TraceFilter`].
+//!
+//! ## Distributions, timelines, scraping
+//!
+//! Beyond span *sums*, three surfaces answer tail and timeline questions:
+//!
+//! - **Histograms** ([`Histogram`]): span families opted in via
+//!   [`MetricsCollector::with_histograms`] record log₂-bucketed latency
+//!   distributions, surfaced as p50/p95/p99/max in [`Metrics`], its JSON
+//!   and text renderings, and the CLI's `--metrics`.
+//! - **Timelines** ([`TraceCollector`]): a bounded ring of raw span
+//!   events (name, thread, start, duration) exporting Chrome
+//!   trace-event JSON for `chrome://tracing` / Perfetto (`--trace-out`).
+//!   Combine with a [`MetricsCollector`] under a [`Fanout`].
+//! - **Scraping** ([`Metrics::to_prometheus`]): Prometheus text
+//!   exposition of counters, maxima, span sums and histogram buckets,
+//!   served live by `xic serve` at `GET /metrics`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod histogram;
 mod json;
 mod metrics;
+mod prom;
+mod trace;
 
+pub use histogram::{bucket_of, bucket_upper, Histogram, BUCKETS};
 pub use metrics::{Metrics, SpanStat};
+pub use trace::{Fanout, TraceCollector, TraceEvent, DEFAULT_TRACE_CAPACITY};
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::Instant;
 
 /// A sink for observability events.
@@ -291,6 +317,11 @@ impl TraceFilter {
 pub struct MetricsCollector {
     start: Instant,
     trace: Option<TraceFilter>,
+    /// Span families recording full latency histograms (empty ⇒ none).
+    hist_families: Vec<String>,
+    /// First-seen thread ordinals for `XIC_TRACE` stderr lines (touched
+    /// only on the traced path).
+    tids: Mutex<HashMap<ThreadId, u64>>,
     inner: Mutex<metrics::Inner>,
 }
 
@@ -300,12 +331,29 @@ impl Default for MetricsCollector {
     }
 }
 
+/// The span families that record latency histograms by default (see
+/// [`MetricsCollector::with_histograms`]): per-edit latency, parallel
+/// chunk tasks, constraint checks, and stream-pipeline stalls — the
+/// distributions ISSUE motivation cares about.
+pub const DEFAULT_HIST_FAMILIES: [&str; 4] = ["edit", "par.chunk", "check", "stream.recv_wait"];
+
+/// Whether span `name` belongs to `family`: equal, or `family` followed
+/// by a dotted suffix (`check` matches `check.key`, not `checkpoint`).
+fn family_matches(family: &str, name: &str) -> bool {
+    name == family
+        || (name.len() > family.len()
+            && name.starts_with(family)
+            && name.as_bytes()[family.len()] == b'.')
+}
+
 impl MetricsCollector {
     /// An empty collector; the snapshot's wall clock starts now.
     pub fn new() -> Self {
         MetricsCollector {
             start: Instant::now(),
             trace: None,
+            hist_families: Vec::new(),
+            tids: Mutex::new(HashMap::new()),
             inner: Mutex::new(metrics::Inner::default()),
         }
     }
@@ -319,6 +367,28 @@ impl MetricsCollector {
         }
     }
 
+    /// An empty collector recording latency histograms for the
+    /// [`DEFAULT_HIST_FAMILIES`].
+    pub fn with_histograms() -> Self {
+        let mut c = MetricsCollector::new();
+        c.enable_default_histograms();
+        c
+    }
+
+    /// Enables histogram recording for the [`DEFAULT_HIST_FAMILIES`].
+    pub fn enable_default_histograms(&mut self) {
+        self.set_histogram_families(DEFAULT_HIST_FAMILIES);
+    }
+
+    /// Enables histogram recording for exactly `families` (a family
+    /// matches its own name plus any dotted suffix).
+    pub fn set_histogram_families<I: IntoIterator<Item = S>, S: Into<String>>(
+        &mut self,
+        families: I,
+    ) {
+        self.hist_families = families.into_iter().map(Into::into).collect();
+    }
+
     /// A collector honouring the `XIC_TRACE` environment variable,
     /// ready to share (`Arc`-wrapped for [`Obs::new`]).
     pub fn shared() -> Arc<Self> {
@@ -326,6 +396,18 @@ impl MetricsCollector {
             Some(f) => MetricsCollector::with_trace(f),
             None => MetricsCollector::new(),
         })
+    }
+
+    /// [`MetricsCollector::shared`] plus histogram recording for the
+    /// [`DEFAULT_HIST_FAMILIES`] (what `xic serve` and
+    /// `--metrics` with histograms use).
+    pub fn shared_with_histograms() -> Arc<Self> {
+        let mut c = match TraceFilter::from_env() {
+            Some(f) => MetricsCollector::with_trace(f),
+            None => MetricsCollector::new(),
+        };
+        c.enable_default_histograms();
+        Arc::new(c)
     }
 
     /// Everything recorded so far, with `wall_nanos` the time since this
@@ -340,10 +422,29 @@ impl Collector for MetricsCollector {
     fn record_span(&self, name: &'static str, nanos: u64) {
         if let Some(t) = &self.trace {
             if t.matches(name) {
-                eprintln!("[xic-trace] {name} {:.3}ms", nanos as f64 / 1e6);
+                // Attribute the span: first-seen thread ordinal plus its
+                // start offset (now − duration) from collector creation,
+                // so interleaved parallel spans read unambiguously.
+                let now = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let start = now.saturating_sub(nanos);
+                let tid = {
+                    let mut tids = self.tids.lock().unwrap();
+                    let next = tids.len() as u64;
+                    *tids.entry(std::thread::current().id()).or_insert(next)
+                };
+                eprintln!(
+                    "[xic-trace] t{tid} +{:.3}ms {name} {:.3}ms",
+                    start as f64 / 1e6,
+                    nanos as f64 / 1e6
+                );
             }
         }
-        self.inner.lock().unwrap().record_span(name, nanos);
+        let record_hist = self.hist_families.iter().any(|f| family_matches(f, name));
+        let mut inner = self.inner.lock().unwrap();
+        inner.record_span(name, nanos);
+        if record_hist {
+            inner.record_hist(name, nanos);
+        }
     }
 
     fn add(&self, name: &'static str, delta: u64) {
@@ -394,6 +495,40 @@ mod tests {
         assert_eq!(m.counter("depth"), 9);
         assert!(m.wall_nanos > 0);
         assert!(obs.snapshot().is_some());
+    }
+
+    #[test]
+    fn histogram_families_record_distributions() {
+        let c = Arc::new(MetricsCollector::with_histograms());
+        let obs = Obs::new(c.clone());
+        obs.record_span("edit", 800);
+        obs.record_span("edit", 1_200);
+        obs.record_span("edit.set_attr", 500); // dotted suffix of a family
+        obs.record_span("check.key", 2_000);
+        obs.record_span("parse", 9_999); // not a histogram family
+        let m = c.snapshot();
+        assert_eq!(m.hist("edit").unwrap().count, 2);
+        assert_eq!(m.hist("edit").unwrap().max, 1_200);
+        assert_eq!(m.hist("edit.set_attr").unwrap().count, 1);
+        assert_eq!(m.hist("check.key").unwrap().count, 1);
+        assert!(m.hist("parse").is_none());
+        // Span sums are unaffected by histogram capture.
+        assert_eq!(m.span("parse").nanos, 9_999);
+        assert_eq!(m.span("edit").count, 2);
+        // Off by default.
+        let plain = MetricsCollector::new();
+        plain.record_span("edit", 1);
+        assert!(plain.snapshot().hist("edit").is_none());
+    }
+
+    #[test]
+    fn family_matching_requires_dot_boundary() {
+        assert!(family_matches("check", "check"));
+        assert!(family_matches("check", "check.key"));
+        assert!(!family_matches("check", "checkpoint"));
+        assert!(!family_matches("check", "chec"));
+        assert!(family_matches("par.chunk", "par.chunk"));
+        assert!(!family_matches("par.chunk", "par.constraint"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::histogram::Histogram;
 use crate::json::{self, Json};
 
 /// Aggregate of one span name: how often it closed and the total time
@@ -28,9 +29,17 @@ pub struct Metrics {
     pub wall_nanos: u64,
     /// Per span name: completion count and total time.
     pub spans: BTreeMap<String, SpanStat>,
-    /// Per counter name: accumulated total (maxima are folded in here as
-    /// their final value).
+    /// Per counter name: accumulated total.
     pub counters: BTreeMap<String, u64>,
+    /// Per maximum name: largest value recorded. Kept apart from
+    /// `counters` so [`Metrics::merge`] can combine them correctly
+    /// (maxima take the max, counters add); [`Metrics::counter`] still
+    /// falls back here, so `counter("stream.peak_depth")` keeps working.
+    pub maxima: BTreeMap<String, u64>,
+    /// Per span family that opted into distribution recording: the
+    /// latency [`Histogram`] (see
+    /// [`MetricsCollector::with_histograms`](crate::MetricsCollector::with_histograms)).
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 /// Mutable aggregation state behind the collector's mutex.
@@ -39,6 +48,7 @@ pub(crate) struct Inner {
     spans: BTreeMap<&'static str, SpanStat>,
     counters: BTreeMap<&'static str, u64>,
     maxima: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl Inner {
@@ -46,6 +56,10 @@ impl Inner {
         let s = self.spans.entry(name).or_default();
         s.count += 1;
         s.nanos = s.nanos.saturating_add(nanos);
+    }
+
+    pub(crate) fn record_hist(&mut self, name: &'static str, nanos: u64) {
+        self.hists.entry(name).or_default().record(nanos);
     }
 
     pub(crate) fn add(&mut self, name: &'static str, delta: u64) {
@@ -58,14 +72,6 @@ impl Inner {
     }
 
     pub(crate) fn snapshot(&self, wall_nanos: u64) -> Metrics {
-        let mut counters: BTreeMap<String, u64> = self
-            .counters
-            .iter()
-            .map(|(&k, &v)| (k.to_string(), v))
-            .collect();
-        for (&k, &v) in &self.maxima {
-            counters.insert(k.to_string(), v);
-        }
         Metrics {
             wall_nanos,
             spans: self
@@ -73,7 +79,21 @@ impl Inner {
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), v))
                 .collect(),
-            counters,
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            maxima: self
+                .maxima
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
         }
     }
 }
@@ -84,9 +104,49 @@ impl Metrics {
         self.spans.get(name).copied().unwrap_or_default()
     }
 
-    /// The value of counter `name` (zero if never recorded).
+    /// The value of counter `name`, falling back to the maximum of the
+    /// same name (zero if neither was recorded).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .get(name)
+            .or_else(|| self.maxima.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The recorded maximum `name` (zero if never recorded).
+    pub fn maximum(&self, name: &str) -> u64 {
+        self.maxima.get(name).copied().unwrap_or(0)
+    }
+
+    /// The latency histogram of span family `name`, if that family opted
+    /// into distribution recording.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Folds `other` into `self`: counters and span stats add, maxima
+    /// and `wall_nanos` take the larger value, histograms merge
+    /// bucket-wise. Lets per-thread or per-request snapshots combine into
+    /// one (the `xic serve` daemon merges its HTTP-layer collector into
+    /// the validator's this way).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.wall_nanos = self.wall_nanos.max(other.wall_nanos);
+        for (name, s) in &other.spans {
+            let slot = self.spans.entry(name.clone()).or_default();
+            slot.count += s.count;
+            slot.nanos = slot.nanos.saturating_add(s.nanos);
+        }
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += v;
+        }
+        for (name, &v) in &other.maxima {
+            let slot = self.maxima.entry(name.clone()).or_default();
+            *slot = (*slot).max(v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
     }
 
     /// Serializes to a stable JSON document: keys appear in B-tree
@@ -116,12 +176,31 @@ impl Metrics {
             .iter()
             .map(|(k, &v)| (k.clone(), Json::Number(v as f64)))
             .collect();
-        let doc = Json::Object(vec![
+        let mut pairs = vec![
             ("wall_nanos".into(), Json::Number(self.wall_nanos as f64)),
             ("spans".into(), Json::Object(spans)),
             ("counters".into(), Json::Object(counters)),
-        ]);
-        doc.render()
+        ];
+        if !self.maxima.is_empty() {
+            pairs.push((
+                "maxima".into(),
+                Json::Object(
+                    self.maxima
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Number(v as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.hists.is_empty() {
+            let hists = self
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), hist_to_json(h)))
+                .collect();
+            pairs.push(("hists".into(), Json::Object(hists)));
+        }
+        Json::Object(pairs).render()
     }
 
     /// Parses a document produced by [`Metrics::to_json`]. Unknown keys
@@ -152,6 +231,16 @@ impl Metrics {
                         m.counters.insert(name.clone(), v.as_u64(name)?);
                     }
                 }
+                "maxima" => {
+                    for (name, v) in v.as_object("maxima")? {
+                        m.maxima.insert(name.clone(), v.as_u64(name)?);
+                    }
+                }
+                "hists" => {
+                    for (name, h) in v.as_object("hists")? {
+                        m.hists.insert(name.clone(), hist_from_json(h)?);
+                    }
+                }
                 other => return Err(format!("unknown metrics key {other:?}")),
             }
         }
@@ -164,6 +253,51 @@ impl Metrics {
     pub fn to_text(&self) -> String {
         self.to_string()
     }
+}
+
+/// Renders one histogram: count/sum/max, derived p50/p95/p99, and the
+/// raw bucket counts (trimmed after the last non-empty bucket) so the
+/// distribution round-trips losslessly and merged offline.
+fn hist_to_json(h: &Histogram) -> Json {
+    let last = h.last_bucket().map_or(0, |i| i + 1);
+    let buckets = h.buckets[..last]
+        .iter()
+        .map(|&c| Json::Number(c as f64))
+        .collect();
+    Json::Object(vec![
+        ("count".into(), Json::Number(h.count as f64)),
+        ("sum".into(), Json::Number(h.sum as f64)),
+        ("max".into(), Json::Number(h.max as f64)),
+        ("p50".into(), Json::Number(h.quantile(0.5) as f64)),
+        ("p95".into(), Json::Number(h.quantile(0.95) as f64)),
+        ("p99".into(), Json::Number(h.quantile(0.99) as f64)),
+        ("buckets".into(), Json::Array(buckets)),
+    ])
+}
+
+/// Parses what [`hist_to_json`] emitted; `p50`/`p95`/`p99` are derived,
+/// so they are accepted and ignored.
+fn hist_from_json(v: &Json) -> Result<Histogram, String> {
+    let mut h = Histogram::default();
+    for (k, v) in v.as_object("hist")? {
+        match k.as_str() {
+            "count" => h.count = v.as_u64("count")?,
+            "sum" => h.sum = v.as_u64("sum")?,
+            "max" => h.max = v.as_u64("max")?,
+            "p50" | "p95" | "p99" => {}
+            "buckets" => {
+                let items = v.as_array("buckets")?;
+                if items.len() > h.buckets.len() {
+                    return Err(format!("too many hist buckets: {}", items.len()));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    h.buckets[i] = item.as_u64("bucket")?;
+                }
+            }
+            other => return Err(format!("unknown hist key {other:?}")),
+        }
+    }
+    Ok(h)
 }
 
 /// Formats a duration in the most readable unit.
@@ -200,6 +334,20 @@ impl fmt::Display for Metrics {
         for (name, v) in &self.counters {
             writeln!(f, "  {name} = {v}")?;
         }
+        for (name, v) in &self.maxima {
+            writeln!(f, "  {name} = {v} (max)")?;
+        }
+        for (name, h) in &self.hists {
+            writeln!(
+                f,
+                "  {name}: p50 {}  p95 {}  p99 {}  max {}  (n={})",
+                human_time(h.quantile(0.5)),
+                human_time(h.quantile(0.95)),
+                human_time(h.quantile(0.99)),
+                human_time(h.max),
+                h.count
+            )?;
+        }
         let nodes = self.counter("nodes");
         if nodes > 0 && self.wall_nanos > 0 {
             writeln!(
@@ -224,6 +372,9 @@ mod tests {
         inner.add("nodes", 10_001);
         inner.add("attrs", 3);
         inner.record_max("stream.peak_depth", 17);
+        inner.record_hist("edit", 900);
+        inner.record_hist("edit", 1_100);
+        inner.record_hist("edit", 250_000);
         inner.snapshot(10_000_000)
     }
 
@@ -243,8 +394,66 @@ mod tests {
         // Spans and counters appear in lexicographic key order.
         assert!(j.find("\"check\"").unwrap() < j.find("\"parse\"").unwrap());
         assert!(j.find("\"attrs\"").unwrap() < j.find("\"nodes\"").unwrap());
-        // Maxima fold into the counters map.
+        // Maxima appear under their own key with the final value.
         assert!(j.contains("\"stream.peak_depth\": 17"));
+        assert!(j.contains("\"maxima\""));
+        // Histograms surface the derived quantiles and the raw buckets.
+        assert!(j.contains("\"hists\""));
+        assert!(j.contains("\"p99\""));
+        assert!(j.contains("\"buckets\": ["));
+    }
+
+    #[test]
+    fn counter_falls_back_to_maxima() {
+        let m = sample();
+        assert_eq!(m.counter("stream.peak_depth"), 17);
+        assert_eq!(m.maximum("stream.peak_depth"), 17);
+        assert_eq!(m.counter("nodes"), 10_001);
+        assert_eq!(m.maximum("nodes"), 0);
+    }
+
+    #[test]
+    fn hist_quantiles_surface_in_snapshot_and_text() {
+        let m = sample();
+        let h = m.hist("edit").expect("edit family recorded");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, 250_000);
+        assert_eq!(h.quantile(0.99), 250_000);
+        let t = m.to_text();
+        assert!(t.contains("edit: p50"), "{t}");
+        assert!(t.contains("stream.peak_depth = 17 (max)"), "{t}");
+    }
+
+    #[test]
+    fn merge_combines_snapshots() {
+        let mut a = sample();
+        let mut b = Metrics {
+            wall_nanos: 20_000_000,
+            ..Metrics::default()
+        };
+        b.spans.insert(
+            "check".into(),
+            SpanStat {
+                count: 1,
+                nanos: 1_000_000,
+            },
+        );
+        b.counters.insert("nodes".into(), 9);
+        b.maxima.insert("stream.peak_depth".into(), 5);
+        b.maxima.insert("http.peak".into(), 2);
+        let mut bh = Histogram::default();
+        bh.record(4_000);
+        b.hists.insert("edit".into(), bh);
+        a.merge(&b);
+        assert_eq!(a.wall_nanos, 20_000_000); // max, not sum
+        assert_eq!(a.span("check").count, 3);
+        assert_eq!(a.span("check").nanos, 3_500_000);
+        assert_eq!(a.counter("nodes"), 10_010);
+        assert_eq!(a.maximum("stream.peak_depth"), 17); // max wins
+        assert_eq!(a.maximum("http.peak"), 2);
+        assert_eq!(a.hist("edit").unwrap().count, 4);
+        // Merging is reflected in the JSON round trip too.
+        assert_eq!(Metrics::parse_json(&a.to_json()).unwrap(), a);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Prometheus text exposition (format 0.0.4) for [`Metrics`] — what
+//! `xic serve` answers at `GET /metrics`.
+//!
+//! The mapping keeps every surface of a snapshot scrapeable:
+//!
+//! | metrics field | Prometheus series |
+//! |---------------|-------------------|
+//! | counter `nodes` | `xic_nodes_total` (counter) |
+//! | maximum `stream.peak_depth` | `xic_stream_peak_depth` (gauge) |
+//! | span `check` | `xic_span_seconds` summary: `_sum{span="check"}` / `_count{span="check"}` |
+//! | histogram `edit` | `xic_edit_seconds` histogram: cumulative `_bucket{le="…"}` / `_sum` / `_count` |
+//! | `wall_nanos` | `xic_wall_seconds` (gauge) |
+//!
+//! Dotted names are sanitized to underscores; durations are exposed in
+//! seconds (Prometheus base unit). Histogram `le` bounds are the log₂
+//! bucket upper bounds in seconds, trimmed after the last non-empty
+//! bucket with the mandatory `+Inf` bucket closing each series.
+
+use std::fmt::Write;
+
+use crate::histogram::bucket_upper;
+use crate::Metrics;
+
+/// `stream.peak_depth` → `stream_peak_depth` (metric-name-safe).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Nanoseconds as seconds, in plain decimal (Rust's `f64` `Display`
+/// never produces scientific notation, which the exposition format does
+/// not guarantee every parser accepts).
+fn secs(nanos: u64) -> String {
+    format!("{}", nanos as f64 / 1e9)
+}
+
+impl Metrics {
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4): every series preceded by `# TYPE`, terminated
+    /// with a trailing newline.
+    ///
+    /// ```
+    /// use xic_obs::Metrics;
+    /// let mut m = Metrics::default();
+    /// m.counters.insert("nodes".into(), 7);
+    /// let text = m.to_prometheus();
+    /// assert!(text.contains("# TYPE xic_nodes_total counter"));
+    /// assert!(text.contains("xic_nodes_total 7"));
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE xic_wall_seconds gauge");
+        let _ = writeln!(out, "xic_wall_seconds {}", secs(self.wall_nanos));
+        for (name, &v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE xic_{n}_total counter");
+            let _ = writeln!(out, "xic_{n}_total {v}");
+        }
+        for (name, &v) in &self.maxima {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE xic_{n} gauge");
+            let _ = writeln!(out, "xic_{n} {v}");
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "# TYPE xic_span_seconds summary");
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "xic_span_seconds_sum{{span=\"{name}\"}} {}",
+                    secs(s.nanos)
+                );
+                let _ = writeln!(out, "xic_span_seconds_count{{span=\"{name}\"}} {}", s.count);
+            }
+        }
+        for (name, h) in &self.hists {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE xic_{n}_seconds histogram");
+            let mut cum = 0u64;
+            if let Some(last) = h.last_bucket() {
+                for (i, &c) in h.buckets[..=last].iter().enumerate() {
+                    cum += c;
+                    let _ = writeln!(
+                        out,
+                        "xic_{n}_seconds_bucket{{le=\"{}\"}} {cum}",
+                        secs(bucket_upper(i).min(1 << 62))
+                    );
+                }
+            }
+            let _ = writeln!(out, "xic_{n}_seconds_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "xic_{n}_seconds_sum {}", secs(h.sum));
+            let _ = writeln!(out, "xic_{n}_seconds_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, SpanStat};
+
+    fn sample() -> Metrics {
+        let mut m = Metrics {
+            wall_nanos: 2_000_000_000,
+            ..Metrics::default()
+        };
+        m.counters.insert("nodes".into(), 10_001);
+        m.counters.insert("edits".into(), 3);
+        m.maxima.insert("stream.peak_depth".into(), 17);
+        m.spans.insert(
+            "check.key".into(),
+            SpanStat {
+                count: 4,
+                nanos: 1_500_000,
+            },
+        );
+        let mut h = Histogram::default();
+        h.record(900);
+        h.record(1_100);
+        h.record(250_000);
+        m.hists.insert("edit".into(), h);
+        m
+    }
+
+    #[test]
+    fn every_series_has_a_type_header() {
+        let text = sample().to_prometheus();
+        for ty in [
+            "# TYPE xic_wall_seconds gauge",
+            "# TYPE xic_nodes_total counter",
+            "# TYPE xic_edits_total counter",
+            "# TYPE xic_stream_peak_depth gauge",
+            "# TYPE xic_span_seconds summary",
+            "# TYPE xic_edit_seconds histogram",
+        ] {
+            assert!(text.contains(ty), "missing {ty:?} in:\n{text}");
+        }
+        assert!(text.ends_with('\n'));
+        // Dots never leak into metric names (labels may keep them).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized name in {line:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_closed_by_inf() {
+        let text = sample().to_prometheus();
+        let buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("xic_edit_seconds_bucket"))
+            .collect();
+        assert!(buckets.len() >= 2);
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 3);
+        assert!(buckets.last().unwrap().contains("le=\"+Inf\""));
+        assert!(text.contains("xic_edit_seconds_count 3"));
+        // 900 and 1100 land in the first emitted buckets; the le bound of
+        // the bucket holding 900 ns is 2^10−1 ns ≈ 1.023e-6 s, printed in
+        // plain decimal.
+        assert!(text.contains("le=\"0.000001023\""), "{text}");
+    }
+
+    #[test]
+    fn span_summary_series_carry_labels() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("xic_span_seconds_sum{span=\"check.key\"} 0.0015"));
+        assert!(text.contains("xic_span_seconds_count{span=\"check.key\"} 4"));
+    }
+
+    #[test]
+    fn values_render_in_plain_decimal() {
+        let m = Metrics {
+            wall_nanos: 1, // 1e-9 s — must not print as "1e-9"
+            ..Metrics::default()
+        };
+        let text = m.to_prometheus();
+        assert!(text.contains("xic_wall_seconds 0.000000001"), "{text}");
+        // No value token in scientific notation.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(!value.contains(['e', 'E']), "scientific notation: {line}");
+        }
+    }
+}

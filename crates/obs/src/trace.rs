@@ -1,0 +1,333 @@
+//! A bounded ring buffer of raw span events, exportable as a Chrome
+//! trace-event timeline.
+//!
+//! Where [`MetricsCollector`](crate::MetricsCollector) aggregates (span
+//! sums, counters, histograms), a [`TraceCollector`] keeps the *events
+//! themselves* — name, originating thread, start offset, duration — so
+//! thread overlap and pipeline occupancy can be inspected on a timeline
+//! instead of inferred from totals. [`TraceCollector::to_chrome_json`]
+//! renders the buffer in the Chrome trace-event array format, which loads
+//! directly in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! (the `xic` CLI writes it via `--trace-out`).
+//!
+//! The buffer is a fixed-capacity ring (default 65 536 events): when it
+//! fills, the *oldest* events are dropped and counted, so a long run
+//! keeps its most recent window and the export says how much history was
+//! shed. Spans report only on close, so a span's start offset is
+//! reconstructed as `now − duration` against the collector's epoch —
+//! exact for the event itself, unaffected by ring overflow.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::{Collector, Metrics};
+
+/// Default ring capacity (events). At phase/chunk/edit granularity this
+/// holds minutes of history; a heavy `apply-edits` run overflows
+/// gracefully (oldest dropped, counted in [`TraceCollector::dropped`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// One completed span, as raw material for a timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span name (see the taxonomy table in the crate docs).
+    pub name: &'static str,
+    /// Ordinal of the originating thread (0 = first thread seen).
+    pub tid: u64,
+    /// Nanoseconds from collector creation to the span's start.
+    pub start_nanos: u64,
+    /// The span's duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+#[derive(Default)]
+struct TraceInner {
+    events: VecDeque<TraceEvent>,
+    /// Events shed by ring overflow (oldest-first).
+    dropped: u64,
+    /// First-seen ordinals: `ThreadId` is opaque, so threads are numbered
+    /// in order of their first recorded span.
+    tids: HashMap<ThreadId, u64>,
+}
+
+/// A [`Collector`] recording raw span events into a bounded ring buffer.
+///
+/// Counters and maxima are ignored — this collector is about *when*
+/// things happened, not totals; pair it with a
+/// [`MetricsCollector`](crate::MetricsCollector) under a
+/// [`Fanout`](crate::Fanout) to get both.
+///
+/// ```
+/// use xic_obs::{Obs, TraceCollector};
+/// use std::sync::Arc;
+///
+/// let tc = Arc::new(TraceCollector::new());
+/// let obs = Obs::new(tc.clone());
+/// obs.span("check").end();
+/// let events = tc.events();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].name, "check");
+/// assert_eq!(events[0].tid, 0);
+/// ```
+pub struct TraceCollector {
+    start: Instant,
+    capacity: usize,
+    inner: Mutex<TraceInner>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::new()
+    }
+}
+
+impl TraceCollector {
+    /// An empty ring with the default capacity; the timeline epoch
+    /// (offset 0) is now.
+    pub fn new() -> Self {
+        TraceCollector::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceCollector {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().events.iter().copied().collect()
+    }
+
+    /// How many events ring overflow has shed so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Renders the buffer in Chrome trace-event **array form** — a JSON
+    /// array of complete (`"ph": "X"`) events with microsecond `ts`/`dur`
+    /// — loadable as-is in `chrome://tracing` or Perfetto. Thread
+    /// ordinals become `tid`; `pid` is always 1. If overflow shed events,
+    /// a zero-duration metadata-style marker named `xic.trace_dropped`
+    /// leads the array so the loss is visible on the timeline.
+    pub fn to_chrome_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut items = Vec::with_capacity(inner.events.len() + 1);
+        if inner.dropped > 0 {
+            items.push(Json::Object(vec![
+                (
+                    "name".into(),
+                    Json::String(format!("xic.trace_dropped: {}", inner.dropped)),
+                ),
+                ("ph".into(), Json::String("X".into())),
+                ("ts".into(), Json::Number(0.0)),
+                ("dur".into(), Json::Number(0.0)),
+                ("pid".into(), Json::Number(1.0)),
+                ("tid".into(), Json::Number(0.0)),
+            ]));
+        }
+        for e in &inner.events {
+            items.push(Json::Object(vec![
+                ("name".into(), Json::String(e.name.to_string())),
+                ("ph".into(), Json::String("X".into())),
+                ("ts".into(), Json::Number(e.start_nanos as f64 / 1e3)),
+                ("dur".into(), Json::Number(e.dur_nanos as f64 / 1e3)),
+                ("pid".into(), Json::Number(1.0)),
+                ("tid".into(), Json::Number(e.tid as f64)),
+            ]));
+        }
+        Json::Array(items).render()
+    }
+}
+
+impl Collector for TraceCollector {
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        // The span just closed: its start is `now − duration` relative to
+        // the collector's epoch (saturating in case the span began before
+        // the collector existed).
+        let now = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let start_nanos = now.saturating_sub(nanos);
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock().unwrap();
+        let next = inner.tids.len() as u64;
+        let tid = match inner.tids.entry(thread) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => *v.insert(next),
+        };
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(TraceEvent {
+            name,
+            tid,
+            start_nanos,
+            dur_nanos: nanos,
+        });
+    }
+
+    fn add(&self, _name: &'static str, _delta: u64) {}
+
+    fn record_max(&self, _name: &'static str, _value: u64) {}
+}
+
+/// A [`Collector`] forwarding every event to several collectors — e.g. a
+/// [`MetricsCollector`](crate::MetricsCollector) for aggregates *and* a
+/// [`TraceCollector`] for the timeline, behind one [`Obs`](crate::Obs)
+/// handle. [`Collector::metrics`] returns the first child snapshot.
+pub struct Fanout {
+    children: Vec<std::sync::Arc<dyn Collector>>,
+}
+
+impl Fanout {
+    /// A collector forwarding to every collector in `children`.
+    pub fn new(children: Vec<std::sync::Arc<dyn Collector>>) -> Self {
+        Fanout { children }
+    }
+}
+
+impl Collector for Fanout {
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        for c in &self.children {
+            c.record_span(name, nanos);
+        }
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        for c in &self.children {
+            c.add(name, delta);
+        }
+    }
+
+    fn record_max(&self, name: &'static str, value: u64) {
+        for c in &self.children {
+            c.record_max(name, value);
+        }
+    }
+
+    fn metrics(&self) -> Option<Metrics> {
+        self.children.iter().find_map(|c| c.metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::{MetricsCollector, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn records_events_with_plausible_offsets() {
+        let tc = Arc::new(TraceCollector::new());
+        let obs = Obs::new(tc.clone());
+        obs.record_span("parse", 5_000);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        obs.record_span("check", 1_000);
+        let ev = tc.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "parse");
+        assert_eq!(ev[0].dur_nanos, 5_000);
+        // The second span started strictly after the first (≥ 2 ms later).
+        assert!(ev[1].start_nanos > ev[0].start_nanos);
+        assert_eq!(tc.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let tc = TraceCollector::with_capacity(3);
+        for name in ["a", "b", "c", "d", "e"] {
+            tc.record_span(name, 10);
+        }
+        let ev = tc.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].name, "c");
+        assert_eq!(ev[2].name, "e");
+        assert_eq!(tc.dropped(), 2);
+        // The export flags the loss.
+        assert!(tc.to_chrome_json().contains("xic.trace_dropped: 2"));
+    }
+
+    #[test]
+    fn threads_get_stable_first_seen_ordinals() {
+        let tc = Arc::new(TraceCollector::new());
+        tc.record_span("main", 1); // this thread becomes tid 0
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let tc = tc.clone();
+                s.spawn(move || {
+                    tc.record_span("worker", 1);
+                    tc.record_span("worker", 2);
+                });
+            }
+        });
+        let ev = tc.events();
+        assert_eq!(ev.len(), 7);
+        assert_eq!(ev[0].tid, 0);
+        let mut tids: Vec<u64> = ev.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids, vec![0, 1, 2, 3]);
+        // Both spans from one worker share a tid.
+        for w in 1..=3 {
+            assert_eq!(ev.iter().filter(|e| e.tid == w).count(), 2);
+        }
+    }
+
+    /// The acceptance-criteria schema check: array form, every event has
+    /// `name`/`ph:"X"`/`ts`/`dur`/`pid`/`tid`, and the document parses as
+    /// JSON (what `chrome://tracing` / Perfetto require of an import).
+    #[test]
+    fn chrome_export_matches_trace_event_schema() {
+        let tc = Arc::new(TraceCollector::new());
+        let obs = Obs::new(tc.clone());
+        {
+            let _g = obs.span("check");
+            obs.record_span("par.chunk", 42_000);
+        }
+        let out = tc.to_chrome_json();
+        let doc = json::parse(&out).expect("trace export must be valid JSON");
+        let events = doc.as_array("trace doc").unwrap();
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            let obj = ev.as_object("trace event").unwrap();
+            let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["name", "ph", "ts", "dur", "pid", "tid"]);
+            let get = |k: &str| {
+                obj.iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v)
+                    .unwrap()
+            };
+            assert_eq!(get("ph"), &json::Json::String("X".into()));
+            assert!(matches!(get("ts"), json::Json::Number(n) if *n >= 0.0));
+            assert!(matches!(get("dur"), json::Json::Number(n) if *n >= 0.0));
+            assert_eq!(get("pid").as_u64("pid").unwrap(), 1);
+            get("tid").as_u64("tid").unwrap();
+        }
+    }
+
+    #[test]
+    fn fanout_feeds_metrics_and_trace_together() {
+        let mc = Arc::new(MetricsCollector::new());
+        let tc = Arc::new(TraceCollector::new());
+        let fan = Arc::new(Fanout::new(vec![mc.clone(), tc.clone()]));
+        let obs = Obs::new(fan);
+        obs.record_span("edit", 1_234);
+        obs.add("edits", 1);
+        obs.max("stream.peak_depth", 9);
+        let m = mc.snapshot();
+        assert_eq!(m.span("edit").count, 1);
+        assert_eq!(m.counter("edits"), 1);
+        assert_eq!(tc.events().len(), 1);
+        // Fanout::metrics surfaces the aggregating child's snapshot.
+        assert!(obs.snapshot().is_some());
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the hand-rolled JSON codec, exercised through
+//! the public [`Metrics`] API (`to_json` / `parse_json`): string-escaping
+//! edge cases (control characters, quotes, backslashes, non-ASCII) and a
+//! render→parse→render round-trip property over adversarial key names.
+//!
+//! Span and counter names in practice are tame dotted identifiers, but
+//! the codec must not *depend* on that — a collector name is an arbitrary
+//! string once snapshots are merged from foreign sources.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use xic_obs::{Histogram, Metrics, SpanStat};
+
+fn metrics_with_keys(keys: &[&str]) -> Metrics {
+    let mut m = Metrics {
+        wall_nanos: 123,
+        ..Metrics::default()
+    };
+    for (i, k) in keys.iter().enumerate() {
+        m.counters.insert((*k).to_string(), i as u64 + 1);
+        m.spans.insert(
+            format!("span {k}"),
+            SpanStat {
+                count: 1,
+                nanos: 10,
+            },
+        );
+        m.maxima.insert(format!("max {k}"), 99);
+        let mut h = Histogram::default();
+        h.record(i as u64);
+        m.hists.insert(format!("hist {k}"), h);
+    }
+    m
+}
+
+#[test]
+fn escaping_edge_cases_round_trip() {
+    let nasty = [
+        "quote\"inside",
+        "back\\slash",
+        "tab\there",
+        "new\nline",
+        "carriage\rreturn",
+        "nul\u{0}byte",
+        "bell\u{7}char",
+        "esc\u{1b}seq",
+        "ünïcodé-ключ-鍵",
+        "emoji 🗝 key",
+        " leading and trailing ",
+        "",
+    ];
+    let m = metrics_with_keys(&nasty);
+    let rendered = m.to_json();
+    let back = Metrics::parse_json(&rendered).expect("rendered JSON parses back");
+    assert_eq!(back, m);
+    // Control characters never appear raw in the output (escapes only);
+    // the quote and backslash keys are escaped.
+    for c in rendered.chars() {
+        assert!(
+            c == '\n' || (c as u32) >= 0x20,
+            "raw control char {:?} leaked into output",
+            c
+        );
+    }
+    assert!(rendered.contains("quote\\\"inside"), "{rendered}");
+    assert!(rendered.contains("back\\\\slash"), "{rendered}");
+    assert!(rendered.contains("\\u0000"), "{rendered}");
+    // Non-ASCII passes through unescaped (the output is UTF-8).
+    assert!(rendered.contains("ünïcodé-ключ-鍵"), "{rendered}");
+}
+
+#[test]
+fn rendering_is_deterministic_and_stable() {
+    let m = metrics_with_keys(&["b", "a\"x", "\\"]);
+    let once = m.to_json();
+    let twice = Metrics::parse_json(&once).unwrap().to_json();
+    assert_eq!(once, twice, "parse→render is not a fixed point");
+}
+
+/// Keys drawn to stress the escaper: plain runs, every escape-relevant
+/// character, and multi-byte UTF-8.
+fn key() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            // ASCII printable runs
+            "[a-z.]{1,6}",
+            // One character from the danger set
+            prop_oneof![
+                Just("\"".to_string()),
+                Just("\\".to_string()),
+                Just("\n".to_string()),
+                Just("\t".to_string()),
+                Just("\r".to_string()),
+                Just("\u{0}".to_string()),
+                Just("\u{1f}".to_string()),
+                Just("é".to_string()),
+                Just("→".to_string()),
+                Just("🗝".to_string()),
+            ],
+        ],
+        0..6,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(render(m)) == m for arbitrary key names and values, and
+    /// render is a fixed point of parse→render. Values stay within the
+    /// codec's documented exact range (integers representable in an
+    /// `f64`, < 2⁵³); histogram samples stay below 2⁴⁹ so a ten-sample
+    /// sum is still exact.
+    #[test]
+    fn render_parse_round_trip(
+        wall in 0u64..(1 << 53),
+        counters in proptest::collection::vec((key(), 0u64..(1 << 53)), 0..8),
+        spans in proptest::collection::vec(
+            (key(), 0u64..(1 << 53), 0u64..(1 << 53)),
+            0..8,
+        ),
+        maxima in proptest::collection::vec((key(), 0u64..(1 << 53)), 0..4),
+        hist_samples in proptest::collection::vec(
+            (key(), proptest::collection::vec(0u64..(1 << 49), 1..10)),
+            0..4,
+        ),
+    ) {
+        let mut m = Metrics {
+            wall_nanos: wall,
+            counters: counters.into_iter().collect(),
+            spans: spans
+                .into_iter()
+                .map(|(k, count, nanos)| (k, SpanStat { count, nanos }))
+                .collect(),
+            maxima: maxima.into_iter().collect(),
+            hists: BTreeMap::new(),
+        };
+        for (k, samples) in hist_samples {
+            let mut h = Histogram::default();
+            for s in samples {
+                h.record(s);
+            }
+            m.hists.insert(k, h);
+        }
+        let rendered = m.to_json();
+        let back = Metrics::parse_json(&rendered).unwrap();
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(back.to_json(), rendered);
+    }
+}

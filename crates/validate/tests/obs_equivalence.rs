@@ -13,7 +13,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use xic_constraints::{Constraint, DtdC, DtdStructure, Field, Language};
 use xic_model::{AttrValue, DataTree, TreeBuilder};
-use xic_obs::{MetricsCollector, Obs};
+use xic_obs::{Fanout, MetricsCollector, Obs, TraceCollector};
 use xic_validate::{MatcherKind, Options, Validator};
 use xic_xml::{parse_document, serialize_document, serialize_dtd};
 
@@ -216,6 +216,37 @@ fn assert_observation_is_inert(dtdc: &DtdC, src: &str) -> Result<(), TestCaseErr
         );
         prop_assert!(want_stream.metrics.is_none());
         prop_assert!(got_stream.metrics.is_some());
+
+        // The full telemetry stack — histogram-recording metrics AND the
+        // trace-event ring under one Fanout — is just as inert.
+        let metrics = Arc::new(MetricsCollector::with_histograms());
+        let ring = Arc::new(TraceCollector::new());
+        let full = Validator::with_matcher(dtdc, MatcherKind::Dfa, opts).with_obs(Obs::new(
+            Arc::new(Fanout::new(vec![metrics.clone(), ring.clone()])),
+        ));
+        let got_full_tree = full.validate(&tree);
+        prop_assert_eq!(
+            &want_tree.violations,
+            &got_full_tree.violations,
+            "tree engine diverged under histogram+trace collectors (threads={})\n{}",
+            threads,
+            src
+        );
+        let got_full_stream = full.validate_stream(src).expect("stream parses");
+        prop_assert_eq!(
+            &want_stream.violations,
+            &got_full_stream.violations,
+            "stream engine diverged under histogram+trace collectors (threads={})\n{}",
+            threads,
+            src
+        );
+        // And they actually observed: the check family recorded a latency
+        // distribution, the ring holds raw span events.
+        let m = metrics.snapshot();
+        prop_assert!(m.hist("check").is_some(), "check histogram missing");
+        prop_assert!(m.hist("check").unwrap().count >= 2, "two runs recorded");
+        prop_assert!(!ring.events().is_empty(), "trace ring stayed empty");
+        prop_assert!(ring.events().iter().any(|e| e.name == "check"));
     }
     Ok(())
 }
