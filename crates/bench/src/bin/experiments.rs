@@ -1,4 +1,4 @@
-//! Reproduces experiments E1–E15 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E16 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
 //! check with measured scaling, plus the compiled-engine study E11, the
 //! streaming-pipeline study E12 and the incremental-revalidation study E13.
@@ -8,9 +8,12 @@
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e15`). `--smoke` restricts the document-scaling
-//! experiments (E11/E12/E13/E15) to their smallest size so CI can run them as
-//! a fast correctness check. E11, E12 and E13 additionally record their
+//! (by id: `e1` … `e16`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12/E13/E15/E16) to their smallest size so CI can run
+//! them as a fast correctness check; under `--smoke`, E12 and E16 also fail
+//! if measured streaming throughput drops below 0.8× the committed
+//! `BENCH_validate.json` row for that size (the bench-regression gate).
+//! E11, E12, E13 and E16 additionally record their
 //! measured rows; when any of them runs, the merged baseline is written to
 //! `target/BENCH_validate.json` (copy it over the tracked
 //! `BENCH_validate.json` at the repository root to refresh the committed
@@ -35,8 +38,9 @@ use xic::prelude::*;
 use xic_bench::*;
 
 /// A [`System`](std::alloc::System) wrapper tracking live and peak heap
-/// bytes. Only the `experiments` binary installs it; the library crates
-/// stay `forbid(unsafe_code)`.
+/// bytes, and feeding the process-wide [`xic::obs::alloc`] hooks so E16
+/// can count heap acquisitions per node. Only the `experiments` binary
+/// installs it; the library crates stay `forbid(unsafe_code)`.
 mod mem {
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +58,7 @@ mod mem {
             if !p.is_null() {
                 let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
                 PEAK.fetch_max(live, Ordering::Relaxed);
+                xic::obs::alloc::on_alloc(layout.size());
             }
             p
         }
@@ -61,6 +66,7 @@ mod mem {
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout);
             CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            xic::obs::alloc::on_dealloc(layout.size());
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
@@ -73,6 +79,7 @@ mod mem {
                 } else {
                     CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
                 }
+                xic::obs::alloc::on_realloc(layout.size(), new_size);
             }
             p
         }
@@ -96,7 +103,8 @@ mod mem {
 #[global_allocator]
 static ALLOC: mem::Counting = mem::Counting;
 
-/// `--smoke`: clamp E11/E12 to their smallest document size (CI gate).
+/// `--smoke`: clamp the scaling experiments to their smallest document
+/// size (CI gate).
 static SMOKE: AtomicBool = AtomicBool::new(false);
 
 /// JSON fragments registered by experiments, merged into
@@ -122,7 +130,7 @@ fn main() {
         filters.remove(i);
         SMOKE.store(true, Ordering::Relaxed);
     }
-    let experiments: [(&str, fn()); 15] = [
+    let experiments: [(&str, fn()); 16] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -138,6 +146,7 @@ fn main() {
         ("e13", e13_incremental_revalidate),
         ("e14", e14_obs_overhead),
         ("e15", e15_telemetry_overhead),
+        ("e16", e16_raw_speed),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -654,6 +663,7 @@ fn e12_stream_pipeline() {
         "E12 (stream)",
         "streaming fused pass vs parse-then-validate: equal reports, bounded memory",
     );
+    let baselines = std::fs::read_to_string("BENCH_validate.json").ok();
     let mut json_rows: Vec<String> = Vec::new();
     for &n in scaling_sizes() {
         let (dtdc, tree) = constraint_heavy_workload(n, 101);
@@ -700,6 +710,14 @@ fn e12_stream_pipeline() {
             });
             if threads == 1 {
                 stream_peak_t1 = peak;
+                smoke_regression_gate(
+                    "e12_stream_pipeline",
+                    nodes,
+                    nodes as f64 / t,
+                    baselines.as_deref().and_then(|b| {
+                        stream_baseline_nodes_per_sec(b, "e12_stream_pipeline", nodes)
+                    }),
+                );
             }
             println!(
                 "  nodes = {nodes:8}  stream t={threads}: {:9.3} ms ({:9.0} nodes/s)   peak {:8.2} MB   ×{:.1} less memory",
@@ -1121,6 +1139,167 @@ fn e15_telemetry_overhead() {
         "e15_telemetry_overhead",
         format!(
             "{{\n    \"workload\": \"constraint_heavy_workload, threads = 1: no collector vs histogram-recording MetricsCollector vs TraceCollector ring\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_rows.join(",\n")
+        ),
+    );
+}
+
+/// The sequential (threads = 1) streaming `nodes_per_sec` recorded for
+/// `nodes` under JSON key `section` in the tracked `BENCH_validate.json`,
+/// if present. Same narrow-scanner approach as
+/// [`e11_baseline_nodes_per_sec`], but section-scoped so E12 and E16 each
+/// gate against their own committed rows.
+fn stream_baseline_nodes_per_sec(baselines: &str, section: &str, nodes: usize) -> Option<f64> {
+    let sec = baselines.find(&format!("\"{section}\""))?;
+    let row = baselines[sec..].find(&format!("\"nodes\": {nodes},"))? + sec;
+    let t1 = baselines[row..].find("\"threads\": 1,")? + row;
+    let key = "\"nodes_per_sec\": ";
+    let nps = baselines[t1..].find(key)? + t1 + key.len();
+    let end = baselines[nps..].find(['}', ','])? + nps;
+    baselines[nps..end].trim().parse().ok()
+}
+
+/// Under `--smoke`, fails the run if `measured` nodes/s falls below 0.8×
+/// the committed baseline row (the CI bench-regression gate); outside
+/// smoke the comparison is printed but informational, since the full
+/// sweep exists to *refresh* the baselines.
+fn smoke_regression_gate(section: &str, nodes: usize, measured: f64, baseline: Option<f64>) {
+    let Some(base) = baseline else { return };
+    let ratio = measured / base;
+    println!(
+        "        vs committed {section} t=1 baseline ({base:.0} nodes/s): ×{ratio:.3} (smoke gate ≥0.8)"
+    );
+    if SMOKE.load(Ordering::Relaxed) {
+        assert!(
+            ratio >= 0.8,
+            "{section} streaming throughput regressed to ×{ratio:.3} of the committed \
+             baseline at n={nodes}: {measured:.0} vs {base:.0} nodes/s"
+        );
+    }
+}
+
+/// The E12 sequential streaming throughput at 10⁶ nodes committed before
+/// the raw-speed pass landed (byte-level lexing, zero-copy interning,
+/// cache-conscious columns): 296 062 nodes/s, 3.378 s wall. E16's
+/// headline assertion is measured against this fixed reference, not the
+/// rolling baseline file — refreshing `BENCH_validate.json` must not
+/// weaken the claim.
+const E16_PRE_OPT_NODES_PER_SEC: f64 = 296_062.0;
+
+/// E16 — the raw-speed pass (DESIGN §4.12): byte-level event lexing,
+/// zero-copy arena interning and struct-of-arrays columns. Asserts the
+/// fused streaming pass holds ≥2× the pre-optimization E12 sequential
+/// throughput at 10⁶ nodes, that its steady-state heap traffic stays
+/// bounded per node (no per-element allocation), and that reports remain
+/// identical to the tree engine at threads 1, 2 and 4. Registers its rows
+/// for `BENCH_validate.json`; under `--smoke` the smallest size doubles
+/// as the bench-regression gate against the committed rows.
+fn e16_raw_speed() {
+    heading(
+        "E16 (raw speed)",
+        "byte lexer + arena interner + SoA columns: ≥2× pre-optimization streaming throughput, O(1) allocations/node",
+    );
+    let baselines = std::fs::read_to_string("BENCH_validate.json").ok();
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in scaling_sizes() {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let src = format!(
+            "<!DOCTYPE db [\n{}]>\n{}",
+            serialize_dtd(dtdc.structure()),
+            serialize_document(&tree)
+        );
+        let reps = if n >= 1_000_000 { 2 } else { 3 };
+
+        // Reference report from the tree engine (already-parsed input).
+        let vt = Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default());
+        let tree_report = vt.validate(&tree);
+        drop(tree);
+
+        // Lexer leg in isolation: drain the event stream.
+        let mut events = 0u64;
+        let t_lex = time_min(reps, || {
+            let mut count = 0u64;
+            for ev in parse_events(&src) {
+                ev.expect("workload is well-formed");
+                count += 1;
+            }
+            events = count;
+        });
+
+        // Equivalence at every thread count, and heap traffic of one
+        // sequential fused pass (count delta via the allocator hooks).
+        let mut allocs = 0u64;
+        for threads in [1usize, 2, 4] {
+            let v = Validator::with_matcher(
+                &dtdc,
+                MatcherKind::Dfa,
+                Options::default().with_threads(threads),
+            );
+            let before = xic::obs::alloc::stats().count;
+            let stream_report = v.validate_stream(&src).unwrap();
+            if threads == 1 {
+                allocs = xic::obs::alloc::stats().count - before;
+            }
+            assert_eq!(
+                tree_report.violations, stream_report.violations,
+                "stream/tree divergence at n={n} t={threads}"
+            );
+        }
+        let allocs_per_node = allocs as f64 / nodes as f64;
+        // "No per-element allocation in the streaming frames": the whole
+        // fused pass — lexing, interning, column fill, checking — must
+        // average out to a handful of acquisitions per node. The measured
+        // figure is well under 2; the bound leaves room for allocator and
+        // workload drift while still forbidding a per-event Vec or String.
+        assert!(
+            allocs_per_node < 6.0,
+            "heap traffic regressed: {allocs_per_node:.2} allocations/node at n={n}"
+        );
+
+        // Sequential throughput: the headline number.
+        let v1 =
+            Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default().with_threads(1));
+        let t1 = time_min(reps, || {
+            assert!(v1.validate_stream(&src).unwrap().is_valid());
+        });
+        let nps = nodes as f64 / t1;
+        println!(
+            "  nodes = {nodes:8}  lex only: {:9.3} ms ({:10.0} events/s)   fused t=1: {:9.3} ms ({:9.0} nodes/s)   {allocs_per_node:.2} allocs/node",
+            t_lex * 1e3,
+            events as f64 / t_lex,
+            t1 * 1e3,
+            nps
+        );
+        smoke_regression_gate(
+            "e16_raw_speed",
+            nodes,
+            nps,
+            baselines
+                .as_deref()
+                .and_then(|b| stream_baseline_nodes_per_sec(b, "e16_raw_speed", nodes)),
+        );
+        let mut speedup_field = "null".to_string();
+        if n >= 1_000_000 {
+            let speedup = nps / E16_PRE_OPT_NODES_PER_SEC;
+            println!(
+                "        vs pre-optimization E12 baseline ({E16_PRE_OPT_NODES_PER_SEC:.0} nodes/s): ×{speedup:.2} (target ≥2.0)"
+            );
+            assert!(
+                speedup >= 2.0,
+                "raw-speed pass below the headline claim: ×{speedup:.2} of {E16_PRE_OPT_NODES_PER_SEC:.0} nodes/s"
+            );
+            speedup_field = format!("{speedup:.3}");
+        }
+        json_rows.push(format!(
+            "      {{\"nodes\": {nodes}, \"lex\": {{\"seconds\": {t_lex:.6}, \"events\": {events}, \"events_per_sec\": {:.0}}}, \"stream\": [{{\"threads\": 1, \"seconds\": {t1:.6}, \"nodes_per_sec\": {nps:.0}}}], \"allocs_per_node\": {allocs_per_node:.3}, \"speedup_vs_pre_opt\": {speedup_field}}}",
+            events as f64 / t_lex
+        ));
+    }
+    register_section(
+        "e16_raw_speed",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload serialized with its DTD as internal subset (seed 101); pre-optimization reference {E16_PRE_OPT_NODES_PER_SEC:.0} nodes/s at 10^6\",\n    \"rows\": [\n{}\n    ]\n  }}",
             json_rows.join(",\n")
         ),
     );

@@ -1,0 +1,17 @@
+//! Serializes the E11/E12 constraint-heavy workload: `gen <nodes> [seed]`
+//! writes the document (DTD internal subset included) to stdout and the
+//! constraint set Σ, one per line, to stderr.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().expect("gen <nodes> [seed]").parse().unwrap();
+    let seed: u64 = args.next().map(|s| s.parse().unwrap()).unwrap_or(101);
+    let (dtdc, tree) = xic_bench::constraint_heavy_workload(n, seed);
+    for c in dtdc.constraints() {
+        eprintln!("{c}");
+    }
+    println!(
+        "<!DOCTYPE db [\n{}]>\n{}",
+        xic::prelude::serialize_dtd(dtdc.structure()),
+        xic::prelude::serialize_document(&tree)
+    );
+}

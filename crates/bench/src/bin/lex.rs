@@ -1,0 +1,17 @@
+//! Times raw event lexing over a file: `lex <file.xml> [reps]`.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().expect("lex <file.xml> [reps]");
+    let reps: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(3);
+    let src = std::fs::read_to_string(&path).unwrap();
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let mut events = xic::prelude::parse_events(&src);
+        let mut n = 0u64;
+        for ev in &mut events {
+            ev.unwrap();
+            n += 1;
+        }
+        println!("{n} events in {:?}", t.elapsed());
+    }
+}

@@ -207,9 +207,26 @@ fn emit_trace(o: &Opts, setup: &ObsSetup) -> Result<(), String> {
 }
 
 /// Appends the metrics block after a report, in the `--metrics` format.
+///
+/// When the process runs under a counting global allocator (the `xic`
+/// binary installs one; see `main.rs`), the snapshot gains the heap
+/// totals as an `alloc.count` counter and an `alloc.peak` maximum.
+/// Library embedders without the allocator see no such keys.
 fn emit_metrics(o: &Opts, metrics: Option<&Metrics>, out: &mut String) {
     let (Some(fmt), Some(m)) = (o.metrics.as_deref(), metrics) else {
         return;
+    };
+    let alloc = xic::obs::alloc::stats();
+    let mut with_alloc;
+    let m = if alloc.count > 0 {
+        with_alloc = m.clone();
+        with_alloc
+            .counters
+            .insert("alloc.count".into(), alloc.count);
+        with_alloc.maxima.insert("alloc.peak".into(), alloc.peak);
+        &with_alloc
+    } else {
+        m
     };
     if !out.is_empty() && !out.ends_with('\n') {
         out.push('\n');
@@ -1145,6 +1162,19 @@ ref.to <=s entry.isbn";
             assert!(m.counter("attrs") > 0, "{out}");
             assert_eq!(m.counter("violations"), 0, "{out}");
         }
+    }
+
+    #[test]
+    fn metrics_json_carries_alloc_totals_when_hooks_are_fed() {
+        // The test harness runs without the binary's counting allocator,
+        // but the hooks are process-wide statics — feeding them directly
+        // exercises the same injection path `xic --metrics json` uses.
+        xic::obs::alloc::on_alloc(4096);
+        let (code, out) = validate_book(&["--metrics", "json"]);
+        assert_eq!(code, 0, "{out}");
+        let m = metrics_of(&out);
+        assert!(m.counter("alloc.count") > 0, "{out}");
+        assert!(m.maximum("alloc.peak") >= 4096, "{out}");
     }
 
     #[test]

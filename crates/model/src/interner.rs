@@ -5,10 +5,21 @@
 //! value once turns every subsequent comparison, hash, and set probe into a
 //! `u32` operation, and shrinks columnar value indexes to a quarter of the
 //! pointer size.
+//!
+//! The pool is built for the streaming hot path: distinct strings live
+//! back-to-back in one bump-allocated byte arena (addressed by
+//! `(offset, len)` spans, so a million symbols cost two flat `Vec`s, not a
+//! million heap allocations), and lookups go through an open-addressing
+//! table of 8-byte slots, each holding a 32-bit hash tag. A call to
+//! [`Interner::intern_bytes`] hashes the *borrowed* slice exactly once,
+//! compares candidates tag-first, and copies bytes only when the string has
+//! never been seen — no owned temporaries on the hit path, and table growth
+//! rehashes nothing because the stored tags are reused.
 
-use std::sync::Arc;
+use std::hash::Hasher;
+use std::num::NonZeroU32;
 
-use crate::hash::FastHashMap;
+use crate::hash::FastHasher;
 
 /// An interned string: a dense `u32` handle into an [`Interner`].
 ///
@@ -16,14 +27,54 @@ use crate::hash::FastHashMap;
 /// are equal, so `Sym` supports O(1) equality/hash where the underlying
 /// values would need full comparisons. `Sym` order is *allocation* order,
 /// not lexicographic order.
+///
+/// Internally the handle is a `NonZeroU32` (index + 1), so `Option<Sym>` is
+/// 4 bytes — columnar value indexes holding millions of optional symbols
+/// stay half the size they would be with a plain `u32`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct Sym(u32);
+pub struct Sym(NonZeroU32);
 
 impl Sym {
-    /// The dense index of this symbol (0-based allocation order).
-    pub fn index(self) -> usize {
-        self.0 as usize
+    #[inline]
+    fn from_index(index: u32) -> Self {
+        Sym(NonZeroU32::new(index + 1).expect("interner overflow"))
     }
+
+    /// The dense index of this symbol (0-based allocation order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0.get() as usize - 1
+    }
+}
+
+/// One open-addressing slot: a 32-bit hash tag plus the symbol (offset by
+/// one so the all-zero slot means *empty*). Eight bytes per slot — eight
+/// slots per cache line — matters more than tag width here: with millions
+/// of distinct values the table far exceeds cache, and every intern is one
+/// random memory touch whose cost is set by how much of the line is
+/// useful. The tag folds the full 64-bit hash, so growth is pure
+/// reinsertion (no string is ever rehashed) and probes reject non-matches
+/// without touching the arena; a 1-in-2³² tag collision just falls back to
+/// the byte comparison.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    tag: u32,
+    sym_plus1: u32,
+}
+
+const EMPTY: Slot = Slot {
+    tag: 0,
+    sym_plus1: 0,
+};
+
+/// Folds a string's 64-bit hash into the 32-bit slot tag, which also
+/// provides the probe start index.
+#[inline]
+fn hash_tag(s: &[u8]) -> u32 {
+    let mut h = FastHasher::default();
+    h.write(s);
+    let hash = h.finish();
+    (hash ^ (hash >> 32)) as u32
 }
 
 /// A string intern pool mapping distinct strings to dense [`Sym`] handles.
@@ -39,10 +90,12 @@ impl Sym {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Interner {
-    // `Arc<str>` is shared between the lookup map and the dense table, so
-    // each distinct string is stored once.
-    strings: Vec<Arc<str>>,
-    map: FastHashMap<Arc<str>, Sym>,
+    /// Every distinct string's bytes, bump-allocated back to back.
+    arena: Vec<u8>,
+    /// `sym.index() ↦ (arena offset, byte length)`.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing lookup table; power-of-two capacity.
+    table: Vec<Slot>,
 }
 
 impl Interner {
@@ -53,19 +106,67 @@ impl Interner {
 
     /// Interns `s`, returning its symbol (allocating one if new).
     pub fn intern(&mut self, s: &str) -> Sym {
-        if let Some(&sym) = self.map.get(s) {
-            return sym;
+        self.intern_bytes(s.as_bytes())
+    }
+
+    /// Interns a borrowed UTF-8 byte slice, hashing it exactly once and
+    /// copying it into the arena only on first sight.
+    ///
+    /// The slice must be valid UTF-8 (callers hold `&str`-derived slices;
+    /// this signature only avoids forcing an owned temporary per lookup).
+    /// Interning invalid UTF-8 makes a later [`Interner::resolve`] of the
+    /// symbol panic.
+    pub fn intern_bytes(&mut self, s: &[u8]) -> Sym {
+        debug_assert!(
+            std::str::from_utf8(s).is_ok(),
+            "interned bytes must be UTF-8"
+        );
+        if self.spans.len() + 1 > self.table.len() / 2 {
+            self.grow();
         }
-        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
-        let shared: Arc<str> = Arc::from(s);
-        self.strings.push(Arc::clone(&shared));
-        self.map.insert(shared, sym);
-        sym
+        let tag = hash_tag(s);
+        let mask = self.table.len() - 1;
+        let mut i = tag as usize & mask;
+        loop {
+            let slot = self.table[i];
+            if slot.sym_plus1 == 0 {
+                let sym = u32::try_from(self.spans.len()).expect("interner overflow");
+                let start = u32::try_from(self.arena.len()).expect("interner arena overflow");
+                let len = u32::try_from(s.len()).expect("interner arena overflow");
+                self.arena.extend_from_slice(s);
+                self.spans.push((start, len));
+                self.table[i] = Slot {
+                    tag,
+                    sym_plus1: sym + 1,
+                };
+                return Sym::from_index(sym);
+            }
+            if slot.tag == tag && self.span_bytes(slot.sym_plus1 - 1) == s {
+                return Sym::from_index(slot.sym_plus1 - 1);
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// The symbol of `s` if it has been interned, without allocating.
     pub fn get(&self, s: &str) -> Option<Sym> {
-        self.map.get(s).copied()
+        if self.table.is_empty() {
+            return None;
+        }
+        let bytes = s.as_bytes();
+        let tag = hash_tag(bytes);
+        let mask = self.table.len() - 1;
+        let mut i = tag as usize & mask;
+        loop {
+            let slot = self.table[i];
+            if slot.sym_plus1 == 0 {
+                return None;
+            }
+            if slot.tag == tag && self.span_bytes(slot.sym_plus1 - 1) == bytes {
+                return Some(Sym::from_index(slot.sym_plus1 - 1));
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// The string a symbol denotes.
@@ -73,17 +174,43 @@ impl Interner {
     /// # Panics
     /// If `sym` did not come from this interner.
     pub fn resolve(&self, sym: Sym) -> &str {
-        &self.strings[sym.index()]
+        std::str::from_utf8(self.span_bytes(sym.index() as u32))
+            .expect("interner holds valid UTF-8")
     }
 
     /// Number of distinct strings interned.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.spans.len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.spans.is_empty()
+    }
+
+    #[inline]
+    fn span_bytes(&self, sym: u32) -> &[u8] {
+        let (start, len) = self.spans[sym as usize];
+        &self.arena[start as usize..(start + len) as usize]
+    }
+
+    /// Doubles the table (≤50% load), reinserting entries from their stored
+    /// tags — no string is rehashed.
+    #[cold]
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(32);
+        let old = std::mem::replace(&mut self.table, vec![EMPTY; cap]);
+        let mask = cap - 1;
+        for slot in old {
+            if slot.sym_plus1 == 0 {
+                continue;
+            }
+            let mut i = slot.tag as usize & mask;
+            while self.table[i].sym_plus1 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.table[i] = slot;
+        }
     }
 }
 
@@ -112,6 +239,39 @@ mod tests {
         assert!(pool.get("v").is_none());
         let s = pool.intern("v");
         assert_eq!(pool.get("v"), Some(s));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn intern_bytes_matches_intern() {
+        let mut pool = Interner::new();
+        let a = pool.intern("värde");
+        assert_eq!(pool.intern_bytes("värde".as_bytes()), a);
+        assert_eq!(pool.resolve(a), "värde");
+        let b = pool.intern_bytes(b"raw");
+        assert_eq!(pool.get("raw"), Some(b));
+    }
+
+    #[test]
+    fn survives_growth_with_many_symbols() {
+        let mut pool = Interner::new();
+        let syms: Vec<Sym> = (0..10_000).map(|i| pool.intern(&format!("v{i}"))).collect();
+        assert_eq!(pool.len(), 10_000);
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(pool.resolve(*s), format!("v{i}"), "symbol {i} after growth");
+            assert_eq!(pool.get(&format!("v{i}")), Some(*s));
+        }
+        // Re-interning allocates nothing new.
+        assert_eq!(pool.intern("v123"), syms[123]);
+        assert_eq!(pool.len(), 10_000);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut pool = Interner::new();
+        let e = pool.intern("");
+        assert_eq!(pool.resolve(e), "");
+        assert_eq!(pool.intern(""), e);
         assert_eq!(pool.len(), 1);
     }
 

@@ -785,6 +785,19 @@ impl ExtIndex {
         self.by_label.entry(label.clone()).or_default().push(id);
     }
 
+    /// Installs a whole extent column at once (the streaming checker keeps
+    /// per-label columns and assembles the index at end-of-document instead
+    /// of paying one hash probe per node). `ids` must already be in document
+    /// order; extends the extent if `label` was inserted before.
+    pub fn insert_extent(&mut self, label: Name, ids: Vec<NodeId>) {
+        match self.by_label.entry(label) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().extend(ids),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(ids);
+            }
+        }
+    }
+
     /// `ext(τ)` in document order (empty slice if `τ` never occurs).
     pub fn ext(&self, tau: &str) -> &[NodeId] {
         self.by_label.get(tau).map(Vec::as_slice).unwrap_or(&[])

@@ -77,6 +77,8 @@
 //! | `violations.raised`, `violations.cleared` | counter | `ReportDiff` totals across edits |
 //! | `implication.rules`, `chase.steps` | counter | proof-rule applications / chase firings |
 //! | `stream.peak_depth` | maximum | peak in-flight element frames (streaming) |
+//! | `alloc.count` | counter | heap acquisitions process-wide (binaries installing the [`alloc`] hooks) |
+//! | `alloc.peak` | maximum | peak live heap bytes process-wide (same condition) |
 //!
 //! ## Tracing
 //!
@@ -107,6 +109,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod histogram;
 mod json;
 mod metrics;

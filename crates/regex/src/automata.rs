@@ -199,8 +199,12 @@ impl NfaRun {
 /// implicit dead state (i.e. immediately reject).
 #[derive(Clone, Debug)]
 pub struct Dfa {
-    /// `trans[state][symbol] = state`.
-    trans: Vec<HashMap<Symbol, usize>>,
+    /// Per state: `(symbol, successor)` pairs in symbol order. Content-model
+    /// alphabets are a handful of symbols, so one transition lookup is a
+    /// short linear scan over a contiguous row — cheaper than hashing the
+    /// symbol's label string, which dominates when the streaming validator
+    /// steps a matcher on every child event.
+    trans: Vec<Vec<(Symbol, u32)>>,
     accepting: Vec<bool>,
 }
 
@@ -210,7 +214,7 @@ impl Dfa {
         // DFA states are sets of NFA positions; the start DFA state is the
         // special "at start" configuration.
         let mut states: HashMap<BTreeSet<usize>, usize> = HashMap::new();
-        let mut trans: Vec<HashMap<Symbol, usize>> = Vec::new();
+        let mut trans: Vec<Vec<(Symbol, u32)>> = Vec::new();
         let mut accepting: Vec<bool> = Vec::new();
         let mut work: Vec<BTreeSet<usize>> = Vec::new();
 
@@ -219,7 +223,7 @@ impl Dfa {
         // accepts iff the model is nullable. Subsequent states are position
         // sets whose acceptance is intersection with `last`.
         states.insert(start.clone(), 0);
-        trans.push(HashMap::new());
+        trans.push(Vec::new());
         accepting.push(nfa.nullable);
         work.push(start);
 
@@ -258,15 +262,20 @@ impl Dfa {
                     Some(_) | None => {
                         let id = trans.len();
                         states.insert(set.clone(), id);
-                        trans.push(HashMap::new());
+                        trans.push(Vec::new());
                         accepting.push(set.iter().any(|p| nfa.last.contains(p)));
                         work.push(set);
                         id
                     }
                 };
-                trans[i].insert(sym, id);
+                trans[i].push((sym, u32::try_from(id).expect("DFA fits u32")));
             }
             i += 1;
+        }
+        // `by_sym` iterates in hash order; sort each row so the automaton
+        // (and its Debug form) is deterministic.
+        for row in &mut trans {
+            row.sort_by(|a, b| a.0.cmp(&b.0));
         }
         Dfa { trans, accepting }
     }
@@ -285,8 +294,8 @@ impl Dfa {
     pub fn matches(&self, word: &[Symbol]) -> bool {
         let mut state = 0usize;
         for s in word {
-            match self.trans[state].get(s) {
-                Some(&next) => state = next,
+            match self.step(state, s) {
+                Some(next) => state = next,
                 None => return false,
             }
         }
@@ -299,8 +308,12 @@ impl Dfa {
     }
 
     /// Streaming interface: one transition; `None` is the dead state.
+    #[inline]
     pub fn step(&self, state: usize, s: &Symbol) -> Option<usize> {
-        self.trans[state].get(s).copied()
+        self.trans[state]
+            .iter()
+            .find(|(sym, _)| sym == s)
+            .map(|&(_, next)| next as usize)
     }
 
     /// Streaming interface: acceptance.

@@ -64,6 +64,50 @@ impl SymSet {
     }
 }
 
+/// A flattened column of symbol *sets*: all members of all rows live in one
+/// contiguous `Vec<Sym>`, with a `Vec<u32>` of row offsets (row `i` spans
+/// `syms[offsets[i]..offsets[i+1]]`).
+///
+/// A `Vec<Vec<Sym>>` column costs one heap allocation and 24 bytes of
+/// header per row; scanning a million-row column chases a million pointers.
+/// The flat layout is two allocations total and the foreign-key scans walk
+/// it linearly, cache line by cache line. Rows keep `AttrValue`'s
+/// sorted-string member order, so iteration matches `set_value`.
+#[derive(Clone, Debug)]
+pub(crate) struct SetCol {
+    offsets: Vec<u32>,
+    syms: Vec<Sym>,
+}
+
+impl Default for SetCol {
+    fn default() -> Self {
+        SetCol {
+            offsets: vec![0],
+            syms: Vec::new(),
+        }
+    }
+}
+
+impl SetCol {
+    /// Appends one row (possibly empty) of already-sorted members.
+    pub(crate) fn push_row(&mut self, row: impl IntoIterator<Item = Sym>) {
+        self.syms.extend(row);
+        self.offsets
+            .push(u32::try_from(self.syms.len()).expect("set column fits u32"));
+    }
+
+    /// Row `i`'s members (empty slice for an absent attribute).
+    #[inline]
+    pub(crate) fn row(&self, i: usize) -> &[Sym] {
+        &self.syms[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of rows.
+    pub(crate) fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
 /// A [`SymSet`] with *removal*: each symbol carries an occurrence count, so
 /// membership survives duplicates and can be retracted one occurrence at a
 /// time. Incremental revalidation uses this for foreign-key target sets,
@@ -252,10 +296,10 @@ pub(crate) struct DocIndex {
     interner: Interner,
     /// `(τ, field) ↦` column of `ext(τ)`-aligned single values.
     singles: HashMap<(Name, Field), Vec<Option<Sym>>>,
-    /// `(τ, attr) ↦` column of `ext(τ)`-aligned set values, each set in
-    /// `AttrValue`'s sorted-string order (so iteration matches
+    /// `(τ, attr) ↦` flattened column of `ext(τ)`-aligned set values, each
+    /// row in `AttrValue`'s sorted-string order (so iteration matches
     /// `set_value`).
-    sets: HashMap<(Name, Name), Vec<Vec<Sym>>>,
+    sets: HashMap<(Name, Name), SetCol>,
     /// ID value ↦ carriers, in `element_types()` × document order
     /// (matching the sequential `build_global_ids`).
     global_ids: FastHashMap<Sym, Vec<NodeId>>,
@@ -280,13 +324,13 @@ impl DocIndex {
         for (tau, attrs) in &plan.sets {
             let ext = idx.ext(tau);
             for attr in attrs {
-                let col: Vec<Vec<Sym>> = ext
-                    .iter()
-                    .map(|&x| match tree.attr(x, attr) {
-                        Some(v) => v.values().iter().map(|s| interner.intern(s)).collect(),
-                        None => Vec::new(),
-                    })
-                    .collect();
+                let mut col = SetCol::default();
+                for &x in ext {
+                    match tree.attr(x, attr) {
+                        Some(v) => col.push_row(v.values().iter().map(|s| interner.intern(s))),
+                        None => col.push_row([]),
+                    }
+                }
                 sets.insert((tau.clone(), attr.clone()), col);
             }
         }
@@ -302,7 +346,7 @@ impl DocIndex {
     pub(crate) fn from_parts(
         interner: Interner,
         singles: HashMap<(Name, Field), Vec<Option<Sym>>>,
-        sets: HashMap<(Name, Name), Vec<Vec<Sym>>>,
+        sets: HashMap<(Name, Name), SetCol>,
         idx: &ExtIndex,
         s: &DtdStructure,
         plan: &Plan,
@@ -339,7 +383,7 @@ impl DocIndex {
             .expect("plan covers every single field a constraint reads")
     }
 
-    fn set(&self, tau: &Name, attr: &Name) -> &[Vec<Sym>] {
+    fn set(&self, tau: &Name, attr: &Name) -> &SetCol {
         self.sets
             .get(&(tau.clone(), attr.clone()))
             .expect("plan covers every set attribute a constraint reads")
@@ -797,7 +841,7 @@ fn scan_set_fk(
         let cname = CName::new(c);
         let mut v = Vec::new();
         for pos in range {
-            for &value in &col[pos] {
+            for &value in col.row(pos) {
                 if !targets.contains(value) {
                     v.push(Violation::ForeignKey {
                         constraint: cname.get(),
@@ -836,10 +880,26 @@ fn check_inverse_planned(
 ) {
     let key_col = doc.single(tau, key);
     let ext_tau = idx.ext(tau);
-    let mut by_key: FastHashMap<Sym, Vec<usize>> = FastHashMap::default();
+    // Group `ext(τ)` positions by key symbol with a counting sort over the
+    // dense symbol space (a CSR layout: `grouped[starts[s]..starts[s+1]]`
+    // holds the positions carrying key `s`, in document order). Probing a
+    // referenced value inside the scan is then two array reads — the scan
+    // touches every member of every set, so a hash per member dominated.
+    let n_syms = doc.sym_count();
+    let mut starts = vec![0u32; n_syms + 1];
+    for sym in key_col.iter().flatten() {
+        starts[sym.index() + 1] += 1;
+    }
+    for i in 1..=n_syms {
+        starts[i] += starts[i - 1];
+    }
+    let mut grouped = vec![0u32; starts[n_syms] as usize];
+    let mut cursor: Vec<u32> = starts[..n_syms].to_vec();
     for (pos, sym) in key_col.iter().enumerate() {
         if let Some(sym) = sym {
-            by_key.entry(*sym).or_default().push(pos);
+            let c = &mut cursor[sym.index()];
+            grouped[*c as usize] = u32::try_from(pos).expect("extent fits u32");
+            *c += 1;
         }
     }
     let echo_col = doc.set(tau, attr);
@@ -853,15 +913,16 @@ fn check_inverse_planned(
             let Some(yk) = target_key_col[ypos] else {
                 continue;
             };
-            for value in &target_attr_col[ypos] {
-                for &xpos in by_key.get(value).into_iter().flatten() {
+            for value in target_attr_col.row(ypos) {
+                let (lo, hi) = (starts[value.index()], starts[value.index() + 1]);
+                for &xpos in &grouped[lo as usize..hi as usize] {
                     // x.key ∈ y.target_attr holds; require
                     // y.target_key ∈ x.attr.
-                    if !echo_col[xpos].contains(&yk) {
+                    if !echo_col.row(xpos as usize).contains(&yk) {
                         v.push(Violation::Inverse {
                             constraint: cname.get(),
                             from: ext_target[ypos],
-                            to: ext_tau[xpos],
+                            to: ext_tau[xpos as usize],
                         });
                     }
                 }

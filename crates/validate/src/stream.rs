@@ -17,6 +17,19 @@
 //!   sub-elements), and constraint checking then proceeds on the exact
 //!   engine the tree path uses ([`check_planned`]).
 //!
+//! ## The hot path is allocation- and hash-free (§4.12)
+//!
+//! Everything the event loop needs about an element-name *spelling* —
+//! interned label, matcher, column recipe, declared attributes, the
+//! document DTD's set-splitting rule — is resolved once, on first sight,
+//! into an [`ElemInfo`] fetched by one `FastHashMap` probe per event.
+//! Attribute values ride through the seal as borrowed [`Cow`]s (no
+//! `AttrValue` materialization), child words are recorded as `u32` info
+//! ids (rendered only if a `ContentModel` violation is actually reported),
+//! extents accumulate in per-spelling `Vec<NodeId>` columns, and closed
+//! frames return to a pool so steady-state streaming allocates nothing
+//! per element.
+//!
 //! ## Order preservation
 //!
 //! The tree engine reports structural violations grouped by node id, which
@@ -34,17 +47,17 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 
 use xic_constraints::{AttrType, DtdC, DtdStructure, Field};
-use xic_model::{AttrValue, ExtIndex, Interner, Name, NodeId, Sym};
+use xic_model::{ExtIndex, FastHashMap, Interner, Name, NodeId, Sym};
 use xic_obs::Obs;
 use xic_regex::Symbol;
 use xic_xml::{parse_events, Event, EventParser, XmlError};
 
-use crate::plan::{check_planned, DocIndex, Plan};
+use crate::plan::{check_planned, DocIndex, Plan, SetCol};
 use crate::report::{Report, Violation};
 use crate::structure::{CompiledMatcher, MatcherRun, Validator};
 
 #[cfg(doc)]
-use xic_model::DataTree;
+use xic_model::{AttrValue, DataTree};
 
 /// Per element type: where each planned field of `τ` lives in the flat
 /// column arrays, split by how the value is obtained while streaming.
@@ -58,33 +71,76 @@ struct TauPlan {
     sets: Vec<(Name, usize)>,
 }
 
-/// One open element (the O(depth) stack entry).
-struct Frame<'v> {
+/// Everything the event loop needs about one element-name spelling,
+/// resolved once when the spelling is first seen and addressed by dense id
+/// thereafter — the hot path pays one hash probe per event instead of one
+/// per map (symbol cache, matcher, τ-plan, extent, DTD attribute tables).
+struct ElemInfo<'v> {
+    label: Name,
+    /// `Symbol::Elem(label)`, for stepping parent matchers.
+    sym: Symbol,
+    /// Content-model matcher; `None` for element types the `DTD^C` does
+    /// not declare (which skip structural checks, as in the tree path).
+    matcher: Option<&'v CompiledMatcher>,
+    /// Index into [`StreamChecker::tau_plans`], when Σ reads this type.
+    plan: Option<u32>,
+    /// `Att(τ)` of the `DTD^C` in name order — drives the attribute
+    /// clauses of Definition 2.4 (undeclared / not-singleton / missing).
+    attr_decls: Vec<(Name, AttrType)>,
+    /// Attributes the *document's* internal-subset DTD declares set-valued
+    /// on this type, in name order — the same tokenization rule
+    /// `parse_document` applies.
+    set_valued: Vec<Name>,
+}
+
+/// A pending attribute value between its `Attr` event and the seal:
+/// the raw (entity-decoded) string plus how the document DTD says to read
+/// it. Tokenization, sorting and interning happen at the seal, and only
+/// for the readings that are actually needed — a borrowed slice of the
+/// source is never copied just to be compared.
+enum PVal<'s> {
+    /// A single-valued attribute: the value is the whole string.
+    Single(Cow<'s, str>),
+    /// A set-valued attribute: the value is the whitespace-tokenized,
+    /// sorted, deduplicated set (computed on demand).
+    Set(Cow<'s, str>),
+}
+
+/// In a recorded child word, the entry for a text run (`Symbol::S`);
+/// element children are recorded as their `ElemInfo` id.
+const WORD_S: u32 = u32::MAX;
+
+/// One open element (the O(depth) stack entry). Frames live permanently in
+/// the checker's stack storage and are re-initialized in place (buffers
+/// cleared, capacity kept), so steady-state streaming neither allocates
+/// nor copies a frame per element.
+#[derive(Default)]
+struct Frame<'s> {
     /// Open index of this element — identical to the tree path's node id.
     node: u32,
     /// Position of this element in `ext(label)`.
-    ext_pos: usize,
-    label: Name,
-    /// Content-model matcher and its run state; `None` for undeclared
-    /// element types (which skip structural checks, as in the tree path).
-    matcher: Option<(&'v CompiledMatcher, MatcherRun)>,
-    /// Index into [`StreamChecker::tau_plans`], when Σ reads this type.
-    plan: Option<usize>,
+    ext_pos: u32,
+    /// Id of this element's [`ElemInfo`].
+    info: u32,
+    /// In-flight matcher run; `None` for undeclared element types.
+    run: Option<MatcherRun>,
     /// Whether the start tag is complete (attributes checked, columns
     /// filled). Sealing happens on the first non-`Attr` event.
     sealed: bool,
-    /// The child word rendered as the tree path would
-    /// (`", "`-joined symbols), kept for the `ContentModel` violation.
-    word: String,
-    /// Attributes collected until the seal, then name-sorted.
-    pending_attrs: Vec<(Name, AttrValue)>,
+    /// The child word as `ElemInfo` ids (or [`WORD_S`] for text), recorded
+    /// only while a matcher runs and rendered only if its `ContentModel`
+    /// violation is actually reported.
+    word: Vec<u32>,
+    /// Attributes collected until the seal, then name-sorted:
+    /// `(attr-name id, value)`.
+    pending_attrs: Vec<(u32, PVal<'s>)>,
     /// Attribute violations, held back so they follow a `ContentModel`
     /// violation of the same node (the tree path's per-node order).
     attr_viols: Vec<Violation>,
     /// Per [`TauPlan::sub_singles`] entry: how many children with that
-    /// label closed, and the first one's text (the field value iff the
-    /// count ends at exactly one — §3.4's *unique* sub-element).
-    subs: Vec<(u32, Option<String>)>,
+    /// label closed, and the first one's interned text (the field value
+    /// iff the count ends at exactly one — §3.4's *unique* sub-element).
+    subs: Vec<(u32, Option<Sym>)>,
     /// The slot in the parent's `subs` this element reports to, if its
     /// label is a planned sub-element field of the parent's type.
     sub_slot: Option<usize>,
@@ -94,7 +150,7 @@ struct Frame<'v> {
 
 /// The single-pass checker: feed [`Event`]s in document order via
 /// [`StreamChecker::on_event`], then call [`StreamChecker::finish`].
-pub(crate) struct StreamChecker<'v> {
+pub(crate) struct StreamChecker<'v, 's> {
     dtdc: &'v DtdC,
     s: &'v DtdStructure,
     matchers: &'v HashMap<Name, CompiledMatcher>,
@@ -103,22 +159,32 @@ pub(crate) struct StreamChecker<'v> {
     /// The *document's* internal-subset DTD, deciding which attribute
     /// values tokenize into sets — exactly as `parse_document` does.
     doc_dtd: Option<DtdStructure>,
-    stack: Vec<Frame<'v>>,
+    /// Frame storage: the live stack is `stack[..depth]`. Frames are
+    /// (re)initialized *in place* — a close just decrements `depth`, so no
+    /// frame bytes are ever copied and every buffer keeps its capacity for
+    /// the next element at that depth.
+    stack: Vec<Frame<'s>>,
+    depth: usize,
     /// Count of opened elements; the next element's node id.
     node_count: u32,
     /// Structural violations tagged with their node's open index.
     tagged: Vec<(u32, Violation)>,
-    ext: ExtIndex,
+    /// Per-spelling records, in first-seen order.
+    elems: Vec<ElemInfo<'v>>,
+    elem_lookup: FastHashMap<Name, u32>,
+    /// Attribute-name spellings, interned the same way.
+    attr_names: Vec<Name>,
+    attr_lookup: FastHashMap<Name, u32>,
+    /// `ext(label)` columns parallel to `elems`; assembled into an
+    /// [`ExtIndex`] once, at finish.
+    exts: Vec<Vec<NodeId>>,
     interner: Interner,
     tau_plans: Vec<TauPlan>,
     tau_lookup: HashMap<Name, usize>,
     single_keys: Vec<(Name, Field)>,
     single_cols: Vec<Vec<Option<Sym>>>,
     set_keys: Vec<(Name, Name)>,
-    set_cols: Vec<Vec<Vec<Sym>>>,
-    /// `label ↦ Symbol::Elem(label)` cache so stepping a matcher does not
-    /// allocate a fresh `Name` per event.
-    symbols: HashMap<Name, Symbol>,
+    set_cols: Vec<SetCol>,
     /// The validator's observability handle (off by default). Per-event
     /// totals below are plain fields — never collector calls on the hot
     /// path — flushed once in [`StreamChecker::finish`].
@@ -129,26 +195,66 @@ pub(crate) struct StreamChecker<'v> {
     attr_count: u64,
 }
 
-/// Binary search in a name-sorted attribute list (the streaming
-/// counterpart of `Node::attr`).
-fn find_attr<'a>(attrs: &'a [(Name, AttrValue)], l: &str) -> Option<&'a AttrValue> {
-    attrs
-        .binary_search_by(|(a, _)| a.as_str().cmp(l))
+/// Binary search in the (name-sorted) pending attributes; the streaming
+/// counterpart of `Node::attr`.
+fn find_pending<'a, 's>(
+    pending: &'a [(u32, PVal<'s>)],
+    names: &[Name],
+    l: &Name,
+) -> Option<&'a PVal<'s>> {
+    pending
+        .binary_search_by(|(aid, _)| names[*aid as usize].cmp(l))
         .ok()
-        .map(|i| &attrs[i].1)
+        .map(|i| &pending[i].1)
 }
 
-/// Appends one symbol to a rendered child word, matching the tree path's
-/// `", "`-join of `Symbol` displays.
-fn push_word(word: &mut String, sym: &Symbol) {
-    use std::fmt::Write;
-    if !word.is_empty() {
-        word.push_str(", ");
+/// The value a single-valued field reads from a pending attribute —
+/// mirrors [`AttrValue::as_single`]: the whole string for a single value,
+/// the sole distinct token for a set, `None` otherwise.
+fn pval_single(v: &PVal<'_>, interner: &mut Interner) -> Option<Sym> {
+    match v {
+        PVal::Single(raw) => Some(interner.intern_bytes(raw.as_bytes())),
+        PVal::Set(raw) => {
+            let mut toks = raw.split_whitespace();
+            let first = toks.next()?;
+            for t in toks {
+                if t != first {
+                    return None;
+                }
+            }
+            Some(interner.intern_bytes(first.as_bytes()))
+        }
     }
-    let _ = write!(word, "{sym}");
 }
 
-impl<'v> StreamChecker<'v> {
+/// Distinct whitespace-separated tokens, mirroring [`AttrValue::set`]'s
+/// length (only needed when a set-tokenized value meets a `Single`
+/// declaration — the rare mismatch case).
+fn distinct_token_count(raw: &str) -> usize {
+    let mut toks: Vec<&str> = raw.split_whitespace().collect();
+    toks.sort_unstable();
+    toks.dedup();
+    toks.len()
+}
+
+/// Renders a recorded child word the way the tree path would (`", "`-joined
+/// `Symbol` displays) — paid only when a `ContentModel` violation reports.
+fn render_word(elems: &[ElemInfo<'_>], word: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &w) in word.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if w == WORD_S {
+            out.push('S');
+        } else {
+            out.push_str(elems[w as usize].label.as_str());
+        }
+    }
+    out
+}
+
+impl<'v, 's> StreamChecker<'v, 's> {
     pub(crate) fn new(v: &'v Validator<'_>, doc_dtd: Option<DtdStructure>) -> Self {
         // Flatten the plan's per-type field sets into dense columns with a
         // per-τ recipe, so the hot path never touches the BTree maps.
@@ -189,36 +295,78 @@ impl<'v> StreamChecker<'v> {
             strict: v.options.strict_attributes,
             doc_dtd,
             stack: Vec::new(),
+            depth: 0,
             node_count: 0,
             tagged: Vec::new(),
-            ext: ExtIndex::empty(),
+            elems: Vec::new(),
+            elem_lookup: FastHashMap::default(),
+            attr_names: Vec::new(),
+            attr_lookup: FastHashMap::default(),
+            exts: Vec::new(),
             interner: Interner::new(),
             single_cols: vec![Vec::new(); single_keys.len()],
-            set_cols: vec![Vec::new(); set_keys.len()],
+            set_cols: vec![SetCol::default(); set_keys.len()],
             tau_plans,
             tau_lookup,
             single_keys,
             set_keys,
-            symbols: HashMap::new(),
             obs: v.obs.clone(),
             max_depth: 0,
             attr_count: 0,
         }
     }
 
-    /// The interned label and its element symbol (cached per spelling).
-    fn label_sym(&mut self, name: &str) -> (Name, Symbol) {
-        if let Some((label, sym)) = self.symbols.get_key_value(name) {
-            return (label.clone(), sym.clone());
+    /// The dense id of an element-name spelling (resolving it on first
+    /// sight).
+    fn elem_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.elem_lookup.get(name) {
+            return id;
+        }
+        self.elem_id_slow(name)
+    }
+
+    #[cold]
+    fn elem_id_slow(&mut self, name: &str) -> u32 {
+        let label = Name::new(name);
+        let set_valued = self.doc_dtd.as_ref().map_or_else(Vec::new, |d| {
+            d.attributes(name)
+                .filter(|(_, t)| *t == AttrType::SetValued)
+                .map(|(n, _)| n.clone())
+                .collect()
+        });
+        let info = ElemInfo {
+            sym: Symbol::Elem(label.clone()),
+            matcher: self.matchers.get(name),
+            plan: self.tau_lookup.get(name).map(|&i| i as u32),
+            attr_decls: self
+                .s
+                .attributes(name)
+                .map(|(n, t)| (n.clone(), t))
+                .collect(),
+            set_valued,
+            label: label.clone(),
+        };
+        let id = u32::try_from(self.elems.len()).expect("spelling count fits u32");
+        self.elems.push(info);
+        self.exts.push(Vec::new());
+        self.elem_lookup.insert(label, id);
+        id
+    }
+
+    /// The dense id of an attribute-name spelling.
+    fn attr_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.attr_lookup.get(name) {
+            return id;
         }
         let label = Name::new(name);
-        let sym = Symbol::Elem(label.clone());
-        self.symbols.insert(label.clone(), sym.clone());
-        (label, sym)
+        let id = u32::try_from(self.attr_names.len()).expect("spelling count fits u32");
+        self.attr_names.push(label.clone());
+        self.attr_lookup.insert(label, id);
+        id
     }
 
     /// Applies one event. Events must arrive in document order.
-    pub(crate) fn on_event(&mut self, ev: Event<'_>) {
+    pub(crate) fn on_event(&mut self, ev: Event<'s>) {
         match ev {
             Event::Open { name, .. } => self.open(name),
             Event::Attr { name, value, .. } => self.attr(name, value),
@@ -229,96 +377,105 @@ impl<'v> StreamChecker<'v> {
 
     fn open(&mut self, name: &str) {
         self.seal_top();
-        let (label, sym) = self.label_sym(name);
+        let iid = self.elem_id(name);
         let node = self.node_count;
         self.node_count += 1;
+        let node_id = NodeId::from_index(node as usize);
+        let info = &self.elems[iid as usize];
         let mut sub_slot = None;
-        match self.stack.last_mut() {
+        match self.stack[..self.depth].last_mut() {
             Some(parent) => {
-                if let Some((m, run)) = parent.matcher.as_mut() {
-                    m.step(run, &sym);
-                    push_word(&mut parent.word, &sym);
+                if let Some(run) = parent.run.as_mut() {
+                    let pinfo = &self.elems[parent.info as usize];
+                    let m = pinfo.matcher.expect("a run implies a matcher");
+                    m.step(run, &info.sym);
+                    parent.word.push(iid);
                 }
-                if let Some(pi) = parent.plan {
-                    sub_slot = self.tau_plans[pi]
+                if let Some(pi) = self.elems[parent.info as usize].plan {
+                    sub_slot = self.tau_plans[pi as usize]
                         .sub_singles
                         .iter()
-                        .position(|(e, _)| e == &label);
+                        .position(|(e, _)| e == &info.label);
                 }
             }
             None => {
-                if label != *self.s.root() {
+                if info.label != *self.s.root() {
                     self.tagged.push((
                         node,
                         Violation::RootLabel {
                             expected: self.s.root().clone(),
-                            found: label.clone(),
+                            found: info.label.clone(),
                         },
                     ));
                 }
             }
         }
-        let matcher = match self.matchers.get(name) {
-            Some(m) => Some((m, m.start())),
+        let run = match info.matcher {
+            Some(m) => Some(m.start()),
             None => {
                 self.tagged.push((
                     node,
                     Violation::UnknownElementType {
-                        node: NodeId::from_index(node as usize),
-                        label: label.clone(),
+                        node: node_id,
+                        label: info.label.clone(),
                     },
                 ));
                 None
             }
         };
-        let plan = self.tau_lookup.get(name).copied();
-        let subs = plan.map_or_else(Vec::new, |pi| {
-            vec![(0, None); self.tau_plans[pi].sub_singles.len()]
-        });
-        let ext_pos = self.ext.ext(name).len();
-        self.ext.push(&label, NodeId::from_index(node as usize));
-        self.stack.push(Frame {
-            node,
-            ext_pos,
-            label,
-            matcher,
-            plan,
-            sealed: false,
-            word: String::new(),
-            pending_attrs: Vec::new(),
-            attr_viols: Vec::new(),
-            subs,
-            sub_slot,
-            text: String::new(),
-        });
-        if self.stack.len() > self.max_depth {
-            self.max_depth = self.stack.len();
+        let n_subs = info
+            .plan
+            .map_or(0, |pi| self.tau_plans[pi as usize].sub_singles.len());
+        let ext = &mut self.exts[iid as usize];
+        let ext_pos = u32::try_from(ext.len()).expect("extent fits u32");
+        ext.push(node_id);
+        if self.depth == self.stack.len() {
+            self.stack.push(Frame::default());
+        }
+        let frame = &mut self.stack[self.depth];
+        frame.node = node;
+        frame.ext_pos = ext_pos;
+        frame.info = iid;
+        frame.run = run;
+        frame.sealed = false;
+        frame.sub_slot = sub_slot;
+        frame.subs.resize(n_subs, (0, None));
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.max_depth = self.depth;
         }
     }
 
-    fn attr(&mut self, name: &str, value: Cow<'_, str>) {
-        let (aname, _) = self.label_sym(name);
-        let top = self.stack.last_mut().expect("Attr events follow an Open");
+    fn attr(&mut self, name: &str, value: Cow<'s, str>) {
+        let aid = self.attr_id(name);
+        let top = self.stack[..self.depth]
+            .last_mut()
+            .expect("Attr events follow an Open");
         // Same set-splitting rule as `parse_document`: the *document's*
         // DTD decides, not the DTD^C being validated against.
-        let set_valued = self
-            .doc_dtd
-            .as_ref()
-            .is_some_and(|d| d.is_set_valued(&top.label, name));
+        let set_valued = self.elems[top.info as usize]
+            .set_valued
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .is_ok();
         let v = if set_valued {
-            AttrValue::set(value.split_whitespace())
+            PVal::Set(value)
         } else {
-            AttrValue::single(value.into_owned())
+            PVal::Single(value)
         };
-        top.pending_attrs.push((aname, v));
+        top.pending_attrs.push((aid, v));
     }
 
     fn text(&mut self, value: &str) {
         self.seal_top();
-        let top = self.stack.last_mut().expect("Text occurs inside the root");
-        if let Some((m, run)) = top.matcher.as_mut() {
+        let top = self.stack[..self.depth]
+            .last_mut()
+            .expect("Text occurs inside the root");
+        if let Some(run) = top.run.as_mut() {
+            let m = self.elems[top.info as usize]
+                .matcher
+                .expect("a run implies a matcher");
             m.step(run, &Symbol::S);
-            push_word(&mut top.word, &Symbol::S);
+            top.word.push(WORD_S);
         }
         if top.sub_slot.is_some() {
             top.text.push_str(value);
@@ -331,7 +488,7 @@ impl<'v> StreamChecker<'v> {
     /// every event after the attributes (child open, text, close) lands
     /// here first.
     fn seal_top(&mut self) {
-        let Some(top) = self.stack.last_mut() else {
+        let Some(top) = self.stack[..self.depth].last_mut() else {
             return;
         };
         if top.sealed {
@@ -339,32 +496,44 @@ impl<'v> StreamChecker<'v> {
         }
         top.sealed = true;
         self.attr_count += top.pending_attrs.len() as u64;
-        top.pending_attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        let info = &self.elems[top.info as usize];
+        let names = &self.attr_names;
+        if top.pending_attrs.len() > 1 {
+            top.pending_attrs
+                .sort_by(|a, b| names[a.0 as usize].cmp(&names[b.0 as usize]));
+        }
         let node_id = NodeId::from_index(top.node as usize);
         // Attribute clauses — skipped for undeclared element types, like
         // the tree path (which `continue`s after UnknownElementType).
-        if top.matcher.is_some() {
-            for (l, value) in &top.pending_attrs {
-                match self.s.attr_type(&top.label, l) {
-                    None => top.attr_viols.push(Violation::UndeclaredAttribute {
+        if info.matcher.is_some() {
+            for (aid, value) in &top.pending_attrs {
+                let l = &names[*aid as usize];
+                match info.attr_decls.binary_search_by(|(n, _)| n.cmp(l)) {
+                    Err(_) => top.attr_viols.push(Violation::UndeclaredAttribute {
                         node: node_id,
                         attr: l.clone(),
                     }),
-                    Some(AttrType::Single) => {
-                        if !value.is_singleton() {
-                            top.attr_viols.push(Violation::NotSingleton {
-                                node: node_id,
-                                attr: l.clone(),
-                                len: value.len(),
-                            });
+                    Ok(i) => {
+                        if info.attr_decls[i].1 == AttrType::Single {
+                            // A PVal::Single is trivially a singleton; only
+                            // a set-tokenized value can violate.
+                            if let PVal::Set(raw) = value {
+                                let len = distinct_token_count(raw);
+                                if len != 1 {
+                                    top.attr_viols.push(Violation::NotSingleton {
+                                        node: node_id,
+                                        attr: l.clone(),
+                                        len,
+                                    });
+                                }
+                            }
                         }
                     }
-                    Some(AttrType::SetValued) => {}
                 }
             }
             if self.strict {
-                for (l, _) in self.s.attributes(&top.label) {
-                    if find_attr(&top.pending_attrs, l).is_none() {
+                for (l, _) in &info.attr_decls {
+                    if find_pending(&top.pending_attrs, names, l).is_none() {
                         top.attr_viols.push(Violation::MissingAttribute {
                             node: node_id,
                             attr: l.clone(),
@@ -375,35 +544,39 @@ impl<'v> StreamChecker<'v> {
         }
         // Column fill — by label, declared or not, because `ext(τ)` (and
         // hence the tree path's columns) includes undeclared nodes too.
-        if let Some(pi) = top.plan {
-            let tp = &self.tau_plans[pi];
+        if let Some(pi) = info.plan {
+            let tp = &self.tau_plans[pi as usize];
             for (l, col) in &tp.attr_singles {
-                let sym = match find_attr(&top.pending_attrs, l).and_then(AttrValue::as_single) {
-                    Some(v) => Some(self.interner.intern(v)),
-                    None => None,
-                };
-                debug_assert_eq!(self.single_cols[*col].len(), top.ext_pos);
+                let sym = find_pending(&top.pending_attrs, names, l)
+                    .and_then(|v| pval_single(v, &mut self.interner));
+                debug_assert_eq!(self.single_cols[*col].len(), top.ext_pos as usize);
                 self.single_cols[*col].push(sym);
             }
             for (l, col) in &tp.sets {
-                let syms = match find_attr(&top.pending_attrs, l) {
-                    Some(v) => {
-                        let mut syms = Vec::with_capacity(v.len());
-                        for s in v.values() {
-                            syms.push(self.interner.intern(s));
-                        }
-                        syms
+                let scol = &mut self.set_cols[*col];
+                debug_assert_eq!(scol.len(), top.ext_pos as usize);
+                match find_pending(&top.pending_attrs, names, l) {
+                    Some(PVal::Single(raw)) => {
+                        scol.push_row([self.interner.intern_bytes(raw.as_bytes())]);
                     }
-                    None => Vec::new(),
-                };
-                debug_assert_eq!(self.set_cols[*col].len(), top.ext_pos);
-                self.set_cols[*col].push(syms);
+                    Some(PVal::Set(raw)) => {
+                        // `AttrValue::set` order: sorted distinct tokens.
+                        let mut toks: Vec<&str> = raw.split_whitespace().collect();
+                        toks.sort_unstable();
+                        toks.dedup();
+                        scol.push_row(
+                            toks.into_iter()
+                                .map(|t| self.interner.intern_bytes(t.as_bytes())),
+                        );
+                    }
+                    None => scol.push_row([]),
+                }
             }
             // Sub-element fields get a placeholder now (keeping the column
             // ext-aligned) and their value at close, when the children —
             // and hence uniqueness — are known.
             for (_, col) in &tp.sub_singles {
-                debug_assert_eq!(self.single_cols[*col].len(), top.ext_pos);
+                debug_assert_eq!(self.single_cols[*col].len(), top.ext_pos as usize);
                 self.single_cols[*col].push(None);
             }
         }
@@ -411,21 +584,26 @@ impl<'v> StreamChecker<'v> {
 
     fn close(&mut self) {
         self.seal_top();
-        let mut frame = self.stack.pop().expect("Close matches an Open");
+        assert!(self.depth > 0, "Close matches an Open");
+        self.depth -= 1;
+        let (parents, rest) = self.stack.split_at_mut(self.depth);
+        let frame = &mut rest[0];
+        let info = &self.elems[frame.info as usize];
         let node_id = NodeId::from_index(frame.node as usize);
-        if let Some((m, run)) = &frame.matcher {
+        if let Some(run) = &frame.run {
+            let m = info.matcher.expect("a run implies a matcher");
             if !m.accepts(run) {
                 self.tagged.push((
                     frame.node,
                     Violation::ContentModel {
                         node: node_id,
-                        tau: frame.label.clone(),
+                        tau: info.label.clone(),
                         expected: self
                             .s
-                            .content_model(&frame.label)
+                            .content_model(info.label.as_str())
                             .map(ToString::to_string)
                             .unwrap_or_default(),
-                        found: std::mem::take(&mut frame.word),
+                        found: render_word(&self.elems, &frame.word),
                     },
                 ));
             }
@@ -434,34 +612,39 @@ impl<'v> StreamChecker<'v> {
             self.tagged.push((frame.node, v));
         }
         // Patch this element's unique-sub-element column entries.
-        if let Some(pi) = frame.plan {
-            for (i, (_, col)) in self.tau_plans[pi].sub_singles.iter().enumerate() {
-                let (count, text) = &mut frame.subs[i];
-                if *count == 1 {
-                    if let Some(text) = text.take() {
-                        self.single_cols[*col][frame.ext_pos] = Some(self.interner.intern(&text));
-                    }
+        if let Some(pi) = info.plan {
+            for (i, (_, col)) in self.tau_plans[pi as usize].sub_singles.iter().enumerate() {
+                let (count, sym) = frame.subs[i];
+                if count == 1 {
+                    self.single_cols[*col][frame.ext_pos as usize] = sym;
                 }
             }
         }
         // Report to the parent's unique-sub-element tracking.
         if let Some(slot) = frame.sub_slot {
-            if let Some(parent) = self.stack.last_mut() {
-                let (count, text) = &mut parent.subs[slot];
+            if let Some(parent) = parents.last_mut() {
+                let (count, sym) = &mut parent.subs[slot];
                 *count += 1;
-                *text = if *count == 1 {
-                    Some(std::mem::take(&mut frame.text))
+                *sym = if *count == 1 {
+                    Some(self.interner.intern_bytes(frame.text.as_bytes()))
                 } else {
                     None // a second child with this label: field undefined
                 };
             }
         }
+        // Clear the buffers (keeping capacity) for the next element that
+        // opens at this depth; the frame itself never moves.
+        frame.run = None;
+        frame.word.clear();
+        frame.pending_attrs.clear();
+        frame.subs.clear();
+        frame.text.clear();
     }
 
     /// Sorts the structural violations into node order and runs the shared
     /// constraint checker over the streamed columns.
     pub(crate) fn finish(mut self, threads: usize) -> Report {
-        debug_assert!(self.stack.is_empty(), "finish before the root closed");
+        debug_assert!(self.depth == 0, "finish before the root closed");
         let obs = self.obs.clone();
         // The deferred node-order sort is streaming's share of the
         // "structure" phase; everything else structural happened inside
@@ -471,16 +654,20 @@ impl<'v> StreamChecker<'v> {
             self.tagged.sort_by_key(|&(n, _)| n); // stable: per-node order kept
             self.tagged.into_iter().map(|(_, v)| v).collect()
         };
+        let mut ext = ExtIndex::empty();
         let doc = {
             let _plan = obs.span("plan");
+            for (info, ids) in self.elems.iter().zip(self.exts) {
+                ext.insert_extent(info.label.clone(), ids);
+            }
             let singles: HashMap<(Name, Field), Vec<Option<Sym>>> =
                 self.single_keys.into_iter().zip(self.single_cols).collect();
-            let sets: HashMap<(Name, Name), Vec<Vec<Sym>>> =
+            let sets: HashMap<(Name, Name), SetCol> =
                 self.set_keys.into_iter().zip(self.set_cols).collect();
-            DocIndex::from_parts(self.interner, singles, sets, &self.ext, self.s, self.plan)
+            DocIndex::from_parts(self.interner, singles, sets, &ext, self.s, self.plan)
         };
         check_planned(
-            &self.ext,
+            &ext,
             self.dtdc,
             &doc,
             threads,
@@ -525,10 +712,10 @@ impl Validator<'_> {
     /// values tokenize into sets — the same rule
     /// [`parse_document`](xic_xml::parse_document) applies — so the stream
     /// sees the values the tree would have held.
-    pub fn validate_events(&self, mut events: EventParser<'_>) -> Result<Report, XmlError> {
+    pub fn validate_events<'s>(&self, mut events: EventParser<'s>) -> Result<Report, XmlError> {
         let doc_dtd = events.dtd()?.cloned();
         let threads = self.effective_threads();
-        let mut checker = StreamChecker::new(self, doc_dtd);
+        let mut checker = StreamChecker::<'_, 's>::new(self, doc_dtd);
         #[cfg(feature = "parallel")]
         if threads > 1 {
             {
@@ -569,7 +756,7 @@ impl Validator<'_> {
 #[cfg(feature = "parallel")]
 fn run_pipelined<'s>(
     events: EventParser<'s>,
-    checker: &mut StreamChecker<'_>,
+    checker: &mut StreamChecker<'_, 's>,
     obs: &Obs,
 ) -> Result<(), XmlError> {
     use std::sync::mpsc;
@@ -736,6 +923,25 @@ mod tests {
   <!ATTLIST ref to IDREFS #IMPLIED>
 ]>
 <book><entry isbn="i"><title>T</title><publisher>P</publisher></entry><author>A</author><ref to="a b"/></book>"#;
+        assert_stream_matches_tree(src);
+    }
+
+    #[test]
+    fn multivalued_set_attributes_round_through_columns() {
+        // Duplicate and unsorted tokens in a set-valued attribute must
+        // behave exactly like the tree path's `AttrValue::set` (sorted,
+        // deduplicated) through the seal's zero-copy fill.
+        let src = r#"<!DOCTYPE book [
+  <!ELEMENT book (entry|author|ref)*>
+  <!ELEMENT entry (title, publisher)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT publisher (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT ref EMPTY>
+  <!ATTLIST entry isbn CDATA #IMPLIED>
+  <!ATTLIST ref to IDREFS #IMPLIED>
+]>
+<book><entry isbn="z"><title>T</title><publisher>P</publisher></entry><author>A</author><ref to="z q z a"/></book>"#;
         assert_stream_matches_tree(src);
     }
 }

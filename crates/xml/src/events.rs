@@ -21,7 +21,8 @@ use std::borrow::Cow;
 
 use xic_constraints::DtdStructure;
 
-use crate::parser::{decode_text_cow, parse_doctype, Cursor, XmlError, MAX_DEPTH};
+use crate::parser::{decode_entities, find_terminated, parse_doctype, Cursor, XmlError, MAX_DEPTH};
+use crate::scan;
 
 /// One parse event. Borrowed slices point into the source text; attribute
 /// and text values are borrowed too unless entity decoding forced a copy.
@@ -193,8 +194,8 @@ impl<'s> EventParser<'s> {
     /// One step inside a start tag: the next attribute, or tag end.
     fn in_tag(&mut self) -> Result<Option<Event<'s>>, XmlError> {
         self.cur.skip_ws();
-        match self.cur.peek() {
-            Some('/') => {
+        match self.cur.peek_byte() {
+            Some(b'/') => {
                 let offset = self.cur.pos;
                 if !self.cur.eat("/>") {
                     return self.cur.err("expected '>'");
@@ -207,12 +208,15 @@ impl<'s> EventParser<'s> {
                 };
                 Ok(Some(Event::Close { name, offset }))
             }
-            Some('>') => {
-                self.cur.bump();
+            Some(b'>') => {
+                self.cur.pos += 1;
                 self.state = State::Content;
                 Ok(None)
             }
-            Some(c) if c.is_alphabetic() || c == '_' => {
+            Some(b)
+                if scan::is_ascii_name_start(b)
+                    || (b >= 0x80 && matches!(self.cur.peek(), Some(c) if c.is_alphabetic())) =>
+            {
                 let offset = self.cur.pos;
                 let name = self.cur.name()?;
                 if self.attrs_seen.contains(&name) {
@@ -265,7 +269,7 @@ impl<'s> EventParser<'s> {
             return Ok(None);
         }
         if self.cur.eat("<![CDATA[") {
-            let Some(end) = self.cur.rest().find("]]>") else {
+            let Some(end) = find_terminated(self.cur.bytes(), b']', b']', Some(b'>')) else {
                 return self.cur.err("unterminated CDATA section");
             };
             let offset = self.cur.pos;
@@ -282,14 +286,27 @@ impl<'s> EventParser<'s> {
         if rest.starts_with('<') {
             return self.open_tag().map(Some);
         }
-        // Character data up to the next markup.
+        // Character data up to the next markup: one byte scan finds both
+        // the terminating `<` and (en passant) whether entity decoding
+        // will be needed, so clean text is borrowed without a second pass.
         let start = self.cur.pos;
-        let Some(lt) = rest.find('<') else {
-            return self.cur.err("unterminated element (missing end tag)");
+        let bytes = self.cur.bytes();
+        let first = scan::find_byte2(bytes, b'<', b'&');
+        let (lt, has_amp) = match first {
+            Some(i) if bytes[i] == b'<' => (i, false),
+            Some(i) => match scan::find_byte(&bytes[i..], b'<') {
+                Some(j) => (i + j, true),
+                None => return self.cur.err("unterminated element (missing end tag)"),
+            },
+            None => return self.cur.err("unterminated element (missing end tag)"),
         };
         let raw = &self.cur.src[start..start + lt];
         self.cur.pos += lt;
-        let text = decode_text_cow(raw, start)?;
+        let text: Cow<'s, str> = if has_amp {
+            Cow::Owned(decode_entities(raw, start)?)
+        } else {
+            Cow::Borrowed(raw)
+        };
         if text.trim().is_empty() {
             return Ok(None);
         }
@@ -378,20 +395,34 @@ impl<'s> Iterator for EventParser<'s> {
     }
 }
 
-/// Lexes a quoted attribute value and decodes entities.
+/// Lexes a quoted attribute value and decodes entities. Like text runs,
+/// the value is scanned once: the closing quote and any `&` fall out of
+/// the same byte pass.
 fn parse_attr_value<'a>(cur: &mut Cursor<'a>) -> Result<Cow<'a, str>, XmlError> {
     cur.skip_ws();
     let quote = match cur.bump() {
-        Some(q @ ('"' | '\'')) => q,
+        Some('"') => b'"',
+        Some('\'') => b'\'',
         _ => return cur.err("expected quoted attribute value"),
     };
     let start = cur.pos;
-    let Some(end) = cur.rest().find(quote) else {
-        return cur.err("unterminated attribute value");
+    let bytes = cur.bytes();
+    let first = scan::find_byte2(bytes, quote, b'&');
+    let (end, has_amp) = match first {
+        Some(i) if bytes[i] == quote => (i, false),
+        Some(i) => match scan::find_byte(&bytes[i..], quote) {
+            Some(j) => (i + j, true),
+            None => return cur.err("unterminated attribute value"),
+        },
+        None => return cur.err("unterminated attribute value"),
     };
     let raw = &cur.src[start..start + end];
     cur.pos += end + 1;
-    decode_text_cow(raw, start)
+    if has_amp {
+        decode_entities(raw, start).map(Cow::Owned)
+    } else {
+        Ok(Cow::Borrowed(raw))
+    }
 }
 
 #[cfg(test)]

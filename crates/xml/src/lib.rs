@@ -32,6 +32,7 @@
 mod dtd;
 mod events;
 mod parser;
+mod scan;
 mod serialize;
 mod xsd;
 

