@@ -1,19 +1,22 @@
-//! Reproduces experiments E1–E16 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E17 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
 //! check with measured scaling, plus the compiled-engine study E11, the
-//! streaming-pipeline study E12 and the incremental-revalidation study E13.
+//! streaming-pipeline study E12, the incremental-revalidation study E13
+//! and the batch-edit/bulk-init study E17.
 //!
 //! ```text
 //! cargo run --release -p xic-bench --bin experiments [--smoke] [e1 e5 e11 ...]
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e16`). `--smoke` restricts the document-scaling
-//! experiments (E11/E12/E13/E15/E16) to their smallest size so CI can run
+//! (by id: `e1` … `e17`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12/E13/E15/E16/E17) to one size so CI can run
 //! them as a fast correctness check; under `--smoke`, E12 and E16 also fail
 //! if measured streaming throughput drops below 0.8× the committed
-//! `BENCH_validate.json` row for that size (the bench-regression gate).
-//! E11, E12, E13 and E16 additionally record their
+//! `BENCH_validate.json` row for that size, and E17 fails if batched edits
+//! fall below 2× the sequential per-edit loop at batch ≥ 100 or bulk init
+//! exceeds 4× a full validation (the bench-regression gates).
+//! E11, E12, E13, E16 and E17 additionally record their
 //! measured rows; when any of them runs, the merged baseline is written to
 //! `target/BENCH_validate.json` (copy it over the tracked
 //! `BENCH_validate.json` at the repository root to refresh the committed
@@ -37,71 +40,14 @@ use xic::implication::lu::Mode;
 use xic::prelude::*;
 use xic_bench::*;
 
-/// A [`System`](std::alloc::System) wrapper tracking live and peak heap
-/// bytes, and feeding the process-wide [`xic::obs::alloc`] hooks so E16
-/// can count heap acquisitions per node. Only the `experiments` binary
-/// installs it; the library crates stay `forbid(unsafe_code)`.
-mod mem {
-    use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+// Counting global allocator: tracks live/peak heap bytes and heap
+// acquisitions through the process-wide [`xic::obs::alloc`] hooks, so E12
+// can report peak heap per validation path (`reset_peak` / `peak_above`)
+// and E16 can count acquisitions per node. Only binaries install it; the
+// library crates stay `forbid(unsafe_code)`.
+xic::obs::install_counting_alloc!();
 
-    pub struct Counting;
-
-    static CURRENT: AtomicUsize = AtomicUsize::new(0);
-    static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-    // SAFETY: defers all allocation to `System`; the counters are
-    // bookkeeping only and never influence the returned pointers.
-    unsafe impl GlobalAlloc for Counting {
-        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            let p = System.alloc(layout);
-            if !p.is_null() {
-                let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-                PEAK.fetch_max(live, Ordering::Relaxed);
-                xic::obs::alloc::on_alloc(layout.size());
-            }
-            p
-        }
-
-        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-            System.dealloc(ptr, layout);
-            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
-            xic::obs::alloc::on_dealloc(layout.size());
-        }
-
-        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            let p = System.realloc(ptr, layout, new_size);
-            if !p.is_null() {
-                if new_size >= layout.size() {
-                    let grow = new_size - layout.size();
-                    let live = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
-                    PEAK.fetch_max(live, Ordering::Relaxed);
-                } else {
-                    CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
-                }
-                xic::obs::alloc::on_realloc(layout.size(), new_size);
-            }
-            p
-        }
-    }
-
-    /// Resets the peak to the current live count and returns that
-    /// baseline; [`peak_above`] then reports the high-water mark of a
-    /// subsequent region relative to it.
-    pub fn reset_peak() -> usize {
-        let live = CURRENT.load(Ordering::Relaxed);
-        PEAK.store(live, Ordering::Relaxed);
-        live
-    }
-
-    /// Peak heap bytes above `baseline` since the matching `reset_peak`.
-    pub fn peak_above(baseline: usize) -> usize {
-        PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
-    }
-}
-
-#[global_allocator]
-static ALLOC: mem::Counting = mem::Counting;
+use xic::obs::alloc as mem;
 
 /// `--smoke`: clamp the scaling experiments to their smallest document
 /// size (CI gate).
@@ -130,7 +76,7 @@ fn main() {
         filters.remove(i);
         SMOKE.store(true, Ordering::Relaxed);
     }
-    let experiments: [(&str, fn()); 16] = [
+    let experiments: [(&str, fn()); 17] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -147,6 +93,7 @@ fn main() {
         ("e14", e14_obs_overhead),
         ("e15", e15_telemetry_overhead),
         ("e16", e16_raw_speed),
+        ("e17", e17_batch_propagation),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -691,7 +638,7 @@ fn e12_stream_pipeline() {
 
         // Streaming path, sequential and pipelined.
         let mut stream_json: Vec<String> = Vec::new();
-        let mut stream_peak_t1 = 0usize;
+        let mut stream_peak_t1 = 0u64;
         for threads in [1usize, 2] {
             let v = Validator::with_matcher(
                 &dtdc,
@@ -1300,6 +1247,210 @@ fn e16_raw_speed() {
         "e16_raw_speed",
         format!(
             "{{\n    \"workload\": \"constraint_heavy_workload serialized with its DTD as internal subset (seed 101); pre-optimization reference {E16_PRE_OPT_NODES_PER_SEC:.0} nodes/s at 10^6\",\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_rows.join(",\n")
+        ),
+    );
+}
+
+/// The E17 document sizes. The batch/init study needs its own sweep: the
+/// `--smoke` size is 10⁵ (not 10⁴) because the CI thresholds below are
+/// meaningless on documents small enough for constant factors to dominate.
+fn e17_sizes() -> &'static [usize] {
+    if SMOKE.load(Ordering::Relaxed) {
+        &[100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    }
+}
+
+/// E17 — differential batch propagation and bulk warm init (DESIGN §4.13).
+///
+/// Two claims. **Init**: `LiveValidator::new` bulk-loads its columns,
+/// occurrence maps and constraint tables, and must cost ≤2× a full
+/// `Validator::validate` of the same tree at 10⁶ vertices (≤4× at the 10⁵
+/// smoke size). Both sides are measured best-of-reps in the same process,
+/// so machine noise cancels out of the ratio. **Batching**:
+/// `apply_batch` must beat the equivalent sequential per-edit loop ≥5× in
+/// µs/edit at 10⁶ vertices for batches ≥ 100 on the burst stream (edits
+/// concentrated on `batch/8` vertices, where last-writer-wins coalescing
+/// and per-group propagation pay off; ≥2× at the smoke size), with the
+/// batched validator's report byte-identical to the sequential one after
+/// every batch and to a from-scratch validation at the smallest size.
+/// Also pins the satellite metrics contract: a batch's `ReportDiff`
+/// carries both `edit.count` (raw) and `edit.coalesced` (surviving after
+/// coalescing). Registers its rows for `BENCH_validate.json`.
+fn e17_batch_propagation() {
+    heading(
+        "E17 (batch edits)",
+        "apply_batch ≥5× sequential µs/edit at batch ≥100 (10⁶, burst); bulk init ≤2× full validate",
+    );
+    use rand::Rng;
+    let batch_sizes = [1usize, 10, 100, 1000];
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in e17_sizes() {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let rows = (n / 4).max(1);
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+        let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default());
+        let t_full = time_min(reps, || assert!(v.validate(&tree).is_valid()));
+
+        // Warm init, best-of-reps (the clone stays outside the timer).
+        let mut t_init = f64::INFINITY;
+        let mut live = None;
+        for _ in 0..reps {
+            let copy = tree.clone();
+            let start = std::time::Instant::now();
+            let lv = LiveValidator::new(&v, copy);
+            t_init = t_init.min(start.elapsed().as_secs_f64());
+            live = Some(lv);
+        }
+        let mut live = live.expect("reps >= 1");
+        let init_ratio = t_init / t_full;
+        println!(
+            "  nodes = {nodes:8}  full validate {:9.3} ms   bulk init {:9.3} ms   ratio ×{init_ratio:.2}",
+            t_full * 1e3,
+            t_init * 1e3
+        );
+        if n >= 1_000_000 {
+            assert!(
+                init_ratio <= 2.0,
+                "bulk init above target at n={n}: ×{init_ratio:.2} of full validate (target ≤2)"
+            );
+        }
+        if SMOKE.load(Ordering::Relaxed) {
+            assert!(
+                init_ratio <= 4.0,
+                "bulk init smoke gate at n={n}: ×{init_ratio:.2} of full validate (gate ≤4)"
+            );
+        }
+
+        // Sequential edits drive `live`; batches drive `live_b`. Both see
+        // the same edit sequence, so their reports must stay identical at
+        // every batch boundary.
+        let mut live_b = LiveValidator::new(&v, tree);
+        let orders: Vec<NodeId> = live.tree().ext("order").collect();
+        let mut r = rng(303);
+        let mut stream_json: Vec<String> = Vec::new();
+        for (stream, burst) in [("uniform", false), ("burst", true)] {
+            let mut batch_json: Vec<String> = Vec::new();
+            for &batch in &batch_sizes {
+                let span = if burst {
+                    (batch / 8).max(1)
+                } else {
+                    orders.len()
+                };
+                let (mut best_seq, mut best_bat) = (f64::INFINITY, f64::INFINITY);
+                for rep in 0..reps {
+                    let edits: Vec<(NodeId, String)> = (0..batch)
+                        .map(|_| {
+                            (
+                                orders[r.gen_range(0..span)],
+                                format!("s{}", r.gen_range(0..rows)),
+                            )
+                        })
+                        .collect();
+                    let start = std::time::Instant::now();
+                    for (o, sup) in &edits {
+                        let out = live
+                            .set_attr(*o, "sup", AttrValue::single(sup.clone()))
+                            .unwrap();
+                        std::hint::black_box(&out);
+                    }
+                    best_seq = best_seq.min(start.elapsed().as_secs_f64() / batch as f64);
+                    let reqs: Vec<BatchEdit> = edits
+                        .iter()
+                        .map(|(o, sup)| BatchEdit::SetAttr {
+                            node: *o,
+                            attr: "sup".into(),
+                            value: AttrValue::single(sup.clone()),
+                        })
+                        .collect();
+                    let start = std::time::Instant::now();
+                    let diff = live_b.apply_batch(&reqs).unwrap();
+                    best_bat = best_bat.min(start.elapsed().as_secs_f64() / batch as f64);
+                    std::hint::black_box(&diff);
+                    assert_eq!(
+                        live.report().violations,
+                        live_b.report().violations,
+                        "batched/sequential divergence at n={n} {stream} batch={batch} rep={rep}"
+                    );
+                }
+                // From-scratch cross-check where a full validation is
+                // cheap; the equality above already pins batched ==
+                // sequential at every size.
+                if n == e17_sizes()[0] {
+                    assert_eq!(
+                        live_b.report().violations,
+                        v.validate(live_b.tree()).violations,
+                        "batched/from-scratch divergence at n={n} {stream} batch={batch}"
+                    );
+                }
+                let speedup = best_seq / best_bat;
+                println!(
+                    "        {stream:>7} batch {batch:4}: seq {:9.3} µs/edit   batched {:9.3} µs/edit   ×{speedup:.2}",
+                    best_seq * 1e6,
+                    best_bat * 1e6
+                );
+                if burst && batch >= 100 {
+                    if n >= 1_000_000 {
+                        assert!(
+                            speedup >= 5.0,
+                            "batched below target at n={n} batch={batch}: ×{speedup:.2} (target ≥5)"
+                        );
+                    }
+                    if SMOKE.load(Ordering::Relaxed) {
+                        assert!(
+                            speedup >= 2.0,
+                            "batched smoke gate at n={n} batch={batch}: ×{speedup:.2} (gate ≥2)"
+                        );
+                    }
+                }
+                batch_json.push(format!(
+                    "{{\"batch\": {batch}, \"seq_seconds_per_edit\": {best_seq:.9}, \"batched_seconds_per_edit\": {best_bat:.9}, \"speedup\": {speedup:.2}}}"
+                ));
+            }
+            stream_json.push(format!(
+                "{{\"stream\": \"{stream}\", \"rows\": [{}]}}",
+                batch_json.join(", ")
+            ));
+        }
+
+        // The metrics contract (satellite of this study): raw and
+        // coalesced edit counts are both reported, and they differ on a
+        // coalescing-friendly batch.
+        if n == e17_sizes()[0] {
+            let collector = MetricsCollector::shared();
+            let vo = Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default())
+                .with_obs(Obs::new(collector));
+            let mut live_m = LiveValidator::new(&vo, live_b.tree().clone());
+            let reqs: Vec<BatchEdit> = (0..100)
+                .map(|i| BatchEdit::SetAttr {
+                    node: orders[i % 10],
+                    attr: "sup".into(),
+                    value: AttrValue::single(format!("s{}", i % rows.min(1000))),
+                })
+                .collect();
+            let diff = live_m.apply_batch(&reqs).unwrap();
+            let m = diff.metrics.expect("collector attached => snapshot");
+            assert_eq!(m.counter("edit.count"), 100);
+            assert_eq!(m.counter("edit.coalesced"), 10);
+            println!(
+                "        metrics: edit.count = {} raw, edit.coalesced = {} surviving (100 edits over 10 vertices)",
+                m.counter("edit.count"),
+                m.counter("edit.coalesced")
+            );
+        }
+
+        json_rows.push(format!(
+            "      {{\"nodes\": {nodes}, \"full_validate_seconds\": {t_full:.6}, \"bulk_init_seconds\": {t_init:.6}, \"init_ratio\": {init_ratio:.3}, \"streams\": [{}]}}",
+            stream_json.join(", ")
+        ));
+    }
+    register_section(
+        "e17_batch_edits",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload; order.sup retargets, sequential set_attr loop vs apply_batch, uniform and burst (batch/8 vertices) streams (seed 101/303)\",\n    \"rows\": [\n{}\n    ]\n  }}",
             json_rows.join(",\n")
         ),
     );

@@ -1,6 +1,10 @@
 //! Serializes the E11/E12 constraint-heavy workload: `gen <nodes> [seed]`
 //! writes the document (DTD internal subset included) to stdout and the
-//! constraint set Σ, one per line, to stderr.
+//! constraint set Σ, one per line, to stderr. Heap totals for the run are
+//! reported to stderr via the shared counting allocator.
+
+xic::obs::install_counting_alloc!();
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().expect("gen <nodes> [seed]").parse().unwrap();
@@ -13,5 +17,11 @@ fn main() {
         "<!DOCTYPE db [\n{}]>\n{}",
         xic::prelude::serialize_dtd(dtdc.structure()),
         xic::prelude::serialize_document(&tree)
+    );
+    let heap = xic::obs::alloc::stats();
+    eprintln!(
+        "# heap: {} acquisitions, {:.1} MB peak",
+        heap.count,
+        heap.peak as f64 / 1e6
     );
 }

@@ -1,10 +1,18 @@
 //! Times raw event lexing over a file: `lex <file.xml> [reps]`.
+//!
+//! Installs the counting allocator so each rep also reports how many heap
+//! acquisitions the lexer made — the streaming hot path's zero-alloc claim,
+//! measured rather than asserted.
+
+xic::obs::install_counting_alloc!();
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let path = args.next().expect("lex <file.xml> [reps]");
     let reps: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(3);
     let src = std::fs::read_to_string(&path).unwrap();
     for _ in 0..reps {
+        let allocs = xic::obs::alloc::stats().count;
         let t = std::time::Instant::now();
         let mut events = xic::prelude::parse_events(&src);
         let mut n = 0u64;
@@ -12,6 +20,8 @@ fn main() {
             ev.unwrap();
             n += 1;
         }
-        println!("{n} events in {:?}", t.elapsed());
+        let dt = t.elapsed();
+        let allocs = xic::obs::alloc::stats().count - allocs;
+        println!("{n} events in {dt:?} ({allocs} heap acquisitions)");
     }
 }

@@ -26,9 +26,15 @@
 //! * `apply-edits` — loads a document into a [`LiveValidator`], plays a
 //!   line-based edit script against it (`set-attr`, `remove-attr`,
 //!   `set-text`, `delete`, `insert`; vertices are addressed by the node
-//!   numbers `render` prints), and prints the violations each edit raised
+//!   numbers `render` prints), and prints the violations the script raised
 //!   (`+`) and cleared (`-`) followed by the final report — incremental
-//!   revalidation, never a from-scratch pass per edit.
+//!   revalidation, never a from-scratch pass. By default the whole script
+//!   is submitted as one [`LiveValidator::apply_batch`] call: repeated
+//!   writes to the same (vertex, attribute) or text slot coalesce
+//!   last-writer-wins and propagation runs once for the batch, so the
+//!   printed diff is the script's *net* effect. `--sequential` restores
+//!   one propagation per line with per-edit diffs; the final report is
+//!   identical either way.
 //! * `implies` — decides `Σ ⊨ φ` / `Σ ⊨_f φ` with the solver matching
 //!   `--lang`, printing the derivation or a countermodel when available.
 //! * `path` — decides a Section-4 path constraint
@@ -63,6 +69,7 @@ struct Opts {
     sigma: Option<String>,
     lang: Option<String>,
     lenient: bool,
+    sequential: bool,
     finite: bool,
     unrestricted: bool,
     emit_countermodel: Option<String>,
@@ -106,6 +113,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--trace-out" => o.trace_out = Some(grab("--trace-out")?),
             "--addr" => o.addr = Some(grab("--addr")?),
             "--lenient" => o.lenient = true,
+            "--sequential" => o.sequential = true,
             "--ids" => o.ids = true,
             "--stream" => o.no_stream = false,
             "--no-stream" => o.no_stream = true,
@@ -267,15 +275,19 @@ usage:
                [--trace-out FILE]  (write a Chrome trace-event / Perfetto timeline of
                all spans; open in chrome://tracing or ui.perfetto.dev)
   xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
-               [--lenient] [--metrics text|json|prom] [--trace-out FILE]
-               incremental revalidation: per edit, prints the violations it
-               raised (+) and cleared (-), then the final report. Script lines
-               (# comments; vertices are the node numbers `render --ids` prints):
+               [--lenient] [--sequential] [--metrics text|json|prom] [--trace-out FILE]
+               incremental revalidation: the whole script is applied as ONE
+               batch (repeated writes to the same cell coalesce, one
+               propagation pass), printing the net violations it raised (+)
+               and cleared (-), then the final report. --sequential applies
+               line by line instead, printing each edit's own ± diff — same
+               final report, more propagation work. Script lines (# comments;
+               vertices are the node numbers `render --ids` prints):
                  set-attr NODE ATTR V[,V...]    remove-attr NODE ATTR
                  set-text NODE INDEX [TEXT]     delete NODE
                  insert PARENT POSITION <xml fragment>
   xic serve    <doc.xml> [--addr HOST:PORT] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
-               [--lenient] [--threads N]
+               [--lenient] [--sequential] [--threads N]
                long-running validation daemon over the loaded document
                (default --addr 127.0.0.1:9100). HTTP endpoints:
                  GET  /report   current validation report
@@ -438,6 +450,140 @@ fn apply_script_line(live: &mut LiveValidator<'_, '_>, line: &str) -> Result<Edi
     }
 }
 
+/// Parses one line of an edit script into a batch request: the grammar of
+/// [`apply_script_line`], without applying anything.
+fn parse_script_edit(line: &str) -> Result<BatchEdit, String> {
+    let (cmd, _) = split_tokens(line, 1)?;
+    match cmd[0] {
+        "set-attr" => {
+            let (toks, value) = split_tokens(line, 3)?;
+            if value.is_empty() {
+                return Err("set-attr NODE ATTR V[,V...]: missing value".into());
+            }
+            let vals: Vec<&str> = value.split(',').collect();
+            let av = if let [single] = vals.as_slice() {
+                AttrValue::single(*single)
+            } else {
+                AttrValue::set(vals)
+            };
+            Ok(BatchEdit::SetAttr {
+                node: parse_node(toks[1])?,
+                attr: toks[2].into(),
+                value: av,
+            })
+        }
+        "remove-attr" => {
+            let (toks, rest) = split_tokens(line, 3)?;
+            if !rest.is_empty() {
+                return Err("remove-attr takes exactly NODE ATTR".into());
+            }
+            Ok(BatchEdit::RemoveAttr {
+                node: parse_node(toks[1])?,
+                attr: toks[2].into(),
+            })
+        }
+        "set-text" => {
+            let (toks, text) = split_tokens(line, 3)?;
+            let index: usize = toks[2]
+                .parse()
+                .map_err(|_| format!("bad text index {:?}", toks[2]))?;
+            Ok(BatchEdit::SetText {
+                node: parse_node(toks[1])?,
+                index,
+                text: text.into(),
+            })
+        }
+        "delete" => {
+            let (toks, rest) = split_tokens(line, 2)?;
+            if !rest.is_empty() {
+                return Err("delete takes exactly NODE".into());
+            }
+            Ok(BatchEdit::DeleteSubtree {
+                node: parse_node(toks[1])?,
+            })
+        }
+        "insert" => {
+            let (toks, fragment) = split_tokens(line, 3)?;
+            let position: usize = toks[2]
+                .parse()
+                .map_err(|_| format!("bad position {:?}", toks[2]))?;
+            let sub = parse_document(fragment).map_err(|e| format!("bad fragment: {e}"))?;
+            Ok(BatchEdit::InsertSubtree {
+                parent: parse_node(toks[1])?,
+                position,
+                fragment: sub.tree,
+            })
+        }
+        other => Err(format!(
+            "unknown edit {other:?} (expected set-attr, remove-attr, set-text, delete or insert)"
+        )),
+    }
+}
+
+/// Plays an edit script against a live validator, rendering the output both
+/// `xic apply-edits` and `POST /edits` print.
+///
+/// The default path parses the whole script up front and submits it as one
+/// [`LiveValidator::apply_batch`] call: echoes each line, then a
+/// `batch: N edits` summary with the *net* ± violation diff (writes
+/// coalesce last-writer-wins, so violations both raised and cleared within
+/// the script cancel out). With `sequential` the pre-batching behaviour —
+/// one propagation per line, each line's own ± diff under it — is kept.
+/// Errors carry the 1-based script line number.
+fn run_edit_script(
+    live: &mut LiveValidator<'_, '_>,
+    script: &str,
+    sequential: bool,
+    out: &mut String,
+) -> Result<(), (usize, String)> {
+    if sequential {
+        for (idx, raw) in script.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let outcome = apply_script_line(live, line).map_err(|e| (idx + 1, e))?;
+            let _ = writeln!(out, "edit: {line}");
+            for v in &outcome.diff.raised {
+                let _ = writeln!(out, "  + {v}");
+            }
+            for v in &outcome.diff.cleared {
+                let _ = writeln!(out, "  - {v}");
+            }
+        }
+        return Ok(());
+    }
+    let mut lines: Vec<(usize, &str)> = Vec::new();
+    let mut batch: Vec<BatchEdit> = Vec::new();
+    for (idx, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        batch.push(parse_script_edit(line).map_err(|e| (idx + 1, e))?);
+        lines.push((idx + 1, line));
+    }
+    if batch.is_empty() {
+        return Ok(());
+    }
+    match live.apply_batch(&batch) {
+        Ok(diff) => {
+            for (_, line) in &lines {
+                let _ = writeln!(out, "edit: {line}");
+            }
+            let _ = writeln!(out, "batch: {} edits", batch.len());
+            for v in &diff.raised {
+                let _ = writeln!(out, "  + {v}");
+            }
+            for v in &diff.cleared {
+                let _ = writeln!(out, "  - {v}");
+            }
+            Ok(())
+        }
+        Err(e) => Err((lines[e.index].0, e.error.to_string())),
+    }
+}
+
 fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     let [doc_path, script_path] = o.positional.as_slice() else {
         return Err("apply-edits takes a document and an edit script".into());
@@ -460,21 +606,8 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
     let mut live = LiveValidator::new(&validator, doc.tree);
     let script = read(script_path)?;
-    for (idx, raw) in script.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let outcome = apply_script_line(&mut live, line)
-            .map_err(|e| format!("{script_path}:{}: {e}", idx + 1))?;
-        let _ = writeln!(out, "edit: {line}");
-        for v in &outcome.diff.raised {
-            let _ = writeln!(out, "  + {v}");
-        }
-        for v in &outcome.diff.cleared {
-            let _ = writeln!(out, "  - {v}");
-        }
-    }
+    run_edit_script(&mut live, &script, o.sequential, out)
+        .map_err(|(line, e)| format!("{script_path}:{line}: {e}"))?;
     let report = live.report();
     let _ = write!(out, "{report}");
     emit_metrics(o, report.metrics.as_ref(), out);
@@ -823,7 +956,7 @@ ref.to <=s entry.isbn";
              set-attr 5 to dangling\n\
              set-attr #5 to x1\n",
         );
-        let (code, out) = call(&[
+        let args = [
             "apply-edits",
             doc.to_str().unwrap(),
             script.to_str().unwrap(),
@@ -833,7 +966,21 @@ ref.to <=s entry.isbn";
             "book",
             "--sigma",
             sigma.to_str().unwrap(),
-        ]);
+        ];
+        // Default batched path: the two writes to the same attribute
+        // coalesce last-writer-wins, so the transient dangling reference
+        // is never materialized and the net diff is empty.
+        let (code, out) = call(&args);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("edit: set-attr 5 to dangling"), "{out}");
+        assert!(out.contains("batch: 2 edits"), "{out}");
+        assert!(!out.contains("+ "), "batched diff should be net: {out}");
+        assert!(out.contains("valid"), "{out}");
+        // --sequential applies line by line: the dangling reference is
+        // raised by the first edit and cleared by the second.
+        let mut args = args.to_vec();
+        args.push("--sequential");
+        let (code, out) = call(&args);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("+ ") && out.contains("dangling"), "{out}");
         assert!(out.contains("- "), "expected the repair to clear: {out}");
@@ -1279,11 +1426,11 @@ ref.to <=s entry.isbn";
             path.to_str().unwrap(),
         ]);
         // The edit dangles the foreign key, so the report is invalid —
-        // the trace must be written regardless.
+        // the trace must be written regardless. The default path applies
+        // the script as one batch, so the span is `edit.batch`.
         assert_eq!(code, 1, "{out}");
         let trace = std::fs::read_to_string(&path).unwrap();
-        assert!(trace.contains("\"edit\""), "{trace}");
-        assert!(trace.contains("\"edit.set_attr\""), "{trace}");
+        assert!(trace.contains("\"edit.batch\""), "{trace}");
     }
 
     #[test]
@@ -1295,7 +1442,7 @@ ref.to <=s entry.isbn";
             "edit-metrics.txt",
             "set-attr 1 isbn x2\nset-attr 1 isbn x1\n",
         );
-        let (code, out) = call(&[
+        let args = [
             "apply-edits",
             doc.to_str().unwrap(),
             script.to_str().unwrap(),
@@ -1307,7 +1454,22 @@ ref.to <=s entry.isbn";
             sigma.to_str().unwrap(),
             "--metrics",
             "json",
-        ]);
+        ];
+        // Batched default: `edits` / `edit.count` are the raw request
+        // count, `edit.coalesced` is what survived last-writer-wins (the
+        // two writes to the same attribute collapse to one).
+        let (code, out) = call(&args);
+        assert_eq!(code, 0, "{out}");
+        let m = metrics_of(&out);
+        assert_eq!(m.counter("edits"), 2, "{out}");
+        assert_eq!(m.counter("edit.count"), 2, "{out}");
+        assert_eq!(m.counter("edit.coalesced"), 1, "{out}");
+        assert!(m.spans.contains_key("edit.batch"), "{out}");
+        assert!(m.spans.contains_key("parse"), "{out}");
+        // Sequential path: one `edit` span per line, nothing coalesces.
+        let mut args = args.to_vec();
+        args.push("--sequential");
+        let (code, out) = call(&args);
         assert_eq!(code, 0, "{out}");
         let m = metrics_of(&out);
         assert_eq!(m.counter("edits"), 2, "{out}");

@@ -2,51 +2,11 @@
 //!
 //! Also installs the counting global allocator feeding the safe hooks in
 //! [`xic::obs::alloc`], so `--metrics` output carries `alloc.count` /
-//! `alloc.peak` heap totals for the whole run. The wrapper lives here
-//! because every library crate in the workspace is `forbid(unsafe_code)`
-//! and a [`GlobalAlloc`] impl cannot be.
+//! `alloc.peak` heap totals for the whole run. The wrapper is expanded
+//! here (via `install_counting_alloc!`) because every library crate in the
+//! workspace is `forbid(unsafe_code)` and a `GlobalAlloc` impl cannot be.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-
-/// [`System`] wrapper that reports every heap operation to the
-/// process-wide counters in [`xic::obs::alloc`].
-struct CountingAlloc;
-
-// SAFETY: defers all allocation to `System` unchanged; the hooks update
-// relaxed atomics only and never influence the returned pointers.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            xic::obs::alloc::on_alloc(layout.size());
-        }
-        p
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            xic::obs::alloc::on_alloc(layout.size());
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-        xic::obs::alloc::on_dealloc(layout.size());
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            xic::obs::alloc::on_realloc(layout.size(), new_size);
-        }
-        p
-    }
-}
-
-#[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
+xic::obs::install_counting_alloc!();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -11,13 +11,16 @@
 //! |----------|-----------|
 //! | `GET /report` | the current validation report |
 //! | `GET /metrics` | Prometheus text exposition: validator counters, span summaries and latency histogram buckets, merged with the HTTP layer's own collector via [`Metrics::merge`] |
-//! | `POST /edits` | body = an `apply-edits` script; applies each line and responds with the per-edit ± diffs followed by the new report — byte-identical to `xic apply-edits` output on the same script |
+//! | `POST /edits` | body = an `apply-edits` script; applies it as one [`LiveValidator::apply_batch`] (or line by line under `--sequential`) and responds with the ± diff followed by the new report — byte-identical to `xic apply-edits` output on the same script |
 //! | `POST /shutdown` | stop accepting and return cleanly |
 //!
-//! Edits apply in order and are **not** transactional: a bad line aborts
-//! the script mid-way with a 400, keeping the edits already applied (the
-//! response says which line failed; `GET /report` shows the resulting
-//! state).
+//! On the default batched path a line that fails to *parse* rejects the
+//! whole script with a 400 before anything is applied; a request that is
+//! invalid against the document (unknown vertex, missing attribute, …)
+//! keeps the staged prefix, exactly as [`LiveValidator::apply_batch`]
+//! documents. Under `--sequential` a bad line aborts the script mid-way,
+//! keeping the edits already applied. Either way the response names the
+//! failing line and `GET /report` shows the resulting state.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -27,7 +30,7 @@ use std::time::Duration;
 
 use xic::prelude::*;
 
-use crate::{apply_script_line, load_dtdc, parse_opts, read, Opts};
+use crate::{load_dtdc, parse_opts, read, run_edit_script, Opts};
 
 /// The address `xic serve` binds when `--addr` is absent.
 const DEFAULT_ADDR: &str = "127.0.0.1:9100";
@@ -127,7 +130,7 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
                             false,
                         )
                     }
-                    ("POST", "/edits") => match apply_edit_script(&mut live, &body) {
+                    ("POST", "/edits") => match apply_edit_script(&mut live, &body, o.sequential) {
                         Ok(rendered) => ("200 OK", "text/plain; charset=utf-8", rendered, false),
                         Err(e) => (
                             "400 Bad Request",
@@ -171,25 +174,17 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
 }
 
 /// Plays an edit script against the live document, rendering exactly what
-/// `xic apply-edits` prints: per edit the line and its ± diffs, then the
-/// final report.
-fn apply_edit_script(live: &mut LiveValidator<'_, '_>, script: &str) -> Result<String, String> {
+/// `xic apply-edits` prints: the script lines, the batch diff (or per-edit
+/// ± diffs when the daemon was started with `--sequential`), then the new
+/// report.
+fn apply_edit_script(
+    live: &mut LiveValidator<'_, '_>,
+    script: &str,
+    sequential: bool,
+) -> Result<String, String> {
     let mut out = String::new();
-    for (idx, raw) in script.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let outcome =
-            apply_script_line(live, line).map_err(|e| format!("edits line {}: {e}", idx + 1))?;
-        let _ = writeln!(out, "edit: {line}");
-        for v in &outcome.diff.raised {
-            let _ = writeln!(out, "  + {v}");
-        }
-        for v in &outcome.diff.cleared {
-            let _ = writeln!(out, "  - {v}");
-        }
-    }
+    run_edit_script(live, script, sequential, &mut out)
+        .map_err(|(line, e)| format!("edits line {line}: {e}"))?;
     let _ = write!(out, "{}", live.report());
     Ok(out)
 }
@@ -348,14 +343,19 @@ ref.to <=s entry.isbn";
                 "{prom}"
             );
 
-            // An edit script: break the foreign key, then repair it.
-            let script = "set-attr 5 to dangling\nset-attr 5 to x1\n";
+            // Two edit scripts: break the foreign key, then repair it.
+            // Each POST is one batch — in a single script the two writes
+            // to the same attribute would coalesce to the net no-op.
+            let script = "set-attr 5 to dangling\n";
             let (status, diff) = http(addr, "POST", "/edits", script);
             assert_eq!(status, "HTTP/1.1 200 OK", "{diff}");
             assert!(diff.contains("edit: set-attr 5 to dangling"), "{diff}");
+            assert!(diff.contains("batch: 1 edits"), "{diff}");
             assert!(diff.contains("+ "), "{diff}");
-            assert!(diff.contains("- "), "{diff}");
-            assert!(diff.contains("valid"), "{diff}");
+            let (status, repair) = http(addr, "POST", "/edits", "set-attr 5 to x1\n");
+            assert_eq!(status, "HTTP/1.1 200 OK", "{repair}");
+            assert!(repair.contains("- "), "{repair}");
+            assert!(repair.contains("valid"), "{repair}");
 
             // /edits responses match `xic apply-edits` byte-for-byte on
             // the same script against the same starting document.
@@ -378,17 +378,23 @@ ref.to <=s entry.isbn";
             .map(ToString::to_string)
             .collect();
             let mut cli_out = String::new();
-            assert_eq!(crate::run(&args, &mut cli_out), 0);
+            // Exit 1: the dangling reference leaves the document invalid.
+            assert_eq!(crate::run(&args, &mut cli_out), 1);
             assert_eq!(diff, cli_out, "serve /edits diverged from apply-edits");
 
-            // After the edits, the histogram series are live.
+            // After the edits, the histogram series are live: each POST
+            // ran one `edit.batch` span, and `xic_edits_total` counts the
+            // raw (pre-coalescing) requests.
             let (_, prom) = http(addr, "GET", "/metrics", "");
-            assert!(prom.contains("# TYPE xic_edit_seconds histogram"), "{prom}");
             assert!(
-                prom.contains("xic_edit_seconds_bucket{le=\"+Inf\"} 2"),
+                prom.contains("# TYPE xic_edit_batch_seconds histogram"),
                 "{prom}"
             );
-            assert!(prom.contains("xic_edit_seconds_count 2"), "{prom}");
+            assert!(
+                prom.contains("xic_edit_batch_seconds_bucket{le=\"+Inf\"} 2"),
+                "{prom}"
+            );
+            assert!(prom.contains("xic_edit_batch_seconds_count 2"), "{prom}");
             assert!(prom.contains("xic_edits_total 2"), "{prom}");
             assert!(
                 prom.contains("# TYPE xic_http_request_seconds histogram"),

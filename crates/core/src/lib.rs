@@ -99,8 +99,8 @@ pub mod prelude {
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
     pub use xic_validate::{
-        check_constraint, validate, EditOutcome, LiveValidator, MatcherKind, Options, Report,
-        ReportDiff, Validator, Violation,
+        check_constraint, validate, BatchEdit, BatchError, EditOutcome, LiveValidator, MatcherKind,
+        Options, Report, ReportDiff, Validator, Violation,
     };
     pub use xic_xml::{
         constraints_to_xsd, parse_document, parse_dtd, parse_events, serialize_document,

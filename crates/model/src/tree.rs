@@ -611,6 +611,64 @@ impl DataTree {
         Err(ModelError::NoSuchText { node, index })
     }
 
+    /// [`DataTree::set_attr`] without the [`Edit`] delta: returns only the
+    /// displaced value. Batch appliers that coalesce many writes to the
+    /// same cell use this to avoid cloning the value into a delta that
+    /// would be discarded anyway.
+    pub fn set_attr_quiet(
+        &mut self,
+        node: NodeId,
+        l: Name,
+        value: AttrValue,
+    ) -> Result<Option<AttrValue>, ModelError> {
+        self.check_alive(node)?;
+        let attrs = &mut self.nodes[node.index()].attrs;
+        Ok(match attrs.binary_search_by(|(n, _)| n.cmp(&l)) {
+            Ok(i) => Some(std::mem::replace(&mut attrs[i].1, value)),
+            Err(pos) => {
+                attrs.insert(pos, (l, value));
+                None
+            }
+        })
+    }
+
+    /// [`DataTree::remove_attr`] without the [`Edit`] delta; removing an
+    /// absent attribute is a no-op returning `Ok(None)` (a batch applier
+    /// may have coalesced away the write that would have created it).
+    pub fn remove_attr_quiet(
+        &mut self,
+        node: NodeId,
+        l: &str,
+    ) -> Result<Option<AttrValue>, ModelError> {
+        self.check_alive(node)?;
+        let attrs = &mut self.nodes[node.index()].attrs;
+        Ok(match attrs.binary_search_by(|(n, _)| n.as_str().cmp(l)) {
+            Ok(i) => Some(attrs.remove(i).1),
+            Err(_) => None,
+        })
+    }
+
+    /// [`DataTree::set_text`] without the [`Edit`] delta: returns only the
+    /// displaced text.
+    pub fn set_text_quiet(
+        &mut self,
+        node: NodeId,
+        index: usize,
+        text: Value,
+    ) -> Result<Value, ModelError> {
+        self.check_alive(node)?;
+        let mut k = 0usize;
+        for c in &mut self.nodes[node.index()].children {
+            if let Child::Text(t) = c {
+                if k == index {
+                    return Ok(std::mem::replace(t, text));
+                }
+                k += 1;
+            }
+        }
+        Err(ModelError::NoSuchText { node, index })
+    }
+
     /// Grafts a copy of `fragment` (its live vertices) under `parent` at
     /// child-list `position`, returning the [`Edit::InsertSubtree`] delta.
     ///

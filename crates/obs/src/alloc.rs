@@ -2,9 +2,10 @@
 //!
 //! This crate is `forbid(unsafe_code)` and a `GlobalAlloc` impl is
 //! necessarily unsafe, so the work is split: a binary that wants heap
-//! totals installs its own thin `#[global_allocator]` wrapper around
-//! [`std::alloc::System`] (the `xic` binary and the bench `experiments`
-//! runner both do) and reports every allocation through the safe hooks
+//! totals expands [`install_counting_alloc!`](crate::install_counting_alloc)
+//! at its crate root (the `xic` binary and the bench binaries all do),
+//! which installs a thin `#[global_allocator]` wrapper around
+//! [`std::alloc::System`] reporting every allocation through the safe hooks
 //! here. [`stats`] then surfaces the totals, which the CLI folds into a
 //! [`Metrics`](crate::Metrics) snapshot as the `alloc.count` counter and
 //! the `alloc.peak` maximum whenever `--metrics` is requested.
@@ -69,6 +70,84 @@ pub fn stats() -> AllocStats {
         peak: PEAK.load(Ordering::Relaxed),
         live: LIVE.load(Ordering::Relaxed),
     }
+}
+
+/// Resets the peak to the current live count and returns that baseline;
+/// [`peak_above`] then reports the high-water mark of a subsequent region
+/// relative to it. Benchmarks use the pair to attribute peak heap to one
+/// validation path rather than to the whole process.
+pub fn reset_peak() -> u64 {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+/// Peak heap bytes above `baseline` since the matching [`reset_peak`].
+pub fn peak_above(baseline: u64) -> u64 {
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+/// Installs a counting `#[global_allocator]`: a thin wrapper around
+/// [`std::alloc::System`] reporting every heap operation to the hooks in
+/// this module.
+///
+/// Every workspace library is `forbid(unsafe_code)` and a
+/// [`std::alloc::GlobalAlloc`] impl cannot be, so the wrapper must live in
+/// each binary that wants heap totals; this macro is that wrapper, written
+/// once. Expand it at a binary's crate root:
+///
+/// ```ignore
+/// xic_obs::install_counting_alloc!();
+/// ```
+#[macro_export]
+macro_rules! install_counting_alloc {
+    () => {
+        mod __xic_counting_alloc {
+            use std::alloc::{GlobalAlloc, Layout, System};
+
+            /// [`System`] wrapper feeding the process-wide counters in
+            /// `xic_obs::alloc`.
+            pub struct CountingAlloc;
+
+            // SAFETY: defers all allocation to `System` unchanged; the
+            // hooks update relaxed atomics only and never influence the
+            // returned pointers.
+            unsafe impl GlobalAlloc for CountingAlloc {
+                unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+                    let p = System.alloc(layout);
+                    if !p.is_null() {
+                        $crate::alloc::on_alloc(layout.size());
+                    }
+                    p
+                }
+
+                unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+                    let p = System.alloc_zeroed(layout);
+                    if !p.is_null() {
+                        $crate::alloc::on_alloc(layout.size());
+                    }
+                    p
+                }
+
+                unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+                    System.dealloc(ptr, layout);
+                    $crate::alloc::on_dealloc(layout.size());
+                }
+
+                unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+                    let p = System.realloc(ptr, layout, new_size);
+                    if !p.is_null() {
+                        $crate::alloc::on_realloc(layout.size(), new_size);
+                    }
+                    p
+                }
+            }
+        }
+
+        #[global_allocator]
+        static __XIC_COUNTING_ALLOC: __xic_counting_alloc::CountingAlloc =
+            __xic_counting_alloc::CountingAlloc;
+    };
 }
 
 #[cfg(test)]

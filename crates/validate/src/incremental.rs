@@ -157,43 +157,131 @@ impl DiffAcc {
     }
 }
 
-/// One planned single-valued column as a mutable map: vertex ↦ value, plus
-/// the reverse occurrence index the refresh paths probe.
+/// The ascending vertex set one occurrence-index value maps to. The
+/// overwhelmingly common case — key-like columns where most values have
+/// exactly one holder — stores the vertex inline; a B-tree node is only
+/// allocated once a value is actually shared, so bulk-loading a
+/// unique-valued column allocates nothing for the index payloads.
+enum Holders {
+    One(u32),
+    Many(BTreeSet<u32>),
+}
+
+impl Holders {
+    fn insert(&mut self, x: u32) {
+        match self {
+            Holders::One(y) if *y == x => {}
+            Holders::One(y) => *self = Holders::Many(BTreeSet::from([*y, x])),
+            Holders::Many(set) => {
+                set.insert(x);
+            }
+        }
+    }
+
+    /// Removes `x`; returns `true` when the set became empty (the caller
+    /// drops the map entry — `Holders` has no empty state).
+    fn remove(&mut self, x: u32) -> bool {
+        match self {
+            Holders::One(y) => *y == x,
+            Holders::Many(set) => {
+                set.remove(&x);
+                set.is_empty()
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Holders::One(_) => 1,
+            Holders::Many(set) => set.len(),
+        }
+    }
+
+    /// Builds a set from a non-empty counting-sort run of holders.
+    fn from_run(mut it: impl Iterator<Item = u32>) -> Self {
+        let first = it.next().expect("occurrence runs are non-empty");
+        match it.next() {
+            None => Holders::One(first),
+            Some(second) => {
+                let mut set = BTreeSet::from([first, second]);
+                set.extend(it);
+                Holders::Many(set)
+            }
+        }
+    }
+
+    /// The holders, ascending.
+    fn iter(&self) -> HoldersIter<'_> {
+        match self {
+            Holders::One(x) => HoldersIter::One(Some(*x)),
+            Holders::Many(set) => HoldersIter::Many(set.iter()),
+        }
+    }
+}
+
+enum HoldersIter<'a> {
+    One(Option<u32>),
+    Many(std::collections::btree_set::Iter<'a, u32>),
+}
+
+impl Iterator for HoldersIter<'_> {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            HoldersIter::One(x) => x.take(),
+            HoldersIter::Many(it) => it.next().copied(),
+        }
+    }
+}
+
+/// One planned single-valued column: vertex ↦ value, plus the reverse
+/// occurrence index the refresh paths probe.
+///
+/// Values live in a dense vector indexed by vertex id (`Option<Sym>` is 4
+/// bytes via the `NonZeroU32` niche): cell reads and writes on the edit
+/// hot path are one indexed load instead of a hash probe, and bulk init
+/// fills cells by plain stores. Vertices outside the column's extent just
+/// hold `None`, indistinguishable from an undefined field — exactly the
+/// semantics every reader already assumed.
 #[derive(Default)]
 struct SingleCol {
-    vals: FastHashMap<u32, Option<Sym>>,
-    occ: FastHashMap<Sym, BTreeSet<u32>>,
+    vals: Vec<Option<Sym>>,
+    occ: FastHashMap<Sym, Holders>,
 }
 
 impl SingleCol {
-    /// Sets `x`'s value (tracking `x` if new), returning the previous one.
+    /// Sets `x`'s value (growing the column if needed), returning the
+    /// previous one.
     fn set(&mut self, x: u32, new: Option<Sym>) -> Option<Sym> {
-        let slot = self.vals.entry(x).or_insert(None);
-        let old = *slot;
-        *slot = new;
+        let xi = x as usize;
+        if xi >= self.vals.len() {
+            self.vals.resize(xi + 1, None);
+        }
+        let old = std::mem::replace(&mut self.vals[xi], new);
         if old != new {
             if let Some(o) = old {
-                if let Some(set) = self.occ.get_mut(&o) {
-                    set.remove(&x);
-                    if set.is_empty() {
+                if let Some(h) = self.occ.get_mut(&o) {
+                    if h.remove(x) {
                         self.occ.remove(&o);
                     }
                 }
             }
             if let Some(n) = new {
-                self.occ.entry(n).or_default().insert(x);
+                self.occ
+                    .entry(n)
+                    .and_modify(|h| h.insert(x))
+                    .or_insert(Holders::One(x));
             }
         }
         old
     }
 
-    /// Stops tracking `x`, returning its last value.
+    /// Clears `x`'s cell, returning its last value.
     fn remove(&mut self, x: u32) -> Option<Sym> {
-        let old = self.vals.remove(&x).flatten();
+        let old = self.vals.get_mut(x as usize).and_then(Option::take);
         if let Some(o) = old {
-            if let Some(set) = self.occ.get_mut(&o) {
-                set.remove(&x);
-                if set.is_empty() {
+            if let Some(h) = self.occ.get_mut(&o) {
+                if h.remove(x) {
                     self.occ.remove(&o);
                 }
             }
@@ -201,48 +289,59 @@ impl SingleCol {
         old
     }
 
-    /// `x`'s value (`None` for an undefined field or an untracked vertex).
+    /// `x`'s value (`None` for an undefined field or an out-of-extent
+    /// vertex).
     fn get(&self, x: u32) -> Option<Sym> {
-        self.vals.get(&x).copied().flatten()
+        self.vals.get(x as usize).copied().flatten()
     }
 
     /// The tracked vertices holding value `v`, ascending.
     fn nodes_with(&self, v: Sym) -> impl Iterator<Item = u32> + '_ {
-        self.occ.get(&v).into_iter().flatten().copied()
+        self.occ.get(&v).into_iter().flat_map(Holders::iter)
     }
 }
 
 /// One planned set-valued column: vertex ↦ members (in `AttrValue`'s sorted
-/// order), plus member ↦ vertices.
+/// order), plus member ↦ vertices. Rows are dense by vertex id like
+/// [`SingleCol`]; an empty row allocates nothing.
 #[derive(Default)]
 struct SetCol {
-    vals: FastHashMap<u32, Vec<Sym>>,
-    occ: FastHashMap<Sym, BTreeSet<u32>>,
+    vals: Vec<Vec<Sym>>,
+    occ: FastHashMap<Sym, Holders>,
 }
 
 impl SetCol {
     fn set(&mut self, x: u32, new: Vec<Sym>) -> Vec<Sym> {
-        let old = self.vals.insert(x, new.clone()).unwrap_or_default();
+        let xi = x as usize;
+        if xi >= self.vals.len() {
+            self.vals.resize_with(xi + 1, Vec::new);
+        }
+        let old = std::mem::replace(&mut self.vals[xi], new);
         for &m in &old {
-            if let Some(set) = self.occ.get_mut(&m) {
-                set.remove(&x);
-                if set.is_empty() {
+            if let Some(h) = self.occ.get_mut(&m) {
+                if h.remove(x) {
                     self.occ.remove(&m);
                 }
             }
         }
-        for &m in &new {
-            self.occ.entry(m).or_default().insert(x);
+        for &m in &self.vals[xi] {
+            self.occ
+                .entry(m)
+                .and_modify(|h| h.insert(x))
+                .or_insert(Holders::One(x));
         }
         old
     }
 
     fn remove(&mut self, x: u32) -> Vec<Sym> {
-        let old = self.vals.remove(&x).unwrap_or_default();
+        let old = self
+            .vals
+            .get_mut(x as usize)
+            .map(std::mem::take)
+            .unwrap_or_default();
         for &m in &old {
-            if let Some(set) = self.occ.get_mut(&m) {
-                set.remove(&x);
-                if set.is_empty() {
+            if let Some(h) = self.occ.get_mut(&m) {
+                if h.remove(x) {
                     self.occ.remove(&m);
                 }
             }
@@ -251,11 +350,11 @@ impl SetCol {
     }
 
     fn get(&self, x: u32) -> &[Sym] {
-        self.vals.get(&x).map(Vec::as_slice).unwrap_or(&[])
+        self.vals.get(x as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     fn nodes_with(&self, v: Sym) -> impl Iterator<Item = u32> + '_ {
-        self.occ.get(&v).into_iter().flatten().copied()
+        self.occ.get(&v).into_iter().flat_map(Holders::iter)
     }
 }
 
@@ -400,6 +499,82 @@ fn nid(x: u32) -> NodeId {
     NodeId::from_index(x as usize)
 }
 
+/// Stable counting sort of `(sym, payload)` pairs by dense symbol index:
+/// one count pass, one scatter, no hashing or comparisons. Equal-symbol
+/// runs in the result keep their input order. Bulk init uses this to build
+/// the reverse occurrence maps (value ↦ vertices) in O(pairs + symbols)
+/// instead of one hash probe and B-tree insert per cell.
+fn counting_sort_by_sym<V: Copy>(pairs: &[(Sym, V)], sym_count: usize) -> Vec<(Sym, V)> {
+    let Some(&first) = pairs.first() else {
+        return Vec::new();
+    };
+    let mut cursors = vec![0u32; sym_count];
+    for (s, _) in pairs {
+        cursors[s.index()] += 1;
+    }
+    let mut start = 0u32;
+    for c in cursors.iter_mut() {
+        let n = *c;
+        *c = start;
+        start += n;
+    }
+    let mut out = vec![first; pairs.len()];
+    for &(s, v) in pairs {
+        let c = &mut cursors[s.index()];
+        out[*c as usize] = (s, v);
+        *c += 1;
+    }
+    out
+}
+
+/// Walks each equal-symbol run of a [`counting_sort_by_sym`] result.
+fn for_each_sym_run<V: Copy>(sorted: &[(Sym, V)], mut f: impl FnMut(Sym, &[(Sym, V)])) {
+    let mut i = 0;
+    while i < sorted.len() {
+        let s = sorted[i].0;
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j].0 == s {
+            j += 1;
+        }
+        f(s, &sorted[i..j]);
+        i = j;
+    }
+}
+
+/// Number of distinct symbols in a [`counting_sort_by_sym`] result (for
+/// reserve-exact occurrence-map allocation).
+fn sym_run_count<V: Copy>(sorted: &[(Sym, V)]) -> usize {
+    let mut runs = 0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let s = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == s {
+            i += 1;
+        }
+        runs += 1;
+    }
+    runs
+}
+
+/// Groups a column's `(value, vertex)` pairs into its reverse occurrence
+/// index: one counting sort, one reserve-exact map fill, no singleton
+/// B-tree allocations. Independent across columns, so bulk init fans it
+/// out over the validator's thread budget.
+fn build_occ(pairs: &[(Sym, u32)], sym_count: usize) -> FastHashMap<Sym, Holders> {
+    let sorted = counting_sort_by_sym(pairs, sym_count);
+    let mut occ = FastHashMap::with_capacity_and_hasher(sym_run_count(&sorted), Default::default());
+    for_each_sym_run(&sorted, |sym, run| {
+        occ.insert(sym, Holders::from_run(run.iter().map(|&(_, x)| x)));
+    });
+    occ
+}
+
+/// A field tuple read through pre-resolved columns (`None` while any field
+/// is undefined).
+fn tuple_in(cols: &[&SingleCol], x: u32) -> Option<Vec<Sym>> {
+    cols.iter().map(|c| c.get(x)).collect()
+}
+
 /// Shared mutable context for one part while it processes one change:
 /// read access to the store and ID table, write access to the part's
 /// violation table, all writes funneled through the diff accumulator.
@@ -409,12 +584,17 @@ struct Ctx<'a> {
     name: &'a str,
     pi: u32,
     entries: &'a mut BTreeMap<VKey, Violation>,
-    acc: &'a mut DiffAcc,
+    /// `None` during bulk init: the table is being built from scratch, so
+    /// there is no "before" to diff against and snapshotting every slot
+    /// would only allocate a diff that construction discards.
+    acc: Option<&'a mut DiffAcc>,
 }
 
 impl Ctx<'_> {
     fn set(&mut self, k: VKey, v: Option<Violation>) {
-        self.acc.touch_part(self.pi, k, self.entries.get(&k));
+        if let Some(acc) = self.acc.as_deref_mut() {
+            acc.touch_part(self.pi, k, self.entries.get(&k));
+        }
         match v {
             Some(v) => {
                 self.entries.insert(k, v);
@@ -456,6 +636,7 @@ struct Part {
 }
 
 enum PartKind {
+    KeyUnary(KeyUnaryPart),
     Key(KeyPart),
     FkSingle(FkSinglePart),
     FkNary(FkNaryPart),
@@ -472,9 +653,10 @@ impl Part {
             name: &self.name,
             pi,
             entries: &mut self.entries,
-            acc,
+            acc: Some(acc),
         };
         match &mut self.kind {
+            PartKind::KeyUnary(k) => k.apply(change, &mut cx),
             PartKind::Key(k) => k.apply(change, &mut cx),
             PartKind::FkSingle(k) => k.apply(change, &mut cx),
             PartKind::FkNary(k) => k.apply(change, &mut cx),
@@ -484,22 +666,115 @@ impl Part {
         }
     }
 
-    fn init(&mut self, idx: &ExtIndex, store: &Store, ids: &IdTable, pi: u32, acc: &mut DiffAcc) {
+    fn init(&mut self, idx: &ExtIndex, store: &Store, ids: &IdTable, pi: u32) {
         let mut cx = Ctx {
             store,
             ids,
             name: &self.name,
             pi,
             entries: &mut self.entries,
-            acc,
+            acc: None,
         };
         match &mut self.kind {
+            PartKind::KeyUnary(k) => k.init(idx, &mut cx),
             PartKind::Key(k) => k.init(idx, &mut cx),
             PartKind::FkSingle(k) => k.init(idx, &mut cx),
             PartKind::FkNary(k) => k.init(idx, &mut cx),
             PartKind::SetFk(k) => k.init(idx, &mut cx),
             PartKind::Id(k) => k.init(idx, &mut cx),
             PartKind::Inverse(k) => k.init(idx, &mut cx),
+        }
+    }
+}
+
+/// A *unary* key constraint. The store column's occurrence index is
+/// exactly the grouping a one-field key needs — value ↦ holders,
+/// ascending — so this part keeps **no state of its own**: refreshes read
+/// `SingleCol.occ` directly and retracted values ride in on the change.
+/// Init therefore costs one scan for non-singleton groups instead of a
+/// per-vertex copy of the column into tuple tables, and stays allocation-
+/// free on documents whose keys actually hold.
+struct KeyUnaryPart {
+    tau: Name,
+    field: Field,
+}
+
+impl KeyUnaryPart {
+    fn refresh_group(&self, v: Sym, cx: &mut Ctx) {
+        let store = cx.store;
+        self.refresh_group_in(store.single(&self.tau, &self.field), v, cx);
+    }
+
+    /// Recomputes every current holder's entry for one value group (see
+    /// [`KeyPart::refresh_group`] for the emission-order contract).
+    fn refresh_group_in(&self, col: &SingleCol, v: Sym, cx: &mut Ctx) {
+        let Some(holders) = col.occ.get(&v) else {
+            return;
+        };
+        let mut iter = holders.iter();
+        let Some(first) = iter.next() else {
+            return;
+        };
+        cx.set((first, 0, 0, 0), None);
+        let rest: Vec<u32> = iter.collect();
+        if rest.is_empty() {
+            return;
+        }
+        let value = cx.store.resolve(v).to_string();
+        for h in rest {
+            cx.set(
+                (h, 0, 0, 0),
+                Some(Violation::Key {
+                    constraint: cx.cname(),
+                    a: nid(first),
+                    b: nid(h),
+                    value: value.clone(),
+                }),
+            );
+        }
+    }
+
+    fn apply(&mut self, change: &Change, cx: &mut Ctx) {
+        match change {
+            Change::Single {
+                tau,
+                field,
+                node,
+                old,
+                new,
+            } if *tau == self.tau && *field == self.field => {
+                cx.set((*node, 0, 0, 0), None);
+                if let Some(o) = *old {
+                    self.refresh_group(o, cx);
+                }
+                if let Some(n) = *new {
+                    self.refresh_group(n, cx);
+                }
+            }
+            Change::NodeAdded { tau, node } if *tau == self.tau => {
+                if let Some(v) = cx.store.single(&self.tau, &self.field).get(*node) {
+                    self.refresh_group(v, cx);
+                }
+            }
+            Change::NodeRemoved { tau, node, singles } if *tau == self.tau => {
+                cx.set((*node, 0, 0, 0), None);
+                if let Some(v) = snapshot_single(singles, &self.field) {
+                    self.refresh_group(v, cx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn init(&mut self, _idx: &ExtIndex, cx: &mut Ctx) {
+        let store = cx.store;
+        let col = store.single(&self.tau, &self.field);
+        // Group iteration order is irrelevant: groups write disjoint
+        // entry slots of a `BTreeMap`, and init carries no diff.
+        for (&v, holders) in &col.occ {
+            if holders.len() > 1 {
+                self.refresh_group_in(col, v, cx);
+            }
         }
     }
 }
@@ -603,19 +878,49 @@ impl KeyPart {
     }
 
     fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
-        for &x in idx.ext(&self.tau) {
-            let x = x.index() as u32;
-            if let Some(t) = self.tuple_of(cx.store, x) {
-                self.occ.entry(t.clone()).or_default().insert(x);
-                self.tuples.insert(x, t);
-            }
-        }
-        let groups: Vec<Vec<Sym>> = self
-            .occ
+        let ext = idx.ext(&self.tau);
+        let cols: Vec<&SingleCol> = self
+            .fields
             .iter()
-            .filter(|(_, h)| h.len() > 1)
-            .map(|(t, _)| t.clone())
+            .map(|f| cx.store.single(&self.tau, f))
             .collect();
+        self.tuples.reserve(ext.len());
+        let mut groups: Vec<Vec<Sym>> = Vec::new();
+        if let [col] = cols.as_slice() {
+            // Unary key: group holders by symbol with one counting-sort
+            // pass instead of hashing a fresh tuple per vertex.
+            let mut pairs: Vec<(Sym, u32)> = Vec::with_capacity(ext.len());
+            for &x in ext {
+                let x = x.index() as u32;
+                if let Some(v) = col.get(x) {
+                    self.tuples.insert(x, vec![v]);
+                    pairs.push((v, x));
+                }
+            }
+            let sorted = counting_sort_by_sym(&pairs, cx.store.interner.len());
+            self.occ.reserve(sym_run_count(&sorted));
+            let occ = &mut self.occ;
+            for_each_sym_run(&sorted, |v, run| {
+                if run.len() > 1 {
+                    groups.push(vec![v]);
+                }
+                occ.insert(vec![v], run.iter().map(|&(_, x)| x).collect());
+            });
+        } else {
+            for &x in ext {
+                let x = x.index() as u32;
+                if let Some(t) = tuple_in(&cols, x) {
+                    self.occ.entry(t.clone()).or_default().insert(x);
+                    self.tuples.insert(x, t);
+                }
+            }
+            groups = self
+                .occ
+                .iter()
+                .filter(|(_, h)| h.len() > 1)
+                .map(|(t, _)| t.clone())
+                .collect();
+        }
         for t in groups {
             self.refresh_group(&t, cx);
         }
@@ -641,7 +946,14 @@ struct FkSinglePart {
 
 impl FkSinglePart {
     fn refresh_source(&self, x: u32, cx: &mut Ctx) {
-        let entry = match cx.store.single(&self.tau, &self.field).get(x) {
+        let col = cx.store.single(&self.tau, &self.field);
+        self.refresh_source_in(col, x, cx);
+    }
+
+    /// [`Self::refresh_source`] with the source column pre-resolved, so
+    /// bulk loops pay the `(τ, field)` hash once instead of per vertex.
+    fn refresh_source_in(&self, col: &SingleCol, x: u32, cx: &mut Ctx) {
+        let entry = match col.get(x) {
             None => self
                 .missing_field
                 .as_ref()
@@ -738,8 +1050,9 @@ impl FkSinglePart {
                 }
             }
         }
+        let col = cx.store.single(&self.tau, &self.field);
         for &x in idx.ext(&self.tau) {
-            self.refresh_source(x.index() as u32, cx);
+            self.refresh_source_in(col, x.index() as u32, cx);
         }
     }
 }
@@ -884,21 +1197,35 @@ impl FkNaryPart {
     }
 
     fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
-        for &y in idx.ext(&self.target) {
+        let tcols: Vec<&SingleCol> = self
+            .target_fields
+            .iter()
+            .map(|f| cx.store.single(&self.target, f))
+            .collect();
+        let text = idx.ext(&self.target);
+        self.tgt_tuples.reserve(text.len());
+        for &y in text {
             let y = y.index() as u32;
-            if let Some(t) = Self::tuple(cx.store, &self.target, &self.target_fields, y) {
+            if let Some(t) = tuple_in(&tcols, y) {
                 *self.tgt_counts.entry(t.clone()).or_insert(0) += 1;
                 self.tgt_tuples.insert(y, t);
             }
         }
-        for &x in idx.ext(&self.tau) {
+        let cols: Vec<&SingleCol> = self
+            .fields
+            .iter()
+            .map(|f| cx.store.single(&self.tau, f))
+            .collect();
+        let ext = idx.ext(&self.tau);
+        self.src_tuples.reserve(ext.len());
+        for &x in ext {
             let x = x.index() as u32;
-            if let Some(t) = Self::tuple(cx.store, &self.tau, &self.fields, x) {
+            if let Some(t) = tuple_in(&cols, x) {
                 self.src_occ.entry(t.clone()).or_default().insert(x);
                 self.src_tuples.insert(x, t);
             }
         }
-        for &x in idx.ext(&self.tau) {
+        for &x in ext {
             self.refresh_source(x.index() as u32, cx);
         }
     }
@@ -918,9 +1245,15 @@ struct SetFkPart {
 
 impl SetFkPart {
     fn refresh_source(&self, x: u32, cx: &mut Ctx) {
+        let col = cx.store.set_col(&self.tau, &self.attr);
+        self.refresh_source_in(col, x, cx);
+    }
+
+    /// [`Self::refresh_source`] with the member column pre-resolved, so
+    /// bulk loops pay the `(τ, attr)` hash once instead of per vertex.
+    fn refresh_source_in(&self, col: &SetCol, x: u32, cx: &mut Ctx) {
         cx.clear_node(x);
-        let store = cx.store;
-        let members = store.set_col(&self.tau, &self.attr).get(x);
+        let members = col.get(x);
         for (i, &m) in members.iter().enumerate() {
             if !self.targets.contains(m) {
                 cx.set(
@@ -928,7 +1261,7 @@ impl SetFkPart {
                     Some(Violation::ForeignKey {
                         constraint: cx.cname(),
                         node: nid(x),
-                        value: store.resolve(m).to_string(),
+                        value: cx.store.resolve(m).to_string(),
                     }),
                 );
             }
@@ -1011,8 +1344,9 @@ impl SetFkPart {
                 }
             }
         }
+        let col = cx.store.set_col(&self.tau, &self.attr);
         for &x in idx.ext(&self.tau) {
-            self.refresh_source(x.index() as u32, cx);
+            self.refresh_source_in(col, x.index() as u32, cx);
         }
     }
 }
@@ -1031,9 +1365,16 @@ struct IdPart {
 
 impl IdPart {
     fn refresh_entity(&self, x: u32, cx: &mut Ctx) {
+        let col = cx.store.single(&self.tau, &self.id_field);
+        self.refresh_entity_in(col, x, cx);
+    }
+
+    /// [`Self::refresh_entity`] with the ID column pre-resolved, so bulk
+    /// loops pay the `(τ, field)` hash once instead of per vertex.
+    fn refresh_entity_in(&self, col: &SingleCol, x: u32, cx: &mut Ctx) {
         cx.clear_node(x);
         let store = cx.store;
-        match store.single(&self.tau, &self.id_field).get(x) {
+        match col.get(x) {
             None => cx.set(
                 (x, 0, 0, 0),
                 Some(Violation::MissingField {
@@ -1118,8 +1459,9 @@ impl IdPart {
     }
 
     fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        let col = cx.store.single(&self.tau, &self.id_field);
         for &x in idx.ext(&self.tau) {
-            self.refresh_entity(x.index() as u32, cx);
+            self.refresh_entity_in(col, x.index() as u32, cx);
         }
     }
 }
@@ -1139,14 +1481,30 @@ struct InversePart {
 
 impl InversePart {
     fn refresh_y(&self, y: u32, cx: &mut Ctx) {
-        cx.clear_node(y);
         let store = cx.store;
-        let Some(yk) = store.single(&self.target, &self.target_key).get(y) else {
+        let cols = (
+            store.single(&self.target, &self.target_key),
+            store.set_col(&self.target, &self.target_attr),
+            store.single(&self.tau, &self.key),
+            store.set_col(&self.tau, &self.attr),
+        );
+        self.refresh_y_in(cols, y, cx);
+    }
+
+    /// [`Self::refresh_y`] with all four columns pre-resolved (target key,
+    /// target members, source key, source echo), so bulk loops pay the
+    /// column hashes once instead of per vertex.
+    fn refresh_y_in(
+        &self,
+        (yk_col, mem_col, key_col, echo_col): (&SingleCol, &SetCol, &SingleCol, &SetCol),
+        y: u32,
+        cx: &mut Ctx,
+    ) {
+        cx.clear_node(y);
+        let Some(yk) = yk_col.get(y) else {
             return;
         };
-        let members = store.set_col(&self.target, &self.target_attr).get(y);
-        let key_col = store.single(&self.tau, &self.key);
-        let echo_col = store.set_col(&self.tau, &self.attr);
+        let members = mem_col.get(y);
         for (i, &m) in members.iter().enumerate() {
             for x in key_col.nodes_with(m) {
                 if !echo_col.get(x).contains(&yk) {
@@ -1233,8 +1591,15 @@ impl InversePart {
     }
 
     fn init(&mut self, idx: &ExtIndex, cx: &mut Ctx) {
+        let store = cx.store;
+        let cols = (
+            store.single(&self.target, &self.target_key),
+            store.set_col(&self.target, &self.target_attr),
+            store.single(&self.tau, &self.key),
+            store.set_col(&self.tau, &self.attr),
+        );
         for &y in idx.ext(&self.target) {
-            self.refresh_y(y.index() as u32, cx);
+            self.refresh_y_in(cols, y.index() as u32, cx);
         }
     }
 }
@@ -1254,16 +1619,29 @@ fn build_parts(dtdc: &DtdC) -> Vec<Part> {
     for c in dtdc.constraints() {
         let name = c.to_string();
         match c {
-            Constraint::Key { tau, fields } => push(
-                name,
-                PartKind::Key(KeyPart {
-                    tau: tau.clone(),
-                    fields: fields.clone(),
-                    tuples: FastHashMap::default(),
-                    occ: FastHashMap::default(),
-                }),
-                &mut parts,
-            ),
+            Constraint::Key { tau, fields } => {
+                if let [f] = fields.as_slice() {
+                    push(
+                        name,
+                        PartKind::KeyUnary(KeyUnaryPart {
+                            tau: tau.clone(),
+                            field: f.clone(),
+                        }),
+                        &mut parts,
+                    );
+                } else {
+                    push(
+                        name,
+                        PartKind::Key(KeyPart {
+                            tau: tau.clone(),
+                            fields: fields.clone(),
+                            tuples: FastHashMap::default(),
+                            occ: FastHashMap::default(),
+                        }),
+                        &mut parts,
+                    );
+                }
+            }
             Constraint::ForeignKey {
                 tau,
                 fields,
@@ -1433,6 +1811,229 @@ fn build_parts(dtdc: &DtdC) -> Vec<Part> {
     parts
 }
 
+/// Dense column ids, reverse keys, and per-column part subscriptions for
+/// the batch path, built once at construction.
+///
+/// The per-edit path dispatches every change to every part; each part's
+/// `apply` drops changes outside its `(τ, field)` interest set via name
+/// comparisons, so at one change per edit the waste is a cheap scan. A
+/// batch dispatches thousands of cell deltas, so the scan is hoisted into
+/// this index: dispatching a delta only to the parts subscribed to its
+/// column is behavior-preserving because the skipped `apply` calls were
+/// no-ops by those same match arms.
+struct Subs {
+    /// Planned single-valued column ↦ dense id (`0..singles`).
+    single_ids: HashMap<(Name, Field), u32>,
+    /// Planned set-valued column ↦ dense id (`singles..`).
+    set_ids: HashMap<(Name, Name), u32>,
+    /// Dense column id ↦ the column's key, for re-extraction.
+    keys: Vec<ColKey>,
+    /// Dense column id ↦ subscribed part indices, ascending and deduped.
+    parts_of: Vec<Vec<u32>>,
+}
+
+#[derive(Clone)]
+enum ColKey {
+    Single(Name, Field),
+    Set(Name, Name),
+}
+
+impl Subs {
+    fn build(store: &Store, parts: &[Part], ids: &IdTable) -> Self {
+        let mut single_ids = HashMap::new();
+        let mut set_ids = HashMap::new();
+        let mut keys: Vec<ColKey> = Vec::new();
+        let mut skeys: Vec<_> = store.singles.keys().cloned().collect();
+        skeys.sort();
+        for k in skeys {
+            single_ids.insert(k.clone(), keys.len() as u32);
+            keys.push(ColKey::Single(k.0, k.1));
+        }
+        let mut tkeys: Vec<_> = store.sets.keys().cloned().collect();
+        tkeys.sort();
+        for k in tkeys {
+            set_ids.insert(k.clone(), keys.len() as u32);
+            keys.push(ColKey::Set(k.0, k.1));
+        }
+        let mut parts_of = vec![Vec::new(); keys.len()];
+        for (pi, p) in parts.iter().enumerate() {
+            let pi = pi as u32;
+            let mut singles: Vec<(Name, Field)> = Vec::new();
+            let mut sets: Vec<(Name, Name)> = Vec::new();
+            match &p.kind {
+                PartKind::KeyUnary(k) => {
+                    singles.push((k.tau.clone(), k.field.clone()));
+                }
+                PartKind::Key(k) => {
+                    for f in &k.fields {
+                        singles.push((k.tau.clone(), f.clone()));
+                    }
+                }
+                PartKind::FkSingle(k) => {
+                    singles.push((k.tau.clone(), k.field.clone()));
+                    if let Some(tf) = &k.target_field {
+                        singles.push((k.target.clone(), tf.clone()));
+                    }
+                }
+                PartKind::FkNary(k) => {
+                    for f in &k.fields {
+                        singles.push((k.tau.clone(), f.clone()));
+                    }
+                    for f in &k.target_fields {
+                        singles.push((k.target.clone(), f.clone()));
+                    }
+                }
+                PartKind::SetFk(k) => {
+                    sets.push((k.tau.clone(), k.attr.clone()));
+                    if let Some(tf) = &k.target_field {
+                        singles.push((k.target.clone(), tf.clone()));
+                    }
+                }
+                PartKind::Id(k) => {
+                    // An ID part reacts to *any* type's ID column (a
+                    // carrier change anywhere shifts its duplicate
+                    // lists), not just its own type's.
+                    singles.push((k.tau.clone(), k.id_field.clone()));
+                    for (t, f) in &ids.id_field_of {
+                        singles.push((t.clone(), f.clone()));
+                    }
+                }
+                PartKind::Inverse(k) => {
+                    singles.push((k.tau.clone(), k.key.clone()));
+                    singles.push((k.target.clone(), k.target_key.clone()));
+                    sets.push((k.tau.clone(), k.attr.clone()));
+                    sets.push((k.target.clone(), k.target_attr.clone()));
+                }
+            }
+            // An interest column missing from the store cannot exist in
+            // any delta (the plan covers every column a constraint
+            // reads), so skipping it drops nothing.
+            for key in singles {
+                if let Some(&c) = single_ids.get(&key) {
+                    parts_of[c as usize].push(pi);
+                }
+            }
+            for key in sets {
+                if let Some(&c) = set_ids.get(&key) {
+                    parts_of[c as usize].push(pi);
+                }
+            }
+        }
+        for l in &mut parts_of {
+            l.sort_unstable();
+            l.dedup();
+        }
+        Subs {
+            single_ids,
+            set_ids,
+            keys,
+            parts_of,
+        }
+    }
+}
+
+/// One request in a [`LiveValidator::apply_batch`] batch.
+///
+/// Unlike [`Edit`] — which records what a mutation *did* (displaced
+/// values, assigned ids) — a `BatchEdit` describes what *to do*, so a
+/// subtree insertion carries its fragment.
+#[derive(Clone, Debug)]
+pub enum BatchEdit {
+    /// Set attribute `attr` of `node`, creating or replacing it.
+    SetAttr {
+        /// The vertex to edit.
+        node: NodeId,
+        /// The attribute name.
+        attr: Name,
+        /// The new value.
+        value: AttrValue,
+    },
+    /// Remove attribute `attr` of `node` (which must be set, possibly by
+    /// an earlier request in the same batch).
+    RemoveAttr {
+        /// The vertex to edit.
+        node: NodeId,
+        /// The attribute name.
+        attr: Name,
+    },
+    /// Replace the `index`-th *text* child of `node`.
+    SetText {
+        /// The vertex to edit.
+        node: NodeId,
+        /// Which text child to replace (element children do not count).
+        index: usize,
+        /// The new text.
+        text: Value,
+    },
+    /// Graft a copy of `fragment` under `parent` at child `position`.
+    InsertSubtree {
+        /// The vertex to insert under.
+        parent: NodeId,
+        /// The child-list position to insert at.
+        position: usize,
+        /// The subtree to copy in.
+        fragment: DataTree,
+    },
+    /// Delete the subtree rooted at `node`.
+    DeleteSubtree {
+        /// The subtree root to delete.
+        node: NodeId,
+    },
+}
+
+/// An invalid request inside a [`LiveValidator::apply_batch`] batch: the
+/// offending request index and the underlying model error.
+///
+/// The requests before `index` have been applied and propagated — the
+/// validator (and [`LiveValidator::report`]) stays consistent with them —
+/// but their violation diff is discarded with the failed batch.
+#[derive(Debug)]
+pub struct BatchError {
+    /// Index into the batch slice of the request that failed.
+    pub index: usize,
+    /// Why it failed.
+    pub error: ModelError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch edit {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Staging state of one in-flight batch (see
+/// [`LiveValidator::apply_batch`]): structural requests have already hit
+/// the tree, value writes are pending with last-writer-wins.
+#[derive(Default)]
+struct BatchState {
+    /// `id_bound` at batch start: vertices at or past it were inserted by
+    /// this very batch.
+    pre_bound: u32,
+    /// (vertex, attribute) ↦ last staged write (`None` = remove).
+    pend_attr: HashMap<(u32, Name), Option<AttrValue>>,
+    /// (vertex, text slot) ↦ last staged text.
+    pend_text: HashMap<(u32, usize), Value>,
+    /// Vertices inserted by this batch, ascending.
+    added: Vec<u32>,
+    /// Vertices deleted by this batch (including same-batch insertions).
+    removed: Vec<u32>,
+    /// Touched `(dense column id, vertex)` cells, re-extracted at flush.
+    touched: Vec<(u32, u32)>,
+    /// Vertices whose structural check may need re-running.
+    struct_touch: Vec<u32>,
+    /// Requests staged — the raw `edit.count`.
+    staged: u64,
+    /// Structural requests staged (inserts + deletes). They never
+    /// coalesce, so they count into `edit.coalesced` directly.
+    structural: u64,
+}
+
 /// A validator that owns a document and revalidates it incrementally under
 /// edits.
 ///
@@ -1451,6 +2052,7 @@ pub struct LiveValidator<'v, 'd> {
     store: Store,
     ids: IdTable,
     parts: Vec<Part>,
+    subs: Subs,
     /// Vertex ↦ its structural violations (absent = none), in vertex order.
     struct_viols: BTreeMap<u32, Vec<Violation>>,
     /// The root-label violation, if any (immutable: the root cannot be
@@ -1460,7 +2062,15 @@ pub struct LiveValidator<'v, 'd> {
 
 impl<'v, 'd> LiveValidator<'v, 'd> {
     /// Builds the live state for `tree` (one full-validation-cost pass).
+    ///
+    /// Columns, occurrence maps, and constraint tables are bulk-loaded:
+    /// each planned cell is extracted exactly once into a reserve-exact
+    /// map, reverse indexes are grouped with one counting sort per column
+    /// instead of a hash probe and B-tree insert per cell, and the
+    /// per-constraint init passes run with pre-resolved columns and no
+    /// diff accounting.
     pub fn new(v: &'v Validator<'d>, tree: DataTree) -> Self {
+        let _init = v.obs.span("live.init");
         let s = v.dtdc().structure();
         let idx = ExtIndex::build(&tree);
 
@@ -1469,22 +2079,51 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
             singles: HashMap::new(),
             sets: HashMap::new(),
         };
+        // Extraction interns through the one shared interner and stays
+        // sequential; everything downstream of it is per-column
+        // independent and fans out over the same thread budget the
+        // one-shot engine's check phase uses.
+        let threads = (tree.len() / crate::par::MIN_NODES_PER_THREAD)
+            .max(1)
+            .min(v.effective_threads());
+        enum RawVals {
+            Single((Name, Field), Vec<Option<Sym>>),
+            Set((Name, Name), Vec<Vec<Sym>>),
+        }
+        let bound = tree.id_bound();
+        let mut raw: Vec<(RawVals, Vec<(Sym, u32)>)> = Vec::new();
         for (tau, fields) in &v.plan.singles {
             let ext = idx.ext(tau);
-            for field in fields {
-                let mut col = SingleCol::default();
-                for &x in ext {
+            // One extent walk extracts every planned field of τ: the
+            // vertex's node record and attribute list stay hot across
+            // fields instead of being re-fetched once per column.
+            type SingleCol = (Vec<Option<Sym>>, Vec<(Sym, u32)>);
+            let mut cols: Vec<SingleCol> = fields
+                .iter()
+                .map(|_| (vec![None; bound], Vec::with_capacity(ext.len())))
+                .collect();
+            for &x in ext {
+                let xi = x.index() as u32;
+                for (col, field) in cols.iter_mut().zip(fields) {
                     let val = extract_single(&tree, x, field, &mut store.interner);
-                    col.set(x.index() as u32, val);
+                    col.0[xi as usize] = val;
+                    if let Some(sym) = val {
+                        col.1.push((sym, xi));
+                    }
                 }
-                store.singles.insert((tau.clone(), field.clone()), col);
+            }
+            for ((vals, pairs), field) in cols.into_iter().zip(fields) {
+                raw.push((RawVals::Single((tau.clone(), field.clone()), vals), pairs));
             }
         }
         for (tau, attrs) in &v.plan.sets {
             let ext = idx.ext(tau);
             for attr in attrs {
-                let mut col = SetCol::default();
+                let mut vals: Vec<Vec<Sym>> = Vec::new();
+                vals.resize_with(bound, Vec::new);
+                let mut pairs: Vec<(Sym, u32)> = Vec::new();
                 for &x in ext {
+                    let xi = x.index() as u32;
                     let members: Vec<Sym> = match tree.attr(x, attr) {
                         Some(val) => val
                             .values()
@@ -1493,9 +2132,26 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
                             .collect(),
                         None => Vec::new(),
                     };
-                    col.set(x.index() as u32, members);
+                    for &m in &members {
+                        pairs.push((m, xi));
+                    }
+                    vals[xi as usize] = members;
                 }
-                store.sets.insert((tau.clone(), attr.clone()), col);
+                raw.push((RawVals::Set((tau.clone(), attr.clone()), vals), pairs));
+            }
+        }
+        let nsym = store.interner.len();
+        let built = crate::par::fan_out(threads, raw, &v.obs, "init.col", |(rv, pairs)| {
+            (rv, build_occ(&pairs, nsym))
+        });
+        for (rv, occ) in built {
+            match rv {
+                RawVals::Single(key, vals) => {
+                    store.singles.insert(key, SingleCol { vals, occ });
+                }
+                RawVals::Set(key, vals) => {
+                    store.sets.insert(key, SetCol { vals, occ });
+                }
             }
         }
 
@@ -1519,9 +2175,10 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
                     continue;
                 };
                 let rank = ranks[tau];
-                for (&x, val) in &col.vals {
-                    if let Some(val) = *val {
-                        carriers.entry(val).or_default().insert((rank, x));
+                for &x in idx.ext(tau) {
+                    let xi = x.index() as u32;
+                    if let Some(val) = col.get(xi) {
+                        carriers.entry(val).or_default().insert((rank, xi));
                     }
                 }
             }
@@ -1535,22 +2192,33 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
                 found: root_label.clone(),
             });
         }
-        let mut struct_viols = BTreeMap::new();
-        let mut word: Vec<Symbol> = Vec::new();
-        let mut buf: Vec<Violation> = Vec::new();
-        for id in tree.node_ids() {
-            buf.clear();
-            v.check_structure_node(&tree, id, &mut word, &mut buf);
-            if !buf.is_empty() {
-                struct_viols.insert(id.index() as u32, buf.clone());
+        // Vertices are structurally independent: chunk the scan, then
+        // merge the (ascending) per-chunk results in order.
+        let all_nodes: Vec<NodeId> = tree.node_ids().collect();
+        let chunks = crate::par::chunked(threads, all_nodes.len(), &v.obs, "init.struct", |r| {
+            let mut word: Vec<Symbol> = Vec::new();
+            let mut buf: Vec<Violation> = Vec::new();
+            let mut out: Vec<(u32, Vec<Violation>)> = Vec::new();
+            for &id in &all_nodes[r] {
+                buf.clear();
+                v.check_structure_node(&tree, id, &mut word, &mut buf);
+                if !buf.is_empty() {
+                    out.push((id.index() as u32, buf.clone()));
+                }
             }
+            out
+        });
+        let mut struct_viols = BTreeMap::new();
+        for chunk in chunks {
+            struct_viols.extend(chunk);
         }
 
         let mut parts = build_parts(v.dtdc());
-        let mut acc = DiffAcc::default();
-        for (pi, p) in parts.iter_mut().enumerate() {
-            p.init(&idx, &store, &ids, pi as u32, &mut acc);
-        }
+        let items: Vec<(u32, &mut Part)> = (0u32..).zip(parts.iter_mut()).collect();
+        crate::par::fan_out(threads, items, &v.obs, "init.part", |(pi, p)| {
+            p.init(&idx, &store, &ids, pi);
+        });
+        let subs = Subs::build(&store, &parts, &ids);
 
         LiveValidator {
             v,
@@ -1558,6 +2226,7 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
             store,
             ids,
             parts,
+            subs,
             struct_viols,
             root_viol,
         }
@@ -1726,11 +2395,417 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
         Ok(self.outcome(edit, acc))
     }
 
+    /// Applies a batch of edit requests with one propagation pass.
+    ///
+    /// Requests are staged in order: structural requests (insert/delete)
+    /// mutate the tree immediately — so liveness checks, fragment id
+    /// assignment, and child positions see exactly the state sequential
+    /// application would — while attribute and text writes coalesce per
+    /// (vertex, attribute) / (vertex, text slot) with last-writer-wins.
+    /// The flush then applies each surviving write once, retracts and
+    /// announces each removed/inserted vertex once, re-extracts each
+    /// touched column cell once (grouped per column, store updated ahead
+    /// of dispatch), propagates each surviving store delta only to the
+    /// constraint parts subscribed to its column, and reconciles raised
+    /// and cleared violations in a single emission-order pass.
+    ///
+    /// The resulting [`LiveValidator::report`] is byte-identical to
+    /// applying the same requests one at a time; the returned diff is the
+    /// composition of the per-request diffs (violations both raised and
+    /// cleared within the batch cancel out). On an invalid request the
+    /// staged prefix is still flushed — the validator stays consistent
+    /// with the requests before the failing one — and the error returns
+    /// with the request's batch index; the prefix's diff is discarded.
+    ///
+    /// One caveat versus sequential application: a write coalesced away
+    /// by last-writer-wins is never materialized, so the *tombstoned*
+    /// content of a vertex deleted later in the same batch may differ
+    /// from the sequential tree's. Tombstones are unreachable from every
+    /// validation and report path, so the difference is unobservable
+    /// there.
+    pub fn apply_batch(&mut self, edits: &[BatchEdit]) -> Result<ReportDiff, BatchError> {
+        let obs = self.obs();
+        let _span = obs.span("edit.batch");
+        let mut st = BatchState {
+            pre_bound: self.tree.id_bound() as u32,
+            ..Default::default()
+        };
+        let mut failed: Option<BatchError> = None;
+        for (i, e) in edits.iter().enumerate() {
+            if let Err(error) = self.stage(e, &mut st) {
+                failed = Some(BatchError { index: i, error });
+                break;
+            }
+        }
+        let raw = st.staged;
+        let (mut diff, coalesced) = self.flush(st);
+        if let Some(err) = failed {
+            return Err(err);
+        }
+        if obs.enabled() {
+            obs.add("edits", raw);
+            obs.add("edit.count", raw);
+            obs.add("edit.coalesced", coalesced);
+            obs.add("violations.raised", diff.raised.len() as u64);
+            obs.add("violations.cleared", diff.cleared.len() as u64);
+            diff.metrics = obs.snapshot();
+        }
+        Ok(diff)
+    }
+
+    /// [`DataTree`]'s liveness check, without mutating: the staged paths
+    /// validate before pending a write rather than on performing it.
+    fn check_live(&self, node: NodeId) -> Result<(), ModelError> {
+        if node.index() >= self.tree.id_bound() {
+            Err(ModelError::UnknownNode(node))
+        } else if !self.tree.is_alive(node) {
+            Err(ModelError::DeadNode(node))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records both cells attribute `l` of `node` can feed.
+    fn touch_attr_cells(&self, node: NodeId, l: &Name, st: &mut BatchState) {
+        let tau = self.tree.label(node);
+        let xi = node.index() as u32;
+        if let Some(&c) = self
+            .subs
+            .single_ids
+            .get(&(tau.clone(), Field::Attr(l.clone())))
+        {
+            st.touched.push((c, xi));
+        }
+        if let Some(&c) = self.subs.set_ids.get(&(tau.clone(), l.clone())) {
+            st.touched.push((c, xi));
+        }
+    }
+
+    /// Records the parent-side `Sub(e)` cell a child-word change can feed.
+    fn touch_sub_cell(&self, parent: NodeId, e: &Name, st: &mut BatchState) {
+        let ptau = self.tree.label(parent);
+        if let Some(&c) = self
+            .subs
+            .single_ids
+            .get(&(ptau.clone(), Field::Sub(e.clone())))
+        {
+            st.touched.push((c, parent.index() as u32));
+        }
+    }
+
+    /// Stages one batch request: validates it against the current staged
+    /// state, applies structural mutations to the tree, pends value
+    /// writes, and records the cells and vertices it touches.
+    fn stage(&mut self, e: &BatchEdit, st: &mut BatchState) -> Result<(), ModelError> {
+        match e {
+            BatchEdit::SetAttr { node, attr, value } => {
+                self.check_live(*node)?;
+                // An overwritten pending write already recorded its cells;
+                // re-touching would only re-probe the subscription index.
+                if st
+                    .pend_attr
+                    .insert((node.index() as u32, attr.clone()), Some(value.clone()))
+                    .is_none()
+                {
+                    self.touch_attr_cells(*node, attr, st);
+                }
+            }
+            BatchEdit::RemoveAttr { node, attr } => {
+                self.check_live(*node)?;
+                let xi = node.index() as u32;
+                let present = match st.pend_attr.get(&(xi, attr.clone())) {
+                    Some(w) => w.is_some(),
+                    None => self.tree.attr(*node, attr).is_some(),
+                };
+                if !present {
+                    return Err(ModelError::NoSuchAttribute {
+                        node: *node,
+                        attr: attr.clone(),
+                    });
+                }
+                if st.pend_attr.insert((xi, attr.clone()), None).is_none() {
+                    self.touch_attr_cells(*node, attr, st);
+                }
+            }
+            BatchEdit::SetText { node, index, text } => {
+                self.check_live(*node)?;
+                let n = self.tree.node(*node);
+                // The text-child count of a live vertex is batch-invariant
+                // (no edit adds or removes text children), so a slot valid
+                // now is valid at flush.
+                let texts = n.children.iter().filter(|c| c.as_text().is_some()).count();
+                if *index >= texts {
+                    return Err(ModelError::NoSuchText {
+                        node: *node,
+                        index: *index,
+                    });
+                }
+                if st
+                    .pend_text
+                    .insert((node.index() as u32, *index), text.clone())
+                    .is_none()
+                {
+                    if let Some(p) = n.parent() {
+                        let e = self.tree.label(*node).clone();
+                        self.touch_sub_cell(p, &e, st);
+                    }
+                }
+            }
+            BatchEdit::InsertSubtree {
+                parent,
+                position,
+                fragment,
+            } => {
+                let before = self.tree.id_bound() as u32;
+                let edit = self.tree.insert_subtree(*parent, *position, fragment)?;
+                let Edit::InsertSubtree { root, .. } = &edit else {
+                    unreachable!("insert_subtree yields an InsertSubtree delta");
+                };
+                let e = self.tree.label(*root).clone();
+                st.added.extend(before..self.tree.id_bound() as u32);
+                st.structural += 1;
+                self.touch_sub_cell(*parent, &e, st);
+                st.struct_touch.push(parent.index() as u32);
+            }
+            BatchEdit::DeleteSubtree { node } => {
+                let edit = self.tree.delete_subtree(*node)?;
+                let Edit::DeleteSubtree { parent, root, .. } = &edit else {
+                    unreachable!("delete_subtree yields a DeleteSubtree delta");
+                };
+                let (parent, root) = (*parent, *root);
+                let mut stack = vec![root];
+                while let Some(x) = stack.pop() {
+                    st.removed.push(x.index() as u32);
+                    stack.extend(self.tree.node(x).child_nodes());
+                }
+                st.structural += 1;
+                let e = self.tree.label(root).clone();
+                self.touch_sub_cell(parent, &e, st);
+                st.struct_touch.push(parent.index() as u32);
+            }
+        }
+        st.staged += 1;
+        Ok(())
+    }
+
+    /// Applies everything staged in `st` with one propagation pass,
+    /// returning the reconciled diff and the surviving-operation count.
+    fn flush(&mut self, st: BatchState) -> (ReportDiff, u64) {
+        let BatchState {
+            pre_bound,
+            pend_attr,
+            pend_text,
+            added,
+            removed,
+            mut touched,
+            mut struct_touch,
+            structural,
+            ..
+        } = st;
+        let mut acc = DiffAcc::default();
+        let mut coalesced = structural;
+
+        // 1. Surviving attribute writes, in (vertex, attribute) order.
+        let mut writes: Vec<((u32, Name), Option<AttrValue>)> = pend_attr.into_iter().collect();
+        writes.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for ((xi, l), w) in writes {
+            let x = nid(xi);
+            if !self.tree.is_alive(x) {
+                continue; // the vertex was deleted later in the batch
+            }
+            coalesced += 1;
+            // Attribute checks depend only on name presence and
+            // singleton-ness, so replacing a value of equal shape cannot
+            // change the structural verdict.
+            let reshaped = match w {
+                Some(value) => {
+                    let single = value.is_singleton();
+                    let old = self
+                        .tree
+                        .set_attr_quiet(x, l, value)
+                        .expect("liveness checked above");
+                    old.is_none_or(|o| o.is_singleton() != single)
+                }
+                None => self
+                    .tree
+                    .remove_attr_quiet(x, &l)
+                    .expect("liveness checked above")
+                    .is_some(),
+            };
+            if reshaped {
+                struct_touch.push(xi);
+            }
+        }
+
+        // 2. Surviving text writes.
+        let mut writes: Vec<((u32, usize), Value)> = pend_text.into_iter().collect();
+        writes.sort_unstable_by_key(|w| w.0);
+        for ((xi, index), text) in writes {
+            let x = nid(xi);
+            if !self.tree.is_alive(x) {
+                continue;
+            }
+            coalesced += 1;
+            self.tree
+                .set_text_quiet(x, index, text)
+                .expect("slot staged-validated and batch-invariant");
+        }
+
+        // 3. Retract deleted pre-batch vertices, ascending. Vertices both
+        // inserted and deleted by this batch were never filled, so they
+        // need no retraction.
+        let mut removed: Vec<u32> = removed.into_iter().filter(|&x| x < pre_bound).collect();
+        removed.sort_unstable();
+        for &xi in &removed {
+            self.remove_node(nid(xi), &mut acc);
+        }
+
+        // 4. Fill surviving inserted vertices, then announce them. All
+        // fills precede the first announcement: each refresh is idempotent
+        // over the final store, and unannounced vertices are invisible to
+        // the parts' own occurrence maps.
+        let added: Vec<u32> = added
+            .into_iter()
+            .filter(|&x| self.tree.is_alive(nid(x)))
+            .collect();
+        for &xi in &added {
+            self.fill_node(nid(xi));
+        }
+        for &xi in &added {
+            let tau = self.tree.label(nid(xi)).clone();
+            self.dispatch(Change::NodeAdded { tau, node: xi }, &mut acc);
+            struct_touch.push(xi);
+        }
+
+        // 5. Re-extract each touched cell once, column by column: batch
+        // the column's store updates, then dispatch only the surviving
+        // deltas, only to the subscribed parts. Inserted vertices are
+        // covered by `NodeAdded`, deleted ones by `NodeRemoved`. A part
+        // reading a not-yet-flushed column during an earlier column's
+        // dispatch self-corrects: each cell changes (and dispatches) at
+        // most once, so the last refresh touching any given violation
+        // slot sees every final value.
+        touched.sort_unstable();
+        touched.dedup();
+        let mut i = 0;
+        while i < touched.len() {
+            let col = touched[i].0;
+            let mut j = i;
+            match self.subs.keys[col as usize].clone() {
+                ColKey::Single(tau, field) => {
+                    let mut changes: Vec<(u32, Option<Sym>, Option<Sym>)> = Vec::new();
+                    {
+                        let Self { tree, store, .. } = &mut *self;
+                        let Store {
+                            interner, singles, ..
+                        } = store;
+                        let cmap = singles
+                            .get_mut(&(tau.clone(), field.clone()))
+                            .expect("touched columns come from the subscription index");
+                        while j < touched.len() && touched[j].0 == col {
+                            let xi = touched[j].1;
+                            j += 1;
+                            if xi >= pre_bound || !tree.is_alive(nid(xi)) {
+                                continue;
+                            }
+                            let new = extract_single(tree, nid(xi), &field, interner);
+                            let old = cmap.set(xi, new);
+                            if old != new {
+                                changes.push((xi, old, new));
+                            }
+                        }
+                    }
+                    for (node, old, new) in changes {
+                        self.dispatch_to(
+                            col,
+                            Change::Single {
+                                tau: tau.clone(),
+                                field: field.clone(),
+                                node,
+                                old,
+                                new,
+                            },
+                            &mut acc,
+                        );
+                    }
+                }
+                ColKey::Set(tau, attr) => {
+                    let mut changes: Vec<u32> = Vec::new();
+                    {
+                        let Self { tree, store, .. } = &mut *self;
+                        let Store { interner, sets, .. } = store;
+                        let cmap = sets
+                            .get_mut(&(tau.clone(), attr.clone()))
+                            .expect("touched columns come from the subscription index");
+                        while j < touched.len() && touched[j].0 == col {
+                            let xi = touched[j].1;
+                            j += 1;
+                            if xi >= pre_bound || !tree.is_alive(nid(xi)) {
+                                continue;
+                            }
+                            let new: Vec<Sym> = match tree.attr(nid(xi), &attr) {
+                                Some(val) => {
+                                    val.values().iter().map(|s| interner.intern(s)).collect()
+                                }
+                                None => Vec::new(),
+                            };
+                            let old = cmap.set(xi, new.clone());
+                            if old != new {
+                                changes.push(xi);
+                            }
+                        }
+                    }
+                    for node in changes {
+                        self.dispatch_to(
+                            col,
+                            Change::Set {
+                                tau: tau.clone(),
+                                attr: attr.clone(),
+                                node,
+                            },
+                            &mut acc,
+                        );
+                    }
+                }
+            }
+            i = j;
+        }
+
+        // 6. One structural recheck per touched vertex.
+        struct_touch.sort_unstable();
+        struct_touch.dedup();
+        for xi in struct_touch {
+            if self.tree.is_alive(nid(xi)) {
+                self.refresh_struct(nid(xi), &mut acc);
+            }
+        }
+
+        (acc.finalize(&self.struct_viols, &self.parts), coalesced)
+    }
+
+    /// Dispatches one change to the ID table and only the parts
+    /// subscribed to column `col`.
+    fn dispatch_to(&mut self, col: u32, change: Change, acc: &mut DiffAcc) {
+        let Self {
+            parts,
+            store,
+            ids,
+            subs,
+            ..
+        } = self;
+        ids.apply(&change, store);
+        for &pi in &subs.parts_of[col as usize] {
+            parts[pi as usize].apply(&change, store, ids, pi, acc);
+        }
+    }
+
     fn outcome(&mut self, edit: Edit, acc: DiffAcc) -> EditOutcome {
         let mut diff = acc.finalize(&self.struct_viols, &self.parts);
         let obs = &self.v.obs;
         if obs.enabled() {
             obs.add("edits", 1);
+            obs.add("edit.count", 1);
+            obs.add("edit.coalesced", 1);
             obs.add("violations.raised", diff.raised.len() as u64);
             obs.add("violations.cleared", diff.cleared.len() as u64);
             diff.metrics = obs.snapshot();

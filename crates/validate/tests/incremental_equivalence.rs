@@ -13,7 +13,9 @@
 use proptest::prelude::*;
 use xic_constraints::{Constraint, DtdC, DtdStructure, Field, Language};
 use xic_model::{AttrValue, Child, DataTree, NodeId, TreeBuilder};
-use xic_validate::{LiveValidator, MatcherKind, Options, ReportDiff, Validator, Violation};
+use xic_validate::{
+    BatchEdit, LiveValidator, MatcherKind, Options, ReportDiff, Validator, Violation,
+};
 
 /// Same universe as the stream-equivalence test: three element types with
 /// an ID attribute, two single attributes, two set-valued attributes, and
@@ -270,6 +272,90 @@ fn apply_edit(live: &mut LiveValidator<'_, '_>, e: &EditRecipe) -> Option<Report
     }
 }
 
+/// Resolves one recipe against the current tree into a concrete
+/// [`BatchEdit`], or `None` when inapplicable — the same applicability
+/// rules as [`apply_edit`], so a resolved request is guaranteed to stage
+/// cleanly when the tree is in the state it was resolved against.
+fn resolve_edit(live: &LiveValidator<'_, '_>, e: &EditRecipe) -> Option<BatchEdit> {
+    let ids: Vec<NodeId> = live.tree().node_ids().collect();
+    let pick = |sel: u8| ids[sel as usize % ids.len()];
+    match e {
+        EditRecipe::SetAttr(n, a, vs) => Some(BatchEdit::SetAttr {
+            node: pick(*n),
+            attr: ATTRS[*a as usize].into(),
+            value: AttrValue::set(vs.iter().map(|&v| val(v))),
+        }),
+        EditRecipe::RemoveAttr(n, a) => {
+            let node = pick(*n);
+            live.tree()
+                .attr(node, ATTRS[*a as usize])
+                .is_some()
+                .then(|| BatchEdit::RemoveAttr {
+                    node,
+                    attr: ATTRS[*a as usize].into(),
+                })
+        }
+        EditRecipe::SetText(n, i, v) => {
+            let node = pick(*n);
+            let texts = live
+                .tree()
+                .node(node)
+                .children
+                .iter()
+                .filter(|c| matches!(c, Child::Text(_)))
+                .count();
+            (texts > 0).then(|| BatchEdit::SetText {
+                node,
+                index: *i as usize % texts,
+                text: val(*v),
+            })
+        }
+        EditRecipe::Delete(n) => {
+            let node = pick(*n);
+            (node != live.tree().root()).then_some(BatchEdit::DeleteSubtree { node })
+        }
+        EditRecipe::Insert(n, p, recipe) => {
+            let parent = pick(*n);
+            let len = live.tree().node(parent).children.len();
+            Some(BatchEdit::InsertSubtree {
+                parent,
+                position: *p as usize % (len + 1),
+                fragment: build_fragment(recipe),
+            })
+        }
+    }
+}
+
+/// Applies one already-resolved request through the per-edit API.
+fn apply_resolved(live: &mut LiveValidator<'_, '_>, b: &BatchEdit) {
+    match b {
+        BatchEdit::SetAttr { node, attr, value } => {
+            live.set_attr(*node, attr.clone(), value.clone())
+                .expect("resolved against this state");
+        }
+        BatchEdit::RemoveAttr { node, attr } => {
+            live.remove_attr(*node, attr.as_str())
+                .expect("resolved against this state");
+        }
+        BatchEdit::SetText { node, index, text } => {
+            live.set_text(*node, *index, text.clone())
+                .expect("resolved against this state");
+        }
+        BatchEdit::InsertSubtree {
+            parent,
+            position,
+            fragment,
+        } => {
+            live.insert_subtree(*parent, *position, fragment)
+                .expect("resolved against this state");
+        }
+        BatchEdit::DeleteSubtree { node } => {
+            live.delete_subtree(*node)
+                .expect("resolved against this state");
+        }
+    }
+}
+
 /// Violation multiset as Debug-string counts (zero entries pruned).
 fn counts(vs: &[Violation]) -> std::collections::BTreeMap<String, i64> {
     let mut m = std::collections::BTreeMap::new();
@@ -324,4 +410,149 @@ proptest! {
             }
         }
     }
+
+    /// Batched propagation is report-equivalent to sequential: the same
+    /// random edit sequence (inserts, deletes, attribute retargets, text
+    /// rewrites) is played edit-by-edit through one validator and in
+    /// random batch cuts through [`LiveValidator::apply_batch`] on
+    /// another; at every batch boundary the reports must be
+    /// byte-identical, the batch diff must reconcile them, and at the end
+    /// both must match a from-scratch validation.
+    #[test]
+    fn batched_report_is_byte_identical_at_every_batch_boundary(
+        sigma in prop::collection::vec(constraint(), 0..8),
+        nodes in prop::collection::vec(node_recipe(), 0..25),
+        edits in prop::collection::vec(edit_recipe(), 1..16),
+        cuts in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, sigma);
+        let opts = Options { strict_attributes: true, threads: 1 };
+        let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, opts);
+        let tree = build_tree(&nodes);
+        let mut seq = LiveValidator::new(&v, tree.clone());
+        let mut bat = LiveValidator::new(&v, tree);
+        let mut pending: Vec<BatchEdit> = Vec::new();
+        for (i, e) in edits.iter().enumerate() {
+            // Resolve against the sequential state (the batched tree is
+            // identical up to value writes still pending, which cannot
+            // change vertex ids, child positions or text-child counts).
+            let Some(b) = resolve_edit(&seq, e) else { continue };
+            apply_resolved(&mut seq, &b);
+            pending.push(b);
+            if !cuts[i] {
+                continue;
+            }
+            let before = bat.report().violations;
+            let diff = bat
+                .apply_batch(&std::mem::take(&mut pending))
+                .expect("every request was resolved applicable");
+            let after = bat.report().violations;
+            prop_assert_eq!(
+                &after, &seq.report().violations,
+                "batched report diverged at boundary {} (edit={:?})", i, e
+            );
+            let mut m = counts(&before);
+            for r in &diff.raised {
+                *m.entry(format!("{r:?}")).or_insert(0) += 1;
+            }
+            for c in &diff.cleared {
+                *m.entry(format!("{c:?}")).or_insert(0) -= 1;
+            }
+            m.retain(|_, n| *n != 0);
+            prop_assert_eq!(
+                &m, &counts(&after),
+                "batch diff does not reconcile at boundary {} (diff={:?})", i, diff
+            );
+        }
+        if !pending.is_empty() {
+            bat.apply_batch(&pending).expect("trailing batch applies");
+        }
+        prop_assert_eq!(
+            &bat.report().violations,
+            &seq.report().violations,
+            "final batched report diverged from sequential"
+        );
+        prop_assert_eq!(
+            &bat.report().violations,
+            &v.validate(bat.tree()).violations,
+            "final batched report diverged from scratch"
+        );
+    }
+}
+
+/// Deleting a keyed vertex and reinserting an equivalent one in the same
+/// batch: the delete retracts the old key occurrence and the insert
+/// announces the new vertex, all within one propagation pass — the report
+/// must match sequential application and a from-scratch validation, and
+/// the reused key value must not be double-counted.
+#[test]
+fn delete_then_reinsert_in_one_batch_matches_sequential() {
+    let sigma = vec![
+        Constraint::Key {
+            tau: "t0".into(),
+            fields: vec![Field::attr("id")],
+        },
+        Constraint::FkToId {
+            tau: "t1".into(),
+            attr: "a0".into(),
+            target: "t0".into(),
+        },
+    ];
+    let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, sigma);
+    let opts = Options {
+        strict_attributes: false,
+        threads: 1,
+    };
+    let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, opts);
+    // db > t0[id=v1], t1[a0=v1]: the t1 references the t0's ID.
+    let recipes: Vec<NodeRecipe> = vec![
+        ((0, Some(1), None, None), (vec![], vec![], vec![])),
+        ((1, Some(2), Some(1), None), (vec![], vec![], vec![])),
+    ];
+    let tree = build_tree(&recipes);
+    let mut seq = LiveValidator::new(&v, tree.clone());
+    let mut bat = LiveValidator::new(&v, tree);
+    assert!(seq.report().is_valid(), "fixture starts valid");
+
+    // Delete the referenced t0, then reinsert a fresh t0 carrying the
+    // same ID value — in one batch the dangling reference never shows.
+    let t0 = seq
+        .tree()
+        .node_ids()
+        .find(|&x| seq.tree().label(x).as_str() == "t0")
+        .expect("fixture has a t0");
+    let replacement: NodeRecipe = ((0, Some(1), None, None), (vec![], vec![], vec![]));
+    let batch = vec![
+        BatchEdit::DeleteSubtree { node: t0 },
+        BatchEdit::InsertSubtree {
+            parent: seq.tree().root(),
+            position: 0,
+            fragment: build_fragment(&replacement),
+        },
+    ];
+    for b in &batch {
+        apply_resolved(&mut seq, b);
+    }
+    let diff = bat.apply_batch(&batch).expect("batch applies");
+    assert_eq!(
+        bat.report().violations,
+        seq.report().violations,
+        "batched delete+reinsert diverged from sequential"
+    );
+    assert_eq!(
+        bat.report().violations,
+        v.validate(bat.tree()).violations,
+        "batched delete+reinsert diverged from scratch"
+    );
+    assert!(
+        bat.report().is_valid(),
+        "the reinserted key repairs the doc"
+    );
+    // Net effect of the batch on an initially-valid document: nothing
+    // raised, nothing cleared — the transient dangling reference from the
+    // delete is cancelled by the reinsert inside the same batch.
+    assert!(
+        diff.raised.is_empty() && diff.cleared.is_empty(),
+        "expected a net-empty diff, got {diff:?}"
+    );
 }
