@@ -5,7 +5,7 @@
 //! ```text
 //! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream] [--metrics text|json|prom] [--trace-out FILE]
 //! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--metrics text|json|prom] [--trace-out FILE]
-//! xic serve    <doc.xml> --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
+//! xic serve    [<doc.xml>] --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--http-threads N] [--queue N] [--max-body BYTES] [--timeout SECS]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
 mod serve;
 
 pub use serve::serve_on;
@@ -61,7 +62,7 @@ use xic::implication::lu::Mode;
 use xic::prelude::*;
 
 /// Parsed command-line options.
-#[derive(Default, Debug)]
+#[derive(Default, Debug, Clone)]
 struct Opts {
     positional: Vec<String>,
     dtd: Option<String>,
@@ -79,6 +80,10 @@ struct Opts {
     metrics: Option<String>,
     trace_out: Option<String>,
     addr: Option<String>,
+    max_body: Option<usize>,
+    http_threads: Option<usize>,
+    queue: Option<usize>,
+    timeout_secs: Option<f64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -112,6 +117,37 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--trace-out" => o.trace_out = Some(grab("--trace-out")?),
             "--addr" => o.addr = Some(grab("--addr")?),
+            "--max-body" => {
+                let v = grab("--max-body")?;
+                o.max_body = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-body expects a byte count, got {v:?}"))?,
+                );
+            }
+            "--http-threads" => {
+                let v = grab("--http-threads")?;
+                o.http_threads = Some(
+                    v.parse()
+                        .map_err(|_| format!("--http-threads expects a number, got {v:?}"))?,
+                );
+            }
+            "--queue" => {
+                let v = grab("--queue")?;
+                o.queue = Some(
+                    v.parse()
+                        .map_err(|_| format!("--queue expects a number, got {v:?}"))?,
+                );
+            }
+            "--timeout" => {
+                let v = grab("--timeout")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout expects seconds, got {v:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--timeout expects positive seconds, got {v:?}"));
+                }
+                o.timeout_secs = Some(secs);
+            }
             "--lenient" => o.lenient = true,
             "--sequential" => o.sequential = true,
             "--ids" => o.ids = true,
@@ -286,16 +322,36 @@ usage:
                  set-attr NODE ATTR V[,V...]    remove-attr NODE ATTR
                  set-text NODE INDEX [TEXT]     delete NODE
                  insert PARENT POSITION <xml fragment>
-  xic serve    <doc.xml> [--addr HOST:PORT] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
-               [--lenient] [--sequential] [--threads N]
-               long-running validation daemon over the loaded document
-               (default --addr 127.0.0.1:9100). HTTP endpoints:
-                 GET  /report   current validation report
-                 GET  /metrics  Prometheus text exposition (counters, span
-                                summaries, latency histogram buckets)
-                 POST /edits    edit-script body (apply-edits syntax); the
-                                response matches apply-edits output exactly
-                 POST /shutdown stop accepting and exit cleanly
+  xic serve    [<doc.xml>] [--addr HOST:PORT] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
+               [--lenient] [--sequential] [--threads N] [--http-threads N] [--queue N]
+               [--max-body BYTES] [--timeout SECS]
+               long-running multi-tenant validation daemon (default --addr
+               127.0.0.1:9100): a store of documents keyed by id, each on
+               its own validator shard — independent docs are served in
+               parallel, edits to one doc serialize. Connections are
+               HTTP/1.1 keep-alive, handled by a fixed pool of
+               --http-threads workers over a bounded --queue of accepted
+               connections (full queue => 503); bodies above --max-body are
+               refused with 413, and --timeout bounds each read so stalled
+               clients cannot wedge a worker. The optional positional
+               document pre-loads as doc id `default`. HTTP endpoints:
+                 PUT    /docs/{id}         ingest/replace a document (body =
+                                           XML; internal <!DOCTYPE> or the
+                                           server --dtd/--root supplies the
+                                           structure, --sigma the Σ);
+                                           responds with its report
+                 GET    /docs              list document ids
+                 GET    /docs/{id}/report  current validation report
+                 POST   /docs/{id}/edits   edit-script body (apply-edits
+                                           syntax); the response matches
+                                           apply-edits output exactly
+                 DELETE /docs/{id}         evict the document
+                 GET    /report            alias for /docs/default/report
+                 POST   /edits             alias for /docs/default/edits
+                 GET    /metrics           Prometheus text exposition, all
+                                           docs merged per doc-id label
+                 GET    /metrics.json      the same snapshot as JSON
+                 POST   /shutdown          drain in-flight work and exit
   xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
                [--emit-countermodel FILE] CONSTRAINT
   xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT

@@ -1,39 +1,84 @@
-//! `xic serve` — a long-running validation daemon over one document.
+//! `xic serve` — a multi-tenant validation daemon over a store of
+//! documents.
 //!
-//! In the spirit of the hand-rolled JSON codec in `xic-obs`, the HTTP
-//! layer is a minimal std-`TcpListener` HTTP/1.1 loop — no external
-//! crates, one connection at a time, `Connection: close` on every
-//! response. The daemon holds a [`LiveValidator`] over the loaded
-//! document, so edits revalidate incrementally (PR 3) and every request
-//! is observable (PR 4 + this PR's histograms):
+//! The daemon is three layers, all std-only (no external crates):
+//!
+//! 1. **A concurrent connection layer.** The accept loop feeds a bounded
+//!    queue drained by a fixed pool of worker threads; when the queue is
+//!    full the accept thread answers `503` on the spot (admission
+//!    control under edit bursts). Connections are HTTP/1.1 keep-alive:
+//!    every request and response is `Content-Length`-framed (see
+//!    [`crate::http`]), so one connection serves many requests. A
+//!    per-connection read timeout (`--timeout`) frees a worker from a
+//!    stalled client; oversized bodies are refused with `413` before
+//!    being read (`--max-body`); malformed request lines and headers get
+//!    a `400`, never a silently dropped connection.
+//! 2. **A document store.** Documents are keyed by id: `PUT /docs/{id}`
+//!    ingests an XML document (its internal `<!DOCTYPE>` subset, or the
+//!    server's `--dtd/--root`, supplies the structure; `--sigma` the
+//!    constraints), `GET /docs` lists ids, `DELETE /docs/{id}` evicts.
+//!    The legacy un-prefixed routes (`GET /report`, `POST /edits`) alias
+//!    the doc id `default`, which a positional document on the command
+//!    line pre-loads — a one-document invocation behaves exactly as it
+//!    did before the store existed.
+//! 3. **A sharded validator pool.** Each document's [`LiveValidator`]
+//!    is owned by its own *shard* — a dedicated thread holding the
+//!    `DtdC`, `Validator` and `LiveValidator` and draining a request
+//!    channel. Edits and reports for one doc serialize in channel order
+//!    (byte-identical to `xic apply-edits` on the same script sequence),
+//!    while requests for different docs run fully in parallel on their
+//!    own shards. The channel is also the ownership story: the
+//!    validator borrows the `DtdC` on the shard's stack, which no map
+//!    of `Mutex`es could express safely.
 //!
 //! | endpoint | behaviour |
 //! |----------|-----------|
-//! | `GET /report` | the current validation report |
-//! | `GET /metrics` | Prometheus text exposition: validator counters, span summaries and latency histogram buckets, merged with the HTTP layer's own collector via [`Metrics::merge`] |
-//! | `POST /edits` | body = an `apply-edits` script; applies it as one [`LiveValidator::apply_batch`] (or line by line under `--sequential`) and responds with the ± diff followed by the new report — byte-identical to `xic apply-edits` output on the same script |
-//! | `POST /shutdown` | stop accepting and return cleanly |
+//! | `PUT /docs/{id}` | ingest/replace a document; responds `201`/`200` with its validation report |
+//! | `GET /docs` | list document ids, one per line |
+//! | `GET /docs/{id}/report` | the doc's current validation report |
+//! | `POST /docs/{id}/edits` | apply an `apply-edits` script as one batch (or per line under `--sequential`); the response is byte-identical to `xic apply-edits` on the same script |
+//! | `DELETE /docs/{id}` | evict the document and stop its shard |
+//! | `GET /report`, `POST /edits` | aliases for doc `default` |
+//! | `GET /metrics` | Prometheus text exposition: the HTTP layer's collector merged with every doc's collector, each labeled `doc="<id>"` |
+//! | `GET /metrics.json` | the same merged snapshot as [`Metrics`] JSON |
+//! | `POST /shutdown` | drain: stop accepting, serve everything already queued, join workers and shards, exit |
 //!
-//! On the default batched path a line that fails to *parse* rejects the
-//! whole script with a 400 before anything is applied; a request that is
-//! invalid against the document (unknown vertex, missing attribute, …)
-//! keeps the staged prefix, exactly as [`LiveValidator::apply_batch`]
-//! documents. Under `--sequential` a bad line aborts the script mid-way,
-//! keeping the edits already applied. Either way the response names the
-//! failing line and `GET /report` shows the resulting state.
+//! Observability: the HTTP layer records `http.requests`, an
+//! `http.request` latency histogram, a per-route `http.route.*` family,
+//! and `serve.queue_wait` (time a connection sat in the accept queue);
+//! each doc shard's collector carries the full validator taxonomy
+//! (`parse`, `edit.batch`, `violations.raised`, …) plus a
+//! `doc.requests` counter, merged into `/metrics` under its `doc` label.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
-use std::time::Duration;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use xic::prelude::*;
 
+use crate::http::{self, HttpError, Request};
 use crate::{load_dtdc, parse_opts, read, run_edit_script, Opts};
 
 /// The address `xic serve` binds when `--addr` is absent.
 const DEFAULT_ADDR: &str = "127.0.0.1:9100";
+
+/// Default cap on request bodies (`--max-body` overrides).
+const DEFAULT_MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Default per-connection read timeout in seconds (`--timeout`).
+const DEFAULT_TIMEOUT_SECS: f64 = 10.0;
+
+/// Default bound of the accept queue (`--queue`).
+const DEFAULT_QUEUE: usize = 128;
+
+/// The doc id the legacy un-prefixed routes alias.
+const DEFAULT_DOC: &str = "default";
 
 /// Entry point of the `serve` subcommand: binds `--addr` (default
 /// `127.0.0.1:9100`), announces the address on stdout, and serves until
@@ -48,7 +93,9 @@ pub(crate) fn cmd_serve(o: &Opts, out: &mut String) -> Result<i32, String> {
         let mut stdout = std::io::stdout();
         let _ = writeln!(
             stdout,
-            "xic serve listening on http://{local} (GET /report, GET /metrics, POST /edits, POST /shutdown)"
+            "xic serve listening on http://{local} (PUT/GET/DELETE /docs/{{id}}, GET /docs, \
+             GET /docs/{{id}}/report, POST /docs/{{id}}/edits, GET /report, GET /metrics, \
+             POST /edits, POST /shutdown)"
         );
         let _ = stdout.flush();
     }
@@ -58,9 +105,10 @@ pub(crate) fn cmd_serve(o: &Opts, out: &mut String) -> Result<i32, String> {
 }
 
 /// Runs the serve loop on an already-bound listener. `args` is the
-/// `serve` subcommand's argument list (document path plus `--dtd`,
-/// `--root`, `--sigma`, …); the `--addr` flag is ignored here, since the
-/// caller owns the socket. Returns when `POST /shutdown` is received.
+/// `serve` subcommand's argument list (an optional document path to
+/// pre-load as doc `default`, plus `--dtd`, `--root`, `--sigma`, …); the
+/// `--addr` flag is ignored here, since the caller owns the socket.
+/// Returns when `POST /shutdown` has drained the daemon.
 ///
 /// This is the testable surface of the daemon: bind `127.0.0.1:0`
 /// yourself, hand the listener over, and talk HTTP to the port you got.
@@ -68,109 +116,525 @@ pub fn serve_on(listener: TcpListener, args: &[String]) -> Result<(), String> {
     serve_loop(listener, &parse_opts(args)?)
 }
 
+/// One request a worker forwards to a document shard.
+enum DocRequest {
+    /// Render the current validation report.
+    Report(SyncSender<String>),
+    /// Apply an edit script; `Ok` is the rendered diff + report, `Err`
+    /// the script error message.
+    Edits(String, SyncSender<Result<String, String>>),
+}
+
+/// The store's handle on one document shard.
+struct DocHandle {
+    tx: mpsc::Sender<DocRequest>,
+    collector: Arc<MetricsCollector>,
+    join: JoinHandle<()>,
+}
+
+/// Everything the worker pool shares.
+struct Store {
+    docs: RwLock<BTreeMap<String, DocHandle>>,
+    opts: Arc<Opts>,
+    http_collector: Arc<MetricsCollector>,
+    http_obs: Obs,
+    draining: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+    read_timeout: Duration,
+}
+
+/// One accepted connection waiting for a worker, stamped so
+/// `serve.queue_wait` can record how long it sat in the queue.
+struct WorkItem {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
 fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
-    let [doc_path] = o.positional.as_slice() else {
-        return Err("serve takes exactly one document".into());
+    let doc_path = match o.positional.as_slice() {
+        [] => None,
+        [p] => Some(p.clone()),
+        _ => return Err("serve takes at most one document".into()),
     };
-    // Validator-level observability is always on for a daemon — scraping
-    // is the point — with latency histograms on the default families.
+    let opts = Arc::new(o.clone());
+
+    // The HTTP layer gets its own collector (request counters + the
+    // http.* and serve.* latency histograms), merged with every doc
+    // shard's collector at scrape time via `Metrics::merge`.
+    let http_collector = {
+        let mut c = MetricsCollector::new();
+        c.set_histogram_families(["http", "serve"]);
+        Arc::new(c)
+    };
+    let store = Arc::new(Store {
+        docs: RwLock::new(BTreeMap::new()),
+        opts: opts.clone(),
+        http_obs: Obs::new(http_collector.clone()),
+        http_collector,
+        draining: AtomicBool::new(false),
+        addr: listener.local_addr().map_err(|e| e.to_string())?,
+        max_body: o.max_body.unwrap_or(DEFAULT_MAX_BODY),
+        read_timeout: Duration::from_secs_f64(o.timeout_secs.unwrap_or(DEFAULT_TIMEOUT_SECS)),
+    });
+
+    // Pre-load the positional document as the `default` doc, so the
+    // legacy single-document invocation keeps working unchanged.
+    if let Some(path) = doc_path {
+        let src = read(&path)?;
+        if let (_, Err(e)) = put_doc(&store, DEFAULT_DOC, src) {
+            return Err(e
+                .trim_end()
+                .strip_prefix("error: ")
+                .unwrap_or(&e)
+                .to_string());
+        }
+    }
+
+    // Fixed worker pool over a bounded accept queue.
+    let workers = o
+        .http_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(2, 8)
+        })
+        .max(1);
+    let queue = o.queue.unwrap_or(DEFAULT_QUEUE).max(1);
+    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(queue);
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let pool: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let store = store.clone();
+            let work_rx = work_rx.clone();
+            std::thread::spawn(move || loop {
+                // Receiver behind a mutex: std's receiver is not Clone,
+                // and the handoff is a tiny fraction of request service
+                // time. recv errors once the accept loop drops the
+                // sender and the queue is drained — the drain contract.
+                let item = match work_rx.lock().unwrap().recv() {
+                    Ok(item) => item,
+                    Err(_) => break,
+                };
+                serve_connection(&store, item);
+            })
+        })
+        .collect();
+
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        if store.draining.load(Ordering::SeqCst) {
+            // The wake connection `POST /shutdown` makes (or any later
+            // arrival): stop accepting.
+            break;
+        }
+        let item = WorkItem {
+            stream,
+            enqueued: Instant::now(),
+        };
+        match work_tx.try_send(item) {
+            Ok(()) => {}
+            Err(TrySendError::Full(item)) => {
+                // Admission control: the queue is full, shed the new
+                // connection immediately rather than wedging the accept
+                // loop behind slow workers.
+                store.http_obs.add("http.rejected", 1);
+                let mut s = item.stream;
+                let _ = http::write_response(
+                    &mut s,
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "server busy: accept queue full, retry\n",
+                    false,
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+
+    // Drain: no new accepts; everything already queued is still served.
+    drop(work_tx);
+    for w in pool {
+        let _ = w.join();
+    }
+    // Stop the shards: dropping every sender ends each shard's loop.
+    let docs = std::mem::take(&mut *store.docs.write().unwrap());
+    for (_, handle) in docs {
+        drop(handle.tx);
+        let _ = handle.join.join();
+    }
+    Ok(())
+}
+
+/// Serves one connection until the client closes, errs, times out, or a
+/// drain begins: the keep-alive loop of one worker.
+fn serve_connection(store: &Store, item: WorkItem) {
+    let WorkItem { stream, enqueued } = item;
+    store.http_obs.record_span(
+        "serve.queue_wait",
+        u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+    let _ = stream.set_read_timeout(Some(store.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader, store.max_body) {
+            Ok(req) => req,
+            Err(HttpError::Closed) | Err(HttpError::Timeout) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(m)) => {
+                // A broken request still deserves a framed answer; the
+                // connection closes because framing may be lost.
+                let _ = http::write_response(
+                    &mut writer,
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    &format!("error: {m}\n"),
+                    false,
+                );
+                return;
+            }
+            Err(HttpError::TooLarge { declared, limit }) => {
+                let _ = http::write_response(
+                    &mut writer,
+                    "413 Payload Too Large",
+                    "text/plain; charset=utf-8",
+                    &format!("error: body of {declared} bytes exceeds --max-body {limit}\n"),
+                    false,
+                );
+                return;
+            }
+        };
+        let span = store.http_obs.span("http.request");
+        store.http_obs.add("http.requests", 1);
+        let handled = Instant::now();
+        let resp = route(store, &req);
+        // The route is only known after dispatch, so the per-route family
+        // is recorded as an elapsed duration rather than a live span.
+        store.http_obs.record_span(
+            resp.route,
+            u64::try_from(handled.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        span.end();
+        // Close at a response boundary once draining: in-flight requests
+        // complete, idle reuse does not outlive the drain.
+        let keep = req.keep_alive && !resp.shutdown && !store.draining.load(Ordering::SeqCst);
+        let ok = http::write_response(
+            &mut writer,
+            resp.status,
+            resp.content_type,
+            &resp.body,
+            keep,
+        )
+        .is_ok();
+        if resp.shutdown {
+            begin_drain(store);
+        }
+        if !keep || !ok {
+            return;
+        }
+    }
+}
+
+/// Flags the drain and wakes the accept loop with a throwaway
+/// connection so it observes the flag without another client arriving.
+fn begin_drain(store: &Store) {
+    store.draining.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(store.addr);
+}
+
+/// A routed response, tagged with the `http.route.*` span that counts
+/// it and whether it triggers the drain.
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+    route: &'static str,
+    shutdown: bool,
+}
+
+impl Response {
+    fn text(status: &'static str, route: &'static str, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            route,
+            shutdown: false,
+        }
+    }
+}
+
+/// Validates a document id: non-empty, `[A-Za-z0-9._-]`.
+fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Dispatches one parsed request against the store.
+fn route(store: &Store, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/report") => doc_report(store, DEFAULT_DOC),
+        ("POST", "/edits") => doc_edits(store, DEFAULT_DOC, &req.body),
+        ("GET", "/docs") => {
+            let ids: String = store
+                .docs
+                .read()
+                .unwrap()
+                .keys()
+                .map(|id| format!("{id}\n"))
+                .collect();
+            Response::text("200 OK", "http.route.docs", ids)
+        }
+        ("GET", "/metrics") => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: merged_metrics(store).to_prometheus(),
+            route: "http.route.metrics",
+            shutdown: false,
+        },
+        ("GET", "/metrics.json") => Response {
+            status: "200 OK",
+            content_type: "application/json; charset=utf-8",
+            body: merged_metrics(store).to_json(),
+            route: "http.route.metrics",
+            shutdown: false,
+        },
+        ("POST", "/shutdown") => Response {
+            status: "200 OK",
+            content_type: "text/plain; charset=utf-8",
+            body: "shutting down\n".into(),
+            route: "http.route.shutdown",
+            shutdown: true,
+        },
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/docs/") {
+                if let (Some(id), "GET") = (rest.strip_suffix("/report"), method) {
+                    return doc_report(store, id);
+                }
+                if let (Some(id), "POST") = (rest.strip_suffix("/edits"), method) {
+                    return doc_edits(store, id, &req.body);
+                }
+                if !rest.contains('/') {
+                    match method {
+                        "PUT" => {
+                            let (status, body) = put_doc(store, rest, req.body.clone());
+                            let (status, body) = match body {
+                                Ok(report) => (status, report),
+                                Err(e) => ("400 Bad Request", e),
+                            };
+                            return Response::text(status, "http.route.put_doc", body);
+                        }
+                        "DELETE" => return delete_doc(store, rest),
+                        _ => {}
+                    }
+                }
+            }
+            Response::text(
+                "404 Not Found",
+                "http.route.other",
+                format!("no such endpoint: {method} {path}\n"),
+            )
+        }
+    }
+}
+
+/// The merged scrape: the HTTP layer's snapshot plus each doc's
+/// collector snapshot labeled `doc="<id>"`.
+fn merged_metrics(store: &Store) -> Metrics {
+    let mut m = store.http_collector.snapshot();
+    for (id, handle) in store.docs.read().unwrap().iter() {
+        m.merge(&handle.collector.snapshot().with_label("doc", id));
+    }
+    m
+}
+
+/// Ingests (or replaces) document `id` from `src`. On success the shard
+/// is registered and the body is its initial validation report; `Err`
+/// carries a rendered `400` body. The bool-ish status distinguishes
+/// create (`201`) from replace (`200`).
+fn put_doc(store: &Store, id: &str, src: String) -> (&'static str, Result<String, String>) {
+    if !valid_id(id) {
+        return (
+            "400 Bad Request",
+            Err(format!(
+                "error: bad document id {id:?} (allowed: [A-Za-z0-9._-]+)\n"
+            )),
+        );
+    }
     let collector = MetricsCollector::shared_with_histograms();
-    let obs = Obs::new(collector.clone());
+    let (tx, rx) = mpsc::channel();
+    let (ready_tx, ready_rx) = mpsc::sync_channel(1);
+    let join = {
+        let opts = store.opts.clone();
+        let collector = collector.clone();
+        std::thread::spawn(move || run_doc_shard(src, &opts, collector, rx, ready_tx))
+    };
+    match ready_rx.recv() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            let _ = join.join();
+            return ("400 Bad Request", Err(format!("error: {e}\n")));
+        }
+        Err(_) => {
+            return (
+                "500 Internal Server Error",
+                Err("error: document shard died during load\n".into()),
+            );
+        }
+    }
+    let handle = DocHandle {
+        tx,
+        collector,
+        join,
+    };
+    let prev = store.docs.write().unwrap().insert(id.to_string(), handle);
+    let status = if let Some(prev) = prev {
+        drop(prev.tx);
+        let _ = prev.join.join();
+        "200 OK"
+    } else {
+        "201 Created"
+    };
+    match shard_report(store, id) {
+        Some(report) => (status, Ok(report)),
+        None => (
+            "500 Internal Server Error",
+            Err("error: document shard died after load\n".into()),
+        ),
+    }
+}
+
+/// Evicts document `id`, joining its shard.
+fn delete_doc(store: &Store, id: &str) -> Response {
+    let handle = store.docs.write().unwrap().remove(id);
+    match handle {
+        Some(handle) => {
+            drop(handle.tx);
+            let _ = handle.join.join();
+            Response::text("200 OK", "http.route.delete_doc", format!("deleted {id}\n"))
+        }
+        None => Response::text(
+            "404 Not Found",
+            "http.route.delete_doc",
+            format!("no such document: {id}\n"),
+        ),
+    }
+}
+
+/// Asks `id`'s shard for its report; `None` when the doc is absent or
+/// its shard died.
+fn shard_report(store: &Store, id: &str) -> Option<String> {
+    let tx = store.docs.read().unwrap().get(id)?.tx.clone();
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    tx.send(DocRequest::Report(reply_tx)).ok()?;
+    reply_rx.recv().ok()
+}
+
+fn doc_report(store: &Store, id: &str) -> Response {
+    match shard_report(store, id) {
+        Some(report) => Response::text("200 OK", "http.route.report", report),
+        None => Response::text(
+            "404 Not Found",
+            "http.route.report",
+            format!("no such document: {id}\n"),
+        ),
+    }
+}
+
+fn doc_edits(store: &Store, id: &str, script: &str) -> Response {
+    let tx = match store.docs.read().unwrap().get(id) {
+        Some(handle) => handle.tx.clone(),
+        None => {
+            return Response::text(
+                "404 Not Found",
+                "http.route.edits",
+                format!("no such document: {id}\n"),
+            )
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    if tx
+        .send(DocRequest::Edits(script.to_string(), reply_tx))
+        .is_err()
+    {
+        return Response::text(
+            "404 Not Found",
+            "http.route.edits",
+            format!("no such document: {id}\n"),
+        );
+    }
+    match reply_rx.recv() {
+        Ok(Ok(rendered)) => Response::text("200 OK", "http.route.edits", rendered),
+        Ok(Err(e)) => Response::text(
+            "400 Bad Request",
+            "http.route.edits",
+            format!("error: {e}\n"),
+        ),
+        Err(_) => Response::text(
+            "500 Internal Server Error",
+            "http.route.edits",
+            "error: document shard died\n".into(),
+        ),
+    }
+}
+
+/// The body of one document shard: owns the `DtdC` → `Validator` →
+/// [`LiveValidator`] chain on its stack (the borrow chain that cannot
+/// live in a shared map) and serializes every request for its document
+/// in channel order. Exits when the store drops the last sender.
+fn run_doc_shard(
+    src: String,
+    opts: &Opts,
+    collector: Arc<MetricsCollector>,
+    rx: Receiver<DocRequest>,
+    ready: SyncSender<Result<(), String>>,
+) {
+    let obs = Obs::new(collector);
     let doc = {
         let _parse = obs.span("parse");
-        parse_document(&read(doc_path)?).map_err(|e| e.to_string())?
+        match parse_document(&src) {
+            Ok(doc) => doc,
+            Err(e) => {
+                let _ = ready.send(Err(e.to_string()));
+                return;
+            }
+        }
     };
-    let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
-    let mut options = if o.lenient {
+    let dtdc = match load_dtdc(opts, doc.dtd.as_ref(), true) {
+        Ok(d) => d,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    let mut options = if opts.lenient {
         Options::lenient()
     } else {
         Options::default()
     };
-    if let Some(threads) = o.threads {
+    if let Some(threads) = opts.threads {
         options = options.with_threads(threads);
     }
     let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
     let mut live = LiveValidator::new(&validator, doc.tree);
-
-    // The HTTP layer gets its own collector (request counter + latency
-    // histogram), merged into the validator's snapshot at scrape time —
-    // this is what `Metrics::merge` exists for.
-    let http_collector = {
-        let mut c = MetricsCollector::new();
-        c.set_histogram_families(["http"]);
-        Arc::new(c)
-    };
-    let http_obs = Obs::new(http_collector.clone());
-
-    for conn in listener.incoming() {
-        let mut stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let span = http_obs.span("http.request");
-        http_obs.add("http.requests", 1);
-        let request = read_request(&mut stream);
-        let shutdown = match request {
-            Ok((method, path, body)) => {
-                let (status, content_type, payload, stop) = match (method.as_str(), path.as_str()) {
-                    ("GET", "/report") => (
-                        "200 OK",
-                        "text/plain; charset=utf-8",
-                        live.report().to_string(),
-                        false,
-                    ),
-                    ("GET", "/metrics") => {
-                        let mut m = collector.snapshot();
-                        m.merge(&http_collector.snapshot());
-                        (
-                            "200 OK",
-                            "text/plain; version=0.0.4; charset=utf-8",
-                            m.to_prometheus(),
-                            false,
-                        )
-                    }
-                    ("POST", "/edits") => match apply_edit_script(&mut live, &body, o.sequential) {
-                        Ok(rendered) => ("200 OK", "text/plain; charset=utf-8", rendered, false),
-                        Err(e) => (
-                            "400 Bad Request",
-                            "text/plain; charset=utf-8",
-                            format!("error: {e}\n"),
-                            false,
-                        ),
-                    },
-                    ("POST", "/shutdown") => (
-                        "200 OK",
-                        "text/plain; charset=utf-8",
-                        "shutting down\n".into(),
-                        true,
-                    ),
-                    _ => (
-                        "404 Not Found",
-                        "text/plain; charset=utf-8",
-                        format!("no such endpoint: {method} {path}\n"),
-                        false,
-                    ),
-                };
-                respond(&mut stream, status, content_type, &payload);
-                stop
+    let _ = ready.send(Ok(()));
+    while let Ok(req) = rx.recv() {
+        obs.add("doc.requests", 1);
+        match req {
+            DocRequest::Report(reply) => {
+                let _ = reply.send(live.report().to_string());
             }
-            Err(e) => {
-                respond(
-                    &mut stream,
-                    "400 Bad Request",
-                    "text/plain; charset=utf-8",
-                    &format!("error: {e}\n"),
-                );
-                false
+            DocRequest::Edits(script, reply) => {
+                let _ = reply.send(apply_edit_script(&mut live, &script, opts.sequential));
             }
-        };
-        span.end();
-        if shutdown {
-            return Ok(());
         }
     }
-    Ok(())
 }
 
 /// Plays an edit script against the live document, rendering exactly what
@@ -189,62 +653,10 @@ fn apply_edit_script(
     Ok(out)
 }
 
-/// Reads one HTTP/1.1 request: the request line, headers (only
-/// `Content-Length` is interpreted), and exactly that many body bytes.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("bad request line: {e}"))?;
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(format!("malformed request line {line:?}"));
-    };
-    let (method, path) = (method.to_string(), path.to_string());
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        let n = reader
-            .read_line(&mut header)
-            .map_err(|e| format!("bad header: {e}"))?;
-        let header = header.trim_end();
-        if n == 0 || header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
-            }
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("truncated body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    Ok((method, path, body))
-}
-
-/// Writes a complete response and closes the write side.
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::SocketAddr;
+    use crate::http::HttpClient;
     use std::path::PathBuf;
 
     fn tmp(name: &str, content: &str) -> PathBuf {
@@ -277,32 +689,19 @@ ref.to <=s entry.isbn";
   <ref to="x1"/>
 </book>"#;
 
-    /// One raw HTTP/1.1 exchange; returns (status line, body).
-    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
-        let mut s = TcpStream::connect(addr).unwrap();
-        let req = format!(
-            "{method} {path} HTTP/1.1\r\nHost: xic\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        );
-        s.write_all(req.as_bytes()).unwrap();
-        s.shutdown(std::net::Shutdown::Write).unwrap();
-        let mut response = String::new();
-        s.read_to_string(&mut response).unwrap();
-        let (head, payload) = response
-            .split_once("\r\n\r\n")
-            .unwrap_or((response.as_str(), ""));
-        let status = head.lines().next().unwrap_or("").to_string();
-        (status, payload.to_string())
+    /// One keep-alive HTTP exchange on a fresh connection; returns
+    /// (status code, body).
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut c = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+        c.request(method, path, body).unwrap()
     }
 
-    /// Binds port 0, starts the daemon on the book fixture, runs `f`
-    /// against it, then shuts it down cleanly.
-    fn with_daemon(doc: &str, f: impl FnOnce(SocketAddr)) {
+    /// The book fixture's CLI flags (shared by the daemon and the
+    /// `apply-edits` byte-identity cross-checks).
+    fn book_flags() -> Vec<String> {
         let dtd = tmp("book.dtd", BOOK_DTD);
         let sigma = tmp("book.sigma", BOOK_SIGMA);
-        let doc = tmp("doc.xml", doc);
-        let args: Vec<String> = [
-            doc.to_str().unwrap(),
+        [
             "--dtd",
             dtd.to_str().unwrap(),
             "--root",
@@ -312,34 +711,48 @@ ref.to <=s entry.isbn";
         ]
         .iter()
         .map(ToString::to_string)
-        .collect();
+        .collect()
+    }
+
+    /// Binds port 0, starts the daemon on the book fixture (pre-loaded
+    /// as doc `default`) with `extra` flags, runs `f` against it, then
+    /// shuts it down cleanly.
+    fn with_daemon(doc: &str, extra: &[&str], f: impl FnOnce(SocketAddr)) {
+        let doc = tmp("doc.xml", doc);
+        let mut args = vec![doc.to_str().unwrap().to_string()];
+        args.extend(book_flags());
+        args.extend(extra.iter().map(ToString::to_string));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let daemon = std::thread::spawn(move || serve_on(listener, &args));
         f(addr);
         let (status, _) = http(addr, "POST", "/shutdown", "");
-        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(status, 200);
         daemon.join().unwrap().unwrap();
     }
 
     #[test]
     fn report_metrics_and_edits_round_trip() {
-        with_daemon(GOOD_DOC, |addr| {
+        with_daemon(GOOD_DOC, &[], |addr| {
             let (status, report) = http(addr, "GET", "/report", "");
-            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(status, 200);
             assert!(report.contains("valid"), "{report}");
 
-            // Prometheus exposition: # TYPE headers, counters, histogram
-            // series from the edit applied below come in the next scrape.
+            // Prometheus exposition: # TYPE headers, counters, and the
+            // default doc's series labeled doc="default".
             let (status, prom) = http(addr, "GET", "/metrics", "");
-            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(status, 200);
             assert!(prom.contains("# TYPE xic_wall_seconds gauge"), "{prom}");
             assert!(
                 prom.contains("# TYPE xic_http_requests_total counter"),
                 "{prom}"
             );
             assert!(
-                prom.contains("xic_span_seconds_count{span=\"parse\"}"),
+                prom.contains("xic_span_seconds_count{span=\"parse\",doc=\"default\"}"),
+                "{prom}"
+            );
+            assert!(
+                prom.contains("xic_doc_requests_total{doc=\"default\"}"),
                 "{prom}"
             );
 
@@ -348,87 +761,393 @@ ref.to <=s entry.isbn";
             // to the same attribute would coalesce to the net no-op.
             let script = "set-attr 5 to dangling\n";
             let (status, diff) = http(addr, "POST", "/edits", script);
-            assert_eq!(status, "HTTP/1.1 200 OK", "{diff}");
+            assert_eq!(status, 200, "{diff}");
             assert!(diff.contains("edit: set-attr 5 to dangling"), "{diff}");
             assert!(diff.contains("batch: 1 edits"), "{diff}");
             assert!(diff.contains("+ "), "{diff}");
             let (status, repair) = http(addr, "POST", "/edits", "set-attr 5 to x1\n");
-            assert_eq!(status, "HTTP/1.1 200 OK", "{repair}");
+            assert_eq!(status, 200, "{repair}");
             assert!(repair.contains("- "), "{repair}");
             assert!(repair.contains("valid"), "{repair}");
 
             // /edits responses match `xic apply-edits` byte-for-byte on
             // the same script against the same starting document.
-            let dtd = tmp("book.dtd", BOOK_DTD);
-            let sigma = tmp("book.sigma", BOOK_SIGMA);
             let doc = tmp("doc.xml", GOOD_DOC);
             let script_file = tmp("script.txt", script);
-            let args: Vec<String> = [
-                "apply-edits",
-                doc.to_str().unwrap(),
-                script_file.to_str().unwrap(),
-                "--dtd",
-                dtd.to_str().unwrap(),
-                "--root",
-                "book",
-                "--sigma",
-                sigma.to_str().unwrap(),
-            ]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+            let mut args = vec![
+                "apply-edits".to_string(),
+                doc.to_str().unwrap().to_string(),
+                script_file.to_str().unwrap().to_string(),
+            ];
+            args.extend(book_flags());
             let mut cli_out = String::new();
             // Exit 1: the dangling reference leaves the document invalid.
             assert_eq!(crate::run(&args, &mut cli_out), 1);
             assert_eq!(diff, cli_out, "serve /edits diverged from apply-edits");
 
             // After the edits, the histogram series are live: each POST
-            // ran one `edit.batch` span, and `xic_edits_total` counts the
-            // raw (pre-coalescing) requests.
+            // ran one `edit.batch` span on the default doc's shard, and
+            // the HTTP layer recorded per-route histograms.
             let (_, prom) = http(addr, "GET", "/metrics", "");
             assert!(
                 prom.contains("# TYPE xic_edit_batch_seconds histogram"),
                 "{prom}"
             );
             assert!(
-                prom.contains("xic_edit_batch_seconds_bucket{le=\"+Inf\"} 2"),
+                prom.contains("xic_edit_batch_seconds_bucket{doc=\"default\",le=\"+Inf\"} 2"),
                 "{prom}"
             );
-            assert!(prom.contains("xic_edit_batch_seconds_count 2"), "{prom}");
-            assert!(prom.contains("xic_edits_total 2"), "{prom}");
+            assert!(
+                prom.contains("xic_edits_total{doc=\"default\"} 2"),
+                "{prom}"
+            );
             assert!(
                 prom.contains("# TYPE xic_http_request_seconds histogram"),
                 "{prom}"
             );
+            assert!(
+                prom.contains("# TYPE xic_http_route_edits_seconds histogram"),
+                "{prom}"
+            );
+            assert!(
+                prom.contains("# TYPE xic_serve_queue_wait_seconds histogram"),
+                "{prom}"
+            );
+
+            // The same snapshot as JSON, parseable back into Metrics.
+            let (status, json) = http(addr, "GET", "/metrics.json", "");
+            assert_eq!(status, 200);
+            let m = Metrics::parse_json(&json).unwrap();
+            assert!(m.hist("http.request").unwrap().count > 0, "{json}");
+            assert_eq!(m.counter("edits#doc=default"), 2, "{json}");
         });
     }
 
     #[test]
     fn bad_requests_get_4xx_and_leave_the_daemon_alive() {
-        with_daemon(GOOD_DOC, |addr| {
+        with_daemon(GOOD_DOC, &[], |addr| {
             let (status, body) = http(addr, "GET", "/nope", "");
-            assert_eq!(status, "HTTP/1.1 404 Not Found");
+            assert_eq!(status, 404);
             assert!(body.contains("no such endpoint"), "{body}");
 
             let (status, body) = http(addr, "POST", "/edits", "frobnicate 1\n");
-            assert_eq!(status, "HTTP/1.1 400 Bad Request");
+            assert_eq!(status, 400);
             assert!(body.contains("unknown edit"), "{body}");
+
+            let (status, body) = http(addr, "GET", "/docs/ghost/report", "");
+            assert_eq!(status, 404);
+            assert!(body.contains("no such document"), "{body}");
+
+            let (status, _) = http(addr, "DELETE", "/docs/ghost", "");
+            assert_eq!(status, 404);
+
+            let (status, body) = http(addr, "PUT", "/docs/bad%20id", "<x/>");
+            assert_eq!(status, 400);
+            assert!(body.contains("bad document id"), "{body}");
 
             // Still serving after the errors.
             let (status, _) = http(addr, "GET", "/report", "");
-            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(status, 200);
         });
     }
 
     #[test]
     fn edits_mutate_the_served_document() {
-        with_daemon(GOOD_DOC, |addr| {
+        with_daemon(GOOD_DOC, &[], |addr| {
             let (_, before) = http(addr, "GET", "/report", "");
             assert!(before.contains("valid"), "{before}");
             let (status, _) = http(addr, "POST", "/edits", "set-attr 5 to dangling\n");
-            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(status, 200);
             let (_, after) = http(addr, "GET", "/report", "");
             assert!(after.contains("dangling"), "{after}");
+        });
+    }
+
+    #[test]
+    fn document_store_crud_round_trip() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            // One keep-alive connection drives the whole exchange.
+            let mut c = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+            let with_dtd = format!("<!DOCTYPE book [\n{BOOK_DTD}\n]>\n{GOOD_DOC}");
+            let (status, report) = c.request("PUT", "/docs/a", &with_dtd).unwrap();
+            assert_eq!(status, 201, "{report}");
+            assert!(report.contains("valid"), "{report}");
+            // Replacing an existing doc is 200, not 201.
+            let (status, _) = c.request("PUT", "/docs/a", &with_dtd).unwrap();
+            assert_eq!(status, 200);
+            let (status, _) = c.request("PUT", "/docs/b", &with_dtd).unwrap();
+            assert_eq!(status, 201);
+
+            let (status, ids) = c.request("GET", "/docs", "").unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(ids, "a\nb\ndefault\n");
+
+            // Doc-scoped report and edits; the default doc is untouched.
+            let (status, r) = c.request("GET", "/docs/a/report", "").unwrap();
+            assert_eq!(status, 200);
+            assert!(r.contains("valid"), "{r}");
+            let (status, diff) = c
+                .request("POST", "/docs/a/edits", "set-attr 5 to dangling\n")
+                .unwrap();
+            assert_eq!(status, 200, "{diff}");
+            assert!(diff.contains("+ "), "{diff}");
+            let (_, r) = c.request("GET", "/docs/a/report", "").unwrap();
+            assert!(r.contains("dangling"), "{r}");
+            let (_, r) = c.request("GET", "/docs/default/report", "").unwrap();
+            assert!(r.contains("valid (0 violations)"), "{r}");
+
+            // Per-doc metrics labels for both tenants.
+            let (_, prom) = c.request("GET", "/metrics", "").unwrap();
+            assert!(prom.contains("xic_edits_total{doc=\"a\"} 1"), "{prom}");
+            assert!(prom.contains("xic_doc_requests_total{doc=\"b\"}"), "{prom}");
+
+            let (status, body) = c.request("DELETE", "/docs/a", "").unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("deleted a"), "{body}");
+            let (status, _) = c.request("GET", "/docs/a/report", "").unwrap();
+            assert_eq!(status, 404);
+            let (_, ids) = c.request("GET", "/docs", "").unwrap();
+            assert_eq!(ids, "b\ndefault\n");
+        });
+    }
+
+    #[test]
+    fn put_rejects_documents_that_do_not_load() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            let (status, body) = http(addr, "PUT", "/docs/broken", "<book><unclosed>");
+            assert_eq!(status, 400);
+            assert!(body.contains("error: "), "{body}");
+            let (_, ids) = http(addr, "GET", "/docs", "");
+            assert_eq!(ids, "default\n");
+        });
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_get_framed_errors() {
+        with_daemon(GOOD_DOC, &["--max-body", "64"], |addr| {
+            // 413 before the body is read.
+            let (status, body) = http(addr, "POST", "/edits", &"x".repeat(65));
+            assert_eq!(status, 413, "{body}");
+            assert!(body.contains("--max-body 64"), "{body}");
+
+            // A garbage request line gets a framed 400, not a dropped
+            // connection.
+            use std::io::{Read, Write};
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 400 Bad Request"), "{resp}");
+
+            // Small bodies still fit under the 64-byte cap.
+            let (status, _) = http(addr, "GET", "/report", "");
+            assert_eq!(status, 200);
+        });
+    }
+
+    #[test]
+    fn stalled_connections_time_out_without_wedging_workers() {
+        with_daemon(
+            GOOD_DOC,
+            &["--timeout", "0.2", "--http-threads", "1"],
+            |addr| {
+                // A client that connects and sends nothing: with one worker,
+                // only the read timeout can free the daemon to serve others.
+                let stalled = TcpStream::connect(addr).unwrap();
+                let start = Instant::now();
+                let (status, _) = http(addr, "GET", "/report", "");
+                assert_eq!(status, 200);
+                assert!(
+                    start.elapsed() >= Duration::from_millis(100),
+                    "expected the stalled client to hold the worker briefly"
+                );
+                drop(stalled);
+            },
+        );
+    }
+
+    /// The report portion of an `apply-edits` CLI run: everything after
+    /// the echoed script lines and the ± batch diff.
+    fn report_of(cli_out: &str) -> String {
+        let mut at = 0;
+        for line in cli_out.lines() {
+            if line.starts_with("edit: ") || line.starts_with("batch: ") || line.starts_with("  ") {
+                at += line.len() + 1;
+            } else {
+                break;
+            }
+        }
+        cli_out[at..].to_string()
+    }
+
+    #[test]
+    fn same_doc_concurrent_edits_serialize_to_the_sequential_report() {
+        // Two clients hammer the same document concurrently. Each owns a
+        // disjoint attribute, so the final tree is the same whatever the
+        // interleaving — but only because the shard serializes the edits;
+        // a lost update would leave a stale value or a torn report.
+        const ROUNDS: usize = 25;
+        with_daemon(GOOD_DOC, &["--http-threads", "4"], |addr| {
+            let writer = move |attr_node: &'static str, prefix: &'static str| {
+                let mut c = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+                for i in 0..ROUNDS {
+                    let script = format!("set-attr {attr_node} {prefix}{i}\n");
+                    let (status, body) = c.request("POST", "/edits", &script).unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            };
+            let a = std::thread::spawn(move || writer("1 isbn", "a"));
+            let b = std::thread::spawn(move || writer("5 to", "b"));
+            a.join().unwrap();
+            b.join().unwrap();
+            let (status, served) = http(addr, "GET", "/report", "");
+            assert_eq!(status, 200);
+
+            // The equivalent sequential script: all of A's edits, then all
+            // of B's, replayed by `xic apply-edits` from the same start.
+            let mut script = String::new();
+            for i in 0..ROUNDS {
+                let _ = writeln!(script, "set-attr 1 isbn a{i}");
+            }
+            for i in 0..ROUNDS {
+                let _ = writeln!(script, "set-attr 5 to b{i}");
+            }
+            let doc = tmp("doc.xml", GOOD_DOC);
+            let script_file = tmp("concurrent-sequential.txt", &script);
+            let mut args = vec![
+                "apply-edits".to_string(),
+                doc.to_str().unwrap().to_string(),
+                script_file.to_str().unwrap().to_string(),
+            ];
+            args.extend(book_flags());
+            let mut cli_out = String::new();
+            crate::run(&args, &mut cli_out);
+            assert_eq!(
+                served,
+                report_of(&cli_out),
+                "concurrent serve diverged from the sequential apply-edits run"
+            );
+        });
+    }
+
+    #[test]
+    fn different_docs_succeed_in_parallel_under_contention() {
+        with_daemon(GOOD_DOC, &["--http-threads", "4"], |addr| {
+            let with_dtd = format!("<!DOCTYPE book [\n{BOOK_DTD}\n]>\n{GOOD_DOC}");
+            for id in ["a", "b"] {
+                let (status, _) = http(addr, "PUT", &format!("/docs/{id}"), &with_dtd);
+                assert_eq!(status, 201);
+            }
+            let hammer = move |id: &'static str| {
+                let mut c = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+                for i in 0..25 {
+                    let script = format!("set-attr 5 to {id}{i}\n");
+                    let (status, body) = c
+                        .request("POST", &format!("/docs/{id}/edits"), &script)
+                        .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            };
+            let a = std::thread::spawn(move || hammer("a"));
+            let b = std::thread::spawn(move || hammer("b"));
+            a.join().unwrap();
+            b.join().unwrap();
+            // Each doc saw only its own client's writes.
+            let (_, ra) = http(addr, "GET", "/docs/a/report", "");
+            let (_, rb) = http(addr, "GET", "/docs/b/report", "");
+            assert!(ra.contains("a24"), "{ra}");
+            assert!(rb.contains("b24"), "{rb}");
+            assert!(!ra.contains("b24"), "{ra}");
+            let (_, prom) = http(addr, "GET", "/metrics", "");
+            assert!(prom.contains("xic_edits_total{doc=\"a\"} 25"), "{prom}");
+            assert!(prom.contains("xic_edits_total{doc=\"b\"} 25"), "{prom}");
+        });
+    }
+
+    #[test]
+    fn shutdown_during_edit_burst_loses_no_accepted_request() {
+        // Clients burst keep-alive edits while a shutdown lands mid-burst.
+        // The drain contract: every request the daemon accepted is served
+        // in full — a client sees either a complete response or a clean
+        // close at a response boundary, never a truncated one.
+        let doc = tmp("doc.xml", GOOD_DOC);
+        let mut args = vec![doc.to_str().unwrap().to_string()];
+        args.extend(book_flags());
+        args.extend(["--http-threads".to_string(), "2".to_string()]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || serve_on(listener, &args));
+
+        let burst = move |tag: &'static str| -> u64 {
+            use std::io::ErrorKind;
+            let clean = |k: ErrorKind| {
+                matches!(
+                    k,
+                    ErrorKind::UnexpectedEof
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::ConnectionRefused
+                        | ErrorKind::BrokenPipe
+                )
+            };
+            let mut served = 0u64;
+            'outer: for round in 0..50 {
+                let mut c = match HttpClient::connect(addr, Duration::from_secs(30)) {
+                    Ok(c) => c,
+                    Err(e) if clean(e.kind()) => break,
+                    Err(e) => panic!("{tag}: unexpected connect error {e}"),
+                };
+                for i in 0..20 {
+                    let script = format!("set-attr 5 to {tag}{round}x{i}\n");
+                    match c.request("POST", "/edits", &script) {
+                        Ok((200, _)) => served += 1,
+                        Ok((status, body)) => panic!("{tag}: unexpected {status}: {body}"),
+                        Err(e) if clean(e.kind()) => break 'outer,
+                        // Any other error is a response lost mid-frame.
+                        Err(e) => panic!("{tag}: truncated response: {e}"),
+                    }
+                }
+            }
+            served
+        };
+        let clients: Vec<_> = ["c0", "c1", "c2", "c3"]
+            .into_iter()
+            .map(|tag| std::thread::spawn(move || burst(tag)))
+            .collect();
+        std::thread::sleep(Duration::from_millis(60));
+        let (status, body) = http(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200, "{body}");
+
+        let mut total = 0;
+        for c in clients {
+            total += c.join().unwrap();
+        }
+        assert!(total > 0, "burst never got going before the shutdown");
+        // The daemon drained and exited cleanly.
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            let mut c = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+            for _ in 0..5 {
+                let (status, report) = c.request("GET", "/report", "").unwrap();
+                assert_eq!(status, 200);
+                assert!(report.contains("valid"), "{report}");
+            }
+            let (_, prom) = c.request("GET", "/metrics", "").unwrap();
+            // All six requests so far arrived on one connection: exactly
+            // one queue_wait sample against six http.request samples.
+            let count = |needle: &str| -> u64 {
+                prom.lines()
+                    .find(|l| l.starts_with(needle) && !l.starts_with('#'))
+                    .and_then(|l| l.rsplit(' ').next())
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("missing {needle} in {prom}"))
+            };
+            assert_eq!(count("xic_serve_queue_wait_seconds_count"), 1, "{prom}");
+            assert_eq!(count("xic_http_requests_total"), 6, "{prom}");
         });
     }
 }

@@ -125,6 +125,35 @@ impl Metrics {
         self.hists.get(name)
     }
 
+    /// Returns a copy of the snapshot with every span, counter, maximum
+    /// and histogram key suffixed by `#label=value` — the labeled-key
+    /// convention [`Metrics::to_prometheus`] renders as a Prometheus
+    /// label pair. `xic serve` uses this to merge one collector per
+    /// document into a single scrape without per-doc series colliding:
+    ///
+    /// ```
+    /// use xic_obs::Metrics;
+    /// let mut m = Metrics::default();
+    /// m.counters.insert("edits".into(), 3);
+    /// let labeled = m.with_label("doc", "orders");
+    /// assert_eq!(labeled.counter("edits#doc=orders"), 3);
+    /// assert!(labeled.to_prometheus().contains("xic_edits_total{doc=\"orders\"} 3"));
+    /// ```
+    pub fn with_label(&self, label: &str, value: &str) -> Metrics {
+        let key = |name: &str| format!("{name}#{label}={value}");
+        Metrics {
+            wall_nanos: self.wall_nanos,
+            spans: self.spans.iter().map(|(k, &v)| (key(k), v)).collect(),
+            counters: self.counters.iter().map(|(k, &v)| (key(k), v)).collect(),
+            maxima: self.maxima.iter().map(|(k, &v)| (key(k), v)).collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| (key(k), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Folds `other` into `self`: counters and span stats add, maxima
     /// and `wall_nanos` take the larger value, histograms merge
     /// bucket-wise. Lets per-thread or per-request snapshots combine into

@@ -28,6 +28,37 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Splits the labeled-key convention `base#label=value` (see
+/// [`Metrics::with_label`]) into the base name and the rendered label
+/// pair, if any. A key without `#` has no label.
+fn split_label(name: &str) -> (&str, Option<String>) {
+    let Some((base, rest)) = name.split_once('#') else {
+        return (name, None);
+    };
+    let Some((label, value)) = rest.split_once('=') else {
+        return (name, None);
+    };
+    let escaped: String = value
+        .chars()
+        .flat_map(|c| match c {
+            '\\' => vec!['\\', '\\'],
+            '"' => vec!['\\', '"'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect();
+    (base, Some(format!("{}=\"{escaped}\"", sanitize(label))))
+}
+
+/// Emits a `# TYPE` header unless one was already written for the same
+/// metric name (labeled variants of one base share a single header).
+fn type_header(out: &mut String, last: &mut Option<String>, metric: &str, kind: &str) {
+    if last.as_deref() != Some(metric) {
+        let _ = writeln!(out, "# TYPE {metric} {kind}");
+        *last = Some(metric.to_string());
+    }
+}
+
 /// Nanoseconds as seconds, in plain decimal (Rust's `f64` `Display`
 /// never produces scientific notation, which the exposition format does
 /// not guarantee every parser accepts).
@@ -52,44 +83,67 @@ impl Metrics {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE xic_wall_seconds gauge");
         let _ = writeln!(out, "xic_wall_seconds {}", secs(self.wall_nanos));
+        let mut last = None;
         for (name, &v) in &self.counters {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE xic_{n}_total counter");
-            let _ = writeln!(out, "xic_{n}_total {v}");
+            let (base, label) = split_label(name);
+            let n = sanitize(base);
+            type_header(&mut out, &mut last, &format!("xic_{n}_total"), "counter");
+            let lb = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
+            let _ = writeln!(out, "xic_{n}_total{lb} {v}");
         }
+        let mut last = None;
         for (name, &v) in &self.maxima {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE xic_{n} gauge");
-            let _ = writeln!(out, "xic_{n} {v}");
+            let (base, label) = split_label(name);
+            let n = sanitize(base);
+            type_header(&mut out, &mut last, &format!("xic_{n}"), "gauge");
+            let lb = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
+            let _ = writeln!(out, "xic_{n}{lb} {v}");
         }
         if !self.spans.is_empty() {
             let _ = writeln!(out, "# TYPE xic_span_seconds summary");
             for (name, s) in &self.spans {
+                let (base, label) = split_label(name);
+                let lb = label.map(|l| format!(",{l}")).unwrap_or_default();
                 let _ = writeln!(
                     out,
-                    "xic_span_seconds_sum{{span=\"{name}\"}} {}",
+                    "xic_span_seconds_sum{{span=\"{base}\"{lb}}} {}",
                     secs(s.nanos)
                 );
-                let _ = writeln!(out, "xic_span_seconds_count{{span=\"{name}\"}} {}", s.count);
+                let _ = writeln!(
+                    out,
+                    "xic_span_seconds_count{{span=\"{base}\"{lb}}} {}",
+                    s.count
+                );
             }
         }
+        let mut last = None;
         for (name, h) in &self.hists {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE xic_{n}_seconds histogram");
+            let (base, label) = split_label(name);
+            let n = sanitize(base);
+            type_header(
+                &mut out,
+                &mut last,
+                &format!("xic_{n}_seconds"),
+                "histogram",
+            );
+            // A labeled histogram keeps its label ahead of `le`, so one
+            // series per (doc, bucket): `_bucket{doc="a",le="…"}`.
+            let lb = label.clone().map(|l| format!("{l},")).unwrap_or_default();
+            let solo = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
             let mut cum = 0u64;
             if let Some(last) = h.last_bucket() {
                 for (i, &c) in h.buckets[..=last].iter().enumerate() {
                     cum += c;
                     let _ = writeln!(
                         out,
-                        "xic_{n}_seconds_bucket{{le=\"{}\"}} {cum}",
+                        "xic_{n}_seconds_bucket{{{lb}le=\"{}\"}} {cum}",
                         secs(bucket_upper(i).min(1 << 62))
                     );
                 }
             }
-            let _ = writeln!(out, "xic_{n}_seconds_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "xic_{n}_seconds_sum {}", secs(h.sum));
-            let _ = writeln!(out, "xic_{n}_seconds_count {}", h.count);
+            let _ = writeln!(out, "xic_{n}_seconds_bucket{{{lb}le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "xic_{n}_seconds_sum{solo} {}", secs(h.sum));
+            let _ = writeln!(out, "xic_{n}_seconds_count{solo} {}", h.count);
         }
         out
     }
@@ -171,6 +225,48 @@ mod tests {
         let text = sample().to_prometheus();
         assert!(text.contains("xic_span_seconds_sum{span=\"check.key\"} 0.0015"));
         assert!(text.contains("xic_span_seconds_count{span=\"check.key\"} 4"));
+    }
+
+    #[test]
+    fn labeled_keys_render_as_prometheus_labels() {
+        let mut per_doc = Metrics::default();
+        per_doc.counters.insert("edits".into(), 5);
+        per_doc.spans.insert(
+            "parse".into(),
+            SpanStat {
+                count: 1,
+                nanos: 2_000_000,
+            },
+        );
+        let mut h = Histogram::default();
+        h.record(1_000);
+        per_doc.hists.insert("edit.batch".into(), h);
+        let mut m = per_doc.with_label("doc", "a");
+        m.merge(&per_doc.with_label("doc", "b\"x"));
+        let text = m.to_prometheus();
+        assert!(text.contains("xic_edits_total{doc=\"a\"} 5"), "{text}");
+        assert!(text.contains("xic_edits_total{doc=\"b\\\"x\"} 5"), "{text}");
+        assert!(
+            text.contains("xic_span_seconds_count{span=\"parse\",doc=\"a\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("xic_edit_batch_seconds_bucket{doc=\"a\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("xic_edit_batch_seconds_count{doc=\"a\"} 1"));
+        // One TYPE header per metric name, however many labeled series.
+        assert_eq!(
+            text.matches("# TYPE xic_edits_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE xic_edit_batch_seconds histogram")
+                .count(),
+            1,
+            "{text}"
+        );
     }
 
     #[test]
