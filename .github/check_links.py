@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's tracked documentation.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+For every inline link ``[text](target)`` in the given files:
+
+- ``http(s)://`` targets are skipped (no network in CI);
+- a relative path must name a file or directory that exists, resolved
+  against the linking file's directory;
+- a ``#anchor`` (same-file or after a path) must match a heading in the
+  target file under GitHub's slugification (lowercase, spaces to
+  hyphens, punctuation dropped).
+
+Exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+CODE_FENCE = re.compile(r"```.*?```", re.S)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation."""
+    text = re.sub(r"[`*_]|\[([^\]]*)\]\([^)]*\)", r"\1", heading).strip()
+    text = text.lower().replace(" ", "-")
+    return re.sub(r"[^\w\-§]", "", text, flags=re.UNICODE)
+
+
+def anchors_of(path: Path) -> set:
+    body = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING.finditer(body)}
+
+
+def main(files):
+    broken = []
+    for name in files:
+        src = Path(name)
+        body = CODE_FENCE.sub("", src.read_text(encoding="utf-8"))
+        for m in LINK.finditer(body):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = src if not path_part else (src.parent / path_part)
+            if not dest.exists():
+                broken.append(f"{name}: broken path {target!r}")
+                continue
+            if anchor and dest.suffix == ".md":
+                if slugify(anchor) not in anchors_of(dest):
+                    broken.append(f"{name}: missing anchor {target!r}")
+    if broken:
+        print("\n".join(broken))
+        return 1
+    print(f"checked {len(files)} file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,17 +1,17 @@
-//! Reproduces experiments E1–E18 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E19 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
 //! check with measured scaling, plus the compiled-engine study E11, the
 //! streaming-pipeline study E12, the incremental-revalidation study E13,
-//! the batch-edit/bulk-init study E17 and the multi-tenant serve load
-//! study E18.
+//! the batch-edit/bulk-init study E17, the multi-tenant serve load
+//! study E18 and the durable-state warm-start study E19.
 //!
 //! ```text
 //! cargo run --release -p xic-bench --bin experiments [--smoke] [e1 e5 e11 ...]
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e18`). `--smoke` restricts the document-scaling
-//! experiments (E11/E12/E13/E15/E16/E17/E18) to one size so CI can run
+//! (by id: `e1` … `e19`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12/E13/E15/E16/E17/E18/E19) to one size so CI can run
 //! them as a fast correctness check; under `--smoke`, E12 and E16 also fail
 //! if measured streaming throughput drops below 0.8× the committed
 //! `BENCH_validate.json` row for that size, and E17 fails if batched edits
@@ -20,7 +20,11 @@
 //! the multi-tenant `xic serve` daemon with an in-process load generator
 //! and (on multi-core hosts, in either mode) asserts 4 docs × 4 clients
 //! sustain ≥2× the serialized 1×1 aggregate edit throughput.
-//! E11, E12, E13, E16, E17 and E18 additionally record their
+//! E19 gates the durable-state path: rebuilding validator state from a
+//! decoded snapshot at ≤0.25× a cold boot at 10⁶ vertices (≤0.3× at the
+//! smoke size), the end-to-end warm boot at ≤0.8× the cold boot, and
+//! torn-tail crash recovery asserted byte-identical.
+//! E11, E12, E13, E16, E17, E18 and E19 additionally record their
 //! measured rows; when any of them runs, the merged baseline is written to
 //! `target/BENCH_validate.json` (copy it over the tracked
 //! `BENCH_validate.json` at the repository root to refresh the committed
@@ -80,7 +84,7 @@ fn main() {
         filters.remove(i);
         SMOKE.store(true, Ordering::Relaxed);
     }
-    let experiments: [(&str, fn()); 18] = [
+    let experiments: [(&str, fn()); 19] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -99,6 +103,7 @@ fn main() {
         ("e16", e16_raw_speed),
         ("e17", e17_batch_propagation),
         ("e18", e18_serve_load),
+        ("e19", e19_warm_start),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -1665,6 +1670,221 @@ fn e18_serve_load() {
         format!(
             "{{\n    \"workload\": \"flat keyed doc ({items} items, item.id -> item, ref.to <=s item.id); loopback keep-alive clients each posting {edits_per_client} single-edit scripts; p99 from the daemon's http.route.edits histogram\",\n    \"cpus\": {cpus},\n    \"scaling_gate\": \"{}\",\n    \"rows\": [\n{}\n    ]\n  }}",
             if cpus >= 2 { "asserted >= 2x" } else { "skipped (single CPU)" },
+            json_rows.join(",\n")
+        ),
+    );
+}
+
+/// The E19 document sizes. Like E17, the `--smoke` size is 10⁵: warm
+/// start's advantage is a ratio of two linear passes, and on 10⁴-node
+/// documents both sides finish in microseconds of noise.
+fn e19_sizes() -> &'static [usize] {
+    if SMOKE.load(Ordering::Relaxed) {
+        &[100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    }
+}
+
+/// E19 — durable state: versioned snapshot + edit WAL warm start
+/// (xic-storage; DESIGN §4.15).
+///
+/// Three claims, all best-of-reps in one process so machine noise
+/// cancels. **State rebuild**: [`LiveValidator::from_state`] on a decoded
+/// snapshot must cost ≤0.25× the cold boot (parse + `LiveValidator::new`)
+/// at 10⁶ vertices (≤0.3× at the 10⁵ smoke size, where constant
+/// overheads weigh more) — this is the snapshot's algorithmic win: the
+/// extraction walk, structural validation scan, and interner construction
+/// are replaced by integrity checks over already-shaped columns.
+/// **End-to-end boot**: read + decode + rebuild + WAL replay must beat
+/// parse + bulk-init outright (≤0.8× here; measured ≈0.6×). The
+/// end-to-end ratio cannot reach 0.25× on one core because decoding a
+/// snapshot materializes the same per-node tree allocations the parser
+/// does, and that materialization dominates both paths; the components
+/// line in the output shows the decomposition. **Crash safety**: a log
+/// whose final record is torn mid-write recovers to a report
+/// byte-identical to the pre-crash validator that applied every intact
+/// batch — the torn tail is truncated away, never replayed, and never
+/// misread as corruption. Registers its rows for `BENCH_validate.json`.
+fn e19_warm_start() {
+    heading(
+        "E19 (durable state)",
+        "state rebuild ≤0.25× cold boot at 10⁶ vertices; end-to-end warm boot beats cold; torn-tail recovery byte-identical",
+    );
+    use rand::Rng;
+    use xic::storage::{read_snapshot, write_snapshot, FsyncPolicy, Wal};
+    let dir = std::env::temp_dir().join(format!("xic-e19-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create e19 scratch dir");
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in e19_sizes() {
+        let (dtdc, tree) = constraint_heavy_workload(n, 101);
+        let nodes = tree.len();
+        let rows = (n / 4).max(1);
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+        let src = format!(
+            "<!DOCTYPE db [\n{}]>\n{}",
+            serialize_dtd(dtdc.structure()),
+            serialize_document(&tree)
+        );
+        let v = Validator::with_matcher(&dtdc, MatcherKind::Dfa, Options::default());
+
+        // The durable artifacts: a snapshot of the freshly ingested
+        // document plus 8 logged batches of 64 edits each — a typical
+        // between-snapshots backlog under `--snapshot-every`.
+        let mut live = LiveValidator::new(&v, tree);
+        let orders: Vec<NodeId> = live.tree().ext("order").collect();
+        let snap = dir.join(format!("snapshot-{n}.bin"));
+        write_snapshot(&snap, &live.export_state()).expect("write snapshot");
+        let wal_path = dir.join(format!("wal-{n}.log"));
+        let (mut wal, _) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
+        let mut r = rng(909);
+        let mk_batch = |r: &mut rand::rngs::SmallRng| -> Vec<BatchEdit> {
+            (0..64)
+                .map(|_| BatchEdit::SetAttr {
+                    node: orders[r.gen_range(0..orders.len())],
+                    attr: "sup".into(),
+                    value: AttrValue::single(format!("s{}", r.gen_range(0..rows))),
+                })
+                .collect()
+        };
+        for _ in 0..8 {
+            let batch = mk_batch(&mut r);
+            wal.append(&batch).unwrap();
+            live.apply_batch(&batch).unwrap();
+        }
+        let expected = live.report().to_string();
+        let snap_bytes = std::fs::metadata(&snap).unwrap().len();
+
+        // Correctness first, outside the timers: recovery lands
+        // byte-identical to the surviving validator.
+        {
+            let state = read_snapshot(&snap).unwrap();
+            let (_, batches) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
+            assert_eq!(batches.len(), 8, "wal replay count at n={n}");
+            let mut lv = LiveValidator::from_state(&v, state).unwrap();
+            for b in &batches {
+                lv.apply_batch(b).unwrap();
+            }
+            assert_eq!(
+                lv.report().to_string(),
+                expected,
+                "warm-start report diverged at n={n}"
+            );
+        }
+
+        // Cold boot: parse the serialized document, then bulk-init the
+        // live validator — the daemon's ingest path. Phases are timed
+        // inside one loop (minimum per phase across reps) rather than as
+        // differences of separately timed closures, which would stack the
+        // noise of two measurements.
+        let (mut t_parse, mut t_init, mut t_cold) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let doc = parse_document(&src).unwrap();
+            let t1 = std::time::Instant::now();
+            let lv = LiveValidator::new(&v, doc.tree);
+            let t2 = std::time::Instant::now();
+            std::hint::black_box(&lv);
+            t_parse = t_parse.min((t1 - t0).as_secs_f64());
+            t_init = t_init.min((t2 - t1).as_secs_f64());
+            t_cold = t_cold.min((t2 - t0).as_secs_f64());
+        }
+
+        // Warm start: read + decode the snapshot, rebuild, replay.
+        let (mut t_read, mut t_rebuild, mut t_warm) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let state = read_snapshot(&snap).unwrap();
+            let t1 = std::time::Instant::now();
+            let mut lv = LiveValidator::from_state(&v, state).unwrap();
+            let t2 = std::time::Instant::now();
+            let (_, batches) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
+            for b in &batches {
+                lv.apply_batch(b).unwrap();
+            }
+            let t3 = std::time::Instant::now();
+            std::hint::black_box(&lv);
+            t_read = t_read.min((t1 - t0).as_secs_f64());
+            t_rebuild = t_rebuild.min((t2 - t1).as_secs_f64());
+            t_warm = t_warm.min((t3 - t0).as_secs_f64());
+        }
+        let rebuild_ratio = t_rebuild / t_cold;
+        let ratio = t_warm / t_cold;
+        println!(
+            "        components: cold = parse {:8.3} ms + init {:8.3} ms; warm = read+decode {:8.3} ms + from_state {:8.3} ms + replay",
+            t_parse * 1e3,
+            t_init * 1e3,
+            t_read * 1e3,
+            t_rebuild * 1e3
+        );
+        println!(
+            "  nodes = {nodes:8}  cold boot {:9.3} ms   warm start {:9.3} ms   ×{ratio:.3} end-to-end   ×{rebuild_ratio:.3} rebuild/cold   (snapshot {:.1} MB + 8×64-edit wal)",
+            t_cold * 1e3,
+            t_warm * 1e3,
+            snap_bytes as f64 / 1e6
+        );
+        if n >= 1_000_000 {
+            assert!(
+                rebuild_ratio <= 0.25,
+                "state rebuild above target at n={n}: ×{rebuild_ratio:.3} of cold boot (target ≤0.25)"
+            );
+            assert!(
+                ratio <= 0.8,
+                "end-to-end warm boot gate at n={n}: ×{ratio:.3} of cold boot (gate ≤0.8)"
+            );
+        }
+        if SMOKE.load(Ordering::Relaxed) {
+            assert!(
+                rebuild_ratio <= 0.3,
+                "state rebuild smoke gate at n={n}: ×{rebuild_ratio:.3} of cold boot (gate ≤0.3)"
+            );
+            assert!(
+                ratio <= 0.8,
+                "end-to-end warm boot smoke gate at n={n}: ×{ratio:.3} of cold boot (gate ≤0.8)"
+            );
+        }
+
+        // Crash mid-append: a ninth batch's record is torn mid-write.
+        // Recovery truncates the tail and lands byte-identical to the
+        // pre-crash validator, which never applied that batch.
+        let torn_batch = mk_batch(&mut r);
+        wal.append(&torn_batch).unwrap();
+        drop(wal);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        let full = f.metadata().unwrap().len();
+        f.set_len(full - 7).unwrap();
+        drop(f);
+        let state = read_snapshot(&snap).unwrap();
+        let (_, batches) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
+        assert_eq!(
+            batches.len(),
+            8,
+            "torn ninth record must be truncated away at n={n}"
+        );
+        let mut lv = LiveValidator::from_state(&v, state).unwrap();
+        for b in &batches {
+            lv.apply_batch(b).unwrap();
+        }
+        assert_eq!(
+            lv.report().to_string(),
+            expected,
+            "crash-mid-batch recovery diverged at n={n}"
+        );
+        println!("        crash-mid-batch: torn record truncated, recovered report byte-identical");
+
+        json_rows.push(format!(
+            "      {{\"nodes\": {nodes}, \"cold_boot_seconds\": {t_cold:.6}, \"warm_start_seconds\": {t_warm:.6}, \"warm_over_cold\": {ratio:.3}, \"rebuild_seconds\": {t_rebuild:.6}, \"rebuild_over_cold\": {rebuild_ratio:.3}, \"snapshot_bytes\": {snap_bytes}}}"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    register_section(
+        "e19_durable_state",
+        format!(
+            "{{\n    \"workload\": \"constraint_heavy_workload (seed 101); cold = parse + LiveValidator::new, warm = read_snapshot + from_state + replay of an 8x64-edit wal (seed 909)\",\n    \"rows\": [\n{}\n    ]\n  }}",
             json_rows.join(",\n")
         ),
     );

@@ -1,0 +1,80 @@
+//! Shared plumbing for the durable-state surface (`--state-dir`): the
+//! per-document DTD sidecar and the recovery loader used by both the
+//! serve daemon and the `xic snapshot` / `xic recover` subcommands.
+//!
+//! A snapshot captures the *state* of a live validator, not its
+//! *configuration*: the `DTD^C` it validates against is rebuilt on
+//! recovery from `--dtd/--root/--sigma` (server flags are configuration)
+//! plus a small per-document sidecar, `dtd.txt`, holding the structure
+//! that was actually in force — the document's internal `<!DOCTYPE>`
+//! subset survives restarts through it. `Σ` always comes from `--sigma`;
+//! recovering under a different `Σ` than the snapshot was taken with is
+//! rejected by [`LiveValidator::from_state`]'s plan check.
+
+use xic::prelude::*;
+use xic::storage::{DocStore, FsyncPolicy, Recovered};
+
+use crate::{load_dtdc, Opts};
+
+/// The per-document DTD sidecar file name: the root element name on the
+/// first line, the serialized DTD declarations after it.
+pub(crate) const META_FILE: &str = "dtd.txt";
+
+/// Opens the `--state-dir` document store, if one was configured.
+/// `--fsync` defaults to `always` (an acknowledged edit survives power
+/// loss).
+pub(crate) fn open_store(o: &Opts) -> Result<Option<DocStore>, String> {
+    let Some(dir) = &o.state_dir else {
+        return Ok(None);
+    };
+    let policy = match o.fsync.as_deref() {
+        Some(s) => FsyncPolicy::parse(s)?,
+        None => FsyncPolicy::Always,
+    };
+    DocStore::open(dir, policy)
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
+/// Writes `id`'s DTD sidecar. The document's subdirectory must already
+/// exist (write the snapshot, or open the WAL, first).
+pub(crate) fn write_meta(
+    store: &DocStore,
+    id: &str,
+    structure: &DtdStructure,
+) -> Result<(), String> {
+    let path = store
+        .snapshot_path(id)
+        .map_err(|e| e.to_string())?
+        .with_file_name(META_FILE);
+    let body = format!("{}\n{}", structure.root(), serialize_dtd(structure));
+    std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Reads `id`'s DTD sidecar back into a structure.
+pub(crate) fn read_meta(store: &DocStore, id: &str) -> Result<DtdStructure, String> {
+    let path = store
+        .snapshot_path(id)
+        .map_err(|e| e.to_string())?
+        .with_file_name(META_FILE);
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (root, dtd) = src
+        .split_once('\n')
+        .ok_or_else(|| format!("{}: missing root element line", path.display()))?;
+    parse_dtd(dtd, root.trim()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads everything needed to warm-start document `id`: the `DTD^C`
+/// (rebuilt from the sidecar structure — or `--dtd/--root` when given —
+/// plus `--sigma/--lang`) and the decoded snapshot with its logged
+/// batches and open WAL.
+pub(crate) fn load_doc(o: &Opts, store: &DocStore, id: &str) -> Result<(DtdC, Recovered), String> {
+    let structure = read_meta(store, id)?;
+    let dtdc = load_dtdc(o, Some(&structure), true)?;
+    let recovered = store
+        .load(id)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("no snapshot for doc '{id}' in {}", store.root().display()))?;
+    Ok((dtdc, recovered))
+}

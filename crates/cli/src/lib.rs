@@ -5,7 +5,9 @@
 //! ```text
 //! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream] [--metrics text|json|prom] [--trace-out FILE]
 //! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--metrics text|json|prom] [--trace-out FILE]
-//! xic serve    [<doc.xml>] --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--http-threads N] [--queue N] [--max-body BYTES] [--timeout SECS]
+//! xic serve    [<doc.xml>] --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--http-threads N] [--queue N] [--max-body BYTES] [--timeout SECS] [--state-dir DIR --fsync always|never --snapshot-every N]
+//! xic snapshot <doc.xml> --state-dir DIR [--doc-id ID] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
+//! xic recover  --state-dir DIR [--doc-id ID] [--sigma FILE --lang L|Lu|Lid]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
 //! xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
 //! xic render   <doc.xml>
@@ -35,6 +37,12 @@
 //!   printed diff is the script's *net* effect. `--sequential` restores
 //!   one propagation per line with per-edit diffs; the final report is
 //!   identical either way.
+//! * `snapshot` / `recover` — durable live-validator state (`xic-storage`):
+//!   `snapshot` validates a document and persists its state as a versioned,
+//!   checksummed snapshot under `--state-dir`; `recover` warm-starts from
+//!   the snapshot plus the write-ahead log of edit batches `serve
+//!   --state-dir` appends, and prints the identical report without parsing
+//!   or revalidating from scratch.
 //! * `implies` — decides `Σ ⊨ φ` / `Σ ⊨_f φ` with the solver matching
 //!   `--lang`, printing the derivation or a countermodel when available.
 //! * `path` — decides a Section-4 path constraint
@@ -51,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 pub mod http;
 mod serve;
 
@@ -84,6 +93,10 @@ struct Opts {
     http_threads: Option<usize>,
     queue: Option<usize>,
     timeout_secs: Option<f64>,
+    state_dir: Option<String>,
+    fsync: Option<String>,
+    snapshot_every: Option<u64>,
+    doc_id: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -148,6 +161,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
                 o.timeout_secs = Some(secs);
             }
+            "--state-dir" => o.state_dir = Some(grab("--state-dir")?),
+            "--fsync" => {
+                let v = grab("--fsync")?;
+                if v != "always" && v != "never" {
+                    return Err(format!("--fsync expects always or never, got {v:?}"));
+                }
+                o.fsync = Some(v);
+            }
+            "--snapshot-every" => {
+                let v = grab("--snapshot-every")?;
+                o.snapshot_every =
+                    Some(v.parse().map_err(|_| {
+                        format!("--snapshot-every expects a batch count, got {v:?}")
+                    })?);
+            }
+            "--doc-id" => o.doc_id = Some(grab("--doc-id")?),
             "--lenient" => o.lenient = true,
             "--sequential" => o.sequential = true,
             "--ids" => o.ids = true,
@@ -325,6 +354,7 @@ usage:
   xic serve    [<doc.xml>] [--addr HOST:PORT] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
                [--lenient] [--sequential] [--threads N] [--http-threads N] [--queue N]
                [--max-body BYTES] [--timeout SECS]
+               [--state-dir DIR] [--fsync always|never] [--snapshot-every N]
                long-running multi-tenant validation daemon (default --addr
                127.0.0.1:9100): a store of documents keyed by id, each on
                its own validator shard — independent docs are served in
@@ -348,10 +378,28 @@ usage:
                  DELETE /docs/{id}         evict the document
                  GET    /report            alias for /docs/default/report
                  POST   /edits             alias for /docs/default/edits
+                 POST   /docs/{id}/snapshot  write the doc's snapshot now
+                                           (requires --state-dir)
                  GET    /metrics           Prometheus text exposition, all
                                            docs merged per doc-id label
                  GET    /metrics.json      the same snapshot as JSON
                  POST   /shutdown          drain in-flight work and exit
+               With --state-dir DIR the daemon is durable: every acknowledged
+               edit batch is appended to a per-doc write-ahead log before it
+               propagates (--fsync always|never, default always), snapshots
+               are written on ingest, eviction, shutdown, on demand, and
+               every --snapshot-every N batches; on boot every persisted doc
+               is recovered (snapshot + WAL replay) and served warm.
+  xic snapshot <doc.xml> --state-dir DIR [--doc-id ID] [--dtd FILE --root NAME]
+               [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--fsync always|never]
+               validate the document and persist its live-validator state as
+               a versioned checksummed snapshot under DIR/ID (default id:
+               `default`), ready for `xic recover` or `xic serve --state-dir`
+  xic recover  --state-dir DIR [--doc-id ID] [--sigma FILE --lang L|Lu|Lid]
+               [--lenient] [--threads N]
+               warm-start the document from its snapshot + WAL (no XML parse,
+               no from-scratch validation) and print its report; pass the
+               same --sigma/--lang the snapshot was taken with
   xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted]
                [--emit-countermodel FILE] CONSTRAINT
   xic path     --dtd FILE --root NAME --sigma FILE CONSTRAINT
@@ -366,6 +414,8 @@ fn run_inner(args: &[String], out: &mut String) -> Result<i32, String> {
     match cmd.as_str() {
         "validate" => cmd_validate(&o, out),
         "apply-edits" => cmd_apply_edits(&o, out),
+        "snapshot" => cmd_snapshot(&o, out),
+        "recover" => cmd_recover(&o, out),
         "serve" => serve::cmd_serve(&o, out),
         "implies" => cmd_implies(&o, out),
         "path" => cmd_path(&o, out),
@@ -664,6 +714,86 @@ fn cmd_apply_edits(o: &Opts, out: &mut String) -> Result<i32, String> {
     let script = read(script_path)?;
     run_edit_script(&mut live, &script, o.sequential, out)
         .map_err(|(line, e)| format!("{script_path}:{line}: {e}"))?;
+    let report = live.report();
+    let _ = write!(out, "{report}");
+    emit_metrics(o, report.metrics.as_ref(), out);
+    emit_trace(o, &setup)?;
+    Ok(if report.is_valid() { 0 } else { 1 })
+}
+
+/// The validator options shared by every live-validator command.
+fn live_options(o: &Opts) -> Options {
+    let mut options = if o.lenient {
+        Options::lenient()
+    } else {
+        Options::default()
+    };
+    if let Some(threads) = o.threads {
+        options = options.with_threads(threads);
+    }
+    options
+}
+
+fn cmd_snapshot(o: &Opts, out: &mut String) -> Result<i32, String> {
+    let [doc_path] = o.positional.as_slice() else {
+        return Err("snapshot takes exactly one document".into());
+    };
+    let store = durable::open_store(o)?.ok_or("snapshot requires --state-dir DIR")?;
+    let id = o.doc_id.as_deref().unwrap_or("default");
+    let setup = obs_setup(o);
+    let obs = setup.obs.clone();
+    let doc = {
+        let _parse = obs.span("parse");
+        parse_document(&read(doc_path)?).map_err(|e| e.to_string())?
+    };
+    let dtdc = load_dtdc(o, doc.dtd.as_ref(), true)?;
+    let validator =
+        Validator::with_matcher(&dtdc, MatcherKind::Dfa, live_options(o)).with_obs(obs.clone());
+    let live = LiveValidator::new(&validator, doc.tree);
+    let state = live.export_state();
+    {
+        let _span = obs.span("snapshot.write");
+        store.save(id, &state).map_err(|e| e.to_string())?;
+    }
+    durable::write_meta(&store, id, dtdc.structure())?;
+    let snap = store.snapshot_path(id).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+    let _ = writeln!(out, "snapshot written: {} ({bytes} bytes)", snap.display());
+    let report = live.report();
+    let _ = write!(out, "{report}");
+    emit_metrics(o, report.metrics.as_ref(), out);
+    emit_trace(o, &setup)?;
+    Ok(if report.is_valid() { 0 } else { 1 })
+}
+
+fn cmd_recover(o: &Opts, out: &mut String) -> Result<i32, String> {
+    if !o.positional.is_empty() {
+        return Err("recover takes no positional arguments (state comes from --state-dir)".into());
+    }
+    let store = durable::open_store(o)?.ok_or("recover requires --state-dir DIR")?;
+    let id = o.doc_id.as_deref().unwrap_or("default");
+    let setup = obs_setup(o);
+    let obs = setup.obs.clone();
+    let (dtdc, recovered) = durable::load_doc(o, &store, id)?;
+    let validator =
+        Validator::with_matcher(&dtdc, MatcherKind::Dfa, live_options(o)).with_obs(obs.clone());
+    let replayed = recovered.batches.len();
+    let live = {
+        let _span = obs.span("recover.replay");
+        let mut live =
+            LiveValidator::from_state(&validator, recovered.state).map_err(|e| e.to_string())?;
+        for batch in &recovered.batches {
+            live.apply_batch(batch)
+                .map_err(|e| format!("wal replay: {}", e.error))?;
+        }
+        live
+    };
+    let _ = writeln!(
+        out,
+        "recovered doc '{id}' from {}: snapshot + {replayed} wal batch{}",
+        store.root().display(),
+        if replayed == 1 { "" } else { "es" }
+    );
     let report = live.report();
     let _ = write!(out, "{report}");
     emit_metrics(o, report.metrics.as_ref(), out);
@@ -1250,6 +1380,94 @@ ref.to <=s entry.isbn";
     }
 
     #[test]
+    fn snapshot_and_recover_round_trip() {
+        let dtd = tmp("book-snap.dtd", BOOK_DTD);
+        let sigma = tmp("book-snap.sigma", BOOK_SIGMA);
+        let doc = tmp("good-snap.xml", GOOD_DOC);
+        let state = std::env::temp_dir().join(format!("xic-cli-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state);
+        let flags = [
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+        ];
+
+        let mut args = vec!["snapshot", doc.to_str().unwrap()];
+        args.extend(flags);
+        let (code, out) = call(&args);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("snapshot written:"), "{out}");
+        assert!(out.contains("valid"), "{out}");
+
+        // Recovery needs only --sigma and the state dir: the DTD comes
+        // back from the per-doc sidecar. The report must be identical to
+        // validating the document from scratch.
+        let (code, out) = call(&[
+            "recover",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let (banner, report) = out.split_once('\n').unwrap();
+        assert!(
+            banner.contains("recovered doc 'default'") && banner.contains("0 wal batches"),
+            "{out}"
+        );
+        let (vcode, vout) = call(&[
+            "validate",
+            doc.to_str().unwrap(),
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--root",
+            "book",
+            "--sigma",
+            sigma.to_str().unwrap(),
+        ]);
+        assert_eq!(vcode, 0, "{vout}");
+        assert_eq!(
+            report, vout,
+            "recovered report diverged from cold validation"
+        );
+
+        // Recovering under a different Σ than the snapshot was taken with
+        // is rejected by the plan check, not silently accepted.
+        let other = tmp("other-snap.sigma", "entry.isbn -> entry");
+        let (code, out) = call(&[
+            "recover",
+            "--sigma",
+            other.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("constraint plan"), "{out}");
+
+        // An id with no persisted state is a clean error.
+        let (code, out) = call(&[
+            "recover",
+            "--sigma",
+            sigma.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--doc-id",
+            "missing",
+        ]);
+        assert_eq!(code, 2, "{out}");
+        assert!(
+            out.contains("cannot read") || out.contains("no snapshot"),
+            "{out}"
+        );
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
     fn usage_errors_exit_2() {
         for args in [
             &[] as &[&str],
@@ -1258,6 +1476,10 @@ ref.to <=s entry.isbn";
             &["validate", "a.xml", "--dtd"],
             &["implies", "x -> y"],
             &["validate", "a.xml", "--bogus"],
+            &["snapshot", "a.xml"],
+            &["recover"],
+            &["serve", "--fsync", "sometimes"],
+            &["serve", "--snapshot-every", "nope"],
         ] {
             let (code, out) = call(args);
             assert_eq!(code, 2, "{args:?}: {out}");

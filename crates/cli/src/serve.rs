@@ -38,10 +38,25 @@
 //! | `GET /docs/{id}/report` | the doc's current validation report |
 //! | `POST /docs/{id}/edits` | apply an `apply-edits` script as one batch (or per line under `--sequential`); the response is byte-identical to `xic apply-edits` on the same script |
 //! | `DELETE /docs/{id}` | evict the document and stop its shard |
+//! | `POST /docs/{id}/snapshot` | write the doc's snapshot now (`400` without `--state-dir`) |
 //! | `GET /report`, `POST /edits` | aliases for doc `default` |
 //! | `GET /metrics` | Prometheus text exposition: the HTTP layer's collector merged with every doc's collector, each labeled `doc="<id>"` |
 //! | `GET /metrics.json` | the same merged snapshot as [`Metrics`] JSON |
 //! | `POST /shutdown` | drain: stop accepting, serve everything already queued, join workers and shards, exit |
+//!
+//! **Durability (`--state-dir DIR`).** Each document keeps
+//! `DIR/<id>/snapshot.bin` (a versioned, checksummed image of its live
+//! validator, published by atomic rename), `wal.log` (acknowledged edit
+//! batches, appended *before* they propagate, fsynced per `--fsync`), and
+//! `dtd.txt` (the DTD in force, so internal-`<!DOCTYPE>` documents survive
+//! restarts). Snapshots are written on ingest, on eviction/shutdown (the
+//! shard's exit), on `POST /docs/{id}/snapshot`, and every
+//! `--snapshot-every N` acknowledged batches; each snapshot empties the
+//! WAL it subsumes. On boot every persisted doc is recovered — snapshot
+//! decode + [`LiveValidator::from_state`] + WAL replay — and served warm;
+//! `DELETE` evicts the shard but keeps its on-disk state (remove
+//! `DIR/<id>/` to forget a document). A corrupt snapshot or WAL record
+//! fails the boot with its reason, never silently drops state.
 //!
 //! Observability: the HTTP layer records `http.requests`, an
 //! `http.request` latency histogram, a per-route `http.route.*` family,
@@ -63,7 +78,7 @@ use std::time::{Duration, Instant};
 use xic::prelude::*;
 
 use crate::http::{self, HttpError, Request};
-use crate::{load_dtdc, parse_opts, read, run_edit_script, Opts};
+use crate::{durable, load_dtdc, parse_opts, parse_script_edit, read, run_edit_script, Opts};
 
 /// The address `xic serve` binds when `--addr` is absent.
 const DEFAULT_ADDR: &str = "127.0.0.1:9100";
@@ -123,6 +138,9 @@ enum DocRequest {
     /// Apply an edit script; `Ok` is the rendered diff + report, `Err`
     /// the script error message.
     Edits(String, SyncSender<Result<String, String>>),
+    /// Write the doc's snapshot now (requires `--state-dir`); `Ok` names
+    /// the file written, `Err` explains why it could not be.
+    Snapshot(SyncSender<Result<String, String>>),
 }
 
 /// The store's handle on one document shard.
@@ -142,6 +160,11 @@ struct Store {
     addr: SocketAddr,
     max_body: usize,
     read_timeout: Duration,
+    /// The `--state-dir` document store; `None` runs in-memory only.
+    disk: Option<DocStore>,
+    /// Auto-snapshot after this many acknowledged batches (0 = only on
+    /// ingest, eviction, shutdown and demand).
+    snapshot_every: u64,
 }
 
 /// One accepted connection waiting for a worker, stamped so
@@ -176,18 +199,46 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
         addr: listener.local_addr().map_err(|e| e.to_string())?,
         max_body: o.max_body.unwrap_or(DEFAULT_MAX_BODY),
         read_timeout: Duration::from_secs_f64(o.timeout_secs.unwrap_or(DEFAULT_TIMEOUT_SECS)),
+        disk: durable::open_store(o)?,
+        snapshot_every: o.snapshot_every.unwrap_or(0),
     });
 
+    // Boot recovery: warm-start every document persisted under
+    // --state-dir (snapshot + WAL replay) before accepting traffic. A
+    // corrupt or unloadable doc fails the boot with its reason — the
+    // operator repairs or purges its subdirectory rather than silently
+    // serving a partial store.
+    if let Some(disk) = &store.disk {
+        let ids = disk
+            .doc_ids()
+            .map_err(|e| format!("scan {}: {e}", disk.root().display()))?;
+        for id in ids {
+            recover_doc(&store, &id).map_err(|e| format!("recover doc '{id}': {e}"))?;
+        }
+    }
+
     // Pre-load the positional document as the `default` doc, so the
-    // legacy single-document invocation keeps working unchanged.
+    // legacy single-document invocation keeps working unchanged — unless
+    // boot recovery already warm-started `default`, in which case the
+    // recovered state (which carries every acknowledged edit) wins over
+    // re-ingesting the file.
     if let Some(path) = doc_path {
-        let src = read(&path)?;
-        if let (_, Err(e)) = put_doc(&store, DEFAULT_DOC, src) {
-            return Err(e
-                .trim_end()
-                .strip_prefix("error: ")
-                .unwrap_or(&e)
-                .to_string());
+        if store.docs.read().unwrap().contains_key(DEFAULT_DOC) {
+            let mut stdout = std::io::stdout();
+            let _ = writeln!(
+                stdout,
+                "xic serve: doc 'default' recovered from --state-dir; ignoring {path}"
+            );
+            let _ = stdout.flush();
+        } else {
+            let src = read(&path)?;
+            if let (_, Err(e)) = put_doc(&store, DEFAULT_DOC, src) {
+                return Err(e
+                    .trim_end()
+                    .strip_prefix("error: ")
+                    .unwrap_or(&e)
+                    .to_string());
+            }
         }
     }
 
@@ -420,6 +471,9 @@ fn route(store: &Store, req: &Request) -> Response {
                 if let (Some(id), "POST") = (rest.strip_suffix("/edits"), method) {
                     return doc_edits(store, id, &req.body);
                 }
+                if let (Some(id), "POST") = (rest.strip_suffix("/snapshot"), method) {
+                    return doc_snapshot(store, id);
+                }
                 if !rest.contains('/') {
                     match method {
                         "PUT" => {
@@ -467,36 +521,27 @@ fn put_doc(store: &Store, id: &str, src: String) -> (&'static str, Result<String
             )),
         );
     }
-    let collector = MetricsCollector::shared_with_histograms();
-    let (tx, rx) = mpsc::channel();
-    let (ready_tx, ready_rx) = mpsc::sync_channel(1);
-    let join = {
-        let opts = store.opts.clone();
-        let collector = collector.clone();
-        std::thread::spawn(move || run_doc_shard(src, &opts, collector, rx, ready_tx))
-    };
-    match ready_rx.recv() {
-        Ok(Ok(())) => {}
-        Ok(Err(e)) => {
-            let _ = join.join();
-            return ("400 Bad Request", Err(format!("error: {e}\n")));
-        }
-        Err(_) => {
-            return (
-                "500 Internal Server Error",
-                Err("error: document shard died during load\n".into()),
-            );
+    // Durable replace: stop the old shard (it writes its exit snapshot)
+    // *before* the new shard resets the doc's on-disk state — otherwise
+    // the old shard's final snapshot could clobber the new document.
+    let mut replaced = false;
+    if store.disk.is_some() {
+        if let Some(prev) = store.docs.write().unwrap().remove(id) {
+            drop(prev.tx);
+            let _ = prev.join.join();
+            replaced = true;
         }
     }
-    let handle = DocHandle {
-        tx,
-        collector,
-        join,
+    let handle = match start_shard(store, id, ShardInit::Cold(src)) {
+        Ok(handle) => handle,
+        Err((status, e)) => return (status, Err(format!("error: {e}\n"))),
     };
     let prev = store.docs.write().unwrap().insert(id.to_string(), handle);
     let status = if let Some(prev) = prev {
         drop(prev.tx);
         let _ = prev.join.join();
+        "200 OK"
+    } else if replaced {
         "200 OK"
     } else {
         "201 Created"
@@ -508,6 +553,56 @@ fn put_doc(store: &Store, id: &str, src: String) -> (&'static str, Result<String
             Err("error: document shard died after load\n".into()),
         ),
     }
+}
+
+/// How a shard obtains its initial validator state.
+enum ShardInit {
+    /// Parse and validate this XML source from scratch (a `PUT`).
+    Cold(String),
+    /// Warm-start from the `--state-dir` snapshot + WAL (boot recovery).
+    Warm,
+}
+
+/// Spawns a document shard and waits for it to load. `Err` carries the
+/// HTTP status the failure maps to plus the reason.
+fn start_shard(
+    store: &Store,
+    id: &str,
+    init: ShardInit,
+) -> Result<DocHandle, (&'static str, String)> {
+    let collector = MetricsCollector::shared_with_histograms();
+    let (tx, rx) = mpsc::channel();
+    let (ready_tx, ready_rx) = mpsc::sync_channel(1);
+    let join = {
+        let opts = store.opts.clone();
+        let collector = collector.clone();
+        let id = id.to_string();
+        let disk = store.disk.clone().map(|d| (d, store.snapshot_every));
+        std::thread::spawn(move || run_doc_shard(init, id, &opts, disk, collector, rx, ready_tx))
+    };
+    match ready_rx.recv() {
+        Ok(Ok(())) => Ok(DocHandle {
+            tx,
+            collector,
+            join,
+        }),
+        Ok(Err(e)) => {
+            let _ = join.join();
+            Err(("400 Bad Request", e))
+        }
+        Err(_) => Err((
+            "500 Internal Server Error",
+            "document shard died during load".into(),
+        )),
+    }
+}
+
+/// Boot recovery of one persisted document: warm-start its shard from
+/// the snapshot + WAL and register it in the store.
+fn recover_doc(store: &Store, id: &str) -> Result<(), String> {
+    let handle = start_shard(store, id, ShardInit::Warm).map_err(|(_, e)| e)?;
+    store.docs.write().unwrap().insert(id.to_string(), handle);
+    Ok(())
 }
 
 /// Evicts document `id`, joining its shard.
@@ -584,33 +679,95 @@ fn doc_edits(store: &Store, id: &str, script: &str) -> Response {
     }
 }
 
+/// Asks `id`'s shard to write its snapshot now.
+fn doc_snapshot(store: &Store, id: &str) -> Response {
+    let tx = match store.docs.read().unwrap().get(id) {
+        Some(handle) => handle.tx.clone(),
+        None => {
+            return Response::text(
+                "404 Not Found",
+                "http.route.snapshot",
+                format!("no such document: {id}\n"),
+            )
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    if tx.send(DocRequest::Snapshot(reply_tx)).is_err() {
+        return Response::text(
+            "404 Not Found",
+            "http.route.snapshot",
+            format!("no such document: {id}\n"),
+        );
+    }
+    match reply_rx.recv() {
+        Ok(Ok(body)) => Response::text("200 OK", "http.route.snapshot", body),
+        Ok(Err(e)) => Response::text(
+            "400 Bad Request",
+            "http.route.snapshot",
+            format!("error: {e}\n"),
+        ),
+        Err(_) => Response::text(
+            "500 Internal Server Error",
+            "http.route.snapshot",
+            "error: document shard died\n".into(),
+        ),
+    }
+}
+
 /// The body of one document shard: owns the `DtdC` → `Validator` →
 /// [`LiveValidator`] chain on its stack (the borrow chain that cannot
 /// live in a shared map) and serializes every request for its document
 /// in channel order. Exits when the store drops the last sender.
 fn run_doc_shard(
-    src: String,
+    init: ShardInit,
+    id: String,
     opts: &Opts,
+    disk: Option<(DocStore, u64)>,
     collector: Arc<MetricsCollector>,
     rx: Receiver<DocRequest>,
     ready: SyncSender<Result<(), String>>,
 ) {
     let obs = Obs::new(collector);
-    let doc = {
-        let _parse = obs.span("parse");
-        match parse_document(&src) {
-            Ok(doc) => doc,
-            Err(e) => {
-                let _ = ready.send(Err(e.to_string()));
-                return;
+    // Either path ends with the `DtdC` on this stack plus a starting
+    // state for the validator borrowing it.
+    enum Start {
+        Cold(DataTree),
+        Warm(Recovered),
+    }
+    let (dtdc, start) = match init {
+        ShardInit::Cold(src) => {
+            let doc = {
+                let _parse = obs.span("parse");
+                match parse_document(&src) {
+                    Ok(doc) => doc,
+                    Err(e) => {
+                        let _ = ready.send(Err(e.to_string()));
+                        return;
+                    }
+                }
+            };
+            match load_dtdc(opts, doc.dtd.as_ref(), true) {
+                Ok(d) => (d, Start::Cold(doc.tree)),
+                Err(e) => {
+                    let _ = ready.send(Err(e));
+                    return;
+                }
             }
         }
-    };
-    let dtdc = match load_dtdc(opts, doc.dtd.as_ref(), true) {
-        Ok(d) => d,
-        Err(e) => {
-            let _ = ready.send(Err(e));
-            return;
+        ShardInit::Warm => {
+            // A warm shard is only ever spawned by boot recovery, which
+            // requires --state-dir.
+            let Some((store, _)) = disk.as_ref() else {
+                let _ = ready.send(Err("warm start requires --state-dir".into()));
+                return;
+            };
+            match durable::load_doc(opts, store, &id) {
+                Ok((dtdc, recovered)) => (dtdc, Start::Warm(recovered)),
+                Err(e) => {
+                    let _ = ready.send(Err(e));
+                    return;
+                }
+            }
         }
     };
     let mut options = if opts.lenient {
@@ -622,7 +779,82 @@ fn run_doc_shard(
         options = options.with_threads(threads);
     }
     let validator = Validator::with_matcher(&dtdc, MatcherKind::Dfa, options).with_obs(obs.clone());
-    let mut live = LiveValidator::new(&validator, doc.tree);
+    let (mut live, mut sdisk) = match start {
+        Start::Cold(tree) => {
+            let live = LiveValidator::new(&validator, tree);
+            // Durable mode persists the ingested document before the PUT
+            // is acknowledged: open (and empty) the WAL, then publish the
+            // snapshot atomically, then the DTD sidecar.
+            let sdisk = match disk {
+                Some((store, snapshot_every)) => {
+                    let persisted = (|| {
+                        let mut wal = store.open_wal(&id).map_err(|e| e.to_string())?;
+                        wal.reset().map_err(|e| e.to_string())?;
+                        let state = live.export_state();
+                        let snap = store.snapshot_path(&id).map_err(|e| e.to_string())?;
+                        {
+                            let _span = obs.span("snapshot.write");
+                            write_snapshot(&snap, &state).map_err(|e| e.to_string())?;
+                        }
+                        obs.add("snapshot.writes", 1);
+                        durable::write_meta(&store, &id, dtdc.structure())?;
+                        Ok::<ShardDisk, String>(ShardDisk {
+                            store,
+                            id: id.clone(),
+                            wal,
+                            snapshot_every,
+                            since_snapshot: 0,
+                        })
+                    })();
+                    match persisted {
+                        Ok(d) => Some(d),
+                        Err(e) => {
+                            let _ = ready.send(Err(format!("persist: {e}")));
+                            return;
+                        }
+                    }
+                }
+                None => None,
+            };
+            (live, sdisk)
+        }
+        Start::Warm(recovered) => {
+            let (store, snapshot_every) = disk.expect("warm start checked --state-dir above");
+            let Recovered {
+                state,
+                batches,
+                wal,
+            } = recovered;
+            let span = obs.span("recover.replay");
+            let mut live = match LiveValidator::from_state(&validator, state) {
+                Ok(live) => live,
+                Err(e) => {
+                    let _ = ready.send(Err(e.to_string()));
+                    return;
+                }
+            };
+            for batch in &batches {
+                if let Err(e) = live.apply_batch(batch) {
+                    let _ = ready.send(Err(format!("wal replay: {}", e.error)));
+                    return;
+                }
+            }
+            span.end();
+            obs.add("recover.replays", 1);
+            obs.add("recover.batches", batches.len() as u64);
+            let since_snapshot = batches.len() as u64;
+            (
+                live,
+                Some(ShardDisk {
+                    store,
+                    id: id.clone(),
+                    wal,
+                    snapshot_every,
+                    since_snapshot,
+                }),
+            )
+        }
+    };
     let _ = ready.send(Ok(()));
     while let Ok(req) = rx.recv() {
         obs.add("doc.requests", 1);
@@ -631,25 +863,141 @@ fn run_doc_shard(
                 let _ = reply.send(live.report().to_string());
             }
             DocRequest::Edits(script, reply) => {
-                let _ = reply.send(apply_edit_script(&mut live, &script, opts.sequential));
+                let _ = reply.send(apply_edit_script(
+                    &mut live,
+                    &script,
+                    opts.sequential,
+                    sdisk.as_mut(),
+                    &obs,
+                ));
+            }
+            DocRequest::Snapshot(reply) => {
+                let _ = reply.send(match sdisk.as_mut() {
+                    Some(d) => snapshot_now(&live, d, &obs)
+                        .map(|path| format!("snapshot written: {path}\n")),
+                    None => Err("daemon is running without --state-dir".into()),
+                });
             }
         }
     }
+    // The store dropped the last sender: the doc is being evicted or the
+    // daemon is draining. Persist the final state so the next boot
+    // warm-starts from a fresh snapshot and an empty WAL (best-effort —
+    // the WAL already holds every acknowledged batch if this fails).
+    if let Some(d) = sdisk.as_mut() {
+        let _ = snapshot_now(&live, d, &obs);
+    }
+}
+
+/// One shard's durable context under `--state-dir`.
+struct ShardDisk {
+    store: DocStore,
+    id: String,
+    wal: Wal,
+    snapshot_every: u64,
+    /// Acknowledged batches since the last snapshot (includes batches
+    /// replayed from the WAL at warm start — they are still in the log).
+    since_snapshot: u64,
+}
+
+/// Writes the shard's snapshot and empties its WAL (through the shard's
+/// own handle, keeping its append position in lockstep). Returns the
+/// snapshot path written.
+fn snapshot_now(
+    live: &LiveValidator<'_, '_>,
+    disk: &mut ShardDisk,
+    obs: &Obs,
+) -> Result<String, String> {
+    let state = live.export_state();
+    let snap = disk
+        .store
+        .snapshot_path(&disk.id)
+        .map_err(|e| e.to_string())?;
+    {
+        let _span = obs.span("snapshot.write");
+        write_snapshot(&snap, &state).map_err(|e| e.to_string())?;
+    }
+    disk.wal.reset().map_err(|e| e.to_string())?;
+    obs.add("snapshot.writes", 1);
+    disk.since_snapshot = 0;
+    Ok(snap.display().to_string())
 }
 
 /// Plays an edit script against the live document, rendering exactly what
 /// `xic apply-edits` prints: the script lines, the batch diff (or per-edit
 /// ± diffs when the daemon was started with `--sequential`), then the new
 /// report.
+///
+/// Under `--state-dir` the script's edits are appended to the WAL *before*
+/// they propagate: once the client sees the `200`, the batch is on disk.
+/// A script error leaves the log holding exactly the prefix that was
+/// applied (lines before the failing one), so replay always reproduces
+/// the in-memory state.
 fn apply_edit_script(
     live: &mut LiveValidator<'_, '_>,
     script: &str,
     sequential: bool,
+    disk: Option<&mut ShardDisk>,
+    obs: &Obs,
 ) -> Result<String, String> {
+    let disk_and_batch = match disk {
+        Some(disk) => {
+            // Pre-parse so the whole script can be logged up front; the
+            // same parse inside `run_edit_script` yields the same errors,
+            // so a malformed line is rejected here before anything
+            // touches disk.
+            let mut edits: Vec<(usize, BatchEdit)> = Vec::new();
+            for (idx, raw) in script.lines().enumerate() {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let edit =
+                    parse_script_edit(line).map_err(|e| format!("edits line {}: {e}", idx + 1))?;
+                edits.push((idx + 1, edit));
+            }
+            let mark = disk.wal.mark();
+            if !edits.is_empty() {
+                let batch: Vec<BatchEdit> = edits.iter().map(|(_, e)| e.clone()).collect();
+                let span = obs.span("wal.append");
+                disk.wal
+                    .append(&batch)
+                    .map_err(|e| format!("wal append: {e}"))?;
+                span.end();
+                obs.add("wal.records", 1);
+            }
+            Some((disk, mark, edits))
+        }
+        None => None,
+    };
     let mut out = String::new();
-    run_edit_script(live, script, sequential, &mut out)
-        .map_err(|(line, e)| format!("edits line {line}: {e}"))?;
+    if let Err((line, e)) = run_edit_script(live, script, sequential, &mut out) {
+        if let Some((disk, mark, edits)) = disk_and_batch {
+            // Only the lines before the failing one were applied; rewrite
+            // the log to hold exactly that prefix.
+            disk.wal
+                .rollback(mark)
+                .map_err(|re| format!("wal rollback: {re} (after edits line {line}: {e})"))?;
+            let applied: Vec<BatchEdit> = edits
+                .iter()
+                .filter(|(l, _)| *l < line)
+                .map(|(_, edit)| edit.clone())
+                .collect();
+            if !applied.is_empty() {
+                disk.wal
+                    .append(&applied)
+                    .map_err(|ae| format!("wal rewrite: {ae} (after edits line {line}: {e})"))?;
+            }
+        }
+        return Err(format!("edits line {line}: {e}"));
+    }
     let _ = write!(out, "{}", live.report());
+    if let Some((disk, _, _)) = disk_and_batch {
+        disk.since_snapshot += 1;
+        if disk.snapshot_every > 0 && disk.since_snapshot >= disk.snapshot_every {
+            snapshot_now(live, disk, obs).map_err(|e| format!("snapshot: {e}"))?;
+        }
+    }
     Ok(out)
 }
 
@@ -1125,6 +1473,129 @@ ref.to <=s entry.isbn";
         assert!(total > 0, "burst never got going before the shutdown");
         // The daemon drained and exited cleanly.
         daemon.join().unwrap().unwrap();
+    }
+
+    /// A fresh, empty state directory unique to this test run.
+    fn fresh_state_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "xic-serve-state-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn state_dir_restart_preserves_edited_state() {
+        let state = fresh_state_dir("restart");
+        let state_s = state.to_str().unwrap().to_string();
+        let mut expected = String::new();
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            let (status, body) = http(addr, "POST", "/edits", "set-attr 5 to dangling\n");
+            assert_eq!(status, 200, "{body}");
+            let (_, report) = http(addr, "GET", "/report", "");
+            assert!(report.contains("dangling"), "{report}");
+            expected = report;
+
+            // The durability path shows up in the merged scrape: the WAL
+            // append latency histogram and the snapshot counter.
+            let (_, prom) = http(addr, "GET", "/metrics", "");
+            assert!(prom.contains("xic_wal_append_seconds"), "{prom}");
+            assert!(
+                prom.contains("xic_snapshot_writes_total{doc=\"default\"}"),
+                "{prom}"
+            );
+        });
+        // Same command line again: boot recovery warm-starts `default`
+        // from the exit snapshot, and the recovered (edited) state wins
+        // over re-ingesting the pristine positional document.
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            let (status, report) = http(addr, "GET", "/report", "");
+            assert_eq!(status, 200);
+            assert_eq!(
+                report, expected,
+                "warm start diverged from pre-restart state"
+            );
+            let (status, body) = http(addr, "POST", "/docs/default/snapshot", "");
+            assert_eq!(status, 200, "{body}");
+            assert!(body.contains("snapshot written:"), "{body}");
+            let (status, _) = http(addr, "POST", "/edits", "set-attr 5 to x1\n");
+            assert_eq!(status, 200);
+        });
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn wal_batches_replay_on_boot() {
+        let state = fresh_state_dir("walreplay");
+        let state_s = state.to_str().unwrap().to_string();
+        // Run A persists the pristine document and shuts down cleanly.
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            let (status, _) = http(addr, "GET", "/report", "");
+            assert_eq!(status, 200);
+        });
+        // Emulate a crash after an acknowledged edit but before any
+        // snapshot: append the batch to the WAL exactly as the daemon
+        // would have, leaving the snapshot stale.
+        let disk = DocStore::open(&state, FsyncPolicy::Always).unwrap();
+        let mut wal = disk.open_wal("default").unwrap();
+        wal.append(&[BatchEdit::SetAttr {
+            node: NodeId::from_index(5),
+            attr: "to".into(),
+            value: AttrValue::single("dangling"),
+        }])
+        .unwrap();
+        drop(wal);
+        // Run B must replay the logged batch on top of the snapshot.
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            let (status, report) = http(addr, "GET", "/report", "");
+            assert_eq!(status, 200);
+            assert!(report.contains("dangling"), "{report}");
+        });
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn snapshot_endpoint_requires_state_dir() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            let (status, body) = http(addr, "POST", "/docs/default/snapshot", "");
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("--state-dir"), "{body}");
+            let (status, _) = http(addr, "POST", "/docs/ghost/snapshot", "");
+            assert_eq!(status, 404);
+        });
+    }
+
+    #[test]
+    fn put_docs_survive_restart_even_after_delete() {
+        let state = fresh_state_dir("multidoc");
+        let state_s = state.to_str().unwrap().to_string();
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            // An internal-DOCTYPE document: its structure must survive the
+            // restart through the dtd.txt sidecar.
+            let with_dtd = format!("<!DOCTYPE book [\n{BOOK_DTD}\n]>\n{GOOD_DOC}");
+            let (status, _) = http(addr, "PUT", "/docs/a", &with_dtd);
+            assert_eq!(status, 201);
+            let (status, body) = http(addr, "POST", "/docs/a/edits", "set-attr 5 to dangling\n");
+            assert_eq!(status, 200, "{body}");
+            // DELETE evicts the shard (writing its exit snapshot) but
+            // keeps the on-disk state.
+            let (status, _) = http(addr, "DELETE", "/docs/a", "");
+            assert_eq!(status, 200);
+            let (_, ids) = http(addr, "GET", "/docs", "");
+            assert_eq!(ids, "default\n");
+        });
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            let (_, ids) = http(addr, "GET", "/docs", "");
+            assert_eq!(ids, "a\ndefault\n");
+            let (status, report) = http(addr, "GET", "/docs/a/report", "");
+            assert_eq!(status, 200);
+            assert!(report.contains("dangling"), "{report}");
+        });
+        let _ = std::fs::remove_dir_all(&state);
     }
 
     #[test]

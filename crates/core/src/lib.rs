@@ -27,6 +27,7 @@
 //! | [`paths`] | §4 | `paths(τ)`, `type(τ.ρ)`, the three path-constraint deciders, semantic evaluation |
 //! | [`fo2`] | §1, Fig. 1 | 2-pebble EF games and the FO²-inexpressibility witness |
 //! | [`legacy`] | §1 | constraint-preserving relational / object exports with generators |
+//! | [`storage`] | — | durable state: versioned checksummed snapshots, the edit write-ahead log, warm start |
 //!
 //! ## Quickstart
 //!
@@ -72,6 +73,7 @@ pub use xic_model as model;
 pub use xic_obs as obs;
 pub use xic_paths as paths;
 pub use xic_regex as regex;
+pub use xic_storage as storage;
 pub use xic_validate as validate_mod;
 pub use xic_xml as xml;
 
@@ -98,9 +100,13 @@ pub mod prelude {
     };
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
+    pub use xic_storage::{
+        decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, DocStore, FsyncPolicy,
+        Recovered, StorageError, Wal,
+    };
     pub use xic_validate::{
-        check_constraint, validate, BatchEdit, BatchError, EditOutcome, LiveValidator, MatcherKind,
-        Options, Report, ReportDiff, Validator, Violation,
+        check_constraint, validate, BatchEdit, BatchError, EditOutcome, LiveState, LiveValidator,
+        MatcherKind, Options, Report, ReportDiff, StateError, Validator, Violation,
     };
     pub use xic_xml::{
         constraints_to_xsd, parse_document, parse_dtd, parse_events, serialize_document,

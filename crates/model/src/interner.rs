@@ -35,9 +35,17 @@ use crate::hash::FastHasher;
 pub struct Sym(NonZeroU32);
 
 impl Sym {
+    /// The symbol with dense index `index` (0-based allocation order): the
+    /// inverse of [`Sym::index`]. This is the decode path for serialized
+    /// symbol columns; a symbol fabricated for an index the owning
+    /// interner never allocated makes a later [`Interner::resolve`] panic,
+    /// so deserializers must bounds-check against [`Interner::len`].
+    ///
+    /// # Panics
+    /// If `index == u32::MAX` (the unrepresentable handle).
     #[inline]
-    fn from_index(index: u32) -> Self {
-        Sym(NonZeroU32::new(index + 1).expect("interner overflow"))
+    pub fn from_index(index: u32) -> Self {
+        Sym(NonZeroU32::new(index.wrapping_add(1)).expect("interner overflow"))
     }
 
     /// The dense index of this symbol (0-based allocation order).
@@ -183,6 +191,87 @@ impl Interner {
         self.spans.len()
     }
 
+    /// The raw byte arena: every distinct string's bytes back to back, in
+    /// allocation order. Together with [`Interner::spans`] this is the
+    /// complete persistent state of the pool — the lookup table is a pure
+    /// cache rebuilt by [`Interner::from_parts`].
+    pub fn arena(&self) -> &[u8] {
+        &self.arena
+    }
+
+    /// The `(arena offset, byte length)` span of each symbol, indexed by
+    /// [`Sym::index`]. See [`Interner::arena`].
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Reassembles a pool from a previously captured
+    /// ([`Interner::arena`], [`Interner::spans`]) pair, rebuilding the
+    /// lookup table by rehashing every span.
+    ///
+    /// Returns an error (never panics) when the parts do not describe a
+    /// valid pool: an arena that is not UTF-8, a span out of arena bounds
+    /// or cutting through a multi-byte character, or two spans denoting
+    /// the same string (which would break the one-symbol-per-string
+    /// invariant).
+    pub fn from_parts(arena: Vec<u8>, spans: Vec<(u32, u32)>) -> Result<Interner, String> {
+        if spans.len() >= u32::MAX as usize {
+            return Err(format!("interner: {} spans overflow u32", spans.len()));
+        }
+        // One SIMD-accelerated UTF-8 pass over the whole arena, then an
+        // O(1) char-boundary check per span endpoint. A substring of valid
+        // UTF-8 whose endpoints sit on character boundaries is itself
+        // valid, so this replaces a `from_utf8` call per span — the
+        // dominant cost when warm-starting million-symbol pools.
+        let text = std::str::from_utf8(&arena).map_err(|e| {
+            format!(
+                "interner: arena is not valid UTF-8 at byte {}",
+                e.valid_up_to()
+            )
+        })?;
+        for (i, &(start, len)) in spans.iter().enumerate() {
+            let end = (start as u64) + (len as u64);
+            if end > arena.len() as u64 {
+                return Err(format!(
+                    "interner: span {i} ({start}+{len}) exceeds arena of {} bytes",
+                    arena.len()
+                ));
+            }
+            if !text.is_char_boundary(start as usize) || !text.is_char_boundary(end as usize) {
+                return Err(format!("interner: span {i} splits a multi-byte character"));
+            }
+        }
+        let cap = (spans.len() * 2 + 2).next_power_of_two().max(32);
+        let mut pool = Interner {
+            arena,
+            spans,
+            table: vec![EMPTY; cap],
+        };
+        let mask = cap - 1;
+        for sym in 0..pool.spans.len() as u32 {
+            let tag = hash_tag(pool.span_bytes(sym));
+            let mut i = tag as usize & mask;
+            loop {
+                let slot = pool.table[i];
+                if slot.sym_plus1 == 0 {
+                    pool.table[i] = Slot {
+                        tag,
+                        sym_plus1: sym + 1,
+                    };
+                    break;
+                }
+                if slot.tag == tag && pool.span_bytes(slot.sym_plus1 - 1) == pool.span_bytes(sym) {
+                    return Err(format!(
+                        "interner: spans {} and {sym} denote the same string",
+                        slot.sym_plus1 - 1
+                    ));
+                }
+                i = (i + 1) & mask;
+            }
+        }
+        Ok(pool)
+    }
+
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
@@ -273,6 +362,38 @@ mod tests {
         assert_eq!(pool.resolve(e), "");
         assert_eq!(pool.intern(""), e);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_bad_parts() {
+        let mut pool = Interner::new();
+        let syms: Vec<Sym> = (0..1000).map(|i| pool.intern(&format!("v{i}"))).collect();
+        let rebuilt = Interner::from_parts(pool.arena().to_vec(), pool.spans().to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), pool.len());
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(rebuilt.resolve(*s), format!("v{i}"));
+            assert_eq!(rebuilt.get(&format!("v{i}")), Some(*s));
+        }
+        // The rebuilt pool keeps interning new strings densely.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.intern("v42"), syms[42]);
+        assert_eq!(rebuilt.intern("fresh").index(), 1000);
+
+        // Span out of bounds.
+        assert!(Interner::from_parts(vec![b'a'], vec![(0, 2)]).is_err());
+        // Invalid UTF-8.
+        assert!(Interner::from_parts(vec![0xFF], vec![(0, 1)]).is_err());
+        // Span endpoint inside a multi-byte character.
+        assert!(Interner::from_parts("é".as_bytes().to_vec(), vec![(0, 1)]).is_err());
+        // Duplicate string.
+        assert!(Interner::from_parts(b"xx".to_vec(), vec![(0, 1), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn sym_from_index_is_the_inverse_of_index() {
+        for i in [0u32, 1, 7, 1 << 20] {
+            assert_eq!(Sym::from_index(i).index(), i as usize);
+        }
     }
 
     #[test]

@@ -43,5 +43,6 @@ pub use interner::{Interner, Sym};
 pub use name::Name;
 pub use render::{render_tree, RenderOptions};
 pub use tree::{
-    AttrValue, Child, DataTree, Edit, ExtIndex, ModelError, Node, NodeId, TreeBuilder, Value,
+    AttrValue, Child, DataTree, Edit, ExtIndex, ModelError, Node, NodeId, RawNode, TreeBuilder,
+    Value,
 };

@@ -257,6 +257,13 @@ pub enum ModelError {
         /// The missing attribute.
         attr: Name,
     },
+    /// [`DataTree::from_raw_parts`] was given parts that do not describe a
+    /// well-formed tree (inconsistent tombstone flags, a live vertex
+    /// below a dead one, …).
+    InvalidParts {
+        /// What was inconsistent.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -294,6 +301,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::NoSuchAttribute { node, attr } => {
                 write!(f, "no attribute {attr} on {node:?}")
+            }
+            ModelError::InvalidParts { detail } => {
+                write!(f, "invalid raw tree parts: {detail}")
             }
         }
     }
@@ -774,6 +784,160 @@ impl DataTree {
             position,
             root: node,
             count,
+        })
+    }
+}
+
+/// One vertex description for [`DataTree::from_raw_parts`]: the complete
+/// per-slot state a serializer must capture (the public views
+/// [`Node::attrs`] and [`Node::parent`] expose the same data for encoding).
+#[derive(Clone, Debug)]
+pub struct RawNode {
+    /// The element name labelling this vertex.
+    pub label: Name,
+    /// The ordered child list.
+    pub children: Vec<Child>,
+    /// The attributes of the vertex; any order, duplicates rejected.
+    pub attrs: Vec<(Name, AttrValue)>,
+    /// Parent vertex; `None` for the root (and for tombstoned subtree
+    /// roots, whose parent link was severed by the delete).
+    pub parent: Option<NodeId>,
+}
+
+impl DataTree {
+    /// Disassembles the tree into per-slot vertex descriptions, the root
+    /// id, and tombstone flags — the encode path for persisted trees, and
+    /// the exact inverse of [`DataTree::from_raw_parts`]: feeding the
+    /// parts back reproduces a tree equal slot-for-slot (tombstones
+    /// included, so node ids stay stable across a round trip).
+    pub fn raw_parts(&self) -> (Vec<RawNode>, NodeId, Vec<bool>) {
+        let nodes = (0..self.id_bound())
+            .map(|i| {
+                let node = &self.nodes[i];
+                RawNode {
+                    label: node.label.clone(),
+                    children: node.children.clone(),
+                    attrs: node.attrs().map(|(n, v)| (n.clone(), v.clone())).collect(),
+                    parent: node.parent(),
+                }
+            })
+            .collect();
+        (nodes, self.root, self.dead.clone())
+    }
+
+    /// Reassembles a tree from per-slot vertex descriptions, the root id,
+    /// and tombstone flags (`dead` may be empty when no vertex is
+    /// tombstoned; otherwise it must cover every slot).
+    ///
+    /// This is the decode path for persisted trees. Unlike
+    /// [`TreeBuilder`], the input may contain tombstones, so the full
+    /// invariant set is re-checked in O(n): ids in bounds, the root alive
+    /// and parentless, attributes duplicate-free (they are re-sorted, so
+    /// encoders need not preserve order), every live element child alive
+    /// with a matching parent link (single-parent condition), and every
+    /// live vertex reachable from the root. Returns a [`ModelError`] —
+    /// never panics — when any check fails, so corrupted input is
+    /// reported, not propagated.
+    pub fn from_raw_parts(
+        nodes: Vec<RawNode>,
+        root: NodeId,
+        dead: Vec<bool>,
+    ) -> Result<DataTree, ModelError> {
+        let n = nodes.len();
+        if root.index() >= n {
+            return Err(ModelError::UnknownNode(root));
+        }
+        if !dead.is_empty() && dead.len() != n {
+            return Err(ModelError::InvalidParts {
+                detail: format!("tombstone flags cover {} of {} slots", dead.len(), n),
+            });
+        }
+        let is_dead = |i: usize| dead.get(i).copied().unwrap_or(false);
+        if is_dead(root.index()) {
+            return Err(ModelError::DeadNode(root));
+        }
+        if nodes[root.index()].parent.is_some() {
+            return Err(ModelError::RootHasParent(root));
+        }
+        let mut built: Vec<Node> = Vec::with_capacity(n);
+        for (i, raw) in nodes.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let mut attrs = raw.attrs;
+            attrs.sort_by(|(a, _), (b, _)| a.cmp(b));
+            if let Some(w) = attrs.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(ModelError::DuplicateAttribute {
+                    node: id,
+                    attr: w[0].0.clone(),
+                });
+            }
+            for c in &raw.children {
+                if let Child::Node(cn) = c {
+                    if cn.index() >= n {
+                        return Err(ModelError::UnknownNode(*cn));
+                    }
+                }
+            }
+            if let Some(p) = raw.parent {
+                if p.index() >= n {
+                    return Err(ModelError::UnknownNode(p));
+                }
+            }
+            built.push(Node {
+                label: raw.label,
+                children: raw.children,
+                attrs,
+                parent: raw.parent,
+            });
+        }
+        for (i, node) in built.iter().enumerate() {
+            if is_dead(i) {
+                continue;
+            }
+            let id = NodeId(i as u32);
+            for c in &node.children {
+                if let Child::Node(cn) = c {
+                    if is_dead(cn.index()) {
+                        return Err(ModelError::InvalidParts {
+                            detail: format!("live vertex {id:?} lists tombstoned child {cn:?}"),
+                        });
+                    }
+                    if built[cn.index()].parent != Some(id) {
+                        return Err(ModelError::SecondParent { node: *cn });
+                    }
+                }
+            }
+        }
+        // Reachability over live vertices: live children of live vertices
+        // were verified above, so the walk only visits live slots.
+        let live = n - dead.iter().filter(|&&d| d).count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            count += 1;
+            for c in &built[id.index()].children {
+                if let Child::Node(cn) = c {
+                    stack.push(*cn);
+                }
+            }
+        }
+        if count != live {
+            return Err(ModelError::Unreachable {
+                orphans: live - count,
+            });
+        }
+        let dead_count = n - live;
+        // Normalize: an all-false flag vector is the empty one.
+        let dead = if dead_count == 0 { Vec::new() } else { dead };
+        Ok(DataTree {
+            nodes: built,
+            root,
+            dead,
+            dead_count,
         })
     }
 }
@@ -1302,6 +1466,94 @@ mod tests {
                 len: n,
             })
         );
+    }
+
+    /// Captures a tree's complete raw state.
+    fn raw_parts_of(t: &DataTree) -> (Vec<RawNode>, NodeId, Vec<bool>) {
+        t.raw_parts()
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_edited_trees() {
+        let mut t = book_tree();
+        let s1 = t.ext("section").next().unwrap();
+        t.delete_subtree(s1).unwrap();
+        let entry = t.ext("entry").next().unwrap();
+        t.set_attr(entry, "lang", AttrValue::single("en")).unwrap();
+        let (nodes, root, dead) = raw_parts_of(&t);
+        let rebuilt = DataTree::from_raw_parts(nodes, root, dead).unwrap();
+        assert_eq!(rebuilt.len(), t.len());
+        assert_eq!(rebuilt.id_bound(), t.id_bound());
+        assert_eq!(rebuilt.root(), t.root());
+        for id in t.node_ids() {
+            assert!(rebuilt.is_alive(id));
+            assert_eq!(rebuilt.label(id), t.label(id));
+            assert_eq!(rebuilt.node(id).children, t.node(id).children);
+            assert_eq!(rebuilt.node(id).parent(), t.node(id).parent());
+            assert!(rebuilt.node(id).attrs().eq(t.node(id).attrs()));
+        }
+        assert!(!rebuilt.is_alive(s1));
+        // A pristine tree round-trips with an empty tombstone vector.
+        let t = book_tree();
+        let (nodes, root, _) = raw_parts_of(&t);
+        let rebuilt = DataTree::from_raw_parts(nodes, root, Vec::new()).unwrap();
+        assert_eq!(rebuilt.len(), t.len());
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_input() {
+        let t = book_tree();
+        let (nodes, root, dead) = raw_parts_of(&t);
+
+        // Root out of bounds.
+        let bad = NodeId::from_index(nodes.len());
+        assert!(matches!(
+            DataTree::from_raw_parts(nodes.clone(), bad, dead.clone()),
+            Err(ModelError::UnknownNode(_))
+        ));
+        // Tombstone flags of the wrong length.
+        assert!(matches!(
+            DataTree::from_raw_parts(nodes.clone(), root, vec![false; 2]),
+            Err(ModelError::InvalidParts { .. })
+        ));
+        // Dead root.
+        let mut all_dead_root = vec![false; nodes.len()];
+        all_dead_root[root.index()] = true;
+        assert!(matches!(
+            DataTree::from_raw_parts(nodes.clone(), root, all_dead_root),
+            Err(ModelError::DeadNode(_))
+        ));
+        // A child whose parent link points elsewhere (second parent).
+        let mut torn = nodes.clone();
+        torn[1].parent = Some(NodeId::from_index(2));
+        assert!(matches!(
+            DataTree::from_raw_parts(torn, root, dead.clone()),
+            Err(ModelError::SecondParent { .. })
+        ));
+        // A live vertex listing a tombstoned child.
+        let mut flags = vec![false; nodes.len()];
+        flags[2] = true; // entry's title leaf
+        assert!(matches!(
+            DataTree::from_raw_parts(nodes.clone(), root, flags),
+            Err(ModelError::InvalidParts { .. })
+        ));
+        // An unreachable live vertex.
+        let mut cut = nodes.clone();
+        cut[0]
+            .children
+            .retain(|c| c.as_node() != Some(NodeId::from_index(1)));
+        assert!(matches!(
+            DataTree::from_raw_parts(cut, root, dead.clone()),
+            Err(ModelError::Unreachable { .. })
+        ));
+        // Duplicate attributes on one vertex.
+        let mut dup = nodes;
+        let repeat = dup[1].attrs[0].clone();
+        dup[1].attrs.push(repeat);
+        assert!(matches!(
+            DataTree::from_raw_parts(dup, root, dead),
+            Err(ModelError::DuplicateAttribute { .. })
+        ));
     }
 
     #[test]

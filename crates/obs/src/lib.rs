@@ -336,9 +336,19 @@ impl Default for MetricsCollector {
 
 /// The span families that record latency histograms by default (see
 /// [`MetricsCollector::with_histograms`]): per-edit latency, parallel
-/// chunk tasks, constraint checks, and stream-pipeline stalls — the
-/// distributions ISSUE motivation cares about.
-pub const DEFAULT_HIST_FAMILIES: [&str; 4] = ["edit", "par.chunk", "check", "stream.recv_wait"];
+/// chunk tasks, constraint checks, stream-pipeline stalls, and the
+/// durability path (`wal.append`, `snapshot.write`, `recover.replay`) —
+/// the distributions operators alert on. Families with no samples cost
+/// nothing and emit no series.
+pub const DEFAULT_HIST_FAMILIES: [&str; 7] = [
+    "edit",
+    "par.chunk",
+    "check",
+    "stream.recv_wait",
+    "wal",
+    "snapshot",
+    "recover",
+];
 
 /// Whether span `name` belongs to `family`: equal, or `family` followed
 /// by a dotted suffix (`check` matches `check.key`, not `checkpoint`).

@@ -1,0 +1,188 @@
+//! The versioned, checksummed snapshot file.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"XICS"
+//! version u32                        (currently 1)
+//! section*:
+//!   tag     u32                      (1 tree, 2 interner, 3 columns, 4 struct)
+//!   len     u64                      payload byte length
+//!   crc     u32                      CRC-32 of the payload
+//!   payload len bytes
+//! ```
+//!
+//! Each section is independently length-prefixed and checksummed: a torn
+//! write truncates or corrupts the byte stream and is *detected* (the CRC
+//! or the length check fails) rather than deserialized. Writers never
+//! publish a torn file in the first place — [`write_snapshot`] writes to a
+//! temporary sibling, fsyncs, then renames over the target atomically.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+use xic_validate::LiveState;
+
+use crate::codec::{
+    dec_columns, dec_interner, dec_struct_viols, dec_tree, enc_columns, enc_interner,
+    enc_struct_viols, enc_tree, Dec, Enc,
+};
+use crate::crc::crc32;
+use crate::StorageError;
+
+/// The snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"XICS";
+/// The current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const SEC_TREE: u32 = 1;
+const SEC_INTERNER: u32 = 2;
+const SEC_COLUMNS: u32 = 3;
+const SEC_STRUCT: u32 = 4;
+
+/// Serializes `state` into the snapshot byte format.
+pub fn encode_snapshot(state: &LiveState) -> Vec<u8> {
+    let mut out = Enc::default();
+    out.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.u32(SNAPSHOT_VERSION);
+
+    let section = |out: &mut Enc, tag: u32, payload: Enc| {
+        out.u32(tag);
+        out.u64(payload.buf.len() as u64);
+        out.u32(crc32(&payload.buf));
+        out.buf.extend_from_slice(&payload.buf);
+    };
+
+    let mut tree = Enc::default();
+    enc_tree(&mut tree, &state.tree);
+    section(&mut out, SEC_TREE, tree);
+
+    let mut interner = Enc::default();
+    enc_interner(&mut interner, &state.interner_arena, &state.interner_spans);
+    section(&mut out, SEC_INTERNER, interner);
+
+    let mut columns = Enc::default();
+    enc_columns(&mut columns, state);
+    section(&mut out, SEC_COLUMNS, columns);
+
+    let mut sv = Enc::default();
+    enc_struct_viols(&mut sv, &state.struct_viols);
+    section(&mut out, SEC_STRUCT, sv);
+
+    out.buf
+}
+
+/// Deserializes a snapshot produced by [`encode_snapshot`].
+///
+/// Fails cleanly — never panics — on truncation, checksum mismatch,
+/// unknown sections or versions, and structurally inconsistent payloads
+/// (the decoded tree and intern pool are re-validated by the model layer).
+pub fn decode_snapshot(bytes: &[u8]) -> Result<LiveState, StorageError> {
+    let mut d = Dec::new(bytes, "snapshot");
+    let magic = d.u32()?;
+    if magic.to_le_bytes() != SNAPSHOT_MAGIC {
+        return Err(StorageError::Format {
+            detail: "snapshot: bad magic (not a snapshot file)".into(),
+        });
+    }
+    let version = d.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(StorageError::Format {
+            detail: format!(
+                "snapshot: format version {version} (this build reads {SNAPSHOT_VERSION})"
+            ),
+        });
+    }
+
+    let mut tree = None;
+    let mut interner = None;
+    let mut columns = None;
+    let mut struct_viols = None;
+    while !d.is_empty() {
+        let tag = d.u32()?;
+        let len = d.u64()?;
+        let crc = d.u32()?;
+        let Ok(len) = usize::try_from(len) else {
+            return Err(StorageError::Corrupt {
+                detail: "snapshot: section length does not fit this platform".into(),
+            });
+        };
+        let payload = d.section(len)?;
+        if crc32(payload) != crc {
+            return Err(StorageError::Corrupt {
+                detail: format!("snapshot: section {tag} fails its checksum"),
+            });
+        }
+        let mut pd = Dec::new(payload, "snapshot");
+        match tag {
+            SEC_TREE => tree = Some(dec_tree(&mut pd)?),
+            SEC_INTERNER => interner = Some(dec_interner(&mut pd)?),
+            SEC_COLUMNS => columns = Some(dec_columns(&mut pd)?),
+            SEC_STRUCT => struct_viols = Some(dec_struct_viols(&mut pd)?),
+            t => {
+                return Err(StorageError::Format {
+                    detail: format!("snapshot: unknown section {t} (newer format?)"),
+                })
+            }
+        }
+        if !pd.is_empty() {
+            return Err(StorageError::Corrupt {
+                detail: format!("snapshot: section {tag} has trailing bytes"),
+            });
+        }
+    }
+
+    let missing = |what: &str| StorageError::Corrupt {
+        detail: format!("snapshot: missing {what} section"),
+    };
+    let (interner_arena, interner_spans) = interner.ok_or_else(|| missing("interner"))?;
+    let (singles, sets) = columns.ok_or_else(|| missing("columns"))?;
+    Ok(LiveState {
+        tree: tree.ok_or_else(|| missing("tree"))?,
+        interner_arena,
+        interner_spans,
+        singles,
+        sets,
+        struct_viols: struct_viols.ok_or_else(|| missing("structural violation"))?,
+    })
+}
+
+/// Writes `state` to `path` atomically: encode, write a `.tmp` sibling,
+/// fsync it, rename over `path`, fsync the directory. A crash at any point
+/// leaves either the old snapshot or the new one — never a torn file.
+pub fn write_snapshot(path: &Path, state: &LiveState) -> Result<(), StorageError> {
+    let bytes = encode_snapshot(state);
+    let tmp = path.with_extension("tmp");
+    let io = |context: &str| {
+        let context = context.to_string();
+        move |source: std::io::Error| StorageError::Io { context, source }
+    };
+    let mut f = File::create(&tmp).map_err(io(&format!("create {}", tmp.display())))?;
+    f.write_all(&bytes)
+        .map_err(io(&format!("write {}", tmp.display())))?;
+    f.sync_all()
+        .map_err(io(&format!("sync {}", tmp.display())))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(io(&format!(
+        "rename {} over {}",
+        tmp.display(),
+        path.display()
+    )))?;
+    if let Some(dir) = path.parent() {
+        // Make the rename itself durable.
+        File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io(&format!("sync directory {}", dir.display())))?;
+    }
+    Ok(())
+}
+
+/// Reads and decodes the snapshot at `path`.
+pub fn read_snapshot(path: &Path) -> Result<LiveState, StorageError> {
+    let bytes = fs::read(path).map_err(|source| StorageError::Io {
+        context: format!("read {}", path.display()),
+        source,
+    })?;
+    decode_snapshot(&bytes)
+}

@@ -1,0 +1,486 @@
+//! Property tests for the durable-state formats.
+//!
+//! Random documents and edit sequences round-trip through the snapshot
+//! codec and the WAL: the recovered validator's report is byte-identical
+//! to from-scratch validation. Corruption corpora — truncated tails and
+//! bit flips — must produce clean errors (or, for a torn WAL tail, the
+//! longest intact prefix), never panics or silently wrong state.
+
+use proptest::prelude::*;
+use xic_constraints::{Constraint, DtdC, DtdStructure, Field, Language};
+use xic_model::{AttrValue, DataTree, NodeId, TreeBuilder};
+use xic_storage::{decode_snapshot, encode_snapshot, DocStore, FsyncPolicy, StorageError, Wal};
+use xic_validate::{BatchEdit, LiveValidator, MatcherKind, Options, Validator};
+
+/// Three element types with an ID attribute, single attributes, set-valued
+/// attributes, and sub-element labels — every column shape the plan can
+/// produce.
+fn test_structure() -> DtdStructure {
+    let mut b = DtdStructure::builder("db").elem("db", "(t0 + t1 + t2)*");
+    for t in ["t0", "t1", "t2"] {
+        b = b
+            .elem(t, "(e0 + e1 + S)*")
+            .id_attr(t, "id")
+            .attr(t, "a0", "S")
+            .attr(t, "a1", "S")
+            .idrefs_attr(t, "r0")
+            .attr(t, "r1", "S*");
+    }
+    b.elem("e0", "S")
+        .elem("e1", "S")
+        .build()
+        .expect("test structure is well-formed")
+}
+
+/// A Σ exercising every constraint family (hence every column kind).
+fn test_sigma() -> Vec<Constraint> {
+    vec![
+        Constraint::Key {
+            tau: "t0".into(),
+            fields: vec![Field::attr("id"), Field::sub("e0")],
+        },
+        Constraint::ForeignKey {
+            tau: "t1".into(),
+            fields: vec![Field::attr("a0")],
+            target: "t0".into(),
+            target_fields: vec![Field::attr("a1")],
+        },
+        Constraint::SetForeignKey {
+            tau: "t2".into(),
+            attr: "r1".into(),
+            target: "t1".into(),
+            target_field: Field::sub("e1"),
+        },
+        Constraint::Id { tau: "t0".into() },
+        Constraint::FkToId {
+            tau: "t2".into(),
+            attr: "a1".into(),
+            target: "t0".into(),
+        },
+        Constraint::SetFkToId {
+            tau: "t1".into(),
+            attr: "r0".into(),
+            target: "t0".into(),
+        },
+        Constraint::InverseId {
+            tau: "t0".into(),
+            attr: "r0".into(),
+            target: "t1".into(),
+            target_attr: "r0".into(),
+        },
+    ]
+}
+
+/// One random element: `((type, id, a0, a1), (r0, r1, sub-elements))`.
+type NodeRecipe = (
+    (u8, Option<u8>, Option<u8>, Option<u8>),
+    (Vec<u8>, Vec<u8>, Vec<(u8, u8)>),
+);
+
+fn node_recipe() -> BoxedStrategy<NodeRecipe> {
+    let head = (
+        0u8..3,
+        prop::option::of(0u8..6),
+        prop::option::of(0u8..6),
+        prop::option::of(0u8..6),
+    );
+    let tail = (
+        prop::collection::vec(0u8..6, 0..3),
+        prop::collection::vec(0u8..6, 0..3),
+        prop::collection::vec((0u8..2, 0u8..6), 0..4),
+    );
+    (head, tail).boxed()
+}
+
+fn val(v: u8) -> String {
+    format!("v{v}")
+}
+
+fn fill_node(b: &mut TreeBuilder, p: NodeId, recipe: &NodeRecipe) {
+    let ((_, id, a0, a1), (r0, r1, subs)) = recipe;
+    if let Some(v) = id {
+        b.attr(p, "id", AttrValue::single(val(*v))).unwrap();
+    }
+    if let Some(v) = a0 {
+        b.attr(p, "a0", AttrValue::single(val(*v))).unwrap();
+    }
+    if let Some(v) = a1 {
+        b.attr(p, "a1", AttrValue::single(val(*v))).unwrap();
+    }
+    b.attr(p, "r0", AttrValue::set(r0.iter().map(|&v| val(v))))
+        .unwrap();
+    b.attr(p, "r1", AttrValue::set(r1.iter().map(|&v| val(v))))
+        .unwrap();
+    for (w, tv) in subs {
+        b.leaf(p, format!("e{w}"), val(*tv)).unwrap();
+    }
+}
+
+fn build_tree(recipes: &[NodeRecipe]) -> DataTree {
+    let mut b = TreeBuilder::new();
+    let db = b.node("db");
+    for recipe in recipes {
+        let p = b.child_node(db, format!("t{}", recipe.0 .0)).unwrap();
+        fill_node(&mut b, p, recipe);
+    }
+    b.finish(db).unwrap()
+}
+
+fn build_fragment(recipe: &NodeRecipe) -> DataTree {
+    let mut b = TreeBuilder::new();
+    let p = b.node(format!("t{}", recipe.0 .0));
+    fill_node(&mut b, p, recipe);
+    b.finish(p).unwrap()
+}
+
+const ATTRS: [&str; 5] = ["id", "a0", "a1", "r0", "r1"];
+
+/// One random edit, resolved against the live tree at application time.
+#[derive(Debug, Clone)]
+enum EditRecipe {
+    SetAttr(u8, u8, Vec<u8>),
+    RemoveAttr(u8, u8),
+    Delete(u8),
+    Insert(u8, u8, NodeRecipe),
+}
+
+fn edit_recipe() -> BoxedStrategy<EditRecipe> {
+    prop_oneof![
+        (any::<u8>(), 0u8..5, prop::collection::vec(0u8..6, 1..3))
+            .prop_map(|(n, a, vs)| EditRecipe::SetAttr(n, a, vs)),
+        (any::<u8>(), 0u8..5).prop_map(|(n, a)| EditRecipe::RemoveAttr(n, a)),
+        any::<u8>().prop_map(EditRecipe::Delete),
+        (any::<u8>(), any::<u8>(), node_recipe()).prop_map(|(n, p, r)| EditRecipe::Insert(n, p, r)),
+    ]
+    .boxed()
+}
+
+/// Resolves one recipe into a concrete request, or `None` if inapplicable.
+fn resolve_edit(live: &LiveValidator<'_, '_>, e: &EditRecipe) -> Option<BatchEdit> {
+    let ids: Vec<NodeId> = live.tree().node_ids().collect();
+    let pick = |sel: u8| ids[sel as usize % ids.len()];
+    match e {
+        EditRecipe::SetAttr(n, a, vs) => Some(BatchEdit::SetAttr {
+            node: pick(*n),
+            attr: ATTRS[*a as usize].into(),
+            value: AttrValue::set(vs.iter().map(|&v| val(v))),
+        }),
+        EditRecipe::RemoveAttr(n, a) => {
+            let node = pick(*n);
+            live.tree()
+                .attr(node, ATTRS[*a as usize])
+                .is_some()
+                .then(|| BatchEdit::RemoveAttr {
+                    node,
+                    attr: ATTRS[*a as usize].into(),
+                })
+        }
+        EditRecipe::Delete(n) => {
+            let node = pick(*n);
+            (node != live.tree().root()).then_some(BatchEdit::DeleteSubtree { node })
+        }
+        EditRecipe::Insert(n, p, recipe) => {
+            let parent = pick(*n);
+            let len = live.tree().node(parent).children.len();
+            Some(BatchEdit::InsertSubtree {
+                parent,
+                position: *p as usize % (len + 1),
+                fragment: build_fragment(recipe),
+            })
+        }
+    }
+}
+
+fn validator(dtdc: &DtdC) -> Validator<'_> {
+    let opts = Options {
+        strict_attributes: false,
+        threads: 1,
+    };
+    Validator::with_matcher(dtdc, MatcherKind::Dfa, opts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot + WAL replay reproduces a byte-identical report after any
+    /// edit history: edits up to a random snapshot point are captured by
+    /// the snapshot, the rest by the log — exactly the daemon's crash
+    /// recovery path.
+    #[test]
+    fn snapshot_plus_wal_replay_is_byte_identical(
+        nodes in prop::collection::vec(node_recipe(), 0..15),
+        edits in prop::collection::vec(edit_recipe(), 0..10),
+        snap_at in any::<u8>(),
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+        let v = validator(&dtdc);
+        let mut live = LiveValidator::new(&v, build_tree(&nodes));
+
+        let dir = tempdir("roundtrip");
+        let store = DocStore::open(&dir, FsyncPolicy::Never).unwrap();
+
+        // Play the prefix, snapshot, then log + play the suffix.
+        let cut = if edits.is_empty() { 0 } else { snap_at as usize % (edits.len() + 1) };
+        for e in &edits[..cut] {
+            if let Some(b) = resolve_edit(&live, e) {
+                live.apply_batch(&[b]).unwrap();
+            }
+        }
+        store.save("doc", &live.export_state()).unwrap();
+        let mut wal = store.open_wal("doc").unwrap();
+        for e in &edits[cut..] {
+            if let Some(b) = resolve_edit(&live, e) {
+                let batch = vec![b];
+                wal.append(&batch).unwrap();
+                live.apply_batch(&batch).unwrap();
+            }
+        }
+        drop(wal);
+
+        // Recover into a fresh validator.
+        let rec = store.load("doc").unwrap().expect("state was saved");
+        let mut warm = LiveValidator::from_state(&v, rec.state).unwrap();
+        for batch in &rec.batches {
+            warm.apply_batch(batch).unwrap();
+        }
+        prop_assert_eq!(
+            &warm.report().violations,
+            &live.report().violations,
+            "recovered report diverged from the living validator"
+        );
+        prop_assert_eq!(
+            &warm.report().violations,
+            &v.validate(warm.tree()).violations,
+            "recovered report diverged from scratch validation"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Any truncation of a snapshot decodes to a clean error, never a
+    /// panic or a silently wrong state.
+    #[test]
+    fn truncated_snapshot_fails_cleanly(
+        nodes in prop::collection::vec(node_recipe(), 0..8),
+        frac in 0u32..1000,
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+        let v = validator(&dtdc);
+        let live = LiveValidator::new(&v, build_tree(&nodes));
+        let bytes = encode_snapshot(&live.export_state());
+        let cut = (bytes.len() as u64 * frac as u64 / 1000) as usize;
+        prop_assert!(
+            decode_snapshot(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} was not detected", bytes.len()
+        );
+    }
+
+    /// Any single-bit flip in a snapshot decodes to a clean error.
+    #[test]
+    fn bit_flipped_snapshot_fails_cleanly(
+        nodes in prop::collection::vec(node_recipe(), 0..8),
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+        let v = validator(&dtdc);
+        let live = LiveValidator::new(&v, build_tree(&nodes));
+        let mut bytes = encode_snapshot(&live.export_state());
+        let at = pos as usize % bytes.len();
+        bytes[at] ^= 1 << bit;
+        prop_assert!(
+            decode_snapshot(&bytes).is_err(),
+            "flip at {at}:{bit} was not detected"
+        );
+    }
+
+    /// A WAL whose tail was cut mid-record recovers the longest intact
+    /// prefix of batches; a complete record with a flipped byte is a
+    /// clean checksum error.
+    #[test]
+    fn wal_tail_truncation_recovers_prefix(
+        nodes in prop::collection::vec(node_recipe(), 1..8),
+        edits in prop::collection::vec(edit_recipe(), 1..6),
+        chop in 1u32..64,
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+        let v = validator(&dtdc);
+        let live = LiveValidator::new(&v, build_tree(&nodes));
+        let dir = tempdir("wal-torn");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let mut logged = Vec::new();
+        for e in &edits {
+            if let Some(b) = resolve_edit(&live, e) {
+                let batch = vec![b];
+                wal.append(&batch).unwrap();
+                logged.push(batch);
+            }
+        }
+        drop(wal);
+
+        // Tear the tail off and reopen: an intact prefix must survive.
+        let full = std::fs::read(&path).unwrap();
+        let cut = full.len().saturating_sub(chop as usize).max(8);
+        if cut < full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (reopened, batches) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            prop_assert!(batches.len() <= logged.len());
+            prop_assert_eq!(
+                format!("{:?}", batches),
+                format!("{:?}", &logged[..batches.len()]),
+                "recovered batches are not a prefix"
+            );
+            drop(reopened);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A bit flip inside a complete WAL record is detected as corruption.
+    #[test]
+    fn bit_flipped_wal_record_fails_cleanly(
+        nodes in prop::collection::vec(node_recipe(), 1..8),
+        edits in prop::collection::vec(edit_recipe(), 1..6),
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+        let v = validator(&dtdc);
+        let live = LiveValidator::new(&v, build_tree(&nodes));
+        let dir = tempdir("wal-flip");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let mut logged = Vec::new();
+        for e in &edits {
+            if let Some(b) = resolve_edit(&live, e) {
+                let batch = vec![b];
+                wal.append(&batch).unwrap();
+                logged.push(batch);
+            }
+        }
+        drop(wal);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = pos as usize % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        // The flip lands in the header (format error), a record header
+        // (detected as corruption or a phantom torn tail), or a payload
+        // (checksum error). Whatever happens must be clean — and if the
+        // open succeeds, the result must still be a prefix of the truth.
+        match Wal::open(&path, FsyncPolicy::Never) {
+            Err(StorageError::Corrupt { .. }) | Err(StorageError::Format { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+            Ok((_, batches)) => {
+                // A flipped length field can masquerade as a torn tail;
+                // the recovered records must still be an intact prefix.
+                prop_assert!(batches.len() <= logged.len());
+                prop_assert_eq!(
+                    format!("{:?}", batches),
+                    format!("{:?}", &logged[..batches.len()]),
+                    "corrupted WAL replayed non-prefix data"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A fresh per-test scratch directory under the target dir.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("xic-storage-test-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The daemon's crash window: a batch is appended to the WAL but the
+/// process dies before (or during) propagation. Recovery replays it, and
+/// the recovered report is byte-identical to scratch validation of the
+/// post-batch document.
+#[test]
+fn crash_between_wal_append_and_propagation_recovers() {
+    let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+    let v = validator(&dtdc);
+    let recipes: Vec<NodeRecipe> = vec![
+        ((0, Some(1), Some(2), None), (vec![1], vec![], vec![(0, 3)])),
+        ((1, Some(2), Some(3), Some(1)), (vec![], vec![2], vec![])),
+    ];
+    let mut live = LiveValidator::new(&v, build_tree(&recipes));
+
+    let dir = tempdir("crash");
+    let store = DocStore::open(&dir, FsyncPolicy::Always).unwrap();
+    store.save("doc", &live.export_state()).unwrap();
+    let mut wal = store.open_wal("doc").unwrap();
+
+    // The daemon acknowledges this batch: WAL first, then propagation —
+    // but we "crash" before apply_batch ever runs.
+    let t1 = live
+        .tree()
+        .node_ids()
+        .find(|&x| live.tree().label(x).as_str() == "t1")
+        .unwrap();
+    let batch = vec![
+        BatchEdit::SetAttr {
+            node: t1,
+            attr: "a0".into(),
+            value: AttrValue::single("v9"),
+        },
+        BatchEdit::DeleteSubtree { node: t1 },
+    ];
+    wal.append(&batch).unwrap();
+    drop(wal); // crash
+
+    let rec = store.load("doc").unwrap().unwrap();
+    assert_eq!(rec.batches.len(), 1, "the acknowledged batch replays");
+    let mut warm = LiveValidator::from_state(&v, rec.state).unwrap();
+    for b in &rec.batches {
+        warm.apply_batch(b).unwrap();
+    }
+    // The ground truth: the same batch applied to the living validator.
+    live.apply_batch(&batch).unwrap();
+    assert_eq!(warm.report().violations, live.report().violations);
+    assert_eq!(warm.report().violations, v.validate(warm.tree()).violations);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// DocStore lifecycle: ids are validated, save resets the WAL, purge
+/// removes everything.
+#[test]
+fn doc_store_lifecycle() {
+    let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+    let v = validator(&dtdc);
+    let live = LiveValidator::new(&v, build_tree(&[]));
+
+    let dir = tempdir("lifecycle");
+    let store = DocStore::open(&dir, FsyncPolicy::Never).unwrap();
+    assert!(store.doc_ids().unwrap().is_empty());
+    assert!(store.load("absent").unwrap().is_none());
+    for bad in ["", ".", "..", "a/b", "a\\b", "a b", "..evil/../x"] {
+        assert!(
+            store.save(bad, &live.export_state()).is_err(),
+            "id '{bad}' accepted"
+        );
+    }
+
+    store.save("doc-1", &live.export_state()).unwrap();
+    store.save("doc.2", &live.export_state()).unwrap();
+    assert_eq!(store.doc_ids().unwrap(), vec!["doc-1", "doc.2"]);
+
+    // Log two batches, then save: the snapshot subsumes them.
+    let mut wal = store.open_wal("doc-1").unwrap();
+    wal.append(&[]).unwrap();
+    wal.append(&[]).unwrap();
+    assert_eq!(wal.records(), 2);
+    drop(wal);
+    store.save("doc-1", &live.export_state()).unwrap();
+    let rec = store.load("doc-1").unwrap().unwrap();
+    assert!(rec.batches.is_empty(), "save did not reset the WAL");
+    assert!(rec.wal.is_empty());
+
+    store.purge("doc-1").unwrap();
+    assert_eq!(store.doc_ids().unwrap(), vec!["doc.2"]);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2034,6 +2034,63 @@ struct BatchState {
     structural: u64,
 }
 
+/// One single-valued column of a [`LiveState`]: the `(element type,
+/// field)` key plus the column's dense per-vertex value vector.
+pub type SingleColumnState = ((Name, Field), Vec<Option<Sym>>);
+
+/// One set-valued column of a [`LiveState`]: the `(element type,
+/// attribute)` key plus the column's dense per-vertex member vectors.
+pub type SetColumnState = ((Name, Name), Vec<Vec<Sym>>);
+
+/// A serialisable snapshot of a [`LiveValidator`]'s owned state.
+///
+/// The state captures exactly what a warm start cannot cheaply recompute:
+/// the document tree, the intern pool's backing storage, every planned
+/// column's dense value vector, and the structural violation table (the
+/// output of the content-model scan). Everything else — occurrence maps,
+/// the ID table, per-constraint violation tables, subscription indexes,
+/// and the root-label check — is re-derived deterministically by
+/// [`LiveValidator::from_state`], so a report after a round trip is
+/// byte-identical to scratch validation of the same tree.
+///
+/// Fields are public so an external codec (the `xic-storage` crate) can
+/// encode the state without this crate taking on any I/O concerns.
+#[derive(Clone, Debug)]
+pub struct LiveState {
+    /// The document.
+    pub tree: DataTree,
+    /// The intern pool's byte arena (see [`Interner::arena`]).
+    pub interner_arena: Vec<u8>,
+    /// The intern pool's `(start, len)` spans (see [`Interner::spans`]).
+    pub interner_spans: Vec<(u32, u32)>,
+    /// Every planned single-valued column's dense value vector, ascending
+    /// by `(element type, field)` key.
+    pub singles: Vec<SingleColumnState>,
+    /// Every planned set-valued column's dense member vectors, ascending
+    /// by `(element type, attribute)` key.
+    pub sets: Vec<SetColumnState>,
+    /// Vertex ↦ its structural violations, ascending by vertex.
+    pub struct_viols: Vec<(u32, Vec<Violation>)>,
+}
+
+/// An inconsistency detected while adopting a [`LiveState`] snapshot:
+/// the state does not fit the validator's constraint plan or references
+/// symbols/vertices that cannot exist. Adoption is all-or-nothing — a
+/// rejected state leaves nothing half-built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateError {
+    /// What was inconsistent, for operators and logs.
+    pub detail: String,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid live state: {}", self.detail)
+    }
+}
+
+impl std::error::Error for StateError {}
+
 /// A validator that owns a document and revalidates it incrementally under
 /// edits.
 ///
@@ -2229,6 +2286,287 @@ impl<'v, 'd> LiveValidator<'v, 'd> {
             subs,
             struct_viols,
             root_viol,
+        }
+    }
+
+    /// Rebuilds a live validator from an exported [`LiveState`] without
+    /// re-parsing, re-extracting, or re-running the content-model scan.
+    ///
+    /// The expensive phases of [`LiveValidator::new`] — per-cell attribute
+    /// extraction and interning, and the structural DFA scan — are replaced
+    /// by the snapshot's stored columns and violation table; only the
+    /// derived indexes (occurrence maps via the same stable counting sort,
+    /// the ID table, per-constraint tables, subscriptions) are recomputed,
+    /// in the same deterministic order `new` builds them. The resulting
+    /// validator's [`report`](LiveValidator::report) is byte-identical to
+    /// scratch validation of `state.tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] — never panics — when the state is
+    /// internally inconsistent or does not match `v`'s constraint plan:
+    /// malformed intern-pool parts, missing/extra/duplicate columns,
+    /// symbols outside the pool, or vectors extending past the tree's id
+    /// bound. Cells of dead vertices must be empty.
+    pub fn from_state(v: &'v Validator<'d>, state: LiveState) -> Result<Self, StateError> {
+        let _warm = v.obs.span("live.warm");
+        let s = v.dtdc().structure();
+        let LiveState {
+            tree,
+            interner_arena,
+            interner_spans,
+            singles,
+            sets,
+            struct_viols,
+        } = state;
+
+        let interner = Interner::from_parts(interner_arena, interner_spans)
+            .map_err(|detail| StateError { detail })?;
+        let nsym = interner.len();
+        let bound = tree.id_bound();
+
+        // The snapshot must cover the plan exactly: a missing column would
+        // panic on first read, and an extra one means the snapshot was
+        // taken under a different schema or constraint set.
+        let want: BTreeSet<(Name, Field)> = v
+            .plan
+            .singles
+            .iter()
+            .flat_map(|(tau, fs)| fs.iter().map(move |f| (tau.clone(), f.clone())))
+            .collect();
+        let got: BTreeSet<(Name, Field)> = singles.iter().map(|(k, _)| k.clone()).collect();
+        if got != want || got.len() != singles.len() {
+            return Err(StateError {
+                detail: format!(
+                    "single columns do not match the constraint plan \
+                     ({} stored, {} planned)",
+                    singles.len(),
+                    want.len()
+                ),
+            });
+        }
+        let want: BTreeSet<(Name, Name)> = v
+            .plan
+            .sets
+            .iter()
+            .flat_map(|(tau, attrs)| attrs.iter().map(move |a| (tau.clone(), a.clone())))
+            .collect();
+        let got: BTreeSet<(Name, Name)> = sets.iter().map(|(k, _)| k.clone()).collect();
+        if got != want || got.len() != sets.len() {
+            return Err(StateError {
+                detail: format!(
+                    "set columns do not match the constraint plan \
+                     ({} stored, {} planned)",
+                    sets.len(),
+                    want.len()
+                ),
+            });
+        }
+
+        let check_cell = |xi: usize, sym: Sym, what: &dyn std::fmt::Display| {
+            if sym.index() >= nsym {
+                return Err(StateError {
+                    detail: format!(
+                        "column {what} cell n{xi} references symbol {} of an \
+                         intern pool holding {nsym}",
+                        sym.index()
+                    ),
+                });
+            }
+            if !tree.is_alive(NodeId::from_index(xi)) {
+                return Err(StateError {
+                    detail: format!("column {what} has a value at dead vertex n{xi}"),
+                });
+            }
+            Ok(())
+        };
+        for ((tau, f), vals) in &singles {
+            if vals.len() > bound {
+                return Err(StateError {
+                    detail: format!(
+                        "column ({tau}, {f}) holds {} cells but the tree's id \
+                         bound is {bound}",
+                        vals.len()
+                    ),
+                });
+            }
+            for (xi, cell) in vals.iter().enumerate() {
+                if let Some(sym) = cell {
+                    check_cell(xi, *sym, &format_args!("({tau}, {f})"))?;
+                }
+            }
+        }
+        for ((tau, a), vals) in &sets {
+            if vals.len() > bound {
+                return Err(StateError {
+                    detail: format!(
+                        "column ({tau}, {a}) holds {} rows but the tree's id \
+                         bound is {bound}",
+                        vals.len()
+                    ),
+                });
+            }
+            for (xi, members) in vals.iter().enumerate() {
+                for &m in members {
+                    check_cell(xi, m, &format_args!("({tau}, {a})"))?;
+                }
+            }
+        }
+        for (xi, viols) in &struct_viols {
+            if *xi as usize >= bound || viols.is_empty() {
+                return Err(StateError {
+                    detail: format!(
+                        "structural violation entry at vertex n{xi} is empty \
+                         or out of bounds (id bound {bound})"
+                    ),
+                });
+            }
+        }
+
+        let idx = ExtIndex::build(&tree);
+        let threads = (tree.len() / crate::par::MIN_NODES_PER_THREAD)
+            .max(1)
+            .min(v.effective_threads());
+        let mut store = Store {
+            interner,
+            singles: HashMap::new(),
+            sets: HashMap::new(),
+        };
+        // Occurrence maps are regrouped exactly as bulk init groups them:
+        // pairs ascend by vertex (extraction walked extents in ascending
+        // id order, and dense cells are revisited the same way), and the
+        // counting sort is stable, so `Holders` runs come out identical.
+        enum RawVals {
+            Single((Name, Field), Vec<Option<Sym>>),
+            Set((Name, Name), Vec<Vec<Sym>>),
+        }
+        let mut raw: Vec<(RawVals, Vec<(Sym, u32)>)> =
+            Vec::with_capacity(singles.len() + sets.len());
+        for (key, vals) in singles {
+            let mut pairs = Vec::new();
+            for (xi, cell) in vals.iter().enumerate() {
+                if let Some(sym) = cell {
+                    pairs.push((*sym, xi as u32));
+                }
+            }
+            raw.push((RawVals::Single(key, vals), pairs));
+        }
+        for (key, vals) in sets {
+            let mut pairs = Vec::new();
+            for (xi, members) in vals.iter().enumerate() {
+                for &m in members {
+                    pairs.push((m, xi as u32));
+                }
+            }
+            raw.push((RawVals::Set(key, vals), pairs));
+        }
+        let built = crate::par::fan_out(threads, raw, &v.obs, "warm.col", |(rv, pairs)| {
+            (rv, build_occ(&pairs, nsym))
+        });
+        for (rv, occ) in built {
+            match rv {
+                RawVals::Single(key, vals) => {
+                    store.singles.insert(key, SingleCol { vals, occ });
+                }
+                RawVals::Set(key, vals) => {
+                    store.sets.insert(key, SetCol { vals, occ });
+                }
+            }
+        }
+
+        let mut ids = IdTable::default();
+        for (rank, tau) in s.element_types().enumerate() {
+            ids.ranks.insert(tau.clone(), rank as u32);
+        }
+        if v.plan.needs_ids {
+            for tau in s.element_types() {
+                if let Some(a) = s.id_attr(tau) {
+                    ids.id_field_of.insert(tau.clone(), Field::Attr(a.clone()));
+                }
+            }
+            let IdTable {
+                ranks,
+                id_field_of,
+                carriers,
+            } = &mut ids;
+            for (tau, f) in id_field_of.iter() {
+                let Some(col) = store.singles.get(&(tau.clone(), f.clone())) else {
+                    continue;
+                };
+                let rank = ranks[tau];
+                for &x in idx.ext(tau) {
+                    let xi = x.index() as u32;
+                    if let Some(val) = col.get(xi) {
+                        carriers.entry(val).or_default().insert((rank, xi));
+                    }
+                }
+            }
+        }
+
+        // The root check is two label compares — recomputing it beats
+        // trusting (and having to re-verify) a stored copy.
+        let mut root_viol = None;
+        let root_label = tree.label(tree.root());
+        if root_label != s.root() {
+            root_viol = Some(Violation::RootLabel {
+                expected: s.root().clone(),
+                found: root_label.clone(),
+            });
+        }
+
+        let mut parts = build_parts(v.dtdc());
+        let items: Vec<(u32, &mut Part)> = (0u32..).zip(parts.iter_mut()).collect();
+        crate::par::fan_out(threads, items, &v.obs, "warm.part", |(pi, p)| {
+            p.init(&idx, &store, &ids, pi);
+        });
+        let subs = Subs::build(&store, &parts, &ids);
+
+        Ok(LiveValidator {
+            v,
+            tree,
+            store,
+            ids,
+            parts,
+            subs,
+            struct_viols: struct_viols.into_iter().collect(),
+            root_viol,
+        })
+    }
+
+    /// Exports the validator's owned state for snapshotting.
+    ///
+    /// The export is deterministic (columns and violation entries come out
+    /// in ascending key order) and self-contained: feeding it back through
+    /// [`LiveValidator::from_state`] — on this validator or a freshly built
+    /// one over the same schema — reproduces a validator whose report and
+    /// future edit behaviour are identical.
+    pub fn export_state(&self) -> LiveState {
+        let _span = self.v.obs.span("live.export");
+        let mut singles: Vec<SingleColumnState> = self
+            .store
+            .singles
+            .iter()
+            .map(|(k, col)| (k.clone(), col.vals.clone()))
+            .collect();
+        singles.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut sets: Vec<SetColumnState> = self
+            .store
+            .sets
+            .iter()
+            .map(|(k, col)| (k.clone(), col.vals.clone()))
+            .collect();
+        sets.sort_by(|a, b| a.0.cmp(&b.0));
+        LiveState {
+            tree: self.tree.clone(),
+            interner_arena: self.store.interner.arena().to_vec(),
+            interner_spans: self.store.interner.spans().to_vec(),
+            singles,
+            sets,
+            struct_viols: self
+                .struct_viols
+                .iter()
+                .map(|(x, vs)| (*x, vs.clone()))
+                .collect(),
         }
     }
 
@@ -3036,6 +3374,14 @@ mod tests {
         );
     }
 
+    /// Unwraps the rejection of a bad snapshot.
+    fn reject(v: &Validator<'_>, bad: LiveState) -> StateError {
+        match LiveValidator::from_state(v, bad) {
+            Err(e) => e,
+            Ok(_) => panic!("expected the snapshot to be rejected"),
+        }
+    }
+
     /// Asserts `old + raised − cleared = new` as violation multisets.
     fn assert_diff_consistent(old: &Report, diff: &ReportDiff, new: &Report) {
         let mut expect: Vec<&Violation> = old.violations.iter().collect();
@@ -3182,5 +3528,113 @@ mod tests {
         let out = live.set_attr(r, "to", AttrValue::set(["k"])).unwrap();
         assert_diff_consistent(&before, &out.diff, &live.report());
         assert_matches_scratch(&live, &v);
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_reports_and_edit_behaviour() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let mut live = LiveValidator::new(&v, valid_book());
+
+        // Dirty the state first: an insert, a delete, and a broken key, so
+        // the export carries dead vertices and live violations.
+        let book = live.tree().root();
+        live.insert_subtree(book, 1, &entry_fragment("x2")).unwrap();
+        let section = live.tree().ext("section").next().unwrap();
+        live.delete_subtree(section).unwrap();
+        let entry = live.tree().ext("entry").next().unwrap();
+        live.set_attr(entry, "isbn", AttrValue::single("x9"))
+            .unwrap();
+        assert!(!live.report().is_valid());
+
+        let warm = LiveValidator::from_state(&v, live.export_state()).unwrap();
+        assert_eq!(
+            warm.report().violations,
+            live.report().violations,
+            "warm report diverged from the exported validator"
+        );
+        assert_matches_scratch(&warm, &v);
+
+        // The warm validator must also *edit* identically from here on.
+        let mut warm = warm;
+        let fix = live.tree().ext("entry").next().unwrap();
+        let a = live.set_attr(fix, "isbn", AttrValue::single("x1")).unwrap();
+        let b = warm.set_attr(fix, "isbn", AttrValue::single("x1")).unwrap();
+        assert_eq!(a.diff.raised, b.diff.raised);
+        assert_eq!(a.diff.cleared, b.diff.cleared);
+        assert_eq!(warm.report().violations, live.report().violations);
+        assert_matches_scratch(&warm, &v);
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_snapshots() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let live = LiveValidator::new(&v, valid_book());
+        let good = live.export_state();
+
+        // A column missing from the plan's cover.
+        let mut bad = good.clone();
+        bad.singles.pop();
+        let err = reject(&v, bad);
+        assert!(err.detail.contains("constraint plan"), "{err}");
+
+        // A symbol beyond the intern pool.
+        let mut bad = good.clone();
+        let huge = Sym::from_index(1_000_000);
+        for (_, vals) in &mut bad.singles {
+            if let Some(cell) = vals.iter_mut().find(|c| c.is_some()) {
+                *cell = Some(huge);
+            }
+        }
+        let err = reject(&v, bad);
+        assert!(err.detail.contains("intern pool"), "{err}");
+
+        // A column longer than the tree's id bound.
+        let mut bad = good.clone();
+        bad.singles[0].1.resize(bad.tree.id_bound() + 5, None);
+        let err = reject(&v, bad);
+        assert!(err.detail.contains("id bound"), "{err}");
+
+        // Malformed intern-pool parts surface the interner's error.
+        let mut bad = good.clone();
+        bad.interner_spans.push((u32::MAX, 4));
+        let err = reject(&v, bad);
+        assert!(err.detail.contains("interner"), "{err}");
+
+        // An out-of-bounds structural entry.
+        let mut bad = good.clone();
+        bad.struct_viols.push((
+            bad.tree.id_bound() as u32 + 7,
+            vec![Violation::RootLabel {
+                expected: Name::from("a"),
+                found: Name::from("b"),
+            }],
+        ));
+        let err = reject(&v, bad);
+        assert!(err.detail.contains("out of bounds"), "{err}");
+
+        // The untampered export still loads.
+        assert!(LiveValidator::from_state(&v, good).is_ok());
+    }
+
+    #[test]
+    fn from_state_rejects_values_at_dead_vertices() {
+        let d = book_dtdc();
+        let v = Validator::new(&d);
+        let mut live = LiveValidator::new(&v, valid_book());
+        let section = live.tree().ext("section").next().unwrap();
+        let dead = section.index();
+        live.delete_subtree(section).unwrap();
+
+        let mut bad = live.export_state();
+        let sym = Sym::from_index(0);
+        let (_, vals) = &mut bad.singles[0];
+        if vals.len() <= dead {
+            vals.resize(dead + 1, None);
+        }
+        vals[dead] = Some(sym);
+        let err = reject(&v, bad);
+        assert!(err.detail.contains("dead vertex"), "{err}");
     }
 }
