@@ -1712,7 +1712,7 @@ fn e19_warm_start() {
         "state rebuild ≤0.25× cold boot at 10⁶ vertices; end-to-end warm boot beats cold; torn-tail recovery byte-identical",
     );
     use rand::Rng;
-    use xic::storage::{read_snapshot, write_snapshot, FsyncPolicy, Wal};
+    use xic::storage::{read_snapshot, write_snapshot, DocStore, FsyncPolicy, Wal};
     let dir = std::env::temp_dir().join(format!("xic-e19-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create e19 scratch dir");
@@ -1735,7 +1735,7 @@ fn e19_warm_start() {
         let mut live = LiveValidator::new(&v, tree);
         let orders: Vec<NodeId> = live.tree().ext("order").collect();
         let snap = dir.join(format!("snapshot-{n}.bin"));
-        write_snapshot(&snap, &live.export_state()).expect("write snapshot");
+        write_snapshot(&snap, &live.export_state(), 0).expect("write snapshot");
         let wal_path = dir.join(format!("wal-{n}.log"));
         let (mut wal, _) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
         let mut r = rng(909);
@@ -1759,11 +1759,11 @@ fn e19_warm_start() {
         // Correctness first, outside the timers: recovery lands
         // byte-identical to the surviving validator.
         {
-            let state = read_snapshot(&snap).unwrap();
+            let (state, _) = read_snapshot(&snap).unwrap();
             let (_, batches) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
             assert_eq!(batches.len(), 8, "wal replay count at n={n}");
             let mut lv = LiveValidator::from_state(&v, state).unwrap();
-            for b in &batches {
+            for (_, b) in &batches {
                 lv.apply_batch(b).unwrap();
             }
             assert_eq!(
@@ -1795,12 +1795,12 @@ fn e19_warm_start() {
         let (mut t_read, mut t_rebuild, mut t_warm) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for _ in 0..reps {
             let t0 = std::time::Instant::now();
-            let state = read_snapshot(&snap).unwrap();
+            let (state, _) = read_snapshot(&snap).unwrap();
             let t1 = std::time::Instant::now();
             let mut lv = LiveValidator::from_state(&v, state).unwrap();
             let t2 = std::time::Instant::now();
             let (_, batches) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
-            for b in &batches {
+            for (_, b) in &batches {
                 lv.apply_batch(b).unwrap();
             }
             let t3 = std::time::Instant::now();
@@ -1858,7 +1858,7 @@ fn e19_warm_start() {
         let full = f.metadata().unwrap().len();
         f.set_len(full - 7).unwrap();
         drop(f);
-        let state = read_snapshot(&snap).unwrap();
+        let (state, _) = read_snapshot(&snap).unwrap();
         let (_, batches) = Wal::open(&wal_path, FsyncPolicy::Never).unwrap();
         assert_eq!(
             batches.len(),
@@ -1866,7 +1866,7 @@ fn e19_warm_start() {
             "torn ninth record must be truncated away at n={n}"
         );
         let mut lv = LiveValidator::from_state(&v, state).unwrap();
-        for b in &batches {
+        for (_, b) in &batches {
             lv.apply_batch(b).unwrap();
         }
         assert_eq!(
@@ -1875,6 +1875,44 @@ fn e19_warm_start() {
             "crash-mid-batch recovery diverged at n={n}"
         );
         println!("        crash-mid-batch: torn record truncated, recovered report byte-identical");
+
+        // Crash between snapshot publication and WAL reset: a fresh
+        // snapshot of the post-batch state is published, stamped with the
+        // log's last sequence, but the process dies before the log is
+        // emptied. The 8 subsumed records are still on disk; recovery
+        // must skip them by sequence — replaying non-idempotent batches
+        // onto state that already contains them would silently diverge.
+        let crash_store = DocStore::open(dir.join(format!("crash-{n}")), FsyncPolicy::Never)
+            .expect("open crash-window store");
+        drop(crash_store.open_wal("d").unwrap()); // create the layout
+        std::fs::copy(&wal_path, crash_store.wal_path("d").unwrap()).unwrap();
+        let last_seq = batches.last().map(|&(s, _)| s).unwrap();
+        write_snapshot(
+            &crash_store.snapshot_path("d").unwrap(),
+            &live.export_state(),
+            last_seq,
+        )
+        .unwrap();
+        let rec = crash_store.load("d").unwrap().expect("crash-window doc");
+        assert!(
+            rec.batches.is_empty(),
+            "records subsumed by the snapshot replayed at n={n}"
+        );
+        let lv = LiveValidator::from_state(&v, rec.state).unwrap();
+        assert_eq!(
+            lv.report().to_string(),
+            expected,
+            "crash-between-snapshot-and-reset recovery diverged at n={n}"
+        );
+        assert_eq!(
+            rec.wal.last_seq(),
+            last_seq,
+            "recovered log must append above the snapshot's sequence at n={n}"
+        );
+        println!(
+            "        crash-between-snapshot-and-reset: {} stale records skipped by sequence, report byte-identical",
+            batches.len()
+        );
 
         json_rows.push(format!(
             "      {{\"nodes\": {nodes}, \"cold_boot_seconds\": {t_cold:.6}, \"warm_start_seconds\": {t_warm:.6}, \"warm_over_cold\": {ratio:.3}, \"rebuild_seconds\": {t_rebuild:.6}, \"rebuild_over_cold\": {rebuild_ratio:.3}, \"snapshot_bytes\": {snap_bytes}}}"

@@ -51,9 +51,12 @@
 //! `dtd.txt` (the DTD in force, so internal-`<!DOCTYPE>` documents survive
 //! restarts). Snapshots are written on ingest, on eviction/shutdown (the
 //! shard's exit), on `POST /docs/{id}/snapshot`, and every
-//! `--snapshot-every N` acknowledged batches; each snapshot empties the
-//! WAL it subsumes. On boot every persisted doc is recovered — snapshot
-//! decode + [`LiveValidator::from_state`] + WAL replay — and served warm;
+//! `--snapshot-every N` acknowledged batches; each snapshot is stamped
+//! with the WAL sequence it subsumes and published *before* the log is
+//! emptied, so a crash between the two steps only leaves records that
+//! recovery skips by sequence. On boot every persisted doc is recovered —
+//! snapshot decode + [`LiveValidator::from_state`] + WAL replay — and
+//! served warm;
 //! `DELETE` evicts the shard but keeps its on-disk state (remove
 //! `DIR/<id>/` to forget a document). A corrupt snapshot or WAL record
 //! fails the boot with its reason, never silently drops state.
@@ -783,19 +786,23 @@ fn run_doc_shard(
         Start::Cold(tree) => {
             let live = LiveValidator::new(&validator, tree);
             // Durable mode persists the ingested document before the PUT
-            // is acknowledged: open (and empty) the WAL, then publish the
-            // snapshot atomically, then the DTD sidecar.
+            // is acknowledged: open the WAL (learning the highest sequence
+            // any leftover records carry), publish the snapshot atomically
+            // stamped with that sequence — so a crash before the reset
+            // below leaves only records the snapshot subsumes, which
+            // recovery skips — then empty the log, then the DTD sidecar.
             let sdisk = match disk {
                 Some((store, snapshot_every)) => {
                     let persisted = (|| {
                         let mut wal = store.open_wal(&id).map_err(|e| e.to_string())?;
-                        wal.reset().map_err(|e| e.to_string())?;
                         let state = live.export_state();
                         let snap = store.snapshot_path(&id).map_err(|e| e.to_string())?;
                         {
                             let _span = obs.span("snapshot.write");
-                            write_snapshot(&snap, &state).map_err(|e| e.to_string())?;
+                            write_snapshot(&snap, &state, wal.last_seq())
+                                .map_err(|e| e.to_string())?;
                         }
+                        wal.reset().map_err(|e| e.to_string())?;
                         obs.add("snapshot.writes", 1);
                         durable::write_meta(&store, &id, dtdc.structure())?;
                         Ok::<ShardDisk, String>(ShardDisk {
@@ -824,6 +831,7 @@ fn run_doc_shard(
                 state,
                 batches,
                 wal,
+                ..
             } = recovered;
             let span = obs.span("recover.replay");
             let mut live = match LiveValidator::from_state(&validator, state) {
@@ -901,7 +909,10 @@ struct ShardDisk {
 }
 
 /// Writes the shard's snapshot and empties its WAL (through the shard's
-/// own handle, keeping its append position in lockstep). Returns the
+/// own handle, keeping its append position in lockstep). The snapshot is
+/// stamped with the WAL's last acknowledged sequence and published before
+/// the log reset, so a crash between the two steps leaves only records
+/// the snapshot subsumes — recovery skips them by sequence. Returns the
 /// snapshot path written.
 fn snapshot_now(
     live: &LiveValidator<'_, '_>,
@@ -915,7 +926,7 @@ fn snapshot_now(
         .map_err(|e| e.to_string())?;
     {
         let _span = obs.span("snapshot.write");
-        write_snapshot(&snap, &state).map_err(|e| e.to_string())?;
+        write_snapshot(&snap, &state, disk.wal.last_seq()).map_err(|e| e.to_string())?;
     }
     disk.wal.reset().map_err(|e| e.to_string())?;
     obs.add("snapshot.writes", 1);

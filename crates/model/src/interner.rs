@@ -218,6 +218,15 @@ impl Interner {
         if spans.len() >= u32::MAX as usize {
             return Err(format!("interner: {} spans overflow u32", spans.len()));
         }
+        // The intern path caps the arena at u32::MAX bytes (span offsets
+        // are u32); enforce the same bound here so no span arithmetic can
+        // overflow after the rebuild.
+        if arena.len() > u32::MAX as usize {
+            return Err(format!(
+                "interner: arena of {} bytes overflows the u32 span space",
+                arena.len()
+            ));
+        }
         // One SIMD-accelerated UTF-8 pass over the whole arena, then an
         // O(1) char-boundary check per span endpoint. A substring of valid
         // UTF-8 whose endpoints sit on character boundaries is itself
@@ -280,7 +289,9 @@ impl Interner {
     #[inline]
     fn span_bytes(&self, sym: u32) -> &[u8] {
         let (start, len) = self.spans[sym as usize];
-        &self.arena[start as usize..(start + len) as usize]
+        // usize arithmetic: start + len can reach u32::MAX + 1 at the very
+        // end of a maximal arena, which would wrap in u32.
+        &self.arena[start as usize..start as usize + len as usize]
     }
 
     /// Doubles the table (≤50% load), reinserting entries from their stored

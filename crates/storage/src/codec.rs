@@ -151,7 +151,15 @@ pub(crate) fn enc_sym(e: &mut Enc, s: Sym) {
 }
 
 pub(crate) fn dec_sym(d: &mut Dec<'_>) -> Result<Sym, StorageError> {
-    Ok(Sym::from_index(d.u32()?))
+    let index = d.u32()?;
+    // u32::MAX is the one index `Sym` cannot represent (index + 1 must be
+    // non-zero); constructing it would panic, and decoding never panics.
+    if index == u32::MAX {
+        return Err(StorageError::Corrupt {
+            detail: "symbol index is the reserved sentinel u32::MAX".into(),
+        });
+    }
+    Ok(Sym::from_index(index))
 }
 
 fn enc_node_id(e: &mut Enc, n: NodeId) {
@@ -659,4 +667,26 @@ pub(crate) fn dec_batch(d: &mut Dec<'_>) -> Result<Vec<BatchEdit>, StorageError>
         });
     }
     Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The one unrepresentable symbol index decodes to a clean error, not
+    /// the `Sym::from_index` panic — a crafted snapshot with a valid
+    /// section CRC must never abort the process.
+    #[test]
+    fn dec_sym_rejects_the_sentinel_index() {
+        let bytes = u32::MAX.to_le_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert!(matches!(
+            dec_sym(&mut d),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Every other index decodes.
+        let bytes = (u32::MAX - 1).to_le_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert_eq!(dec_sym(&mut d).unwrap().index(), (u32::MAX - 1) as usize);
+    }
 }

@@ -11,15 +11,19 @@
 //!   snapshot.
 //! * **A write-ahead log** ([`Wal`]) — checksummed
 //!   [`BatchEdit`] records appended *before*
-//!   each batch is applied. On reopen the log replays intact records,
-//!   truncates a torn final record, and refuses (with a clean error) to
-//!   deserialize corruption.
+//!   each batch is applied, each stamped with a monotonic sequence
+//!   number. On reopen the log replays intact records, truncates a torn
+//!   final record, and refuses (with a clean error) to deserialize
+//!   corruption.
 //!
 //! **Warm start** is `snapshot + WAL replay`: decode the snapshot, hand it
 //! to [`xic_validate::LiveValidator::from_state`] (which skips parsing,
 //! extraction, and the structural scan), then re-apply the logged batches.
 //! The recovered validator's report is byte-identical to validating the
-//! current document from scratch.
+//! current document from scratch. The snapshot records the sequence of
+//! the last batch it captures, and replay skips records at or below it —
+//! so a crash landing between a snapshot publication and the WAL reset
+//! that follows it can never apply a batch twice.
 //!
 //! [`DocStore`] arranges both artifacts in a per-document directory layout
 //! (`<state-dir>/<doc-id>/snapshot.bin` + `wal.log`) for the multi-tenant
@@ -104,9 +108,15 @@ impl std::error::Error for StorageError {
 pub struct Recovered {
     /// The decoded snapshot.
     pub state: LiveState,
-    /// Batches appended after the snapshot, to re-apply in order.
+    /// The WAL sequence number of the last batch the snapshot captures.
+    /// WAL records at or below it were subsumed by the snapshot and are
+    /// *not* in [`Recovered::batches`].
+    pub last_seq: u64,
+    /// Batches appended after the snapshot (sequence above
+    /// [`Recovered::last_seq`]), to re-apply in order.
     pub batches: Vec<Vec<BatchEdit>>,
-    /// The open write-ahead log.
+    /// The open write-ahead log, its sequence counter positioned above
+    /// both the snapshot and every logged record.
     pub wal: Wal,
 }
 
@@ -198,30 +208,52 @@ impl DocStore {
     /// Snapshots `state` for `id` and empties its WAL (the snapshot
     /// subsumes every logged batch). Creates the subdirectory on first
     /// save.
+    ///
+    /// Crash-safe ordering: the snapshot is stamped with the WAL's last
+    /// sequence number and published (atomic rename) *before* the log is
+    /// emptied, so a crash between the two steps leaves stale records that
+    /// [`DocStore::load`] skips by sequence — never replays onto state
+    /// that already contains them.
     pub fn save(&self, id: &str, state: &LiveState) -> Result<(), StorageError> {
         let dir = self.doc_dir(id)?;
         fs::create_dir_all(&dir).map_err(io_err(format!("create {}", dir.display())))?;
-        write_snapshot(&dir.join(SNAPSHOT_FILE), state)?;
         let wal_path = dir.join(WAL_FILE);
-        if wal_path.exists() {
-            let (mut wal, _) = Wal::open(&wal_path, self.policy)?;
+        let mut wal = if wal_path.exists() {
+            let (wal, _) = Wal::open(&wal_path, self.policy)?;
+            Some(wal)
+        } else {
+            None
+        };
+        let last_seq = wal.as_ref().map_or(0, Wal::last_seq);
+        write_snapshot(&dir.join(SNAPSHOT_FILE), state, last_seq)?;
+        if let Some(wal) = wal.as_mut() {
             wal.reset()?;
         }
         Ok(())
     }
 
-    /// Recovers `id`: decodes its snapshot, replays its WAL, and returns
-    /// the open log. `Ok(None)` when no snapshot exists for `id`.
+    /// Recovers `id`: decodes its snapshot, replays the WAL records above
+    /// the snapshot's last applied sequence (records at or below it were
+    /// subsumed by the snapshot — the artifact of a crash between a
+    /// snapshot publication and the log reset), and returns the open log.
+    /// `Ok(None)` when no snapshot exists for `id`.
     pub fn load(&self, id: &str) -> Result<Option<Recovered>, StorageError> {
         let dir = self.doc_dir(id)?;
         let snap = dir.join(SNAPSHOT_FILE);
         if !snap.is_file() {
             return Ok(None);
         }
-        let state = read_snapshot(&snap)?;
-        let (wal, batches) = Wal::open(dir.join(WAL_FILE), self.policy)?;
+        let (state, last_seq) = read_snapshot(&snap)?;
+        let (mut wal, records) = Wal::open(dir.join(WAL_FILE), self.policy)?;
+        wal.skip_to(last_seq);
+        let batches = records
+            .into_iter()
+            .filter(|&(seq, _)| seq > last_seq)
+            .map(|(_, batch)| batch)
+            .collect();
         Ok(Some(Recovered {
             state,
+            last_seq,
             batches,
             wal,
         }))

@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! magic   b"XICS"
-//! version u32                        (currently 1)
+//! version u32                        (currently 2)
 //! section*:
-//!   tag     u32                      (1 tree, 2 interner, 3 columns, 4 struct)
+//!   tag     u32                      (1 tree, 2 interner, 3 columns, 4 struct, 5 meta)
 //!   len     u64                      payload byte length
 //!   crc     u32                      CRC-32 of the payload
 //!   payload len bytes
@@ -17,6 +17,12 @@
 //! or the length check fails) rather than deserialized. Writers never
 //! publish a torn file in the first place — [`write_snapshot`] writes to a
 //! temporary sibling, fsyncs, then renames over the target atomically.
+//!
+//! The **meta** section records the WAL sequence number of the last edit
+//! batch the snapshot captures (zero for a freshly ingested document).
+//! Recovery replays only WAL records *above* it, so a crash between
+//! publishing a snapshot and emptying the log it subsumes can never
+//! replay a batch twice.
 
 use std::fs::{self, File};
 use std::io::Write;
@@ -34,15 +40,18 @@ use crate::StorageError;
 /// The snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"XICS";
 /// The current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SEC_TREE: u32 = 1;
 const SEC_INTERNER: u32 = 2;
 const SEC_COLUMNS: u32 = 3;
 const SEC_STRUCT: u32 = 4;
+const SEC_META: u32 = 5;
 
-/// Serializes `state` into the snapshot byte format.
-pub fn encode_snapshot(state: &LiveState) -> Vec<u8> {
+/// Serializes `state` into the snapshot byte format. `last_seq` is the WAL
+/// sequence number of the last batch already applied to `state` (zero when
+/// no log exists yet): recovery replays only records above it.
+pub fn encode_snapshot(state: &LiveState, last_seq: u64) -> Vec<u8> {
     let mut out = Enc::default();
     out.buf.extend_from_slice(&SNAPSHOT_MAGIC);
     out.u32(SNAPSHOT_VERSION);
@@ -53,6 +62,10 @@ pub fn encode_snapshot(state: &LiveState) -> Vec<u8> {
         out.u32(crc32(&payload.buf));
         out.buf.extend_from_slice(&payload.buf);
     };
+
+    let mut meta = Enc::default();
+    meta.u64(last_seq);
+    section(&mut out, SEC_META, meta);
 
     let mut tree = Enc::default();
     enc_tree(&mut tree, &state.tree);
@@ -73,12 +86,13 @@ pub fn encode_snapshot(state: &LiveState) -> Vec<u8> {
     out.buf
 }
 
-/// Deserializes a snapshot produced by [`encode_snapshot`].
+/// Deserializes a snapshot produced by [`encode_snapshot`], returning the
+/// state plus the WAL sequence number of the last batch it captures.
 ///
 /// Fails cleanly — never panics — on truncation, checksum mismatch,
 /// unknown sections or versions, and structurally inconsistent payloads
 /// (the decoded tree and intern pool are re-validated by the model layer).
-pub fn decode_snapshot(bytes: &[u8]) -> Result<LiveState, StorageError> {
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(LiveState, u64), StorageError> {
     let mut d = Dec::new(bytes, "snapshot");
     let magic = d.u32()?;
     if magic.to_le_bytes() != SNAPSHOT_MAGIC {
@@ -95,6 +109,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<LiveState, StorageError> {
         });
     }
 
+    let mut last_seq = None;
     let mut tree = None;
     let mut interner = None;
     let mut columns = None;
@@ -116,6 +131,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<LiveState, StorageError> {
         }
         let mut pd = Dec::new(payload, "snapshot");
         match tag {
+            SEC_META => last_seq = Some(pd.u64()?),
             SEC_TREE => tree = Some(dec_tree(&mut pd)?),
             SEC_INTERNER => interner = Some(dec_interner(&mut pd)?),
             SEC_COLUMNS => columns = Some(dec_columns(&mut pd)?),
@@ -138,21 +154,26 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<LiveState, StorageError> {
     };
     let (interner_arena, interner_spans) = interner.ok_or_else(|| missing("interner"))?;
     let (singles, sets) = columns.ok_or_else(|| missing("columns"))?;
-    Ok(LiveState {
-        tree: tree.ok_or_else(|| missing("tree"))?,
-        interner_arena,
-        interner_spans,
-        singles,
-        sets,
-        struct_viols: struct_viols.ok_or_else(|| missing("structural violation"))?,
-    })
+    Ok((
+        LiveState {
+            tree: tree.ok_or_else(|| missing("tree"))?,
+            interner_arena,
+            interner_spans,
+            singles,
+            sets,
+            struct_viols: struct_viols.ok_or_else(|| missing("structural violation"))?,
+        },
+        last_seq.ok_or_else(|| missing("meta"))?,
+    ))
 }
 
-/// Writes `state` to `path` atomically: encode, write a `.tmp` sibling,
-/// fsync it, rename over `path`, fsync the directory. A crash at any point
-/// leaves either the old snapshot or the new one — never a torn file.
-pub fn write_snapshot(path: &Path, state: &LiveState) -> Result<(), StorageError> {
-    let bytes = encode_snapshot(state);
+/// Writes `state` (with its last applied WAL sequence, see
+/// [`encode_snapshot`]) to `path` atomically: encode, write a `.tmp`
+/// sibling, fsync it, rename over `path`, fsync the directory. A crash at
+/// any point leaves either the old snapshot or the new one — never a torn
+/// file.
+pub fn write_snapshot(path: &Path, state: &LiveState, last_seq: u64) -> Result<(), StorageError> {
+    let bytes = encode_snapshot(state, last_seq);
     let tmp = path.with_extension("tmp");
     let io = |context: &str| {
         let context = context.to_string();
@@ -178,8 +199,9 @@ pub fn write_snapshot(path: &Path, state: &LiveState) -> Result<(), StorageError
     Ok(())
 }
 
-/// Reads and decodes the snapshot at `path`.
-pub fn read_snapshot(path: &Path) -> Result<LiveState, StorageError> {
+/// Reads and decodes the snapshot at `path`; see [`decode_snapshot`] for
+/// the returned pair.
+pub fn read_snapshot(path: &Path) -> Result<(LiveState, u64), StorageError> {
     let bytes = fs::read(path).map_err(|source| StorageError::Io {
         context: format!("read {}", path.display()),
         source,

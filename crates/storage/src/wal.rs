@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! magic   b"XICW"
-//! version u32                        (currently 1)
+//! version u32                        (currently 2)
 //! record*:
 //!   len     u64                      payload byte length
-//!   crc     u32                      CRC-32 of the payload
+//!   seq     u64                      batch sequence number (strictly increasing)
+//!   crc     u32                      CRC-32 of seq (8 LE bytes) ++ payload
 //!   payload len bytes                (one encoded `Vec<BatchEdit>`)
 //! ```
 //!
@@ -18,6 +19,14 @@
 //! away; a record that is fully present but fails its checksum is
 //! *corruption* and surfaces as a clean error — it is never truncated
 //! silently, and never deserialized.
+//!
+//! The **sequence number** ties the log to its snapshot. Every record
+//! carries the monotonic sequence the batch was acknowledged under, and a
+//! snapshot stores the sequence of the last batch it captures. Recovery
+//! ([`crate::DocStore::load`]) replays only records *above* the
+//! snapshot's sequence — so a crash between publishing a snapshot and
+//! emptying the log it subsumes leaves stale records that are skipped,
+//! never replayed a second time onto state that already contains them.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -32,10 +41,10 @@ use crate::StorageError;
 /// The WAL file magic.
 pub const WAL_MAGIC: [u8; 4] = *b"XICW";
 /// The current WAL format version.
-pub const WAL_VERSION: u32 = 1;
+pub const WAL_VERSION: u32 = 2;
 
 const HEADER_LEN: u64 = 8;
-const RECORD_HEADER_LEN: u64 = 12;
+const RECORD_HEADER_LEN: u64 = 20;
 
 /// When appends reach the disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +75,7 @@ impl FsyncPolicy {
 pub struct WalMark {
     len: u64,
     records: u64,
+    next_seq: u64,
 }
 
 /// An open write-ahead log, positioned for appending.
@@ -78,6 +88,11 @@ pub struct Wal {
     len: u64,
     /// Number of intact records currently in the log.
     records: u64,
+    /// The sequence number the next appended record is stamped with.
+    /// Strictly greater than every sequence already in the log, and — once
+    /// [`Wal::skip_to`] has applied the owning snapshot's last sequence —
+    /// than every batch a snapshot has already captured.
+    next_seq: u64,
 }
 
 fn io_err(context: String) -> impl FnOnce(std::io::Error) -> StorageError {
@@ -87,14 +102,15 @@ fn io_err(context: String) -> impl FnOnce(std::io::Error) -> StorageError {
 impl Wal {
     /// Opens (or creates) the log at `path` and replays its records.
     ///
-    /// Returns the log positioned for appending plus every intact batch in
-    /// append order. A torn final record — the file ends inside it — is
-    /// truncated away; a complete record failing its checksum, a bad
-    /// header, or a malformed payload is a clean error.
+    /// Returns the log positioned for appending plus every intact
+    /// `(sequence, batch)` in append order. A torn final record — the file
+    /// ends inside it — is truncated away; a complete record failing its
+    /// checksum, a bad header, a non-increasing sequence number, or a
+    /// malformed payload is a clean error.
     pub fn open(
         path: impl Into<PathBuf>,
         policy: FsyncPolicy,
-    ) -> Result<(Wal, Vec<Vec<BatchEdit>>), StorageError> {
+    ) -> Result<(Wal, Vec<(u64, Vec<BatchEdit>)>), StorageError> {
         let path = path.into();
         let mut file = OpenOptions::new()
             .read(true)
@@ -124,6 +140,7 @@ impl Wal {
                     policy,
                     len: HEADER_LEN,
                     records: 0,
+                    next_seq: 1,
                 },
                 Vec::new(),
             ));
@@ -143,8 +160,9 @@ impl Wal {
             });
         }
 
-        let mut batches = Vec::new();
+        let mut batches: Vec<(u64, Vec<BatchEdit>)> = Vec::new();
         let mut pos = HEADER_LEN as usize;
+        let mut last_seq = 0u64;
         let mut torn = false;
         while pos < bytes.len() {
             let remaining = bytes.len() - pos;
@@ -153,7 +171,9 @@ impl Wal {
                 break;
             }
             let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-            let crc = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+            let seq_bytes: [u8; 8] = bytes[pos + 8..pos + 16].try_into().unwrap();
+            let seq = u64::from_le_bytes(seq_bytes);
+            let crc = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().unwrap());
             let body = pos + RECORD_HEADER_LEN as usize;
             let Some(end) = (body as u64)
                 .checked_add(len)
@@ -163,10 +183,19 @@ impl Wal {
                 break;
             };
             let payload = &bytes[body..end as usize];
-            if crc32(payload) != crc {
+            if record_crc(&seq_bytes, payload) != crc {
                 return Err(StorageError::Corrupt {
                     detail: format!(
                         "{}: record {} fails its checksum",
+                        path.display(),
+                        batches.len()
+                    ),
+                });
+            }
+            if seq <= last_seq {
+                return Err(StorageError::Corrupt {
+                    detail: format!(
+                        "{}: record {} has sequence {seq}, not above its predecessor's {last_seq}",
                         path.display(),
                         batches.len()
                     ),
@@ -183,7 +212,8 @@ impl Wal {
                     ),
                 });
             }
-            batches.push(batch);
+            batches.push((seq, batch));
+            last_seq = seq;
             pos = end as usize;
         }
         if torn {
@@ -200,19 +230,24 @@ impl Wal {
                 policy,
                 len: pos as u64,
                 records,
+                next_seq: last_seq + 1,
             },
             batches,
         ))
     }
 
     /// Appends one batch as a checksummed record, honouring the fsync
-    /// policy. Call this *before* applying the batch to the validator.
-    pub fn append(&mut self, batch: &[BatchEdit]) -> Result<(), StorageError> {
+    /// policy, and returns the sequence number it was stamped with. Call
+    /// this *before* applying the batch to the validator.
+    pub fn append(&mut self, batch: &[BatchEdit]) -> Result<u64, StorageError> {
         let mut payload = Enc::default();
         enc_batch(&mut payload, batch);
+        let seq = self.next_seq;
+        let seq_bytes = seq.to_le_bytes();
         let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.buf.len());
         rec.extend_from_slice(&(payload.buf.len() as u64).to_le_bytes());
-        rec.extend_from_slice(&crc32(&payload.buf).to_le_bytes());
+        rec.extend_from_slice(&seq_bytes);
+        rec.extend_from_slice(&record_crc(&seq_bytes, &payload.buf).to_le_bytes());
         rec.extend_from_slice(&payload.buf);
         self.file
             .write_all(&rec)
@@ -224,7 +259,8 @@ impl Wal {
         }
         self.len += rec.len() as u64;
         self.records += 1;
-        Ok(())
+        self.next_seq = seq + 1;
+        Ok(seq)
     }
 
     /// The current end-of-log position, for [`Wal::rollback`].
@@ -232,13 +268,14 @@ impl Wal {
         WalMark {
             len: self.len,
             records: self.records,
+            next_seq: self.next_seq,
         }
     }
 
     /// Truncates the log back to `mark` — the undo for appends whose
-    /// batches then failed to apply, keeping the log in lockstep with the
-    /// validator. `mark` must come from this log's [`Wal::mark`], at or
-    /// before the current end.
+    /// batches then failed to apply, keeping the log (and its sequence
+    /// counter) in lockstep with the validator. `mark` must come from this
+    /// log's [`Wal::mark`], at or before the current end.
     pub fn rollback(&mut self, mark: WalMark) -> Result<(), StorageError> {
         if mark.len > self.len || mark.records > self.records {
             return Err(StorageError::Corrupt {
@@ -261,11 +298,14 @@ impl Wal {
         }
         self.len = mark.len;
         self.records = mark.records;
+        self.next_seq = mark.next_seq;
         Ok(())
     }
 
     /// Discards every record (after a successful snapshot has made them
-    /// redundant), leaving an empty log.
+    /// redundant), leaving an empty log. The sequence counter is *not*
+    /// rewound: later appends stay above every sequence the snapshot has
+    /// captured, so a record can never be mistaken for un-snapshotted work.
     pub fn reset(&mut self) -> Result<(), StorageError> {
         self.file
             .set_len(HEADER_LEN)
@@ -281,6 +321,21 @@ impl Wal {
         self.len = HEADER_LEN;
         self.records = 0;
         Ok(())
+    }
+
+    /// The sequence number of the most recently acknowledged batch: what a
+    /// snapshot of the current validator state must record as its last
+    /// applied sequence. Zero when nothing has ever been appended (or
+    /// skipped to).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Raises the sequence counter past `last_applied` (the owning
+    /// snapshot's last captured sequence), so the next append is stamped
+    /// above every batch that snapshot subsumes. Never lowers it.
+    pub fn skip_to(&mut self, last_applied: u64) {
+        self.next_seq = self.next_seq.max(last_applied + 1);
     }
 
     /// Number of intact records currently in the log.
@@ -302,4 +357,14 @@ impl Wal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// A record's checksum covers its sequence number as well as its payload,
+/// so a flipped sequence is caught by the CRC before the monotonicity
+/// check ever sees it.
+fn record_crc(seq_bytes: &[u8; 8], payload: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(seq_bytes);
+    buf.extend_from_slice(payload);
+    crc32(&buf)
 }

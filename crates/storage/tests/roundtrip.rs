@@ -9,7 +9,10 @@
 use proptest::prelude::*;
 use xic_constraints::{Constraint, DtdC, DtdStructure, Field, Language};
 use xic_model::{AttrValue, DataTree, NodeId, TreeBuilder};
-use xic_storage::{decode_snapshot, encode_snapshot, DocStore, FsyncPolicy, StorageError, Wal};
+use xic_storage::{
+    crc32, decode_snapshot, encode_snapshot, write_snapshot, DocStore, FsyncPolicy, StorageError,
+    Wal, WAL_MAGIC, WAL_VERSION,
+};
 use xic_validate::{BatchEdit, LiveValidator, MatcherKind, Options, Validator};
 
 /// Three element types with an ID attribute, single attributes, set-valued
@@ -266,7 +269,7 @@ proptest! {
         let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
         let v = validator(&dtdc);
         let live = LiveValidator::new(&v, build_tree(&nodes));
-        let bytes = encode_snapshot(&live.export_state());
+        let bytes = encode_snapshot(&live.export_state(), 0);
         let cut = (bytes.len() as u64 * frac as u64 / 1000) as usize;
         prop_assert!(
             decode_snapshot(&bytes[..cut]).is_err(),
@@ -284,7 +287,7 @@ proptest! {
         let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
         let v = validator(&dtdc);
         let live = LiveValidator::new(&v, build_tree(&nodes));
-        let mut bytes = encode_snapshot(&live.export_state());
+        let mut bytes = encode_snapshot(&live.export_state(), 0);
         let at = pos as usize % bytes.len();
         bytes[at] ^= 1 << bit;
         prop_assert!(
@@ -323,11 +326,12 @@ proptest! {
         let cut = full.len().saturating_sub(chop as usize).max(8);
         if cut < full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let (reopened, batches) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            let (reopened, records) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            let batches: Vec<&Vec<BatchEdit>> = records.iter().map(|(_, b)| b).collect();
             prop_assert!(batches.len() <= logged.len());
             prop_assert_eq!(
                 format!("{:?}", batches),
-                format!("{:?}", &logged[..batches.len()]),
+                format!("{:?}", logged[..batches.len()].iter().collect::<Vec<_>>()),
                 "recovered batches are not a prefix"
             );
             drop(reopened);
@@ -370,13 +374,14 @@ proptest! {
         match Wal::open(&path, FsyncPolicy::Never) {
             Err(StorageError::Corrupt { .. }) | Err(StorageError::Format { .. }) => {}
             Err(e) => prop_assert!(false, "unexpected error class: {e}"),
-            Ok((_, batches)) => {
+            Ok((_, records)) => {
                 // A flipped length field can masquerade as a torn tail;
                 // the recovered records must still be an intact prefix.
+                let batches: Vec<&Vec<BatchEdit>> = records.iter().map(|(_, b)| b).collect();
                 prop_assert!(batches.len() <= logged.len());
                 prop_assert_eq!(
                     format!("{:?}", batches),
-                    format!("{:?}", &logged[..batches.len()]),
+                    format!("{:?}", logged[..batches.len()].iter().collect::<Vec<_>>()),
                     "corrupted WAL replayed non-prefix data"
                 );
             }
@@ -482,5 +487,132 @@ fn doc_store_lifecycle() {
 
     store.purge("doc-1").unwrap();
     assert_eq!(store.doc_ids().unwrap(), vec!["doc.2"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The other crash window: a snapshot is published (stamped with the WAL's
+/// last sequence) but the process dies before the log it subsumes is
+/// emptied. The stale records — non-idempotent inserts — must be skipped
+/// by sequence on recovery, never replayed onto state that already
+/// contains them; and appends after recovery land above them, so only the
+/// genuinely new batches replay on the boot after that.
+#[test]
+fn crash_between_snapshot_publication_and_wal_reset_skips_stale_records() {
+    let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
+    let v = validator(&dtdc);
+    let recipes: Vec<NodeRecipe> = vec![(
+        (0, Some(1), Some(2), None),
+        (vec![1], vec![], vec![(0, 3)]),
+    )];
+    let mut live = LiveValidator::new(&v, build_tree(&recipes));
+
+    let dir = tempdir("stale-wal");
+    let store = DocStore::open(&dir, FsyncPolicy::Always).unwrap();
+    store.save("doc", &live.export_state()).unwrap();
+    let mut wal = store.open_wal("doc").unwrap();
+
+    // Acknowledge an insert (replaying it twice would duplicate the
+    // subtree and raise a key violation the living validator never saw).
+    let insert: NodeRecipe = ((0, Some(1), None, None), (vec![], vec![], vec![]));
+    let batch = vec![BatchEdit::InsertSubtree {
+        parent: live.tree().root(),
+        position: 0,
+        fragment: build_fragment(&insert),
+    }];
+    wal.append(&batch).unwrap();
+    live.apply_batch(&batch).unwrap();
+
+    // The snapshot lands (atomic rename), the reset never does.
+    write_snapshot(
+        &store.snapshot_path("doc").unwrap(),
+        &live.export_state(),
+        wal.last_seq(),
+    )
+    .unwrap();
+    drop(wal); // crash
+
+    let rec = store.load("doc").unwrap().unwrap();
+    assert!(
+        rec.batches.is_empty(),
+        "a record subsumed by the snapshot was queued for replay"
+    );
+    let warm = LiveValidator::from_state(&v, rec.state).unwrap();
+    assert_eq!(
+        warm.report().violations,
+        live.report().violations,
+        "recovery diverged from the acknowledged pre-crash state"
+    );
+
+    // The recovered log appends above the stale record, so the next boot
+    // replays exactly the post-snapshot work.
+    let mut wal = rec.wal;
+    let batch2 = vec![BatchEdit::SetAttr {
+        node: live.tree().root(),
+        attr: "a0".into(),
+        value: AttrValue::single("v5"),
+    }];
+    let seq2 = wal.append(&batch2).unwrap();
+    assert!(seq2 > rec.last_seq, "append did not clear the snapshot's sequence");
+    live.apply_batch(&batch2).unwrap();
+    drop(wal);
+
+    let rec2 = store.load("doc").unwrap().unwrap();
+    assert_eq!(rec2.batches.len(), 1, "exactly the new batch replays");
+    let mut warm = LiveValidator::from_state(&v, rec2.state).unwrap();
+    for b in &rec2.batches {
+        warm.apply_batch(b).unwrap();
+    }
+    assert_eq!(warm.report().violations, live.report().violations);
+    assert_eq!(warm.report().violations, v.validate(warm.tree()).violations);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sequence numbers in a WAL must strictly increase; a regression or a
+/// duplicate is corruption, reported cleanly. Monotonically increasing
+/// (even non-contiguous) sequences open fine, and the log then appends
+/// above the highest one.
+#[test]
+fn non_increasing_wal_sequences_are_corruption() {
+    // One raw record holding an encoded empty batch (a u64 zero count).
+    let record = |seq: u64| -> Vec<u8> {
+        let payload = 0u64.to_le_bytes();
+        let mut covered = seq.to_le_bytes().to_vec();
+        covered.extend_from_slice(&payload);
+        let mut rec = (payload.len() as u64).to_le_bytes().to_vec();
+        rec.extend_from_slice(&seq.to_le_bytes());
+        rec.extend_from_slice(&crc32(&covered).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        rec
+    };
+    let wal_with = |dir: &std::path::Path, seqs: &[u64]| -> std::path::PathBuf {
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        for &s in seqs {
+            bytes.extend_from_slice(&record(s));
+        }
+        let path = dir.join(format!("wal-{seqs:?}.log"));
+        std::fs::write(&path, &bytes).unwrap();
+        path
+    };
+
+    let dir = tempdir("wal-seq");
+    for bad in [&[2u64, 1][..], &[1, 1], &[3, 5, 4]] {
+        let path = wal_with(&dir, bad);
+        match Wal::open(&path, FsyncPolicy::Never) {
+            Err(StorageError::Corrupt { detail }) => {
+                assert!(detail.contains("sequence"), "{detail}")
+            }
+            other => panic!("seqs {bad:?} must be corruption, got {other:?}"),
+        }
+    }
+
+    let path = wal_with(&dir, &[3, 7]);
+    let (mut wal, records) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+    assert_eq!(
+        records.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+        vec![3, 7]
+    );
+    assert_eq!(wal.last_seq(), 7);
+    assert_eq!(wal.append(&[]).unwrap(), 8);
     std::fs::remove_dir_all(&dir).ok();
 }
