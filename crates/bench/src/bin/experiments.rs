@@ -1,17 +1,18 @@
-//! Reproduces experiments E1–E19 (see EXPERIMENTS.md): every theorem,
+//! Reproduces experiments E1–E20 (see EXPERIMENTS.md): every theorem,
 //! proposition and figure of Fan & Siméon (PODS 2000) as an executable
 //! check with measured scaling, plus the compiled-engine study E11, the
 //! streaming-pipeline study E12, the incremental-revalidation study E13,
 //! the batch-edit/bulk-init study E17, the multi-tenant serve load
-//! study E18 and the durable-state warm-start study E19.
+//! study E18, the durable-state warm-start study E19 and the
+//! observability-overhead study E20.
 //!
 //! ```text
 //! cargo run --release -p xic-bench --bin experiments [--smoke] [e1 e5 e11 ...]
 //! ```
 //!
 //! With no arguments every experiment runs; otherwise only the named ones
-//! (by id: `e1` … `e19`). `--smoke` restricts the document-scaling
-//! experiments (E11/E12/E13/E15/E16/E17/E18/E19) to one size so CI can run
+//! (by id: `e1` … `e20`). `--smoke` restricts the document-scaling
+//! experiments (E11/E12/E13/E15/E16/E17/E18/E19/E20) to one size so CI can run
 //! them as a fast correctness check; under `--smoke`, E12 and E16 also fail
 //! if measured streaming throughput drops below 0.8× the committed
 //! `BENCH_validate.json` row for that size, and E17 fails if batched edits
@@ -24,7 +25,12 @@
 //! decoded snapshot at ≤0.25× a cold boot at 10⁶ vertices (≤0.3× at the
 //! smoke size), the end-to-end warm boot at ≤0.8× the cold boot, and
 //! torn-tail crash recovery asserted byte-identical.
-//! E11, E12, E13, E16, E17, E18 and E19 additionally record their
+//! E20 gates the observability layer itself: the E18 load with the span
+//! ring, request scoping and a sampled-at-1 access log enabled must
+//! sustain ≥0.9× the untraced throughput, and one traced request's
+//! drained `GET /trace` must stitch the accept → queue wait → route →
+//! shard dispatch → batch → WAL append chain under a single request id.
+//! E11, E12, E13, E16, E17, E18, E19 and E20 additionally record their
 //! measured rows; when any of them runs, the merged baseline is written to
 //! `target/BENCH_validate.json` (copy it over the tracked
 //! `BENCH_validate.json` at the repository root to refresh the committed
@@ -84,7 +90,7 @@ fn main() {
         filters.remove(i);
         SMOKE.store(true, Ordering::Relaxed);
     }
-    let experiments: [(&str, fn()); 19] = [
+    let experiments: [(&str, fn()); 20] = [
         ("e1", e1_lid_linear),
         ("e2", e2_lu_linear_and_divergence),
         ("e3", e3_primary_coincide),
@@ -104,6 +110,7 @@ fn main() {
         ("e17", e17_batch_propagation),
         ("e18", e18_serve_load),
         ("e19", e19_warm_start),
+        ("e20", e20_obs_overhead),
     ];
     let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
     for f in &filters {
@@ -1466,6 +1473,39 @@ fn e17_batch_propagation() {
     );
 }
 
+/// Writes the E18/E20 load fixture under `dir` — a flat keyed document
+/// (`item.id` a key, `ref.to` a set-valued foreign key into it) with
+/// `items` items — and returns its source plus the daemon's schema flags.
+fn flat_keyed_fixture(dir: &std::path::Path, items: usize) -> (String, Vec<String>) {
+    std::fs::create_dir_all(dir).expect("create scratch dir");
+    let dtd_path = dir.join("db.dtd");
+    let sigma_path = dir.join("db.sigma");
+    std::fs::write(
+        &dtd_path,
+        "<!ELEMENT db (item*, ref)>\n<!ELEMENT item (#PCDATA)>\n<!ELEMENT ref EMPTY>\n\
+         <!ATTLIST item id CDATA #REQUIRED>\n<!ATTLIST ref to NMTOKENS #IMPLIED>\n",
+    )
+    .expect("write dtd");
+    std::fs::write(&sigma_path, "item.id -> item\nref.to <=s item.id\n").expect("write sigma");
+    let mut doc_src = String::from("<db>");
+    for i in 0..items {
+        doc_src.push_str(&format!("<item id=\"i{i}\">v</item>"));
+    }
+    doc_src.push_str("<ref to=\"i0\"/></db>");
+    let server_args: Vec<String> = [
+        "--dtd",
+        dtd_path.to_str().unwrap(),
+        "--root",
+        "db",
+        "--sigma",
+        sigma_path.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    (doc_src, server_args)
+}
+
 /// One e18 load-generator run: `docs` documents served by one daemon,
 /// `clients` concurrent keep-alive connections (client *j* edits doc
 /// *j mod docs*), each posting `edits_per_client` single-edit scripts.
@@ -1592,32 +1632,7 @@ fn e18_serve_load() {
     // constraint work, small enough that HTTP+shard dispatch — the thing
     // under test — stays a visible fraction of the cost.
     let dir = std::env::temp_dir().join("xic-e18");
-    std::fs::create_dir_all(&dir).expect("create scratch dir");
-    let dtd_path = dir.join("db.dtd");
-    let sigma_path = dir.join("db.sigma");
-    std::fs::write(
-        &dtd_path,
-        "<!ELEMENT db (item*, ref)>\n<!ELEMENT item (#PCDATA)>\n<!ELEMENT ref EMPTY>\n\
-         <!ATTLIST item id CDATA #REQUIRED>\n<!ATTLIST ref to NMTOKENS #IMPLIED>\n",
-    )
-    .expect("write dtd");
-    std::fs::write(&sigma_path, "item.id -> item\nref.to <=s item.id\n").expect("write sigma");
-    let mut doc_src = String::from("<db>");
-    for i in 0..items {
-        doc_src.push_str(&format!("<item id=\"i{i}\">v</item>"));
-    }
-    doc_src.push_str("<ref to=\"i0\"/></db>");
-    let server_args: Vec<String> = [
-        "--dtd",
-        dtd_path.to_str().unwrap(),
-        "--root",
-        "db",
-        "--sigma",
-        sigma_path.to_str().unwrap(),
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let (doc_src, server_args) = flat_keyed_fixture(&dir, items);
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -1924,6 +1939,183 @@ fn e19_warm_start() {
         format!(
             "{{\n    \"workload\": \"constraint_heavy_workload (seed 101); cold = parse + LiveValidator::new, warm = read_snapshot + from_state + replay of an 8x64-edit wal (seed 909)\",\n    \"rows\": [\n{}\n    ]\n  }}",
             json_rows.join(",\n")
+        ),
+    );
+}
+
+/// E20 — observability overhead and request-scoped trace chains
+/// (DESIGN §4.16).
+///
+/// Part 1 re-runs the E18 4 docs × 4 clients load twice on the same
+/// fixture: once with the span ring disabled (`--trace-buffer 0`, no
+/// access log) and once fully instrumented (default ring, request
+/// scoping, `--access-log` sampled at 1). The instrumented run must
+/// sustain ≥0.9× the untraced aggregate edits/s (best of 2 runs per
+/// side), and the access log must hold exactly one parseable
+/// [`AccessRecord`] line per request the daemon served. Part 2 drives
+/// one edit through a durable traced daemon and drains `GET /trace`:
+/// the accept → queue wait → route → shard dispatch → batch → WAL
+/// append chain must appear exactly once under that request's id.
+fn e20_obs_overhead() {
+    use std::net::TcpListener;
+    use std::time::Duration;
+    use xic::obs::json::{self, Json};
+    use xic_cli::http::HttpClient;
+
+    heading(
+        "E20 (observability overhead)",
+        "tracing + access log sustain >=0.9x untraced edit throughput; a drained /trace stitches accept -> queue -> shard -> wal under one request id",
+    );
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let items = if smoke { 500 } else { 2_000 };
+    let edits_per_client = if smoke { 150 } else { 1_000 };
+    let (docs, clients) = (4usize, 4usize);
+
+    let dir = std::env::temp_dir().join(format!("xic-e20-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (doc_src, server_args) = flat_keyed_fixture(&dir, items);
+
+    // Part 1: the overhead gate. Same workload, two daemons: the span
+    // ring off entirely vs every observability surface on at once.
+    let untraced_args: Vec<String> = server_args
+        .iter()
+        .cloned()
+        .chain(["--trace-buffer".into(), "0".into()])
+        .collect();
+    let log_path = dir.join("access.log");
+    let traced_args: Vec<String> = server_args
+        .iter()
+        .cloned()
+        .chain([
+            "--access-log".into(),
+            log_path.to_str().unwrap().to_string(),
+            "--log-sample".into(),
+            "1".into(),
+        ])
+        .collect();
+    let best_of = |args: &[String]| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..2 {
+            let (eps, _, _) =
+                serve_load_combo(docs, clients, edits_per_client, items, &doc_src, args);
+            best = best.max(eps);
+        }
+        best
+    };
+    let untraced = best_of(&untraced_args);
+    let traced = best_of(&traced_args);
+    let ratio = traced / untraced;
+    println!(
+        "  {docs} docs × {clients} clients × {edits_per_client} edits: untraced {untraced:6.0} edits/s   traced+logged {traced:6.0} edits/s   ×{ratio:.3}"
+    );
+    assert!(
+        ratio >= 0.9,
+        "observability overhead above budget: traced throughput only ×{ratio:.3} of untraced (gate ≥0.9)"
+    );
+
+    // Every request of both traced runs is one parseable log line:
+    // docs PUTs + warm-up edits + client edits + metrics.json + shutdown.
+    let text = std::fs::read_to_string(&log_path).expect("read access log");
+    let mut lines = 0u64;
+    let mut edit_lines = 0u64;
+    for line in text.lines() {
+        let r = AccessRecord::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable access-log line ({e}): {line}"));
+        if r.route == "http.route.edits" {
+            assert_eq!(r.status, 200, "{line}");
+            edit_lines += 1;
+        }
+        lines += 1;
+    }
+    let per_run = (docs + docs + clients * edits_per_client + 2) as u64;
+    assert_eq!(lines, 2 * per_run, "access-log line count");
+    assert_eq!(
+        edit_lines,
+        2 * (docs + clients * edits_per_client) as u64,
+        "access-log edit-route line count"
+    );
+    println!(
+        "        access log: {lines} lines, all parse; {edit_lines} edit requests accounted for"
+    );
+
+    // Part 2: one request's span chain through a durable daemon.
+    let doc_path = dir.join("doc.xml");
+    std::fs::write(&doc_path, &doc_src).expect("write doc");
+    let mut args = vec![doc_path.to_str().unwrap().to_string()];
+    args.extend(server_args.iter().cloned());
+    args.extend([
+        "--state-dir".to_string(),
+        dir.join("state").to_str().unwrap().to_string(),
+    ]);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+    let addr = listener.local_addr().unwrap();
+    let daemon =
+        std::thread::spawn(move || xic_cli::serve_on(listener, &args).expect("traced daemon"));
+    let timeout = Duration::from_secs(60);
+    let mut admin = HttpClient::connect(addr, timeout).expect("connect admin");
+    let (status, _) = admin
+        .request("GET", "/trace", "")
+        .expect("drain boot spans");
+    assert_eq!(status, 200);
+    {
+        // A fresh connection: its queue wait lands in this request's scope.
+        let mut c = HttpClient::connect(addr, timeout).expect("connect editor");
+        let script = format!("set-attr {} to i1\n", items + 1);
+        let (status, body) = c.request("POST", "/edits", &script).expect("edit");
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = admin.request("GET", "/trace", "").expect("drain trace");
+    assert_eq!(status, 200);
+    let events = match json::parse(&body).expect("chrome trace JSON") {
+        Json::Array(events) => events,
+        other => panic!("/trace is not an array: {other:?}"),
+    };
+    let req_of = |e: &Json| -> u64 {
+        e.get("args")
+            .and_then(|a| a.get("req"))
+            .map_or(0, |r| r.as_u64("req").unwrap())
+    };
+    let name_of = |e: &Json| e.get("name").unwrap().as_str("name").unwrap().to_string();
+    let edit_reqs: Vec<u64> = events
+        .iter()
+        .filter(|e| name_of(e) == "http.route.edits")
+        .map(&req_of)
+        .collect();
+    assert_eq!(
+        edit_reqs.len(),
+        1,
+        "expected exactly one traced edit request"
+    );
+    let rid = edit_reqs[0];
+    assert!(rid > 0, "edit request untagged");
+    let chain = [
+        "serve.queue_wait",
+        "http.request",
+        "http.route.edits",
+        "serve.shard_dispatch",
+        "edit.batch",
+        "wal.append",
+    ];
+    for expect in chain {
+        let n = events
+            .iter()
+            .filter(|e| req_of(e) == rid && name_of(e) == expect)
+            .count();
+        assert_eq!(n, 1, "span {expect} not exactly once under request {rid}");
+    }
+    println!(
+        "        trace chain: request {rid} carries each of {} exactly once",
+        chain.join(" -> ")
+    );
+    let (status, _) = admin.request("POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    register_section(
+        "e20_obs_overhead",
+        format!(
+            "{{\n    \"workload\": \"E18 fixture ({items} items); {docs} docs x {clients} clients x {edits_per_client} edits, best of 2 per side: --trace-buffer 0 vs default ring + --access-log --log-sample 1; plus one traced request's drained span chain\",\n    \"untraced_edits_per_sec\": {untraced:.0},\n    \"traced_edits_per_sec\": {traced:.0},\n    \"traced_over_untraced\": {ratio:.3},\n    \"overhead_gate\": \"asserted >= 0.9x\",\n    \"access_log_lines\": {lines},\n    \"trace_chain\": [\"serve.queue_wait\", \"http.request\", \"http.route.edits\", \"serve.shard_dispatch\", \"edit.batch\", \"wal.append\"]\n  }}"
         ),
     );
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! xic validate <doc.xml> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--no-stream] [--metrics text|json|prom] [--trace-out FILE]
 //! xic apply-edits <doc.xml> <edits.txt> [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--lenient] [--metrics text|json|prom] [--trace-out FILE]
-//! xic serve    [<doc.xml>] --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--http-threads N] [--queue N] [--max-body BYTES] [--timeout SECS] [--state-dir DIR --fsync always|never --snapshot-every N]
+//! xic serve    [<doc.xml>] --addr HOST:PORT [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid] [--http-threads N] [--queue N] [--max-body BYTES] [--timeout SECS] [--state-dir DIR --fsync always|never --snapshot-every N] [--access-log FILE|- --log-sample N] [--trace-buffer N --trace-out FILE]
 //! xic snapshot <doc.xml> --state-dir DIR [--doc-id ID] [--dtd FILE --root NAME] [--sigma FILE --lang L|Lu|Lid]
 //! xic recover  --state-dir DIR [--doc-id ID] [--sigma FILE --lang L|Lu|Lid]
 //! xic implies  --dtd FILE --root NAME --sigma FILE --lang L|Lu|Lid [--finite|--unrestricted] CONSTRAINT
@@ -97,6 +97,9 @@ struct Opts {
     fsync: Option<String>,
     snapshot_every: Option<u64>,
     doc_id: Option<String>,
+    access_log: Option<String>,
+    log_sample: Option<u64>,
+    trace_buffer: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -177,6 +180,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     })?);
             }
             "--doc-id" => o.doc_id = Some(grab("--doc-id")?),
+            "--access-log" => o.access_log = Some(grab("--access-log")?),
+            "--log-sample" => {
+                let v = grab("--log-sample")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--log-sample expects a number, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--log-sample expects a number >= 1 (1 = log everything)".into());
+                }
+                o.log_sample = Some(n);
+            }
+            "--trace-buffer" => {
+                let v = grab("--trace-buffer")?;
+                o.trace_buffer = Some(v.parse().map_err(|_| {
+                    format!("--trace-buffer expects an event count (0 disables), got {v:?}")
+                })?);
+            }
             "--lenient" => o.lenient = true,
             "--sequential" => o.sequential = true,
             "--ids" => o.ids = true,
@@ -355,6 +375,7 @@ usage:
                [--lenient] [--sequential] [--threads N] [--http-threads N] [--queue N]
                [--max-body BYTES] [--timeout SECS]
                [--state-dir DIR] [--fsync always|never] [--snapshot-every N]
+               [--access-log FILE|-] [--log-sample N] [--trace-buffer N] [--trace-out FILE]
                long-running multi-tenant validation daemon (default --addr
                127.0.0.1:9100): a store of documents keyed by id, each on
                its own validator shard — independent docs are served in
@@ -383,6 +404,15 @@ usage:
                  GET    /metrics           Prometheus text exposition, all
                                            docs merged per doc-id label
                  GET    /metrics.json      the same snapshot as JSON
+                 GET    /docs/{id}/metrics one doc's Prometheus exposition
+                                           (404 on unknown doc)
+                 GET    /healthz           liveness + readiness (503 while
+                                           draining)
+                 GET    /status            JSON introspection: uptime, build
+                                           info, queue depth/capacity, and
+                                           per-doc WAL/snapshot state
+                 GET    /trace             drain the request-scoped span ring
+                                           as Chrome trace-event JSON
                  POST   /shutdown          drain in-flight work and exit
                With --state-dir DIR the daemon is durable: every acknowledged
                edit batch is appended to a per-doc write-ahead log before it
@@ -390,6 +420,12 @@ usage:
                are written on ingest, eviction, shutdown, on demand, and
                every --snapshot-every N batches; on boot every persisted doc
                is recovered (snapshot + WAL replay) and served warm.
+               Observability: every request gets a monotonic id tagging its
+               spans in a bounded trace ring (--trace-buffer N events,
+               default 65536, 0 disables; GET /trace drains it, --trace-out
+               FILE writes the final window at shutdown); --access-log
+               FILE|- appends one JSON line per request (every --log-sample
+               N-th under load, default 1 = all).
   xic snapshot <doc.xml> --state-dir DIR [--doc-id ID] [--dtd FILE --root NAME]
                [--sigma FILE --lang L|Lu|Lid] [--lenient] [--threads N] [--fsync always|never]
                validate the document and persist its live-validator state as

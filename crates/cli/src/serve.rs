@@ -42,6 +42,10 @@
 //! | `GET /report`, `POST /edits` | aliases for doc `default` |
 //! | `GET /metrics` | Prometheus text exposition: the HTTP layer's collector merged with every doc's collector, each labeled `doc="<id>"` |
 //! | `GET /metrics.json` | the same merged snapshot as [`Metrics`] JSON |
+//! | `GET /docs/{id}/metrics` | one document's Prometheus exposition, `doc`-labeled exactly as in the merged view (`404` on unknown doc) |
+//! | `GET /healthz` | liveness + readiness: `200 ok` while serving, `503 draining` once a drain begins (the process is live either way) |
+//! | `GET /status` | JSON introspection: uptime, build version, queue depth/capacity, and per-doc WAL records / `last_seq` / snapshot age from real [`DocStore`]/[`Wal`] state |
+//! | `GET /trace` | drain the request-scoped span ring as Chrome trace-event JSON (`400` under `--trace-buffer 0`) |
 //! | `POST /shutdown` | drain: stop accepting, serve everything already queued, join workers and shards, exit |
 //!
 //! **Durability (`--state-dir DIR`).** Each document keeps
@@ -63,21 +67,36 @@
 //!
 //! Observability: the HTTP layer records `http.requests`, an
 //! `http.request` latency histogram, a per-route `http.route.*` family,
-//! and `serve.queue_wait` (time a connection sat in the accept queue);
+//! `serve.queue_wait` (time a connection sat in the accept queue) and
+//! `serve.shard_dispatch` (send + reply across the shard channel);
 //! each doc shard's collector carries the full validator taxonomy
 //! (`parse`, `edit.batch`, `violations.raised`, …) plus a
 //! `doc.requests` counter, merged into `/metrics` under its `doc` label.
+//!
+//! **Request scoping.** Every request gets a monotonic id at read time.
+//! The worker holds a [`request_scope`] guard across route dispatch and
+//! each shard holds one around every dequeued [`DocRequest`], so all
+//! spans either thread records — including `edit.batch`, `wal.append`
+//! and `snapshot.write` deep in the shard — land in the shared
+//! [`TraceCollector`] ring tagged with that id (`args: {"req": N}` in
+//! the Chrome export). `GET /trace` drains the ring live;
+//! `--trace-out FILE` writes the final window at shutdown;
+//! `--trace-buffer N` sizes the ring (0 disables tracing entirely).
+//! `--access-log FILE|-` appends one JSON line per served request on
+//! the same ids ([`AccessRecord`]), sampled by `--log-sample N`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use xic::obs::json::Json;
+use xic::obs::{Collector, DEFAULT_TRACE_CAPACITY};
 use xic::prelude::*;
 
 use crate::http::{self, HttpError, Request};
@@ -112,8 +131,9 @@ pub(crate) fn cmd_serve(o: &Opts, out: &mut String) -> Result<i32, String> {
         let _ = writeln!(
             stdout,
             "xic serve listening on http://{local} (PUT/GET/DELETE /docs/{{id}}, GET /docs, \
-             GET /docs/{{id}}/report, POST /docs/{{id}}/edits, GET /report, GET /metrics, \
-             POST /edits, POST /shutdown)"
+             GET /docs/{{id}}/report, POST /docs/{{id}}/edits, GET /docs/{{id}}/metrics, \
+             GET /report, GET /metrics, GET /healthz, GET /status, GET /trace, POST /edits, \
+             POST /shutdown)"
         );
         let _ = stdout.flush();
     }
@@ -134,16 +154,35 @@ pub fn serve_on(listener: TcpListener, args: &[String]) -> Result<(), String> {
     serve_loop(listener, &parse_opts(args)?)
 }
 
-/// One request a worker forwards to a document shard.
+/// One request a worker forwards to a document shard. The leading `u64`
+/// is the originating HTTP request's id: the shard re-enters its
+/// [`request_scope`] before handling, so spans recorded on the shard
+/// thread stay attributed across the channel hop.
 enum DocRequest {
     /// Render the current validation report.
-    Report(SyncSender<String>),
+    Report(u64, SyncSender<String>),
     /// Apply an edit script; `Ok` is the rendered diff + report, `Err`
     /// the script error message.
-    Edits(String, SyncSender<Result<String, String>>),
+    Edits(u64, String, SyncSender<Result<String, String>>),
     /// Write the doc's snapshot now (requires `--state-dir`); `Ok` names
     /// the file written, `Err` explains why it could not be.
-    Snapshot(SyncSender<Result<String, String>>),
+    Snapshot(u64, SyncSender<Result<String, String>>),
+    /// Report the shard's durable-state counters for `GET /status`.
+    Status(u64, SyncSender<DocShardStatus>),
+}
+
+/// One shard's introspection snapshot, from the state the shard itself
+/// owns (its open [`Wal`] handle), not from re-reading disk.
+struct DocShardStatus {
+    /// Whether the shard persists (`--state-dir`).
+    durable: bool,
+    /// Complete batches currently in the WAL.
+    wal_records: u64,
+    /// The sequence number of the last acknowledged batch (survives
+    /// snapshot resets — the WAL never rewinds its counter).
+    wal_last_seq: u64,
+    /// Acknowledged batches since the last snapshot.
+    since_snapshot: u64,
 }
 
 /// The store's handle on one document shard.
@@ -168,6 +207,19 @@ struct Store {
     /// Auto-snapshot after this many acknowledged batches (0 = only on
     /// ingest, eviction, shutdown and demand).
     snapshot_every: u64,
+    /// When the daemon started (uptime in `/status` and `/metrics`).
+    started: Instant,
+    /// The shared request-scoped span ring (`GET /trace`, `--trace-out`);
+    /// `None` under `--trace-buffer 0`.
+    trace: Option<Arc<TraceCollector>>,
+    /// The JSON-lines access log (`--access-log`); `None` when off.
+    access_log: Option<AccessLog>,
+    /// The monotonic request-id source (first request gets 1).
+    next_req: AtomicU64,
+    /// Connections currently sitting in the accept queue.
+    queue_depth: AtomicUsize,
+    /// The accept queue's bound (`--queue`).
+    queue_capacity: usize,
 }
 
 /// One accepted connection waiting for a worker, stamped so
@@ -193,10 +245,31 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
         c.set_histogram_families(["http", "serve"]);
         Arc::new(c)
     };
+    // One trace ring shared by the HTTP workers and every shard: request
+    // scoping is what keys the interleaved spans back to their request.
+    let trace = match o.trace_buffer.unwrap_or(DEFAULT_TRACE_CAPACITY) {
+        0 => None,
+        n => Some(Arc::new(TraceCollector::with_capacity(n))),
+    };
+    let http_obs = match &trace {
+        Some(tc) => Obs::new(Arc::new(Fanout::new(vec![
+            http_collector.clone() as Arc<dyn Collector>,
+            tc.clone() as Arc<dyn Collector>,
+        ]))),
+        None => Obs::new(http_collector.clone()),
+    };
+    let access_log = match &o.access_log {
+        Some(path) => Some(
+            AccessLog::open(path, o.log_sample.unwrap_or(1))
+                .map_err(|e| format!("cannot open --access-log {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let queue_capacity = o.queue.unwrap_or(DEFAULT_QUEUE).max(1);
     let store = Arc::new(Store {
         docs: RwLock::new(BTreeMap::new()),
         opts: opts.clone(),
-        http_obs: Obs::new(http_collector.clone()),
+        http_obs,
         http_collector,
         draining: AtomicBool::new(false),
         addr: listener.local_addr().map_err(|e| e.to_string())?,
@@ -204,6 +277,12 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
         read_timeout: Duration::from_secs_f64(o.timeout_secs.unwrap_or(DEFAULT_TIMEOUT_SECS)),
         disk: durable::open_store(o)?,
         snapshot_every: o.snapshot_every.unwrap_or(0),
+        started: Instant::now(),
+        trace,
+        access_log,
+        next_req: AtomicU64::new(0),
+        queue_depth: AtomicUsize::new(0),
+        queue_capacity,
     });
 
     // Boot recovery: warm-start every document persisted under
@@ -255,8 +334,7 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
                 .clamp(2, 8)
         })
         .max(1);
-    let queue = o.queue.unwrap_or(DEFAULT_QUEUE).max(1);
-    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(queue);
+    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(store.queue_capacity);
     let work_rx = Arc::new(Mutex::new(work_rx));
     let pool: Vec<JoinHandle<()>> = (0..workers)
         .map(|_| {
@@ -271,6 +349,7 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
                     Ok(item) => item,
                     Err(_) => break,
                 };
+                store.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 serve_connection(&store, item);
             })
         })
@@ -287,9 +366,11 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
             stream,
             enqueued: Instant::now(),
         };
+        store.queue_depth.fetch_add(1, Ordering::Relaxed);
         match work_tx.try_send(item) {
             Ok(()) => {}
             Err(TrySendError::Full(item)) => {
+                store.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 // Admission control: the queue is full, shed the new
                 // connection immediately rather than wedging the accept
                 // loop behind slow workers.
@@ -318,6 +399,17 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
         drop(handle.tx);
         let _ = handle.join.join();
     }
+    // Continuous export: persist whatever the ring still holds (events
+    // since the last `GET /trace` drain, including the shards' exit
+    // snapshots joined above).
+    if let (Some(path), Some(tc)) = (&o.trace_out, &store.trace) {
+        std::fs::write(path, tc.to_chrome_json())
+            .map_err(|e| format!("cannot write --trace-out {path}: {e}"))?;
+    }
+    // Every worker has exited: drain the access log's buffered tail.
+    if let Some(log) = &store.access_log {
+        log.flush();
+    }
     Ok(())
 }
 
@@ -325,10 +417,11 @@ fn serve_loop(listener: TcpListener, o: &Opts) -> Result<(), String> {
 /// drain begins: the keep-alive loop of one worker.
 fn serve_connection(store: &Store, item: WorkItem) {
     let WorkItem { stream, enqueued } = item;
-    store.http_obs.record_span(
-        "serve.queue_wait",
-        u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
-    );
+    // The queue wait is paid once per connection but attributed to the
+    // *first request* served on it, so the span lands inside that
+    // request's scope (and its access-log line) instead of floating
+    // unattributed before the request even exists.
+    let mut queue_wait = Some(u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
     let _ = stream.set_read_timeout(Some(store.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(mut writer) = stream.try_clone() else {
@@ -362,17 +455,38 @@ fn serve_connection(store: &Store, item: WorkItem) {
                 return;
             }
         };
+        // Everything recorded until the guard drops — by this worker or
+        // by a shard processing this request — carries this id.
+        let rid = store.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let scope = request_scope(rid);
+        let qw = queue_wait.take();
+        if let Some(nanos) = qw {
+            store.http_obs.record_span("serve.queue_wait", nanos);
+        }
         let span = store.http_obs.span("http.request");
         store.http_obs.add("http.requests", 1);
         let handled = Instant::now();
         let resp = route(store, &req);
+        let handler_nanos = u64::try_from(handled.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // The route is only known after dispatch, so the per-route family
         // is recorded as an elapsed duration rather than a live span.
-        store.http_obs.record_span(
-            resp.route,
-            u64::try_from(handled.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        );
+        store.http_obs.record_span(resp.route, handler_nanos);
         span.end();
+        drop(scope);
+        if let Some(log) = &store.access_log {
+            log.record(&AccessRecord {
+                req: rid,
+                doc: doc_of(&req.path),
+                method: req.method.clone(),
+                path: req.path.clone(),
+                route: resp.route.to_string(),
+                status: status_code(resp.status),
+                bytes_in: req.body.len() as u64,
+                bytes_out: resp.body.len() as u64,
+                queue_wait_nanos: qw.unwrap_or(0),
+                handler_nanos,
+            });
+        }
         // Close at a response boundary once draining: in-flight requests
         // complete, idle reuse does not outlive the drain.
         let keep = req.keep_alive && !resp.shutdown && !store.draining.load(Ordering::SeqCst);
@@ -390,6 +504,29 @@ fn serve_connection(store: &Store, item: WorkItem) {
         if !keep || !ok {
             return;
         }
+    }
+}
+
+/// The numeric status of a `"200 OK"`-style status line.
+fn status_code(status: &str) -> u16 {
+    status
+        .split_whitespace()
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The document a path addresses: `/docs/{id}...` names `{id}`, the
+/// legacy aliases name `default`, anything else is `""`.
+fn doc_of(path: &str) -> String {
+    match path {
+        "/report" | "/edits" => DEFAULT_DOC.to_string(),
+        _ => match path.strip_prefix("/docs/") {
+            Some(rest) if !rest.is_empty() => {
+                rest.split('/').next().unwrap_or_default().to_string()
+            }
+            _ => String::new(),
+        },
     }
 }
 
@@ -466,6 +603,9 @@ fn route(store: &Store, req: &Request) -> Response {
             route: "http.route.shutdown",
             shutdown: true,
         },
+        ("GET", "/healthz") => healthz(store),
+        ("GET", "/status") => status_json(store),
+        ("GET", "/trace") => trace_json(store),
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/docs/") {
                 if let (Some(id), "GET") = (rest.strip_suffix("/report"), method) {
@@ -476,6 +616,9 @@ fn route(store: &Store, req: &Request) -> Response {
                 }
                 if let (Some(id), "POST") = (rest.strip_suffix("/snapshot"), method) {
                     return doc_snapshot(store, id);
+                }
+                if let (Some(id), "GET") = (rest.strip_suffix("/metrics"), method) {
+                    return doc_metrics(store, id);
                 }
                 if !rest.contains('/') {
                     match method {
@@ -491,22 +634,210 @@ fn route(store: &Store, req: &Request) -> Response {
                         _ => {}
                     }
                 }
+                // No /docs/ shape matched. A malformed suffix — invalid
+                // id characters, an empty id, extra path segments, an
+                // unknown action — is the client's error (400); a
+                // well-formed path with the wrong method or no handler
+                // is plain not-found (404), so 404 rates stay alertable
+                // without malformed-request noise.
+                let (id, action) = match rest.rsplit_once('/') {
+                    Some((id, action)) => (id, Some(action)),
+                    None => (rest, None),
+                };
+                let known_action = matches!(
+                    action,
+                    None | Some("report" | "edits" | "snapshot" | "metrics")
+                );
+                if !(valid_id(id) && known_action) {
+                    return Response::text(
+                        "400 Bad Request",
+                        "http.route.bad_request",
+                        format!("malformed /docs path: {method} {path}\n"),
+                    );
+                }
             }
             Response::text(
                 "404 Not Found",
-                "http.route.other",
+                "http.route.not_found",
                 format!("no such endpoint: {method} {path}\n"),
             )
         }
     }
 }
 
+/// `GET /healthz`: liveness is answering at all; readiness flips to 503
+/// once a drain begins, so load balancers stop routing to a daemon that
+/// is finishing its queue.
+fn healthz(store: &Store) -> Response {
+    if store.draining.load(Ordering::SeqCst) {
+        Response::text(
+            "503 Service Unavailable",
+            "http.route.healthz",
+            "live: ok\nready: draining\n".into(),
+        )
+    } else {
+        Response::text(
+            "200 OK",
+            "http.route.healthz",
+            "live: ok\nready: ok\n".into(),
+        )
+    }
+}
+
+/// `GET /trace`: drain the shared span ring as Chrome trace-event JSON.
+fn trace_json(store: &Store) -> Response {
+    match &store.trace {
+        Some(tc) => Response {
+            status: "200 OK",
+            content_type: "application/json; charset=utf-8",
+            body: tc.drain_chrome_json(),
+            route: "http.route.trace",
+            shutdown: false,
+        },
+        None => Response::text(
+            "400 Bad Request",
+            "http.route.trace",
+            "error: request tracing disabled (--trace-buffer 0)\n".into(),
+        ),
+    }
+}
+
+/// `GET /docs/{id}/metrics`: one document's Prometheus exposition, with
+/// the same `doc` label the merged `/metrics` view applies.
+fn doc_metrics(store: &Store, id: &str) -> Response {
+    let snapshot = store
+        .docs
+        .read()
+        .unwrap()
+        .get(id)
+        .map(|handle| handle.collector.snapshot().with_label("doc", id));
+    match snapshot {
+        Some(m) => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: m.to_prometheus(),
+            route: "http.route.doc_metrics",
+            shutdown: false,
+        },
+        None => Response::text(
+            "404 Not Found",
+            "http.route.doc_metrics",
+            format!("no such document: {id}\n"),
+        ),
+    }
+}
+
+/// Asks `id`'s shard for its durable-state counters.
+fn doc_status(store: &Store, id: &str) -> Option<DocShardStatus> {
+    let tx = store.docs.read().unwrap().get(id)?.tx.clone();
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let span = store.http_obs.span("serve.shard_dispatch");
+    tx.send(DocRequest::Status(current_request(), reply_tx))
+        .ok()?;
+    let reply = reply_rx.recv().ok();
+    span.end();
+    reply
+}
+
+/// `GET /status`: live daemon introspection as JSON — uptime and build
+/// info, accept-queue occupancy, and per-doc durable state (WAL records
+/// and `last_seq` from the shard's open handle, snapshot size/age from
+/// disk metadata).
+fn status_json(store: &Store) -> Response {
+    let ids: Vec<String> = store.docs.read().unwrap().keys().cloned().collect();
+    let mut docs = Vec::new();
+    for id in &ids {
+        let Some(st) = doc_status(store, id) else {
+            continue; // evicted or died between listing and asking
+        };
+        let mut pairs = vec![("id".into(), Json::String(id.clone()))];
+        if st.durable {
+            pairs.push(("wal_records".into(), Json::Number(st.wal_records as f64)));
+            pairs.push(("wal_last_seq".into(), Json::Number(st.wal_last_seq as f64)));
+            pairs.push((
+                "since_snapshot".into(),
+                Json::Number(st.since_snapshot as f64),
+            ));
+        }
+        if let Some(disk) = &store.disk {
+            if let Ok(Some(snap)) = disk.snapshot_stats(id) {
+                let age = snap.modified.elapsed().unwrap_or_default().as_secs();
+                pairs.push(("snapshot_bytes".into(), Json::Number(snap.bytes as f64)));
+                pairs.push(("snapshot_age_seconds".into(), Json::Number(age as f64)));
+            }
+        }
+        docs.push(Json::Object(pairs));
+    }
+    let draining = store.draining.load(Ordering::SeqCst);
+    let body = Json::Object(vec![
+        (
+            "version".into(),
+            Json::String(env!("CARGO_PKG_VERSION").into()),
+        ),
+        (
+            "uptime_seconds".into(),
+            Json::Number(store.started.elapsed().as_secs() as f64),
+        ),
+        ("ready".into(), Json::Bool(!draining)),
+        ("draining".into(), Json::Bool(draining)),
+        (
+            "queue".into(),
+            Json::Object(vec![
+                (
+                    "depth".into(),
+                    Json::Number(store.queue_depth.load(Ordering::Relaxed) as f64),
+                ),
+                ("capacity".into(), Json::Number(store.queue_capacity as f64)),
+            ]),
+        ),
+        (
+            "docs".into(),
+            Json::Object(vec![
+                ("count".into(), Json::Number(docs.len() as f64)),
+                ("resident".into(), Json::Array(docs)),
+            ]),
+        ),
+    ]);
+    Response {
+        status: "200 OK",
+        content_type: "application/json; charset=utf-8",
+        body: body.render(),
+        route: "http.route.status",
+        shutdown: false,
+    }
+}
+
 /// The merged scrape: the HTTP layer's snapshot plus each doc's
-/// collector snapshot labeled `doc="<id>"`.
+/// collector snapshot labeled `doc="<id>"`, with daemon-level gauges
+/// stamped in at scrape time (maxima render as plain Prometheus gauges):
+/// `xic_build_info{version="…"} 1`, `xic_uptime_seconds`, accept-queue
+/// occupancy, and per-doc snapshot age from disk metadata.
 fn merged_metrics(store: &Store) -> Metrics {
     let mut m = store.http_collector.snapshot();
     for (id, handle) in store.docs.read().unwrap().iter() {
         m.merge(&handle.collector.snapshot().with_label("doc", id));
+    }
+    m.maxima.insert(
+        format!("build.info#version={}", env!("CARGO_PKG_VERSION")),
+        1,
+    );
+    m.maxima
+        .insert("uptime.seconds".into(), store.started.elapsed().as_secs());
+    m.maxima.insert(
+        "serve.queue_depth".into(),
+        store.queue_depth.load(Ordering::Relaxed) as u64,
+    );
+    m.maxima
+        .insert("serve.queue_capacity".into(), store.queue_capacity as u64);
+    if let Some(disk) = &store.disk {
+        let ids: Vec<String> = store.docs.read().unwrap().keys().cloned().collect();
+        for id in ids {
+            if let Ok(Some(snap)) = disk.snapshot_stats(&id) {
+                let age = snap.modified.elapsed().unwrap_or_default().as_secs();
+                m.maxima
+                    .insert(format!("snapshot.age_seconds#doc={id}"), age);
+            }
+        }
     }
     m
 }
@@ -579,9 +910,12 @@ fn start_shard(
     let join = {
         let opts = store.opts.clone();
         let collector = collector.clone();
+        let trace = store.trace.clone();
         let id = id.to_string();
         let disk = store.disk.clone().map(|d| (d, store.snapshot_every));
-        std::thread::spawn(move || run_doc_shard(init, id, &opts, disk, collector, rx, ready_tx))
+        std::thread::spawn(move || {
+            run_doc_shard(init, id, &opts, disk, collector, trace, rx, ready_tx)
+        })
     };
     match ready_rx.recv() {
         Ok(Ok(())) => Ok(DocHandle {
@@ -630,8 +964,12 @@ fn delete_doc(store: &Store, id: &str) -> Response {
 fn shard_report(store: &Store, id: &str) -> Option<String> {
     let tx = store.docs.read().unwrap().get(id)?.tx.clone();
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-    tx.send(DocRequest::Report(reply_tx)).ok()?;
-    reply_rx.recv().ok()
+    let span = store.http_obs.span("serve.shard_dispatch");
+    tx.send(DocRequest::Report(current_request(), reply_tx))
+        .ok()?;
+    let reply = reply_rx.recv().ok();
+    span.end();
+    reply
 }
 
 fn doc_report(store: &Store, id: &str) -> Response {
@@ -657,8 +995,13 @@ fn doc_edits(store: &Store, id: &str, script: &str) -> Response {
         }
     };
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let span = store.http_obs.span("serve.shard_dispatch");
     if tx
-        .send(DocRequest::Edits(script.to_string(), reply_tx))
+        .send(DocRequest::Edits(
+            current_request(),
+            script.to_string(),
+            reply_tx,
+        ))
         .is_err()
     {
         return Response::text(
@@ -667,7 +1010,9 @@ fn doc_edits(store: &Store, id: &str, script: &str) -> Response {
             format!("no such document: {id}\n"),
         );
     }
-    match reply_rx.recv() {
+    let reply = reply_rx.recv();
+    span.end();
+    match reply {
         Ok(Ok(rendered)) => Response::text("200 OK", "http.route.edits", rendered),
         Ok(Err(e)) => Response::text(
             "400 Bad Request",
@@ -695,14 +1040,20 @@ fn doc_snapshot(store: &Store, id: &str) -> Response {
         }
     };
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-    if tx.send(DocRequest::Snapshot(reply_tx)).is_err() {
+    let span = store.http_obs.span("serve.shard_dispatch");
+    if tx
+        .send(DocRequest::Snapshot(current_request(), reply_tx))
+        .is_err()
+    {
         return Response::text(
             "404 Not Found",
             "http.route.snapshot",
             format!("no such document: {id}\n"),
         );
     }
-    match reply_rx.recv() {
+    let reply = reply_rx.recv();
+    span.end();
+    match reply {
         Ok(Ok(body)) => Response::text("200 OK", "http.route.snapshot", body),
         Ok(Err(e)) => Response::text(
             "400 Bad Request",
@@ -721,21 +1072,32 @@ fn doc_snapshot(store: &Store, id: &str) -> Response {
 /// [`LiveValidator`] chain on its stack (the borrow chain that cannot
 /// live in a shared map) and serializes every request for its document
 /// in channel order. Exits when the store drops the last sender.
+#[allow(clippy::too_many_arguments)]
 fn run_doc_shard(
     init: ShardInit,
     id: String,
     opts: &Opts,
     disk: Option<(DocStore, u64)>,
     collector: Arc<MetricsCollector>,
+    trace: Option<Arc<TraceCollector>>,
     rx: Receiver<DocRequest>,
     ready: SyncSender<Result<(), String>>,
 ) {
-    let obs = Obs::new(collector);
+    // The shard's aggregates stay per-doc (merged into /metrics under its
+    // label), while its raw spans additionally feed the daemon-wide trace
+    // ring, tagged by whatever request scope is active when they close.
+    let obs = match trace {
+        Some(tc) => Obs::new(Arc::new(Fanout::new(vec![
+            collector as Arc<dyn Collector>,
+            tc as Arc<dyn Collector>,
+        ]))),
+        None => Obs::new(collector),
+    };
     // Either path ends with the `DtdC` on this stack plus a starting
     // state for the validator borrowing it.
     enum Start {
         Cold(DataTree),
-        Warm(Recovered),
+        Warm(Box<Recovered>),
     }
     let (dtdc, start) = match init {
         ShardInit::Cold(src) => {
@@ -765,7 +1127,7 @@ fn run_doc_shard(
                 return;
             };
             match durable::load_doc(opts, store, &id) {
-                Ok((dtdc, recovered)) => (dtdc, Start::Warm(recovered)),
+                Ok((dtdc, recovered)) => (dtdc, Start::Warm(Box::new(recovered))),
                 Err(e) => {
                     let _ = ready.send(Err(e));
                     return;
@@ -832,7 +1194,7 @@ fn run_doc_shard(
                 batches,
                 wal,
                 ..
-            } = recovered;
+            } = *recovered;
             let span = obs.span("recover.replay");
             let mut live = match LiveValidator::from_state(&validator, state) {
                 Ok(live) => live,
@@ -866,11 +1228,16 @@ fn run_doc_shard(
     let _ = ready.send(Ok(()));
     while let Ok(req) = rx.recv() {
         obs.add("doc.requests", 1);
+        // Re-enter the originating request's scope for the whole handling
+        // — a shard serves one request at a time, so every span it (or
+        // the validator/WAL code it calls) records belongs to this id.
         match req {
-            DocRequest::Report(reply) => {
+            DocRequest::Report(rid, reply) => {
+                let _scope = request_scope(rid);
                 let _ = reply.send(live.report().to_string());
             }
-            DocRequest::Edits(script, reply) => {
+            DocRequest::Edits(rid, script, reply) => {
+                let _scope = request_scope(rid);
                 let _ = reply.send(apply_edit_script(
                     &mut live,
                     &script,
@@ -879,11 +1246,29 @@ fn run_doc_shard(
                     &obs,
                 ));
             }
-            DocRequest::Snapshot(reply) => {
+            DocRequest::Snapshot(rid, reply) => {
+                let _scope = request_scope(rid);
                 let _ = reply.send(match sdisk.as_mut() {
                     Some(d) => snapshot_now(&live, d, &obs)
                         .map(|path| format!("snapshot written: {path}\n")),
                     None => Err("daemon is running without --state-dir".into()),
+                });
+            }
+            DocRequest::Status(rid, reply) => {
+                let _scope = request_scope(rid);
+                let _ = reply.send(match sdisk.as_ref() {
+                    Some(d) => DocShardStatus {
+                        durable: true,
+                        wal_records: d.wal.records(),
+                        wal_last_seq: d.wal.last_seq(),
+                        since_snapshot: d.since_snapshot,
+                    },
+                    None => DocShardStatus {
+                        durable: false,
+                        wal_records: 0,
+                        wal_last_seq: 0,
+                        since_snapshot: 0,
+                    },
                 });
             }
         }
@@ -1631,5 +2016,357 @@ ref.to <=s entry.isbn";
             assert_eq!(count("xic_serve_queue_wait_seconds_count"), 1, "{prom}");
             assert_eq!(count("xic_http_requests_total"), 6, "{prom}");
         });
+    }
+
+    /// `GET /status`, parsed.
+    fn fetch_status(addr: SocketAddr) -> Json {
+        let (status, body) = http(addr, "GET", "/status", "");
+        assert_eq!(status, 200, "{body}");
+        xic::obs::json::parse(&body).unwrap()
+    }
+
+    /// The `docs.resident` entry for `id` in a parsed `/status` body.
+    fn resident<'a>(status: &'a Json, id: &str) -> &'a Json {
+        status
+            .get("docs")
+            .unwrap()
+            .get("resident")
+            .unwrap()
+            .as_array("resident")
+            .unwrap()
+            .iter()
+            .find(|d| d.get("id").unwrap().as_str("id").unwrap() == id)
+            .unwrap_or_else(|| panic!("doc {id} missing from /status"))
+    }
+
+    fn num(v: &Json, key: &str) -> u64 {
+        v.get(key)
+            .unwrap_or_else(|| panic!("{key} missing"))
+            .as_u64(key)
+            .unwrap()
+    }
+
+    #[test]
+    fn healthz_status_and_daemon_gauges_report_live_state() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            let (status, body) = http(addr, "GET", "/healthz", "");
+            assert_eq!(status, 200);
+            assert_eq!(body, "live: ok\nready: ok\n");
+
+            let st = fetch_status(addr);
+            assert_eq!(
+                st.get("version").unwrap().as_str("version").unwrap(),
+                env!("CARGO_PKG_VERSION")
+            );
+            assert!(matches!(st.get("ready"), Some(Json::Bool(true))), "{st:?}");
+            assert!(
+                matches!(st.get("draining"), Some(Json::Bool(false))),
+                "{st:?}"
+            );
+            let queue = st.get("queue").unwrap();
+            assert_eq!(num(queue, "capacity"), 128);
+            assert_eq!(num(st.get("docs").unwrap(), "count"), 1);
+            let default = resident(&st, "default");
+            // In-memory daemon: no durable counters on the entry.
+            assert!(default.get("wal_records").is_none(), "{default:?}");
+
+            // Build info and daemon gauges in the Prometheus scrape.
+            let (_, prom) = http(addr, "GET", "/metrics", "");
+            let build = format!(
+                "xic_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            );
+            assert!(prom.contains(&build), "{prom}");
+            assert!(prom.contains("# TYPE xic_build_info gauge"), "{prom}");
+            assert!(prom.contains("\nxic_uptime_seconds "), "{prom}");
+            assert!(prom.contains("xic_serve_queue_capacity 128"), "{prom}");
+            assert!(prom.contains("\nxic_serve_queue_depth "), "{prom}");
+        });
+    }
+
+    #[test]
+    fn per_doc_metrics_scrape_matches_merged_labels() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            let with_dtd = format!("<!DOCTYPE book [\n{BOOK_DTD}\n]>\n{GOOD_DOC}");
+            let (status, _) = http(addr, "PUT", "/docs/a", &with_dtd);
+            assert_eq!(status, 201);
+            let (status, _) = http(addr, "POST", "/docs/a/edits", "set-attr 5 to dangling\n");
+            assert_eq!(status, 200);
+
+            // The per-doc scrape carries the same doc label the merged
+            // view applies, so dashboards can use one query for both.
+            let (status, solo) = http(addr, "GET", "/docs/a/metrics", "");
+            assert_eq!(status, 200, "{solo}");
+            assert!(solo.contains("xic_edits_total{doc=\"a\"} 1"), "{solo}");
+            assert!(solo.contains("xic_doc_requests_total{doc=\"a\"}"), "{solo}");
+            // But not the other tenants' series.
+            assert!(!solo.contains("doc=\"default\""), "{solo}");
+
+            let (_, merged) = http(addr, "GET", "/metrics", "");
+            assert!(merged.contains("xic_edits_total{doc=\"a\"} 1"), "{merged}");
+
+            let (status, body) = http(addr, "GET", "/docs/ghost/metrics", "");
+            assert_eq!(status, 404);
+            assert!(body.contains("no such document"), "{body}");
+        });
+    }
+
+    #[test]
+    fn route_taxonomy_separates_not_found_from_bad_request() {
+        with_daemon(GOOD_DOC, &[], |addr| {
+            // Well-formed paths with no handler: 404.
+            let (status, _) = http(addr, "GET", "/nope", "");
+            assert_eq!(status, 404);
+            let (status, _) = http(addr, "POST", "/docs/default", "");
+            assert_eq!(status, 404);
+            // Malformed /docs shapes: 400, not 404.
+            let (status, body) = http(addr, "GET", "/docs/a/b/c", "");
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("malformed /docs path"), "{body}");
+            let (status, body) = http(addr, "GET", "/docs/a/frobnicate", "");
+            assert_eq!(status, 400, "{body}");
+
+            let (_, prom) = http(addr, "GET", "/metrics", "");
+            let count = |needle: &str| -> u64 {
+                prom.lines()
+                    .find(|l| l.starts_with(needle) && !l.starts_with('#'))
+                    .and_then(|l| l.rsplit(' ').next())
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("missing {needle} in {prom}"))
+            };
+            assert_eq!(count("xic_http_route_not_found_seconds_count"), 2, "{prom}");
+            assert_eq!(
+                count("xic_http_route_bad_request_seconds_count"),
+                2,
+                "{prom}"
+            );
+        });
+    }
+
+    #[test]
+    fn access_log_lines_round_trip_and_sample() {
+        let log = fresh_state_dir("accesslog");
+        let log_s = log.to_str().unwrap().to_string();
+        let script = "set-attr 5 to dangling\n";
+        with_daemon(
+            GOOD_DOC,
+            &["--access-log", &log_s, "--log-sample", "1"],
+            |addr| {
+                let (status, _) = http(addr, "GET", "/report", "");
+                assert_eq!(status, 200);
+                let (status, _) = http(addr, "POST", "/edits", script);
+                assert_eq!(status, 200);
+                let (status, _) = http(addr, "GET", "/healthz", "");
+                assert_eq!(status, 200);
+            },
+        );
+        // Daemon fully drained: the log holds our 3 requests + shutdown.
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        // Every line parses, and re-rendering reproduces it byte-for-byte.
+        let records: Vec<AccessRecord> = lines
+            .iter()
+            .map(|l| {
+                let r = AccessRecord::parse(l).unwrap();
+                assert_eq!(r.to_json_line(), *l);
+                r
+            })
+            .collect();
+        // Sequential requests: strictly increasing request ids.
+        for w in records.windows(2) {
+            assert!(w[0].req < w[1].req, "{text}");
+        }
+        let edits = &records[1];
+        assert_eq!(edits.method, "POST");
+        assert_eq!(edits.path, "/edits");
+        assert_eq!(edits.doc, "default");
+        assert_eq!(edits.route, "http.route.edits");
+        assert_eq!(edits.status, 200);
+        assert_eq!(edits.bytes_in, script.len() as u64);
+        assert!(edits.bytes_out > 0);
+        assert!(edits.handler_nanos > 0);
+        let _ = std::fs::remove_file(&log);
+
+        // --log-sample 3 keeps every 3rd offered request: of 6 offered
+        // (5 reports + the shutdown), indices 0 and 3 are written.
+        let log = fresh_state_dir("accesslog-sampled");
+        let log_s = log.to_str().unwrap().to_string();
+        with_daemon(
+            GOOD_DOC,
+            &["--access-log", &log_s, "--log-sample", "3"],
+            |addr| {
+                for _ in 0..5 {
+                    let (status, _) = http(addr, "GET", "/report", "");
+                    assert_eq!(status, 200);
+                }
+            },
+        );
+        let text = std::fs::read_to_string(&log).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn status_wal_counters_match_disk_after_snapshot_cycle() {
+        let state = fresh_state_dir("statuswal");
+        let state_s = state.to_str().unwrap().to_string();
+        with_daemon(GOOD_DOC, &["--state-dir", &state_s], |addr| {
+            for value in ["dangling", "x1"] {
+                let (status, body) =
+                    http(addr, "POST", "/edits", &format!("set-attr 5 to {value}\n"));
+                assert_eq!(status, 200, "{body}");
+            }
+            let st = fetch_status(addr);
+            let d = resident(&st, "default");
+            assert_eq!(num(d, "wal_records"), 2, "{d:?}");
+            assert_eq!(num(d, "wal_last_seq"), 2, "{d:?}");
+            assert_eq!(num(d, "since_snapshot"), 2, "{d:?}");
+
+            let (status, body) = http(addr, "POST", "/docs/default/snapshot", "");
+            assert_eq!(status, 200, "{body}");
+
+            // The reset empties the log without rewinding its sequence:
+            // last_seq keeps counting acknowledged batches across cycles.
+            let st = fetch_status(addr);
+            let d = resident(&st, "default");
+            assert_eq!(num(d, "wal_records"), 0, "{d:?}");
+            assert_eq!(num(d, "wal_last_seq"), 2, "{d:?}");
+            assert_eq!(num(d, "since_snapshot"), 0, "{d:?}");
+            assert!(num(d, "snapshot_bytes") > 0, "{d:?}");
+            assert!(num(d, "snapshot_age_seconds") < 60, "{d:?}");
+
+            // /status agrees with the bytes on disk: the published
+            // snapshot is stamped with the same last-applied sequence.
+            let disk = DocStore::open(&state, FsyncPolicy::Always).unwrap();
+            let path = disk.snapshot_path("default").unwrap();
+            let (_, disk_seq) = read_snapshot(&path).unwrap();
+            assert_eq!(disk_seq, num(d, "wal_last_seq"));
+            let stats = disk.snapshot_stats("default").unwrap().unwrap();
+            assert_eq!(stats.bytes, num(d, "snapshot_bytes"));
+
+            // The next batch lands in the fresh log at sequence 3.
+            let (status, _) = http(addr, "POST", "/edits", "set-attr 5 to dangling\n");
+            assert_eq!(status, 200);
+            let st = fetch_status(addr);
+            let d = resident(&st, "default");
+            assert_eq!(num(d, "wal_records"), 1, "{d:?}");
+            assert_eq!(num(d, "wal_last_seq"), 3, "{d:?}");
+            assert_eq!(num(d, "since_snapshot"), 1, "{d:?}");
+        });
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn healthz_flips_to_not_ready_during_drain() {
+        let doc = tmp("doc.xml", GOOD_DOC);
+        let mut args = vec![doc.to_str().unwrap().to_string()];
+        args.extend(book_flags());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || serve_on(listener, &args));
+
+        // A keep-alive connection established before the drain: its
+        // worker keeps serving it until the response after the flag flip
+        // closes it at a boundary.
+        let mut c = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+        let (status, body) = c.request("GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("ready: ok"), "{body}");
+
+        let (status, _) = http(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+
+        // The drain begins just after the shutdown response is written;
+        // poll until readiness flips (bounded, normally 1-2 probes).
+        let mut flipped = false;
+        for _ in 0..500 {
+            let (status, body) = c.request("GET", "/healthz", "").unwrap();
+            if status == 503 {
+                assert!(body.contains("ready: draining"), "{body}");
+                flipped = true;
+                break;
+            }
+            assert_eq!(status, 200, "{body}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(flipped, "healthz never reported draining");
+        drop(c);
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn trace_endpoint_drains_request_scoped_span_chain() {
+        let state = fresh_state_dir("tracechain");
+        let state_s = state.to_str().unwrap().to_string();
+        let trace_out = fresh_state_dir("tracechain-out");
+        let trace_out_s = trace_out.to_str().unwrap().to_string();
+        let events_of = |body: &str| -> Vec<Json> {
+            match xic::obs::json::parse(body).unwrap() {
+                Json::Array(events) => events,
+                other => panic!("/trace is not an array: {other:?}"),
+            }
+        };
+        let req_of = |e: &Json| -> u64 {
+            e.get("args")
+                .and_then(|a| a.get("req"))
+                .map_or(0, |r| r.as_u64("req").unwrap())
+        };
+        let name_of =
+            |e: &Json| -> String { e.get("name").unwrap().as_str("name").unwrap().into() };
+        with_daemon(
+            GOOD_DOC,
+            &["--state-dir", &state_s, "--trace-out", &trace_out_s],
+            |addr| {
+                // Drain boot noise so the next drain isolates one request.
+                let (status, _) = http(addr, "GET", "/trace", "");
+                assert_eq!(status, 200);
+
+                // One edit on a fresh connection: its queue wait, HTTP
+                // spans, shard dispatch, batch, and WAL append all carry
+                // the same request id.
+                let (status, _) = http(addr, "POST", "/edits", "set-attr 5 to dangling\n");
+                assert_eq!(status, 200);
+
+                let (status, body) = http(addr, "GET", "/trace", "");
+                assert_eq!(status, 200);
+                let events = events_of(&body);
+                let edit_reqs: Vec<u64> = events
+                    .iter()
+                    .filter(|e| name_of(e) == "http.route.edits")
+                    .map(&req_of)
+                    .collect();
+                assert_eq!(edit_reqs.len(), 1, "{body}");
+                let rid = edit_reqs[0];
+                assert!(rid > 0, "{body}");
+                for expect in [
+                    "serve.queue_wait",
+                    "http.request",
+                    "http.route.edits",
+                    "serve.shard_dispatch",
+                    "edit.batch",
+                    "wal.append",
+                ] {
+                    let n = events
+                        .iter()
+                        .filter(|e| req_of(e) == rid && name_of(e) == expect)
+                        .count();
+                    assert_eq!(n, 1, "span {expect} not exactly once for req {rid}: {body}");
+                }
+
+                // Drained means drained: the id never reappears.
+                let (_, body) = http(addr, "GET", "/trace", "");
+                assert!(!events_of(&body).iter().any(|e| req_of(e) == rid), "{body}");
+            },
+        );
+        // --trace-out persisted whatever the ring held at exit (the
+        // shutdown request, shard exit snapshots) as loadable JSON.
+        let tail = std::fs::read_to_string(&trace_out).unwrap();
+        assert!(matches!(
+            xic::obs::json::parse(&tail).unwrap(),
+            Json::Array(_)
+        ));
+        let _ = std::fs::remove_file(&trace_out);
+        let _ = std::fs::remove_dir_all(&state);
     }
 }

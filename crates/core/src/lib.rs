@@ -96,13 +96,14 @@ pub mod prelude {
         render_tree, AttrValue, DataTree, Edit, ExtIndex, Name, NodeId, RenderOptions, TreeBuilder,
     };
     pub use xic_obs::{
-        Fanout, Histogram, Metrics, MetricsCollector, Obs, TraceCollector, TraceFilter,
+        current_request, request_scope, AccessLog, AccessRecord, Fanout, Histogram, Metrics,
+        MetricsCollector, Obs, TraceCollector, TraceFilter,
     };
     pub use xic_paths::{ext_of_path, nodes_of, Path, PathConstraint, PathSolver};
     pub use xic_regex::{ContentModel, Dfa, Nfa, Symbol};
     pub use xic_storage::{
         decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, DocStore, FsyncPolicy,
-        Recovered, StorageError, Wal,
+        Recovered, SnapshotStats, StorageError, Wal,
     };
     pub use xic_validate::{
         check_constraint, validate, BatchEdit, BatchError, EditOutcome, LiveState, LiveValidator,

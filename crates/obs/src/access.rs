@@ -1,0 +1,366 @@
+//! JSON-lines structured access logging for the daemon.
+//!
+//! One [`AccessRecord`] per served HTTP request, rendered as a single
+//! compact JSON object per line through the crate's own codec
+//! ([`crate::json`]) — no dependencies, parseable by anything that
+//! speaks JSON. Records carry the same monotonic request id that tags
+//! trace spans (see [`request_scope`](crate::request_scope)), so a slow
+//! line in the log can be joined against its span tree in a `/trace`
+//! drain.
+//!
+//! An [`AccessLog`] serializes writers behind a mutex and optionally
+//! samples: with `sample = N`, every N-th request is logged (the first,
+//! the N+1-th, …), which bounds log volume under load while keeping the
+//! stream statistically useful.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// Everything the daemon records about one served request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// The monotonic request id (also tags this request's trace spans).
+    pub req: u64,
+    /// The document the route addressed, or `""` for non-doc routes.
+    pub doc: String,
+    /// The HTTP method.
+    pub method: String,
+    /// The request path.
+    pub path: String,
+    /// The route family the request resolved to (e.g. `http.route.edits`).
+    pub route: String,
+    /// The numeric response status (e.g. 200, 404).
+    pub status: u16,
+    /// Request body bytes.
+    pub bytes_in: u64,
+    /// Response body bytes.
+    pub bytes_out: u64,
+    /// Nanoseconds the connection waited in the accept queue before a
+    /// worker picked it up (0 for follow-up requests on a keep-alive
+    /// connection — the wait is paid once, on the first request).
+    pub queue_wait_nanos: u64,
+    /// Nanoseconds spent routing and handling the request (excluding
+    /// queue wait and response write).
+    pub handler_nanos: u64,
+}
+
+impl AccessRecord {
+    /// Renders the record as one JSON object on a single line (no
+    /// trailing newline), byte-identical to building the equivalent
+    /// [`crate::json::Json`] tree and calling
+    /// [`crate::json::Json::render_compact`] — but written straight into
+    /// one buffer, since this runs once per served request on the
+    /// daemon's hot path.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(
+            160 + self.doc.len() + self.method.len() + self.path.len() + self.route.len(),
+        );
+        let str_field = |out: &mut String, key: &str, value: &str| {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\": \"");
+            json::escape_into(value, out);
+            out.push_str("\", ");
+        };
+        out.push_str("{\"req\": ");
+        json::render_number(self.req as f64, &mut out);
+        out.push_str(", ");
+        str_field(&mut out, "doc", &self.doc);
+        str_field(&mut out, "method", &self.method);
+        str_field(&mut out, "path", &self.path);
+        str_field(&mut out, "route", &self.route);
+        for (key, value) in [
+            ("status", f64::from(self.status)),
+            ("bytes_in", self.bytes_in as f64),
+            ("bytes_out", self.bytes_out as f64),
+            ("queue_wait_nanos", self.queue_wait_nanos as f64),
+            ("handler_nanos", self.handler_nanos as f64),
+        ] {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\": ");
+            json::render_number(value, &mut out);
+            out.push_str(", ");
+        }
+        out.truncate(out.len() - 2);
+        out.push('}');
+        out
+    }
+
+    /// Parses a line produced by [`AccessRecord::to_json_line`]. Strict:
+    /// every field must be present and well-typed, unknown keys are
+    /// rejected — so a round-trip is exact.
+    pub fn parse(line: &str) -> Result<AccessRecord, String> {
+        let doc = json::parse(line)?;
+        let pairs = doc.as_object("access record")?;
+        let mut rec = AccessRecord {
+            req: 0,
+            doc: String::new(),
+            method: String::new(),
+            path: String::new(),
+            route: String::new(),
+            status: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            queue_wait_nanos: 0,
+            handler_nanos: 0,
+        };
+        let mut seen = Vec::new();
+        for (key, value) in pairs {
+            if seen.contains(key) {
+                return Err(format!("access record: duplicate key {key:?}"));
+            }
+            seen.push(key.clone());
+            match key.as_str() {
+                "req" => rec.req = value.as_u64("req")?,
+                "doc" => rec.doc = value.as_str("doc")?.to_string(),
+                "method" => rec.method = value.as_str("method")?.to_string(),
+                "path" => rec.path = value.as_str("path")?.to_string(),
+                "route" => rec.route = value.as_str("route")?.to_string(),
+                "status" => {
+                    rec.status = u16::try_from(value.as_u64("status")?)
+                        .map_err(|_| "access record: status out of range".to_string())?
+                }
+                "bytes_in" => rec.bytes_in = value.as_u64("bytes_in")?,
+                "bytes_out" => rec.bytes_out = value.as_u64("bytes_out")?,
+                "queue_wait_nanos" => rec.queue_wait_nanos = value.as_u64("queue_wait_nanos")?,
+                "handler_nanos" => rec.handler_nanos = value.as_u64("handler_nanos")?,
+                other => return Err(format!("access record: unknown key {other:?}")),
+            }
+        }
+        if seen.len() != 10 {
+            return Err(format!(
+                "access record: expected 10 fields, got {}",
+                seen.len()
+            ));
+        }
+        Ok(rec)
+    }
+}
+
+/// How long buffered lines may wait before a record forces a flush.
+const FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+
+struct Sink {
+    w: io::BufWriter<Box<dyn Write + Send>>,
+    last_flush: std::time::Instant,
+}
+
+/// A sampled, thread-safe JSON-lines access-log writer.
+pub struct AccessLog {
+    /// Log every `sample`-th record (1 = every record).
+    sample: u64,
+    /// Records offered so far (logged or sampled away).
+    offered: AtomicU64,
+    sink: Mutex<Sink>,
+}
+
+impl AccessLog {
+    /// A log writing to `sink`, keeping every `sample`-th record
+    /// (`sample` is clamped to ≥ 1).
+    pub fn new(sink: Box<dyn Write + Send>, sample: u64) -> AccessLog {
+        AccessLog {
+            sample: sample.max(1),
+            offered: AtomicU64::new(0),
+            sink: Mutex::new(Sink {
+                w: io::BufWriter::with_capacity(64 * 1024, sink),
+                last_flush: std::time::Instant::now(),
+            }),
+        }
+    }
+
+    /// Opens `path` for appending (`-` means stdout).
+    pub fn open(path: &str, sample: u64) -> io::Result<AccessLog> {
+        let sink: Box<dyn Write + Send> = if path == "-" {
+            Box::new(io::stdout())
+        } else {
+            Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )
+        };
+        Ok(AccessLog::new(sink, sample))
+    }
+
+    /// Offers `rec` to the log; returns whether it was written (false
+    /// when sampled away). Lines are buffered and flushed adaptively: a
+    /// record arriving more than 100 ms after the last flush flushes
+    /// immediately (so a live tail of a quiet daemon sees every line as
+    /// it happens), while under load flushes are paced to ~10/s so the
+    /// log costs one `write` per few hundred requests instead of one
+    /// per request. [`AccessLog::flush`] drains the tail — the daemon
+    /// calls it on shutdown. Write errors are swallowed: logging must
+    /// never take the serving path down.
+    pub fn record(&self, rec: &AccessRecord) -> bool {
+        let n = self.offered.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(self.sample) {
+            return false;
+        }
+        let mut line = rec.to_json_line();
+        line.push('\n');
+        let mut sink = self.sink.lock().unwrap();
+        let _ = sink.w.write_all(line.as_bytes());
+        if sink.last_flush.elapsed() >= FLUSH_INTERVAL {
+            let _ = sink.w.flush();
+            sink.last_flush = std::time::Instant::now();
+        }
+        true
+    }
+
+    /// Flushes buffered lines to the underlying sink.
+    pub fn flush(&self) {
+        let mut sink = self.sink.lock().unwrap();
+        let _ = sink.w.flush();
+        sink.last_flush = std::time::Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample_record(req: u64) -> AccessRecord {
+        AccessRecord {
+            req,
+            doc: "orders".into(),
+            method: "POST".into(),
+            path: "/docs/orders/edits".into(),
+            route: "http.route.edits".into(),
+            status: 200,
+            bytes_in: 41,
+            bytes_out: 128,
+            queue_wait_nanos: 12_345,
+            handler_nanos: 67_890,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json_line() {
+        let rec = sample_record(7);
+        let line = rec.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(AccessRecord::parse(&line).unwrap(), rec);
+    }
+
+    /// The hand-rolled hot-path renderer must stay byte-identical to the
+    /// codec's own compact form, including escapes.
+    #[test]
+    fn fast_line_matches_codec_render() {
+        let mut rec = sample_record(42);
+        rec.path = "/docs/we\"ird\\id\n/edits".into();
+        rec.doc = "we\"ird\\id\n".into();
+        let tree = json::Json::Object(vec![
+            ("req".into(), json::Json::Number(rec.req as f64)),
+            ("doc".into(), json::Json::String(rec.doc.clone())),
+            ("method".into(), json::Json::String(rec.method.clone())),
+            ("path".into(), json::Json::String(rec.path.clone())),
+            ("route".into(), json::Json::String(rec.route.clone())),
+            ("status".into(), json::Json::Number(f64::from(rec.status))),
+            ("bytes_in".into(), json::Json::Number(rec.bytes_in as f64)),
+            ("bytes_out".into(), json::Json::Number(rec.bytes_out as f64)),
+            (
+                "queue_wait_nanos".into(),
+                json::Json::Number(rec.queue_wait_nanos as f64),
+            ),
+            (
+                "handler_nanos".into(),
+                json::Json::Number(rec.handler_nanos as f64),
+            ),
+        ]);
+        assert_eq!(rec.to_json_line(), tree.render_compact());
+    }
+
+    /// Property-style round-trip: pseudo-random records (LCG-driven, so
+    /// deterministic and dependency-free) survive render → parse exactly,
+    /// including paths with quotes, backslashes, and control characters.
+    #[test]
+    fn randomized_records_round_trip_exactly() {
+        // xorshift64* — deterministic, plenty for test-input diversity.
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 ^= self.0 >> 12;
+                self.0 ^= self.0 << 25;
+                self.0 ^= self.0 >> 27;
+                self.0 = self.0.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                self.0
+            }
+            fn string(&mut self, max_len: u64) -> String {
+                const ALPHABET: [char; 16] = [
+                    'a', 'b', 'z', '0', '9', '.', '_', '-', '/', '"', '\\', '\n', '\t', 'é', '√',
+                    ' ',
+                ];
+                let len = self.next() % max_len;
+                (0..len)
+                    .map(|_| ALPHABET[(self.next() % ALPHABET.len() as u64) as usize])
+                    .collect()
+            }
+        }
+        let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..500 {
+            let rec = AccessRecord {
+                req: rng.next() >> 12, // keep integers exactly representable in f64
+                doc: rng.string(8),
+                method: rng.string(8),
+                path: rng.string(24),
+                route: rng.string(16),
+                status: (rng.next() % 600) as u16,
+                bytes_in: rng.next() >> 12,
+                bytes_out: rng.next() >> 12,
+                queue_wait_nanos: rng.next() >> 12,
+                handler_nanos: rng.next() >> 12,
+            };
+            let line = rec.to_json_line();
+            assert!(!line.contains('\n'), "escaping must keep one line: {line}");
+            let back = AccessRecord::parse(&line)
+                .unwrap_or_else(|e| panic!("parse failed: {e}\nline: {line}"));
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(AccessRecord::parse("not json").is_err());
+        assert!(AccessRecord::parse("{\"req\": 1}").is_err()); // missing fields
+        let rec = sample_record(1);
+        let extra = rec.to_json_line().replace("{", "{\"zzz\": 1, ");
+        assert!(AccessRecord::parse(&extra).is_err()); // unknown key
+        let dup = rec.to_json_line().replace("{", "{\"req\": 2, ");
+        assert!(AccessRecord::parse(&dup).is_err()); // duplicate key
+    }
+
+    /// A shared Vec<u8> sink for asserting what was written.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_record() {
+        let buf = Buf::default();
+        let log = AccessLog::new(Box::new(buf.clone()), 3);
+        let written: Vec<bool> = (0..7).map(|i| log.record(&sample_record(i))).collect();
+        assert_eq!(written, [true, false, false, true, false, false, true]);
+        log.flush(); // lines are buffered between adaptive flushes
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let reqs: Vec<u64> = text
+            .lines()
+            .map(|l| AccessRecord::parse(l).unwrap().req)
+            .collect();
+        assert_eq!(reqs, vec![0, 3, 6]);
+    }
+}

@@ -1,14 +1,15 @@
-//! A tiny JSON codec for the [`Metrics`](crate::Metrics) wire format and
-//! the Chrome trace-event export.
+//! A tiny JSON codec for the [`Metrics`](crate::Metrics) wire format,
+//! the Chrome trace-event export, and the daemon's structured surfaces
+//! (`/status`, the access log).
 //!
 //! Only the subset this crate emits is supported — objects with string
-//! keys, arrays, numbers, and strings — which keeps the parser small and
-//! the crate dependency-free. Object order is preserved on both sides so
-//! emitted documents are byte-stable.
+//! keys, arrays, numbers, strings, and booleans — which keeps the parser
+//! small and the crate dependency-free. Object order is preserved on
+//! both sides so emitted documents are byte-stable.
 
 /// A parsed JSON value (the supported subset).
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// An object, in emission/parse order.
     Object(Vec<(String, Json)>),
     /// An array.
@@ -18,23 +19,48 @@ pub(crate) enum Json {
     Number(f64),
     /// A string.
     String(String),
+    /// A boolean (`true` / `false`).
+    Bool(bool),
 }
 
 impl Json {
     /// Renders with `"key": value` pairs, two-space indentation.
-    pub(crate) fn render(&self) -> String {
+    pub fn render(&self) -> String {
         let mut out = String::new();
-        self.render_into(&mut out, 0);
+        self.render_into(&mut out, Some(0));
         out
     }
 
-    fn render_into(&self, out: &mut String, indent: usize) {
+    /// Renders on a single line with no indentation — the form JSON-lines
+    /// consumers (one document per line) require.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None);
+        out
+    }
+
+    /// `indent` is `None` for the compact single-line form.
+    fn render_into(&self, out: &mut String, indent: Option<usize>) {
         match self {
             Json::Object(pairs) => {
                 if pairs.is_empty() {
                     out.push_str("{}");
                     return;
                 }
+                let Some(indent) = indent else {
+                    out.push('{');
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push('"');
+                        escape_into(k, out);
+                        out.push_str("\": ");
+                        v.render_into(out, None);
+                    }
+                    out.push('}');
+                    return;
+                };
                 out.push_str("{\n");
                 for (i, (k, v)) in pairs.iter().enumerate() {
                     for _ in 0..indent + 1 {
@@ -43,7 +69,7 @@ impl Json {
                     out.push('"');
                     escape_into(k, out);
                     out.push_str("\": ");
-                    v.render_into(out, indent + 1);
+                    v.render_into(out, Some(indent + 1));
                     if i + 1 < pairs.len() {
                         out.push(',');
                     }
@@ -66,23 +92,18 @@ impl Json {
                 }
                 out.push(']');
             }
-            Json::Number(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
-                } else {
-                    let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
-                }
-            }
+            Json::Number(n) => render_number(*n, out),
             Json::String(s) => {
                 out.push('"');
                 escape_into(s, out);
                 out.push('"');
             }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         }
     }
 
     /// The object's pairs, or an error naming `what`.
-    pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+    pub fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
         match self {
             Json::Object(pairs) => Ok(pairs),
             other => Err(format!("{what}: expected an object, got {other:?}")),
@@ -90,7 +111,7 @@ impl Json {
     }
 
     /// The value as a non-negative integer, or an error naming `what`.
-    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
+    pub fn as_u64(&self, what: &str) -> Result<u64, String> {
         match self {
             Json::Number(n) if *n >= 0.0 => Ok(*n as u64),
             other => Err(format!(
@@ -100,15 +121,42 @@ impl Json {
     }
 
     /// The array's items, or an error naming `what`.
-    pub(crate) fn as_array(&self, what: &str) -> Result<&[Json], String> {
+    pub fn as_array(&self, what: &str) -> Result<&[Json], String> {
         match self {
             Json::Array(items) => Ok(items),
             other => Err(format!("{what}: expected an array, got {other:?}")),
         }
     }
+
+    /// The value as a string slice, or an error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(format!("{what}: expected a string, got {other:?}")),
+        }
+    }
+
+    /// Looks up `key` in an object; `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }
 
-fn escape_into(s: &str, out: &mut String) {
+/// Renders a number the way [`Json::Number`] does: integral values below
+/// 2⁵³ print without a fraction. Exposed so hot paths (the access log)
+/// can emit codec-identical lines without building a [`Json`] tree.
+pub(crate) fn render_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{}", n as i64));
+    } else {
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+    }
+}
+
+pub(crate) fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -125,7 +173,7 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 /// Parses a JSON document of the supported subset.
-pub(crate) fn parse(src: &str) -> Result<Json, String> {
+pub fn parse(src: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: src.as_bytes(),
         pos: 0,
@@ -178,12 +226,23 @@ impl Parser<'_> {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             other => Err(format!(
                 "unexpected {:?} at byte {}",
                 other.map(|b| b as char),
                 self.pos
             )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
         }
     }
 
@@ -360,5 +419,37 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Json::Number(42.0).render(), "42");
         assert_eq!(Json::Number(1.5).render(), "1.5");
+    }
+
+    #[test]
+    fn booleans_render_and_round_trip() {
+        let doc = Json::Object(vec![
+            ("on".into(), Json::Bool(true)),
+            ("off".into(), Json::Bool(false)),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"on\": true"));
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert!(parse("tru").is_err());
+        assert!(parse("falsey").is_err());
+    }
+
+    #[test]
+    fn compact_render_is_single_line_and_round_trips() {
+        let doc = Json::Object(vec![
+            ("a".into(), Json::Number(7.0)),
+            (
+                "b".into(),
+                Json::Object(vec![("c".into(), Json::Bool(true))]),
+            ),
+            ("d".into(), Json::Array(vec![Json::String("x\ny".into())])),
+        ]);
+        let line = doc.render_compact();
+        assert!(
+            !line.contains('\n'),
+            "compact form must be one line: {line}"
+        );
+        assert_eq!(line, "{\"a\": 7, \"b\": {\"c\": true}, \"d\": [\"x\\ny\"]}");
+        assert_eq!(parse(&line).unwrap(), doc);
     }
 }

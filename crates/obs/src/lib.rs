@@ -105,20 +105,35 @@
 //! - **Scraping** ([`Metrics::to_prometheus`]): Prometheus text
 //!   exposition of counters, maxima, span sums and histogram buckets,
 //!   served live by `xic serve` at `GET /metrics`.
+//! - **Request scoping** ([`request_scope`] / [`current_request`]): a
+//!   thread-local request id tags every span a [`TraceCollector`]
+//!   records while the scope is held, so one request's span tree (queue
+//!   wait → route → shard dispatch → `edit.batch` → `wal.append`) can
+//!   be stitched back together from the shared ring — drained live by
+//!   `xic serve` at `GET /trace`.
+//! - **Access logs** ([`AccessLog`] / [`AccessRecord`]): one compact
+//!   JSON line per served request (id, doc, route, status, bytes,
+//!   queue-wait and handler latency), sampled N:1 under load
+//!   (`xic serve --access-log`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod access;
 pub mod alloc;
 mod histogram;
-mod json;
+pub mod json;
 mod metrics;
 mod prom;
 mod trace;
 
+pub use access::{AccessLog, AccessRecord};
 pub use histogram::{bucket_of, bucket_upper, Histogram, BUCKETS};
 pub use metrics::{Metrics, SpanStat};
-pub use trace::{Fanout, TraceCollector, TraceEvent, DEFAULT_TRACE_CAPACITY};
+pub use trace::{
+    current_request, request_scope, Fanout, RequestScope, TraceCollector, TraceEvent,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};

@@ -10,21 +10,81 @@
 //! directly in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
 //! (the `xic` CLI writes it via `--trace-out`).
 //!
-//! The buffer is a fixed-capacity ring (default 65 536 events): when it
-//! fills, the *oldest* events are dropped and counted, so a long run
-//! keeps its most recent window and the export says how much history was
-//! shed. Spans report only on close, so a span's start offset is
+//! Each recording thread owns its own fixed-capacity ring (default
+//! 65 536 events per thread), so the record path locks only a mutex no
+//! other thread touches and recorders never contend with each other.
+//! When a ring fills, that thread's *oldest* events are dropped and
+//! counted, so a long run keeps its most recent window and the export
+//! says how much history was shed. Exports merge the rings in thread
+//! order. Spans report only on close, so a span's start offset is
 //! reconstructed as `now − duration` against the collector's epoch —
 //! exact for the event itself, unaffected by ring overflow.
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
-use std::thread::ThreadId;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::json::Json;
 use crate::{Collector, Metrics};
+
+thread_local! {
+    /// The request id spans recorded on this thread are attributed to
+    /// (0 = no request in scope).
+    static CURRENT_REQ: Cell<u64> = const { Cell::new(0) };
+    /// This thread's ring per collector it has recorded to, keyed by the
+    /// collector's unique generation (never reused, so a recycled
+    /// allocation address can't alias a dead collector's cache entry).
+    static MY_RINGS: RefCell<Vec<(u64, Arc<Mutex<ThreadRing>>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Generation source for [`TraceCollector`] identity.
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+/// The request id currently in scope on this thread, or 0 when none is.
+pub fn current_request() -> u64 {
+    CURRENT_REQ.get()
+}
+
+/// Attributes every span recorded on this thread to request `req` until
+/// the returned guard drops (restoring the previous scope, so nesting is
+/// safe). Request ids are caller-assigned; 0 means "no request" and makes
+/// the guard a no-op tag.
+///
+/// This is how a request id crosses layers without threading a parameter
+/// through every [`Obs`](crate::Obs) call site: an HTTP worker wraps route
+/// dispatch in a scope, a shard thread wraps each dequeued request, and
+/// any [`TraceCollector`] they share tags the spans automatically.
+///
+/// ```
+/// use xic_obs::{current_request, request_scope};
+///
+/// assert_eq!(current_request(), 0);
+/// {
+///     let _scope = request_scope(7);
+///     assert_eq!(current_request(), 7);
+/// }
+/// assert_eq!(current_request(), 0);
+/// ```
+pub fn request_scope(req: u64) -> RequestScope {
+    let prev = CURRENT_REQ.replace(req);
+    RequestScope { prev }
+}
+
+/// RAII guard from [`request_scope`]; restores the previous request id on
+/// drop.
+#[must_use = "the scope ends when this guard drops"]
+pub struct RequestScope {
+    prev: u64,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQ.set(self.prev);
+    }
+}
 
 /// Default ring capacity (events). At phase/chunk/edit granularity this
 /// holds minutes of history; a heavy `apply-edits` run overflows
@@ -42,16 +102,20 @@ pub struct TraceEvent {
     pub start_nanos: u64,
     /// The span's duration in nanoseconds.
     pub dur_nanos: u64,
+    /// The request id in scope when the span closed (see
+    /// [`request_scope`]); 0 when the span was not request-scoped.
+    pub req: u64,
 }
 
-#[derive(Default)]
-struct TraceInner {
+/// One recording thread's private ring. Each thread locks only its own
+/// ring on the record path, so concurrent recorders never contend;
+/// exports and drains walk the registry and take the rings one by one.
+struct ThreadRing {
+    /// This thread's ordinal (order of first recorded span).
+    tid: u64,
     events: VecDeque<TraceEvent>,
     /// Events shed by ring overflow (oldest-first).
     dropped: u64,
-    /// First-seen ordinals: `ThreadId` is opaque, so threads are numbered
-    /// in order of their first recorded span.
-    tids: HashMap<ThreadId, u64>,
 }
 
 /// A [`Collector`] recording raw span events into a bounded ring buffer.
@@ -76,7 +140,10 @@ struct TraceInner {
 pub struct TraceCollector {
     start: Instant,
     capacity: usize,
-    inner: Mutex<TraceInner>,
+    /// Unique collector identity (keys the thread-local ring cache).
+    gen: u64,
+    /// Every recording thread's ring, in first-span order (index = tid).
+    rings: Mutex<Vec<Arc<Mutex<ThreadRing>>>>,
 }
 
 impl Default for TraceCollector {
@@ -92,59 +159,127 @@ impl TraceCollector {
         TraceCollector::with_capacity(DEFAULT_TRACE_CAPACITY)
     }
 
-    /// An empty ring holding at most `capacity` events (minimum 1).
+    /// An empty ring holding at most `capacity` events (minimum 1) per
+    /// recording thread.
     pub fn with_capacity(capacity: usize) -> Self {
         TraceCollector {
             start: Instant::now(),
             capacity: capacity.max(1),
-            inner: Mutex::new(TraceInner::default()),
+            gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed),
+            rings: Mutex::new(Vec::new()),
         }
     }
 
-    /// The buffered events, oldest first.
-    pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().unwrap().events.iter().copied().collect()
+    /// Registers (once per thread) and returns this thread's ring.
+    fn my_ring(&self) -> Arc<Mutex<ThreadRing>> {
+        MY_RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(g, _)| *g == self.gen) {
+                return ring.clone();
+            }
+            // First span from this thread: register a fresh ring. Also
+            // drop cache entries whose collector is gone (the registry
+            // held the only other strong reference), so a long-lived
+            // thread outliving many collectors doesn't accumulate rings.
+            cache.retain(|(_, r)| Arc::strong_count(r) > 1);
+            let mut rings = self.rings.lock().unwrap();
+            let ring = Arc::new(Mutex::new(ThreadRing {
+                tid: rings.len() as u64,
+                events: VecDeque::new(),
+                dropped: 0,
+            }));
+            rings.push(ring.clone());
+            drop(rings);
+            cache.push((self.gen, ring.clone()));
+            ring
+        })
     }
 
-    /// How many events ring overflow has shed so far.
+    /// A merged snapshot: every thread's buffered events (grouped by
+    /// thread ordinal, oldest first within each) and the total overflow
+    /// count. When `clear` is set the rings are emptied as they are read.
+    fn collect(&self, clear: bool) -> (Vec<TraceEvent>, u64) {
+        let rings = self.rings.lock().unwrap();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            let mut r = ring.lock().unwrap();
+            events.extend(r.events.iter().copied());
+            dropped += r.dropped;
+            if clear {
+                r.events.clear();
+                r.dropped = 0;
+            }
+        }
+        (events, dropped)
+    }
+
+    /// The buffered events, grouped by thread ordinal (oldest first
+    /// within each thread).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.collect(false).0
+    }
+
+    /// How many events ring overflow has shed so far (all threads).
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        self.collect(false).1
     }
 
     /// Renders the buffer in Chrome trace-event **array form** — a JSON
     /// array of complete (`"ph": "X"`) events with microsecond `ts`/`dur`
     /// — loadable as-is in `chrome://tracing` or Perfetto. Thread
-    /// ordinals become `tid`; `pid` is always 1. If overflow shed events,
-    /// a zero-duration metadata-style marker named `xic.trace_dropped`
+    /// ordinals become `tid`; `pid` is always 1; request-scoped events
+    /// carry `"args": {"req": N}`. If overflow shed events, a
+    /// zero-duration metadata-style marker named `xic.trace_dropped`
     /// leads the array so the loss is visible on the timeline.
     pub fn to_chrome_json(&self) -> String {
-        let inner = self.inner.lock().unwrap();
-        let mut items = Vec::with_capacity(inner.events.len() + 1);
-        if inner.dropped > 0 {
-            items.push(Json::Object(vec![
-                (
-                    "name".into(),
-                    Json::String(format!("xic.trace_dropped: {}", inner.dropped)),
-                ),
-                ("ph".into(), Json::String("X".into())),
-                ("ts".into(), Json::Number(0.0)),
-                ("dur".into(), Json::Number(0.0)),
-                ("pid".into(), Json::Number(1.0)),
-                ("tid".into(), Json::Number(0.0)),
-            ]));
-        }
-        for e in &inner.events {
-            items.push(Json::Object(vec![
-                ("name".into(), Json::String(e.name.to_string())),
-                ("ph".into(), Json::String("X".into())),
-                ("ts".into(), Json::Number(e.start_nanos as f64 / 1e3)),
-                ("dur".into(), Json::Number(e.dur_nanos as f64 / 1e3)),
-                ("pid".into(), Json::Number(1.0)),
-                ("tid".into(), Json::Number(e.tid as f64)),
-            ]));
-        }
-        Json::Array(items).render()
+        let (events, dropped) = self.collect(false);
+        render_chrome_json(&events, dropped)
     }
+
+    /// Like [`TraceCollector::to_chrome_json`], but empties the rings
+    /// (events and the dropped count) as they are rendered, so each
+    /// event is exported at most once. This backs the daemon's live
+    /// `GET /trace` endpoint: successive drains partition the timeline.
+    pub fn drain_chrome_json(&self) -> String {
+        let (events, dropped) = self.collect(true);
+        render_chrome_json(&events, dropped)
+    }
+}
+
+fn render_chrome_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut items = Vec::with_capacity(events.len() + 1);
+    if dropped > 0 {
+        items.push(Json::Object(vec![
+            (
+                "name".into(),
+                Json::String(format!("xic.trace_dropped: {dropped}")),
+            ),
+            ("ph".into(), Json::String("X".into())),
+            ("ts".into(), Json::Number(0.0)),
+            ("dur".into(), Json::Number(0.0)),
+            ("pid".into(), Json::Number(1.0)),
+            ("tid".into(), Json::Number(0.0)),
+        ]));
+    }
+    for e in events {
+        let mut pairs = vec![
+            ("name".into(), Json::String(e.name.to_string())),
+            ("ph".into(), Json::String("X".into())),
+            ("ts".into(), Json::Number(e.start_nanos as f64 / 1e3)),
+            ("dur".into(), Json::Number(e.dur_nanos as f64 / 1e3)),
+            ("pid".into(), Json::Number(1.0)),
+            ("tid".into(), Json::Number(e.tid as f64)),
+        ];
+        if e.req != 0 {
+            pairs.push((
+                "args".into(),
+                Json::Object(vec![("req".into(), Json::Number(e.req as f64))]),
+            ));
+        }
+        items.push(Json::Object(pairs));
+    }
+    Json::Array(items).render()
 }
 
 impl Collector for TraceCollector {
@@ -154,22 +289,19 @@ impl Collector for TraceCollector {
         // the collector existed).
         let now = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let start_nanos = now.saturating_sub(nanos);
-        let thread = std::thread::current().id();
-        let mut inner = self.inner.lock().unwrap();
-        let next = inner.tids.len() as u64;
-        let tid = match inner.tids.entry(thread) {
-            Entry::Occupied(o) => *o.get(),
-            Entry::Vacant(v) => *v.insert(next),
-        };
-        if inner.events.len() == self.capacity {
-            inner.events.pop_front();
-            inner.dropped += 1;
+        let ring = self.my_ring();
+        let mut r = ring.lock().unwrap();
+        if r.events.len() == self.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
         }
-        inner.events.push_back(TraceEvent {
+        let tid = r.tid;
+        r.events.push_back(TraceEvent {
             name,
             tid,
             start_nanos,
             dur_nanos: nanos,
+            req: current_request(),
         });
     }
 
@@ -282,8 +414,9 @@ mod tests {
     }
 
     /// The acceptance-criteria schema check: array form, every event has
-    /// `name`/`ph:"X"`/`ts`/`dur`/`pid`/`tid`, and the document parses as
-    /// JSON (what `chrome://tracing` / Perfetto require of an import).
+    /// `name`/`ph:"X"`/`ts`/`dur`/`pid`/`tid` (plus a trailing `args`
+    /// object only when request-scoped), and the document parses as JSON
+    /// (what `chrome://tracing` / Perfetto require of an import).
     #[test]
     fn chrome_export_matches_trace_event_schema() {
         let tc = Arc::new(TraceCollector::new());
@@ -292,26 +425,76 @@ mod tests {
             let _g = obs.span("check");
             obs.record_span("par.chunk", 42_000);
         }
+        {
+            let _scope = request_scope(9);
+            obs.record_span("edit.batch", 1_000);
+        }
         let out = tc.to_chrome_json();
         let doc = json::parse(&out).expect("trace export must be valid JSON");
         let events = doc.as_array("trace doc").unwrap();
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
         for ev in events {
             let obj = ev.as_object("trace event").unwrap();
             let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
-            assert_eq!(keys, ["name", "ph", "ts", "dur", "pid", "tid"]);
-            let get = |k: &str| {
-                obj.iter()
-                    .find(|(key, _)| key == k)
-                    .map(|(_, v)| v)
-                    .unwrap()
-            };
+            let name = obj[0].1.as_str("name").unwrap();
+            if name == "edit.batch" {
+                assert_eq!(keys, ["name", "ph", "ts", "dur", "pid", "tid", "args"]);
+                let args = ev.get("args").unwrap();
+                assert_eq!(args.get("req").unwrap().as_u64("req").unwrap(), 9);
+            } else {
+                assert_eq!(keys, ["name", "ph", "ts", "dur", "pid", "tid"]);
+            }
+            let get = |k: &str| ev.get(k).unwrap();
             assert_eq!(get("ph"), &json::Json::String("X".into()));
             assert!(matches!(get("ts"), json::Json::Number(n) if *n >= 0.0));
             assert!(matches!(get("dur"), json::Json::Number(n) if *n >= 0.0));
             assert_eq!(get("pid").as_u64("pid").unwrap(), 1);
             get("tid").as_u64("tid").unwrap();
         }
+    }
+
+    #[test]
+    fn request_scope_tags_spans_and_restores_on_drop() {
+        let tc = Arc::new(TraceCollector::new());
+        let obs = Obs::new(tc.clone());
+        obs.record_span("boot", 10);
+        {
+            let _outer = request_scope(3);
+            obs.record_span("http.request", 20);
+            {
+                let _inner = request_scope(4);
+                obs.record_span("edit.batch", 30);
+            }
+            // Nested scope ended: back to the outer request.
+            obs.record_span("wal.append", 40);
+        }
+        obs.record_span("idle", 50);
+        let reqs: Vec<u64> = tc.events().iter().map(|e| e.req).collect();
+        assert_eq!(reqs, vec![0, 3, 4, 3, 0]);
+        // Scoping is per-thread: another thread is untagged.
+        let _scope = request_scope(8);
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(current_request(), 0));
+        });
+        assert_eq!(current_request(), 8);
+    }
+
+    #[test]
+    fn drain_empties_ring_and_partitions_exports() {
+        let tc = TraceCollector::with_capacity(2);
+        tc.record_span("a", 1);
+        tc.record_span("b", 1);
+        tc.record_span("c", 1); // overflows: "a" dropped
+        let first = tc.drain_chrome_json();
+        assert!(first.contains("xic.trace_dropped: 1"));
+        assert!(first.contains("\"b\"") && first.contains("\"c\""));
+        // Drained: ring and dropped count both reset.
+        assert_eq!(tc.events().len(), 0);
+        assert_eq!(tc.dropped(), 0);
+        tc.record_span("d", 1);
+        let second = tc.drain_chrome_json();
+        assert!(!second.contains("trace_dropped"));
+        assert!(second.contains("\"d\"") && !second.contains("\"c\""));
     }
 
     #[test]

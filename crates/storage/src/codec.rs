@@ -680,10 +680,7 @@ mod tests {
     fn dec_sym_rejects_the_sentinel_index() {
         let bytes = u32::MAX.to_le_bytes();
         let mut d = Dec::new(&bytes, "test");
-        assert!(matches!(
-            dec_sym(&mut d),
-            Err(StorageError::Corrupt { .. })
-        ));
+        assert!(matches!(dec_sym(&mut d), Err(StorageError::Corrupt { .. })));
         // Every other index decodes.
         let bytes = (u32::MAX - 1).to_le_bytes();
         let mut d = Dec::new(&bytes, "test");

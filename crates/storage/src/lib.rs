@@ -51,7 +51,7 @@ pub use snapshot::{
     decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
 };
-pub use wal::{FsyncPolicy, Wal, WalMark, WAL_MAGIC, WAL_VERSION};
+pub use wal::{FsyncPolicy, ReplayedBatches, Wal, WalMark, WAL_MAGIC, WAL_VERSION};
 
 /// Why a storage operation failed.
 ///
@@ -120,6 +120,17 @@ pub struct Recovered {
     pub wal: Wal,
 }
 
+/// File-metadata facts about a document's on-disk snapshot (see
+/// [`DocStore::snapshot_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+    /// When the snapshot was last written (filesystem mtime) — its age is
+    /// `now − modified`, the staleness an operator alerts on.
+    pub modified: std::time::SystemTime,
+}
+
 /// The per-document state-directory layout used by `xic serve --state-dir`:
 /// one subdirectory per document id holding `snapshot.bin` and `wal.log`.
 ///
@@ -186,6 +197,26 @@ impl DocStore {
     /// The WAL path for `id` (the file may not exist yet).
     pub fn wal_path(&self, id: &str) -> Result<PathBuf, StorageError> {
         Ok(self.doc_dir(id)?.join(WAL_FILE))
+    }
+
+    /// Size and age of `id`'s on-disk snapshot, from file metadata —
+    /// `Ok(None)` when the doc has never been snapshotted. Cheap (one
+    /// `stat`), so introspection surfaces like `xic serve`'s `/status`
+    /// can call it per scrape without touching snapshot contents.
+    pub fn snapshot_stats(&self, id: &str) -> Result<Option<SnapshotStats>, StorageError> {
+        let path = self.snapshot_path(id)?;
+        let meta = match fs::metadata(&path) {
+            Ok(meta) => meta,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(format!("stat {}", path.display()))(e)),
+        };
+        let modified = meta
+            .modified()
+            .map_err(io_err(format!("stat {}", path.display())))?;
+        Ok(Some(SnapshotStats {
+            bytes: meta.len(),
+            modified,
+        }))
     }
 
     /// Every document id with persisted state, ascending.

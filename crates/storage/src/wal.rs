@@ -78,6 +78,10 @@ pub struct WalMark {
     next_seq: u64,
 }
 
+/// The intact `(sequence, batch)` records [`Wal::open`] replayed from
+/// disk, in append order.
+pub type ReplayedBatches = Vec<(u64, Vec<BatchEdit>)>;
+
 /// An open write-ahead log, positioned for appending.
 #[derive(Debug)]
 pub struct Wal {
@@ -110,7 +114,7 @@ impl Wal {
     pub fn open(
         path: impl Into<PathBuf>,
         policy: FsyncPolicy,
-    ) -> Result<(Wal, Vec<(u64, Vec<BatchEdit>)>), StorageError> {
+    ) -> Result<(Wal, ReplayedBatches), StorageError> {
         let path = path.into();
         let mut file = OpenOptions::new()
             .read(true)

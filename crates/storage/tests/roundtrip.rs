@@ -500,10 +500,8 @@ fn doc_store_lifecycle() {
 fn crash_between_snapshot_publication_and_wal_reset_skips_stale_records() {
     let dtdc = DtdC::new_unchecked(test_structure(), Language::Lid, test_sigma());
     let v = validator(&dtdc);
-    let recipes: Vec<NodeRecipe> = vec![(
-        (0, Some(1), Some(2), None),
-        (vec![1], vec![], vec![(0, 3)]),
-    )];
+    let recipes: Vec<NodeRecipe> =
+        vec![((0, Some(1), Some(2), None), (vec![1], vec![], vec![(0, 3)]))];
     let mut live = LiveValidator::new(&v, build_tree(&recipes));
 
     let dir = tempdir("stale-wal");
@@ -552,7 +550,10 @@ fn crash_between_snapshot_publication_and_wal_reset_skips_stale_records() {
         value: AttrValue::single("v5"),
     }];
     let seq2 = wal.append(&batch2).unwrap();
-    assert!(seq2 > rec.last_seq, "append did not clear the snapshot's sequence");
+    assert!(
+        seq2 > rec.last_seq,
+        "append did not clear the snapshot's sequence"
+    );
     live.apply_batch(&batch2).unwrap();
     drop(wal);
 
